@@ -1,0 +1,115 @@
+// Reproduces paper Fig. 2: the OCS objective value (VO) of Ratio-Greedy,
+// Objective-Greedy and Hybrid-Greedy as the budget K sweeps 30..150, under
+// both cost ranges (C1 = 1..10, C2 = 1..5), theta = 0.92, on the
+// semi-synthetic 607-road network with |R^q| in {33, 51}.
+//
+// Panels (a)/(b) print the raw VO series; panels (c)/(d) print the
+// Ratio/Hybrid and OBJ/Hybrid ratios the paper uses to highlight the gap.
+//
+// Expected shape (paper §VII-B): Hybrid >= max(Ratio, OBJ) everywhere; VO
+// grows monotonically with K; Ratio catches up with Hybrid at large K; the
+// Ratio-vs-Hybrid gap is wider under the wide cost range C1.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "semi_synthetic.h"
+#include "eval/table_printer.h"
+
+namespace crowdrtse::bench {
+namespace {
+
+constexpr double kTheta = 0.92;
+const std::vector<int> kBudgets{30, 60, 90, 120, 150};
+
+struct Series {
+  std::vector<double> ratio;
+  std::vector<double> objective;
+  std::vector<double> hybrid;
+};
+
+Series RunSweep(const SemiSyntheticWorld& world,
+                const rtf::CorrelationTable& table,
+                const std::vector<graph::RoadId>& queried,
+                const crowd::CostModel& costs, int slot) {
+  Series series;
+  for (int budget : kBudgets) {
+    const ocs::OcsProblem problem =
+        MakeProblem(world, table, queried, world.all_roads, costs, slot,
+                    budget, kTheta);
+    series.ratio.push_back(ocs::RatioGreedy(problem).objective);
+    series.objective.push_back(ocs::ObjectiveGreedy(problem).objective);
+    series.hybrid.push_back(ocs::HybridGreedy(problem).objective);
+  }
+  return series;
+}
+
+void PrintPanel(const std::string& title, const Series& series) {
+  std::printf("\n%s\n", title.c_str());
+  eval::TablePrinter table(
+      {"algorithm", "K=30", "K=60", "K=90", "K=120", "K=150"});
+  table.AddNumericRow("Ratio", series.ratio, 2);
+  table.AddNumericRow("OBJ", series.objective, 2);
+  table.AddNumericRow("Hybrid", series.hybrid, 2);
+  table.Print();
+}
+
+void PrintRatioPanel(const std::string& title, const Series& series) {
+  std::printf("\n%s\n", title.c_str());
+  std::vector<double> ratio_vs_hybrid;
+  std::vector<double> obj_vs_hybrid;
+  for (size_t i = 0; i < kBudgets.size(); ++i) {
+    ratio_vs_hybrid.push_back(series.ratio[i] / series.hybrid[i]);
+    obj_vs_hybrid.push_back(series.objective[i] / series.hybrid[i]);
+  }
+  eval::TablePrinter table(
+      {"ratio", "K=30", "K=60", "K=90", "K=120", "K=150"});
+  table.AddNumericRow("Ratio/Hybrid", ratio_vs_hybrid, 4);
+  table.AddNumericRow("OBJ/Hybrid", obj_vs_hybrid, 4);
+  table.Print();
+}
+
+void Run() {
+  std::printf("=== Fig. 2 — OCS objective value (VO) vs budget ===\n");
+  std::printf("semi-synthetic network: 607 roads, theta = %.2f, R^w = R\n",
+              kTheta);
+  const SemiSyntheticWorld world = BuildWorld();
+  const int slot = 99;  // 08:15, morning rush
+  const auto table = rtf::CorrelationTable::Compute(world.model, slot);
+  CROWDRTSE_CHECK(table.ok());
+
+  util::Rng cost_rng(7);
+  const auto costs_c1 = crowd::CostModel::UniformRandom(
+      world.network.num_roads(), crowd::kCostRangeC1Min,
+      crowd::kCostRangeC1Max, cost_rng);
+  const auto costs_c2 = crowd::CostModel::UniformRandom(
+      world.network.num_roads(), crowd::kCostRangeC2Min,
+      crowd::kCostRangeC2Max, cost_rng);
+  CROWDRTSE_CHECK(costs_c1.ok() && costs_c2.ok());
+
+  for (int query_size : {33, 51}) {
+    const auto queried = MakeQuery(world, query_size, 100 + query_size);
+    const Series c1 = RunSweep(world, *table, queried, *costs_c1, slot);
+    const Series c2 = RunSweep(world, *table, queried, *costs_c2, slot);
+    PrintPanel("(a) VO, costs C1 = 1..10, |R^q| = " +
+                   std::to_string(query_size),
+               c1);
+    PrintPanel("(b) VO, costs C2 = 1..5, |R^q| = " +
+                   std::to_string(query_size),
+               c2);
+    PrintRatioPanel("(c) VO ratios vs Hybrid, costs C1, |R^q| = " +
+                        std::to_string(query_size),
+                    c1);
+    PrintRatioPanel("(d) VO ratios vs Hybrid, costs C2, |R^q| = " +
+                        std::to_string(query_size),
+                    c2);
+  }
+}
+
+}  // namespace
+}  // namespace crowdrtse::bench
+
+int main() {
+  crowdrtse::bench::Run();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Reproduces paper Fig. 4(a): overall running time (ORT) of the OCS
+// algorithms as the budget grows, on the semi-synthetic 607-road network
+// with costs from C1. Uses google-benchmark for the timing loop and prints
+// one benchmark per (algorithm, budget) pair.
+//
+// Expected shape: running time grows roughly linearly with the budget;
+// Hybrid ~ Ratio + OBJ (it runs both); even the largest budget stays well
+// under one second.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "semi_synthetic.h"
+
+namespace crowdrtse::bench {
+namespace {
+
+constexpr double kTheta = 0.92;
+
+struct Fixture {
+  Fixture() : world(BuildWorld()) {
+    const int slot = 99;
+    table = std::make_unique<rtf::CorrelationTable>(
+        *rtf::CorrelationTable::Compute(world.model, slot));
+    util::Rng cost_rng(7);
+    costs = std::make_unique<crowd::CostModel>(
+        *crowd::CostModel::UniformRandom(world.network.num_roads(),
+                                         crowd::kCostRangeC1Min,
+                                         crowd::kCostRangeC1Max, cost_rng));
+    queried = MakeQuery(world, 51, 151);
+  }
+
+  SemiSyntheticWorld world;
+  std::unique_ptr<rtf::CorrelationTable> table;
+  std::unique_ptr<crowd::CostModel> costs;
+  std::vector<graph::RoadId> queried;
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_RatioGreedy(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const ocs::OcsProblem problem =
+      MakeProblem(f.world, *f.table, f.queried, f.world.all_roads, *f.costs,
+                  99, static_cast<int>(state.range(0)), kTheta);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ocs::RatioGreedy(problem));
+  }
+}
+
+void BM_ObjectiveGreedy(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const ocs::OcsProblem problem =
+      MakeProblem(f.world, *f.table, f.queried, f.world.all_roads, *f.costs,
+                  99, static_cast<int>(state.range(0)), kTheta);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ocs::ObjectiveGreedy(problem));
+  }
+}
+
+void BM_HybridGreedy(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const ocs::OcsProblem problem =
+      MakeProblem(f.world, *f.table, f.queried, f.world.all_roads, *f.costs,
+                  99, static_cast<int>(state.range(0)), kTheta);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ocs::HybridGreedy(problem));
+  }
+}
+
+void BM_LazyHybridGreedy(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const ocs::OcsProblem problem =
+      MakeProblem(f.world, *f.table, f.queried, f.world.all_roads, *f.costs,
+                  99, static_cast<int>(state.range(0)), kTheta);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ocs::LazyHybridGreedy(problem));
+  }
+}
+
+BENCHMARK(BM_RatioGreedy)->DenseRange(30, 150, 30)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ObjectiveGreedy)->DenseRange(30, 150, 30)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HybridGreedy)->DenseRange(30, 150, 30)->Unit(benchmark::kMillisecond);
+// Extension: lazy-evaluation hybrid (same objective value, fewer gain
+// recomputations).
+BENCHMARK(BM_LazyHybridGreedy)->DenseRange(30, 150, 30)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace crowdrtse::bench
+
+BENCHMARK_MAIN();

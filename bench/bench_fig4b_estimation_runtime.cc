@@ -1,0 +1,107 @@
+// Reproduces paper Fig. 4(b): the overall running time of the estimation
+// methods (LASSO, GRMC, GSP) as the budget grows; Per is omitted as in the
+// paper (its answer is a direct RTF lookup).
+//
+// Expected shape: LASSO cheapest per prediction (here amortised over the
+// queried roads), GRMC the most expensive (iterative factorisation over
+// the whole matrix), GSP in between and nearly flat in the budget.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "quality_harness.h"
+
+namespace crowdrtse::bench {
+namespace {
+
+struct Fixture {
+  Fixture() : world(BuildWorld()) {
+    const int slot = 99;
+    table = std::make_unique<rtf::CorrelationTable>(
+        *rtf::CorrelationTable::Compute(world.model, slot));
+    util::Rng cost_rng(7);
+    costs = std::make_unique<crowd::CostModel>(
+        *crowd::CostModel::UniformRandom(world.network.num_roads(),
+                                         crowd::kCostRangeC1Min,
+                                         crowd::kCostRangeC1Max, cost_rng));
+    queried = MakeQuery(world, 51, 151);
+    gsp = std::make_unique<core::GspEstimator>(world.model,
+                                               gsp::GspOptions{});
+    baselines::LassoEstimatorOptions lasso_options;
+    lasso_options.fit.max_iterations = 200;
+    lasso_options.fit.tolerance = 1e-4;
+    lasso = std::make_unique<baselines::LassoEstimator>(
+        world.network, world.history, lasso_options);
+    baselines::GrmcOptions grmc_options;
+    grmc_options.max_iterations = 15;
+    grmc_options.history_columns = 15;
+    grmc = std::make_unique<baselines::GrmcEstimator>(
+        world.network, world.history, grmc_options);
+  }
+
+  /// Selection + probe for a budget, cached per budget.
+  const std::pair<std::vector<graph::RoadId>, std::vector<double>>& Probes(
+      int budget) {
+    auto it = probes.find(budget);
+    if (it == probes.end()) {
+      const ocs::OcsProblem problem =
+          MakeProblem(world, *table, queried, world.all_roads, *costs, 99,
+                      budget, 0.92);
+      const ocs::OcsSolution selection = ocs::HybridGreedy(problem);
+      auto probed = ProbeRoads(world, selection.roads, *costs, 99,
+                               static_cast<uint64_t>(budget));
+      it = probes.emplace(budget,
+                          std::make_pair(selection.roads, probed)).first;
+    }
+    return it->second;
+  }
+
+  SemiSyntheticWorld world;
+  std::unique_ptr<rtf::CorrelationTable> table;
+  std::unique_ptr<crowd::CostModel> costs;
+  std::vector<graph::RoadId> queried;
+  std::unique_ptr<core::GspEstimator> gsp;
+  std::unique_ptr<baselines::LassoEstimator> lasso;
+  std::unique_ptr<baselines::GrmcEstimator> grmc;
+  std::map<int, std::pair<std::vector<graph::RoadId>, std::vector<double>>>
+      probes;
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_Gsp(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const auto& [roads, probed] = f.Probes(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.gsp->Estimate(99, roads, probed));
+  }
+}
+
+void BM_Lasso(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const auto& [roads, probed] = f.Probes(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.lasso->EstimateTargets(99, roads, probed, f.queried));
+  }
+}
+
+void BM_Grmc(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const auto& [roads, probed] = f.Probes(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.grmc->Estimate(99, roads, probed));
+  }
+}
+
+BENCHMARK(BM_Lasso)->DenseRange(30, 150, 60)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Grmc)->DenseRange(30, 150, 60)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Gsp)->DenseRange(30, 150, 60)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace crowdrtse::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,142 @@
+// Micro-benchmarks of the hot kernels (perf-regression tracking, not a
+// paper figure): BFS levelling, Dijkstra, the full correlation closure,
+// one GSP sweep-to-convergence, moment estimation of one slot, and a
+// 607-road LASSO fit. Keeps an eye on the pieces every online query or
+// offline build touches.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/lasso.h"
+#include "graph/bfs.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "gsp/propagation.h"
+#include "rtf/correlation_table.h"
+#include "rtf/moment_estimator.h"
+#include "traffic/traffic_simulator.h"
+#include "util/rng.h"
+
+namespace crowdrtse::bench {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    util::Rng rng(42);
+    graph::RoadNetworkOptions net;
+    net.num_roads = 607;
+    network = *graph::RoadNetwork(net, rng);
+    traffic::TrafficModelOptions traffic_options;
+    traffic_options.num_days = 15;
+    simulator = std::make_unique<traffic::TrafficSimulator>(
+        network, traffic_options, 43);
+    history = simulator->GenerateHistory();
+    rtf::MomentEstimatorOptions moments;
+    moments.slot_window = 1;
+    model = std::make_unique<rtf::RtfModel>(
+        *rtf::EstimateByMoments(network, history, moments));
+    truth = simulator->GenerateEvaluationDay();
+    for (graph::RoadId r = 0; r < network.num_roads(); r += 20) {
+      sampled.push_back(r);
+      probed.push_back(truth.At(99, r));
+    }
+  }
+
+  graph::Graph network;
+  std::unique_ptr<traffic::TrafficSimulator> simulator;
+  traffic::HistoryStore history;
+  std::unique_ptr<rtf::RtfModel> model;
+  traffic::DayMatrix truth;
+  std::vector<graph::RoadId> sampled;
+  std::vector<double> probed;
+};
+
+Fixture& F() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_MultiSourceBfs(benchmark::State& state) {
+  Fixture& f = F();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::MultiSourceBfs(f.network, f.sampled));
+  }
+}
+
+void BM_DijkstraSingleSource(benchmark::State& state) {
+  Fixture& f = F();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::Dijkstra(f.network, 0, [](graph::EdgeId) { return 1.0; }));
+  }
+}
+
+void BM_CorrelationClosureFullSlot(benchmark::State& state) {
+  Fixture& f = F();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rtf::CorrelationTable::Compute(*f.model, 99));
+  }
+}
+
+void BM_GspPropagation(benchmark::State& state) {
+  Fixture& f = F();
+  const gsp::SpeedPropagator propagator(*f.model, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        propagator.Propagate(99, f.sampled, f.probed));
+  }
+}
+
+void BM_MomentEstimationOneSlot(benchmark::State& state) {
+  Fixture& f = F();
+  // One-slot history slice keeps the benchmark focused on the kernel.
+  traffic::HistoryStore slice(f.network.num_roads(),
+                              f.history.num_days(), 1);
+  for (int day = 0; day < f.history.num_days(); ++day) {
+    for (graph::RoadId r = 0; r < f.network.num_roads(); ++r) {
+      slice.At(day, 0, r) = f.history.At(day, 99, r);
+    }
+  }
+  rtf::MomentEstimatorOptions options;
+  options.slot_window = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rtf::EstimateByMoments(f.network, slice, options));
+  }
+}
+
+void BM_LassoFit607Predictors(benchmark::State& state) {
+  Fixture& f = F();
+  const size_t rows = 90;
+  const size_t cols = 30;
+  math::DenseMatrix x(rows, cols);
+  std::vector<double> y(rows);
+  util::Rng rng(7);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      x.At(i, j) = f.history.At(static_cast<int>(i % 15), 99,
+                                static_cast<graph::RoadId>(j * 3)) +
+                   rng.Normal(0.0, 0.1);
+    }
+    y[i] = f.history.At(static_cast<int>(i % 15), 99, 100);
+  }
+  baselines::LassoFitOptions options;
+  options.max_iterations = 200;
+  options.tolerance = 1e-4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::LassoFit(x, y, options));
+  }
+}
+
+BENCHMARK(BM_MultiSourceBfs)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DijkstraSingleSource)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CorrelationClosureFullSlot)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GspPropagation)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MomentEstimationOneSlot)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LassoFit607Predictors)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace crowdrtse::bench
+
+BENCHMARK_MAIN();

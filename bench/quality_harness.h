@@ -1,0 +1,208 @@
+#ifndef CROWDRTSE_BENCH_QUALITY_HARNESS_H_
+#define CROWDRTSE_BENCH_QUALITY_HARNESS_H_
+
+// Shared harness for the estimation-quality experiments (paper Fig. 3 and
+// Fig. 6): sweep (selector, budget) cells, run every estimator on the same
+// probed data, and report APE populations from which MAPE / FER / DAPE are
+// derived.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/grmc.h"
+#include "baselines/lasso.h"
+#include "baselines/periodic_estimator.h"
+#include "core/gsp_estimator.h"
+#include "graph/bfs.h"
+#include "eval/table_printer.h"
+#include "util/stats.h"
+#include "semi_synthetic.h"
+
+namespace crowdrtse::bench {
+
+enum class Selector { kHybrid, kObjective, kRandom };
+
+inline const char* SelectorName(Selector s) {
+  switch (s) {
+    case Selector::kHybrid:
+      return "Hybrid";
+    case Selector::kObjective:
+      return "OBJ";
+    case Selector::kRandom:
+      return "Rand";
+  }
+  return "?";
+}
+
+/// One (selector, budget) experiment cell: the APE of every estimator on
+/// every queried road over every query slot, plus coverage bookkeeping for
+/// Table III.
+struct CellResult {
+  std::map<std::string, std::vector<double>> apes;
+  int hop1_coverage = 0;  // queried roads within 1 hop of R^c (avg, rounded)
+  int hop2_coverage = 0;
+  int selected_roads = 0;
+};
+
+struct HarnessOptions {
+  int query_size = 51;
+  double theta = 0.92;
+  int cost_min = crowd::kCostRangeC1Min;
+  int cost_max = crowd::kCostRangeC1Max;
+  uint64_t seed = 7;
+  bool run_lasso = true;
+  bool run_grmc = true;
+  baselines::LassoEstimatorOptions lasso;
+  baselines::GrmcOptions grmc;
+  /// Worker roads; empty = all roads (the semi-synthetic R^w = R).
+  std::vector<graph::RoadId> worker_roads;
+  /// Query slots; empty = QuerySlots().
+  std::vector<int> slots;
+  /// Explicit R^q; empty = sample query_size roads uniformly. The gMission
+  /// bench pins this to the scenario's connected component.
+  std::vector<graph::RoadId> fixed_query;
+};
+
+class QualityHarness {
+ public:
+  QualityHarness(const SemiSyntheticWorld& world, HarnessOptions options)
+      : world_(world), options_(std::move(options)) {
+    if (options_.worker_roads.empty()) {
+      options_.worker_roads = world.all_roads;
+    }
+    if (options_.slots.empty()) options_.slots = QuerySlots();
+    util::Rng cost_rng(options_.seed);
+    costs_ = std::make_unique<crowd::CostModel>(*crowd::CostModel::UniformRandom(
+        world.network.num_roads(), options_.cost_min, options_.cost_max,
+        cost_rng));
+    queried_ = options_.fixed_query.empty()
+                   ? MakeQuery(world, options_.query_size, options_.seed + 1)
+                   : options_.fixed_query;
+    for (int slot : options_.slots) {
+      tables_.emplace(slot, *rtf::CorrelationTable::Compute(world.model,
+                                                            slot));
+    }
+    gsp_ = std::make_unique<core::GspEstimator>(world.model,
+                                                gsp::GspOptions{});
+    per_ = std::make_unique<baselines::PeriodicEstimator>(world.model);
+    if (options_.run_lasso) {
+      lasso_ = std::make_unique<baselines::LassoEstimator>(
+          world.network, world.history, options_.lasso);
+    }
+    if (options_.run_grmc) {
+      grmc_ = std::make_unique<baselines::GrmcEstimator>(
+          world.network, world.history, options_.grmc);
+    }
+  }
+
+  const std::vector<graph::RoadId>& queried() const { return queried_; }
+  const crowd::CostModel& costs() const { return *costs_; }
+
+  /// Runs one cell. `theta_override` < 0 keeps the harness theta.
+  CellResult Run(Selector selector, int budget,
+                 double theta_override = -1.0) {
+    const double theta =
+        theta_override < 0.0 ? options_.theta : theta_override;
+    CellResult cell;
+    double hop1_sum = 0.0;
+    double hop2_sum = 0.0;
+    double selected_sum = 0.0;
+    for (int slot : options_.slots) {
+      const ocs::OcsProblem problem =
+          MakeProblem(world_, tables_.at(slot), queried_,
+                      options_.worker_roads, *costs_, slot, budget, theta);
+      ocs::OcsSolution selection;
+      switch (selector) {
+        case Selector::kHybrid:
+          selection = ocs::HybridGreedy(problem);
+          break;
+        case Selector::kObjective:
+          selection = ocs::ObjectiveGreedy(problem);
+          break;
+        case Selector::kRandom: {
+          util::Rng rng(options_.seed + static_cast<uint64_t>(slot) * 31 +
+                        static_cast<uint64_t>(budget));
+          selection = ocs::RandomSelect(problem, rng);
+          break;
+        }
+      }
+      selected_sum += static_cast<double>(selection.roads.size());
+      hop1_sum += CountCovered(selection.roads, 1);
+      hop2_sum += CountCovered(selection.roads, 2);
+
+      const std::vector<double> probed =
+          ProbeRoads(world_, selection.roads, *costs_, slot,
+                     options_.seed + static_cast<uint64_t>(slot));
+      const std::vector<double> truth = world_.truth.SlotSpeeds(slot);
+      for (baselines::RealtimeEstimator* estimator : Estimators()) {
+        auto estimates = estimator->EstimateTargets(slot, selection.roads,
+                                                    probed, queried_);
+        CROWDRTSE_CHECK(estimates.ok());
+        auto& apes = cell.apes[estimator->name()];
+        for (graph::RoadId r : queried_) {
+          const double t = truth[static_cast<size_t>(r)];
+          if (t <= 0.0) continue;
+          apes.push_back(eval::AbsolutePercentageError(
+              (*estimates)[static_cast<size_t>(r)], t));
+        }
+      }
+    }
+    const double trials = static_cast<double>(options_.slots.size());
+    cell.hop1_coverage = static_cast<int>(hop1_sum / trials + 0.5);
+    cell.hop2_coverage = static_cast<int>(hop2_sum / trials + 0.5);
+    cell.selected_roads = static_cast<int>(selected_sum / trials + 0.5);
+    return cell;
+  }
+
+  static double Mape(const std::vector<double>& apes) {
+    return util::Mean(apes);
+  }
+
+  static double Fer(const std::vector<double>& apes,
+                    double threshold = eval::kDefaultFerThreshold) {
+    if (apes.empty()) return 0.0;
+    size_t count = 0;
+    for (double a : apes) count += a > threshold ? 1 : 0;
+    return static_cast<double>(count) / static_cast<double>(apes.size());
+  }
+
+ private:
+  std::vector<baselines::RealtimeEstimator*> Estimators() {
+    std::vector<baselines::RealtimeEstimator*> estimators{gsp_.get(),
+                                                          per_.get()};
+    if (lasso_) estimators.push_back(lasso_.get());
+    if (grmc_) estimators.push_back(grmc_.get());
+    return estimators;
+  }
+
+  double CountCovered(const std::vector<graph::RoadId>& selection,
+                      int hops) const {
+    if (selection.empty()) return 0.0;
+    const auto covered =
+        graph::RoadsWithinHops(world_.network, selection, hops);
+    std::vector<bool> in_covered(
+        static_cast<size_t>(world_.network.num_roads()), false);
+    for (graph::RoadId r : covered) in_covered[static_cast<size_t>(r)] = true;
+    double count = 0.0;
+    for (graph::RoadId r : queried_) {
+      if (in_covered[static_cast<size_t>(r)]) count += 1.0;
+    }
+    return count;
+  }
+
+  const SemiSyntheticWorld& world_;
+  HarnessOptions options_;
+  std::unique_ptr<crowd::CostModel> costs_;
+  std::vector<graph::RoadId> queried_;
+  std::map<int, rtf::CorrelationTable> tables_;
+  std::unique_ptr<core::GspEstimator> gsp_;
+  std::unique_ptr<baselines::PeriodicEstimator> per_;
+  std::unique_ptr<baselines::LassoEstimator> lasso_;
+  std::unique_ptr<baselines::GrmcEstimator> grmc_;
+};
+
+}  // namespace crowdrtse::bench
+
+#endif  // CROWDRTSE_BENCH_QUALITY_HARNESS_H_

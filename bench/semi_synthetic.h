@@ -1,0 +1,117 @@
+#ifndef CROWDRTSE_BENCH_SEMI_SYNTHETIC_H_
+#define CROWDRTSE_BENCH_SEMI_SYNTHETIC_H_
+
+// Shared experiment world for the bench harness: the semi-synthetic
+// Hong-Kong-scale setting of the paper's §VII (607 monitored roads,
+// 288 slots x 30 days of history = 5,244,480 records, workers covering all
+// roads). Every bench binary rebuilds this deterministically, so printed
+// series are reproducible run to run.
+
+#include <memory>
+#include <vector>
+
+#include "core/crowd_rtse.h"
+#include "crowd/cost_model.h"
+#include "crowd/crowd_simulator.h"
+#include "eval/metrics.h"
+#include "graph/generators.h"
+#include "ocs/greedy_selectors.h"
+#include "ocs/ocs_problem.h"
+#include "rtf/moment_estimator.h"
+#include "traffic/traffic_simulator.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace crowdrtse::bench {
+
+struct SemiSyntheticWorld {
+  graph::Graph network;
+  std::unique_ptr<traffic::TrafficSimulator> simulator;
+  traffic::HistoryStore history;
+  rtf::RtfModel model;
+  traffic::DayMatrix truth;  // held-out evaluation day
+  std::vector<graph::RoadId> all_roads;
+};
+
+struct WorldOptions {
+  int num_roads = 607;   // the paper's Hong Kong network size
+  int num_days = 30;     // 607*288*30 = 5,244,480 records
+  uint64_t seed = 42;
+  int slot_window = 1;
+};
+
+inline SemiSyntheticWorld BuildWorld(const WorldOptions& options = {}) {
+  SemiSyntheticWorld world;
+  util::Rng net_rng(options.seed);
+  graph::RoadNetworkOptions net;
+  net.num_roads = options.num_roads;
+  world.network = *graph::RoadNetwork(net, net_rng);
+  traffic::TrafficModelOptions traffic_options;
+  traffic_options.num_days = options.num_days;
+  world.simulator = std::make_unique<traffic::TrafficSimulator>(
+      world.network, traffic_options, options.seed + 1);
+  world.history = world.simulator->GenerateHistory();
+  rtf::MomentEstimatorOptions moments;
+  moments.slot_window = options.slot_window;
+  world.model = *rtf::EstimateByMoments(world.network, world.history,
+                                        moments);
+  world.truth = world.simulator->GenerateEvaluationDay();
+  world.all_roads.resize(static_cast<size_t>(world.network.num_roads()));
+  for (graph::RoadId r = 0; r < world.network.num_roads(); ++r) {
+    world.all_roads[static_cast<size_t>(r)] = r;
+  }
+  return world;
+}
+
+/// Distinct uniform-random queried roads (the paper's semi-synthetic R^q).
+inline std::vector<graph::RoadId> MakeQuery(const SemiSyntheticWorld& world,
+                                            int size, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<graph::RoadId> query;
+  for (int pick : rng.SampleWithoutReplacement(world.network.num_roads(),
+                                               size)) {
+    query.push_back(pick);
+  }
+  return query;
+}
+
+/// Builds the OCS instance for one query at one slot.
+inline ocs::OcsProblem MakeProblem(const SemiSyntheticWorld& world,
+                                   const rtf::CorrelationTable& table,
+                                   const std::vector<graph::RoadId>& queried,
+                                   const std::vector<graph::RoadId>& workers,
+                                   const crowd::CostModel& costs, int slot,
+                                   int budget, double theta) {
+  std::vector<double> weights;
+  weights.reserve(queried.size());
+  for (graph::RoadId r : queried) {
+    weights.push_back(world.model.Sigma(slot, r));
+  }
+  auto problem = ocs::OcsProblem::Create(table, queried, weights, workers,
+                                         costs, budget, theta);
+  CROWDRTSE_CHECK(problem.ok());
+  return std::move(*problem);
+}
+
+/// Probes `roads` against the held-out truth and returns the aggregated
+/// crowd speeds (aligned with `roads`).
+inline std::vector<double> ProbeRoads(const SemiSyntheticWorld& world,
+                                      const std::vector<graph::RoadId>& roads,
+                                      const crowd::CostModel& costs,
+                                      int slot, uint64_t seed) {
+  crowd::CrowdSimulator sim({}, util::Rng(seed));
+  auto round = sim.Probe(roads, costs, world.truth, slot);
+  CROWDRTSE_CHECK(round.ok());
+  std::vector<double> probed;
+  probed.reserve(round->probes.size());
+  for (const auto& p : round->probes) probed.push_back(p.probed_kmh);
+  return probed;
+}
+
+/// Query slots used by the quality benches: spread across the day so
+/// rush-hour and off-peak behaviour both contribute.
+inline std::vector<int> QuerySlots() { return {99, 150, 216}; }
+
+}  // namespace crowdrtse::bench
+
+#endif  // CROWDRTSE_BENCH_SEMI_SYNTHETIC_H_

@@ -1,0 +1,96 @@
+// City map rendering: produce an SVG snapshot of what CrowdRTSE believes
+// about the city right now — roads coloured by estimated speed vs their
+// periodic expectation (green = free flow, red = blocked), probed roads
+// ringed in white. Stages an accident so the picture has something to say.
+//
+// Build & run:  ./build/examples/city_map_render
+// Output:       /tmp/crowdrtse_map.svg  (open in any browser)
+#include <cstdio>
+#include <vector>
+
+#include "core/crowd_rtse.h"
+#include "eval/svg_map.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "traffic/traffic_simulator.h"
+#include "util/rng.h"
+
+using namespace crowdrtse;  // NOLINT — example brevity
+
+int main() {
+  // --- world with coordinates -------------------------------------------
+  util::Rng rng(321);
+  std::vector<std::pair<double, double>> positions;
+  graph::RoadNetworkOptions net_options;
+  net_options.num_roads = 400;
+  const graph::Graph network =
+      *graph::RoadNetwork(net_options, rng, &positions);
+  traffic::TrafficModelOptions traffic_options;
+  traffic_options.num_days = 12;
+  traffic_options.incident_rate_per_road_day = 0.0;
+  const traffic::TrafficSimulator simulator(network, traffic_options, 5);
+  const traffic::HistoryStore history = simulator.GenerateHistory();
+  auto system = core::CrowdRtse::BuildOffline(network, history, {});
+  if (!system.ok()) return 1;
+
+  // --- today, with a staged accident near the map centre ------------------
+  const int slot = traffic::SlotOfTime(17, 45);
+  traffic::DayMatrix today = simulator.GenerateEvaluationDay();
+  graph::RoadId crash = 0;
+  double best = 1e9;
+  for (graph::RoadId r = 0; r < network.num_roads(); ++r) {
+    const double dx = positions[static_cast<size_t>(r)].first - 0.5;
+    const double dy = positions[static_cast<size_t>(r)].second - 0.5;
+    if (dx * dx + dy * dy < best) {
+      best = dx * dx + dy * dy;
+      crash = r;
+    }
+  }
+  for (graph::RoadId r : graph::RoadsWithinHops(network, {crash}, 2)) {
+    today.At(slot, r) *= (r == crash ? 0.2 : 0.45);
+  }
+
+  // --- query the whole city ------------------------------------------------
+  const crowd::CostModel costs =
+      crowd::CostModel::Constant(network.num_roads(), 2);
+  crowd::CrowdSimulator crowd_sim({}, util::Rng(9));
+  std::vector<graph::RoadId> queried;
+  for (graph::RoadId r = 0; r < network.num_roads(); r += 4) {
+    queried.push_back(r);
+  }
+  std::vector<graph::RoadId> workers;
+  for (graph::RoadId r = 0; r < network.num_roads(); ++r) {
+    workers.push_back(r);
+  }
+  auto outcome = system->AnswerQuery(slot, queried, workers, costs,
+                                     /*budget=*/60, crowd_sim, today);
+  if (!outcome.ok()) return 1;
+
+  // --- render ----------------------------------------------------------------
+  std::vector<double> ratio(static_cast<size_t>(network.num_roads()), 1.0);
+  for (graph::RoadId r = 0; r < network.num_roads(); ++r) {
+    const double expected = system->model().Mu(slot, r);
+    if (expected > 0.0) {
+      ratio[static_cast<size_t>(r)] =
+          outcome->estimate.speeds[static_cast<size_t>(r)] / expected;
+    }
+  }
+  eval::SvgMapOptions map_options;
+  map_options.title =
+      "CrowdRTSE 17:45 — estimated speed vs periodic expectation "
+      "(white ring = probed road)";
+  const std::string path = "/tmp/crowdrtse_map.svg";
+  const auto status = eval::WriteSvgMap(
+      path, network, positions, ratio, outcome->selection.roads,
+      map_options);
+  if (!status.ok()) {
+    std::printf("render failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "wrote %s (%d roads, %zu probed; accident staged on road %d — look "
+      "for the red cluster at the map centre)\n",
+      path.c_str(), network.num_roads(), outcome->selection.roads.size(),
+      crash);
+  return 0;
+}

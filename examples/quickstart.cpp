@@ -1,0 +1,97 @@
+// Quickstart: the whole CrowdRTSE pipeline in one file.
+//
+//   1. build a road network and simulate a month of traffic history;
+//   2. offline stage — train the RTF graphical model from the history;
+//   3. online stage — answer a realtime speed query: select crowdsourced
+//      roads (OCS), probe them through a simulated crowd, and propagate the
+//      probes over the network (GSP);
+//   4. compare the estimate against the simulated ground truth.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/crowd_rtse.h"
+#include "eval/metrics.h"
+#include "eval/table_printer.h"
+#include "graph/generators.h"
+#include "traffic/traffic_simulator.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+using namespace crowdrtse;  // NOLINT — example brevity
+
+int main() {
+  // --- 1. a synthetic city: 200 roads, 30 days of 5-minute records -----
+  util::Rng rng(2024);
+  graph::RoadNetworkOptions net_options;
+  net_options.num_roads = 200;
+  const graph::Graph network = *graph::RoadNetwork(net_options, rng);
+
+  traffic::TrafficModelOptions traffic_options;  // defaults: rush hours,
+  const traffic::TrafficSimulator simulator(     // incidents, 30 days
+      network, traffic_options, /*seed=*/7);
+  const traffic::HistoryStore history = simulator.GenerateHistory();
+  std::printf("network: %d roads, %d adjacencies; history: %zu records\n",
+              network.num_roads(), network.num_edges(),
+              history.num_records());
+
+  // --- 2. offline: train the Realtime Traffic-speed Field --------------
+  core::CrowdRtseConfig config;
+  config.theta = 0.92;  // redundancy threshold for OCS
+  auto system = core::CrowdRtse::BuildOffline(network, history, config);
+  if (!system.ok()) {
+    std::printf("offline build failed: %s\n",
+                system.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- 3. online: one realtime query at 08:15 --------------------------
+  const int slot = traffic::SlotOfTime(8, 15);
+  const traffic::DayMatrix truth = simulator.GenerateEvaluationDay();
+
+  // The user asks for 12 specific roads; workers are spread over the city.
+  std::vector<graph::RoadId> queried;
+  for (int pick : util::Rng(5).SampleWithoutReplacement(200, 12)) {
+    queried.push_back(pick);
+  }
+  std::vector<graph::RoadId> worker_roads;
+  for (graph::RoadId r = 0; r < network.num_roads(); r += 2) {
+    worker_roads.push_back(r);  // workers on every other road
+  }
+  const crowd::CostModel costs = crowd::CostModel::Constant(200, 2);
+  crowd::CrowdSimulator crowd_sim({}, util::Rng(99));
+
+  auto outcome = system->AnswerQuery(slot, queried, worker_roads, costs,
+                                     /*budget=*/16, crowd_sim, truth);
+  if (!outcome.ok()) {
+    std::printf("query failed: %s\n", outcome.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "\nOCS selected %zu roads (objective %.2f, paid %d answer units)\n",
+      outcome->selection.roads.size(), outcome->selection.objective,
+      outcome->round.total_paid);
+  std::printf("GSP converged after %d sweeps\n\n", outcome->estimate.sweeps);
+
+  // --- 4. estimate vs ground truth on the queried roads ----------------
+  eval::TablePrinter table(
+      {"road", "estimate km/h", "truth km/h", "APE", "hops from probe"});
+  for (graph::RoadId r : queried) {
+    const double estimate =
+        outcome->estimate.speeds[static_cast<size_t>(r)];
+    const double actual = truth.At(slot, r);
+    table.AddRow({std::to_string(r), util::FormatDouble(estimate, 1),
+                  util::FormatDouble(actual, 1),
+                  util::FormatDouble(
+                      eval::AbsolutePercentageError(estimate, actual), 3),
+                  std::to_string(
+                      outcome->estimate.hops[static_cast<size_t>(r)])});
+  }
+  table.Print();
+
+  const auto quality = eval::ComputeQuality(
+      outcome->estimate.speeds, truth.SlotSpeeds(slot), queried);
+  std::printf("\nMAPE %.4f   FER(0.2) %.4f over %zu queried roads\n",
+              quality->mape, quality->fer, quality->cases);
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Trajectory field study: ground the crowdsourced probes in actual worker
+// movement, the way the paper's gMission experiment collected data
+// ("workers are asked to travel along such roads" and their speed is
+// computed from localisation).
+//
+// A fleet of commuters drives random trips through the morning rush; each
+// completed road traversal yields one speed answer (length / time + GPS
+// noise). For the 08:15 slot we aggregate the answers per road, feed the
+// probed roads to GSP, and compare the resulting city-wide estimate with
+// (a) direct stationary probing and (b) the periodic forecast.
+//
+// Build & run:  ./build/examples/trajectory_field_study
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "crowd/aggregation.h"
+#include "crowd/trajectory.h"
+#include "eval/metrics.h"
+#include "eval/table_printer.h"
+#include "graph/generators.h"
+#include "graph/road_geometry.h"
+#include "gsp/propagation.h"
+#include "rtf/moment_estimator.h"
+#include "traffic/traffic_simulator.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+using namespace crowdrtse;  // NOLINT — example brevity
+
+int main() {
+  // --- world ------------------------------------------------------------
+  util::Rng rng(2025);
+  graph::RoadNetworkOptions net_options;
+  net_options.num_roads = 250;
+  const graph::Graph network = *graph::RoadNetwork(net_options, rng);
+  util::Rng len_rng(3);
+  const auto geometry =
+      graph::RoadGeometry::UniformRandom(250, 0.15, 0.9, len_rng);
+  if (!geometry.ok()) return 1;
+  traffic::TrafficModelOptions traffic_options;
+  traffic_options.num_days = 15;
+  const traffic::TrafficSimulator simulator(network, traffic_options, 7);
+  const traffic::HistoryStore history = simulator.GenerateHistory();
+  const auto model = rtf::EstimateByMoments(network, history, {});
+  if (!model.ok()) return 1;
+  const traffic::DayMatrix today = simulator.GenerateEvaluationDay();
+
+  // --- the commuter fleet ------------------------------------------------
+  const int slot = traffic::SlotOfTime(8, 15);
+  crowd::TrajectorySimOptions trip_options;
+  trip_options.measurement_noise_kmh = 1.5;
+  crowd::TrajectorySimulator trips(network, *geometry, today, trip_options,
+                                   11);
+  std::map<graph::RoadId, std::vector<crowd::SpeedAnswer>> answers_by_road;
+  int completed_trips = 0;
+  int total_answers = 0;
+  util::Rng depart_rng(13);
+  for (crowd::WorkerId w = 0; w < 150; ++w) {
+    // Departures spread over the half hour before the query slot.
+    const double depart =
+        8.0 * 60.0 - depart_rng.UniformDouble(0.0, 30.0) + 15.0;
+    const auto trip = trips.SimulateRandomTrip(w, depart);
+    if (!trip.ok() || trip->empty()) continue;
+    ++completed_trips;
+    for (const crowd::SpeedAnswer& answer :
+         trips.AnswersInSlot(*trip, slot)) {
+      answers_by_road[answer.road].push_back(answer);
+      ++total_answers;
+    }
+  }
+  std::printf(
+      "fleet: %d completed trips produced %d in-slot answers covering %zu "
+      "roads\n",
+      completed_trips, total_answers, answers_by_road.size());
+
+  // --- aggregate per road and propagate ----------------------------------
+  std::vector<graph::RoadId> probed_roads;
+  std::vector<double> probed_speeds;
+  for (const auto& [road, answers] : answers_by_road) {
+    const auto fused = crowd::AggregateAnswers(
+        answers, crowd::AggregationPolicy::kTrimmedMean);
+    if (!fused.ok()) continue;
+    probed_roads.push_back(road);
+    probed_speeds.push_back(*fused);
+  }
+  const gsp::SpeedPropagator propagator(*model, {});
+  const auto trajectory_estimate =
+      propagator.Propagate(slot, probed_roads, probed_speeds);
+  if (!trajectory_estimate.ok()) return 1;
+
+  // Reference 1: stationary probing of the same roads at the same cost.
+  std::vector<double> direct_speeds;
+  util::Rng probe_rng(17);
+  for (graph::RoadId r : probed_roads) {
+    direct_speeds.push_back(today.At(slot, r) + probe_rng.Normal(0.0, 1.5));
+  }
+  const auto direct_estimate =
+      propagator.Propagate(slot, probed_roads, direct_speeds);
+  if (!direct_estimate.ok()) return 1;
+
+  // Reference 2: the periodic forecast.
+  std::vector<double> periodic(static_cast<size_t>(network.num_roads()));
+  for (graph::RoadId r = 0; r < network.num_roads(); ++r) {
+    periodic[static_cast<size_t>(r)] = model->Mu(slot, r);
+  }
+
+  // --- city-wide comparison ----------------------------------------------
+  std::vector<graph::RoadId> all_roads;
+  for (graph::RoadId r = 0; r < network.num_roads(); ++r) {
+    all_roads.push_back(r);
+  }
+  const auto truth_speeds = today.SlotSpeeds(slot);
+  eval::TablePrinter table({"probing", "MAPE", "FER(0.2)"});
+  for (const auto& [label, estimate] :
+       std::vector<std::pair<std::string, const std::vector<double>*>>{
+           {"trajectory-derived", &trajectory_estimate->speeds},
+           {"stationary probes", &direct_estimate->speeds},
+           {"periodic forecast", &periodic}}) {
+    const auto quality =
+        eval::ComputeQuality(*estimate, truth_speeds, all_roads);
+    table.AddRow({label, util::FormatDouble(quality->mape, 4),
+                  util::FormatDouble(quality->fer, 4)});
+  }
+  table.Print();
+  std::printf(
+      "\n(trajectory-derived probes are slightly noisier than stationary "
+      "ones — a traversal averages the road over its crossing time — but "
+      "close; both far ahead of the periodic forecast)\n");
+  return 0;
+}

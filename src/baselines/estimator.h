@@ -1,0 +1,45 @@
+#ifndef CROWDRTSE_BASELINES_ESTIMATOR_H_
+#define CROWDRTSE_BASELINES_ESTIMATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace crowdrtse::baselines {
+
+/// Common interface of every realtime speed estimator evaluated in the
+/// paper (GSP, LASSO, GRMC, Per): given the query slot and the sparse
+/// probed speeds, produce an estimate for every road of the network.
+class RealtimeEstimator {
+ public:
+  virtual ~RealtimeEstimator() = default;
+
+  /// Estimates the speed of all roads at `slot`. `observed_roads[i]` was
+  /// probed at `observed_speeds[i]`; estimators must echo probed roads'
+  /// values back unchanged.
+  virtual util::Result<std::vector<double>> Estimate(
+      int slot, const std::vector<graph::RoadId>& observed_roads,
+      const std::vector<double>& observed_speeds) const = 0;
+
+  /// Like Estimate, but the caller only needs the entries at `targets`
+  /// (plus the observed roads). The default forwards to Estimate; an
+  /// estimator whose per-road cost is high (LASSO trains one regression
+  /// per target) overrides this to skip unrequested roads. Entries outside
+  /// targets/observed are unspecified but finite.
+  virtual util::Result<std::vector<double>> EstimateTargets(
+      int slot, const std::vector<graph::RoadId>& observed_roads,
+      const std::vector<double>& observed_speeds,
+      const std::vector<graph::RoadId>& targets) const {
+    (void)targets;
+    return Estimate(slot, observed_roads, observed_speeds);
+  }
+
+  /// Short display name ("GSP", "LASSO", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace crowdrtse::baselines
+
+#endif  // CROWDRTSE_BASELINES_ESTIMATOR_H_

@@ -1,0 +1,196 @@
+#include "baselines/grmc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "math/dense_matrix.h"
+#include "math/linear_solver.h"
+#include "util/rng.h"
+
+namespace crowdrtse::baselines {
+
+namespace {
+
+/// Sparse observation mask over the roads x columns matrix.
+struct Observations {
+  int num_roads = 0;
+  int num_columns = 0;
+  // Per (road, column): value and observed flag, flat road-major.
+  std::vector<double> value;
+  std::vector<bool> observed;
+
+  size_t Index(int road, int col) const {
+    return static_cast<size_t>(road) * static_cast<size_t>(num_columns) +
+           static_cast<size_t>(col);
+  }
+};
+
+double ObservedRmse(const Observations& obs, const math::DenseMatrix& u,
+                    const math::DenseMatrix& v) {
+  double sum = 0.0;
+  size_t count = 0;
+  const size_t k = u.cols();
+  for (int r = 0; r < obs.num_roads; ++r) {
+    for (int c = 0; c < obs.num_columns; ++c) {
+      const size_t idx = obs.Index(r, c);
+      if (!obs.observed[idx]) continue;
+      double pred = 0.0;
+      const double* ur = u.RowPtr(static_cast<size_t>(r));
+      const double* vc = v.RowPtr(static_cast<size_t>(c));
+      for (size_t d = 0; d < k; ++d) pred += ur[d] * vc[d];
+      const double err = pred - obs.value[idx];
+      sum += err * err;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : std::sqrt(sum / static_cast<double>(count));
+}
+
+}  // namespace
+
+GrmcEstimator::GrmcEstimator(const graph::Graph& graph,
+                             const traffic::HistoryStore& history,
+                             const GrmcOptions& options)
+    : graph_(graph), history_(history), options_(options) {}
+
+util::Result<std::vector<double>> GrmcEstimator::Estimate(
+    int slot, const std::vector<graph::RoadId>& observed_roads,
+    const std::vector<double>& observed_speeds) const {
+  if (slot < 0 || slot >= history_.num_slots()) {
+    return util::Status::OutOfRange("slot out of range: " +
+                                    std::to_string(slot));
+  }
+  if (observed_roads.size() != observed_speeds.size()) {
+    return util::Status::InvalidArgument(
+        "observed roads/speeds length mismatch");
+  }
+  if (options_.latent_rank < 1) {
+    return util::Status::InvalidArgument("latent_rank must be >= 1");
+  }
+  const int n = graph_.num_roads();
+  for (graph::RoadId r : observed_roads) {
+    if (r < 0 || r >= n) {
+      return util::Status::InvalidArgument("observed road out of range");
+    }
+  }
+
+  // --- assemble the observation matrix --------------------------------
+  const int history_cols =
+      std::min(options_.history_columns, history_.num_days());
+  const int num_columns = history_cols + 1;  // + the realtime column
+  const int realtime_col = history_cols;
+  Observations obs;
+  obs.num_roads = n;
+  obs.num_columns = num_columns;
+  obs.value.assign(static_cast<size_t>(n) * num_columns, 0.0);
+  obs.observed.assign(static_cast<size_t>(n) * num_columns, false);
+  for (int c = 0; c < history_cols; ++c) {
+    const int day = history_.num_days() - history_cols + c;
+    for (graph::RoadId r = 0; r < n; ++r) {
+      const size_t idx = obs.Index(r, c);
+      obs.value[idx] = history_.At(day, slot, r);
+      obs.observed[idx] = true;
+    }
+  }
+  for (size_t i = 0; i < observed_roads.size(); ++i) {
+    const size_t idx = obs.Index(observed_roads[i], realtime_col);
+    obs.value[idx] = observed_speeds[i];
+    obs.observed[idx] = true;
+  }
+
+  // --- alternating minimisation ----------------------------------------
+  const size_t k = static_cast<size_t>(options_.latent_rank);
+  util::Rng rng(options_.seed);
+  math::DenseMatrix u(static_cast<size_t>(n), k);
+  math::DenseMatrix v(static_cast<size_t>(num_columns), k);
+  for (double& x : u.data()) x = rng.Normal(0.0, 0.5);
+  for (double& x : v.data()) x = rng.Normal(0.0, 0.5);
+  // Seed the first factor near the row means so the product starts at the
+  // right scale.
+  for (graph::RoadId r = 0; r < n; ++r) {
+    double sum = 0.0;
+    int count = 0;
+    for (int c = 0; c < num_columns; ++c) {
+      if (obs.observed[obs.Index(r, c)]) {
+        sum += obs.value[obs.Index(r, c)];
+        ++count;
+      }
+    }
+    if (count > 0) u.At(static_cast<size_t>(r), 0) = sum / count;
+  }
+  for (int c = 0; c < num_columns; ++c) v.At(static_cast<size_t>(c), 0) = 1.0;
+
+  double last_rmse = ObservedRmse(obs, u, v);
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // V step: per column, ridge regression on its observed rows.
+    for (int c = 0; c < num_columns; ++c) {
+      math::DenseMatrix a(k, k, 0.0);
+      std::vector<double> b(k, 0.0);
+      for (size_t d = 0; d < k; ++d) a.At(d, d) = options_.ridge;
+      for (graph::RoadId r = 0; r < n; ++r) {
+        const size_t idx = obs.Index(r, c);
+        if (!obs.observed[idx]) continue;
+        const double* ur = u.RowPtr(static_cast<size_t>(r));
+        for (size_t d1 = 0; d1 < k; ++d1) {
+          b[d1] += ur[d1] * obs.value[idx];
+          for (size_t d2 = 0; d2 < k; ++d2) {
+            a.At(d1, d2) += ur[d1] * ur[d2];
+          }
+        }
+      }
+      util::Result<std::vector<double>> solved = math::SolveSpd(a, b);
+      if (!solved.ok()) return solved.status();
+      for (size_t d = 0; d < k; ++d) v.At(static_cast<size_t>(c), d) = (*solved)[d];
+    }
+    // U step: per road, ridge + Laplacian coupling, Gauss-Seidel style
+    // (neighbours' freshest factors are used as they update).
+    for (graph::RoadId r = 0; r < n; ++r) {
+      const auto neighbors = graph_.Neighbors(r);
+      math::DenseMatrix a(k, k, 0.0);
+      std::vector<double> b(k, 0.0);
+      const double diag =
+          options_.ridge +
+          options_.graph_reg * static_cast<double>(neighbors.size());
+      for (size_t d = 0; d < k; ++d) a.At(d, d) = diag;
+      for (int c = 0; c < num_columns; ++c) {
+        const size_t idx = obs.Index(r, c);
+        if (!obs.observed[idx]) continue;
+        const double* vc = v.RowPtr(static_cast<size_t>(c));
+        for (size_t d1 = 0; d1 < k; ++d1) {
+          b[d1] += vc[d1] * obs.value[idx];
+          for (size_t d2 = 0; d2 < k; ++d2) {
+            a.At(d1, d2) += vc[d1] * vc[d2];
+          }
+        }
+      }
+      for (const graph::Adjacency& adj : neighbors) {
+        const double* un = u.RowPtr(static_cast<size_t>(adj.neighbor));
+        for (size_t d = 0; d < k; ++d) b[d] += options_.graph_reg * un[d];
+      }
+      util::Result<std::vector<double>> solved = math::SolveSpd(a, b);
+      if (!solved.ok()) return solved.status();
+      for (size_t d = 0; d < k; ++d) u.At(static_cast<size_t>(r), d) = (*solved)[d];
+    }
+
+    const double rmse = ObservedRmse(obs, u, v);
+    if (std::fabs(last_rmse - rmse) < options_.tolerance) break;
+    last_rmse = rmse;
+  }
+
+  // --- read out the realtime column ------------------------------------
+  std::vector<double> estimates(static_cast<size_t>(n), 0.0);
+  const double* v_rt = v.RowPtr(static_cast<size_t>(realtime_col));
+  for (graph::RoadId r = 0; r < n; ++r) {
+    const double* ur = u.RowPtr(static_cast<size_t>(r));
+    double pred = 0.0;
+    for (size_t d = 0; d < k; ++d) pred += ur[d] * v_rt[d];
+    estimates[static_cast<size_t>(r)] = std::max(0.0, pred);
+  }
+  for (size_t i = 0; i < observed_roads.size(); ++i) {
+    estimates[static_cast<size_t>(observed_roads[i])] = observed_speeds[i];
+  }
+  return estimates;
+}
+
+}  // namespace crowdrtse::baselines

@@ -1,0 +1,84 @@
+#include "baselines/knn_days.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace crowdrtse::baselines {
+
+KnnDaysEstimator::KnnDaysEstimator(const graph::Graph& graph,
+                                   const traffic::HistoryStore& history,
+                                   const KnnDaysOptions& options)
+    : graph_(graph), history_(history), options_(options) {}
+
+util::Result<std::vector<double>> KnnDaysEstimator::Estimate(
+    int slot, const std::vector<graph::RoadId>& observed_roads,
+    const std::vector<double>& observed_speeds) const {
+  if (slot < 0 || slot >= history_.num_slots()) {
+    return util::Status::OutOfRange("slot out of range: " +
+                                    std::to_string(slot));
+  }
+  if (observed_roads.size() != observed_speeds.size()) {
+    return util::Status::InvalidArgument(
+        "observed roads/speeds length mismatch");
+  }
+  if (options_.k < 1) {
+    return util::Status::InvalidArgument("k must be >= 1");
+  }
+  const int n = graph_.num_roads();
+  for (graph::RoadId r : observed_roads) {
+    if (r < 0 || r >= n) {
+      return util::Status::InvalidArgument("observed road out of range");
+    }
+  }
+  const int num_days = history_.num_days();
+  if (num_days == 0) {
+    return util::Status::FailedPrecondition("empty history");
+  }
+
+  // Rank historical days by RMS discrepancy on the probed roads.
+  std::vector<std::pair<double, int>> ranked;  // (distance, day)
+  ranked.reserve(static_cast<size_t>(num_days));
+  for (int day = 0; day < num_days; ++day) {
+    double ss = 0.0;
+    for (size_t i = 0; i < observed_roads.size(); ++i) {
+      const double d =
+          history_.At(day, slot, observed_roads[i]) - observed_speeds[i];
+      ss += d * d;
+    }
+    const double rms =
+        observed_roads.empty()
+            ? 0.0
+            : std::sqrt(ss / static_cast<double>(observed_roads.size()));
+    ranked.emplace_back(rms, day);
+  }
+  const int k = std::min(options_.k, num_days);
+  std::partial_sort(ranked.begin(), ranked.begin() + k, ranked.end());
+
+  // Kernel-weighted average of the neighbours' full slot snapshots.
+  std::vector<double> estimates(static_cast<size_t>(n), 0.0);
+  double weight_sum = 0.0;
+  for (int i = 0; i < k; ++i) {
+    const auto [distance, day] = ranked[static_cast<size_t>(i)];
+    double weight = 1.0;
+    if (options_.bandwidth_kmh > 0.0) {
+      const double z = distance / options_.bandwidth_kmh;
+      weight = std::exp(-0.5 * z * z);
+    }
+    weight = std::max(weight, 1e-12);
+    weight_sum += weight;
+    for (graph::RoadId r = 0; r < n; ++r) {
+      estimates[static_cast<size_t>(r)] +=
+          weight * history_.At(day, slot, r);
+    }
+  }
+  for (double& v : estimates) v /= weight_sum;
+  for (size_t i = 0; i < observed_roads.size(); ++i) {
+    estimates[static_cast<size_t>(observed_roads[i])] = observed_speeds[i];
+  }
+  return estimates;
+}
+
+}  // namespace crowdrtse::baselines

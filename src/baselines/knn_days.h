@@ -1,0 +1,45 @@
+#ifndef CROWDRTSE_BASELINES_KNN_DAYS_H_
+#define CROWDRTSE_BASELINES_KNN_DAYS_H_
+
+#include "baselines/estimator.h"
+#include "traffic/history_store.h"
+
+namespace crowdrtse::baselines {
+
+/// Options of the nearest-historical-days estimator.
+struct KnnDaysOptions {
+  /// How many most-similar historical days are averaged.
+  int k = 5;
+  /// Distance kernel bandwidth: weights are exp(-d^2 / (2 h^2)) where d is
+  /// the RMS probe discrepancy in km/h. h <= 0 disables weighting (plain
+  /// mean of the k neighbours).
+  double bandwidth_kmh = 5.0;
+};
+
+/// Non-parametric baseline: find the k historical days whose speeds on the
+/// *probed* roads (at the query slot) best match today's probes, then
+/// estimate every other road by the (kernel-weighted) average of those
+/// days' speeds. Analogy-based forecasting — it handles recurring regimes
+/// (e.g. "wet-day" traffic) that a per-slot Gaussian blurs, but cannot
+/// extrapolate to genuinely novel conditions.
+class KnnDaysEstimator : public RealtimeEstimator {
+ public:
+  KnnDaysEstimator(const graph::Graph& graph,
+                   const traffic::HistoryStore& history,
+                   const KnnDaysOptions& options);
+
+  util::Result<std::vector<double>> Estimate(
+      int slot, const std::vector<graph::RoadId>& observed_roads,
+      const std::vector<double>& observed_speeds) const override;
+
+  std::string name() const override { return "kNN-days"; }
+
+ private:
+  const graph::Graph& graph_;
+  const traffic::HistoryStore& history_;
+  KnnDaysOptions options_;
+};
+
+}  // namespace crowdrtse::baselines
+
+#endif  // CROWDRTSE_BASELINES_KNN_DAYS_H_

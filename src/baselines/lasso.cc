@@ -1,0 +1,196 @@
+#include "baselines/lasso.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "math/vector_ops.h"
+
+namespace crowdrtse::baselines {
+
+util::Result<LassoFitResult> LassoFit(const math::DenseMatrix& x,
+                                      const std::vector<double>& y,
+                                      const LassoFitOptions& options) {
+  const size_t n = x.rows();
+  const size_t p = x.cols();
+  if (y.size() != n) {
+    return util::Status::InvalidArgument("row count mismatch between X and y");
+  }
+  if (n < 2) {
+    return util::Status::InvalidArgument("need at least 2 samples");
+  }
+  if (options.l1_penalty < 0.0) {
+    return util::Status::InvalidArgument("l1_penalty must be >= 0");
+  }
+
+  // Standardise columns; constant columns are frozen at coefficient 0.
+  std::vector<double> mean(p, 0.0);
+  std::vector<double> scale(p, 0.0);
+  for (size_t j = 0; j < p; ++j) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) sum += x.At(i, j);
+    mean[j] = sum / static_cast<double>(n);
+    double ss = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = x.At(i, j) - mean[j];
+      ss += d * d;
+    }
+    scale[j] = std::sqrt(ss / static_cast<double>(n));
+  }
+  const double y_mean = math::Dot(y, std::vector<double>(n, 1.0 / n));
+
+  // Work on centred data; beta is in standardised units during descent.
+  std::vector<double> beta(p, 0.0);
+  std::vector<double> residual(n);
+  for (size_t i = 0; i < n; ++i) residual[i] = y[i] - y_mean;
+
+  LassoFitResult result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double max_delta = 0.0;
+    for (size_t j = 0; j < p; ++j) {
+      if (scale[j] <= 1e-12) continue;
+      // rho_j = (1/n) sum_i z_ij * (residual_i + z_ij * beta_j), with
+      // z_ij = (x_ij - mean_j) / scale_j the standardised predictor.
+      double rho = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double z = (x.At(i, j) - mean[j]) / scale[j];
+        rho += z * (residual[i] + z * beta[j]);
+      }
+      rho /= static_cast<double>(n);
+      // Standardised columns have unit second moment, so the coordinate
+      // minimiser is a plain soft-threshold.
+      const double updated = math::SoftThreshold(rho, options.l1_penalty);
+      const double delta = updated - beta[j];
+      if (delta != 0.0) {
+        for (size_t i = 0; i < n; ++i) {
+          const double z = (x.At(i, j) - mean[j]) / scale[j];
+          residual[i] -= z * delta;
+        }
+        beta[j] = updated;
+      }
+      max_delta = std::max(max_delta, std::fabs(delta));
+    }
+    result.iterations = iter + 1;
+    if (max_delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Back-transform to the original predictor scale.
+  result.coefficients.assign(p, 0.0);
+  double intercept = y_mean;
+  for (size_t j = 0; j < p; ++j) {
+    if (scale[j] <= 1e-12) continue;
+    result.coefficients[j] = beta[j] / scale[j];
+    intercept -= result.coefficients[j] * mean[j];
+  }
+  result.intercept = intercept;
+  return result;
+}
+
+LassoEstimator::LassoEstimator(const graph::Graph& graph,
+                               const traffic::HistoryStore& history,
+                               const LassoEstimatorOptions& options)
+    : graph_(graph), history_(history), options_(options) {}
+
+util::Result<std::vector<double>> LassoEstimator::Estimate(
+    int slot, const std::vector<graph::RoadId>& observed_roads,
+    const std::vector<double>& observed_speeds) const {
+  std::vector<graph::RoadId> all_roads(
+      static_cast<size_t>(graph_.num_roads()));
+  for (graph::RoadId r = 0; r < graph_.num_roads(); ++r) {
+    all_roads[static_cast<size_t>(r)] = r;
+  }
+  return EstimateTargets(slot, observed_roads, observed_speeds, all_roads);
+}
+
+util::Result<std::vector<double>> LassoEstimator::EstimateTargets(
+    int slot, const std::vector<graph::RoadId>& observed_roads,
+    const std::vector<double>& observed_speeds,
+    const std::vector<graph::RoadId>& targets) const {
+  if (slot < 0 || slot >= history_.num_slots()) {
+    return util::Status::OutOfRange("slot out of range: " +
+                                    std::to_string(slot));
+  }
+  if (observed_roads.size() != observed_speeds.size()) {
+    return util::Status::InvalidArgument(
+        "observed roads/speeds length mismatch");
+  }
+  const int n = graph_.num_roads();
+  std::vector<bool> is_observed(static_cast<size_t>(n), false);
+  for (graph::RoadId r : observed_roads) {
+    if (r < 0 || r >= n) {
+      return util::Status::InvalidArgument("observed road out of range");
+    }
+    is_observed[static_cast<size_t>(r)] = true;
+  }
+
+  // Training rows: (day, pooled slot) pairs; columns: observed roads.
+  const int num_days = history_.num_days();
+  const int num_slots = history_.num_slots();
+  const int window = std::max(0, options_.slot_window);
+  std::vector<int> slots;
+  for (int w = -window; w <= window; ++w) {
+    slots.push_back((slot + w % num_slots + num_slots) % num_slots);
+  }
+  const size_t rows = static_cast<size_t>(num_days) * slots.size();
+  const size_t cols = observed_roads.size();
+
+  std::vector<double> estimates(static_cast<size_t>(n), 0.0);
+
+  if (cols == 0 || rows < 2) {
+    // Nothing to regress on: fall back to the historical slot mean.
+    for (graph::RoadId r = 0; r < n; ++r) {
+      double sum = 0.0;
+      for (int day = 0; day < num_days; ++day) {
+        sum += history_.At(day, slot, r);
+      }
+      estimates[static_cast<size_t>(r)] =
+          num_days > 0 ? sum / num_days : 0.0;
+    }
+  } else {
+    math::DenseMatrix x(rows, cols);
+    size_t row = 0;
+    for (int day = 0; day < num_days; ++day) {
+      for (int s : slots) {
+        for (size_t j = 0; j < cols; ++j) {
+          x.At(row, j) = history_.At(day, s, observed_roads[j]);
+        }
+        ++row;
+      }
+    }
+    std::vector<double> y(rows);
+    std::vector<bool> done(static_cast<size_t>(n), false);
+    for (graph::RoadId target : targets) {
+      if (target < 0 || target >= n) {
+        return util::Status::InvalidArgument("target road out of range");
+      }
+      if (is_observed[static_cast<size_t>(target)] ||
+          done[static_cast<size_t>(target)]) {
+        continue;
+      }
+      done[static_cast<size_t>(target)] = true;
+      row = 0;
+      for (int day = 0; day < num_days; ++day) {
+        for (int s : slots) {
+          y[row++] = history_.At(day, s, target);
+        }
+      }
+      util::Result<LassoFitResult> fit = LassoFit(x, y, options_.fit);
+      if (!fit.ok()) return fit.status();
+      double prediction = fit->intercept;
+      for (size_t j = 0; j < cols; ++j) {
+        prediction += fit->coefficients[j] * observed_speeds[j];
+      }
+      estimates[static_cast<size_t>(target)] = std::max(0.0, prediction);
+    }
+  }
+
+  for (size_t i = 0; i < observed_roads.size(); ++i) {
+    estimates[static_cast<size_t>(observed_roads[i])] = observed_speeds[i];
+  }
+  return estimates;
+}
+
+}  // namespace crowdrtse::baselines

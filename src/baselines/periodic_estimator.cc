@@ -1,0 +1,30 @@
+#include "baselines/periodic_estimator.h"
+
+#include <string>
+
+namespace crowdrtse::baselines {
+
+util::Result<std::vector<double>> PeriodicEstimator::Estimate(
+    int slot, const std::vector<graph::RoadId>& observed_roads,
+    const std::vector<double>& observed_speeds) const {
+  if (slot < 0 || slot >= model_.num_slots()) {
+    return util::Status::OutOfRange("slot out of range: " +
+                                    std::to_string(slot));
+  }
+  if (observed_roads.size() != observed_speeds.size()) {
+    return util::Status::InvalidArgument(
+        "observed roads/speeds length mismatch");
+  }
+  for (graph::RoadId r : observed_roads) {
+    if (r < 0 || r >= model_.num_roads()) {
+      return util::Status::InvalidArgument("observed road out of range");
+    }
+  }
+  std::vector<double> speeds(static_cast<size_t>(model_.num_roads()));
+  for (graph::RoadId r = 0; r < model_.num_roads(); ++r) {
+    speeds[static_cast<size_t>(r)] = model_.Mu(slot, r);
+  }
+  return speeds;
+}
+
+}  // namespace crowdrtse::baselines

@@ -1,0 +1,30 @@
+#ifndef CROWDRTSE_BASELINES_PERIODIC_ESTIMATOR_H_
+#define CROWDRTSE_BASELINES_PERIODIC_ESTIMATOR_H_
+
+#include "baselines/estimator.h"
+#include "rtf/rtf_model.h"
+
+namespace crowdrtse::baselines {
+
+/// "Per": the periodicity-only baseline — every road is estimated by its
+/// historical slot mean mu_i^t. Faithful to the paper ("purely relies on
+/// the periodicity"), it ignores the probed data entirely, so it is the
+/// one estimator exempt from the probe-echo contract of the interface.
+class PeriodicEstimator : public RealtimeEstimator {
+ public:
+  /// The model must outlive the estimator.
+  explicit PeriodicEstimator(const rtf::RtfModel& model) : model_(model) {}
+
+  util::Result<std::vector<double>> Estimate(
+      int slot, const std::vector<graph::RoadId>& observed_roads,
+      const std::vector<double>& observed_speeds) const override;
+
+  std::string name() const override { return "Per"; }
+
+ private:
+  const rtf::RtfModel& model_;
+};
+
+}  // namespace crowdrtse::baselines
+
+#endif  // CROWDRTSE_BASELINES_PERIODIC_ESTIMATOR_H_

@@ -1,0 +1,188 @@
+#include "baselines/ridge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "math/linear_solver.h"
+
+namespace crowdrtse::baselines {
+
+util::Result<RidgeFitResult> RidgeFit(const math::DenseMatrix& x,
+                                      const std::vector<double>& y,
+                                      double l2_penalty) {
+  const size_t n = x.rows();
+  const size_t p = x.cols();
+  if (y.size() != n) {
+    return util::Status::InvalidArgument("row count mismatch between X and y");
+  }
+  if (n < 2) {
+    return util::Status::InvalidArgument("need at least 2 samples");
+  }
+  if (l2_penalty < 0.0) {
+    return util::Status::InvalidArgument("l2_penalty must be >= 0");
+  }
+
+  // Standardise columns; constant columns get zero coefficients.
+  std::vector<double> mean(p, 0.0);
+  std::vector<double> scale(p, 0.0);
+  for (size_t j = 0; j < p; ++j) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) sum += x.At(i, j);
+    mean[j] = sum / static_cast<double>(n);
+    double ss = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = x.At(i, j) - mean[j];
+      ss += d * d;
+    }
+    scale[j] = std::sqrt(ss / static_cast<double>(n));
+  }
+  double y_mean = 0.0;
+  for (double v : y) y_mean += v;
+  y_mean /= static_cast<double>(n);
+
+  // Active (non-constant) columns only.
+  std::vector<size_t> active;
+  for (size_t j = 0; j < p; ++j) {
+    if (scale[j] > 1e-12) active.push_back(j);
+  }
+  RidgeFitResult result;
+  result.coefficients.assign(p, 0.0);
+  result.intercept = y_mean;
+  if (active.empty()) return result;
+
+  const size_t q = active.size();
+  // Normal equations on the standardised design: (Z^T Z / n + lambda I) b
+  // = Z^T (y - ybar) / n.
+  math::DenseMatrix gram(q, q, 0.0);
+  std::vector<double> rhs(q, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t a = 0; a < q; ++a) {
+      const size_t ja = active[a];
+      const double za = (x.At(i, ja) - mean[ja]) / scale[ja];
+      rhs[a] += za * (y[i] - y_mean);
+      for (size_t b = a; b < q; ++b) {
+        const size_t jb = active[b];
+        const double zb = (x.At(i, jb) - mean[jb]) / scale[jb];
+        gram.At(a, b) += za * zb;
+      }
+    }
+  }
+  for (size_t a = 0; a < q; ++a) {
+    for (size_t b = 0; b < a; ++b) gram.At(a, b) = gram.At(b, a);
+  }
+  const double dn = static_cast<double>(n);
+  for (size_t a = 0; a < q; ++a) {
+    for (size_t b = 0; b < q; ++b) gram.At(a, b) /= dn;
+    gram.At(a, a) += l2_penalty;
+    rhs[a] /= dn;
+  }
+  util::Result<std::vector<double>> beta = math::SolveSpd(gram, rhs);
+  if (!beta.ok()) return beta.status();
+
+  for (size_t a = 0; a < q; ++a) {
+    const size_t j = active[a];
+    result.coefficients[j] = (*beta)[a] / scale[j];
+    result.intercept -= result.coefficients[j] * mean[j];
+  }
+  return result;
+}
+
+RidgeEstimator::RidgeEstimator(const graph::Graph& graph,
+                               const traffic::HistoryStore& history,
+                               const RidgeEstimatorOptions& options)
+    : graph_(graph), history_(history), options_(options) {}
+
+util::Result<std::vector<double>> RidgeEstimator::Estimate(
+    int slot, const std::vector<graph::RoadId>& observed_roads,
+    const std::vector<double>& observed_speeds) const {
+  std::vector<graph::RoadId> all(static_cast<size_t>(graph_.num_roads()));
+  for (graph::RoadId r = 0; r < graph_.num_roads(); ++r) {
+    all[static_cast<size_t>(r)] = r;
+  }
+  return EstimateTargets(slot, observed_roads, observed_speeds, all);
+}
+
+util::Result<std::vector<double>> RidgeEstimator::EstimateTargets(
+    int slot, const std::vector<graph::RoadId>& observed_roads,
+    const std::vector<double>& observed_speeds,
+    const std::vector<graph::RoadId>& targets) const {
+  if (slot < 0 || slot >= history_.num_slots()) {
+    return util::Status::OutOfRange("slot out of range: " +
+                                    std::to_string(slot));
+  }
+  if (observed_roads.size() != observed_speeds.size()) {
+    return util::Status::InvalidArgument(
+        "observed roads/speeds length mismatch");
+  }
+  const int n = graph_.num_roads();
+  std::vector<bool> is_observed(static_cast<size_t>(n), false);
+  for (graph::RoadId r : observed_roads) {
+    if (r < 0 || r >= n) {
+      return util::Status::InvalidArgument("observed road out of range");
+    }
+    is_observed[static_cast<size_t>(r)] = true;
+  }
+
+  const int num_days = history_.num_days();
+  const int num_slots = history_.num_slots();
+  const int window = std::max(0, options_.slot_window);
+  std::vector<int> slots;
+  for (int w = -window; w <= window; ++w) {
+    slots.push_back((slot + w % num_slots + num_slots) % num_slots);
+  }
+  const size_t rows = static_cast<size_t>(num_days) * slots.size();
+  const size_t cols = observed_roads.size();
+
+  std::vector<double> estimates(static_cast<size_t>(n), 0.0);
+  if (cols == 0 || rows < 2) {
+    for (graph::RoadId r = 0; r < n; ++r) {
+      double sum = 0.0;
+      for (int day = 0; day < num_days; ++day) {
+        sum += history_.At(day, slot, r);
+      }
+      estimates[static_cast<size_t>(r)] = num_days > 0 ? sum / num_days : 0.0;
+    }
+  } else {
+    math::DenseMatrix x(rows, cols);
+    size_t row = 0;
+    for (int day = 0; day < num_days; ++day) {
+      for (int s : slots) {
+        for (size_t j = 0; j < cols; ++j) {
+          x.At(row, j) = history_.At(day, s, observed_roads[j]);
+        }
+        ++row;
+      }
+    }
+    std::vector<double> y(rows);
+    std::vector<bool> done(static_cast<size_t>(n), false);
+    for (graph::RoadId target : targets) {
+      if (target < 0 || target >= n) {
+        return util::Status::InvalidArgument("target road out of range");
+      }
+      if (is_observed[static_cast<size_t>(target)] ||
+          done[static_cast<size_t>(target)]) {
+        continue;
+      }
+      done[static_cast<size_t>(target)] = true;
+      row = 0;
+      for (int day = 0; day < num_days; ++day) {
+        for (int s : slots) y[row++] = history_.At(day, s, target);
+      }
+      util::Result<RidgeFitResult> fit =
+          RidgeFit(x, y, options_.l2_penalty);
+      if (!fit.ok()) return fit.status();
+      double prediction = fit->intercept;
+      for (size_t j = 0; j < cols; ++j) {
+        prediction += fit->coefficients[j] * observed_speeds[j];
+      }
+      estimates[static_cast<size_t>(target)] = std::max(0.0, prediction);
+    }
+  }
+  for (size_t i = 0; i < observed_roads.size(); ++i) {
+    estimates[static_cast<size_t>(observed_roads[i])] = observed_speeds[i];
+  }
+  return estimates;
+}
+
+}  // namespace crowdrtse::baselines

@@ -1,0 +1,63 @@
+#ifndef CROWDRTSE_BASELINES_RIDGE_H_
+#define CROWDRTSE_BASELINES_RIDGE_H_
+
+#include <vector>
+
+#include "baselines/estimator.h"
+#include "math/dense_matrix.h"
+#include "traffic/history_store.h"
+#include "util/status.h"
+
+namespace crowdrtse::baselines {
+
+/// Options of the ridge regression estimator.
+struct RidgeEstimatorOptions {
+  /// L2 penalty on the standardised coefficients.
+  double l2_penalty = 1.0;
+  /// Pool slots t-w..t+w across historical days as training rows.
+  int slot_window = 2;
+};
+
+/// A closed-form ridge fit: coefficients on the original predictor scale
+/// plus an intercept.
+struct RidgeFitResult {
+  std::vector<double> coefficients;
+  double intercept = 0.0;
+};
+
+/// Solves min_b (1/2n)||y - b0 - X b||^2 + (lambda/2)||b||_2^2 on
+/// standardised columns via one Cholesky of the regularised Gram matrix.
+util::Result<RidgeFitResult> RidgeFit(const math::DenseMatrix& x,
+                                      const std::vector<double>& y,
+                                      double l2_penalty);
+
+/// Dense-L2 sibling of the LASSO baseline (the regression family the
+/// paper's related work surveys). One closed-form solve per target road;
+/// no sparsity, so it over-fits harder when probes are few — a useful
+/// contrast point in the sensitivity benches.
+class RidgeEstimator : public RealtimeEstimator {
+ public:
+  RidgeEstimator(const graph::Graph& graph,
+                 const traffic::HistoryStore& history,
+                 const RidgeEstimatorOptions& options);
+
+  util::Result<std::vector<double>> Estimate(
+      int slot, const std::vector<graph::RoadId>& observed_roads,
+      const std::vector<double>& observed_speeds) const override;
+
+  util::Result<std::vector<double>> EstimateTargets(
+      int slot, const std::vector<graph::RoadId>& observed_roads,
+      const std::vector<double>& observed_speeds,
+      const std::vector<graph::RoadId>& targets) const override;
+
+  std::string name() const override { return "Ridge"; }
+
+ private:
+  const graph::Graph& graph_;
+  const traffic::HistoryStore& history_;
+  RidgeEstimatorOptions options_;
+};
+
+}  // namespace crowdrtse::baselines
+
+#endif  // CROWDRTSE_BASELINES_RIDGE_H_

@@ -1,0 +1,76 @@
+#include "core/congestion_monitor.h"
+
+#include <algorithm>
+#include <string>
+
+namespace crowdrtse::core {
+
+const char* CongestionLevelName(CongestionLevel level) {
+  switch (level) {
+    case CongestionLevel::kNone:
+      return "none";
+    case CongestionLevel::kSlow:
+      return "slow";
+    case CongestionLevel::kCongested:
+      return "congested";
+    case CongestionLevel::kBlocked:
+      return "blocked";
+  }
+  return "?";
+}
+
+CongestionMonitor::CongestionMonitor(const rtf::RtfModel& model,
+                                     const CongestionThresholds& thresholds)
+    : model_(model), thresholds_(thresholds) {}
+
+CongestionLevel CongestionMonitor::Grade(double speed_ratio) const {
+  if (speed_ratio < thresholds_.blocked) return CongestionLevel::kBlocked;
+  if (speed_ratio < thresholds_.congested) {
+    return CongestionLevel::kCongested;
+  }
+  if (speed_ratio < thresholds_.slow) return CongestionLevel::kSlow;
+  return CongestionLevel::kNone;
+}
+
+util::Result<std::vector<CongestionAlarm>> CongestionMonitor::Scan(
+    int slot, const std::vector<double>& estimates,
+    const std::vector<int>& hops) const {
+  if (slot < 0 || slot >= model_.num_slots()) {
+    return util::Status::OutOfRange("slot out of range: " +
+                                    std::to_string(slot));
+  }
+  if (estimates.size() != static_cast<size_t>(model_.num_roads())) {
+    return util::Status::InvalidArgument(
+        "estimate vector does not cover all roads");
+  }
+  if (!hops.empty() && hops.size() != estimates.size()) {
+    return util::Status::InvalidArgument("hops vector size mismatch");
+  }
+  std::vector<CongestionAlarm> alarms;
+  for (graph::RoadId r = 0; r < model_.num_roads(); ++r) {
+    const double expected = model_.Mu(slot, r);
+    if (expected <= 0.0) continue;
+    const double ratio = estimates[static_cast<size_t>(r)] / expected;
+    const CongestionLevel level = Grade(ratio);
+    if (level == CongestionLevel::kNone) continue;
+    CongestionAlarm alarm;
+    alarm.road = r;
+    alarm.level = level;
+    alarm.estimated_kmh = estimates[static_cast<size_t>(r)];
+    alarm.expected_kmh = expected;
+    alarm.speed_ratio = ratio;
+    alarm.hops_from_probe =
+        hops.empty() ? -1 : hops[static_cast<size_t>(r)];
+    alarms.push_back(alarm);
+  }
+  std::sort(alarms.begin(), alarms.end(),
+            [](const CongestionAlarm& a, const CongestionAlarm& b) {
+              if (a.level != b.level) {
+                return static_cast<int>(a.level) > static_cast<int>(b.level);
+              }
+              return a.speed_ratio < b.speed_ratio;
+            });
+  return alarms;
+}
+
+}  // namespace crowdrtse::core

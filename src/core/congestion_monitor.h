@@ -1,0 +1,64 @@
+#ifndef CROWDRTSE_CORE_CONGESTION_MONITOR_H_
+#define CROWDRTSE_CORE_CONGESTION_MONITOR_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "rtf/rtf_model.h"
+#include "util/status.h"
+
+namespace crowdrtse::core {
+
+/// Severity grades for a congestion alarm.
+enum class CongestionLevel { kNone = 0, kSlow, kCongested, kBlocked };
+
+const char* CongestionLevelName(CongestionLevel level);
+
+/// One raised alarm: a road running well below its periodic expectation.
+struct CongestionAlarm {
+  graph::RoadId road = graph::kInvalidRoad;
+  CongestionLevel level = CongestionLevel::kNone;
+  double estimated_kmh = 0.0;
+  double expected_kmh = 0.0;
+  /// estimated / expected in [0, 1+); the alarm trigger.
+  double speed_ratio = 1.0;
+  /// Hop distance from the nearest probe (-1 if unknown): alarms far from
+  /// any probe deserve less trust.
+  int hops_from_probe = -1;
+};
+
+/// Alarm thresholds on estimate/expectation ratios.
+struct CongestionThresholds {
+  double slow = 0.7;        // below 70% of the periodic speed
+  double congested = 0.5;
+  double blocked = 0.3;
+};
+
+/// Turns a realtime estimate into congestion alarms — the traffic
+/// surveillance / accident detection application from the paper's
+/// introduction. Compares each road's estimated speed against its periodic
+/// expectation mu_i^t and grades the shortfall.
+class CongestionMonitor {
+ public:
+  /// The model must outlive the monitor.
+  CongestionMonitor(const rtf::RtfModel& model,
+                    const CongestionThresholds& thresholds = {});
+
+  /// Scans `estimates` (all roads, as produced by GSP) at `slot`. `hops`
+  /// (optional, may be empty) is GspResult::hops for provenance. Alarms
+  /// come back sorted by severity then speed ratio.
+  util::Result<std::vector<CongestionAlarm>> Scan(
+      int slot, const std::vector<double>& estimates,
+      const std::vector<int>& hops = {}) const;
+
+  /// Grades a single ratio.
+  CongestionLevel Grade(double speed_ratio) const;
+
+ private:
+  const rtf::RtfModel& model_;
+  CongestionThresholds thresholds_;
+};
+
+}  // namespace crowdrtse::core
+
+#endif  // CROWDRTSE_CORE_CONGESTION_MONITOR_H_

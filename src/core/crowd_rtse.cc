@@ -1,0 +1,130 @@
+#include "core/crowd_rtse.h"
+
+#include "gsp/uncertainty.h"
+
+#include <string>
+#include <utility>
+
+namespace crowdrtse::core {
+
+util::Result<CrowdRtse> CrowdRtse::BuildOffline(
+    const graph::Graph& graph, const traffic::HistoryStore& history,
+    const CrowdRtseConfig& config) {
+  if (!(config.theta > 0.0 && config.theta <= 1.0)) {
+    return util::Status::InvalidArgument("theta must be in (0, 1]");
+  }
+  util::Result<rtf::RtfModel> model =
+      rtf::EstimateByMoments(graph, history, config.moments);
+  if (!model.ok()) return model.status();
+  return CrowdRtse(graph, history, std::move(*model), config);
+}
+
+util::Result<const rtf::CorrelationTable*> CrowdRtse::CorrelationsFor(
+    int slot) {
+  if (slot < 0 || slot >= model_.num_slots()) {
+    return util::Status::OutOfRange("slot out of range: " +
+                                    std::to_string(slot));
+  }
+  if (config_.refine_with_ccd && !ccd_refined_[slot]) {
+    const rtf::CcdTrainer trainer(*graph_, *history_, config_.ccd);
+    util::Result<rtf::CcdReport> report = trainer.TrainSlot(model_, slot);
+    if (!report.ok()) return report.status();
+    model_.ClampParameters();
+    ccd_refined_[slot] = true;
+    correlation_cache_.erase(slot);  // parameters moved; recompute
+  }
+  auto it = correlation_cache_.find(slot);
+  if (it == correlation_cache_.end()) {
+    util::Result<rtf::CorrelationTable> table =
+        rtf::CorrelationTable::Compute(model_, slot, config_.path_mode);
+    if (!table.ok()) return table.status();
+    it = correlation_cache_.emplace(slot, std::move(*table)).first;
+  }
+  return &it->second;
+}
+
+std::vector<double> CrowdRtse::SigmaWeights(
+    int slot, const std::vector<graph::RoadId>& queried_roads) const {
+  std::vector<double> weights;
+  weights.reserve(queried_roads.size());
+  for (graph::RoadId r : queried_roads) {
+    weights.push_back(model_.Sigma(slot, r));
+  }
+  return weights;
+}
+
+util::Result<ocs::OcsSolution> CrowdRtse::SelectRoads(
+    int slot, const std::vector<graph::RoadId>& queried_roads,
+    const std::vector<graph::RoadId>& worker_roads,
+    const crowd::CostModel& costs, int budget, SelectorKind selector) {
+  util::Result<const rtf::CorrelationTable*> table = CorrelationsFor(slot);
+  if (!table.ok()) return table.status();
+  util::Result<ocs::OcsProblem> problem = ocs::OcsProblem::Create(
+      **table, queried_roads, SigmaWeights(slot, queried_roads),
+      worker_roads, costs, budget, config_.theta);
+  if (!problem.ok()) return problem.status();
+  switch (selector) {
+    case SelectorKind::kHybridGreedy:
+      return ocs::HybridGreedy(*problem);
+    case SelectorKind::kRatioGreedy:
+      return ocs::RatioGreedy(*problem);
+    case SelectorKind::kObjectiveGreedy:
+      return ocs::ObjectiveGreedy(*problem);
+    case SelectorKind::kLazyHybridGreedy:
+      return ocs::LazyHybridGreedy(*problem);
+  }
+  return util::Status::InvalidArgument("unknown selector");
+}
+
+util::Result<gsp::GspResult> CrowdRtse::Estimate(
+    int slot, const std::vector<graph::RoadId>& sampled_roads,
+    const std::vector<double>& sampled_speeds) const {
+  const gsp::SpeedPropagator propagator(model_, config_.gsp);
+  return propagator.Propagate(slot, sampled_roads, sampled_speeds);
+}
+
+util::Result<CrowdRtse::ConfidentEstimate> CrowdRtse::EstimateWithConfidence(
+    int slot, const std::vector<graph::RoadId>& sampled_roads,
+    const std::vector<double>& sampled_speeds) const {
+  util::Result<gsp::GspResult> estimate =
+      Estimate(slot, sampled_roads, sampled_speeds);
+  if (!estimate.ok()) return estimate.status();
+  util::Result<std::vector<double>> variance =
+      gsp::LocalConditionalVariances(model_, slot, sampled_roads);
+  if (!variance.ok()) return variance.status();
+  ConfidentEstimate out;
+  out.estimate = std::move(*estimate);
+  out.variance = std::move(*variance);
+  return out;
+}
+
+util::Result<CrowdRtse::QueryOutcome> CrowdRtse::AnswerQuery(
+    int slot, const std::vector<graph::RoadId>& queried_roads,
+    const std::vector<graph::RoadId>& worker_roads,
+    const crowd::CostModel& costs, int budget,
+    crowd::CrowdSimulator& crowd_sim, const traffic::DayMatrix& truth,
+    SelectorKind selector) {
+  QueryOutcome outcome;
+  util::Result<ocs::OcsSolution> selection = SelectRoads(
+      slot, queried_roads, worker_roads, costs, budget, selector);
+  if (!selection.ok()) return selection.status();
+  outcome.selection = std::move(*selection);
+
+  util::Result<crowd::CrowdRound> round =
+      crowd_sim.Probe(outcome.selection.roads, costs, truth, slot);
+  if (!round.ok()) return round.status();
+  outcome.round = std::move(*round);
+
+  std::vector<double> probed;
+  probed.reserve(outcome.round.probes.size());
+  for (const crowd::ProbeResult& p : outcome.round.probes) {
+    probed.push_back(p.probed_kmh);
+  }
+  util::Result<gsp::GspResult> estimate =
+      Estimate(slot, outcome.selection.roads, probed);
+  if (!estimate.ok()) return estimate.status();
+  outcome.estimate = std::move(*estimate);
+  return outcome;
+}
+
+}  // namespace crowdrtse::core

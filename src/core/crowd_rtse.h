@@ -1,0 +1,137 @@
+#ifndef CROWDRTSE_CORE_CROWD_RTSE_H_
+#define CROWDRTSE_CORE_CROWD_RTSE_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "crowd/cost_model.h"
+#include "crowd/crowd_simulator.h"
+#include "graph/graph.h"
+#include "gsp/propagation.h"
+#include "ocs/greedy_selectors.h"
+#include "ocs/ocs_problem.h"
+#include "rtf/ccd_trainer.h"
+#include "rtf/correlation_table.h"
+#include "rtf/moment_estimator.h"
+#include "rtf/rtf_model.h"
+#include "traffic/history_store.h"
+#include "util/status.h"
+
+namespace crowdrtse::core {
+
+/// End-to-end configuration of the CrowdRTSE pipeline.
+struct CrowdRtseConfig {
+  /// Offline stage: closed-form moment estimation, optionally refined by
+  /// the paper's CCD trainer (Alg. 1) on the slots you query.
+  rtf::MomentEstimatorOptions moments;
+  bool refine_with_ccd = false;
+  rtf::CcdOptions ccd;
+  /// Path-correlation reduction for Gamma_R (Eq. 8-10).
+  rtf::PathWeightMode path_mode = rtf::PathWeightMode::kNegLog;
+
+  /// Online stage defaults.
+  double theta = 0.92;  // redundancy threshold (paper's tuned value)
+  gsp::GspOptions gsp;
+};
+
+/// Which OCS algorithm answers the selection step. The lazy variant
+/// returns the same objective value as Hybrid-Greedy via lazy submodular
+/// evaluation (~10x faster on the 607-road instances) and is what the
+/// serving layer defaults to.
+enum class SelectorKind {
+  kHybridGreedy,
+  kRatioGreedy,
+  kObjectiveGreedy,
+  kLazyHybridGreedy,
+};
+
+/// The CrowdRTSE system façade (paper Fig. 1):
+///
+///   offline:  BuildOffline() trains the RTF over the historical record and
+///             caches per-slot road-road correlation closures Gamma_R;
+///   online:   SelectRoads() solves OCS for a query (which roads to probe),
+///             the caller launches crowdsourcing (e.g. crowd::CrowdSimulator)
+///             and feeds the probed speeds to Estimate(), which runs GSP and
+///             returns realtime speeds for the whole network.
+class CrowdRtse {
+ public:
+  /// Trains RTF from `history` over `graph` (both must outlive the object;
+  /// if refine_with_ccd is set only queried slots are refined, lazily).
+  static util::Result<CrowdRtse> BuildOffline(
+      const graph::Graph& graph, const traffic::HistoryStore& history,
+      const CrowdRtseConfig& config);
+
+  const graph::Graph& graph() const { return *graph_; }
+  const rtf::RtfModel& model() const { return model_; }
+  const CrowdRtseConfig& config() const { return config_; }
+
+  /// The cached correlation closure for `slot` (computed on first use —
+  /// ~one Dijkstra per road).
+  util::Result<const rtf::CorrelationTable*> CorrelationsFor(int slot);
+
+  /// Online step 1 — OCS: choose which worker-covered roads to probe for
+  /// the given query, budget and (config) theta.
+  util::Result<ocs::OcsSolution> SelectRoads(
+      int slot, const std::vector<graph::RoadId>& queried_roads,
+      const std::vector<graph::RoadId>& worker_roads,
+      const crowd::CostModel& costs, int budget,
+      SelectorKind selector = SelectorKind::kHybridGreedy);
+
+  /// Online step 3 — GSP: infer every road's speed from the probed data.
+  util::Result<gsp::GspResult> Estimate(
+      int slot, const std::vector<graph::RoadId>& sampled_roads,
+      const std::vector<double>& sampled_speeds) const;
+
+  /// GSP estimate plus a per-road confidence: the local conditional
+  /// variance of the GMRF given the probes (cheap lower bound on the exact
+  /// posterior variance — see gsp/uncertainty.h). Sampled roads report
+  /// zero variance.
+  struct ConfidentEstimate {
+    gsp::GspResult estimate;
+    std::vector<double> variance;
+  };
+  util::Result<ConfidentEstimate> EstimateWithConfidence(
+      int slot, const std::vector<graph::RoadId>& sampled_roads,
+      const std::vector<double>& sampled_speeds) const;
+
+  /// Everything a query produced, for inspection.
+  struct QueryOutcome {
+    ocs::OcsSolution selection;
+    crowd::CrowdRound round;
+    gsp::GspResult estimate;
+  };
+
+  /// Convenience end-to-end answer against a simulated crowd: select roads
+  /// (OCS), probe them via `crowd_sim` against `truth`, and propagate (GSP).
+  util::Result<QueryOutcome> AnswerQuery(
+      int slot, const std::vector<graph::RoadId>& queried_roads,
+      const std::vector<graph::RoadId>& worker_roads,
+      const crowd::CostModel& costs, int budget,
+      crowd::CrowdSimulator& crowd_sim, const traffic::DayMatrix& truth,
+      SelectorKind selector = SelectorKind::kHybridGreedy);
+
+  /// Per-query sigma weights: the periodicity intensity of each queried
+  /// road at `slot` (the weights of the OCS objective, Eq. 13).
+  std::vector<double> SigmaWeights(
+      int slot, const std::vector<graph::RoadId>& queried_roads) const;
+
+ private:
+  CrowdRtse(const graph::Graph& graph, const traffic::HistoryStore& history,
+            rtf::RtfModel model, const CrowdRtseConfig& config)
+      : graph_(&graph),
+        history_(&history),
+        model_(std::move(model)),
+        config_(config) {}
+
+  const graph::Graph* graph_;
+  const traffic::HistoryStore* history_;
+  rtf::RtfModel model_;
+  CrowdRtseConfig config_;
+  std::map<int, rtf::CorrelationTable> correlation_cache_;
+  std::map<int, bool> ccd_refined_;
+};
+
+}  // namespace crowdrtse::core
+
+#endif  // CROWDRTSE_CORE_CROWD_RTSE_H_

@@ -1,0 +1,35 @@
+#ifndef CROWDRTSE_CORE_GSP_ESTIMATOR_H_
+#define CROWDRTSE_CORE_GSP_ESTIMATOR_H_
+
+#include "baselines/estimator.h"
+#include "gsp/propagation.h"
+#include "rtf/rtf_model.h"
+
+namespace crowdrtse::core {
+
+/// Adapts GSP to the RealtimeEstimator interface so the evaluation harness
+/// compares GSP / LASSO / GRMC / Per uniformly.
+class GspEstimator : public baselines::RealtimeEstimator {
+ public:
+  /// The model must outlive the estimator.
+  GspEstimator(const rtf::RtfModel& model, const gsp::GspOptions& options)
+      : propagator_(model, options) {}
+
+  util::Result<std::vector<double>> Estimate(
+      int slot, const std::vector<graph::RoadId>& observed_roads,
+      const std::vector<double>& observed_speeds) const override {
+    util::Result<gsp::GspResult> result =
+        propagator_.Propagate(slot, observed_roads, observed_speeds);
+    if (!result.ok()) return result.status();
+    return std::move(result->speeds);
+  }
+
+  std::string name() const override { return "GSP"; }
+
+ private:
+  gsp::SpeedPropagator propagator_;
+};
+
+}  // namespace crowdrtse::core
+
+#endif  // CROWDRTSE_CORE_GSP_ESTIMATOR_H_

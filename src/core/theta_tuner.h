@@ -1,0 +1,51 @@
+#ifndef CROWDRTSE_CORE_THETA_TUNER_H_
+#define CROWDRTSE_CORE_THETA_TUNER_H_
+
+#include <vector>
+
+#include "crowd/cost_model.h"
+#include "graph/graph.h"
+#include "traffic/history_store.h"
+#include "util/status.h"
+
+namespace crowdrtse::core {
+
+/// Options of the redundancy-threshold tuner.
+struct ThetaTunerOptions {
+  /// Candidate thresholds, each in (0, 1].
+  std::vector<double> candidate_thetas{0.7, 0.8, 0.9, 0.92, 0.95, 1.0};
+  /// The last N historical days are held out as pseudo-realtime days.
+  int validation_days = 3;
+  /// Query slots evaluated on each validation day.
+  std::vector<int> slots{99, 150, 216};
+  int budget = 60;
+  int query_size = 50;
+  uint64_t seed = 1;
+};
+
+/// One candidate's cross-validation score.
+struct ThetaScore {
+  double theta = 0.0;
+  double mape = 0.0;
+};
+
+struct ThetaTunerResult {
+  double best_theta = 1.0;
+  std::vector<ThetaScore> scores;  // aligned with candidate_thetas
+};
+
+/// Tunes the OCS redundancy threshold theta by historical cross-validation
+/// (the paper defers to ref [30] for this step): the RTF is trained on the
+/// history minus the last `validation_days`; each held-out day plays
+/// realtime ground truth; for every candidate theta the full online
+/// pipeline (selection at that theta -> noiseless probes -> GSP) is scored
+/// by MAPE over a random query, and the best-scoring theta wins (ties to
+/// the smaller theta, which keeps more diversity).
+util::Result<ThetaTunerResult> TuneTheta(
+    const graph::Graph& graph, const traffic::HistoryStore& history,
+    const crowd::CostModel& costs,
+    const ThetaTunerOptions& options = ThetaTunerOptions());
+
+}  // namespace crowdrtse::core
+
+#endif  // CROWDRTSE_CORE_THETA_TUNER_H_

@@ -1,0 +1,38 @@
+#include "crowd/aggregation.h"
+
+#include "util/stats.h"
+
+namespace crowdrtse::crowd {
+
+const char* AggregationPolicyName(AggregationPolicy policy) {
+  switch (policy) {
+    case AggregationPolicy::kMean:
+      return "mean";
+    case AggregationPolicy::kMedian:
+      return "median";
+    case AggregationPolicy::kTrimmedMean:
+      return "trimmed_mean";
+  }
+  return "?";
+}
+
+util::Result<double> AggregateAnswers(const std::vector<SpeedAnswer>& answers,
+                                      AggregationPolicy policy) {
+  if (answers.empty()) {
+    return util::Status::InvalidArgument("no answers to aggregate");
+  }
+  std::vector<double> values;
+  values.reserve(answers.size());
+  for (const SpeedAnswer& a : answers) values.push_back(a.reported_kmh);
+  switch (policy) {
+    case AggregationPolicy::kMean:
+      return util::Mean(values);
+    case AggregationPolicy::kMedian:
+      return util::Median(std::move(values));
+    case AggregationPolicy::kTrimmedMean:
+      return util::TrimmedMean(std::move(values), 0.2);
+  }
+  return util::Status::InvalidArgument("unknown aggregation policy");
+}
+
+}  // namespace crowdrtse::crowd

@@ -1,0 +1,31 @@
+#ifndef CROWDRTSE_CROWD_AGGREGATION_H_
+#define CROWDRTSE_CROWD_AGGREGATION_H_
+
+#include <vector>
+
+#include "crowd/worker.h"
+#include "util/status.h"
+
+namespace crowdrtse::crowd {
+
+/// How multiple answers for one road are fused into a single probed speed.
+/// One answer "may not reflect the ground truth" (paper §V-A), so each
+/// crowdsourced road collects cost-many answers and aggregates.
+enum class AggregationPolicy {
+  kMean,
+  kMedian,
+  /// Mean after discarding 20% of mass at each tail; robust to a rogue
+  /// worker while keeping the efficiency of the mean.
+  kTrimmedMean,
+};
+
+const char* AggregationPolicyName(AggregationPolicy policy);
+
+/// Fuses `answers` (all for the same road) under `policy`. Fails on an
+/// empty answer set.
+util::Result<double> AggregateAnswers(const std::vector<SpeedAnswer>& answers,
+                                      AggregationPolicy policy);
+
+}  // namespace crowdrtse::crowd
+
+#endif  // CROWDRTSE_CROWD_AGGREGATION_H_

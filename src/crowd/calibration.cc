@@ -1,0 +1,48 @@
+#include "crowd/calibration.h"
+
+namespace crowdrtse::crowd {
+
+util::Status WorkerCalibration::Observe(WorkerId worker,
+                                        double reported_kmh,
+                                        double reference_kmh) {
+  if (reference_kmh <= 0.0) {
+    return util::Status::InvalidArgument("reference speed must be positive");
+  }
+  if (reported_kmh < 0.0) {
+    return util::Status::InvalidArgument("reported speed must be >= 0");
+  }
+  Stats& stats = stats_[worker];
+  ++stats.count;
+  stats.ratio_sum += reported_kmh / reference_kmh;
+  return util::Status::Ok();
+}
+
+double WorkerCalibration::EstimatedBias(WorkerId worker) const {
+  const auto it = stats_.find(worker);
+  if (it == stats_.end() || it->second.count < min_observations_) {
+    return 1.0;
+  }
+  const double bias =
+      it->second.ratio_sum / static_cast<double>(it->second.count);
+  // A degenerate all-zero reporter would otherwise explode Debias.
+  return bias > 1e-3 ? bias : 1.0;
+}
+
+int WorkerCalibration::ObservationCount(WorkerId worker) const {
+  const auto it = stats_.find(worker);
+  return it == stats_.end() ? 0 : it->second.count;
+}
+
+double WorkerCalibration::Debias(WorkerId worker,
+                                 double reported_kmh) const {
+  return reported_kmh / EstimatedBias(worker);
+}
+
+void WorkerCalibration::DebiasAnswers(
+    std::vector<SpeedAnswer>& answers) const {
+  for (SpeedAnswer& answer : answers) {
+    answer.reported_kmh = Debias(answer.worker, answer.reported_kmh);
+  }
+}
+
+}  // namespace crowdrtse::crowd

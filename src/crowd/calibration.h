@@ -1,0 +1,54 @@
+#ifndef CROWDRTSE_CROWD_CALIBRATION_H_
+#define CROWDRTSE_CROWD_CALIBRATION_H_
+
+#include <map>
+#include <vector>
+
+#include "crowd/worker.h"
+#include "util/status.h"
+
+namespace crowdrtse::crowd {
+
+/// Per-worker answer calibration (the paper's refs [28], [29] debias
+/// crowdsourced quantitative claims from historical answers): whenever a
+/// worker's report can later be compared against a settled reference speed
+/// (a sensor reading, or the consensus of many answers), the observation
+/// feeds this calibrator; afterwards her raw reports are divided by her
+/// estimated multiplicative bias.
+class WorkerCalibration {
+ public:
+  /// Minimum observations before a worker's bias estimate is trusted.
+  explicit WorkerCalibration(int min_observations = 3)
+      : min_observations_(min_observations) {}
+
+  /// Records that `worker` reported `reported_kmh` where the settled
+  /// reference was `reference_kmh` (> 0).
+  util::Status Observe(WorkerId worker, double reported_kmh,
+                       double reference_kmh);
+
+  /// The worker's estimated multiplicative bias (mean of report/reference
+  /// ratios); 1.0 until enough observations accumulated.
+  double EstimatedBias(WorkerId worker) const;
+
+  /// Number of observations recorded for `worker`.
+  int ObservationCount(WorkerId worker) const;
+
+  /// Debiased value of a raw report from `worker`.
+  double Debias(WorkerId worker, double reported_kmh) const;
+
+  /// Applies Debias to every answer in place.
+  void DebiasAnswers(std::vector<SpeedAnswer>& answers) const;
+
+ private:
+  struct Stats {
+    int count = 0;
+    double ratio_sum = 0.0;
+  };
+
+  int min_observations_;
+  std::map<WorkerId, Stats> stats_;
+};
+
+}  // namespace crowdrtse::crowd
+
+#endif  // CROWDRTSE_CROWD_CALIBRATION_H_

@@ -1,0 +1,55 @@
+#include "crowd/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdrtse::crowd {
+
+util::Result<CostModel> CostModel::UniformRandom(int num_roads, int min_cost,
+                                                 int max_cost,
+                                                 util::Rng& rng) {
+  if (num_roads < 0) {
+    return util::Status::InvalidArgument("negative road count");
+  }
+  if (min_cost < 1 || max_cost < min_cost) {
+    return util::Status::InvalidArgument("cost range must satisfy 1 <= min <= max");
+  }
+  CostModel model;
+  model.costs_.resize(static_cast<size_t>(num_roads));
+  for (int& c : model.costs_) c = rng.UniformInt(min_cost, max_cost);
+  return model;
+}
+
+CostModel CostModel::Constant(int num_roads, int cost) {
+  CostModel model;
+  model.costs_.assign(static_cast<size_t>(num_roads), cost);
+  return model;
+}
+
+util::Result<CostModel> CostModel::FromVolatility(
+    const std::vector<double>& sigmas, int min_cost, int max_cost) {
+  if (min_cost < 1 || max_cost < min_cost) {
+    return util::Status::InvalidArgument("cost range must satisfy 1 <= min <= max");
+  }
+  CostModel model;
+  model.costs_.resize(sigmas.size());
+  if (sigmas.empty()) return model;
+  const auto [lo_it, hi_it] = std::minmax_element(sigmas.begin(), sigmas.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  const double span = hi > lo ? hi - lo : 1.0;
+  for (size_t i = 0; i < sigmas.size(); ++i) {
+    const double frac = (sigmas[i] - lo) / span;
+    model.costs_[i] = min_cost + static_cast<int>(std::lround(
+                                     frac * (max_cost - min_cost)));
+  }
+  return model;
+}
+
+int CostModel::TotalCost(const std::vector<graph::RoadId>& roads) const {
+  int total = 0;
+  for (graph::RoadId r : roads) total += Cost(r);
+  return total;
+}
+
+}  // namespace crowdrtse::crowd

@@ -1,0 +1,56 @@
+#ifndef CROWDRTSE_CROWD_COST_MODEL_H_
+#define CROWDRTSE_CROWD_COST_MODEL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace crowdrtse::crowd {
+
+/// Per-road crowdsourcing cost c_i: the minimum number of unit-paid answers
+/// that must be collected to trust a road's probed speed (paper §V-A,
+/// "Feasibility"). The experiments randomise costs uniformly — the paper's
+/// C1 = 1..5 and C2 = 1..10 ranges.
+class CostModel {
+ public:
+  CostModel() = default;
+
+  /// Uniform-random integer costs in [min_cost, max_cost] for every road.
+  static util::Result<CostModel> UniformRandom(int num_roads, int min_cost,
+                                               int max_cost, util::Rng& rng);
+
+  /// Every road costs `cost` (the paper's trivial-case setting c_r = 1).
+  static CostModel Constant(int num_roads, int cost);
+
+  /// Costs derived from per-road speed variability: stable (highway-like)
+  /// roads need fewer answers, volatile roads more. `sigmas` is the
+  /// per-road periodicity intensity; costs scale linearly between
+  /// [min_cost, max_cost] over the sigma range.
+  static util::Result<CostModel> FromVolatility(
+      const std::vector<double>& sigmas, int min_cost, int max_cost);
+
+  int num_roads() const { return static_cast<int>(costs_.size()); }
+  int Cost(graph::RoadId road) const {
+    return costs_[static_cast<size_t>(road)];
+  }
+  const std::vector<int>& costs() const { return costs_; }
+
+  /// Total cost of a road set.
+  int TotalCost(const std::vector<graph::RoadId>& roads) const;
+
+ private:
+  std::vector<int> costs_;
+};
+
+/// The paper's two cost ranges (Table II lists 1..5 and 1..10; the Fig. 2
+/// analysis calls C1 "the larger range", so C1 = 1..10 and C2 = 1..5).
+inline constexpr int kCostRangeC1Min = 1;
+inline constexpr int kCostRangeC1Max = 10;
+inline constexpr int kCostRangeC2Min = 1;
+inline constexpr int kCostRangeC2Max = 5;
+
+}  // namespace crowdrtse::crowd
+
+#endif  // CROWDRTSE_CROWD_COST_MODEL_H_

@@ -1,0 +1,51 @@
+#include "crowd/gmission_scenario.h"
+
+#include <algorithm>
+
+#include "graph/connected_components.h"
+
+namespace crowdrtse::crowd {
+
+util::Result<GMissionScenario> BuildGMissionScenario(
+    const graph::Graph& graph, const GMissionOptions& options,
+    util::Rng& rng) {
+  if (options.num_queried_roads <= 0 || options.num_worker_roads <= 0) {
+    return util::Status::InvalidArgument("scenario sizes must be positive");
+  }
+  if (options.num_worker_roads > options.num_queried_roads) {
+    return util::Status::InvalidArgument(
+        "gMission requires R^w to be a subset of R^q");
+  }
+  const graph::Components components = graph::FindConnectedComponents(graph);
+  const int largest = components.LargestComponent();
+  if (largest < 0 ||
+      static_cast<int>(components.members[static_cast<size_t>(largest)]
+                           .size()) < options.num_queried_roads) {
+    return util::Status::FailedPrecondition(
+        "no connected component with enough roads for the scenario");
+  }
+  const auto& candidates =
+      components.members[static_cast<size_t>(largest)];
+
+  GMissionScenario scenario;
+  scenario.seed = candidates[static_cast<size_t>(
+      rng.UniformUint64(candidates.size()))];
+  scenario.queried_roads = graph::GrowConnectedSubset(
+      graph, scenario.seed, options.num_queried_roads);
+  if (static_cast<int>(scenario.queried_roads.size()) <
+      options.num_queried_roads) {
+    return util::Status::FailedPrecondition(
+        "connected subset smaller than requested");
+  }
+  const std::vector<int> picks = rng.SampleWithoutReplacement(
+      options.num_queried_roads, options.num_worker_roads);
+  scenario.worker_roads.reserve(picks.size());
+  for (int p : picks) {
+    scenario.worker_roads.push_back(
+        scenario.queried_roads[static_cast<size_t>(p)]);
+  }
+  std::sort(scenario.worker_roads.begin(), scenario.worker_roads.end());
+  return scenario;
+}
+
+}  // namespace crowdrtse::crowd

@@ -1,0 +1,38 @@
+#ifndef CROWDRTSE_CROWD_GMISSION_SCENARIO_H_
+#define CROWDRTSE_CROWD_GMISSION_SCENARIO_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace crowdrtse::crowd {
+
+/// Parameters of the gMission-style evaluation scenario (paper Table II row
+/// 2): a mutually connected subcomponent of 50 roads is queried, and
+/// workers travel along 30 of those roads, so R^w is a strict subset of
+/// R^q. Budgets are small (10..50).
+struct GMissionOptions {
+  int num_queried_roads = 50;
+  int num_worker_roads = 30;
+};
+
+/// The realised scenario: both sets plus the seed road the component was
+/// grown from.
+struct GMissionScenario {
+  std::vector<graph::RoadId> queried_roads;  // R^q, connected
+  std::vector<graph::RoadId> worker_roads;   // R^w subset of R^q
+  graph::RoadId seed = graph::kInvalidRoad;
+};
+
+/// Grows a connected 50-road component around a random seed and samples 30
+/// of its roads as worker-covered. Fails when the graph has no component of
+/// the requested size.
+util::Result<GMissionScenario> BuildGMissionScenario(
+    const graph::Graph& graph, const GMissionOptions& options,
+    util::Rng& rng);
+
+}  // namespace crowdrtse::crowd
+
+#endif  // CROWDRTSE_CROWD_GMISSION_SCENARIO_H_

@@ -1,0 +1,60 @@
+#include "crowd/task_assignment.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace crowdrtse::crowd {
+
+util::Result<AssignmentPlan> AssignTasks(
+    const std::vector<graph::RoadId>& selected_roads,
+    const CostModel& costs, const std::vector<Worker>& workers) {
+  std::set<graph::RoadId> seen;
+  for (graph::RoadId r : selected_roads) {
+    if (r < 0) {
+      return util::Status::InvalidArgument("invalid selected road");
+    }
+    if (r >= costs.num_roads()) {
+      return util::Status::InvalidArgument(
+          "selected road missing from cost model: " + std::to_string(r));
+    }
+    if (!seen.insert(r).second) {
+      return util::Status::InvalidArgument("duplicate selected road: " +
+                                           std::to_string(r));
+    }
+  }
+
+  // Bucket the available workers by road, cleanest reporters first.
+  std::map<graph::RoadId, std::vector<const Worker*>> by_road;
+  for (const Worker& w : workers) by_road[w.road].push_back(&w);
+  for (auto& [road, bucket] : by_road) {
+    std::sort(bucket.begin(), bucket.end(),
+              [](const Worker* a, const Worker* b) {
+                return a->noise_kmh != b->noise_kmh
+                           ? a->noise_kmh < b->noise_kmh
+                           : a->id < b->id;
+              });
+  }
+
+  AssignmentPlan plan;
+  for (graph::RoadId road : selected_roads) {
+    const int quota = std::max(1, costs.Cost(road));
+    const auto it = by_road.find(road);
+    const int available =
+        it == by_road.end() ? 0 : static_cast<int>(it->second.size());
+    const int hired = std::min(quota, available);
+    for (int i = 0; i < hired; ++i) {
+      TaskAssignment task;
+      task.worker = it->second[static_cast<size_t>(i)]->id;
+      task.road = road;
+      task.payment_units = 1;
+      plan.total_payment += task.payment_units;
+      plan.assignments.push_back(task);
+    }
+    if (hired < quota) plan.underfilled_roads.push_back(road);
+  }
+  return plan;
+}
+
+}  // namespace crowdrtse::crowd

@@ -1,0 +1,44 @@
+#ifndef CROWDRTSE_CROWD_TASK_ASSIGNMENT_H_
+#define CROWDRTSE_CROWD_TASK_ASSIGNMENT_H_
+
+#include <vector>
+
+#include "crowd/cost_model.h"
+#include "crowd/worker.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace crowdrtse::crowd {
+
+/// One task handed to one worker: report the speed of the road she is on.
+struct TaskAssignment {
+  WorkerId worker = -1;
+  graph::RoadId road = graph::kInvalidRoad;
+  int payment_units = 1;
+};
+
+/// The realised assignment for a crowdsourcing round.
+struct AssignmentPlan {
+  std::vector<TaskAssignment> assignments;
+  /// Selected roads that could not collect their full answer quota from
+  /// the workers present (OCS decided on road-level coverage; the platform
+  /// must still find warm bodies).
+  std::vector<graph::RoadId> underfilled_roads;
+  int total_payment = 0;
+
+  bool FullyStaffed() const { return underfilled_roads.empty(); }
+};
+
+/// Matches the OCS-selected roads to concrete workers: each selected road
+/// needs cost_i answers, each worker can take at most one task per round
+/// (she is driving — one report per slot). Workers are taken in ascending
+/// noise order, so the cleanest reporters on a road are hired first. The
+/// paper abstracts this step away ("she will be allocated with a task");
+/// a running platform has to do it.
+util::Result<AssignmentPlan> AssignTasks(
+    const std::vector<graph::RoadId>& selected_roads,
+    const CostModel& costs, const std::vector<Worker>& workers);
+
+}  // namespace crowdrtse::crowd
+
+#endif  // CROWDRTSE_CROWD_TASK_ASSIGNMENT_H_

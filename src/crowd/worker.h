@@ -1,0 +1,34 @@
+#ifndef CROWDRTSE_CROWD_WORKER_H_
+#define CROWDRTSE_CROWD_WORKER_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace crowdrtse::crowd {
+
+using WorkerId = int32_t;
+
+/// One crowdsourcing participant. A worker announces the road she is
+/// currently on (localisation info from her task demand); if selected she
+/// reports her device-measured travel speed. Answer quality is modelled by
+/// a persistent multiplicative bias plus zero-mean reading noise.
+struct Worker {
+  WorkerId id = -1;
+  graph::RoadId road = graph::kInvalidRoad;
+  /// Multiplicative reporting bias (1.0 = calibrated device).
+  double bias = 1.0;
+  /// Additive measurement noise std-dev in km/h.
+  double noise_kmh = 0.0;
+};
+
+/// One submitted answer: the reported realtime speed for a road.
+struct SpeedAnswer {
+  WorkerId worker = -1;
+  graph::RoadId road = graph::kInvalidRoad;
+  double reported_kmh = 0.0;
+};
+
+}  // namespace crowdrtse::crowd
+
+#endif  // CROWDRTSE_CROWD_WORKER_H_

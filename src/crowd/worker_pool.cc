@@ -1,0 +1,76 @@
+#include "crowd/worker_pool.h"
+
+#include <algorithm>
+#include <map>
+
+namespace crowdrtse::crowd {
+
+Worker WorkerPool::MakeWorker(WorkerId id, graph::RoadId road,
+                              const WorkerPoolOptions& options,
+                              util::Rng& rng) {
+  Worker w;
+  w.id = id;
+  w.road = road;
+  w.bias = rng.UniformDouble(options.min_bias, options.max_bias);
+  w.noise_kmh =
+      rng.UniformDouble(options.min_noise_kmh, options.max_noise_kmh);
+  return w;
+}
+
+WorkerPool WorkerPool::ScatterUniform(
+    const std::vector<graph::RoadId>& roads,
+    const WorkerPoolOptions& options, util::Rng& rng) {
+  WorkerPool pool;
+  if (roads.empty() || options.num_workers <= 0) return pool;
+  pool.workers_.reserve(static_cast<size_t>(options.num_workers));
+  for (int i = 0; i < options.num_workers; ++i) {
+    const graph::RoadId road =
+        roads[static_cast<size_t>(rng.UniformUint64(roads.size()))];
+    pool.workers_.push_back(
+        MakeWorker(static_cast<WorkerId>(i), road, options, rng));
+  }
+  return pool;
+}
+
+WorkerPool WorkerPool::CoverRoads(const std::vector<graph::RoadId>& roads,
+                                  int per_road,
+                                  const WorkerPoolOptions& options,
+                                  util::Rng& rng) {
+  WorkerPool pool;
+  WorkerId next_id = 0;
+  pool.workers_.reserve(roads.size() * static_cast<size_t>(per_road));
+  for (graph::RoadId road : roads) {
+    for (int i = 0; i < per_road; ++i) {
+      pool.workers_.push_back(MakeWorker(next_id++, road, options, rng));
+    }
+  }
+  return pool;
+}
+
+std::vector<graph::RoadId> WorkerPool::CoveredRoads(int min_workers) const {
+  std::map<graph::RoadId, int> counts;
+  for (const Worker& w : workers_) ++counts[w.road];
+  std::vector<graph::RoadId> covered;
+  for (const auto& [road, count] : counts) {
+    if (count >= min_workers) covered.push_back(road);
+  }
+  return covered;
+}
+
+std::vector<const Worker*> WorkerPool::WorkersOn(graph::RoadId road) const {
+  std::vector<const Worker*> out;
+  for (const Worker& w : workers_) {
+    if (w.road == road) out.push_back(&w);
+  }
+  return out;
+}
+
+int WorkerPool::CountOn(graph::RoadId road) const {
+  int count = 0;
+  for (const Worker& w : workers_) {
+    if (w.road == road) ++count;
+  }
+  return count;
+}
+
+}  // namespace crowdrtse::crowd

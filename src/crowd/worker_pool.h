@@ -1,0 +1,64 @@
+#ifndef CROWDRTSE_CROWD_WORKER_POOL_H_
+#define CROWDRTSE_CROWD_WORKER_POOL_H_
+
+#include <vector>
+
+#include "crowd/worker.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace crowdrtse::crowd {
+
+/// Knobs for synthetic worker placement.
+struct WorkerPoolOptions {
+  /// Total workers registered with the platform at query time.
+  int num_workers = 2000;
+  /// Worker answer quality spread.
+  double min_bias = 0.96;
+  double max_bias = 1.04;
+  double min_noise_kmh = 0.5;
+  double max_noise_kmh = 3.0;
+};
+
+/// The pool of workers currently available, each pinned to the road she is
+/// travelling on. R^w — the candidate set OCS may select from — is the set
+/// of distinct roads covered by at least `min answers` workers.
+class WorkerPool {
+ public:
+  WorkerPool() = default;
+
+  /// Scatters workers uniformly over `roads` (with repetition — busy roads
+  /// naturally collect several workers).
+  static WorkerPool ScatterUniform(const std::vector<graph::RoadId>& roads,
+                                   const WorkerPoolOptions& options,
+                                   util::Rng& rng);
+
+  /// Places exactly `per_road` workers on every road of `roads` — the
+  /// semi-synthetic setting where workers cover all tested roads.
+  static WorkerPool CoverRoads(const std::vector<graph::RoadId>& roads,
+                               int per_road, const WorkerPoolOptions& options,
+                               util::Rng& rng);
+
+  const std::vector<Worker>& workers() const { return workers_; }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Distinct roads hosting at least `min_workers` workers, ascending.
+  std::vector<graph::RoadId> CoveredRoads(int min_workers = 1) const;
+
+  /// Workers currently on `road`.
+  std::vector<const Worker*> WorkersOn(graph::RoadId road) const;
+
+  /// Number of workers on `road`.
+  int CountOn(graph::RoadId road) const;
+
+ private:
+  static Worker MakeWorker(WorkerId id, graph::RoadId road,
+                           const WorkerPoolOptions& options, util::Rng& rng);
+
+  std::vector<Worker> workers_;
+};
+
+}  // namespace crowdrtse::crowd
+
+#endif  // CROWDRTSE_CROWD_WORKER_POOL_H_

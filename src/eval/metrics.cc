@@ -1,0 +1,108 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace crowdrtse::eval {
+
+double AbsolutePercentageError(double estimate, double truth) {
+  return std::fabs(estimate - truth) / truth;
+}
+
+namespace {
+
+util::Result<std::vector<double>> CollectApes(
+    const std::vector<double>& estimates, const std::vector<double>& truth,
+    const std::vector<graph::RoadId>& roads) {
+  if (estimates.size() != truth.size()) {
+    return util::Status::InvalidArgument(
+        "estimate/truth vectors differ in length");
+  }
+  std::vector<double> apes;
+  apes.reserve(roads.size());
+  for (graph::RoadId r : roads) {
+    if (r < 0 || static_cast<size_t>(r) >= truth.size()) {
+      return util::Status::InvalidArgument("road out of range");
+    }
+    const double t = truth[static_cast<size_t>(r)];
+    if (t <= 0.0) continue;  // APE undefined
+    apes.push_back(
+        AbsolutePercentageError(estimates[static_cast<size_t>(r)], t));
+  }
+  return apes;
+}
+
+}  // namespace
+
+util::Result<QualityMetrics> ComputeQuality(
+    const std::vector<double>& estimates, const std::vector<double>& truth,
+    const std::vector<graph::RoadId>& roads, double fer_threshold) {
+  util::Result<std::vector<double>> apes =
+      CollectApes(estimates, truth, roads);
+  if (!apes.ok()) return apes.status();
+  QualityMetrics metrics;
+  metrics.cases = apes->size();
+  if (apes->empty()) return metrics;
+  double sum = 0.0;
+  size_t false_count = 0;
+  for (double ape : *apes) {
+    sum += ape;
+    if (ape > fer_threshold) ++false_count;
+  }
+  metrics.mape = sum / static_cast<double>(apes->size());
+  metrics.fer =
+      static_cast<double>(false_count) / static_cast<double>(apes->size());
+  metrics.median_ape = util::Median(*apes);
+  return metrics;
+}
+
+util::Result<DapeHistogram> ComputeDape(
+    const std::vector<double>& estimates, const std::vector<double>& truth,
+    const std::vector<graph::RoadId>& roads) {
+  util::Result<std::vector<double>> apes =
+      CollectApes(estimates, truth, roads);
+  if (!apes.ok()) return apes.status();
+  DapeHistogram hist;
+  for (double edge = 0.05; edge <= 0.501; edge += 0.05) {
+    hist.bin_edges.push_back(edge);
+  }
+  hist.fractions.assign(hist.bin_edges.size() + 1, 0.0);
+  hist.total_cases = apes->size();
+  if (apes->empty()) return hist;
+  for (double ape : *apes) {
+    size_t bin = hist.bin_edges.size();  // open tail by default
+    for (size_t i = 0; i < hist.bin_edges.size(); ++i) {
+      if (ape <= hist.bin_edges[i]) {
+        bin = i;
+        break;
+      }
+    }
+    hist.fractions[bin] += 1.0;
+  }
+  for (double& f : hist.fractions) {
+    f /= static_cast<double>(hist.total_cases);
+  }
+  return hist;
+}
+
+void QualityAccumulator::Add(const QualityMetrics& metrics) {
+  mape_sum_ += metrics.mape;
+  fer_sum_ += metrics.fer;
+  median_sum_ += metrics.median_ape;
+  case_sum_ += metrics.cases;
+  ++trials_;
+}
+
+QualityMetrics QualityAccumulator::Mean() const {
+  QualityMetrics mean;
+  if (trials_ == 0) return mean;
+  mean.mape = mape_sum_ / static_cast<double>(trials_);
+  mean.fer = fer_sum_ / static_cast<double>(trials_);
+  mean.median_ape = median_sum_ / static_cast<double>(trials_);
+  mean.cases = case_sum_;
+  return mean;
+}
+
+}  // namespace crowdrtse::eval

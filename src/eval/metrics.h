@@ -1,0 +1,65 @@
+#ifndef CROWDRTSE_EVAL_METRICS_H_
+#define CROWDRTSE_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace crowdrtse::eval {
+
+/// Absolute percentage error |est - truth| / truth (paper §VII-C metric).
+/// Truth at or below zero yields 0 contribution guarded by the caller.
+double AbsolutePercentageError(double estimate, double truth);
+
+/// Histogram of APE values over fixed bins — the paper's DAPE plot.
+struct DapeHistogram {
+  /// Upper edges of the bins; the last bin is open-ended.
+  std::vector<double> bin_edges;
+  /// Fraction of test cases per bin (sums to 1 unless empty).
+  std::vector<double> fractions;
+  size_t total_cases = 0;
+};
+
+/// Aggregate quality of one estimation run over the queried roads.
+struct QualityMetrics {
+  double mape = 0.0;      // mean APE
+  double fer = 0.0;       // fraction of cases with APE > threshold
+  double median_ape = 0.0;
+  size_t cases = 0;
+};
+
+/// The paper's false-estimation threshold phi.
+inline constexpr double kDefaultFerThreshold = 0.2;
+
+/// Computes MAPE / FER / median APE of `estimates` against `truth` over
+/// `roads`. Roads whose truth is <= 0 are skipped (undefined APE).
+util::Result<QualityMetrics> ComputeQuality(
+    const std::vector<double>& estimates, const std::vector<double>& truth,
+    const std::vector<graph::RoadId>& roads,
+    double fer_threshold = kDefaultFerThreshold);
+
+/// DAPE over default bins 0..0.5 step 0.05 plus an open tail.
+util::Result<DapeHistogram> ComputeDape(
+    const std::vector<double>& estimates, const std::vector<double>& truth,
+    const std::vector<graph::RoadId>& roads);
+
+/// Accumulates quality metrics across repeated trials (different query
+/// slots / days) and reports their means.
+class QualityAccumulator {
+ public:
+  void Add(const QualityMetrics& metrics);
+  QualityMetrics Mean() const;
+  size_t trials() const { return trials_; }
+
+ private:
+  double mape_sum_ = 0.0;
+  double fer_sum_ = 0.0;
+  double median_sum_ = 0.0;
+  size_t case_sum_ = 0;
+  size_t trials_ = 0;
+};
+
+}  // namespace crowdrtse::eval
+
+#endif  // CROWDRTSE_EVAL_METRICS_H_

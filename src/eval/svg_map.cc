@@ -1,0 +1,133 @@
+#include "eval/svg_map.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace crowdrtse::eval {
+
+namespace {
+
+std::string HexByte(int value) {
+  char buffer[3];
+  std::snprintf(buffer, sizeof(buffer), "%02x",
+                std::clamp(value, 0, 255));
+  return buffer;
+}
+
+}  // namespace
+
+std::string SpeedRatioColor(double ratio) {
+  // Piecewise red -> yellow -> green over ratio 0.3 .. 1.0.
+  const double t =
+      std::clamp((std::clamp(ratio, 0.0, 1.2) - 0.3) / 0.7, 0.0, 1.0);
+  int red;
+  int green;
+  if (t < 0.5) {
+    red = 220;
+    green = static_cast<int>(2.0 * t * 190);
+  } else {
+    red = static_cast<int>((1.0 - 2.0 * (t - 0.5)) * 220);
+    green = 190;
+  }
+  return "#" + HexByte(red) + HexByte(green) + HexByte(40);
+}
+
+util::Result<std::string> RenderSvgMap(
+    const graph::Graph& graph,
+    const std::vector<std::pair<double, double>>& positions,
+    const std::vector<double>& speed_ratio,
+    const std::vector<graph::RoadId>& probed_roads,
+    const SvgMapOptions& options) {
+  const size_t n = static_cast<size_t>(graph.num_roads());
+  if (positions.size() != n) {
+    return util::Status::InvalidArgument(
+        "positions must cover every road");
+  }
+  if (speed_ratio.size() != n) {
+    return util::Status::InvalidArgument(
+        "speed ratios must cover every road");
+  }
+  std::vector<bool> probed(n, false);
+  for (graph::RoadId r : probed_roads) {
+    if (r < 0 || static_cast<size_t>(r) >= n) {
+      return util::Status::InvalidArgument("probed road out of range");
+    }
+    probed[static_cast<size_t>(r)] = true;
+  }
+
+  const double margin = 20.0;
+  const auto px = [&](double x) {
+    return margin + x * (options.width_px - 2.0 * margin);
+  };
+  const auto py = [&](double y) {
+    return margin + y * (options.height_px - 2.0 * margin);
+  };
+
+  std::string svg;
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" "
+                "height=\"%d\" viewBox=\"0 0 %d %d\">\n",
+                options.width_px, options.height_px, options.width_px,
+                options.height_px);
+  svg += line;
+  svg += "<rect width=\"100%\" height=\"100%\" fill=\"#101418\"/>\n";
+  if (!options.title.empty()) {
+    std::snprintf(line, sizeof(line),
+                  "<text x=\"%f\" y=\"%f\" fill=\"#d0d4d8\" "
+                  "font-family=\"monospace\" font-size=\"16\">",
+                  margin, margin - 4.0);
+    svg += line;
+    svg += options.title;
+    svg += "</text>\n";
+  }
+  // Adjacencies first, under the road markers.
+  for (graph::EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const auto [a, b] = graph.EdgeEndpoints(e);
+    std::snprintf(line, sizeof(line),
+                  "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+                  "stroke=\"#3a424a\" stroke-width=\"1\"/>\n",
+                  px(positions[static_cast<size_t>(a)].first),
+                  py(positions[static_cast<size_t>(a)].second),
+                  px(positions[static_cast<size_t>(b)].first),
+                  py(positions[static_cast<size_t>(b)].second));
+    svg += line;
+  }
+  for (graph::RoadId r = 0; r < graph.num_roads(); ++r) {
+    const std::string color = SpeedRatioColor(speed_ratio[static_cast<size_t>(r)]);
+    const double radius = probed[static_cast<size_t>(r)]
+                              ? options.probe_radius_px
+                              : options.node_radius_px;
+    std::snprintf(line, sizeof(line),
+                  "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" "
+                  "fill=\"%s\"%s/>\n",
+                  px(positions[static_cast<size_t>(r)].first),
+                  py(positions[static_cast<size_t>(r)].second), radius,
+                  color.c_str(),
+                  probed[static_cast<size_t>(r)]
+                      ? " stroke=\"#ffffff\" stroke-width=\"1.5\""
+                      : "");
+    svg += line;
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+util::Status WriteSvgMap(
+    const std::string& path, const graph::Graph& graph,
+    const std::vector<std::pair<double, double>>& positions,
+    const std::vector<double>& speed_ratio,
+    const std::vector<graph::RoadId>& probed_roads,
+    const SvgMapOptions& options) {
+  util::Result<std::string> svg =
+      RenderSvgMap(graph, positions, speed_ratio, probed_roads, options);
+  if (!svg.ok()) return svg.status();
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return util::Status::IoError("cannot open " + path);
+  file << *svg;
+  if (!file) return util::Status::IoError("write failed for " + path);
+  return util::Status::Ok();
+}
+
+}  // namespace crowdrtse::eval

@@ -1,0 +1,52 @@
+#ifndef CROWDRTSE_EVAL_SVG_MAP_H_
+#define CROWDRTSE_EVAL_SVG_MAP_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace crowdrtse::eval {
+
+/// Options of the SVG map renderer.
+struct SvgMapOptions {
+  int width_px = 900;
+  int height_px = 900;
+  double node_radius_px = 4.0;
+  /// Road markers for probed roads are drawn larger with a ring.
+  double probe_radius_px = 7.0;
+  std::string title;
+};
+
+/// Renders a traffic snapshot as an SVG "city map": roads are dots placed
+/// at their synthetic coordinates, adjacencies are lines, and each road is
+/// coloured by its speed ratio estimate/expected (green = free flow,
+/// yellow = slow, red = blocked). Probed roads get a ring marker. Useful
+/// for eyeballing what GSP inferred between the probes.
+///
+/// `positions` are unit-square coordinates (graph::RoadNetwork exports
+/// them); `speed_ratio[r]` should be estimate/expected clamped by the
+/// caller only if desired — the renderer clamps to [0, 1.2] for colour.
+util::Result<std::string> RenderSvgMap(
+    const graph::Graph& graph,
+    const std::vector<std::pair<double, double>>& positions,
+    const std::vector<double>& speed_ratio,
+    const std::vector<graph::RoadId>& probed_roads,
+    const SvgMapOptions& options = {});
+
+/// Renders and writes to `path`.
+util::Status WriteSvgMap(
+    const std::string& path, const graph::Graph& graph,
+    const std::vector<std::pair<double, double>>& positions,
+    const std::vector<double>& speed_ratio,
+    const std::vector<graph::RoadId>& probed_roads,
+    const SvgMapOptions& options = {});
+
+/// The colour used for a speed ratio, exposed for tests: hex "#rrggbb".
+std::string SpeedRatioColor(double ratio);
+
+}  // namespace crowdrtse::eval
+
+#endif  // CROWDRTSE_EVAL_SVG_MAP_H_

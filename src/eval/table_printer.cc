@@ -1,0 +1,74 @@
+#include "eval/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace crowdrtse::eval {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  CROWDRTSE_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddNumericRow(const std::string& label,
+                                 const std::vector<double>& values,
+                                 int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(util::FormatDouble(v, precision));
+  AddRow(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) line += "  ";
+      line += row[i];
+      line.append(widths[i] - row[i].size(), ' ');
+    }
+    // Trim trailing pad.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  std::string rule;
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) rule += "  ";
+    rule.append(widths[i], '-');
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TablePrinter::ToCsv() const {
+  util::CsvTable table;
+  table.header = header_;
+  table.rows = rows_;
+  return util::ToCsv(table);
+}
+
+void TablePrinter::Print() const {
+  const std::string text = ToString();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+}
+
+}  // namespace crowdrtse::eval

@@ -1,0 +1,38 @@
+#ifndef CROWDRTSE_EVAL_TABLE_PRINTER_H_
+#define CROWDRTSE_EVAL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace crowdrtse::eval {
+
+/// Column-aligned ASCII tables for the bench harness output — each bench
+/// prints the same rows/series its paper figure or table reports.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; must have as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: numeric row, fixed precision.
+  void AddNumericRow(const std::string& label,
+                     const std::vector<double>& values, int precision = 4);
+
+  /// Renders the aligned table.
+  std::string ToString() const;
+
+  /// Renders as CSV (for plotting the bench series externally).
+  std::string ToCsv() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace crowdrtse::eval
+
+#endif  // CROWDRTSE_EVAL_TABLE_PRINTER_H_

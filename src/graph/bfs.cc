@@ -1,0 +1,49 @@
+#include "graph/bfs.h"
+
+#include <deque>
+
+namespace crowdrtse::graph {
+
+HopLevels MultiSourceBfs(const Graph& graph,
+                         const std::vector<RoadId>& sources) {
+  HopLevels out;
+  out.hops.assign(static_cast<size_t>(graph.num_roads()), -1);
+  std::deque<RoadId> queue;
+  for (RoadId s : sources) {
+    if (!graph.IsValidRoad(s)) continue;
+    if (out.hops[static_cast<size_t>(s)] == 0) continue;  // duplicate source
+    out.hops[static_cast<size_t>(s)] = 0;
+    queue.push_back(s);
+  }
+  if (!queue.empty()) out.levels.emplace_back(queue.begin(), queue.end());
+  while (!queue.empty()) {
+    const RoadId r = queue.front();
+    queue.pop_front();
+    const int next_hop = out.hops[static_cast<size_t>(r)] + 1;
+    for (const Adjacency& adj : graph.Neighbors(r)) {
+      if (out.hops[static_cast<size_t>(adj.neighbor)] != -1) continue;
+      out.hops[static_cast<size_t>(adj.neighbor)] = next_hop;
+      if (static_cast<size_t>(next_hop) >= out.levels.size()) {
+        out.levels.emplace_back();
+      }
+      out.levels[static_cast<size_t>(next_hop)].push_back(adj.neighbor);
+      queue.push_back(adj.neighbor);
+    }
+  }
+  return out;
+}
+
+std::vector<RoadId> RoadsWithinHops(const Graph& graph,
+                                    const std::vector<RoadId>& sources,
+                                    int max_hops) {
+  const HopLevels levels = MultiSourceBfs(graph, sources);
+  std::vector<RoadId> out;
+  for (int l = 0; l <= max_hops && l < static_cast<int>(levels.levels.size());
+       ++l) {
+    const auto& level = levels.levels[static_cast<size_t>(l)];
+    out.insert(out.end(), level.begin(), level.end());
+  }
+  return out;
+}
+
+}  // namespace crowdrtse::graph

@@ -1,0 +1,35 @@
+#ifndef CROWDRTSE_GRAPH_BFS_H_
+#define CROWDRTSE_GRAPH_BFS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace crowdrtse::graph {
+
+/// Result of a (multi-source) breadth-first traversal: per-road hop count
+/// and the roads grouped by hop level. GSP (paper Alg. 5) schedules its
+/// iterative updates by ascending hop distance from the crowdsourced roads.
+struct HopLevels {
+  /// hops[r] = minimum hop count from any source; -1 if unreachable.
+  std::vector<int> hops;
+  /// levels[l] = roads exactly l hops away; levels[0] are the sources.
+  std::vector<std::vector<RoadId>> levels;
+
+  int MaxHop() const { return static_cast<int>(levels.size()) - 1; }
+};
+
+/// Multi-source BFS from `sources`. Duplicate sources are tolerated.
+HopLevels MultiSourceBfs(const Graph& graph,
+                         const std::vector<RoadId>& sources);
+
+/// Roads within `max_hops` of any of `sources` (the sources themselves are
+/// 0 hops away and included). Used for the paper's Table III k-hop coverage
+/// metric.
+std::vector<RoadId> RoadsWithinHops(const Graph& graph,
+                                    const std::vector<RoadId>& sources,
+                                    int max_hops);
+
+}  // namespace crowdrtse::graph
+
+#endif  // CROWDRTSE_GRAPH_BFS_H_

@@ -1,0 +1,61 @@
+#include "graph/coloring.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace crowdrtse::graph {
+
+std::vector<std::vector<RoadId>> Coloring::Classes() const {
+  std::vector<std::vector<RoadId>> classes(
+      static_cast<size_t>(num_colors));
+  for (RoadId r = 0; r < static_cast<RoadId>(color.size()); ++r) {
+    classes[static_cast<size_t>(color[static_cast<size_t>(r)])].push_back(r);
+  }
+  return classes;
+}
+
+Coloring GreedyColoring(const Graph& graph) {
+  const int n = graph.num_roads();
+  Coloring out;
+  out.color.assign(static_cast<size_t>(n), -1);
+
+  std::vector<RoadId> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](RoadId a, RoadId b) {
+    const int da = graph.Degree(a);
+    const int db = graph.Degree(b);
+    return da != db ? da > db : a < b;
+  });
+
+  std::vector<bool> used;
+  for (RoadId r : order) {
+    used.assign(static_cast<size_t>(graph.Degree(r)) + 1, false);
+    for (const Adjacency& adj : graph.Neighbors(r)) {
+      const int c = out.color[static_cast<size_t>(adj.neighbor)];
+      if (c >= 0 && c < static_cast<int>(used.size())) {
+        used[static_cast<size_t>(c)] = true;
+      }
+    }
+    int c = 0;
+    while (used[static_cast<size_t>(c)]) ++c;
+    out.color[static_cast<size_t>(r)] = c;
+    out.num_colors = std::max(out.num_colors, c + 1);
+  }
+  return out;
+}
+
+bool IsProperColoring(const Graph& graph, const Coloring& coloring) {
+  if (coloring.color.size() != static_cast<size_t>(graph.num_roads())) {
+    return false;
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const auto [a, b] = graph.EdgeEndpoints(e);
+    if (coloring.color[static_cast<size_t>(a)] ==
+        coloring.color[static_cast<size_t>(b)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace crowdrtse::graph

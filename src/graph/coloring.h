@@ -1,0 +1,30 @@
+#ifndef CROWDRTSE_GRAPH_COLORING_H_
+#define CROWDRTSE_GRAPH_COLORING_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace crowdrtse::graph {
+
+/// A proper vertex colouring: adjacent roads never share a colour.
+struct Coloring {
+  std::vector<int> color;  // color[r] in [0, num_colors)
+  int num_colors = 0;
+
+  /// Roads of each colour class, grouped. Updates within one class touch no
+  /// shared neighbours, so parallel GSP runs a class concurrently (the
+  /// paper's parallelisation condition: same BFS level AND non-adjacent).
+  std::vector<std::vector<RoadId>> Classes() const;
+};
+
+/// Greedy (first-fit) colouring in degree-descending order; uses at most
+/// max-degree + 1 colours.
+Coloring GreedyColoring(const Graph& graph);
+
+/// Verifies that `coloring` is proper for `graph`.
+bool IsProperColoring(const Graph& graph, const Coloring& coloring);
+
+}  // namespace crowdrtse::graph
+
+#endif  // CROWDRTSE_GRAPH_COLORING_H_

@@ -1,0 +1,64 @@
+#include "graph/connected_components.h"
+
+#include <deque>
+
+namespace crowdrtse::graph {
+
+int Components::LargestComponent() const {
+  int best = -1;
+  size_t best_size = 0;
+  for (int c = 0; c < Count(); ++c) {
+    if (members[static_cast<size_t>(c)].size() > best_size) {
+      best_size = members[static_cast<size_t>(c)].size();
+      best = c;
+    }
+  }
+  return best;
+}
+
+Components FindConnectedComponents(const Graph& graph) {
+  Components out;
+  out.component.assign(static_cast<size_t>(graph.num_roads()), -1);
+  for (RoadId start = 0; start < graph.num_roads(); ++start) {
+    if (out.component[static_cast<size_t>(start)] != -1) continue;
+    const int label = out.Count();
+    out.members.emplace_back();
+    std::deque<RoadId> queue{start};
+    out.component[static_cast<size_t>(start)] = label;
+    while (!queue.empty()) {
+      const RoadId r = queue.front();
+      queue.pop_front();
+      out.members[static_cast<size_t>(label)].push_back(r);
+      for (const Adjacency& adj : graph.Neighbors(r)) {
+        if (out.component[static_cast<size_t>(adj.neighbor)] == -1) {
+          out.component[static_cast<size_t>(adj.neighbor)] = label;
+          queue.push_back(adj.neighbor);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<RoadId> GrowConnectedSubset(const Graph& graph, RoadId seed,
+                                        int size) {
+  std::vector<RoadId> subset;
+  if (!graph.IsValidRoad(seed) || size <= 0) return subset;
+  std::vector<bool> visited(static_cast<size_t>(graph.num_roads()), false);
+  std::deque<RoadId> queue{seed};
+  visited[static_cast<size_t>(seed)] = true;
+  while (!queue.empty() && static_cast<int>(subset.size()) < size) {
+    const RoadId r = queue.front();
+    queue.pop_front();
+    subset.push_back(r);
+    for (const Adjacency& adj : graph.Neighbors(r)) {
+      if (!visited[static_cast<size_t>(adj.neighbor)]) {
+        visited[static_cast<size_t>(adj.neighbor)] = true;
+        queue.push_back(adj.neighbor);
+      }
+    }
+  }
+  return subset;
+}
+
+}  // namespace crowdrtse::graph

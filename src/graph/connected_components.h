@@ -1,0 +1,33 @@
+#ifndef CROWDRTSE_GRAPH_CONNECTED_COMPONENTS_H_
+#define CROWDRTSE_GRAPH_CONNECTED_COMPONENTS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace crowdrtse::graph {
+
+/// Partition of the road set into connected components.
+struct Components {
+  /// component[r] = component index of road r.
+  std::vector<int> component;
+  /// members[c] = roads of component c, ordered by road id.
+  std::vector<std::vector<RoadId>> members;
+
+  int Count() const { return static_cast<int>(members.size()); }
+  /// Index of the component with the most roads; -1 for an empty graph.
+  int LargestComponent() const;
+};
+
+/// Labels connected components via BFS.
+Components FindConnectedComponents(const Graph& graph);
+
+/// Grows a connected subset of exactly `size` roads around `seed` via BFS
+/// (or fewer when the component is smaller). The gMission scenario uses this
+/// to pick a "mutually connected subcomponent" as the queried roads.
+std::vector<RoadId> GrowConnectedSubset(const Graph& graph, RoadId seed,
+                                        int size);
+
+}  // namespace crowdrtse::graph
+
+#endif  // CROWDRTSE_GRAPH_CONNECTED_COMPONENTS_H_

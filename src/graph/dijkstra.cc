@@ -1,0 +1,57 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace crowdrtse::graph {
+
+ShortestPaths Dijkstra(const Graph& graph, RoadId source,
+                       const std::function<double(EdgeId)>& edge_weight) {
+  const size_t n = static_cast<size_t>(graph.num_roads());
+  ShortestPaths out;
+  out.distance.assign(n, kUnreachable);
+  out.parent.assign(n, kInvalidRoad);
+  if (!graph.IsValidRoad(source)) return out;
+
+  using Entry = std::pair<double, RoadId>;  // (distance, road)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  out.distance[static_cast<size_t>(source)] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [dist, road] = heap.top();
+    heap.pop();
+    if (dist > out.distance[static_cast<size_t>(road)]) continue;  // stale
+    for (const Adjacency& adj : graph.Neighbors(road)) {
+      const double w = edge_weight(adj.edge);
+      if (w < 0.0 || w == kUnreachable) continue;  // treat as impassable
+      const double candidate = dist + w;
+      if (candidate < out.distance[static_cast<size_t>(adj.neighbor)]) {
+        out.distance[static_cast<size_t>(adj.neighbor)] = candidate;
+        out.parent[static_cast<size_t>(adj.neighbor)] = road;
+        heap.emplace(candidate, adj.neighbor);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<RoadId> ReconstructPath(const ShortestPaths& tree, RoadId source,
+                                    RoadId target) {
+  std::vector<RoadId> path;
+  if (target < 0 ||
+      static_cast<size_t>(target) >= tree.distance.size() ||
+      tree.distance[static_cast<size_t>(target)] == kUnreachable) {
+    return path;
+  }
+  for (RoadId r = target; r != kInvalidRoad;
+       r = tree.parent[static_cast<size_t>(r)]) {
+    path.push_back(r);
+    if (r == source) break;
+  }
+  if (path.empty() || path.back() != source) return {};
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace crowdrtse::graph

@@ -1,0 +1,35 @@
+#ifndef CROWDRTSE_GRAPH_DIJKSTRA_H_
+#define CROWDRTSE_GRAPH_DIJKSTRA_H_
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace crowdrtse::graph {
+
+/// Distance value signalling "unreachable".
+constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+/// Single-source shortest path tree: distances and predecessor roads.
+struct ShortestPaths {
+  std::vector<double> distance;  // kUnreachable when disconnected
+  std::vector<RoadId> parent;    // kInvalidRoad at the source / unreachable
+};
+
+/// Dijkstra from `source` with per-edge non-negative weights supplied by
+/// `edge_weight(EdgeId)`. The RTF correlation table runs this on reciprocal
+/// log-correlation weights (paper Eq. 9 turns max-product path correlation
+/// into min-sum shortest path).
+ShortestPaths Dijkstra(const Graph& graph, RoadId source,
+                       const std::function<double(EdgeId)>& edge_weight);
+
+/// Reconstructs the road sequence source..target from a shortest-path tree;
+/// empty when the target is unreachable.
+std::vector<RoadId> ReconstructPath(const ShortestPaths& tree, RoadId source,
+                                    RoadId target);
+
+}  // namespace crowdrtse::graph
+
+#endif  // CROWDRTSE_GRAPH_DIJKSTRA_H_

@@ -1,0 +1,200 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "graph/connected_components.h"
+
+namespace crowdrtse::graph {
+
+util::Result<Graph> GridNetwork(int rows, int cols) {
+  if (rows <= 0 || cols <= 0) {
+    return util::Status::InvalidArgument("grid dimensions must be positive");
+  }
+  GraphBuilder builder(rows * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const RoadId id = r * cols + c;
+      if (c + 1 < cols) builder.AddEdge(id, id + 1);
+      if (r + 1 < rows) builder.AddEdge(id, id + cols);
+    }
+  }
+  return builder.Build();
+}
+
+util::Result<Graph> RingNetwork(int num_roads) {
+  if (num_roads < 3) {
+    return util::Status::InvalidArgument("ring needs at least 3 roads");
+  }
+  GraphBuilder builder(num_roads);
+  for (int i = 0; i < num_roads; ++i) {
+    builder.AddEdge(i, (i + 1) % num_roads);
+  }
+  return builder.Build();
+}
+
+util::Result<Graph> PathNetwork(int num_roads) {
+  if (num_roads < 1) {
+    return util::Status::InvalidArgument("path needs at least 1 road");
+  }
+  GraphBuilder builder(num_roads);
+  for (int i = 0; i + 1 < num_roads; ++i) builder.AddEdge(i, i + 1);
+  return builder.Build();
+}
+
+util::Result<Graph> ScaleFreeNetwork(int num_roads, int edges_per_road,
+                                     util::Rng& rng) {
+  if (num_roads < 2 || edges_per_road < 1 ||
+      edges_per_road >= num_roads) {
+    return util::Status::InvalidArgument(
+        "scale-free network needs num_roads >= 2 and 1 <= m < num_roads");
+  }
+  GraphBuilder builder(num_roads);
+  // Repeated-endpoint list: sampling uniformly from it is degree-
+  // proportional preferential attachment.
+  std::vector<RoadId> endpoint_pool;
+  const int seed_size = edges_per_road + 1;
+  for (int i = 0; i < seed_size; ++i) {
+    for (int j = i + 1; j < seed_size; ++j) {
+      builder.AddEdge(i, j);
+      endpoint_pool.push_back(i);
+      endpoint_pool.push_back(j);
+    }
+  }
+  for (int v = seed_size; v < num_roads; ++v) {
+    std::set<RoadId> targets;
+    while (static_cast<int>(targets.size()) < edges_per_road) {
+      const RoadId candidate = endpoint_pool[static_cast<size_t>(
+          rng.UniformUint64(endpoint_pool.size()))];
+      targets.insert(candidate);
+    }
+    for (RoadId t : targets) {
+      builder.AddEdge(v, t);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(t);
+    }
+  }
+  return builder.Build();
+}
+
+util::Result<Graph> RoadNetwork(
+    const RoadNetworkOptions& options, util::Rng& rng,
+    std::vector<std::pair<double, double>>* positions) {
+  const int n = options.num_roads;
+  if (n < 2) {
+    return util::Status::InvalidArgument("road network needs >= 2 roads");
+  }
+  if (options.neighbors_per_road < 1) {
+    return util::Status::InvalidArgument("neighbors_per_road must be >= 1");
+  }
+  std::vector<std::pair<double, double>> points(static_cast<size_t>(n));
+  for (auto& [x, y] : points) {
+    x = rng.UniformDouble();
+    y = rng.UniformDouble();
+  }
+  if (positions != nullptr) *positions = points;
+  const auto squared_distance = [&](RoadId a, RoadId b) {
+    const double dx = points[static_cast<size_t>(a)].first -
+                      points[static_cast<size_t>(b)].first;
+    const double dy = points[static_cast<size_t>(a)].second -
+                      points[static_cast<size_t>(b)].second;
+    return dx * dx + dy * dy;
+  };
+
+  std::set<std::pair<RoadId, RoadId>> edges;
+  const auto add_edge = [&](RoadId a, RoadId b) {
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    edges.emplace(a, b);
+  };
+
+  // Join each road to its nearest neighbours in the plane.
+  const int k = std::min(options.neighbors_per_road, n - 1);
+  std::vector<std::pair<double, RoadId>> by_distance(
+      static_cast<size_t>(n));
+  for (RoadId a = 0; a < n; ++a) {
+    by_distance.clear();
+    for (RoadId b = 0; b < n; ++b) {
+      if (b != a) by_distance.emplace_back(squared_distance(a, b), b);
+    }
+    std::partial_sort(by_distance.begin(),
+                      by_distance.begin() + k, by_distance.end());
+    for (int i = 0; i < k; ++i) add_edge(a, by_distance[static_cast<size_t>(i)].second);
+  }
+
+  // A few long-range chords: flyovers / tunnels.
+  const int extras =
+      static_cast<int>(options.extra_edge_fraction * static_cast<double>(n));
+  for (int i = 0; i < extras; ++i) {
+    const RoadId a = static_cast<RoadId>(rng.UniformUint64(
+        static_cast<uint64_t>(n)));
+    const RoadId b = static_cast<RoadId>(rng.UniformUint64(
+        static_cast<uint64_t>(n)));
+    add_edge(a, b);
+  }
+
+  // Stitch disconnected components together through their closest pair.
+  for (;;) {
+    GraphBuilder probe(n);
+    for (const auto& [a, b] : edges) probe.AddEdge(a, b);
+    util::Result<Graph> built = probe.Build();
+    if (!built.ok()) return built.status();
+    const Components components = FindConnectedComponents(*built);
+    if (components.Count() <= 1) return built;
+    // Connect component 0 to the closest road of another component.
+    const auto& base = components.members[0];
+    double best = std::numeric_limits<double>::infinity();
+    RoadId best_a = kInvalidRoad;
+    RoadId best_b = kInvalidRoad;
+    for (RoadId a : base) {
+      for (RoadId b = 0; b < n; ++b) {
+        if (components.component[static_cast<size_t>(b)] == 0) continue;
+        const double d = squared_distance(a, b);
+        if (d < best) {
+          best = d;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    add_edge(best_a, best_b);
+  }
+}
+
+util::Result<Subgraph> InducedSubgraph(const Graph& graph,
+                                       const std::vector<RoadId>& roads) {
+  std::vector<RoadId> old_to_new(static_cast<size_t>(graph.num_roads()),
+                                 kInvalidRoad);
+  Subgraph out;
+  out.original_ids.reserve(roads.size());
+  for (RoadId r : roads) {
+    if (!graph.IsValidRoad(r)) {
+      return util::Status::InvalidArgument("road id out of range: " +
+                                           std::to_string(r));
+    }
+    if (old_to_new[static_cast<size_t>(r)] != kInvalidRoad) {
+      return util::Status::InvalidArgument("duplicate road id: " +
+                                           std::to_string(r));
+    }
+    old_to_new[static_cast<size_t>(r)] =
+        static_cast<RoadId>(out.original_ids.size());
+    out.original_ids.push_back(r);
+  }
+  GraphBuilder builder(static_cast<int>(roads.size()));
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const auto [a, b] = graph.EdgeEndpoints(e);
+    const RoadId na = old_to_new[static_cast<size_t>(a)];
+    const RoadId nb = old_to_new[static_cast<size_t>(b)];
+    if (na != kInvalidRoad && nb != kInvalidRoad) builder.AddEdge(na, nb);
+  }
+  util::Result<Graph> built = builder.Build();
+  if (!built.ok()) return built.status();
+  out.graph = std::move(*built);
+  return out;
+}
+
+}  // namespace crowdrtse::graph

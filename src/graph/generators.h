@@ -1,0 +1,61 @@
+#ifndef CROWDRTSE_GRAPH_GENERATORS_H_
+#define CROWDRTSE_GRAPH_GENERATORS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace crowdrtse::graph {
+
+/// Rows x cols 4-connected grid; the classic synthetic road mesh.
+util::Result<Graph> GridNetwork(int rows, int cols);
+
+/// Cycle of n roads (n >= 3).
+util::Result<Graph> RingNetwork(int num_roads);
+
+/// Path of n roads.
+util::Result<Graph> PathNetwork(int num_roads);
+
+/// Barabasi-Albert preferential-attachment graph: each new road attaches to
+/// `edges_per_road` existing roads, degree-proportionally. Produces the
+/// hub-and-spoke skeleton of arterial roads.
+util::Result<Graph> ScaleFreeNetwork(int num_roads, int edges_per_road,
+                                     util::Rng& rng);
+
+/// Configuration for the "Hong-Kong-like" irregular road network used by the
+/// semi-synthetic experiments (the paper's network has 607 monitored roads,
+/// sparse connectivity, mostly planar).
+struct RoadNetworkOptions {
+  int num_roads = 607;
+  /// Every road connects to its nearest neighbours in the synthetic plane.
+  int neighbors_per_road = 2;
+  /// Fraction of extra long-range "flyover" edges relative to num_roads.
+  double extra_edge_fraction = 0.05;
+};
+
+/// Planar-ish irregular network: roads are random points in the unit
+/// square, each joined to its nearest neighbours; components are then
+/// stitched together so the result is connected. Average degree lands
+/// around 2*(neighbors_per_road)*(1 - dedup loss) + extras, i.e. ~3-4 for
+/// the defaults, matching urban road-graph sparsity.
+///
+/// When `positions` is non-null it receives each road's (x, y) in the unit
+/// square — the synthetic map used for rendering and geometry.
+util::Result<Graph> RoadNetwork(
+    const RoadNetworkOptions& options, util::Rng& rng,
+    std::vector<std::pair<double, double>>* positions = nullptr);
+
+/// Induced subgraph over `roads` (paper Fig. 5 trains RTF on sub-networks
+/// of 150..600 roads). Returns the graph plus the mapping new-id -> old-id.
+struct Subgraph {
+  Graph graph;
+  std::vector<RoadId> original_ids;
+};
+util::Result<Subgraph> InducedSubgraph(const Graph& graph,
+                                       const std::vector<RoadId>& roads);
+
+}  // namespace crowdrtse::graph
+
+#endif  // CROWDRTSE_GRAPH_GENERATORS_H_

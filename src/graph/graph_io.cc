@@ -1,0 +1,57 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace crowdrtse::graph {
+
+std::string ToEdgeList(const Graph& graph) {
+  std::ostringstream out;
+  out << graph.num_roads() << ' ' << graph.num_edges() << '\n';
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const auto [a, b] = graph.EdgeEndpoints(e);
+    out << a << ' ' << b << '\n';
+  }
+  return out.str();
+}
+
+util::Result<Graph> FromEdgeList(const std::string& text) {
+  std::istringstream in(text);
+  int num_roads = 0;
+  int num_edges = 0;
+  if (!(in >> num_roads >> num_edges)) {
+    return util::Status::InvalidArgument("missing edge-list header");
+  }
+  if (num_roads < 0 || num_edges < 0) {
+    return util::Status::InvalidArgument("negative counts in header");
+  }
+  GraphBuilder builder(num_roads);
+  for (int e = 0; e < num_edges; ++e) {
+    RoadId a = kInvalidRoad;
+    RoadId b = kInvalidRoad;
+    if (!(in >> a >> b)) {
+      return util::Status::InvalidArgument(
+          "edge list truncated at edge " + std::to_string(e));
+    }
+    builder.AddEdge(a, b);
+  }
+  return builder.Build();
+}
+
+util::Status WriteEdgeListFile(const std::string& path, const Graph& graph) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return util::Status::IoError("cannot open " + path);
+  file << ToEdgeList(graph);
+  if (!file) return util::Status::IoError("write failed for " + path);
+  return util::Status::Ok();
+}
+
+util::Result<Graph> ReadEdgeListFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return util::Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return FromEdgeList(buffer.str());
+}
+
+}  // namespace crowdrtse::graph

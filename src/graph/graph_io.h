@@ -1,0 +1,25 @@
+#ifndef CROWDRTSE_GRAPH_GRAPH_IO_H_
+#define CROWDRTSE_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace crowdrtse::graph {
+
+/// Serialises a graph as an edge-list text format:
+///   line 1: "<num_roads> <num_edges>"
+///   then one "a b" pair per edge, in edge-id order.
+std::string ToEdgeList(const Graph& graph);
+
+/// Parses the edge-list format produced by ToEdgeList.
+util::Result<Graph> FromEdgeList(const std::string& text);
+
+/// File round-trip helpers.
+util::Status WriteEdgeListFile(const std::string& path, const Graph& graph);
+util::Result<Graph> ReadEdgeListFile(const std::string& path);
+
+}  // namespace crowdrtse::graph
+
+#endif  // CROWDRTSE_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,43 @@
+#include "graph/road_geometry.h"
+
+#include <limits>
+
+namespace crowdrtse::graph {
+
+util::Result<RoadGeometry> RoadGeometry::UniformRandom(int num_roads,
+                                                       double min_km,
+                                                       double max_km,
+                                                       util::Rng& rng) {
+  if (num_roads < 0) {
+    return util::Status::InvalidArgument("negative road count");
+  }
+  if (min_km <= 0.0 || max_km < min_km) {
+    return util::Status::InvalidArgument(
+        "lengths must satisfy 0 < min <= max");
+  }
+  RoadGeometry geometry;
+  geometry.length_km_.resize(static_cast<size_t>(num_roads));
+  for (double& km : geometry.length_km_) {
+    km = rng.UniformDouble(min_km, max_km);
+  }
+  return geometry;
+}
+
+RoadGeometry RoadGeometry::Constant(int num_roads, double km) {
+  RoadGeometry geometry;
+  geometry.length_km_.assign(static_cast<size_t>(num_roads), km);
+  return geometry;
+}
+
+double RoadGeometry::TravelMinutes(RoadId road, double speed_kmh) const {
+  if (speed_kmh <= 0.0) return std::numeric_limits<double>::infinity();
+  return LengthKm(road) / speed_kmh * 60.0;
+}
+
+double RoadGeometry::PathLengthKm(const std::vector<RoadId>& roads) const {
+  double total = 0.0;
+  for (RoadId r : roads) total += LengthKm(r);
+  return total;
+}
+
+}  // namespace crowdrtse::graph

@@ -1,0 +1,48 @@
+#ifndef CROWDRTSE_GRAPH_ROAD_GEOMETRY_H_
+#define CROWDRTSE_GRAPH_ROAD_GEOMETRY_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace crowdrtse::graph {
+
+/// Physical road lengths, the attribute the paper's experiments lacked
+/// ("road-length or travel cost would be more meaningful choices ... such
+/// kinds of auxiliary information are not included"). The trajectory
+/// simulator derives traversal times — and therefore worker speed reports —
+/// from these.
+class RoadGeometry {
+ public:
+  RoadGeometry() = default;
+
+  /// Uniform-random lengths in [min_km, max_km] per road.
+  static util::Result<RoadGeometry> UniformRandom(int num_roads,
+                                                  double min_km,
+                                                  double max_km,
+                                                  util::Rng& rng);
+
+  /// Every road `km` long.
+  static RoadGeometry Constant(int num_roads, double km);
+
+  int num_roads() const { return static_cast<int>(length_km_.size()); }
+  double LengthKm(RoadId road) const {
+    return length_km_[static_cast<size_t>(road)];
+  }
+  const std::vector<double>& lengths_km() const { return length_km_; }
+
+  /// Minutes to traverse `road` at `speed_kmh` (infinite for speed <= 0).
+  double TravelMinutes(RoadId road, double speed_kmh) const;
+
+  /// Total length of a road sequence.
+  double PathLengthKm(const std::vector<RoadId>& roads) const;
+
+ private:
+  std::vector<double> length_km_;
+};
+
+}  // namespace crowdrtse::graph
+
+#endif  // CROWDRTSE_GRAPH_ROAD_GEOMETRY_H_

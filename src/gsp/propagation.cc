@@ -1,0 +1,218 @@
+#include "gsp/propagation.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <string>
+
+#include "graph/bfs.h"
+#include "graph/coloring.h"
+
+namespace crowdrtse::gsp {
+
+SpeedPropagator::SpeedPropagator(const rtf::RtfModel& model,
+                                 GspOptions options)
+    : model_(model), options_(options) {}
+
+double SpeedPropagator::UpdateValue(int slot, graph::RoadId road,
+                                    const std::vector<double>& speeds) const {
+  // Eq. (18):
+  //   v_i* = ( mu_i/sigma_i^2 + sum_j (v_j + mu_ij)/sigma_ij^2 )
+  //        / ( 1/sigma_i^2    + sum_j 1/sigma_ij^2 )
+  const double sigma_i = model_.Sigma(slot, road);
+  const double inv_var_i = 1.0 / (sigma_i * sigma_i);
+  double numerator = model_.Mu(slot, road) * inv_var_i;
+  double denominator = inv_var_i;
+  for (const graph::Adjacency& adj : model_.graph().Neighbors(road)) {
+    const double inv_pair = 1.0 / model_.PairVariance(slot, adj.edge);
+    const double mu_ij = model_.PairMean(slot, road, adj.neighbor);
+    numerator += (speeds[static_cast<size_t>(adj.neighbor)] + mu_ij) *
+                 inv_pair;
+    denominator += inv_pair;
+  }
+  return numerator / denominator;
+}
+
+int SpeedPropagator::RunSweepsSequential(
+    int slot, const std::vector<std::vector<graph::RoadId>>& order,
+    std::vector<double>& speeds, bool& converged) const {
+  converged = false;
+  int sweeps = 0;
+  while (sweeps < options_.max_sweeps) {
+    ++sweeps;
+    double max_delta = 0.0;
+    for (const auto& level : order) {
+      for (graph::RoadId road : level) {
+        const double updated = UpdateValue(slot, road, speeds);
+        max_delta = std::max(
+            max_delta,
+            std::fabs(updated - speeds[static_cast<size_t>(road)]));
+        speeds[static_cast<size_t>(road)] = updated;
+      }
+    }
+    if (max_delta < options_.epsilon) {
+      converged = true;
+      break;
+    }
+  }
+  return sweeps;
+}
+
+int SpeedPropagator::RunSweepsParallel(
+    int slot, const std::vector<std::vector<graph::RoadId>>& order,
+    std::vector<double>& speeds, bool& converged) const {
+  // Colour once: within a level, same-colour roads are pairwise
+  // non-adjacent, so they may update concurrently without racing on a
+  // neighbour's value (the paper's parallelisation condition).
+  const graph::Coloring coloring = graph::GreedyColoring(model_.graph());
+  // Pre-split every level into colour groups.
+  std::vector<std::vector<std::vector<graph::RoadId>>> groups(order.size());
+  for (size_t l = 0; l < order.size(); ++l) {
+    groups[l].assign(static_cast<size_t>(coloring.num_colors), {});
+    for (graph::RoadId road : order[l]) {
+      groups[l][static_cast<size_t>(
+                    coloring.color[static_cast<size_t>(road)])]
+          .push_back(road);
+    }
+  }
+
+  const int num_threads = std::max(1, options_.num_threads);
+  if (!pool_ || pool_->num_threads() != num_threads) {
+    pool_ = std::make_unique<util::ThreadPool>(num_threads);
+  }
+  const auto merge_max = [](std::atomic<double>& target, double value) {
+    double current = target.load(std::memory_order_relaxed);
+    while (value > current &&
+           !target.compare_exchange_weak(current, value)) {
+    }
+  };
+
+  converged = false;
+  int sweeps = 0;
+  while (sweeps < options_.max_sweeps) {
+    ++sweeps;
+    std::atomic<double> max_delta{0.0};
+    for (const auto& level_groups : groups) {
+      for (const auto& group : level_groups) {
+        if (group.empty()) continue;
+        // Tiny groups are cheaper inline than dispatched.
+        if (group.size() < 32) {
+          double local = 0.0;
+          for (graph::RoadId road : group) {
+            const double updated = UpdateValue(slot, road, speeds);
+            local = std::max(
+                local,
+                std::fabs(updated - speeds[static_cast<size_t>(road)]));
+            speeds[static_cast<size_t>(road)] = updated;
+          }
+          merge_max(max_delta, local);
+          continue;
+        }
+        pool_->ParallelFor(group.size(), [&](size_t begin, size_t end) {
+          double local = 0.0;
+          for (size_t k = begin; k < end; ++k) {
+            const graph::RoadId road = group[k];
+            const double updated = UpdateValue(slot, road, speeds);
+            local = std::max(
+                local,
+                std::fabs(updated - speeds[static_cast<size_t>(road)]));
+            speeds[static_cast<size_t>(road)] = updated;
+          }
+          merge_max(max_delta, local);
+        });
+      }
+    }
+    if (max_delta.load() < options_.epsilon) {
+      converged = true;
+      break;
+    }
+  }
+  return sweeps;
+}
+
+util::Result<GspResult> SpeedPropagator::Propagate(
+    int slot, const std::vector<graph::RoadId>& sampled_roads,
+    const std::vector<double>& sampled_speeds) const {
+  return PropagateFrom(slot, sampled_roads, sampled_speeds, {});
+}
+
+util::Result<GspResult> SpeedPropagator::PropagateFrom(
+    int slot, const std::vector<graph::RoadId>& sampled_roads,
+    const std::vector<double>& sampled_speeds,
+    const std::vector<double>& initial_speeds) const {
+  if (slot < 0 || slot >= model_.num_slots()) {
+    return util::Status::OutOfRange("slot out of range: " +
+                                    std::to_string(slot));
+  }
+  if (sampled_roads.size() != sampled_speeds.size()) {
+    return util::Status::InvalidArgument(
+        "sampled roads/speeds length mismatch");
+  }
+  const int n = model_.num_roads();
+  for (graph::RoadId r : sampled_roads) {
+    if (r < 0 || r >= n) {
+      return util::Status::InvalidArgument("sampled road out of range: " +
+                                           std::to_string(r));
+    }
+  }
+  if (options_.epsilon <= 0.0) {
+    return util::Status::InvalidArgument("epsilon must be positive");
+  }
+
+  if (!initial_speeds.empty() &&
+      initial_speeds.size() != static_cast<size_t>(n)) {
+    return util::Status::InvalidArgument(
+        "initial speeds must cover all roads");
+  }
+
+  GspResult result;
+  // Initialise: sampled roads take the probed data, everything else its
+  // periodic mean (paper "Initialization") or the caller's warm start.
+  if (initial_speeds.empty()) {
+    result.speeds.assign(static_cast<size_t>(n), 0.0);
+    for (graph::RoadId r = 0; r < n; ++r) {
+      result.speeds[static_cast<size_t>(r)] = model_.Mu(slot, r);
+    }
+  } else {
+    result.speeds = initial_speeds;
+  }
+  std::vector<bool> is_sampled(static_cast<size_t>(n), false);
+  for (size_t i = 0; i < sampled_roads.size(); ++i) {
+    result.speeds[static_cast<size_t>(sampled_roads[i])] =
+        sampled_speeds[i];
+    is_sampled[static_cast<size_t>(sampled_roads[i])] = true;
+  }
+
+  // Schedule: BFS hop levels from the sampled roads; level 0 (the samples
+  // themselves) stays fixed, deeper levels update in ascending hop order.
+  const graph::HopLevels bfs =
+      graph::MultiSourceBfs(model_.graph(), sampled_roads);
+  result.hops = bfs.hops;
+  std::vector<std::vector<graph::RoadId>> order;
+  for (size_t l = 1; l < bfs.levels.size(); ++l) {
+    std::vector<graph::RoadId> level;
+    for (graph::RoadId r : bfs.levels[l]) {
+      if (!is_sampled[static_cast<size_t>(r)]) level.push_back(r);
+    }
+    if (!level.empty()) order.push_back(std::move(level));
+  }
+
+  if (order.empty()) {
+    // Nothing to relax: either no samples (pure periodic estimate) or the
+    // samples cover everything.
+    result.converged = true;
+    result.sweeps = 0;
+    return result;
+  }
+
+  if (options_.num_threads > 1) {
+    result.sweeps = RunSweepsParallel(slot, order, result.speeds,
+                                      result.converged);
+  } else {
+    result.sweeps = RunSweepsSequential(slot, order, result.speeds,
+                                        result.converged);
+  }
+  return result;
+}
+
+}  // namespace crowdrtse::gsp

@@ -1,0 +1,91 @@
+#ifndef CROWDRTSE_GSP_PROPAGATION_H_
+#define CROWDRTSE_GSP_PROPAGATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "rtf/rtf_model.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace crowdrtse::gsp {
+
+/// Options for Graph-based Speed Propagation (paper Alg. 5).
+struct GspOptions {
+  /// Convergence threshold epsilon: stop when no variable moved more than
+  /// this in a full sweep.
+  double epsilon = 1e-4;
+  /// Hard cap on sweeps (the paper argues a constant number suffices).
+  int max_sweeps = 200;
+  /// 1 = the sequential Alg. 5. >1 = level-parallel execution: roads of the
+  /// same BFS level and colour class update concurrently (the paper's
+  /// parallelisation condition - same partition group, not adjacent).
+  int num_threads = 1;
+};
+
+/// Outcome of one propagation run.
+struct GspResult {
+  /// Estimated realtime speed of every road (sampled roads keep their
+  /// probed values).
+  std::vector<double> speeds;
+  int sweeps = 0;
+  bool converged = false;
+  /// Hop distance of each road from the sampled set (-1 = unreachable;
+  /// unreachable roads keep their periodic mean).
+  std::vector<int> hops;
+};
+
+/// Infers the realtime speed of every road from sparse probed speeds on top
+/// of a trained RTF, by iterating the closed-form conditional maximiser of
+/// paper Eq. (18) in BFS-hop order from the sampled roads.
+///
+/// Thread-safety: with num_threads > 1 the propagator owns a worker pool,
+/// so concurrent Propagate calls on the same instance are not allowed;
+/// the sequential configuration is freely shareable.
+class SpeedPropagator {
+ public:
+  /// The model (and its graph) must outlive the propagator.
+  SpeedPropagator(const rtf::RtfModel& model, GspOptions options);
+
+  const GspOptions& options() const { return options_; }
+
+  /// Runs GSP for `slot`. `sampled_roads[i]` is fixed to
+  /// `sampled_speeds[i]`; everything else starts at mu and relaxes.
+  util::Result<GspResult> Propagate(
+      int slot, const std::vector<graph::RoadId>& sampled_roads,
+      const std::vector<double>& sampled_speeds) const;
+
+  /// Warm-started variant: non-sampled roads start from `initial_speeds`
+  /// (size |R|) instead of mu. With consecutive 5-minute queries the
+  /// previous answer is an excellent initialiser — the fixed point is the
+  /// same (the objective is strictly convex), only the sweep count drops.
+  util::Result<GspResult> PropagateFrom(
+      int slot, const std::vector<graph::RoadId>& sampled_roads,
+      const std::vector<double>& sampled_speeds,
+      const std::vector<double>& initial_speeds) const;
+
+  /// The Eq. (18) kernel: the likelihood-maximising value of v_i given the
+  /// current speeds of its neighbours. Exposed for fixed-point tests.
+  double UpdateValue(int slot, graph::RoadId road,
+                     const std::vector<double>& speeds) const;
+
+ private:
+  int RunSweepsSequential(int slot,
+                          const std::vector<std::vector<graph::RoadId>>& order,
+                          std::vector<double>& speeds, bool& converged) const;
+  int RunSweepsParallel(int slot,
+                        const std::vector<std::vector<graph::RoadId>>& order,
+                        std::vector<double>& speeds, bool& converged) const;
+
+  const rtf::RtfModel& model_;
+  GspOptions options_;
+  // Lazily created on the first parallel propagation; reused across calls
+  // so per-sweep work dispatch is two condition-variable hops, not thread
+  // spawns.
+  mutable std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace crowdrtse::gsp
+
+#endif  // CROWDRTSE_GSP_PROPAGATION_H_

@@ -1,0 +1,41 @@
+#ifndef CROWDRTSE_GSP_UNCERTAINTY_H_
+#define CROWDRTSE_GSP_UNCERTAINTY_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "rtf/rtf_model.h"
+#include "util/status.h"
+
+namespace crowdrtse::gsp {
+
+/// Confidence-aware RTSE (an extension beyond the paper): posterior speed
+/// variances under the RTF GMRF, conditioned on the probed roads.
+///
+/// Convention: the paper's Eq. (5) likelihood corresponds to the density
+///   p(v) ~ exp( -sum_i (v_i-mu_i)^2/sigma_i^2
+///               -sum_(i,j) ((v_i-v_j)-mu_ij)^2/sigma_ij^2 ),
+/// i.e. precision matrix P = 2A where A is the quadratic-form matrix whose
+/// stationarity GSP iterates (Eq. 18). Posterior variances are entries of
+/// P^-1 with the sampled variables pinned (their variance is 0).
+
+/// Exact posterior variance per road via dense Cholesky on the pinned
+/// precision matrix. O(m^3) in the number of unsampled roads — intended
+/// for networks up to a few thousand roads (one Cholesky, then one
+/// back-solve per requested road). Roads disconnected from the samples get
+/// their prior marginal under the same convention.
+util::Result<std::vector<double>> ExactPosteriorVariances(
+    const rtf::RtfModel& model, int slot,
+    const std::vector<graph::RoadId>& sampled_roads);
+
+/// Cheap local surrogate: the conditional variance of each road given its
+/// neighbours, 1 / P_ii. Always a lower bound on the exact posterior
+/// variance (conditioning on more information cannot increase variance);
+/// useful for ranking roads by confidence at O(|R| + |E|) cost.
+util::Result<std::vector<double>> LocalConditionalVariances(
+    const rtf::RtfModel& model, int slot,
+    const std::vector<graph::RoadId>& sampled_roads);
+
+}  // namespace crowdrtse::gsp
+
+#endif  // CROWDRTSE_GSP_UNCERTAINTY_H_

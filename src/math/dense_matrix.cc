@@ -1,0 +1,92 @@
+#include "math/dense_matrix.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crowdrtse::math {
+
+DenseMatrix::DenseMatrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+std::vector<double> DenseMatrix::Multiply(const std::vector<double>& x) const {
+  CROWDRTSE_CHECK(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    double sum = 0.0;
+    for (size_t c = 0; c < cols_; ++c) sum += row[c] * x[c];
+    y[r] = sum;
+  }
+  return y;
+}
+
+std::vector<double> DenseMatrix::MultiplyTransposed(
+    const std::vector<double>& x) const {
+  CROWDRTSE_CHECK(x.size() == rows_);
+  std::vector<double> y(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::Multiply(const DenseMatrix& other) const {
+  CROWDRTSE_CHECK(cols_ == other.rows_);
+  DenseMatrix out(rows_, other.cols_, 0.0);
+  // i-k-j loop order keeps the inner loop contiguous in both B and C.
+  for (size_t i = 0; i < rows_; ++i) {
+    double* out_row = out.RowPtr(i);
+    const double* a_row = RowPtr(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = other.RowPtr(k);
+      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Transposed() const {
+  DenseMatrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = row[c];
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Gram() const {
+  DenseMatrix out(cols_, cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    for (size_t i = 0; i < cols_; ++i) {
+      const double v = row[i];
+      if (v == 0.0) continue;
+      double* out_row = out.RowPtr(i);
+      for (size_t j = i; j < cols_; ++j) out_row[j] += v * row[j];
+    }
+  }
+  for (size_t i = 0; i < cols_; ++i) {
+    for (size_t j = 0; j < i; ++j) out.At(i, j) = out.At(j, i);
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Identity(size_t n) {
+  DenseMatrix out(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) out.At(i, i) = 1.0;
+  return out;
+}
+
+double DenseMatrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+}  // namespace crowdrtse::math

@@ -1,0 +1,64 @@
+#ifndef CROWDRTSE_MATH_DENSE_MATRIX_H_
+#define CROWDRTSE_MATH_DENSE_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace crowdrtse::math {
+
+/// Row-major dense matrix of doubles. Sized for the baselines' problems
+/// (design matrices of a few hundred columns, GRMC factor matrices); not a
+/// general BLAS replacement, but the hot loops are written to stride
+/// contiguously.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// Creates a rows x cols matrix filled with `fill`.
+  DenseMatrix(size_t rows, size_t cols, double fill = 0.0);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Pointer to the start of row `r` (contiguous `cols()` doubles).
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Matrix-vector product y = A x. `x.size()` must equal cols().
+  std::vector<double> Multiply(const std::vector<double>& x) const;
+
+  /// Transposed matrix-vector product y = A^T x. `x.size()` must equal
+  /// rows().
+  std::vector<double> MultiplyTransposed(const std::vector<double>& x) const;
+
+  /// Dense product A * B; inner dimensions must agree.
+  DenseMatrix Multiply(const DenseMatrix& other) const;
+
+  /// Returns A^T.
+  DenseMatrix Transposed() const;
+
+  /// Gram matrix A^T A (symmetric cols x cols), computed exploiting
+  /// symmetry.
+  DenseMatrix Gram() const;
+
+  /// Identity matrix of order n.
+  static DenseMatrix Identity(size_t n);
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace crowdrtse::math
+
+#endif  // CROWDRTSE_MATH_DENSE_MATRIX_H_

@@ -1,0 +1,141 @@
+#include "math/linear_solver.h"
+
+#include <cmath>
+
+#include "math/vector_ops.h"
+#include "util/logging.h"
+
+namespace crowdrtse::math {
+
+util::Result<CholeskyFactor> CholeskyFactor::Factorize(const DenseMatrix& a) {
+  if (a.rows() != a.cols()) {
+    return util::Status::InvalidArgument("Cholesky needs a square matrix");
+  }
+  const size_t n = a.rows();
+  DenseMatrix l(n, n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a.At(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l.At(j, k) * l.At(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return util::Status::NumericalError(
+          "matrix is not positive definite (pivot " + std::to_string(diag) +
+          " at column " + std::to_string(j) + ")");
+    }
+    const double ljj = std::sqrt(diag);
+    l.At(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double sum = a.At(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l.At(i, k) * l.At(j, k);
+      l.At(i, j) = sum / ljj;
+    }
+  }
+  return CholeskyFactor(std::move(l));
+}
+
+std::vector<double> CholeskyFactor::Solve(const std::vector<double>& b) const {
+  const size_t n = l_.rows();
+  CROWDRTSE_CHECK(b.size() == n);
+  // Forward substitution: L y = b.
+  std::vector<double> y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    const double* row = l_.RowPtr(i);
+    for (size_t k = 0; k < i; ++k) sum -= row[k] * y[k];
+    y[i] = sum / row[i];
+  }
+  // Backward substitution: L^T x = y.
+  std::vector<double> x(n, 0.0);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l_.At(k, ii) * x[k];
+    x[ii] = sum / l_.At(ii, ii);
+  }
+  return x;
+}
+
+util::Result<std::vector<double>> SolveSpd(const DenseMatrix& a,
+                                           const std::vector<double>& b) {
+  util::Result<CholeskyFactor> factor = CholeskyFactor::Factorize(a);
+  if (!factor.ok()) return factor.status();
+  return factor->Solve(b);
+}
+
+CgResult ConjugateGradient(
+    const std::vector<double>& b,
+    const std::function<std::vector<double>(const std::vector<double>&)>&
+        apply_a,
+    const CgOptions& options) {
+  CgResult result;
+  const size_t n = b.size();
+  result.x.assign(n, 0.0);
+  std::vector<double> r = b;  // r = b - A*0
+  std::vector<double> p = r;
+  double rs_old = Dot(r, r);
+  const double b_norm = std::max(Norm2(b), 1e-300);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.residual_norm = std::sqrt(rs_old);
+    if (result.residual_norm / b_norm <= options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+    std::vector<double> ap = apply_a(p);
+    const double denom = Dot(p, ap);
+    if (denom <= 0.0 || !std::isfinite(denom)) break;  // lost SPD-ness
+    const double alpha = rs_old / denom;
+    Axpy(alpha, p, result.x);
+    Axpy(-alpha, ap, r);
+    const double rs_new = Dot(r, r);
+    const double beta = rs_new / rs_old;
+    for (size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rs_old = rs_new;
+    result.iterations = iter + 1;
+  }
+  result.residual_norm = std::sqrt(rs_old);
+  result.converged = result.residual_norm / b_norm <= options.tolerance;
+  return result;
+}
+
+CgResult PreconditionedConjugateGradient(
+    const std::vector<double>& b,
+    const std::function<std::vector<double>(const std::vector<double>&)>&
+        apply_a,
+    const std::vector<double>& diagonal, const CgOptions& options) {
+  CgResult result;
+  const size_t n = b.size();
+  CROWDRTSE_CHECK(diagonal.size() == n);
+  result.x.assign(n, 0.0);
+  std::vector<double> r = b;
+  // z = M^-1 r with M = diag(A).
+  std::vector<double> z(n);
+  for (size_t i = 0; i < n; ++i) {
+    CROWDRTSE_CHECK(diagonal[i] > 0.0);
+    z[i] = r[i] / diagonal[i];
+  }
+  std::vector<double> p = z;
+  double rz_old = Dot(r, z);
+  const double b_norm = std::max(Norm2(b), 1e-300);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.residual_norm = Norm2(r);
+    if (result.residual_norm / b_norm <= options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+    std::vector<double> ap = apply_a(p);
+    const double denom = Dot(p, ap);
+    if (denom <= 0.0 || !std::isfinite(denom)) break;
+    const double alpha = rz_old / denom;
+    Axpy(alpha, p, result.x);
+    Axpy(-alpha, ap, r);
+    for (size_t i = 0; i < n; ++i) z[i] = r[i] / diagonal[i];
+    const double rz_new = Dot(r, z);
+    const double beta = rz_new / rz_old;
+    for (size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    rz_old = rz_new;
+    result.iterations = iter + 1;
+  }
+  result.residual_norm = Norm2(r);
+  result.converged = result.residual_norm / b_norm <= options.tolerance;
+  return result;
+}
+
+}  // namespace crowdrtse::math

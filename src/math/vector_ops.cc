@@ -1,0 +1,62 @@
+#include "math/vector_ops.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crowdrtse::math {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  CROWDRTSE_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm2(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+double Norm1(const std::vector<double>& a) {
+  double sum = 0.0;
+  for (double v : a) sum += std::fabs(v);
+  return sum;
+}
+
+double NormInf(const std::vector<double>& a) {
+  double max = 0.0;
+  for (double v : a) max = std::max(max, std::fabs(v));
+  return max;
+}
+
+void Axpy(double alpha, const std::vector<double>& x,
+          std::vector<double>& y) {
+  CROWDRTSE_CHECK(x.size() == y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(double alpha, std::vector<double>& x) {
+  for (double& v : x) v *= alpha;
+}
+
+std::vector<double> Subtract(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  CROWDRTSE_CHECK(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  CROWDRTSE_CHECK(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+double SoftThreshold(double x, double threshold) {
+  if (x > threshold) return x - threshold;
+  if (x < -threshold) return x + threshold;
+  return 0.0;
+}
+
+}  // namespace crowdrtse::math

@@ -1,0 +1,45 @@
+#ifndef CROWDRTSE_MATH_VECTOR_OPS_H_
+#define CROWDRTSE_MATH_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace crowdrtse::math {
+
+/// Dense vector kernels shared by the LASSO / GRMC baselines and the RTF
+/// trainer. All operate on std::vector<double> of equal length; mismatched
+/// lengths are programming errors checked via CROWDRTSE_CHECK in the .cc.
+
+/// Dot product <a, b>.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm ||a||_2.
+double Norm2(const std::vector<double>& a);
+
+/// L1 norm ||a||_1.
+double Norm1(const std::vector<double>& a);
+
+/// Largest absolute entry ||a||_inf; 0 for the empty vector.
+double NormInf(const std::vector<double>& a);
+
+/// y += alpha * x.
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>& y);
+
+/// x *= alpha.
+void Scale(double alpha, std::vector<double>& x);
+
+/// Element-wise a - b.
+std::vector<double> Subtract(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+/// Element-wise a + b.
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Soft-thresholding operator S(x, t) = sign(x) * max(|x| - t, 0); the
+/// proximal map of the L1 norm used by coordinate-descent LASSO.
+double SoftThreshold(double x, double threshold);
+
+}  // namespace crowdrtse::math
+
+#endif  // CROWDRTSE_MATH_VECTOR_OPS_H_

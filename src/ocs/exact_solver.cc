@@ -1,0 +1,128 @@
+#include "ocs/exact_solver.h"
+
+#include <algorithm>
+#include <string>
+
+namespace crowdrtse::ocs {
+
+namespace {
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const OcsProblem& problem, const ExactSolverOptions& options)
+      : problem_(problem),
+        options_(options),
+        candidates_(problem.candidate_roads()) {
+    // Decide high-value candidates first so good incumbents appear early.
+    std::sort(candidates_.begin(), candidates_.end(),
+              [&](graph::RoadId a, graph::RoadId b) {
+                const double ga = SoloGain(a) / problem_.costs().Cost(a);
+                const double gb = SoloGain(b) / problem_.costs().Cost(b);
+                return ga > gb;
+              });
+  }
+
+  util::Result<OcsSolution> Run() {
+    std::vector<graph::RoadId> selection;
+    std::vector<double> best_corr(problem_.queried_roads().size(), 0.0);
+    Search(0, 0, 0.0, best_corr, selection);
+    if (nodes_ >= options_.max_nodes) {
+      return util::Status::FailedPrecondition(
+          "exact solver node budget exhausted");
+    }
+    best_.objective = problem_.Objective(best_.roads);
+    best_.total_cost = problem_.costs().TotalCost(best_.roads);
+    return best_;
+  }
+
+ private:
+  double SoloGain(graph::RoadId candidate) const {
+    double gain = 0.0;
+    const auto& queried = problem_.queried_roads();
+    const auto& weights = problem_.sigma_weights();
+    for (size_t i = 0; i < queried.size(); ++i) {
+      gain += weights[i] * problem_.correlations().Corr(queried[i], candidate);
+    }
+    return gain;
+  }
+
+  /// Admissible completion bound: per queried road, the best correlation
+  /// reachable via the current selection or any undecided candidate.
+  double UpperBound(size_t next, const std::vector<double>& best_corr) const {
+    const auto& queried = problem_.queried_roads();
+    const auto& weights = problem_.sigma_weights();
+    double bound = 0.0;
+    for (size_t i = 0; i < queried.size(); ++i) {
+      double best = best_corr[i];
+      for (size_t k = next; k < candidates_.size(); ++k) {
+        best = std::max(
+            best, problem_.correlations().Corr(queried[i], candidates_[k]));
+      }
+      bound += weights[i] * best;
+    }
+    return bound;
+  }
+
+  void Search(size_t next, int cost_so_far, double objective,
+              std::vector<double>& best_corr,
+              std::vector<graph::RoadId>& selection) {
+    if (++nodes_ >= options_.max_nodes) return;
+    if (objective > best_objective_) {
+      best_objective_ = objective;
+      best_.roads = selection;
+    }
+    if (next >= candidates_.size()) return;
+    if (UpperBound(next, best_corr) <= best_objective_) return;  // prune
+
+    const graph::RoadId candidate = candidates_[next];
+    const int cost = problem_.costs().Cost(candidate);
+    // Branch 1: include (if feasible).
+    if (cost_so_far + cost <= problem_.budget() &&
+        problem_.RedundancyOk(candidate, selection)) {
+      const auto& queried = problem_.queried_roads();
+      const auto& weights = problem_.sigma_weights();
+      std::vector<std::pair<size_t, double>> touched;
+      double gain = 0.0;
+      for (size_t i = 0; i < queried.size(); ++i) {
+        const double corr =
+            problem_.correlations().Corr(queried[i], candidate);
+        if (corr > best_corr[i]) {
+          touched.emplace_back(i, best_corr[i]);
+          gain += weights[i] * (corr - best_corr[i]);
+          best_corr[i] = corr;
+        }
+      }
+      selection.push_back(candidate);
+      Search(next + 1, cost_so_far + cost, objective + gain, best_corr,
+             selection);
+      selection.pop_back();
+      for (const auto& [i, old] : touched) best_corr[i] = old;
+    }
+    // Branch 2: exclude.
+    Search(next + 1, cost_so_far, objective, best_corr, selection);
+  }
+
+  const OcsProblem& problem_;
+  ExactSolverOptions options_;
+  std::vector<graph::RoadId> candidates_;
+  OcsSolution best_;
+  double best_objective_ = -1.0;
+  long nodes_ = 0;
+};
+
+}  // namespace
+
+util::Result<OcsSolution> ExactSolve(const OcsProblem& problem,
+                                     const ExactSolverOptions& options) {
+  if (static_cast<int>(problem.candidate_roads().size()) >
+      options.max_candidates) {
+    return util::Status::InvalidArgument(
+        "instance too large for exact solving (" +
+        std::to_string(problem.candidate_roads().size()) + " candidates, " +
+        "limit " + std::to_string(options.max_candidates) + ")");
+  }
+  BranchAndBound solver(problem, options);
+  return solver.Run();
+}
+
+}  // namespace crowdrtse::ocs

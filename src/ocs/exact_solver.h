@@ -1,0 +1,29 @@
+#ifndef CROWDRTSE_OCS_EXACT_SOLVER_H_
+#define CROWDRTSE_OCS_EXACT_SOLVER_H_
+
+#include "ocs/ocs_problem.h"
+
+namespace crowdrtse::ocs {
+
+/// Options for the exact branch-and-bound OCS solver.
+struct ExactSolverOptions {
+  /// Refuse instances with more candidates than this: OCS is NP-hard and
+  /// the exact solver exists to audit the greedy approximation gap on small
+  /// instances, not to run in production.
+  int max_candidates = 24;
+  /// Safety valve on explored nodes.
+  long max_nodes = 50'000'000;
+};
+
+/// Optimal OCS by depth-first branch and bound over include/exclude
+/// decisions. Pruning bound: for every queried road, the best correlation
+/// achievable using the current selection plus all not-yet-decided
+/// candidates — an admissible (never under-estimating) completion bound
+/// because the objective is monotone in the selection.
+util::Result<OcsSolution> ExactSolve(
+    const OcsProblem& problem,
+    const ExactSolverOptions& options = ExactSolverOptions());
+
+}  // namespace crowdrtse::ocs
+
+#endif  // CROWDRTSE_OCS_EXACT_SOLVER_H_

@@ -1,0 +1,197 @@
+#include "ocs/greedy_selectors.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace crowdrtse::ocs {
+
+namespace {
+
+/// Shared greedy skeleton: each round scores every still-feasible candidate
+/// with `score(gain, cost)` and commits the argmax, until nothing fits the
+/// remaining budget / redundancy constraints.
+template <typename ScoreFn>
+OcsSolution RunGreedy(const OcsProblem& problem, ScoreFn score) {
+  IncrementalObjective objective(problem);
+  std::vector<graph::RoadId> pool = problem.candidate_roads();
+  std::vector<bool> selected(pool.size(), false);
+  int budget_left = problem.budget();
+
+  for (;;) {
+    double best_score = -1.0;
+    double best_gain = 0.0;
+    size_t best_index = pool.size();
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (selected[i]) continue;
+      const graph::RoadId candidate = pool[i];
+      const int cost = problem.costs().Cost(candidate);
+      if (cost > budget_left) continue;
+      if (!problem.RedundancyOk(candidate, objective.selection())) continue;
+      const double gain = objective.Gain(candidate);
+      const double candidate_score = score(gain, cost);
+      if (candidate_score > best_score) {
+        best_score = candidate_score;
+        best_gain = gain;
+        best_index = i;
+      }
+    }
+    if (best_index == pool.size()) break;  // feasible set exhausted
+    (void)best_gain;
+    selected[best_index] = true;
+    budget_left -= problem.costs().Cost(pool[best_index]);
+    objective.Add(pool[best_index]);
+  }
+
+  OcsSolution solution;
+  solution.roads = objective.selection();
+  solution.objective = objective.objective();
+  solution.total_cost = objective.total_cost();
+  return solution;
+}
+
+/// Lazy greedy skeleton. Invariants that make laziness sound here:
+///  * gains are diminishing (submodular objective), so a stale gain is an
+///    upper bound and the heap top with a fresh gain is the true argmax;
+///  * the remaining budget only shrinks and the redundancy constraint only
+///    tightens, so a candidate found infeasible can be discarded for good.
+template <typename ScoreFn>
+OcsSolution RunLazyGreedy(const OcsProblem& problem, ScoreFn score) {
+  IncrementalObjective objective(problem);
+  int budget_left = problem.budget();
+
+  struct Entry {
+    double score;
+    double gain;
+    graph::RoadId road;
+    size_t stamp;  // selection count the score was computed at
+    bool operator<(const Entry& other) const {
+      return score < other.score;  // max-heap
+    }
+  };
+  std::priority_queue<Entry> heap;
+  for (graph::RoadId candidate : problem.candidate_roads()) {
+    const double gain = objective.Gain(candidate);
+    heap.push({score(gain, problem.costs().Cost(candidate)), gain,
+               candidate, 0});
+  }
+
+  size_t selections = 0;
+  while (!heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    const int cost = problem.costs().Cost(top.road);
+    if (cost > budget_left) continue;  // permanently infeasible
+    if (!problem.RedundancyOk(top.road, objective.selection())) continue;
+    if (top.stamp != selections) {
+      // Stale: re-score against the current selection and requeue.
+      const double gain = objective.Gain(top.road);
+      heap.push({score(gain, cost), gain, top.road, selections});
+      continue;
+    }
+    objective.Add(top.road);
+    budget_left -= cost;
+    ++selections;
+  }
+
+  OcsSolution solution;
+  solution.roads = objective.selection();
+  solution.objective = objective.objective();
+  solution.total_cost = objective.total_cost();
+  return solution;
+}
+
+}  // namespace
+
+OcsSolution RatioGreedy(const OcsProblem& problem) {
+  return RunGreedy(problem, [](double gain, int cost) {
+    return gain / static_cast<double>(cost);
+  });
+}
+
+OcsSolution ObjectiveGreedy(const OcsProblem& problem) {
+  return RunGreedy(problem,
+                   [](double gain, int /*cost*/) { return gain; });
+}
+
+OcsSolution HybridGreedy(const OcsProblem& problem) {
+  OcsSolution ratio = RatioGreedy(problem);
+  OcsSolution objective = ObjectiveGreedy(problem);
+  return ratio.objective >= objective.objective ? ratio : objective;
+}
+
+OcsSolution LazyRatioGreedy(const OcsProblem& problem) {
+  return RunLazyGreedy(problem, [](double gain, int cost) {
+    return gain / static_cast<double>(cost);
+  });
+}
+
+OcsSolution LazyObjectiveGreedy(const OcsProblem& problem) {
+  return RunLazyGreedy(problem,
+                       [](double gain, int /*cost*/) { return gain; });
+}
+
+OcsSolution LazyHybridGreedy(const OcsProblem& problem) {
+  OcsSolution ratio = LazyRatioGreedy(problem);
+  OcsSolution objective = LazyObjectiveGreedy(problem);
+  return ratio.objective >= objective.objective ? ratio : objective;
+}
+
+OcsSolution RandomSelect(const OcsProblem& problem, util::Rng& rng) {
+  std::vector<graph::RoadId> pool = problem.candidate_roads();
+  rng.Shuffle(pool);
+  IncrementalObjective objective(problem);
+  int budget_left = problem.budget();
+  for (graph::RoadId candidate : pool) {
+    const int cost = problem.costs().Cost(candidate);
+    if (cost > budget_left) continue;
+    if (!problem.RedundancyOk(candidate, objective.selection())) continue;
+    objective.Add(candidate);
+    budget_left -= cost;
+  }
+  OcsSolution solution;
+  solution.roads = objective.selection();
+  solution.objective = objective.objective();
+  solution.total_cost = objective.total_cost();
+  return solution;
+}
+
+util::Result<OcsSolution> SolveTrivialCase(const OcsProblem& problem) {
+  const bool unit_costs = std::all_of(
+      problem.candidate_roads().begin(), problem.candidate_roads().end(),
+      [&](graph::RoadId r) { return problem.costs().Cost(r) == 1; });
+  if (problem.theta() < 1.0 || !unit_costs) {
+    return util::Status::FailedPrecondition(
+        "not a trivial instance (needs theta == 1 and unit costs)");
+  }
+  OcsSolution solution;
+  const int budget = problem.budget();
+  if (static_cast<int>(problem.candidate_roads().size()) <= budget) {
+    // Over-adequate budget: take everything (Remark 2, case 1).
+    solution.roads = problem.candidate_roads();
+  } else if (static_cast<int>(problem.queried_roads().size()) <= budget) {
+    // Per queried road, pick its top-correlated candidate (case 2).
+    std::set<graph::RoadId> chosen;
+    for (graph::RoadId q : problem.queried_roads()) {
+      double best = -1.0;
+      graph::RoadId best_candidate = graph::kInvalidRoad;
+      for (graph::RoadId c : problem.candidate_roads()) {
+        const double corr = problem.correlations().Corr(q, c);
+        if (corr > best) {
+          best = corr;
+          best_candidate = c;
+        }
+      }
+      if (best_candidate != graph::kInvalidRoad) chosen.insert(best_candidate);
+    }
+    solution.roads.assign(chosen.begin(), chosen.end());
+  } else {
+    return util::Status::FailedPrecondition(
+        "not a trivial instance (budget below both |R^w| and |R^q|)");
+  }
+  solution.objective = problem.Objective(solution.roads);
+  solution.total_cost = problem.costs().TotalCost(solution.roads);
+  return solution;
+}
+
+}  // namespace crowdrtse::ocs

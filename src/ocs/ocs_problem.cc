@@ -1,0 +1,145 @@
+#include "ocs/ocs_problem.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+
+namespace crowdrtse::ocs {
+
+util::Result<OcsProblem> OcsProblem::Create(
+    const rtf::CorrelationTable& correlations,
+    std::vector<graph::RoadId> queried_roads,
+    std::vector<double> sigma_weights,
+    std::vector<graph::RoadId> candidate_roads,
+    const crowd::CostModel& costs, int budget, double theta) {
+  if (queried_roads.empty()) {
+    return util::Status::InvalidArgument("no queried roads");
+  }
+  if (sigma_weights.size() != queried_roads.size()) {
+    return util::Status::InvalidArgument(
+        "sigma weight count must match queried roads");
+  }
+  if (budget < 0) {
+    return util::Status::InvalidArgument("negative budget");
+  }
+  if (!(theta > 0.0 && theta <= 1.0)) {
+    return util::Status::InvalidArgument("theta must be in (0, 1]");
+  }
+  const int n = correlations.num_roads();
+  std::set<graph::RoadId> seen;
+  for (graph::RoadId r : candidate_roads) {
+    if (r < 0 || r >= n) {
+      return util::Status::InvalidArgument("candidate road out of range: " +
+                                           std::to_string(r));
+    }
+    if (r >= costs.num_roads()) {
+      return util::Status::InvalidArgument(
+          "candidate road missing from cost model: " + std::to_string(r));
+    }
+    if (!seen.insert(r).second) {
+      return util::Status::InvalidArgument("duplicate candidate road: " +
+                                           std::to_string(r));
+    }
+  }
+  std::set<graph::RoadId> queried_seen;
+  for (size_t i = 0; i < queried_roads.size(); ++i) {
+    const graph::RoadId r = queried_roads[i];
+    if (r < 0 || r >= n) {
+      return util::Status::InvalidArgument("queried road out of range: " +
+                                           std::to_string(r));
+    }
+    if (!queried_seen.insert(r).second) {
+      // R^q is a set; a duplicate would double-weight one road silently.
+      return util::Status::InvalidArgument("duplicate queried road: " +
+                                           std::to_string(r));
+    }
+    if (!(sigma_weights[i] >= 0.0) || !std::isfinite(sigma_weights[i])) {
+      return util::Status::InvalidArgument("sigma weights must be >= 0");
+    }
+  }
+
+  OcsProblem problem;
+  problem.correlations_ = &correlations;
+  problem.queried_roads_ = std::move(queried_roads);
+  problem.sigma_weights_ = std::move(sigma_weights);
+  problem.candidate_roads_ = std::move(candidate_roads);
+  problem.costs_ = &costs;
+  problem.budget_ = budget;
+  problem.theta_ = theta;
+  return problem;
+}
+
+double OcsProblem::Objective(
+    const std::vector<graph::RoadId>& selection) const {
+  if (selection.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < queried_roads_.size(); ++i) {
+    total += sigma_weights_[i] *
+             correlations_->RoadSetCorr(queried_roads_[i], selection);
+  }
+  return total;
+}
+
+bool OcsProblem::RedundancyOk(
+    graph::RoadId candidate,
+    const std::vector<graph::RoadId>& selection) const {
+  // theta == 1 disables the constraint (corr is capped at 1 anyway, but a
+  // candidate correlating at exactly 1.0 with a selected road is then
+  // allowed, matching the paper's Theta(1) setting).
+  for (graph::RoadId s : selection) {
+    if (s == candidate) return false;  // never select a road twice
+    if (correlations_->Corr(candidate, s) > theta_) return false;
+  }
+  return true;
+}
+
+bool OcsProblem::IsFeasible(
+    const std::vector<graph::RoadId>& selection) const {
+  std::set<graph::RoadId> candidate_set(candidate_roads_.begin(),
+                                        candidate_roads_.end());
+  int total_cost = 0;
+  for (size_t i = 0; i < selection.size(); ++i) {
+    const graph::RoadId r = selection[i];
+    if (candidate_set.count(r) == 0) return false;
+    total_cost += costs_->Cost(r);
+    for (size_t j = i + 1; j < selection.size(); ++j) {
+      if (selection[j] == r) return false;
+      if (correlations_->Corr(r, selection[j]) > theta_) return false;
+    }
+  }
+  return total_cost <= budget_;
+}
+
+IncrementalObjective::IncrementalObjective(const OcsProblem& problem)
+    : problem_(problem),
+      best_corr_(problem.queried_roads().size(), 0.0) {}
+
+double IncrementalObjective::Gain(graph::RoadId candidate) const {
+  const auto& queried = problem_.queried_roads();
+  const auto& weights = problem_.sigma_weights();
+  double gain = 0.0;
+  for (size_t i = 0; i < queried.size(); ++i) {
+    const double corr = problem_.correlations().Corr(queried[i], candidate);
+    if (corr > best_corr_[i]) {
+      gain += weights[i] * (corr - best_corr_[i]);
+    }
+  }
+  return gain;
+}
+
+void IncrementalObjective::Add(graph::RoadId candidate) {
+  const auto& queried = problem_.queried_roads();
+  const auto& weights = problem_.sigma_weights();
+  for (size_t i = 0; i < queried.size(); ++i) {
+    const double corr = problem_.correlations().Corr(queried[i], candidate);
+    if (corr > best_corr_[i]) {
+      objective_ += weights[i] * (corr - best_corr_[i]);
+      best_corr_[i] = corr;
+    }
+  }
+  selection_.push_back(candidate);
+  total_cost_ += problem_.costs().Cost(candidate);
+}
+
+}  // namespace crowdrtse::ocs

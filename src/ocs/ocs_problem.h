@@ -1,0 +1,106 @@
+#ifndef CROWDRTSE_OCS_OCS_PROBLEM_H_
+#define CROWDRTSE_OCS_OCS_PROBLEM_H_
+
+#include <vector>
+
+#include "crowd/cost_model.h"
+#include "graph/graph.h"
+#include "rtf/correlation_table.h"
+#include "util/status.h"
+
+namespace crowdrtse::ocs {
+
+/// One instance of the Optimal Crowdsourced roads Selection problem (paper
+/// Eq. 15):
+///
+///   maximise   sum_{r in R^q} sigma_r * corr(r, R^c)
+///   subject to R^c subset of R^w,
+///              sum_{r in R^c} c_r <= K,
+///              corr(r_i, r_j) <= theta for all pairs in R^c.
+///
+/// The correlation table, cost model, and weight vector are borrowed; they
+/// must outlive the problem object.
+class OcsProblem {
+ public:
+  /// Validates shapes and ranges. `sigma_weights[i]` is the periodicity
+  /// intensity of `queried_roads[i]` at the query slot.
+  static util::Result<OcsProblem> Create(
+      const rtf::CorrelationTable& correlations,
+      std::vector<graph::RoadId> queried_roads,
+      std::vector<double> sigma_weights,
+      std::vector<graph::RoadId> candidate_roads,
+      const crowd::CostModel& costs, int budget, double theta);
+
+  const rtf::CorrelationTable& correlations() const { return *correlations_; }
+  const std::vector<graph::RoadId>& queried_roads() const {
+    return queried_roads_;
+  }
+  const std::vector<double>& sigma_weights() const { return sigma_weights_; }
+  const std::vector<graph::RoadId>& candidate_roads() const {
+    return candidate_roads_;
+  }
+  const crowd::CostModel& costs() const { return *costs_; }
+  int budget() const { return budget_; }
+  double theta() const { return theta_; }
+
+  /// The periodicity-weighted correlation objective ocs(R^c) (Eq. 13);
+  /// 0 for the empty selection.
+  double Objective(const std::vector<graph::RoadId>& selection) const;
+
+  /// True iff `selection` satisfies all three constraints.
+  bool IsFeasible(const std::vector<graph::RoadId>& selection) const;
+
+  /// True iff adding `candidate` to the (assumed feasible) `selection`
+  /// keeps the redundancy constraint: corr(candidate, s) <= theta for all
+  /// already-selected s.
+  bool RedundancyOk(graph::RoadId candidate,
+                    const std::vector<graph::RoadId>& selection) const;
+
+ private:
+  OcsProblem() = default;
+
+  const rtf::CorrelationTable* correlations_ = nullptr;
+  std::vector<graph::RoadId> queried_roads_;
+  std::vector<double> sigma_weights_;
+  std::vector<graph::RoadId> candidate_roads_;
+  const crowd::CostModel* costs_ = nullptr;
+  int budget_ = 0;
+  double theta_ = 1.0;
+};
+
+/// Incremental evaluator for greedy selection: keeps, per queried road, the
+/// best correlation into the current selection, so the marginal gain of a
+/// candidate is O(|R^q|) and adding it is O(|R^q|). This realises the
+/// paper's O(K |R^w|) greedy envelope with |R^q| as a constant factor.
+class IncrementalObjective {
+ public:
+  explicit IncrementalObjective(const OcsProblem& problem);
+
+  /// ocs(selection + candidate) - ocs(selection).
+  double Gain(graph::RoadId candidate) const;
+
+  /// Commits `candidate` into the selection.
+  void Add(graph::RoadId candidate);
+
+  double objective() const { return objective_; }
+  const std::vector<graph::RoadId>& selection() const { return selection_; }
+  int total_cost() const { return total_cost_; }
+
+ private:
+  const OcsProblem& problem_;
+  std::vector<double> best_corr_;  // aligned with queried_roads
+  std::vector<graph::RoadId> selection_;
+  double objective_ = 0.0;
+  int total_cost_ = 0;
+};
+
+/// A solved OCS instance.
+struct OcsSolution {
+  std::vector<graph::RoadId> roads;
+  double objective = 0.0;
+  int total_cost = 0;
+};
+
+}  // namespace crowdrtse::ocs
+
+#endif  // CROWDRTSE_OCS_OCS_PROBLEM_H_

@@ -1,0 +1,165 @@
+#include "rtf/correlation_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "graph/dijkstra.h"
+#include "util/serialize.h"
+
+namespace crowdrtse::rtf {
+
+util::Result<CorrelationTable> CorrelationTable::Compute(
+    const RtfModel& model, int slot, PathWeightMode mode) {
+  if (slot < 0 || slot >= model.num_slots()) {
+    return util::Status::OutOfRange("slot out of range");
+  }
+  std::vector<double> edge_rho(static_cast<size_t>(model.num_edges()));
+  for (graph::EdgeId e = 0; e < model.num_edges(); ++e) {
+    edge_rho[static_cast<size_t>(e)] = model.Rho(slot, e);
+  }
+  return FromEdgeCorrelations(model.graph(), edge_rho, mode);
+}
+
+util::Result<CorrelationTable> CorrelationTable::FromEdgeCorrelations(
+    const graph::Graph& graph, const std::vector<double>& edge_rho,
+    PathWeightMode mode) {
+  if (edge_rho.size() != static_cast<size_t>(graph.num_edges())) {
+    return util::Status::InvalidArgument(
+        "edge correlation count does not match the graph");
+  }
+  for (double rho : edge_rho) {
+    if (!(rho >= 0.0 && rho <= 1.0)) {
+      return util::Status::InvalidArgument(
+          "edge correlations must lie in [0, 1]");
+    }
+  }
+
+  const int n = graph.num_roads();
+  CorrelationTable table;
+  table.num_roads_ = n;
+  table.data_.assign(static_cast<size_t>(n) * static_cast<size_t>(n), 0.0);
+
+  const auto weight = [&](graph::EdgeId e) -> double {
+    const double rho = edge_rho[static_cast<size_t>(e)];
+    if (rho <= 0.0) return graph::kUnreachable;  // zero correlation blocks
+    switch (mode) {
+      case PathWeightMode::kNegLog:
+        return -std::log(rho);
+      case PathWeightMode::kReciprocal:
+        return 1.0 / rho;
+    }
+    return graph::kUnreachable;
+  };
+
+  for (graph::RoadId src = 0; src < n; ++src) {
+    const graph::ShortestPaths tree = graph::Dijkstra(graph, src, weight);
+    double* row = table.data_.data() +
+                  static_cast<size_t>(src) * static_cast<size_t>(n);
+    for (graph::RoadId dst = 0; dst < n; ++dst) {
+      const double dist = tree.distance[static_cast<size_t>(dst)];
+      if (dist == graph::kUnreachable) {
+        row[dst] = 0.0;
+        continue;
+      }
+      if (mode == PathWeightMode::kNegLog) {
+        row[dst] = std::exp(-dist);
+      } else {
+        // Reconstruct the product along the chosen min-reciprocal path.
+        double product = 1.0;
+        for (graph::RoadId r = dst; r != src;) {
+          const graph::RoadId parent =
+              tree.parent[static_cast<size_t>(r)];
+          const graph::EdgeId e = graph.FindEdge(r, parent);
+          product *= edge_rho[static_cast<size_t>(e)];
+          r = parent;
+        }
+        row[dst] = product;
+      }
+    }
+    row[src] = 1.0;
+  }
+  return table;
+}
+
+double CorrelationTable::RoadSetCorr(
+    graph::RoadId road, const std::vector<graph::RoadId>& set) const {
+  double best = 0.0;
+  const double* row = Row(road);
+  for (graph::RoadId s : set) best = std::max(best, row[s]);
+  return best;
+}
+
+namespace {
+constexpr uint32_t kTableMagic = 0x47414D31;  // "GAM1"
+}  // namespace
+
+std::string CorrelationTable::Serialize() const {
+  util::BinaryWriter writer;
+  writer.WriteUint32(kTableMagic);
+  writer.WriteInt32(num_roads_);
+  writer.WriteDoubleVector(data_);
+  return writer.buffer();
+}
+
+util::Result<CorrelationTable> CorrelationTable::Deserialize(
+    const std::string& data) {
+  util::BinaryReader reader(data);
+  util::Result<uint32_t> magic = reader.ReadUint32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kTableMagic) {
+    return util::Status::InvalidArgument("not a correlation table file");
+  }
+  util::Result<int32_t> num_roads = reader.ReadInt32();
+  if (!num_roads.ok()) return num_roads.status();
+  if (*num_roads < 0) {
+    return util::Status::InvalidArgument("negative road count");
+  }
+  util::Result<std::vector<double>> values = reader.ReadDoubleVector();
+  if (!values.ok()) return values.status();
+  const size_t expected = static_cast<size_t>(*num_roads) *
+                          static_cast<size_t>(*num_roads);
+  if (values->size() != expected) {
+    return util::Status::InvalidArgument("table payload size mismatch");
+  }
+  CorrelationTable table;
+  table.num_roads_ = *num_roads;
+  table.data_ = std::move(*values);
+  return table;
+}
+
+util::Status CorrelationTable::SaveToFile(const std::string& path) const {
+  util::BinaryWriter writer;
+  writer.WriteUint32(kTableMagic);
+  writer.WriteInt32(num_roads_);
+  writer.WriteDoubleVector(data_);
+  return writer.Flush(path);
+}
+
+util::Result<CorrelationTable> CorrelationTable::LoadFromFile(
+    const std::string& path) {
+  util::Result<util::BinaryReader> reader =
+      util::BinaryReader::FromFile(path);
+  if (!reader.ok()) return reader.status();
+  util::Result<uint32_t> magic = reader->ReadUint32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kTableMagic) {
+    return util::Status::InvalidArgument("not a correlation table file");
+  }
+  util::Result<int32_t> num_roads = reader->ReadInt32();
+  if (!num_roads.ok()) return num_roads.status();
+  util::Result<std::vector<double>> values = reader->ReadDoubleVector();
+  if (!values.ok()) return values.status();
+  if (*num_roads < 0 ||
+      values->size() != static_cast<size_t>(*num_roads) *
+                            static_cast<size_t>(*num_roads)) {
+    return util::Status::InvalidArgument("table payload size mismatch");
+  }
+  CorrelationTable table;
+  table.num_roads_ = *num_roads;
+  table.data_ = std::move(*values);
+  return table;
+}
+
+}  // namespace crowdrtse::rtf

@@ -1,0 +1,80 @@
+#ifndef CROWDRTSE_RTF_CORRELATION_TABLE_H_
+#define CROWDRTSE_RTF_CORRELATION_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "rtf/rtf_model.h"
+#include "util/status.h"
+
+namespace crowdrtse::rtf {
+
+/// How the max-product path correlation of paper Eq. (8) is reduced to a
+/// shortest-path problem.
+enum class PathWeightMode {
+  /// Edge weight -log(rho): min-sum shortest path == max-product path. This
+  /// is the mathematically exact reduction (log is monotone) and the
+  /// default.
+  kNegLog,
+  /// Edge weight 1/rho, as literally written in the paper's Eq. (9). A
+  /// heuristic: minimising sum of reciprocals does not in general maximise
+  /// the product, but tracks it closely for rho near 1. Offered for
+  /// paper-faithful comparison (see bench_ablations).
+  kReciprocal,
+};
+
+/// Gamma_R: the dense road-road correlation closure for one time slot,
+/// corr^t(r_i, r_j) = max over joining paths of the product of edge rhos
+/// (Eq. 8), computed offline by one Dijkstra per source road and then read
+/// in O(1) by OCS. 607 roads => ~2.9 MB per slot.
+class CorrelationTable {
+ public:
+  CorrelationTable() = default;
+
+  /// Computes the full table for `slot` from the trained model.
+  static util::Result<CorrelationTable> Compute(
+      const RtfModel& model, int slot,
+      PathWeightMode mode = PathWeightMode::kNegLog);
+
+  /// Builds a table directly from per-edge correlations (used by tests and
+  /// by scenarios that bypass RTF training).
+  static util::Result<CorrelationTable> FromEdgeCorrelations(
+      const graph::Graph& graph, const std::vector<double>& edge_rho,
+      PathWeightMode mode = PathWeightMode::kNegLog);
+
+  int num_roads() const { return num_roads_; }
+
+  /// corr(i, j); 1 on the diagonal, 0 when the roads are disconnected.
+  double Corr(graph::RoadId i, graph::RoadId j) const {
+    return data_[static_cast<size_t>(i) * static_cast<size_t>(num_roads_) +
+                 static_cast<size_t>(j)];
+  }
+
+  /// Road-set correlation corr(r, S) = max_{s in S} corr(r, s) (Eq. 11);
+  /// 0 for the empty set.
+  double RoadSetCorr(graph::RoadId road,
+                     const std::vector<graph::RoadId>& set) const;
+
+  /// Contiguous row of correlations from road `i` to every road.
+  const double* Row(graph::RoadId i) const {
+    return data_.data() +
+           static_cast<size_t>(i) * static_cast<size_t>(num_roads_);
+  }
+
+  /// Binary persistence: the offline stage computes Gamma_R once per used
+  /// slot (|R| Dijkstras) and the online stage reloads it at startup.
+  std::string Serialize() const;
+  static util::Result<CorrelationTable> Deserialize(const std::string& data);
+  util::Status SaveToFile(const std::string& path) const;
+  static util::Result<CorrelationTable> LoadFromFile(
+      const std::string& path);
+
+ private:
+  int num_roads_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace crowdrtse::rtf
+
+#endif  // CROWDRTSE_RTF_CORRELATION_TABLE_H_

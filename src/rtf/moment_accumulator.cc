@@ -1,0 +1,91 @@
+#include "rtf/moment_accumulator.h"
+
+#include <algorithm>
+
+namespace crowdrtse::rtf {
+
+MomentAccumulator::MomentAccumulator(const graph::Graph& graph,
+                                     int num_slots, int slot_window,
+                                     double min_sigma)
+    : graph_(graph),
+      num_slots_(num_slots),
+      slot_window_(std::max(0, slot_window)),
+      min_sigma_(min_sigma),
+      node_stats_(static_cast<size_t>(num_slots) *
+                  static_cast<size_t>(graph.num_roads())),
+      edge_stats_(static_cast<size_t>(num_slots) *
+                  static_cast<size_t>(graph.num_edges())) {}
+
+util::Status MomentAccumulator::AbsorbDay(const traffic::DayMatrix& day) {
+  if (day.num_roads() != graph_.num_roads()) {
+    return util::Status::InvalidArgument(
+        "day matrix road count does not match the graph");
+  }
+  if (day.num_slots() != num_slots_) {
+    return util::Status::InvalidArgument("day matrix slot count mismatch");
+  }
+  // Each observation of source slot s contributes to every pooled target
+  // slot within the window (the transpose of the pooling in the batch
+  // estimator, which yields identical sums).
+  for (int s = 0; s < num_slots_; ++s) {
+    const double* speeds = day.SlotPtr(s);
+    for (int w = -slot_window_; w <= slot_window_; ++w) {
+      const int target = (s + w % num_slots_ + num_slots_) % num_slots_;
+      for (graph::RoadId r = 0; r < graph_.num_roads(); ++r) {
+        node_stats_[NodeIndex(target, r)].Add(speeds[r]);
+      }
+      for (graph::EdgeId e = 0; e < graph_.num_edges(); ++e) {
+        const auto [i, j] = graph_.EdgeEndpoints(e);
+        edge_stats_[EdgeIndex(target, e)].Add(speeds[i], speeds[j]);
+      }
+    }
+  }
+  ++num_days_;
+  return util::Status::Ok();
+}
+
+util::Status MomentAccumulator::AbsorbHistory(
+    const traffic::HistoryStore& history) {
+  if (history.num_slots() != num_slots_) {
+    return util::Status::InvalidArgument("history slot count mismatch");
+  }
+  if (history.num_roads() != graph_.num_roads()) {
+    return util::Status::InvalidArgument("history road count mismatch");
+  }
+  traffic::DayMatrix day(num_slots_, graph_.num_roads());
+  for (int d = 0; d < history.num_days(); ++d) {
+    for (int slot = 0; slot < num_slots_; ++slot) {
+      double* speeds = day.SlotPtr(slot);
+      for (graph::RoadId r = 0; r < graph_.num_roads(); ++r) {
+        speeds[r] = history.At(d, slot, r);
+      }
+    }
+    CROWDRTSE_RETURN_IF_ERROR(AbsorbDay(day));
+  }
+  return util::Status::Ok();
+}
+
+util::Result<RtfModel> MomentAccumulator::EmitModel() const {
+  if (num_days_ < 2) {
+    return util::Status::FailedPrecondition(
+        "need at least 2 absorbed days to estimate variances");
+  }
+  RtfModel model(graph_, num_slots_);
+  for (int slot = 0; slot < num_slots_; ++slot) {
+    for (graph::RoadId r = 0; r < graph_.num_roads(); ++r) {
+      const util::RunningStats& stats = node_stats_[NodeIndex(slot, r)];
+      model.SetMu(slot, r, stats.Mean());
+      model.SetSigma(slot, r, std::max(stats.StdDev(), min_sigma_));
+    }
+    for (graph::EdgeId e = 0; e < graph_.num_edges(); ++e) {
+      const double rho = std::clamp(
+          edge_stats_[EdgeIndex(slot, e)].Correlation(), RtfModel::kMinRho,
+          RtfModel::kMaxRho);
+      model.SetRho(slot, e, rho);
+    }
+  }
+  model.ClampParameters();
+  return model;
+}
+
+}  // namespace crowdrtse::rtf

@@ -1,0 +1,66 @@
+#ifndef CROWDRTSE_RTF_MOMENT_ACCUMULATOR_H_
+#define CROWDRTSE_RTF_MOMENT_ACCUMULATOR_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "rtf/rtf_model.h"
+#include "traffic/history_store.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace crowdrtse::rtf {
+
+/// Streaming RTF training: keeps the sufficient statistics of the moment
+/// estimator (per (road, slot) mean/variance accumulators and per
+/// (edge, slot) covariance accumulators) so the offline model can be kept
+/// fresh as each new day of traffic lands, without retraining over the
+/// whole history. An extension beyond the paper's batch-offline stage; the
+/// emitted model is identical to batch moment estimation over the same
+/// days (see rtf_moment_accumulator_test).
+///
+/// Memory: (|R| + |E|) x num_slots accumulators of a few doubles each —
+/// for the 607-road network, ~15 MB.
+class MomentAccumulator {
+ public:
+  /// Accumulates for `graph` (must outlive the accumulator) with the given
+  /// slot count. `slot_window` pools adjacent slots exactly like
+  /// MomentEstimatorOptions::slot_window.
+  MomentAccumulator(const graph::Graph& graph, int num_slots,
+                    int slot_window = 1, double min_sigma = 0.5);
+
+  int num_days_absorbed() const { return num_days_; }
+
+  /// Folds one full day of speeds into the statistics.
+  util::Status AbsorbDay(const traffic::DayMatrix& day);
+
+  /// Folds every day of a history store.
+  util::Status AbsorbHistory(const traffic::HistoryStore& history);
+
+  /// Emits the RTF model for the data absorbed so far. Requires >= 2 days.
+  util::Result<RtfModel> EmitModel() const;
+
+ private:
+  size_t NodeIndex(int slot, graph::RoadId road) const {
+    return static_cast<size_t>(slot) *
+               static_cast<size_t>(graph_.num_roads()) +
+           static_cast<size_t>(road);
+  }
+  size_t EdgeIndex(int slot, graph::EdgeId edge) const {
+    return static_cast<size_t>(slot) *
+               static_cast<size_t>(graph_.num_edges()) +
+           static_cast<size_t>(edge);
+  }
+
+  const graph::Graph& graph_;
+  int num_slots_;
+  int slot_window_;
+  double min_sigma_;
+  int num_days_ = 0;
+  std::vector<util::RunningStats> node_stats_;       // slot x road
+  std::vector<util::RunningCovariance> edge_stats_;  // slot x edge
+};
+
+}  // namespace crowdrtse::rtf
+
+#endif  // CROWDRTSE_RTF_MOMENT_ACCUMULATOR_H_

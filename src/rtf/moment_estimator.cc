@@ -1,0 +1,64 @@
+#include "rtf/moment_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "traffic/time_slots.h"
+#include "util/stats.h"
+
+namespace crowdrtse::rtf {
+
+util::Result<RtfModel> EstimateByMoments(
+    const graph::Graph& graph, const traffic::HistoryStore& history,
+    const MomentEstimatorOptions& options) {
+  if (history.num_roads() != graph.num_roads()) {
+    return util::Status::InvalidArgument(
+        "history road count does not match the graph");
+  }
+  if (history.num_days() < 2) {
+    return util::Status::InvalidArgument(
+        "need at least 2 historical days to estimate variances");
+  }
+  if (options.slot_window < 0) {
+    return util::Status::InvalidArgument("slot_window must be >= 0");
+  }
+
+  const int num_slots = history.num_slots();
+  const int num_days = history.num_days();
+  RtfModel model(graph, num_slots);
+
+  for (int slot = 0; slot < num_slots; ++slot) {
+    // Node statistics pooled over the slot window.
+    for (graph::RoadId r = 0; r < graph.num_roads(); ++r) {
+      util::RunningStats stats;
+      for (int w = -options.slot_window; w <= options.slot_window; ++w) {
+        const int s = (slot + w % num_slots + num_slots) % num_slots;
+        for (int day = 0; day < num_days; ++day) {
+          stats.Add(history.At(day, s, r));
+        }
+      }
+      model.SetMu(slot, r, stats.Mean());
+      model.SetSigma(slot, r, std::max(stats.StdDev(), options.min_sigma));
+    }
+    // Edge correlations pooled over the slot window.
+    for (graph::EdgeId e = 0; e < graph.num_edges(); ++e) {
+      const auto [i, j] = graph.EdgeEndpoints(e);
+      util::RunningCovariance cov;
+      for (int w = -options.slot_window; w <= options.slot_window; ++w) {
+        const int s = (slot + w % num_slots + num_slots) % num_slots;
+        for (int day = 0; day < num_days; ++day) {
+          cov.Add(history.At(day, s, i), history.At(day, s, j));
+        }
+      }
+      // The paper constrains rho to [0, 1]; anti-correlated samples clamp
+      // to the minimum rather than flipping sign.
+      const double rho = std::clamp(cov.Correlation(), RtfModel::kMinRho,
+                                    RtfModel::kMaxRho);
+      model.SetRho(slot, e, rho);
+    }
+  }
+  model.ClampParameters();
+  return model;
+}
+
+}  // namespace crowdrtse::rtf

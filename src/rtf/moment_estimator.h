@@ -1,0 +1,36 @@
+#ifndef CROWDRTSE_RTF_MOMENT_ESTIMATOR_H_
+#define CROWDRTSE_RTF_MOMENT_ESTIMATOR_H_
+
+#include "graph/graph.h"
+#include "rtf/rtf_model.h"
+#include "traffic/history_store.h"
+#include "util/status.h"
+
+namespace crowdrtse::rtf {
+
+/// Options for the closed-form moment estimator.
+struct MomentEstimatorOptions {
+  /// Pool slots t-w .. t+w (wrapping around midnight) when estimating each
+  /// slot's statistics. With ~30 historical days a single slot only has ~30
+  /// samples; pooling adjacent five-minute slots sharpens sigma and rho
+  /// without blurring the daily profile.
+  int slot_window = 1;
+  /// Floor for sigma in km/h (a road whose history is perfectly flat still
+  /// needs a positive periodicity intensity for the GMRF to be proper).
+  double min_sigma = 0.5;
+};
+
+/// Closed-form RTF parameter estimation: per (road, slot) sample mean and
+/// standard deviation across days, and per (edge, slot) Pearson correlation
+/// of the adjacent roads' speeds, clamped into (0, 1).
+///
+/// This matches the maximum-likelihood stationary point of the paper's
+/// Eq. (5) node terms and serves both as the practical default and as the
+/// initialiser for the paper's iterative CCD trainer (Alg. 1).
+util::Result<RtfModel> EstimateByMoments(
+    const graph::Graph& graph, const traffic::HistoryStore& history,
+    const MomentEstimatorOptions& options = MomentEstimatorOptions());
+
+}  // namespace crowdrtse::rtf
+
+#endif  // CROWDRTSE_RTF_MOMENT_ESTIMATOR_H_

@@ -1,0 +1,60 @@
+#include "rtf/rtf_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace crowdrtse::rtf {
+
+RtfModel::RtfModel(const graph::Graph& graph, int num_slots)
+    : graph_(&graph),
+      num_slots_(num_slots),
+      num_roads_(graph.num_roads()),
+      num_edges_(graph.num_edges()),
+      mu_(static_cast<size_t>(num_slots) * static_cast<size_t>(num_roads_),
+          0.0),
+      sigma_(static_cast<size_t>(num_slots) * static_cast<size_t>(num_roads_),
+             1.0),
+      rho_(static_cast<size_t>(num_slots) * static_cast<size_t>(num_edges_),
+           0.5) {}
+
+double RtfModel::PairVariance(int slot, graph::EdgeId edge) const {
+  const auto [i, j] = graph_->EdgeEndpoints(edge);
+  const double si = Sigma(slot, i);
+  const double sj = Sigma(slot, j);
+  const double rho = Rho(slot, edge);
+  const double var = si * si + sj * sj - 2.0 * rho * si * sj;
+  return std::max(var, kMinPairVariance);
+}
+
+void RtfModel::ClampParameters() {
+  for (double& s : sigma_) s = std::max(s, kMinSigma);
+  for (double& r : rho_) r = std::clamp(r, kMinRho, kMaxRho);
+}
+
+util::Status RtfModel::Validate() const {
+  if (graph_ == nullptr) {
+    return util::Status::FailedPrecondition("model has no graph");
+  }
+  for (size_t i = 0; i < mu_.size(); ++i) {
+    if (!std::isfinite(mu_[i])) {
+      return util::Status::NumericalError("non-finite mu at index " +
+                                          std::to_string(i));
+    }
+  }
+  for (size_t i = 0; i < sigma_.size(); ++i) {
+    if (!std::isfinite(sigma_[i]) || sigma_[i] <= 0.0) {
+      return util::Status::NumericalError("invalid sigma at index " +
+                                          std::to_string(i));
+    }
+  }
+  for (size_t i = 0; i < rho_.size(); ++i) {
+    if (!std::isfinite(rho_[i]) || rho_[i] < 0.0 || rho_[i] > 1.0) {
+      return util::Status::NumericalError("invalid rho at index " +
+                                          std::to_string(i));
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace crowdrtse::rtf

@@ -1,0 +1,118 @@
+#ifndef CROWDRTSE_RTF_RTF_MODEL_H_
+#define CROWDRTSE_RTF_RTF_MODEL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "traffic/time_slots.h"
+#include "util/status.h"
+
+namespace crowdrtse::rtf {
+
+/// Realtime Traffic-speed Field: the Gaussian Markov Random Field of paper
+/// §IV. For every road i and time slot t it stores the periodic expectation
+/// mu_i^t and intensity-of-periodicity sigma_i^t; for every adjacent pair
+/// (i, j) it stores the correlation coefficient rho_ij^t in [0, 1] (the edge
+/// weight of G^t).
+///
+/// Derived pairwise quantities (paper Eq. 2):
+///   mu_ij^t    = mu_i^t - mu_j^t
+///   sigma_ij^2 = sigma_i^2 + sigma_j^2 - 2 rho_ij sigma_i sigma_j
+///
+/// Storage is slot-major flat arrays so that one query slot's parameters are
+/// contiguous.
+class RtfModel {
+ public:
+  RtfModel() = default;
+
+  /// Allocates parameters for `num_slots` slots over `graph`'s roads/edges,
+  /// initialised to mu=0, sigma=1, rho=0.5. The graph must outlive the
+  /// model.
+  RtfModel(const graph::Graph& graph,
+           int num_slots = traffic::kSlotsPerDay);
+
+  const graph::Graph& graph() const { return *graph_; }
+  int num_slots() const { return num_slots_; }
+  int num_roads() const { return num_roads_; }
+  int num_edges() const { return num_edges_; }
+
+  double Mu(int slot, graph::RoadId road) const {
+    return mu_[NodeIndex(slot, road)];
+  }
+  double Sigma(int slot, graph::RoadId road) const {
+    return sigma_[NodeIndex(slot, road)];
+  }
+  double Rho(int slot, graph::EdgeId edge) const {
+    return rho_[EdgeIndex(slot, edge)];
+  }
+
+  void SetMu(int slot, graph::RoadId road, double value) {
+    mu_[NodeIndex(slot, road)] = value;
+  }
+  void SetSigma(int slot, graph::RoadId road, double value) {
+    sigma_[NodeIndex(slot, road)] = value;
+  }
+  void SetRho(int slot, graph::EdgeId edge, double value) {
+    rho_[EdgeIndex(slot, edge)] = value;
+  }
+
+  /// mu_ij^t for the ordered pair (i, j): Mu(i) - Mu(j).
+  double PairMean(int slot, graph::RoadId i, graph::RoadId j) const {
+    return Mu(slot, i) - Mu(slot, j);
+  }
+
+  /// sigma_ij^2 for edge e (symmetric in the endpoints). Floored at a small
+  /// positive value: rho -> 1 with sigma_i == sigma_j would otherwise send
+  /// the GSP weights to infinity.
+  double PairVariance(int slot, graph::EdgeId edge) const;
+
+  /// Contiguous per-slot views (road- or edge-indexed).
+  const double* MuSlot(int slot) const {
+    return mu_.data() + static_cast<size_t>(slot) *
+                            static_cast<size_t>(num_roads_);
+  }
+  const double* SigmaSlot(int slot) const {
+    return sigma_.data() + static_cast<size_t>(slot) *
+                               static_cast<size_t>(num_roads_);
+  }
+  const double* RhoSlot(int slot) const {
+    return rho_.data() + static_cast<size_t>(slot) *
+                             static_cast<size_t>(num_edges_);
+  }
+
+  /// Numeric floors applied across the library.
+  static constexpr double kMinSigma = 1e-3;
+  static constexpr double kMinPairVariance = 1e-6;
+  static constexpr double kMinRho = 1e-3;
+  static constexpr double kMaxRho = 0.999;
+
+  /// Clamps sigma and rho into their legal ranges in place.
+  void ClampParameters();
+
+  /// Shape/invariant validation: finite values, sigma > 0, rho in [0, 1].
+  util::Status Validate() const;
+
+ private:
+  size_t NodeIndex(int slot, graph::RoadId road) const {
+    return static_cast<size_t>(slot) * static_cast<size_t>(num_roads_) +
+           static_cast<size_t>(road);
+  }
+  size_t EdgeIndex(int slot, graph::EdgeId edge) const {
+    return static_cast<size_t>(slot) * static_cast<size_t>(num_edges_) +
+           static_cast<size_t>(edge);
+  }
+
+  friend class RtfSerializer;
+
+  const graph::Graph* graph_ = nullptr;
+  int num_slots_ = 0;
+  int num_roads_ = 0;
+  int num_edges_ = 0;
+  std::vector<double> mu_;
+  std::vector<double> sigma_;
+  std::vector<double> rho_;
+};
+
+}  // namespace crowdrtse::rtf
+
+#endif  // CROWDRTSE_RTF_RTF_MODEL_H_

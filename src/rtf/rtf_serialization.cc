@@ -1,0 +1,98 @@
+#include "rtf/rtf_serialization.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/serialize.h"
+
+namespace crowdrtse::rtf {
+
+namespace {
+constexpr uint32_t kMagic = 0x52544631;  // "RTF1"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+std::string RtfSerializer::Serialize(const RtfModel& model) {
+  util::BinaryWriter writer;
+  writer.WriteUint32(kMagic);
+  writer.WriteUint32(kVersion);
+  writer.WriteInt32(model.num_slots());
+  writer.WriteInt32(model.num_roads());
+  writer.WriteInt32(model.num_edges());
+  writer.WriteDoubleVector(model.mu_);
+  writer.WriteDoubleVector(model.sigma_);
+  writer.WriteDoubleVector(model.rho_);
+  return writer.buffer();
+}
+
+util::Result<RtfModel> RtfSerializer::Deserialize(const graph::Graph& graph,
+                                                  const std::string& data) {
+  util::BinaryReader reader(data);
+  util::Result<uint32_t> magic = reader.ReadUint32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kMagic) {
+    return util::Status::InvalidArgument("not an RTF model file");
+  }
+  util::Result<uint32_t> version = reader.ReadUint32();
+  if (!version.ok()) return version.status();
+  if (*version != kVersion) {
+    return util::Status::InvalidArgument("unsupported RTF model version " +
+                                         std::to_string(*version));
+  }
+  util::Result<int32_t> num_slots = reader.ReadInt32();
+  util::Result<int32_t> num_roads = reader.ReadInt32();
+  util::Result<int32_t> num_edges = reader.ReadInt32();
+  if (!num_slots.ok()) return num_slots.status();
+  if (!num_roads.ok()) return num_roads.status();
+  if (!num_edges.ok()) return num_edges.status();
+  if (*num_roads != graph.num_roads() || *num_edges != graph.num_edges()) {
+    return util::Status::InvalidArgument(
+        "model shape does not match the graph (roads " +
+        std::to_string(*num_roads) + " vs " +
+        std::to_string(graph.num_roads()) + ", edges " +
+        std::to_string(*num_edges) + " vs " +
+        std::to_string(graph.num_edges()) + ")");
+  }
+  if (*num_slots <= 0) {
+    return util::Status::InvalidArgument("non-positive slot count");
+  }
+
+  RtfModel model(graph, *num_slots);
+  util::Result<std::vector<double>> mu = reader.ReadDoubleVector();
+  if (!mu.ok()) return mu.status();
+  util::Result<std::vector<double>> sigma = reader.ReadDoubleVector();
+  if (!sigma.ok()) return sigma.status();
+  util::Result<std::vector<double>> rho = reader.ReadDoubleVector();
+  if (!rho.ok()) return rho.status();
+  if (mu->size() != model.mu_.size() ||
+      sigma->size() != model.sigma_.size() ||
+      rho->size() != model.rho_.size()) {
+    return util::Status::InvalidArgument("parameter array size mismatch");
+  }
+  model.mu_ = std::move(*mu);
+  model.sigma_ = std::move(*sigma);
+  model.rho_ = std::move(*rho);
+  CROWDRTSE_RETURN_IF_ERROR(model.Validate());
+  return model;
+}
+
+util::Status RtfSerializer::SaveToFile(const RtfModel& model,
+                                       const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return util::Status::IoError("cannot open " + path);
+  const std::string data = Serialize(model);
+  file.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!file) return util::Status::IoError("write failed for " + path);
+  return util::Status::Ok();
+}
+
+util::Result<RtfModel> RtfSerializer::LoadFromFile(const graph::Graph& graph,
+                                                   const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return util::Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return Deserialize(graph, buffer.str());
+}
+
+}  // namespace crowdrtse::rtf

@@ -1,0 +1,32 @@
+#ifndef CROWDRTSE_RTF_RTF_SERIALIZATION_H_
+#define CROWDRTSE_RTF_RTF_SERIALIZATION_H_
+
+#include <string>
+
+#include "rtf/rtf_model.h"
+#include "util/status.h"
+
+namespace crowdrtse::rtf {
+
+/// Persists trained RTF models so the offline stage can run once and the
+/// online stage can reload the field on startup. Format: magic + version +
+/// shape + the three flat parameter arrays, little-endian binary.
+class RtfSerializer {
+ public:
+  /// Serialises `model` to an in-memory buffer.
+  static std::string Serialize(const RtfModel& model);
+
+  /// Reconstructs a model over `graph` from `data`; the shape recorded in
+  /// the buffer must match the graph.
+  static util::Result<RtfModel> Deserialize(const graph::Graph& graph,
+                                            const std::string& data);
+
+  static util::Status SaveToFile(const RtfModel& model,
+                                 const std::string& path);
+  static util::Result<RtfModel> LoadFromFile(const graph::Graph& graph,
+                                             const std::string& path);
+};
+
+}  // namespace crowdrtse::rtf
+
+#endif  // CROWDRTSE_RTF_RTF_SERIALIZATION_H_

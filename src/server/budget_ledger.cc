@@ -1,0 +1,50 @@
+#include "server/budget_ledger.h"
+
+#include <algorithm>
+
+namespace crowdrtse::server {
+
+BudgetLedger::BudgetLedger(int64_t campaign_budget, int per_query_cap)
+    : campaign_budget_(campaign_budget),
+      per_query_cap_(std::max(0, per_query_cap)) {}
+
+int BudgetLedger::NextQueryBudget() const {
+  if (campaign_budget_ < 0) return per_query_cap_;
+  const int64_t left = campaign_budget_ - total_spent_;
+  return static_cast<int>(
+      std::max<int64_t>(0, std::min<int64_t>(per_query_cap_, left)));
+}
+
+int64_t BudgetLedger::remaining() const {
+  if (campaign_budget_ < 0) return -1;
+  return campaign_budget_ - total_spent_;
+}
+
+util::Status BudgetLedger::Settle(int64_t query_id, int reserved,
+                                  int spent) {
+  if (spent < 0 || reserved < 0) {
+    return util::Status::InvalidArgument("negative amounts");
+  }
+  if (spent > reserved) {
+    return util::Status::InvalidArgument(
+        "query spent more than its reservation (" + std::to_string(spent) +
+        " > " + std::to_string(reserved) + ")");
+  }
+  total_spent_ += spent;
+  entries_.push_back({query_id, reserved, spent});
+  return util::Status::Ok();
+}
+
+std::string BudgetLedger::Report() const {
+  std::string out = "BudgetLedger: " + std::to_string(entries_.size()) +
+                    " queries, spent " + std::to_string(total_spent_);
+  if (campaign_budget_ >= 0) {
+    out += " of " + std::to_string(campaign_budget_) + " (remaining " +
+           std::to_string(remaining()) + ")";
+  } else {
+    out += " (unlimited campaign)";
+  }
+  return out;
+}
+
+}  // namespace crowdrtse::server

@@ -1,0 +1,53 @@
+#ifndef CROWDRTSE_SERVER_BUDGET_LEDGER_H_
+#define CROWDRTSE_SERVER_BUDGET_LEDGER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace crowdrtse::server {
+
+/// One accounting entry: what a served query spent.
+struct LedgerEntry {
+  int64_t query_id = 0;
+  int reserved = 0;
+  int spent = 0;
+};
+
+/// Campaign-level payment accounting. The paper budgets each query with K
+/// answer-units; a deployment also has to bound the total spend across
+/// queries. The ledger hands each query the smaller of the per-query cap
+/// and whatever remains of the campaign budget, then records the actual
+/// spend (unspent reservations flow back).
+class BudgetLedger {
+ public:
+  /// `campaign_budget` < 0 means unlimited.
+  BudgetLedger(int64_t campaign_budget, int per_query_cap);
+
+  /// Budget available to the next query (0 when the campaign is dry).
+  int NextQueryBudget() const;
+
+  /// Records that query `query_id` was granted `reserved` and actually
+  /// paid `spent` (must be <= reserved).
+  util::Status Settle(int64_t query_id, int reserved, int spent);
+
+  int64_t total_spent() const { return total_spent_; }
+  int64_t remaining() const;
+  bool exhausted() const { return NextQueryBudget() <= 0; }
+  const std::vector<LedgerEntry>& entries() const { return entries_; }
+
+  /// Human-readable account summary.
+  std::string Report() const;
+
+ private:
+  int64_t campaign_budget_;
+  int per_query_cap_;
+  int64_t total_spent_ = 0;
+  std::vector<LedgerEntry> entries_;
+};
+
+}  // namespace crowdrtse::server
+
+#endif  // CROWDRTSE_SERVER_BUDGET_LEDGER_H_

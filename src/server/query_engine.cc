@@ -1,0 +1,111 @@
+#include "server/query_engine.h"
+
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace crowdrtse::server {
+
+std::string EngineStats::Report() const {
+  const double served =
+      queries_served > 0 ? static_cast<double>(queries_served) : 1.0;
+  return "EngineStats: served " + std::to_string(queries_served) +
+         ", rejected " + std::to_string(queries_rejected) + ", paid " +
+         std::to_string(total_paid) + " units; mean latency ms: OCS " +
+         util::FormatDouble(total_ocs_millis / served, 2) + ", crowd " +
+         util::FormatDouble(total_crowd_millis / served, 2) + ", GSP " +
+         util::FormatDouble(total_gsp_millis / served, 2);
+}
+
+QueryEngine::QueryEngine(core::CrowdRtse& system, WorkerRegistry& registry,
+                         BudgetLedger& ledger,
+                         const crowd::CostModel& costs,
+                         crowd::CrowdSimulator& crowd_sim)
+    : QueryEngine(system, registry, ledger, costs, crowd_sim, Options{}) {}
+
+QueryEngine::QueryEngine(core::CrowdRtse& system, WorkerRegistry& registry,
+                         BudgetLedger& ledger,
+                         const crowd::CostModel& costs,
+                         crowd::CrowdSimulator& crowd_sim, Options options)
+    : system_(system),
+      registry_(registry),
+      ledger_(ledger),
+      costs_(costs),
+      crowd_sim_(crowd_sim),
+      options_(options) {}
+
+util::Result<QueryResponse> QueryEngine::Serve(
+    const QueryRequest& request, const traffic::DayMatrix& world) {
+  if (request.queried.empty()) {
+    return util::Status::InvalidArgument("query has no roads");
+  }
+  const int budget = ledger_.NextQueryBudget();
+  if (budget <= 0) {
+    ++stats_.queries_rejected;
+    return util::Status::FailedPrecondition(
+        "campaign budget exhausted: " + ledger_.Report());
+  }
+
+  QueryResponse response;
+  response.query_id = next_query_id_++;
+  response.granted_budget = budget;
+
+  // Step 1 — OCS over the roads workers currently cover (optionally only
+  // those whose crowd can fill the full answer quota).
+  util::Timer timer;
+  const std::vector<graph::RoadId> worker_roads =
+      options_.require_full_staffing ? registry_.StaffableRoads(costs_)
+                                     : registry_.CoveredRoads();
+  util::Result<ocs::OcsSolution> selection = system_.SelectRoads(
+      request.slot, request.queried, worker_roads, costs_, budget,
+      request.selector);
+  if (!selection.ok()) return selection.status();
+  response.ocs_millis = timer.ElapsedMillis();
+
+  // Step 2 — crowdsourcing round: assign concrete workers to the selected
+  // roads (each reports once with her own bias/noise), then collect.
+  timer.Reset();
+  util::Result<crowd::AssignmentPlan> plan = crowd::AssignTasks(
+      selection->roads, costs_, registry_.workers());
+  if (!plan.ok()) return plan.status();
+  response.underfilled_roads = plan->underfilled_roads;
+  util::Result<crowd::CrowdRound> round = crowd_sim_.ProbeWithAssignments(
+      *plan, registry_.workers(), world, request.slot);
+  if (!round.ok()) return round.status();
+  response.crowd_millis = timer.ElapsedMillis();
+  response.paid = round->total_paid;
+
+  // Step 3 — GSP over the roads that actually produced answers.
+  timer.Reset();
+  std::vector<double> probed;
+  probed.reserve(round->probes.size());
+  for (const crowd::ProbeResult& p : round->probes) {
+    response.probed_roads.push_back(p.road);
+    probed.push_back(p.probed_kmh);
+  }
+  util::Result<gsp::GspResult> estimate =
+      system_.Estimate(request.slot, response.probed_roads, probed);
+  if (!estimate.ok()) return estimate.status();
+  response.gsp_millis = timer.ElapsedMillis();
+  response.gsp_sweeps = estimate->sweeps;
+
+  response.queried_speeds.reserve(request.queried.size());
+  for (graph::RoadId r : request.queried) {
+    if (r < 0 || static_cast<size_t>(r) >= estimate->speeds.size()) {
+      return util::Status::InvalidArgument("queried road out of range: " +
+                                           std::to_string(r));
+    }
+    response.queried_speeds.push_back(
+        estimate->speeds[static_cast<size_t>(r)]);
+  }
+
+  CROWDRTSE_RETURN_IF_ERROR(
+      ledger_.Settle(response.query_id, budget, response.paid));
+  ++stats_.queries_served;
+  stats_.total_paid += response.paid;
+  stats_.total_ocs_millis += response.ocs_millis;
+  stats_.total_crowd_millis += response.crowd_millis;
+  stats_.total_gsp_millis += response.gsp_millis;
+  return response;
+}
+
+}  // namespace crowdrtse::server

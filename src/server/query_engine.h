@@ -1,0 +1,96 @@
+#ifndef CROWDRTSE_SERVER_QUERY_ENGINE_H_
+#define CROWDRTSE_SERVER_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/crowd_rtse.h"
+#include "server/budget_ledger.h"
+#include "server/worker_registry.h"
+#include "traffic/history_store.h"
+#include "util/status.h"
+
+namespace crowdrtse::server {
+
+/// One realtime traffic-speed query as submitted by a client.
+struct QueryRequest {
+  int slot = 0;                           // 5-minute slot of day
+  std::vector<graph::RoadId> queried;     // R^q
+  core::SelectorKind selector = core::SelectorKind::kLazyHybridGreedy;
+};
+
+/// What the engine returns: the estimate for every queried road plus full
+/// provenance (which roads were probed, what was paid, phase latencies).
+struct QueryResponse {
+  int64_t query_id = 0;
+  std::vector<double> queried_speeds;     // aligned with request.queried
+  std::vector<graph::RoadId> probed_roads;
+  /// OCS-selected roads the worker population could not fully staff
+  /// (fewer answers were aggregated there).
+  std::vector<graph::RoadId> underfilled_roads;
+  int granted_budget = 0;
+  int paid = 0;
+  double ocs_millis = 0.0;
+  double crowd_millis = 0.0;
+  double gsp_millis = 0.0;
+  int gsp_sweeps = 0;
+};
+
+/// Rolling service statistics.
+struct EngineStats {
+  int64_t queries_served = 0;
+  int64_t queries_rejected = 0;
+  int64_t total_paid = 0;
+  double total_ocs_millis = 0.0;
+  double total_crowd_millis = 0.0;
+  double total_gsp_millis = 0.0;
+
+  std::string Report() const;
+};
+
+/// The online half of CrowdRTSE as a service (paper Fig. 1): receives
+/// queries, consults the worker registry for the current R^w, lets the
+/// ledger grant a budget, runs OCS -> crowdsourcing -> GSP, settles the
+/// payment and answers. The ground-truth DayMatrix stands in for the real
+/// world the crowd measures (see DESIGN.md §2 substitutions).
+class QueryEngine {
+ public:
+  /// Engine behaviour knobs.
+  struct Options {
+    /// When true, OCS only considers roads whose present workers can fill
+    /// the full answer quota (no underfilled probes, smaller R^w); when
+    /// false, any covered road is a candidate and shortfalls aggregate
+    /// fewer answers.
+    bool require_full_staffing = false;
+  };
+
+  /// All dependencies are borrowed and must outlive the engine.
+  QueryEngine(core::CrowdRtse& system, WorkerRegistry& registry,
+              BudgetLedger& ledger, const crowd::CostModel& costs,
+              crowd::CrowdSimulator& crowd_sim);
+  QueryEngine(core::CrowdRtse& system, WorkerRegistry& registry,
+              BudgetLedger& ledger, const crowd::CostModel& costs,
+              crowd::CrowdSimulator& crowd_sim, Options options);
+
+  /// Serves one query against `world` (today's real speeds). Rejects with
+  /// FailedPrecondition when the campaign budget is exhausted.
+  util::Result<QueryResponse> Serve(const QueryRequest& request,
+                                    const traffic::DayMatrix& world);
+
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  core::CrowdRtse& system_;
+  WorkerRegistry& registry_;
+  BudgetLedger& ledger_;
+  const crowd::CostModel& costs_;
+  crowd::CrowdSimulator& crowd_sim_;
+  Options options_;
+  EngineStats stats_;
+  int64_t next_query_id_ = 1;
+};
+
+}  // namespace crowdrtse::server
+
+#endif  // CROWDRTSE_SERVER_QUERY_ENGINE_H_

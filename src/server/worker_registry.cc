@@ -1,0 +1,82 @@
+#include "server/worker_registry.h"
+
+#include <map>
+
+namespace crowdrtse::server {
+
+WorkerRegistry::WorkerRegistry(const graph::Graph& graph,
+                               const WorkerRegistryOptions& options,
+                               uint64_t seed)
+    : graph_(graph), options_(options), rng_(seed) {
+  workers_.reserve(static_cast<size_t>(options.num_workers));
+  for (int i = 0; i < options.num_workers; ++i) {
+    workers_.push_back(SpawnWorker(next_id_++));
+  }
+}
+
+crowd::Worker WorkerRegistry::SpawnWorker(crowd::WorkerId id) {
+  crowd::Worker w;
+  w.id = id;
+  w.road = graph_.num_roads() > 0
+               ? static_cast<graph::RoadId>(rng_.UniformUint64(
+                     static_cast<uint64_t>(graph_.num_roads())))
+               : graph::kInvalidRoad;
+  w.bias = rng_.UniformDouble(options_.min_bias, options_.max_bias);
+  w.noise_kmh =
+      rng_.UniformDouble(options_.min_noise_kmh, options_.max_noise_kmh);
+  return w;
+}
+
+void WorkerRegistry::AdvanceSlot() {
+  ++slot_offset_;
+  for (crowd::Worker& w : workers_) {
+    if (rng_.Bernoulli(options_.churn_probability)) {
+      // Worker logs off; a fresh one logs on somewhere else.
+      w = SpawnWorker(next_id_++);
+      continue;
+    }
+    if (rng_.Bernoulli(options_.move_probability)) {
+      const auto neighbors = graph_.Neighbors(w.road);
+      if (!neighbors.empty()) {
+        w.road = neighbors[static_cast<size_t>(
+                               rng_.UniformUint64(neighbors.size()))]
+                     .neighbor;
+      }
+    }
+  }
+}
+
+std::vector<graph::RoadId> WorkerRegistry::CoveredRoads(
+    int min_workers) const {
+  std::map<graph::RoadId, int> counts;
+  for (const crowd::Worker& w : workers_) ++counts[w.road];
+  std::vector<graph::RoadId> covered;
+  for (const auto& [road, count] : counts) {
+    if (count >= min_workers) covered.push_back(road);
+  }
+  return covered;
+}
+
+std::vector<graph::RoadId> WorkerRegistry::StaffableRoads(
+    const crowd::CostModel& costs) const {
+  std::map<graph::RoadId, int> counts;
+  for (const crowd::Worker& w : workers_) ++counts[w.road];
+  std::vector<graph::RoadId> staffable;
+  for (const auto& [road, count] : counts) {
+    if (road >= 0 && road < costs.num_roads() &&
+        count >= costs.Cost(road)) {
+      staffable.push_back(road);
+    }
+  }
+  return staffable;
+}
+
+int WorkerRegistry::CountOn(graph::RoadId road) const {
+  int count = 0;
+  for (const crowd::Worker& w : workers_) {
+    if (w.road == road) ++count;
+  }
+  return count;
+}
+
+}  // namespace crowdrtse::server

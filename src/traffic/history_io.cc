@@ -1,0 +1,161 @@
+#include "traffic/history_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/serialize.h"
+#include "util/string_util.h"
+
+namespace crowdrtse::traffic {
+
+namespace {
+constexpr uint32_t kMagic = 0x48495331;  // "HIS1"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+std::string HistorySerializer::Serialize(const HistoryStore& history) {
+  util::BinaryWriter writer;
+  writer.WriteUint32(kMagic);
+  writer.WriteUint32(kVersion);
+  writer.WriteInt32(history.num_roads());
+  writer.WriteInt32(history.num_days());
+  writer.WriteInt32(history.num_slots());
+  std::vector<double> flat;
+  flat.reserve(history.num_records());
+  for (int day = 0; day < history.num_days(); ++day) {
+    for (int slot = 0; slot < history.num_slots(); ++slot) {
+      for (graph::RoadId r = 0; r < history.num_roads(); ++r) {
+        flat.push_back(history.At(day, slot, r));
+      }
+    }
+  }
+  writer.WriteDoubleVector(flat);
+  return writer.buffer();
+}
+
+util::Result<HistoryStore> HistorySerializer::Deserialize(
+    const std::string& data) {
+  util::BinaryReader reader(data);
+  util::Result<uint32_t> magic = reader.ReadUint32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kMagic) {
+    return util::Status::InvalidArgument("not a history file");
+  }
+  util::Result<uint32_t> version = reader.ReadUint32();
+  if (!version.ok()) return version.status();
+  if (*version != kVersion) {
+    return util::Status::InvalidArgument("unsupported history version");
+  }
+  util::Result<int32_t> num_roads = reader.ReadInt32();
+  util::Result<int32_t> num_days = reader.ReadInt32();
+  util::Result<int32_t> num_slots = reader.ReadInt32();
+  if (!num_roads.ok()) return num_roads.status();
+  if (!num_days.ok()) return num_days.status();
+  if (!num_slots.ok()) return num_slots.status();
+  if (*num_roads < 0 || *num_days < 0 || *num_slots < 0) {
+    return util::Status::InvalidArgument("negative history shape");
+  }
+  util::Result<std::vector<double>> flat = reader.ReadDoubleVector();
+  if (!flat.ok()) return flat.status();
+  const size_t expected = static_cast<size_t>(*num_roads) *
+                          static_cast<size_t>(*num_days) *
+                          static_cast<size_t>(*num_slots);
+  if (flat->size() != expected) {
+    return util::Status::InvalidArgument(
+        "history payload size mismatch: " + std::to_string(flat->size()) +
+        " vs " + std::to_string(expected));
+  }
+  HistoryStore history(*num_roads, *num_days, *num_slots);
+  size_t i = 0;
+  for (int day = 0; day < *num_days; ++day) {
+    for (int slot = 0; slot < *num_slots; ++slot) {
+      for (graph::RoadId r = 0; r < *num_roads; ++r) {
+        history.At(day, slot, r) = (*flat)[i++];
+      }
+    }
+  }
+  return history;
+}
+
+util::Status HistorySerializer::SaveToFile(const HistoryStore& history,
+                                           const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return util::Status::IoError("cannot open " + path);
+  const std::string data = Serialize(history);
+  file.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!file) return util::Status::IoError("write failed for " + path);
+  return util::Status::Ok();
+}
+
+util::Result<HistoryStore> HistorySerializer::LoadFromFile(
+    const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return util::Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return Deserialize(buffer.str());
+}
+
+std::string RecordsToCsv(const std::vector<SpeedRecord>& records) {
+  util::CsvTable table;
+  table.header = {"day", "slot", "road", "speed_kmh"};
+  table.rows.reserve(records.size());
+  for (const SpeedRecord& r : records) {
+    table.rows.push_back({std::to_string(r.day), std::to_string(r.slot),
+                          std::to_string(r.road),
+                          util::FormatDouble(r.speed_kmh, 3)});
+  }
+  return util::ToCsv(table);
+}
+
+util::Result<std::vector<SpeedRecord>> RecordsFromCsv(
+    const std::string& text) {
+  util::Result<util::CsvTable> table = util::ParseCsv(text);
+  if (!table.ok()) return table.status();
+  const int day_col = table->ColumnIndex("day");
+  const int slot_col = table->ColumnIndex("slot");
+  const int road_col = table->ColumnIndex("road");
+  const int speed_col = table->ColumnIndex("speed_kmh");
+  if (day_col < 0 || slot_col < 0 || road_col < 0 || speed_col < 0) {
+    return util::Status::InvalidArgument(
+        "records CSV needs day,slot,road,speed_kmh columns");
+  }
+  std::vector<SpeedRecord> records;
+  records.reserve(table->rows.size());
+  for (const auto& row : table->rows) {
+    SpeedRecord record;
+    util::Result<int> day = util::ParseInt(row[static_cast<size_t>(day_col)]);
+    util::Result<int> slot =
+        util::ParseInt(row[static_cast<size_t>(slot_col)]);
+    util::Result<int> road =
+        util::ParseInt(row[static_cast<size_t>(road_col)]);
+    util::Result<double> speed =
+        util::ParseDouble(row[static_cast<size_t>(speed_col)]);
+    if (!day.ok()) return day.status();
+    if (!slot.ok()) return slot.status();
+    if (!road.ok()) return road.status();
+    if (!speed.ok()) return speed.status();
+    record.day = *day;
+    record.slot = *slot;
+    record.road = *road;
+    record.speed_kmh = *speed;
+    records.push_back(record);
+  }
+  return records;
+}
+
+std::vector<SpeedRecord> ExtractDay(const HistoryStore& history, int day) {
+  std::vector<SpeedRecord> records;
+  if (day < 0 || day >= history.num_days()) return records;
+  records.reserve(static_cast<size_t>(history.num_slots()) *
+                  static_cast<size_t>(history.num_roads()));
+  for (int slot = 0; slot < history.num_slots(); ++slot) {
+    for (graph::RoadId r = 0; r < history.num_roads(); ++r) {
+      records.push_back({day, slot, r, history.At(day, slot, r)});
+    }
+  }
+  return records;
+}
+
+}  // namespace crowdrtse::traffic

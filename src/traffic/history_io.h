@@ -1,0 +1,36 @@
+#ifndef CROWDRTSE_TRAFFIC_HISTORY_IO_H_
+#define CROWDRTSE_TRAFFIC_HISTORY_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "traffic/history_store.h"
+#include "util/status.h"
+
+namespace crowdrtse::traffic {
+
+/// Binary persistence for the historical record (the offline stage's input
+/// is collected once and reused across training runs): magic + version +
+/// shape + the flat speed array, little-endian.
+class HistorySerializer {
+ public:
+  static std::string Serialize(const HistoryStore& history);
+  static util::Result<HistoryStore> Deserialize(const std::string& data);
+  static util::Status SaveToFile(const HistoryStore& history,
+                                 const std::string& path);
+  static util::Result<HistoryStore> LoadFromFile(const std::string& path);
+};
+
+/// CSV interchange for record slices (day,slot,road,speed_kmh). Full
+/// histories are hundreds of MB as text, so CSV is for excerpts and
+/// external tools; the binary format above is the system format.
+std::string RecordsToCsv(const std::vector<SpeedRecord>& records);
+util::Result<std::vector<SpeedRecord>> RecordsFromCsv(
+    const std::string& text);
+
+/// Extracts one day of a history as records (e.g. to export a sample).
+std::vector<SpeedRecord> ExtractDay(const HistoryStore& history, int day);
+
+}  // namespace crowdrtse::traffic
+
+#endif  // CROWDRTSE_TRAFFIC_HISTORY_IO_H_

@@ -1,0 +1,20 @@
+#ifndef CROWDRTSE_TRAFFIC_SPEED_RECORD_H_
+#define CROWDRTSE_TRAFFIC_SPEED_RECORD_H_
+
+#include "graph/graph.h"
+
+namespace crowdrtse::traffic {
+
+/// One historical observation: the (average) traffic speed of a road in a
+/// specific five-minute slot of a specific day. The Hong Kong feed the paper
+/// crawled publishes exactly this tuple every 5 minutes per monitored road.
+struct SpeedRecord {
+  int day = 0;
+  int slot = 0;
+  graph::RoadId road = graph::kInvalidRoad;
+  double speed_kmh = 0.0;
+};
+
+}  // namespace crowdrtse::traffic
+
+#endif  // CROWDRTSE_TRAFFIC_SPEED_RECORD_H_

@@ -1,0 +1,39 @@
+#ifndef CROWDRTSE_TRAFFIC_TIME_SLOTS_H_
+#define CROWDRTSE_TRAFFIC_TIME_SLOTS_H_
+
+namespace crowdrtse::traffic {
+
+/// The paper divides each day into 288 five-minute slots; slot t of
+/// different days is expected to behave alike (periodicity).
+inline constexpr int kSlotsPerDay = 288;
+inline constexpr int kMinutesPerSlot = 5;
+
+/// Slot index of a (possibly out-of-range) hour:minute of day.
+constexpr int SlotOfTime(int hour, int minute) {
+  return (hour * 60 + minute) / kMinutesPerSlot;
+}
+
+/// Hour of day (0..23) for a slot.
+constexpr int HourOfSlot(int slot) {
+  return (slot * kMinutesPerSlot) / 60;
+}
+
+/// Minute within the hour for a slot.
+constexpr int MinuteOfSlot(int slot) {
+  return (slot * kMinutesPerSlot) % 60;
+}
+
+/// Wraps any integer onto [0, kSlotsPerDay).
+constexpr int WrapSlot(int slot) {
+  const int m = slot % kSlotsPerDay;
+  return m < 0 ? m + kSlotsPerDay : m;
+}
+
+/// True for a valid slot index.
+constexpr bool IsValidSlot(int slot) {
+  return slot >= 0 && slot < kSlotsPerDay;
+}
+
+}  // namespace crowdrtse::traffic
+
+#endif  // CROWDRTSE_TRAFFIC_TIME_SLOTS_H_

@@ -1,0 +1,129 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace crowdrtse::util {
+
+int CsvTable::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c != '\r') {
+      cell.push_back(c);
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+Result<CsvTable> ParseCsv(const std::string& text, bool has_header) {
+  CsvTable table;
+  std::istringstream stream(text);
+  std::string line;
+  bool first = true;
+  while (std::getline(stream, line)) {
+    if (line.empty() || line == "\r") continue;
+    std::vector<std::string> cells = SplitCsvLine(line);
+    if (first) {
+      first = false;
+      if (has_header) {
+        table.header = std::move(cells);
+        continue;
+      }
+      table.header.reserve(cells.size());
+      for (size_t i = 0; i < cells.size(); ++i) {
+        table.header.push_back("c" + std::to_string(i));
+      }
+    }
+    if (cells.size() != table.header.size()) {
+      return Status::InvalidArgument(
+          "CSV row has " + std::to_string(cells.size()) +
+          " cells, expected " + std::to_string(table.header.size()));
+    }
+    table.rows.push_back(std::move(cells));
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path, bool has_header) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsv(buffer.str(), has_header);
+}
+
+namespace {
+
+bool NeedsQuoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void AppendCell(std::string& out, const std::string& cell) {
+  if (!NeedsQuoting(cell)) {
+    out += cell;
+    return;
+  }
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string ToCsv(const CsvTable& table) {
+  std::string out;
+  for (size_t i = 0; i < table.header.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendCell(out, table.header[i]);
+  }
+  out.push_back('\n');
+  for (const auto& row : table.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendCell(out, row[i]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  const std::string text = ToCsv(table);
+  file.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!file) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace crowdrtse::util

@@ -1,0 +1,40 @@
+#ifndef CROWDRTSE_UTIL_CSV_H_
+#define CROWDRTSE_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace crowdrtse::util {
+
+/// A parsed CSV table: a header row plus data rows of string cells.
+/// Minimal dialect: comma separator, optional double-quote quoting with ""
+/// escapes, no embedded newlines inside quoted fields.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of `column` in the header, or -1 if absent.
+  int ColumnIndex(const std::string& column) const;
+};
+
+/// Splits one CSV line into cells honouring double-quote quoting.
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+/// Parses CSV text. The first line is treated as the header when
+/// `has_header` is true; otherwise a synthetic header c0..cN-1 is created.
+Result<CsvTable> ParseCsv(const std::string& text, bool has_header = true);
+
+/// Reads and parses a CSV file from disk.
+Result<CsvTable> ReadCsvFile(const std::string& path, bool has_header = true);
+
+/// Serialises a table back to CSV text (quoting cells that need it).
+std::string ToCsv(const CsvTable& table);
+
+/// Writes a table to disk, overwriting any existing file.
+Status WriteCsvFile(const std::string& path, const CsvTable& table);
+
+}  // namespace crowdrtse::util
+
+#endif  // CROWDRTSE_UTIL_CSV_H_

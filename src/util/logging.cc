@@ -1,0 +1,40 @@
+#include "util/logging.h"
+
+#include <atomic>
+
+namespace crowdrtse::util {
+
+namespace {
+
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(level); }
+LogLevel GetLogLevel() { return g_log_level.load(); }
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message) {
+  if (level < g_log_level.load() && level != LogLevel::kFatal) return;
+  std::fprintf(stderr, "[%s] %s:%d %s\n", LevelName(level), file, line,
+               message.c_str());
+  if (level == LogLevel::kFatal) std::abort();
+}
+
+}  // namespace crowdrtse::util

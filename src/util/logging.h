@@ -1,0 +1,39 @@
+#ifndef CROWDRTSE_UTIL_LOGGING_H_
+#define CROWDRTSE_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace crowdrtse::util {
+
+/// Log severities. kFatal aborts after printing.
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes one line to stderr as "[LEVEL] file:line message".
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+}  // namespace crowdrtse::util
+
+#define CROWDRTSE_LOG(level, msg)                                         \
+  ::crowdrtse::util::LogMessage(::crowdrtse::util::LogLevel::k##level,    \
+                                __FILE__, __LINE__, (msg))
+
+/// Invariant check that stays on in release builds. Algorithm kernels use it
+/// for contract violations that indicate programming errors (not bad input —
+/// bad input goes through Status).
+#define CROWDRTSE_CHECK(cond)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::crowdrtse::util::LogMessage(::crowdrtse::util::LogLevel::kFatal,   \
+                                    __FILE__, __LINE__,                    \
+                                    "check failed: " #cond);               \
+    }                                                                      \
+  } while (false)
+
+#endif  // CROWDRTSE_UTIL_LOGGING_H_

@@ -1,0 +1,116 @@
+#include "util/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace crowdrtse::util {
+
+void BinaryWriter::AppendRaw(const void* data, size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+void BinaryWriter::WriteUint32(uint32_t value) { AppendRaw(&value, 4); }
+void BinaryWriter::WriteUint64(uint64_t value) { AppendRaw(&value, 8); }
+void BinaryWriter::WriteInt32(int32_t value) { AppendRaw(&value, 4); }
+void BinaryWriter::WriteDouble(double value) { AppendRaw(&value, 8); }
+
+void BinaryWriter::WriteString(const std::string& value) {
+  WriteUint64(value.size());
+  AppendRaw(value.data(), value.size());
+}
+
+void BinaryWriter::WriteDoubleVector(const std::vector<double>& values) {
+  WriteUint64(values.size());
+  AppendRaw(values.data(), values.size() * sizeof(double));
+}
+
+void BinaryWriter::WriteInt32Vector(const std::vector<int32_t>& values) {
+  WriteUint64(values.size());
+  AppendRaw(values.data(), values.size() * sizeof(int32_t));
+}
+
+Status BinaryWriter::Flush(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  file.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  if (!file) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return BinaryReader(buffer.str());
+}
+
+Status BinaryReader::ReadRaw(void* out, size_t size) {
+  if (offset_ + size > data_.size()) {
+    return Status::OutOfRange("truncated binary input");
+  }
+  std::memcpy(out, data_.data() + offset_, size);
+  offset_ += size;
+  return Status::Ok();
+}
+
+Result<uint32_t> BinaryReader::ReadUint32() {
+  uint32_t value = 0;
+  CROWDRTSE_RETURN_IF_ERROR(ReadRaw(&value, 4));
+  return value;
+}
+
+Result<uint64_t> BinaryReader::ReadUint64() {
+  uint64_t value = 0;
+  CROWDRTSE_RETURN_IF_ERROR(ReadRaw(&value, 8));
+  return value;
+}
+
+Result<int32_t> BinaryReader::ReadInt32() {
+  int32_t value = 0;
+  CROWDRTSE_RETURN_IF_ERROR(ReadRaw(&value, 4));
+  return value;
+}
+
+Result<double> BinaryReader::ReadDouble() {
+  double value = 0;
+  CROWDRTSE_RETURN_IF_ERROR(ReadRaw(&value, 8));
+  return value;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  Result<uint64_t> size = ReadUint64();
+  if (!size.ok()) return size.status();
+  // Compare against the remaining bytes instead of offset_ + size, which a
+  // hostile length prefix could overflow past SIZE_MAX.
+  if (*size > data_.size() - offset_) {
+    return Status::OutOfRange("truncated string");
+  }
+  std::string value(data_.data() + offset_, *size);
+  offset_ += *size;
+  return value;
+}
+
+Result<std::vector<double>> BinaryReader::ReadDoubleVector() {
+  Result<uint64_t> size = ReadUint64();
+  if (!size.ok()) return size.status();
+  if (*size > (data_.size() - offset_) / sizeof(double)) {
+    return Status::OutOfRange("truncated double vector");
+  }
+  std::vector<double> values(*size);
+  CROWDRTSE_RETURN_IF_ERROR(ReadRaw(values.data(), *size * sizeof(double)));
+  return values;
+}
+
+Result<std::vector<int32_t>> BinaryReader::ReadInt32Vector() {
+  Result<uint64_t> size = ReadUint64();
+  if (!size.ok()) return size.status();
+  if (*size > (data_.size() - offset_) / sizeof(int32_t)) {
+    return Status::OutOfRange("truncated int32 vector");
+  }
+  std::vector<int32_t> values(*size);
+  CROWDRTSE_RETURN_IF_ERROR(ReadRaw(values.data(), *size * sizeof(int32_t)));
+  return values;
+}
+
+}  // namespace crowdrtse::util

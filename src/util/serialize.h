@@ -1,0 +1,65 @@
+#ifndef CROWDRTSE_UTIL_SERIALIZE_H_
+#define CROWDRTSE_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace crowdrtse::util {
+
+/// Append-only little-endian binary encoder used for model persistence
+/// (RTF parameters, correlation tables). The format is
+/// length-prefixed and versioned by the callers via magic tags.
+class BinaryWriter {
+ public:
+  void WriteUint32(uint32_t value);
+  void WriteUint64(uint64_t value);
+  void WriteInt32(int32_t value);
+  void WriteDouble(double value);
+  void WriteString(const std::string& value);
+  void WriteDoubleVector(const std::vector<double>& values);
+  void WriteInt32Vector(const std::vector<int32_t>& values);
+
+  const std::string& buffer() const { return buffer_; }
+
+  /// Writes the accumulated buffer to `path`, overwriting.
+  Status Flush(const std::string& path) const;
+
+ private:
+  void AppendRaw(const void* data, size_t size);
+
+  std::string buffer_;
+};
+
+/// Sequential decoder matching BinaryWriter. All reads are bounds-checked
+/// and report OutOfRange on truncated input rather than crashing.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string data) : data_(std::move(data)) {}
+
+  /// Loads the whole file at `path` into a reader.
+  static Result<BinaryReader> FromFile(const std::string& path);
+
+  Result<uint32_t> ReadUint32();
+  Result<uint64_t> ReadUint64();
+  Result<int32_t> ReadInt32();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+  Result<std::vector<double>> ReadDoubleVector();
+  Result<std::vector<int32_t>> ReadInt32Vector();
+
+  bool AtEnd() const { return offset_ == data_.size(); }
+
+ private:
+  Status ReadRaw(void* out, size_t size);
+
+  std::string data_;
+  size_t offset_ = 0;
+};
+
+}  // namespace crowdrtse::util
+
+#endif  // CROWDRTSE_UTIL_SERIALIZE_H_

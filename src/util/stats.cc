@@ -1,0 +1,110 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crowdrtse::util {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  count_ += other.count_;
+}
+
+double RunningStats::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::PopulationVariance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+void RunningCovariance::Add(double x, double y) {
+  ++count_;
+  const double n = static_cast<double>(count_);
+  const double dx = x - mean_x_;
+  mean_x_ += dx / n;
+  m2_x_ += dx * (x - mean_x_);
+  const double dy = y - mean_y_;
+  mean_y_ += dy / n;
+  m2_y_ += dy * (y - mean_y_);
+  // Co-moment uses the pre-update x delta and post-update y mean.
+  cov_ += dx * (y - mean_y_);
+}
+
+double RunningCovariance::Covariance() const {
+  if (count_ < 2) return 0.0;
+  return cov_ / static_cast<double>(count_ - 1);
+}
+
+double RunningCovariance::VarianceX() const {
+  if (count_ < 2) return 0.0;
+  return m2_x_ / static_cast<double>(count_ - 1);
+}
+
+double RunningCovariance::VarianceY() const {
+  if (count_ < 2) return 0.0;
+  return m2_y_ / static_cast<double>(count_ - 1);
+}
+
+double RunningCovariance::Correlation() const {
+  const double vx = VarianceX();
+  const double vy = VarianceY();
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return Covariance() / std::sqrt(vx * vy);
+}
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Median(std::vector<double> values) {
+  return Quantile(std::move(values), 0.5);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double TrimmedMean(std::vector<double> values, double trim_fraction) {
+  if (values.empty()) return 0.0;
+  trim_fraction = std::clamp(trim_fraction, 0.0, 0.49);
+  std::sort(values.begin(), values.end());
+  const size_t drop =
+      static_cast<size_t>(trim_fraction * static_cast<double>(values.size()));
+  if (values.size() <= 2 * drop) return Mean(values);
+  double sum = 0.0;
+  for (size_t i = drop; i < values.size() - drop; ++i) sum += values[i];
+  return sum / static_cast<double>(values.size() - 2 * drop);
+}
+
+}  // namespace crowdrtse::util

@@ -1,0 +1,81 @@
+#ifndef CROWDRTSE_UTIL_STATS_H_
+#define CROWDRTSE_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace crowdrtse::util {
+
+/// Numerically stable single-pass accumulator for mean and variance
+/// (Welford's algorithm). Used throughout parameter estimation: the RTF
+/// moment estimator feeds three months of speed records through these.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Folds one observation into the accumulator.
+  void Add(double x);
+
+  /// Merges another accumulator (Chan's parallel combination formula).
+  void Merge(const RunningStats& other);
+
+  size_t count() const { return count_; }
+  /// Mean of all observations; 0 if empty.
+  double Mean() const { return mean_; }
+  /// Unbiased sample variance (n-1 denominator); 0 if fewer than 2 samples.
+  double Variance() const;
+  /// Population variance (n denominator); 0 if empty.
+  double PopulationVariance() const;
+  double StdDev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Two-variable accumulator producing the Pearson correlation coefficient.
+/// RTF's edge weights rho_ij are estimated from these over historical
+/// speed pairs of adjacent roads.
+class RunningCovariance {
+ public:
+  RunningCovariance() = default;
+
+  /// Folds one (x, y) observation pair.
+  void Add(double x, double y);
+
+  size_t count() const { return count_; }
+  /// Sample covariance (n-1 denominator); 0 if fewer than 2 samples.
+  double Covariance() const;
+  /// Pearson correlation in [-1, 1]; 0 if either marginal is degenerate.
+  double Correlation() const;
+  double MeanX() const { return mean_x_; }
+  double MeanY() const { return mean_y_; }
+  double VarianceX() const;
+  double VarianceY() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_x_ = 0.0;
+  double mean_y_ = 0.0;
+  double m2_x_ = 0.0;
+  double m2_y_ = 0.0;
+  double cov_ = 0.0;  // co-moment sum
+};
+
+/// Order-statistics helpers over a snapshot of values.
+/// `q` in [0, 1]; linear interpolation between closest ranks.
+double Quantile(std::vector<double> values, double q);
+double Median(std::vector<double> values);
+
+/// Mean of `values`; 0 if empty.
+double Mean(const std::vector<double>& values);
+
+/// Trimmed mean discarding `trim_fraction` of mass at each tail
+/// (e.g. 0.1 drops the lowest and highest 10%). Falls back to the plain mean
+/// when too few samples remain after trimming.
+double TrimmedMean(std::vector<double> values, double trim_fraction);
+
+}  // namespace crowdrtse::util
+
+#endif  // CROWDRTSE_UTIL_STATS_H_

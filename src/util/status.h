@@ -1,0 +1,112 @@
+#ifndef CROWDRTSE_UTIL_STATUS_H_
+#define CROWDRTSE_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace crowdrtse::util {
+
+/// Error categories used across the library. Kept deliberately small: the
+/// code that can fail is I/O, configuration validation, and numerical
+/// routines fed with degenerate inputs.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kNumericalError,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight status object in the RocksDB/Arrow idiom: cheap to return by
+/// value, carries a code plus a free-form message. Functions that can fail
+/// return `Status` (or `Result<T>` below) instead of throwing.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "Code: message" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-status holder. On success holds a `T`; on failure holds the
+/// error `Status`. Accessing `value()` on an error status aborts, so callers
+/// must check `ok()` first (mirrors absl::StatusOr contract).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the success path reads naturally:
+  /// `return some_t;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace crowdrtse::util
+
+/// Propagates a non-OK Status out of the current function.
+#define CROWDRTSE_RETURN_IF_ERROR(expr)                 \
+  do {                                                  \
+    ::crowdrtse::util::Status _status = (expr);         \
+    if (!_status.ok()) return _status;                  \
+  } while (false)
+
+#endif  // CROWDRTSE_UTIL_STATUS_H_

@@ -1,0 +1,84 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace crowdrtse::util {
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> pieces;
+  std::string current;
+  for (char c : text) {
+    if (c == sep) {
+      pieces.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  pieces.push_back(std::move(current));
+  return pieces;
+}
+
+std::string Trim(const std::string& text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+Result<double> ParseDouble(const std::string& text) {
+  const std::string trimmed = Trim(text);
+  if (trimmed.empty()) return Status::InvalidArgument("empty number");
+  char* end = nullptr;
+  const double value = std::strtod(trimmed.c_str(), &end);
+  if (end != trimmed.c_str() + trimmed.size()) {
+    return Status::InvalidArgument("not a number: '" + text + "'");
+  }
+  return value;
+}
+
+Result<int> ParseInt(const std::string& text) {
+  const std::string trimmed = Trim(text);
+  if (trimmed.empty()) return Status::InvalidArgument("empty integer");
+  char* end = nullptr;
+  const long value = std::strtol(trimmed.c_str(), &end, 10);
+  if (end != trimmed.c_str() + trimmed.size()) {
+    return Status::InvalidArgument("not an integer: '" + text + "'");
+  }
+  if (value < INT32_MIN || value > INT32_MAX) {
+    return Status::OutOfRange("integer out of range: '" + text + "'");
+  }
+  return static_cast<int>(value);
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+bool StartsWith(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace crowdrtse::util

@@ -1,0 +1,33 @@
+#ifndef CROWDRTSE_UTIL_STRING_UTIL_H_
+#define CROWDRTSE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace crowdrtse::util {
+
+/// Splits `text` on `sep` keeping empty pieces.
+std::vector<std::string> Split(const std::string& text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(const std::string& text);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 const std::string& sep);
+
+/// Strict numeric parsers: the whole (trimmed) string must parse.
+Result<double> ParseDouble(const std::string& text);
+Result<int> ParseInt(const std::string& text);
+
+/// Formats a double with `precision` fractional digits (fixed notation).
+std::string FormatDouble(double value, int precision = 4);
+
+/// Returns true if `text` starts with `prefix`.
+bool StartsWith(const std::string& text, const std::string& prefix);
+
+}  // namespace crowdrtse::util
+
+#endif  // CROWDRTSE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,32 @@
+#ifndef CROWDRTSE_UTIL_TIMER_H_
+#define CROWDRTSE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace crowdrtse::util {
+
+/// Monotonic wall-clock stopwatch used by the experiment harness to report
+/// per-phase running times (the paper's ORT metric).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace crowdrtse::util
+
+#endif  // CROWDRTSE_UTIL_TIMER_H_

@@ -1,0 +1,124 @@
+#include "baselines/grmc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "graph/generators.h"
+#include "traffic/traffic_simulator.h"
+#include "util/rng.h"
+
+namespace crowdrtse::baselines {
+namespace {
+
+class GrmcTest : public ::testing::Test {
+ protected:
+  GrmcTest() {
+    util::Rng rng(5);
+    graph::RoadNetworkOptions net;
+    net.num_roads = 40;
+    graph_ = *graph::RoadNetwork(net, rng);
+    traffic::TrafficModelOptions traffic_options;
+    traffic_options.num_days = 12;
+    sim_ = std::make_unique<traffic::TrafficSimulator>(graph_,
+                                                       traffic_options, 9);
+    history_ = sim_->GenerateHistory();
+  }
+
+  graph::Graph graph_;
+  std::unique_ptr<traffic::TrafficSimulator> sim_;
+  traffic::HistoryStore history_;
+};
+
+TEST_F(GrmcTest, CompletesRealtimeColumnReasonably) {
+  GrmcOptions options;
+  options.latent_rank = 8;
+  const GrmcEstimator estimator(graph_, history_, options);
+  const traffic::DayMatrix truth = sim_->GenerateEvaluationDay();
+  const int slot = 100;
+  std::vector<graph::RoadId> observed;
+  std::vector<double> speeds;
+  for (graph::RoadId r = 0; r < graph_.num_roads(); r += 3) {
+    observed.push_back(r);
+    speeds.push_back(truth.At(slot, r));
+  }
+  const auto est = estimator.Estimate(slot, observed, speeds);
+  ASSERT_TRUE(est.ok());
+  // Observed roads echo exactly.
+  for (size_t i = 0; i < observed.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*est)[static_cast<size_t>(observed[i])], speeds[i]);
+  }
+  // Unobserved estimates should be closer to the truth than a constant
+  // 0 guess and stay physical; compare against the global mean baseline.
+  double grmc_err = 0.0;
+  double mean_err = 0.0;
+  double global_mean = 0.0;
+  int count = 0;
+  for (graph::RoadId r = 0; r < graph_.num_roads(); ++r) {
+    global_mean += truth.At(slot, r);
+  }
+  global_mean /= graph_.num_roads();
+  for (graph::RoadId r = 0; r < graph_.num_roads(); ++r) {
+    if (r % 3 == 0) continue;
+    grmc_err += std::fabs((*est)[static_cast<size_t>(r)] -
+                          truth.At(slot, r));
+    mean_err += std::fabs(global_mean - truth.At(slot, r));
+    ++count;
+  }
+  EXPECT_LT(grmc_err / count, mean_err / count);
+}
+
+TEST_F(GrmcTest, DeterministicForSeed) {
+  GrmcOptions options;
+  const GrmcEstimator a(graph_, history_, options);
+  const GrmcEstimator b(graph_, history_, options);
+  const auto ra = a.Estimate(50, {0, 5}, {40.0, 60.0});
+  const auto rb = b.Estimate(50, {0, 5}, {40.0, 60.0});
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  for (size_t i = 0; i < ra->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*ra)[i], (*rb)[i]);
+  }
+}
+
+TEST_F(GrmcTest, GraphRegularisationSmoothsEstimates) {
+  // With a strong Laplacian weight, adjacent unobserved roads should get
+  // more similar estimates than with none.
+  GrmcOptions smooth;
+  smooth.graph_reg = 10.0;
+  GrmcOptions rough;
+  rough.graph_reg = 0.0;
+  const GrmcEstimator smooth_est(graph_, history_, smooth);
+  const GrmcEstimator rough_est(graph_, history_, rough);
+  const auto rs = smooth_est.Estimate(100, {0}, {50.0});
+  const auto rr = rough_est.Estimate(100, {0}, {50.0});
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rr.ok());
+  double smooth_rough_sum = 0.0;
+  double rough_rough_sum = 0.0;
+  for (graph::EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    const auto [i, j] = graph_.EdgeEndpoints(e);
+    smooth_rough_sum += std::fabs((*rs)[static_cast<size_t>(i)] -
+                                  (*rs)[static_cast<size_t>(j)]);
+    rough_rough_sum += std::fabs((*rr)[static_cast<size_t>(i)] -
+                                 (*rr)[static_cast<size_t>(j)]);
+  }
+  EXPECT_LT(smooth_rough_sum, rough_rough_sum);
+}
+
+TEST_F(GrmcTest, Validation) {
+  const GrmcEstimator estimator(graph_, history_, {});
+  EXPECT_FALSE(estimator.Estimate(-1, {}, {}).ok());
+  EXPECT_FALSE(estimator.Estimate(999, {}, {}).ok());
+  EXPECT_FALSE(estimator.Estimate(0, {0}, {}).ok());
+  EXPECT_FALSE(estimator.Estimate(0, {99}, {1.0}).ok());
+  GrmcOptions bad;
+  bad.latent_rank = 0;
+  const GrmcEstimator bad_estimator(graph_, history_, bad);
+  EXPECT_FALSE(bad_estimator.Estimate(0, {0}, {1.0}).ok());
+  EXPECT_EQ(estimator.name(), "GRMC");
+}
+
+}  // namespace
+}  // namespace crowdrtse::baselines

@@ -1,0 +1,148 @@
+#include "baselines/knn_days.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "graph/generators.h"
+#include "traffic/traffic_simulator.h"
+#include "util/rng.h"
+
+namespace crowdrtse::baselines {
+namespace {
+
+TEST(KnnDaysTest, ExactHistoricalRepeatIsRecalled) {
+  // History has two regimes; probing values identical to regime-A days
+  // must reproduce regime A everywhere (k = 1).
+  const graph::Graph g = *graph::PathNetwork(4);
+  traffic::HistoryStore history(4, 6, 2);
+  for (int day = 0; day < 6; ++day) {
+    const double level = day % 2 == 0 ? 60.0 : 25.0;  // A: fast, B: jammed
+    for (int slot = 0; slot < 2; ++slot) {
+      for (graph::RoadId r = 0; r < 4; ++r) {
+        history.At(day, slot, r) = level + r;
+      }
+    }
+  }
+  KnnDaysOptions options;
+  options.k = 1;
+  const KnnDaysEstimator estimator(g, history, options);
+  const auto est = estimator.Estimate(0, {0}, {60.0});
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR((*est)[1], 61.0, 1e-9);
+  EXPECT_NEAR((*est)[3], 63.0, 1e-9);
+  const auto jammed = estimator.Estimate(0, {0}, {25.0});
+  ASSERT_TRUE(jammed.ok());
+  EXPECT_NEAR((*jammed)[3], 28.0, 1e-9);
+}
+
+TEST(KnnDaysTest, KernelWeightingFavoursCloserDays) {
+  const graph::Graph g = *graph::PathNetwork(2);
+  traffic::HistoryStore history(2, 3, 1);
+  // Days at probe values 10, 20, 90; probing 12 should land near 10-20,
+  // far from 90.
+  history.At(0, 0, 0) = 10.0;
+  history.At(0, 0, 1) = 100.0;
+  history.At(1, 0, 0) = 20.0;
+  history.At(1, 0, 1) = 200.0;
+  history.At(2, 0, 0) = 90.0;
+  history.At(2, 0, 1) = 900.0;
+  KnnDaysOptions options;
+  options.k = 3;
+  options.bandwidth_kmh = 5.0;
+  const KnnDaysEstimator estimator(g, history, options);
+  const auto est = estimator.Estimate(0, {0}, {12.0});
+  ASSERT_TRUE(est.ok());
+  EXPECT_LT((*est)[1], 250.0);  // dominated by days 0/1, not day 2
+  EXPECT_GT((*est)[1], 90.0);
+}
+
+TEST(KnnDaysTest, NoProbesGivesMeanOfAllDays) {
+  const graph::Graph g = *graph::PathNetwork(2);
+  traffic::HistoryStore history(2, 4, 1);
+  for (int day = 0; day < 4; ++day) {
+    history.At(day, 0, 0) = 10.0 * (day + 1);
+    history.At(day, 0, 1) = 10.0 * (day + 1);
+  }
+  KnnDaysOptions options;
+  options.k = 4;
+  options.bandwidth_kmh = 0.0;  // unweighted
+  const KnnDaysEstimator estimator(g, history, options);
+  const auto est = estimator.Estimate(0, {}, {});
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR((*est)[0], 25.0, 1e-9);
+}
+
+TEST(KnnDaysTest, ProbesEchoed) {
+  const graph::Graph g = *graph::PathNetwork(3);
+  traffic::HistoryStore history(3, 3, 1);
+  const KnnDaysEstimator estimator(g, history, {});
+  const auto est = estimator.Estimate(0, {1}, {77.0});
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ((*est)[1], 77.0);
+}
+
+TEST(KnnDaysTest, KLargerThanHistoryClamped) {
+  const graph::Graph g = *graph::PathNetwork(2);
+  traffic::HistoryStore history(2, 2, 1);
+  history.At(0, 0, 0) = 10.0;
+  history.At(1, 0, 0) = 30.0;
+  KnnDaysOptions options;
+  options.k = 50;
+  options.bandwidth_kmh = 0.0;
+  const KnnDaysEstimator estimator(g, history, options);
+  const auto est = estimator.Estimate(0, {}, {});
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR((*est)[0], 20.0, 1e-9);
+}
+
+TEST(KnnDaysTest, SimulatedTrafficReasonable) {
+  util::Rng rng(5);
+  graph::RoadNetworkOptions net;
+  net.num_roads = 40;
+  const graph::Graph g = *graph::RoadNetwork(net, rng);
+  traffic::TrafficModelOptions traffic_options;
+  traffic_options.num_days = 20;
+  const traffic::TrafficSimulator sim(g, traffic_options, 9);
+  const traffic::HistoryStore history = sim.GenerateHistory();
+  const traffic::DayMatrix truth = sim.GenerateEvaluationDay();
+  const int slot = 99;
+  std::vector<graph::RoadId> observed;
+  std::vector<double> speeds;
+  for (graph::RoadId r = 0; r < g.num_roads(); r += 4) {
+    observed.push_back(r);
+    speeds.push_back(truth.At(slot, r));
+  }
+  const KnnDaysEstimator estimator(g, history, {});
+  const auto est = estimator.Estimate(slot, observed, speeds);
+  ASSERT_TRUE(est.ok());
+  double err = 0.0;
+  int count = 0;
+  for (graph::RoadId r = 0; r < g.num_roads(); ++r) {
+    if (r % 4 == 0) continue;
+    err += std::fabs((*est)[static_cast<size_t>(r)] - truth.At(slot, r)) /
+           truth.At(slot, r);
+    ++count;
+  }
+  EXPECT_LT(err / count, 0.25);  // sane non-parametric quality
+}
+
+TEST(KnnDaysTest, Validation) {
+  const graph::Graph g = *graph::PathNetwork(2);
+  traffic::HistoryStore history(2, 3, 1);
+  const KnnDaysEstimator estimator(g, history, {});
+  EXPECT_FALSE(estimator.Estimate(5, {}, {}).ok());
+  EXPECT_FALSE(estimator.Estimate(0, {0}, {}).ok());
+  EXPECT_FALSE(estimator.Estimate(0, {9}, {1.0}).ok());
+  KnnDaysOptions bad;
+  bad.k = 0;
+  const KnnDaysEstimator bad_estimator(g, history, bad);
+  EXPECT_FALSE(bad_estimator.Estimate(0, {}, {}).ok());
+  traffic::HistoryStore empty(2, 0, 1);
+  const KnnDaysEstimator no_history(g, empty, {});
+  EXPECT_FALSE(no_history.Estimate(0, {}, {}).ok());
+}
+
+}  // namespace
+}  // namespace crowdrtse::baselines

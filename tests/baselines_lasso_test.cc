@@ -1,0 +1,164 @@
+#include "baselines/lasso.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "graph/generators.h"
+#include "traffic/traffic_simulator.h"
+#include "util/rng.h"
+
+namespace crowdrtse::baselines {
+namespace {
+
+TEST(LassoFitTest, RecoversSparseLinearModel) {
+  // y = 3 x0 - 2 x2 + 5 + noise; x1 is irrelevant.
+  util::Rng rng(1);
+  const size_t n = 200;
+  math::DenseMatrix x(n, 3);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x.At(i, 0) = rng.Normal(0.0, 2.0);
+    x.At(i, 1) = rng.Normal(0.0, 2.0);
+    x.At(i, 2) = rng.Normal(0.0, 2.0);
+    y[i] = 3.0 * x.At(i, 0) - 2.0 * x.At(i, 2) + 5.0 + rng.Normal(0.0, 0.1);
+  }
+  LassoFitOptions options;
+  options.l1_penalty = 0.01;
+  const auto fit = LassoFit(x, y, options);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(fit->converged);
+  EXPECT_NEAR(fit->coefficients[0], 3.0, 0.1);
+  EXPECT_NEAR(fit->coefficients[1], 0.0, 0.05);
+  EXPECT_NEAR(fit->coefficients[2], -2.0, 0.1);
+  EXPECT_NEAR(fit->intercept, 5.0, 0.2);
+}
+
+TEST(LassoFitTest, StrongPenaltyZeroesEverything) {
+  util::Rng rng(2);
+  const size_t n = 100;
+  math::DenseMatrix x(n, 2);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x.At(i, 0) = rng.Normal();
+    x.At(i, 1) = rng.Normal();
+    y[i] = 0.5 * x.At(i, 0) + rng.Normal(0.0, 0.1);
+  }
+  LassoFitOptions options;
+  options.l1_penalty = 100.0;
+  const auto fit = LassoFit(x, y, options);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_DOUBLE_EQ(fit->coefficients[0], 0.0);
+  EXPECT_DOUBLE_EQ(fit->coefficients[1], 0.0);
+}
+
+TEST(LassoFitTest, PenaltyShrinksCoefficients) {
+  util::Rng rng(3);
+  const size_t n = 150;
+  math::DenseMatrix x(n, 2);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x.At(i, 0) = rng.Normal();
+    x.At(i, 1) = rng.Normal();
+    y[i] = 2.0 * x.At(i, 0) + 1.0 * x.At(i, 1) + rng.Normal(0.0, 0.2);
+  }
+  LassoFitOptions light;
+  light.l1_penalty = 0.01;
+  LassoFitOptions heavy;
+  heavy.l1_penalty = 0.5;
+  const auto light_fit = LassoFit(x, y, light);
+  const auto heavy_fit = LassoFit(x, y, heavy);
+  ASSERT_TRUE(light_fit.ok());
+  ASSERT_TRUE(heavy_fit.ok());
+  EXPECT_LT(std::fabs(heavy_fit->coefficients[0]),
+            std::fabs(light_fit->coefficients[0]));
+}
+
+TEST(LassoFitTest, ConstantColumnGetsZero) {
+  math::DenseMatrix x(10, 2);
+  std::vector<double> y(10);
+  for (size_t i = 0; i < 10; ++i) {
+    x.At(i, 0) = 7.0;  // constant
+    x.At(i, 1) = static_cast<double>(i);
+    y[i] = 2.0 * static_cast<double>(i);
+  }
+  const auto fit = LassoFit(x, y, {});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_DOUBLE_EQ(fit->coefficients[0], 0.0);
+}
+
+TEST(LassoFitTest, Validation) {
+  math::DenseMatrix x(5, 2);
+  EXPECT_FALSE(LassoFit(x, std::vector<double>(4), {}).ok());
+  math::DenseMatrix tiny(1, 2);
+  EXPECT_FALSE(LassoFit(tiny, std::vector<double>(1), {}).ok());
+  LassoFitOptions bad;
+  bad.l1_penalty = -1.0;
+  EXPECT_FALSE(LassoFit(x, std::vector<double>(5), bad).ok());
+}
+
+class LassoEstimatorTest : public ::testing::Test {
+ protected:
+  LassoEstimatorTest() {
+    util::Rng rng(5);
+    graph::RoadNetworkOptions net;
+    net.num_roads = 40;
+    graph_ = *graph::RoadNetwork(net, rng);
+    traffic::TrafficModelOptions traffic_options;
+    traffic_options.num_days = 10;
+    sim_ = std::make_unique<traffic::TrafficSimulator>(graph_,
+                                                       traffic_options, 7);
+    history_ = sim_->GenerateHistory();
+  }
+
+  graph::Graph graph_;
+  std::unique_ptr<traffic::TrafficSimulator> sim_;
+  traffic::HistoryStore history_;
+};
+
+TEST_F(LassoEstimatorTest, ObservedRoadsEchoAndOthersReasonable) {
+  LassoEstimatorOptions options;
+  const LassoEstimator estimator(graph_, history_, options);
+  const traffic::DayMatrix truth = sim_->GenerateEvaluationDay();
+  const int slot = 120;
+  std::vector<graph::RoadId> observed;
+  std::vector<double> speeds;
+  for (graph::RoadId r = 0; r < graph_.num_roads(); r += 4) {
+    observed.push_back(r);
+    speeds.push_back(truth.At(slot, r));
+  }
+  const auto est = estimator.Estimate(slot, observed, speeds);
+  ASSERT_TRUE(est.ok());
+  for (size_t i = 0; i < observed.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*est)[static_cast<size_t>(observed[i])], speeds[i]);
+  }
+  // Unobserved estimates stay in a physical range.
+  for (double v : *est) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 200.0);
+  }
+  EXPECT_EQ(estimator.name(), "LASSO");
+}
+
+TEST_F(LassoEstimatorTest, NoObservationsFallsBackToSlotMean) {
+  const LassoEstimator estimator(graph_, history_, {});
+  const auto est = estimator.Estimate(100, {}, {});
+  ASSERT_TRUE(est.ok());
+  // Must equal the historical slot mean.
+  double sum = 0.0;
+  for (int day = 0; day < history_.num_days(); ++day) {
+    sum += history_.At(day, 100, 0);
+  }
+  EXPECT_NEAR((*est)[0], sum / history_.num_days(), 1e-9);
+}
+
+TEST_F(LassoEstimatorTest, Validation) {
+  const LassoEstimator estimator(graph_, history_, {});
+  EXPECT_FALSE(estimator.Estimate(-1, {}, {}).ok());
+  EXPECT_FALSE(estimator.Estimate(0, {0}, {}).ok());
+  EXPECT_FALSE(estimator.Estimate(0, {999}, {1.0}).ok());
+}
+
+}  // namespace
+}  // namespace crowdrtse::baselines

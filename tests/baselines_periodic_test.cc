@@ -1,0 +1,61 @@
+#include "baselines/periodic_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace crowdrtse::baselines {
+namespace {
+
+TEST(PeriodicEstimatorTest, ReturnsSlotMeans) {
+  const graph::Graph g = *graph::PathNetwork(3);
+  rtf::RtfModel model(g, 2);
+  model.SetMu(0, 0, 40.0);
+  model.SetMu(0, 1, 50.0);
+  model.SetMu(1, 1, 66.0);
+  const PeriodicEstimator estimator(model);
+  const auto slot0 = estimator.Estimate(0, {}, {});
+  ASSERT_TRUE(slot0.ok());
+  EXPECT_DOUBLE_EQ((*slot0)[0], 40.0);
+  EXPECT_DOUBLE_EQ((*slot0)[1], 50.0);
+  const auto slot1 = estimator.Estimate(1, {}, {});
+  ASSERT_TRUE(slot1.ok());
+  EXPECT_DOUBLE_EQ((*slot1)[1], 66.0);
+}
+
+TEST(PeriodicEstimatorTest, IgnoresProbesEvenOnObservedRoads) {
+  // Per "purely relies on the periodicity" (paper §VII-C): probed values
+  // never override the historical slot mean.
+  const graph::Graph g = *graph::PathNetwork(3);
+  rtf::RtfModel model(g, 1);
+  model.SetMu(0, 2, 45.0);
+  const PeriodicEstimator estimator(model);
+  const auto est = estimator.Estimate(0, {2}, {99.0});
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ((*est)[2], 45.0);
+}
+
+TEST(PeriodicEstimatorTest, IgnoresProbesOnOtherRoads) {
+  // The defining limitation of Per: probes on road 0 do not move road 1.
+  const graph::Graph g = *graph::PathNetwork(2);
+  rtf::RtfModel model(g, 1);
+  model.SetMu(0, 0, 50.0);
+  model.SetMu(0, 1, 50.0);
+  const PeriodicEstimator estimator(model);
+  const auto est = estimator.Estimate(0, {0}, {10.0});
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ((*est)[1], 50.0);
+}
+
+TEST(PeriodicEstimatorTest, Validation) {
+  const graph::Graph g = *graph::PathNetwork(2);
+  const rtf::RtfModel model(g, 1);
+  const PeriodicEstimator estimator(model);
+  EXPECT_FALSE(estimator.Estimate(1, {}, {}).ok());
+  EXPECT_FALSE(estimator.Estimate(0, {0}, {}).ok());
+  EXPECT_FALSE(estimator.Estimate(0, {9}, {1.0}).ok());
+  EXPECT_EQ(estimator.name(), "Per");
+}
+
+}  // namespace
+}  // namespace crowdrtse::baselines

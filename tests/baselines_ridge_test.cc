@@ -1,0 +1,149 @@
+#include "baselines/ridge.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "graph/generators.h"
+#include "traffic/traffic_simulator.h"
+#include "util/rng.h"
+
+namespace crowdrtse::baselines {
+namespace {
+
+TEST(RidgeFitTest, RecoversLinearModelAtLightPenalty) {
+  util::Rng rng(1);
+  const size_t n = 300;
+  math::DenseMatrix x(n, 2);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x.At(i, 0) = rng.Normal(0.0, 2.0);
+    x.At(i, 1) = rng.Normal(0.0, 2.0);
+    y[i] = 4.0 * x.At(i, 0) - 1.5 * x.At(i, 1) + 2.0 + rng.Normal(0.0, 0.1);
+  }
+  const auto fit = RidgeFit(x, y, 1e-6);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->coefficients[0], 4.0, 0.05);
+  EXPECT_NEAR(fit->coefficients[1], -1.5, 0.05);
+  EXPECT_NEAR(fit->intercept, 2.0, 0.1);
+}
+
+TEST(RidgeFitTest, PenaltyShrinksTowardsZero) {
+  util::Rng rng(2);
+  const size_t n = 200;
+  math::DenseMatrix x(n, 1);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x.At(i, 0) = rng.Normal();
+    y[i] = 3.0 * x.At(i, 0) + rng.Normal(0.0, 0.2);
+  }
+  const auto light = RidgeFit(x, y, 0.01);
+  const auto heavy = RidgeFit(x, y, 10.0);
+  ASSERT_TRUE(light.ok());
+  ASSERT_TRUE(heavy.ok());
+  EXPECT_GT(light->coefficients[0], heavy->coefficients[0]);
+  EXPECT_GT(heavy->coefficients[0], 0.0);
+}
+
+TEST(RidgeFitTest, ConstantColumnIgnored) {
+  math::DenseMatrix x(10, 2);
+  std::vector<double> y(10);
+  for (size_t i = 0; i < 10; ++i) {
+    x.At(i, 0) = 5.0;
+    x.At(i, 1) = static_cast<double>(i);
+    y[i] = static_cast<double>(2 * i);
+  }
+  const auto fit = RidgeFit(x, y, 1e-6);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_DOUBLE_EQ(fit->coefficients[0], 0.0);
+  EXPECT_NEAR(fit->coefficients[1], 2.0, 0.01);
+}
+
+TEST(RidgeFitTest, Validation) {
+  math::DenseMatrix x(5, 2);
+  EXPECT_FALSE(RidgeFit(x, std::vector<double>(4), 0.1).ok());
+  EXPECT_FALSE(RidgeFit(x, std::vector<double>(5), -1.0).ok());
+  math::DenseMatrix tiny(1, 2);
+  EXPECT_FALSE(RidgeFit(tiny, std::vector<double>(1), 0.1).ok());
+}
+
+class RidgeEstimatorTest : public ::testing::Test {
+ protected:
+  RidgeEstimatorTest() {
+    util::Rng rng(5);
+    graph::RoadNetworkOptions net;
+    net.num_roads = 30;
+    graph_ = *graph::RoadNetwork(net, rng);
+    traffic::TrafficModelOptions traffic_options;
+    traffic_options.num_days = 10;
+    sim_ = std::make_unique<traffic::TrafficSimulator>(graph_,
+                                                       traffic_options, 7);
+    history_ = sim_->GenerateHistory();
+  }
+
+  graph::Graph graph_;
+  std::unique_ptr<traffic::TrafficSimulator> sim_;
+  traffic::HistoryStore history_;
+};
+
+TEST_F(RidgeEstimatorTest, EchoesProbesAndStaysPhysical) {
+  const RidgeEstimator estimator(graph_, history_, {});
+  const traffic::DayMatrix truth = sim_->GenerateEvaluationDay();
+  const int slot = 100;
+  std::vector<graph::RoadId> observed{0, 6, 12, 18, 24};
+  std::vector<double> speeds;
+  for (graph::RoadId r : observed) speeds.push_back(truth.At(slot, r));
+  const auto est = estimator.Estimate(slot, observed, speeds);
+  ASSERT_TRUE(est.ok());
+  for (size_t i = 0; i < observed.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*est)[static_cast<size_t>(observed[i])], speeds[i]);
+  }
+  for (double v : *est) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 250.0);
+  }
+  EXPECT_EQ(estimator.name(), "Ridge");
+}
+
+TEST_F(RidgeEstimatorTest, BeatsGlobalMeanGuess) {
+  const RidgeEstimator estimator(graph_, history_, {});
+  const traffic::DayMatrix truth = sim_->GenerateEvaluationDay();
+  const int slot = 99;
+  std::vector<graph::RoadId> observed;
+  std::vector<double> speeds;
+  for (graph::RoadId r = 0; r < graph_.num_roads(); r += 3) {
+    observed.push_back(r);
+    speeds.push_back(truth.At(slot, r));
+  }
+  const auto est = estimator.Estimate(slot, observed, speeds);
+  ASSERT_TRUE(est.ok());
+  double global_mean = 0.0;
+  for (graph::RoadId r = 0; r < graph_.num_roads(); ++r) {
+    global_mean += truth.At(slot, r);
+  }
+  global_mean /= graph_.num_roads();
+  double ridge_err = 0.0;
+  double mean_err = 0.0;
+  int count = 0;
+  for (graph::RoadId r = 0; r < graph_.num_roads(); ++r) {
+    if (r % 3 == 0) continue;
+    ridge_err += std::fabs((*est)[static_cast<size_t>(r)] -
+                           truth.At(slot, r));
+    mean_err += std::fabs(global_mean - truth.At(slot, r));
+    ++count;
+  }
+  EXPECT_LT(ridge_err / count, mean_err / count);
+}
+
+TEST_F(RidgeEstimatorTest, Validation) {
+  const RidgeEstimator estimator(graph_, history_, {});
+  EXPECT_FALSE(estimator.Estimate(-1, {}, {}).ok());
+  EXPECT_FALSE(estimator.Estimate(0, {0}, {}).ok());
+  EXPECT_FALSE(estimator.Estimate(0, {99}, {1.0}).ok());
+  EXPECT_FALSE(
+      estimator.EstimateTargets(0, {0}, {1.0}, {999}).ok());
+}
+
+}  // namespace
+}  // namespace crowdrtse::baselines

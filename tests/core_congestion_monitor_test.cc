@@ -1,0 +1,90 @@
+#include "core/congestion_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace crowdrtse::core {
+namespace {
+
+rtf::RtfModel FlatModel(const graph::Graph& g, double mu) {
+  rtf::RtfModel model(g, 1);
+  for (graph::RoadId r = 0; r < g.num_roads(); ++r) {
+    model.SetMu(0, r, mu);
+    model.SetSigma(0, r, 3.0);
+  }
+  return model;
+}
+
+TEST(CongestionMonitorTest, GradesBySeverity) {
+  const graph::Graph g = *graph::PathNetwork(2);
+  const rtf::RtfModel model = FlatModel(g, 50.0);
+  const CongestionMonitor monitor(model);
+  EXPECT_EQ(monitor.Grade(0.9), CongestionLevel::kNone);
+  EXPECT_EQ(monitor.Grade(0.65), CongestionLevel::kSlow);
+  EXPECT_EQ(monitor.Grade(0.45), CongestionLevel::kCongested);
+  EXPECT_EQ(monitor.Grade(0.2), CongestionLevel::kBlocked);
+}
+
+TEST(CongestionMonitorTest, ScanFindsAndSortsAlarms) {
+  const graph::Graph g = *graph::PathNetwork(5);
+  const rtf::RtfModel model = FlatModel(g, 50.0);
+  const CongestionMonitor monitor(model);
+  // Roads: 0 fine, 1 slow (60%), 2 blocked (10%), 3 congested (40%),
+  // 4 fine.
+  const std::vector<double> estimates{50.0, 30.0, 5.0, 20.0, 55.0};
+  const auto alarms = monitor.Scan(0, estimates, {0, 1, 2, 3, 0});
+  ASSERT_TRUE(alarms.ok());
+  ASSERT_EQ(alarms->size(), 3u);
+  EXPECT_EQ((*alarms)[0].road, 2);
+  EXPECT_EQ((*alarms)[0].level, CongestionLevel::kBlocked);
+  EXPECT_EQ((*alarms)[0].hops_from_probe, 2);
+  EXPECT_EQ((*alarms)[1].road, 3);
+  EXPECT_EQ((*alarms)[1].level, CongestionLevel::kCongested);
+  EXPECT_EQ((*alarms)[2].road, 1);
+  EXPECT_EQ((*alarms)[2].level, CongestionLevel::kSlow);
+  EXPECT_NEAR((*alarms)[2].speed_ratio, 0.6, 1e-12);
+}
+
+TEST(CongestionMonitorTest, NoAlarmsWhenTrafficNormal) {
+  const graph::Graph g = *graph::PathNetwork(3);
+  const rtf::RtfModel model = FlatModel(g, 40.0);
+  const CongestionMonitor monitor(model);
+  const auto alarms = monitor.Scan(0, {38.0, 42.0, 40.0});
+  ASSERT_TRUE(alarms.ok());
+  EXPECT_TRUE(alarms->empty());
+}
+
+TEST(CongestionMonitorTest, CustomThresholds) {
+  const graph::Graph g = *graph::PathNetwork(2);
+  const rtf::RtfModel model = FlatModel(g, 50.0);
+  CongestionThresholds strict;
+  strict.slow = 0.95;
+  strict.congested = 0.9;
+  strict.blocked = 0.8;
+  const CongestionMonitor monitor(model, strict);
+  const auto alarms = monitor.Scan(0, {46.0, 50.0});
+  ASSERT_TRUE(alarms.ok());
+  ASSERT_EQ(alarms->size(), 1u);
+  EXPECT_EQ((*alarms)[0].level, CongestionLevel::kSlow);
+}
+
+TEST(CongestionMonitorTest, LevelNames) {
+  EXPECT_STREQ(CongestionLevelName(CongestionLevel::kNone), "none");
+  EXPECT_STREQ(CongestionLevelName(CongestionLevel::kSlow), "slow");
+  EXPECT_STREQ(CongestionLevelName(CongestionLevel::kCongested),
+               "congested");
+  EXPECT_STREQ(CongestionLevelName(CongestionLevel::kBlocked), "blocked");
+}
+
+TEST(CongestionMonitorTest, Validation) {
+  const graph::Graph g = *graph::PathNetwork(3);
+  const rtf::RtfModel model = FlatModel(g, 50.0);
+  const CongestionMonitor monitor(model);
+  EXPECT_FALSE(monitor.Scan(5, {1.0, 1.0, 1.0}).ok());
+  EXPECT_FALSE(monitor.Scan(0, {1.0}).ok());
+  EXPECT_FALSE(monitor.Scan(0, {1.0, 1.0, 1.0}, {0}).ok());
+}
+
+}  // namespace
+}  // namespace crowdrtse::core

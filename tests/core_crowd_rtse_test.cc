@@ -1,0 +1,228 @@
+#include "core/crowd_rtse.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/gsp_estimator.h"
+#include "graph/generators.h"
+#include "traffic/traffic_simulator.h"
+#include "util/rng.h"
+
+namespace crowdrtse::core {
+namespace {
+
+class CrowdRtseTest : public ::testing::Test {
+ protected:
+  CrowdRtseTest() {
+    util::Rng rng(21);
+    graph::RoadNetworkOptions net;
+    net.num_roads = 80;
+    graph_ = *graph::RoadNetwork(net, rng);
+    traffic::TrafficModelOptions traffic_options;
+    traffic_options.num_days = 10;
+    sim_ = std::make_unique<traffic::TrafficSimulator>(graph_,
+                                                       traffic_options, 23);
+    history_ = sim_->GenerateHistory();
+    costs_ = crowd::CostModel::Constant(graph_.num_roads(), 2);
+    for (graph::RoadId r = 0; r < graph_.num_roads(); ++r) {
+      all_roads_.push_back(r);
+    }
+  }
+
+  CrowdRtseConfig Config() {
+    CrowdRtseConfig config;
+    config.moments.slot_window = 1;
+    return config;
+  }
+
+  graph::Graph graph_;
+  std::unique_ptr<traffic::TrafficSimulator> sim_;
+  traffic::HistoryStore history_;
+  crowd::CostModel costs_;
+  std::vector<graph::RoadId> all_roads_;
+};
+
+TEST_F(CrowdRtseTest, BuildOfflineTrainsValidModel) {
+  auto system = CrowdRtse::BuildOffline(graph_, history_, Config());
+  ASSERT_TRUE(system.ok());
+  EXPECT_TRUE(system->model().Validate().ok());
+  EXPECT_EQ(system->model().num_roads(), graph_.num_roads());
+}
+
+TEST_F(CrowdRtseTest, BuildOfflineValidatesConfig) {
+  CrowdRtseConfig config = Config();
+  config.theta = 0.0;
+  EXPECT_FALSE(CrowdRtse::BuildOffline(graph_, history_, config).ok());
+}
+
+TEST_F(CrowdRtseTest, CorrelationTableCachedPerSlot) {
+  auto system = CrowdRtse::BuildOffline(graph_, history_, Config());
+  ASSERT_TRUE(system.ok());
+  const auto a = system->CorrelationsFor(100);
+  const auto b = system->CorrelationsFor(100);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);  // same cached pointer
+  EXPECT_FALSE(system->CorrelationsFor(-1).ok());
+}
+
+TEST_F(CrowdRtseTest, SelectRoadsHonoursBudgetAndWorkers) {
+  auto system = CrowdRtse::BuildOffline(graph_, history_, Config());
+  ASSERT_TRUE(system.ok());
+  const std::vector<graph::RoadId> queried{1, 5, 9, 13, 17};
+  std::vector<graph::RoadId> workers;
+  for (graph::RoadId r = 0; r < 40; ++r) workers.push_back(r);
+  const auto selection =
+      system->SelectRoads(100, queried, workers, costs_, 10);
+  ASSERT_TRUE(selection.ok());
+  EXPECT_LE(selection->total_cost, 10);
+  const std::set<graph::RoadId> worker_set(workers.begin(), workers.end());
+  for (graph::RoadId r : selection->roads) {
+    EXPECT_TRUE(worker_set.count(r) > 0);
+  }
+}
+
+TEST_F(CrowdRtseTest, SelectorKindsDiffer) {
+  auto system = CrowdRtse::BuildOffline(graph_, history_, Config());
+  ASSERT_TRUE(system.ok());
+  const std::vector<graph::RoadId> queried{1, 5, 9};
+  const auto hybrid = system->SelectRoads(50, queried, all_roads_, costs_,
+                                          8, SelectorKind::kHybridGreedy);
+  const auto ratio = system->SelectRoads(50, queried, all_roads_, costs_,
+                                         8, SelectorKind::kRatioGreedy);
+  const auto objective = system->SelectRoads(
+      50, queried, all_roads_, costs_, 8, SelectorKind::kObjectiveGreedy);
+  ASSERT_TRUE(hybrid.ok());
+  ASSERT_TRUE(ratio.ok());
+  ASSERT_TRUE(objective.ok());
+  EXPECT_GE(hybrid->objective, ratio->objective - 1e-12);
+  EXPECT_GE(hybrid->objective, objective->objective - 1e-12);
+}
+
+TEST_F(CrowdRtseTest, EndToEndQueryProducesEstimates) {
+  auto system = CrowdRtse::BuildOffline(graph_, history_, Config());
+  ASSERT_TRUE(system.ok());
+  const traffic::DayMatrix truth = sim_->GenerateEvaluationDay();
+  crowd::CrowdSimulator crowd_sim({}, util::Rng(31));
+  const std::vector<graph::RoadId> queried{2, 6, 10, 14};
+  const auto outcome = system->AnswerQuery(100, queried, all_roads_,
+                                           costs_, 12, crowd_sim, truth);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->selection.roads.empty());
+  EXPECT_EQ(outcome->round.probes.size(), outcome->selection.roads.size());
+  EXPECT_EQ(outcome->estimate.speeds.size(),
+            static_cast<size_t>(graph_.num_roads()));
+  EXPECT_EQ(outcome->round.total_paid, outcome->selection.total_cost);
+  // Estimated speeds are physical.
+  for (double v : outcome->estimate.speeds) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 200.0);
+  }
+}
+
+TEST_F(CrowdRtseTest, CcdRefinementRunsLazily) {
+  CrowdRtseConfig config = Config();
+  config.refine_with_ccd = true;
+  config.ccd.max_iterations = 5;
+  config.ccd.learning_rate = 0.01;
+  auto system = CrowdRtse::BuildOffline(graph_, history_, config);
+  ASSERT_TRUE(system.ok());
+  const auto table = system->CorrelationsFor(100);
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(system->model().Validate().ok());
+}
+
+TEST_F(CrowdRtseTest, ReciprocalPathModeChangesCorrelationsNotValidity) {
+  CrowdRtseConfig exact = Config();
+  CrowdRtseConfig paper = Config();
+  paper.path_mode = rtf::PathWeightMode::kReciprocal;
+  auto exact_system = CrowdRtse::BuildOffline(graph_, history_, exact);
+  auto paper_system = CrowdRtse::BuildOffline(graph_, history_, paper);
+  ASSERT_TRUE(exact_system.ok());
+  ASSERT_TRUE(paper_system.ok());
+  const auto exact_table = exact_system->CorrelationsFor(100);
+  const auto paper_table = paper_system->CorrelationsFor(100);
+  ASSERT_TRUE(exact_table.ok());
+  ASSERT_TRUE(paper_table.ok());
+  // The exact -log reduction dominates the 1/rho heuristic pointwise.
+  int strictly_better = 0;
+  for (graph::RoadId i = 0; i < graph_.num_roads(); i += 5) {
+    for (graph::RoadId j = 0; j < graph_.num_roads(); j += 7) {
+      if (i == j) continue;
+      EXPECT_GE((*exact_table)->Corr(i, j) + 1e-12,
+                (*paper_table)->Corr(i, j));
+      if ((*exact_table)->Corr(i, j) > (*paper_table)->Corr(i, j) + 1e-12) {
+        ++strictly_better;
+      }
+    }
+  }
+  EXPECT_GT(strictly_better, 0);
+  // Selection still works end to end under the paper's mode.
+  const auto selection = paper_system->SelectRoads(
+      100, {1, 5, 9}, all_roads_, costs_, 8);
+  ASSERT_TRUE(selection.ok());
+  EXPECT_FALSE(selection->roads.empty());
+}
+
+TEST_F(CrowdRtseTest, LazySelectorMatchesHybridObjective) {
+  auto system = CrowdRtse::BuildOffline(graph_, history_, Config());
+  ASSERT_TRUE(system.ok());
+  const std::vector<graph::RoadId> queried{1, 5, 9, 13};
+  const auto hybrid = system->SelectRoads(100, queried, all_roads_, costs_,
+                                          10, SelectorKind::kHybridGreedy);
+  const auto lazy = system->SelectRoads(100, queried, all_roads_, costs_,
+                                        10, SelectorKind::kLazyHybridGreedy);
+  ASSERT_TRUE(hybrid.ok());
+  ASSERT_TRUE(lazy.ok());
+  EXPECT_NEAR(lazy->objective, hybrid->objective, 1e-9);
+}
+
+TEST_F(CrowdRtseTest, SigmaWeightsMatchModel) {
+  auto system = CrowdRtse::BuildOffline(graph_, history_, Config());
+  ASSERT_TRUE(system.ok());
+  const auto weights = system->SigmaWeights(100, {3, 7});
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_DOUBLE_EQ(weights[0], system->model().Sigma(100, 3));
+  EXPECT_DOUBLE_EQ(weights[1], system->model().Sigma(100, 7));
+}
+
+TEST_F(CrowdRtseTest, EstimateWithConfidenceReportsVariances) {
+  auto system = CrowdRtse::BuildOffline(graph_, history_, Config());
+  ASSERT_TRUE(system.ok());
+  const std::vector<graph::RoadId> sampled{3, 30};
+  const std::vector<double> speeds{40.0, 55.0};
+  const auto result = system->EstimateWithConfidence(100, sampled, speeds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->variance.size(),
+            static_cast<size_t>(graph_.num_roads()));
+  EXPECT_DOUBLE_EQ(result->variance[3], 0.0);
+  EXPECT_DOUBLE_EQ(result->variance[30], 0.0);
+  int positive = 0;
+  for (graph::RoadId r = 0; r < graph_.num_roads(); ++r) {
+    if (r == 3 || r == 30) continue;
+    EXPECT_GE(result->variance[static_cast<size_t>(r)], 0.0);
+    if (result->variance[static_cast<size_t>(r)] > 0.0) ++positive;
+  }
+  EXPECT_EQ(positive, graph_.num_roads() - 2);
+  // The estimate itself matches the plain path.
+  const auto plain = system->Estimate(100, sampled, speeds);
+  ASSERT_TRUE(plain.ok());
+  for (size_t i = 0; i < plain->speeds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result->estimate.speeds[i], plain->speeds[i]);
+  }
+}
+
+TEST_F(CrowdRtseTest, GspEstimatorAdapterEchoesProbes) {
+  auto system = CrowdRtse::BuildOffline(graph_, history_, Config());
+  ASSERT_TRUE(system.ok());
+  const GspEstimator estimator(system->model(), {});
+  const auto est = estimator.Estimate(100, {4}, {33.0});
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ((*est)[4], 33.0);
+  EXPECT_EQ(estimator.name(), "GSP");
+}
+
+}  // namespace
+}  // namespace crowdrtse::core

@@ -1,0 +1,106 @@
+#include "core/theta_tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.h"
+#include "traffic/traffic_simulator.h"
+#include "util/rng.h"
+
+namespace crowdrtse::core {
+namespace {
+
+class ThetaTunerTest : public ::testing::Test {
+ protected:
+  ThetaTunerTest() {
+    util::Rng rng(3);
+    graph::RoadNetworkOptions net;
+    net.num_roads = 80;
+    graph_ = *graph::RoadNetwork(net, rng);
+    traffic::TrafficModelOptions traffic_options;
+    traffic_options.num_days = 10;
+    const traffic::TrafficSimulator sim(graph_, traffic_options, 7);
+    history_ = sim.GenerateHistory();
+    costs_ = crowd::CostModel::Constant(80, 2);
+  }
+
+  ThetaTunerOptions FastOptions() {
+    ThetaTunerOptions options;
+    options.candidate_thetas = {0.7, 0.9, 1.0};
+    options.validation_days = 2;
+    options.slots = {99};
+    options.budget = 20;
+    options.query_size = 25;
+    return options;
+  }
+
+  graph::Graph graph_;
+  traffic::HistoryStore history_;
+  crowd::CostModel costs_;
+};
+
+TEST_F(ThetaTunerTest, PicksACandidateAndScoresAll) {
+  const auto result = TuneTheta(graph_, history_, costs_, FastOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->scores.size(), 3u);
+  bool best_in_candidates = false;
+  for (const ThetaScore& score : result->scores) {
+    EXPECT_TRUE(std::isfinite(score.mape));
+    EXPECT_GE(score.mape, 0.0);
+    if (score.theta == result->best_theta) {
+      best_in_candidates = true;
+      // The winner has the (tied-)lowest MAPE.
+      for (const ThetaScore& other : result->scores) {
+        EXPECT_LE(score.mape, other.mape + 1e-9);
+      }
+    }
+  }
+  EXPECT_TRUE(best_in_candidates);
+}
+
+TEST_F(ThetaTunerTest, Deterministic) {
+  const auto a = TuneTheta(graph_, history_, costs_, FastOptions());
+  const auto b = TuneTheta(graph_, history_, costs_, FastOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->best_theta, b->best_theta);
+  for (size_t i = 0; i < a->scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->scores[i].mape, b->scores[i].mape);
+  }
+}
+
+TEST_F(ThetaTunerTest, TiesGoToSmallerTheta) {
+  // A single candidate repeated twice with distinct values that can tie is
+  // hard to force; instead check the documented rule on a degenerate list
+  // where both thetas are permissive enough to never bind -> equal MAPE.
+  ThetaTunerOptions options = FastOptions();
+  options.candidate_thetas = {0.999, 1.0};
+  const auto result = TuneTheta(graph_, history_, costs_, options);
+  ASSERT_TRUE(result.ok());
+  if (std::fabs(result->scores[0].mape - result->scores[1].mape) < 1e-12) {
+    EXPECT_DOUBLE_EQ(result->best_theta, 0.999);
+  }
+}
+
+TEST_F(ThetaTunerTest, Validation) {
+  ThetaTunerOptions bad = FastOptions();
+  bad.candidate_thetas = {};
+  EXPECT_FALSE(TuneTheta(graph_, history_, costs_, bad).ok());
+  bad = FastOptions();
+  bad.candidate_thetas = {0.0};
+  EXPECT_FALSE(TuneTheta(graph_, history_, costs_, bad).ok());
+  bad = FastOptions();
+  bad.validation_days = 9;  // leaves 1 training day
+  EXPECT_FALSE(TuneTheta(graph_, history_, costs_, bad).ok());
+  bad = FastOptions();
+  bad.query_size = 0;
+  EXPECT_FALSE(TuneTheta(graph_, history_, costs_, bad).ok());
+  bad = FastOptions();
+  bad.slots = {9999};
+  EXPECT_FALSE(TuneTheta(graph_, history_, costs_, bad).ok());
+}
+
+}  // namespace
+}  // namespace crowdrtse::core

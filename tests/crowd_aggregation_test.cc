@@ -1,0 +1,72 @@
+#include "crowd/aggregation.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+namespace crowdrtse::crowd {
+namespace {
+
+std::vector<SpeedAnswer> MakeAnswers(const std::vector<double>& values) {
+  std::vector<SpeedAnswer> answers;
+  for (size_t i = 0; i < values.size(); ++i) {
+    SpeedAnswer a;
+    a.worker = static_cast<WorkerId>(i);
+    a.road = 0;
+    a.reported_kmh = values[i];
+    answers.push_back(a);
+  }
+  return answers;
+}
+
+TEST(AggregationTest, Mean) {
+  const auto r =
+      AggregateAnswers(MakeAnswers({10, 20, 30}), AggregationPolicy::kMean);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 20.0);
+}
+
+TEST(AggregationTest, Median) {
+  const auto r = AggregateAnswers(MakeAnswers({10, 100, 30}),
+                                  AggregationPolicy::kMedian);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 30.0);
+}
+
+TEST(AggregationTest, TrimmedMeanRobustToOutlier) {
+  // 10 honest answers near 50 plus two wild ones.
+  std::vector<double> values(10, 50.0);
+  values.push_back(500.0);
+  values.push_back(0.0);
+  const auto trimmed =
+      AggregateAnswers(MakeAnswers(values), AggregationPolicy::kTrimmedMean);
+  const auto mean =
+      AggregateAnswers(MakeAnswers(values), AggregationPolicy::kMean);
+  ASSERT_TRUE(trimmed.ok());
+  ASSERT_TRUE(mean.ok());
+  EXPECT_NEAR(*trimmed, 50.0, 1.0);
+  EXPECT_GT(std::fabs(*mean - 50.0), 5.0);
+}
+
+TEST(AggregationTest, SingleAnswerPassesThrough) {
+  for (auto policy :
+       {AggregationPolicy::kMean, AggregationPolicy::kMedian,
+        AggregationPolicy::kTrimmedMean}) {
+    const auto r = AggregateAnswers(MakeAnswers({42.0}), policy);
+    ASSERT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(*r, 42.0);
+  }
+}
+
+TEST(AggregationTest, EmptyFails) {
+  EXPECT_FALSE(AggregateAnswers({}, AggregationPolicy::kMean).ok());
+}
+
+TEST(AggregationTest, PolicyNames) {
+  EXPECT_STREQ(AggregationPolicyName(AggregationPolicy::kMean), "mean");
+  EXPECT_STREQ(AggregationPolicyName(AggregationPolicy::kMedian), "median");
+  EXPECT_STREQ(AggregationPolicyName(AggregationPolicy::kTrimmedMean),
+               "trimmed_mean");
+}
+
+}  // namespace
+}  // namespace crowdrtse::crowd

@@ -1,0 +1,87 @@
+#include "crowd/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace crowdrtse::crowd {
+namespace {
+
+TEST(CalibrationTest, LearnsMultiplicativeBias) {
+  WorkerCalibration calibration(3);
+  // Worker 7 consistently over-reports by 10%.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(calibration.Observe(7, 55.0, 50.0).ok());
+  }
+  EXPECT_NEAR(calibration.EstimatedBias(7), 1.1, 1e-9);
+  EXPECT_NEAR(calibration.Debias(7, 66.0), 60.0, 1e-9);
+  EXPECT_EQ(calibration.ObservationCount(7), 5);
+}
+
+TEST(CalibrationTest, UntrustedUntilEnoughObservations) {
+  WorkerCalibration calibration(3);
+  ASSERT_TRUE(calibration.Observe(1, 100.0, 50.0).ok());
+  ASSERT_TRUE(calibration.Observe(1, 100.0, 50.0).ok());
+  EXPECT_DOUBLE_EQ(calibration.EstimatedBias(1), 1.0);  // only 2 of 3
+  ASSERT_TRUE(calibration.Observe(1, 100.0, 50.0).ok());
+  EXPECT_NEAR(calibration.EstimatedBias(1), 2.0, 1e-9);
+}
+
+TEST(CalibrationTest, UnknownWorkerIsNeutral) {
+  const WorkerCalibration calibration;
+  EXPECT_DOUBLE_EQ(calibration.EstimatedBias(42), 1.0);
+  EXPECT_DOUBLE_EQ(calibration.Debias(42, 33.0), 33.0);
+  EXPECT_EQ(calibration.ObservationCount(42), 0);
+}
+
+TEST(CalibrationTest, NoisyObservationsAverageOut) {
+  WorkerCalibration calibration(3);
+  util::Rng rng(5);
+  // True bias 0.9, noisy references.
+  for (int i = 0; i < 400; ++i) {
+    const double truth = rng.UniformDouble(20.0, 80.0);
+    const double reported = 0.9 * truth + rng.Normal(0.0, 1.0);
+    ASSERT_TRUE(
+        calibration.Observe(3, std::max(0.0, reported), truth).ok());
+  }
+  EXPECT_NEAR(calibration.EstimatedBias(3), 0.9, 0.02);
+}
+
+TEST(CalibrationTest, DebiasAnswersInPlace) {
+  WorkerCalibration calibration(1);
+  ASSERT_TRUE(calibration.Observe(1, 60.0, 50.0).ok());  // bias 1.2
+  std::vector<SpeedAnswer> answers;
+  SpeedAnswer biased;
+  biased.worker = 1;
+  biased.road = 0;
+  biased.reported_kmh = 72.0;
+  answers.push_back(biased);
+  SpeedAnswer neutral;
+  neutral.worker = 2;
+  neutral.road = 0;
+  neutral.reported_kmh = 40.0;
+  answers.push_back(neutral);
+  calibration.DebiasAnswers(answers);
+  EXPECT_NEAR(answers[0].reported_kmh, 60.0, 1e-9);
+  EXPECT_DOUBLE_EQ(answers[1].reported_kmh, 40.0);
+}
+
+TEST(CalibrationTest, DegenerateZeroReporterStaysNeutral) {
+  WorkerCalibration calibration(1);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(calibration.Observe(9, 0.0, 50.0).ok());
+  }
+  EXPECT_DOUBLE_EQ(calibration.EstimatedBias(9), 1.0);  // guarded
+}
+
+TEST(CalibrationTest, Validation) {
+  WorkerCalibration calibration;
+  EXPECT_FALSE(calibration.Observe(1, 50.0, 0.0).ok());
+  EXPECT_FALSE(calibration.Observe(1, 50.0, -5.0).ok());
+  EXPECT_FALSE(calibration.Observe(1, -1.0, 50.0).ok());
+}
+
+}  // namespace
+}  // namespace crowdrtse::crowd

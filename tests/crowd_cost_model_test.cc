@@ -1,0 +1,72 @@
+#include "crowd/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace crowdrtse::crowd {
+namespace {
+
+TEST(CostModelTest, UniformRandomWithinRange) {
+  util::Rng rng(1);
+  const auto model = CostModel::UniformRandom(200, 1, 5, rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->num_roads(), 200);
+  std::set<int> seen;
+  for (int c : model->costs()) {
+    EXPECT_GE(c, 1);
+    EXPECT_LE(c, 5);
+    seen.insert(c);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // the whole range appears
+}
+
+TEST(CostModelTest, UniformRandomValidation) {
+  util::Rng rng(1);
+  EXPECT_FALSE(CostModel::UniformRandom(-1, 1, 5, rng).ok());
+  EXPECT_FALSE(CostModel::UniformRandom(10, 0, 5, rng).ok());
+  EXPECT_FALSE(CostModel::UniformRandom(10, 5, 2, rng).ok());
+}
+
+TEST(CostModelTest, Constant) {
+  const CostModel model = CostModel::Constant(5, 3);
+  for (graph::RoadId r = 0; r < 5; ++r) EXPECT_EQ(model.Cost(r), 3);
+}
+
+TEST(CostModelTest, FromVolatilityScalesMonotonically) {
+  const auto model =
+      CostModel::FromVolatility({1.0, 2.0, 3.0, 4.0, 5.0}, 1, 9);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->Cost(0), 1);
+  EXPECT_EQ(model->Cost(4), 9);
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_GE(model->Cost(i), model->Cost(i - 1));
+  }
+}
+
+TEST(CostModelTest, FromVolatilityFlatSigmas) {
+  const auto model = CostModel::FromVolatility({2.0, 2.0, 2.0}, 1, 5);
+  ASSERT_TRUE(model.ok());
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(model->Cost(i), 1);
+}
+
+TEST(CostModelTest, FromVolatilityValidation) {
+  EXPECT_FALSE(CostModel::FromVolatility({1.0}, 0, 5).ok());
+  EXPECT_FALSE(CostModel::FromVolatility({1.0}, 5, 2).ok());
+}
+
+TEST(CostModelTest, TotalCost) {
+  const CostModel model = CostModel::Constant(10, 2);
+  EXPECT_EQ(model.TotalCost({0, 3, 7}), 6);
+  EXPECT_EQ(model.TotalCost({}), 0);
+}
+
+TEST(CostModelTest, PaperRangesDefined) {
+  EXPECT_EQ(kCostRangeC1Min, 1);
+  EXPECT_EQ(kCostRangeC1Max, 10);
+  EXPECT_EQ(kCostRangeC2Min, 1);
+  EXPECT_EQ(kCostRangeC2Max, 5);
+}
+
+}  // namespace
+}  // namespace crowdrtse::crowd

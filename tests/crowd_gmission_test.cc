@@ -1,0 +1,85 @@
+#include "crowd/gmission_scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.h"
+
+namespace crowdrtse::crowd {
+namespace {
+
+TEST(GMissionScenarioTest, BuildsPaperShapedScenario) {
+  util::Rng net_rng(1);
+  graph::RoadNetworkOptions net;
+  net.num_roads = 607;
+  const graph::Graph g = *graph::RoadNetwork(net, net_rng);
+  util::Rng rng(2);
+  const auto scenario = BuildGMissionScenario(g, GMissionOptions{}, rng);
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_EQ(scenario->queried_roads.size(), 50u);
+  EXPECT_EQ(scenario->worker_roads.size(), 30u);
+  // R^w subset of R^q.
+  const std::set<graph::RoadId> queried(scenario->queried_roads.begin(),
+                                        scenario->queried_roads.end());
+  for (graph::RoadId r : scenario->worker_roads) {
+    EXPECT_TRUE(queried.count(r) > 0);
+  }
+  // Queried roads form a connected subgraph (BFS-grown).
+  for (size_t i = 1; i < scenario->queried_roads.size(); ++i) {
+    bool attached = false;
+    for (size_t j = 0; j < i && !attached; ++j) {
+      attached = g.AreAdjacent(scenario->queried_roads[i],
+                               scenario->queried_roads[j]);
+    }
+    EXPECT_TRUE(attached);
+  }
+}
+
+TEST(GMissionScenarioTest, WorkerRoadsDistinct) {
+  util::Rng net_rng(3);
+  graph::RoadNetworkOptions net;
+  net.num_roads = 200;
+  const graph::Graph g = *graph::RoadNetwork(net, net_rng);
+  util::Rng rng(4);
+  const auto scenario = BuildGMissionScenario(g, GMissionOptions{}, rng);
+  ASSERT_TRUE(scenario.ok());
+  std::vector<graph::RoadId> roads = scenario->worker_roads;
+  std::sort(roads.begin(), roads.end());
+  EXPECT_TRUE(std::adjacent_find(roads.begin(), roads.end()) == roads.end());
+}
+
+TEST(GMissionScenarioTest, FailsOnTooSmallGraph) {
+  const graph::Graph g = *graph::PathNetwork(10);
+  util::Rng rng(1);
+  const auto scenario = BuildGMissionScenario(g, GMissionOptions{}, rng);
+  EXPECT_FALSE(scenario.ok());
+}
+
+TEST(GMissionScenarioTest, ValidatesOptions) {
+  const graph::Graph g = *graph::PathNetwork(100);
+  util::Rng rng(1);
+  GMissionOptions bad;
+  bad.num_worker_roads = 60;
+  bad.num_queried_roads = 50;
+  EXPECT_FALSE(BuildGMissionScenario(g, bad, rng).ok());
+  bad = GMissionOptions{};
+  bad.num_queried_roads = 0;
+  EXPECT_FALSE(BuildGMissionScenario(g, bad, rng).ok());
+}
+
+TEST(GMissionScenarioTest, CustomSizes) {
+  const graph::Graph g = *graph::GridNetwork(10, 10);
+  util::Rng rng(7);
+  GMissionOptions options;
+  options.num_queried_roads = 20;
+  options.num_worker_roads = 8;
+  const auto scenario = BuildGMissionScenario(g, options, rng);
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_EQ(scenario->queried_roads.size(), 20u);
+  EXPECT_EQ(scenario->worker_roads.size(), 8u);
+}
+
+}  // namespace
+}  // namespace crowdrtse::crowd

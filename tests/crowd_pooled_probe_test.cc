@@ -1,0 +1,123 @@
+// Tests of CrowdSimulator::ProbeWithAssignments — crowd answers produced
+// by concrete assigned workers with persistent per-worker bias/noise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crowd/crowd_simulator.h"
+#include "crowd/task_assignment.h"
+
+namespace crowdrtse::crowd {
+namespace {
+
+traffic::DayMatrix FlatTruth(int num_roads, double speed) {
+  traffic::DayMatrix truth(traffic::kSlotsPerDay, num_roads);
+  for (int slot = 0; slot < traffic::kSlotsPerDay; ++slot) {
+    for (graph::RoadId r = 0; r < num_roads; ++r) {
+      truth.At(slot, r) = speed;
+    }
+  }
+  return truth;
+}
+
+Worker MakeWorker(WorkerId id, graph::RoadId road, double bias,
+                  double noise) {
+  Worker w;
+  w.id = id;
+  w.road = road;
+  w.bias = bias;
+  w.noise_kmh = noise;
+  return w;
+}
+
+TEST(PooledProbeTest, WorkersReportWithTheirOwnBias) {
+  const traffic::DayMatrix truth = FlatTruth(3, 50.0);
+  // A worker with a strong +20% bias and zero noise.
+  const std::vector<Worker> workers{MakeWorker(0, 1, 1.2, 0.0)};
+  const CostModel costs = CostModel::Constant(3, 1);
+  const auto plan = AssignTasks({1}, costs, workers);
+  ASSERT_TRUE(plan.ok());
+  CrowdSimulator sim({}, util::Rng(1));
+  const auto round = sim.ProbeWithAssignments(*plan, workers, truth, 100);
+  ASSERT_TRUE(round.ok());
+  ASSERT_EQ(round->probes.size(), 1u);
+  EXPECT_NEAR(round->probes[0].probed_kmh, 60.0, 1e-9);  // 1.2 * 50
+}
+
+TEST(PooledProbeTest, UnderfilledRoadsAggregateFewerAnswers) {
+  const traffic::DayMatrix truth = FlatTruth(2, 40.0);
+  // Road 0 needs 3 answers but only 2 workers are present.
+  const std::vector<Worker> workers{MakeWorker(0, 0, 1.0, 0.0),
+                                    MakeWorker(1, 0, 1.0, 0.0)};
+  const CostModel costs = CostModel::Constant(2, 3);
+  const auto plan = AssignTasks({0}, costs, workers);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->FullyStaffed());
+  CrowdSimulator sim({}, util::Rng(2));
+  const auto round = sim.ProbeWithAssignments(*plan, workers, truth, 0);
+  ASSERT_TRUE(round.ok());
+  ASSERT_EQ(round->probes.size(), 1u);
+  EXPECT_EQ(round->probes[0].num_answers, 2);
+  EXPECT_EQ(round->total_paid, 2);  // pay only collected answers
+}
+
+TEST(PooledProbeTest, RoadWithNoWorkersProducesNoProbe) {
+  const traffic::DayMatrix truth = FlatTruth(3, 40.0);
+  const std::vector<Worker> workers{MakeWorker(0, 0, 1.0, 0.0)};
+  const CostModel costs = CostModel::Constant(3, 1);
+  const auto plan = AssignTasks({0, 2}, costs, workers);
+  ASSERT_TRUE(plan.ok());
+  CrowdSimulator sim({}, util::Rng(3));
+  const auto round = sim.ProbeWithAssignments(*plan, workers, truth, 0);
+  ASSERT_TRUE(round.ok());
+  ASSERT_EQ(round->probes.size(), 1u);
+  EXPECT_EQ(round->probes[0].road, 0);
+}
+
+TEST(PooledProbeTest, CleanWorkersBeatNoisyOnes) {
+  // Hiring order prefers low-noise workers; with quota 2 of 4 workers, the
+  // two clean ones answer and the estimate is tight.
+  const traffic::DayMatrix truth = FlatTruth(1, 50.0);
+  const std::vector<Worker> workers{
+      MakeWorker(0, 0, 1.0, 25.0), MakeWorker(1, 0, 1.0, 0.1),
+      MakeWorker(2, 0, 1.0, 25.0), MakeWorker(3, 0, 1.0, 0.1)};
+  const CostModel costs = CostModel::Constant(1, 2);
+  const auto plan = AssignTasks({0}, costs, workers);
+  ASSERT_TRUE(plan.ok());
+  for (const TaskAssignment& t : plan->assignments) {
+    EXPECT_TRUE(t.worker == 1 || t.worker == 3);
+  }
+  CrowdSimulator sim({}, util::Rng(4));
+  const auto round = sim.ProbeWithAssignments(*plan, workers, truth, 0);
+  ASSERT_TRUE(round.ok());
+  EXPECT_NEAR(round->probes[0].probed_kmh, 50.0, 1.0);
+}
+
+TEST(PooledProbeTest, Validation) {
+  const traffic::DayMatrix truth = FlatTruth(2, 40.0);
+  const std::vector<Worker> workers{MakeWorker(0, 0, 1.0, 0.0)};
+  CrowdSimulator sim({}, util::Rng(5));
+  AssignmentPlan plan;
+  plan.assignments.push_back({/*worker=*/9, /*road=*/0, 1});
+  EXPECT_FALSE(sim.ProbeWithAssignments(plan, workers, truth, 0).ok());
+  AssignmentPlan bad_road;
+  bad_road.assignments.push_back({/*worker=*/0, /*road=*/7, 1});
+  EXPECT_FALSE(
+      sim.ProbeWithAssignments(bad_road, workers, truth, 0).ok());
+  AssignmentPlan ok_plan;
+  ok_plan.assignments.push_back({/*worker=*/0, /*road=*/0, 1});
+  EXPECT_FALSE(
+      sim.ProbeWithAssignments(ok_plan, workers, truth, -1).ok());
+}
+
+TEST(PooledProbeTest, EmptyPlanIsEmptyRound) {
+  const traffic::DayMatrix truth = FlatTruth(2, 40.0);
+  CrowdSimulator sim({}, util::Rng(6));
+  const auto round = sim.ProbeWithAssignments({}, {}, truth, 0);
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(round->probes.empty());
+  EXPECT_EQ(round->total_paid, 0);
+}
+
+}  // namespace
+}  // namespace crowdrtse::crowd

@@ -1,0 +1,110 @@
+#include "crowd/crowd_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crowdrtse::crowd {
+namespace {
+
+traffic::DayMatrix FlatTruth(int num_roads, double speed) {
+  traffic::DayMatrix truth(traffic::kSlotsPerDay, num_roads);
+  for (int slot = 0; slot < traffic::kSlotsPerDay; ++slot) {
+    for (graph::RoadId r = 0; r < num_roads; ++r) {
+      truth.At(slot, r) = speed;
+    }
+  }
+  return truth;
+}
+
+TEST(CrowdSimulatorTest, ProbesTrackGroundTruth) {
+  CrowdSimOptions options;
+  CrowdSimulator sim(options, util::Rng(1));
+  const traffic::DayMatrix truth = FlatTruth(10, 60.0);
+  const CostModel costs = CostModel::Constant(10, 5);
+  const auto round = sim.Probe({0, 3, 7}, costs, truth, 100);
+  ASSERT_TRUE(round.ok());
+  ASSERT_EQ(round->probes.size(), 3u);
+  for (const ProbeResult& p : round->probes) {
+    EXPECT_NEAR(p.probed_kmh, 60.0, 6.0);
+    EXPECT_EQ(p.num_answers, 5);
+  }
+}
+
+TEST(CrowdSimulatorTest, PaymentEqualsSumOfCosts) {
+  CrowdSimulator sim({}, util::Rng(2));
+  const traffic::DayMatrix truth = FlatTruth(5, 40.0);
+  util::Rng cost_rng(3);
+  const auto costs = CostModel::UniformRandom(5, 1, 10, cost_rng);
+  ASSERT_TRUE(costs.ok());
+  const std::vector<graph::RoadId> roads{0, 2, 4};
+  const auto round = sim.Probe(roads, *costs, truth, 0);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->total_paid, costs->TotalCost(roads));
+  EXPECT_EQ(round->raw_answers.size(),
+            static_cast<size_t>(costs->TotalCost(roads)));
+}
+
+TEST(CrowdSimulatorTest, MoreAnswersTightenTheEstimate) {
+  // Across many trials, 9-answer aggregates should deviate less than
+  // 1-answer aggregates.
+  const traffic::DayMatrix truth = FlatTruth(2, 50.0);
+  const CostModel cheap = CostModel::Constant(2, 1);
+  const CostModel thorough = CostModel::Constant(2, 9);
+  CrowdSimOptions options;
+  options.min_noise_kmh = 3.0;
+  options.max_noise_kmh = 3.0;
+  options.min_bias = 1.0;
+  options.max_bias = 1.0;
+  double err_cheap = 0.0;
+  double err_thorough = 0.0;
+  for (int trial = 0; trial < 200; ++trial) {
+    CrowdSimulator sim_cheap(options, util::Rng(1000 + trial));
+    CrowdSimulator sim_thorough(options, util::Rng(1000 + trial));
+    err_cheap += std::fabs(
+        sim_cheap.Probe({0}, cheap, truth, 0)->probes[0].probed_kmh - 50.0);
+    err_thorough += std::fabs(
+        sim_thorough.Probe({0}, thorough, truth, 0)->probes[0].probed_kmh -
+        50.0);
+  }
+  EXPECT_LT(err_thorough, err_cheap);
+}
+
+TEST(CrowdSimulatorTest, OutliersHandledByTrimmedMean) {
+  const traffic::DayMatrix truth = FlatTruth(1, 50.0);
+  const CostModel costs = CostModel::Constant(1, 15);
+  CrowdSimOptions options;
+  options.outlier_rate = 0.2;
+  options.aggregation = AggregationPolicy::kMedian;
+  CrowdSimulator sim(options, util::Rng(5));
+  double worst = 0.0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto round = sim.Probe({0}, costs, truth, 0);
+    ASSERT_TRUE(round.ok());
+    worst = std::max(worst, std::fabs(round->probes[0].probed_kmh - 50.0));
+  }
+  EXPECT_LT(worst, 10.0);
+}
+
+TEST(CrowdSimulatorTest, Validation) {
+  CrowdSimulator sim({}, util::Rng(1));
+  const traffic::DayMatrix truth = FlatTruth(3, 40.0);
+  const CostModel costs = CostModel::Constant(3, 1);
+  EXPECT_FALSE(sim.Probe({0}, costs, truth, -1).ok());
+  EXPECT_FALSE(sim.Probe({0}, costs, truth, 999).ok());
+  EXPECT_FALSE(sim.Probe({5}, costs, truth, 0).ok());
+  const CostModel short_costs = CostModel::Constant(1, 1);
+  EXPECT_FALSE(sim.Probe({2}, short_costs, truth, 0).ok());
+}
+
+TEST(CrowdSimulatorTest, EmptySelectionIsEmptyRound) {
+  CrowdSimulator sim({}, util::Rng(1));
+  const traffic::DayMatrix truth = FlatTruth(3, 40.0);
+  const auto round = sim.Probe({}, CostModel::Constant(3, 1), truth, 0);
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(round->probes.empty());
+  EXPECT_EQ(round->total_paid, 0);
+}
+
+}  // namespace
+}  // namespace crowdrtse::crowd

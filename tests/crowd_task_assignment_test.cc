@@ -1,0 +1,92 @@
+#include "crowd/task_assignment.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace crowdrtse::crowd {
+namespace {
+
+Worker MakeWorker(WorkerId id, graph::RoadId road, double noise) {
+  Worker w;
+  w.id = id;
+  w.road = road;
+  w.noise_kmh = noise;
+  return w;
+}
+
+TEST(TaskAssignmentTest, FillsQuotasFromPresentWorkers) {
+  const CostModel costs = CostModel::Constant(5, 2);
+  std::vector<Worker> workers{
+      MakeWorker(0, 1, 1.0), MakeWorker(1, 1, 2.0), MakeWorker(2, 1, 3.0),
+      MakeWorker(3, 3, 1.0), MakeWorker(4, 3, 2.0),
+  };
+  const auto plan = AssignTasks({1, 3}, costs, workers);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->FullyStaffed());
+  EXPECT_EQ(plan->assignments.size(), 4u);
+  EXPECT_EQ(plan->total_payment, 4);
+  std::map<graph::RoadId, int> per_road;
+  for (const TaskAssignment& t : plan->assignments) ++per_road[t.road];
+  EXPECT_EQ(per_road[1], 2);
+  EXPECT_EQ(per_road[3], 2);
+}
+
+TEST(TaskAssignmentTest, PrefersLowNoiseWorkers) {
+  const CostModel costs = CostModel::Constant(2, 1);
+  std::vector<Worker> workers{
+      MakeWorker(0, 0, 5.0), MakeWorker(1, 0, 0.5), MakeWorker(2, 0, 2.0),
+  };
+  const auto plan = AssignTasks({0}, costs, workers);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->assignments.size(), 1u);
+  EXPECT_EQ(plan->assignments[0].worker, 1);  // the cleanest reporter
+}
+
+TEST(TaskAssignmentTest, ReportsUnderfilledRoads) {
+  const CostModel costs = CostModel::Constant(3, 4);
+  std::vector<Worker> workers{MakeWorker(0, 2, 1.0), MakeWorker(1, 2, 1.5)};
+  const auto plan = AssignTasks({2, 1}, costs, workers);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->FullyStaffed());
+  // Road 2 gets 2 of 4; road 1 gets 0 of 4.
+  EXPECT_EQ(plan->assignments.size(), 2u);
+  ASSERT_EQ(plan->underfilled_roads.size(), 2u);
+  EXPECT_EQ(plan->underfilled_roads[0], 2);
+  EXPECT_EQ(plan->underfilled_roads[1], 1);
+}
+
+TEST(TaskAssignmentTest, WorkerTakesAtMostOneTask) {
+  const CostModel costs = CostModel::Constant(3, 2);
+  std::vector<Worker> workers{
+      MakeWorker(0, 0, 1.0), MakeWorker(1, 0, 1.0), MakeWorker(2, 1, 1.0),
+      MakeWorker(3, 1, 1.0),
+  };
+  const auto plan = AssignTasks({0, 1}, costs, workers);
+  ASSERT_TRUE(plan.ok());
+  std::set<WorkerId> assigned;
+  for (const TaskAssignment& t : plan->assignments) {
+    EXPECT_TRUE(assigned.insert(t.worker).second)
+        << "worker " << t.worker << " double-booked";
+  }
+}
+
+TEST(TaskAssignmentTest, EmptySelection) {
+  const CostModel costs = CostModel::Constant(2, 1);
+  const auto plan = AssignTasks({}, costs, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->assignments.empty());
+  EXPECT_TRUE(plan->FullyStaffed());
+  EXPECT_EQ(plan->total_payment, 0);
+}
+
+TEST(TaskAssignmentTest, Validation) {
+  const CostModel costs = CostModel::Constant(2, 1);
+  EXPECT_FALSE(AssignTasks({-1}, costs, {}).ok());
+  EXPECT_FALSE(AssignTasks({5}, costs, {}).ok());
+  EXPECT_FALSE(AssignTasks({0, 0}, costs, {}).ok());
+}
+
+}  // namespace
+}  // namespace crowdrtse::crowd

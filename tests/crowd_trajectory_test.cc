@@ -1,0 +1,158 @@
+#include "crowd/trajectory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/generators.h"
+#include "traffic/time_slots.h"
+#include "traffic/traffic_simulator.h"
+#include "util/rng.h"
+
+namespace crowdrtse::crowd {
+namespace {
+
+traffic::DayMatrix FlatTruth(int num_roads, double speed) {
+  traffic::DayMatrix truth(traffic::kSlotsPerDay, num_roads);
+  for (int slot = 0; slot < traffic::kSlotsPerDay; ++slot) {
+    for (graph::RoadId r = 0; r < num_roads; ++r) {
+      truth.At(slot, r) = speed;
+    }
+  }
+  return truth;
+}
+
+TEST(TrajectoryTest, TripFollowsConnectedRoute) {
+  const graph::Graph g = *graph::PathNetwork(6);
+  const graph::RoadGeometry geometry = graph::RoadGeometry::Constant(6, 1.0);
+  const traffic::DayMatrix truth = FlatTruth(6, 60.0);
+  TrajectorySimulator sim(g, geometry, truth, {}, 1);
+  const auto trip = sim.SimulateTrip(0, 0, 5, 8.0 * 60.0);
+  ASSERT_TRUE(trip.ok());
+  ASSERT_EQ(trip->events.size(), 6u);
+  // Consecutive traversals touch adjacent roads and time is contiguous.
+  for (size_t i = 0; i + 1 < trip->events.size(); ++i) {
+    EXPECT_TRUE(g.AreAdjacent(trip->events[i].road,
+                              trip->events[i + 1].road));
+    EXPECT_DOUBLE_EQ(trip->events[i].exit_minute,
+                     trip->events[i + 1].enter_minute);
+  }
+  // 1 km at 60 km/h per road: each traversal takes exactly one minute.
+  for (const TraversalEvent& event : trip->events) {
+    EXPECT_NEAR(event.DurationMinutes(), 1.0, 1e-9);
+  }
+}
+
+TEST(TrajectoryTest, DerivedAnswersMatchTrueSpeeds) {
+  const graph::Graph g = *graph::PathNetwork(5);
+  const graph::RoadGeometry geometry = graph::RoadGeometry::Constant(5, 0.5);
+  traffic::DayMatrix truth = FlatTruth(5, 40.0);
+  TrajectorySimOptions options;
+  options.measurement_noise_kmh = 0.0;  // exact odometry
+  TrajectorySimulator sim(g, geometry, truth, options, 2);
+  const auto trip = sim.SimulateTrip(7, 0, 4, 10.0 * 60.0);
+  ASSERT_TRUE(trip.ok());
+  const auto answers = sim.DeriveAnswers(*trip);
+  ASSERT_EQ(answers.size(), trip->events.size());
+  for (const SpeedAnswer& answer : answers) {
+    EXPECT_EQ(answer.worker, 7);
+    EXPECT_NEAR(answer.reported_kmh, 40.0, 1e-9);
+  }
+}
+
+TEST(TrajectoryTest, CongestedRoadSlowsTraversalAndReport) {
+  const graph::Graph g = *graph::PathNetwork(3);
+  const graph::RoadGeometry geometry = graph::RoadGeometry::Constant(3, 1.0);
+  traffic::DayMatrix truth = FlatTruth(3, 60.0);
+  for (int slot = 0; slot < traffic::kSlotsPerDay; ++slot) {
+    truth.At(slot, 1) = 15.0;  // road 1 jammed all day
+  }
+  TrajectorySimOptions options;
+  options.measurement_noise_kmh = 0.0;
+  TrajectorySimulator sim(g, geometry, truth, options, 3);
+  const auto trip = sim.SimulateTrip(0, 0, 2, 9.0 * 60.0);
+  ASSERT_TRUE(trip.ok());
+  ASSERT_EQ(trip->events.size(), 3u);
+  EXPECT_NEAR(trip->events[1].DurationMinutes(), 4.0, 1e-9);  // 1km @15
+  const auto answers = sim.DeriveAnswers(*trip);
+  EXPECT_NEAR(answers[1].reported_kmh, 15.0, 1e-9);
+}
+
+TEST(TrajectoryTest, TripTruncatedAtMidnight) {
+  const graph::Graph g = *graph::PathNetwork(10);
+  const graph::RoadGeometry geometry =
+      graph::RoadGeometry::Constant(10, 1.0);
+  const traffic::DayMatrix truth = FlatTruth(10, 60.0);  // 1 min per road
+  TrajectorySimulator sim(g, geometry, truth, {}, 4);
+  // Depart 5 minutes before midnight on a 10-road trip.
+  const auto trip = sim.SimulateTrip(0, 0, 9, 24.0 * 60.0 - 5.0);
+  ASSERT_TRUE(trip.ok());
+  EXPECT_EQ(trip->events.size(), 5u);
+  EXPECT_LE(trip->EndMinute(), 24.0 * 60.0 + 1e-9);
+}
+
+TEST(TrajectoryTest, AnswersInSlotFiltersByEntryTime) {
+  const graph::Graph g = *graph::PathNetwork(4);
+  const graph::RoadGeometry geometry = graph::RoadGeometry::Constant(4, 2.0);
+  const traffic::DayMatrix truth = FlatTruth(4, 30.0);  // 4 min per road
+  TrajectorySimOptions options;
+  options.measurement_noise_kmh = 0.0;
+  TrajectorySimulator sim(g, geometry, truth, options, 5);
+  // Departing at 08:00 (slot 96): roads enter at minutes 480, 484, 488,
+  // 492 -> slots 96, 96, 97, 98.
+  const auto trip = sim.SimulateTrip(0, 0, 3, 8.0 * 60.0);
+  ASSERT_TRUE(trip.ok());
+  ASSERT_EQ(trip->events.size(), 4u);
+  EXPECT_EQ(sim.AnswersInSlot(*trip, 96).size(), 2u);
+  EXPECT_EQ(sim.AnswersInSlot(*trip, 97).size(), 1u);
+  EXPECT_EQ(sim.AnswersInSlot(*trip, 98).size(), 1u);
+  EXPECT_EQ(sim.AnswersInSlot(*trip, 99).size(), 0u);
+}
+
+TEST(TrajectoryTest, RandomTripsCoverDistinctRoads) {
+  util::Rng net_rng(6);
+  graph::RoadNetworkOptions net;
+  net.num_roads = 60;
+  const graph::Graph g = *graph::RoadNetwork(net, net_rng);
+  util::Rng len_rng(7);
+  const auto geometry = graph::RoadGeometry::UniformRandom(60, 0.2, 1.0,
+                                                           len_rng);
+  ASSERT_TRUE(geometry.ok());
+  traffic::TrafficModelOptions traffic_options;
+  traffic_options.num_days = 2;
+  const traffic::TrafficSimulator world(g, traffic_options, 8);
+  const traffic::DayMatrix truth = world.GenerateDay(0);
+  TrajectorySimulator sim(g, *geometry, truth, {}, 9);
+  std::set<graph::RoadId> covered;
+  for (int w = 0; w < 30; ++w) {
+    const auto trip = sim.SimulateRandomTrip(w, 9.0 * 60.0);
+    ASSERT_TRUE(trip.ok());
+    for (const TraversalEvent& event : trip->events) {
+      covered.insert(event.road);
+    }
+  }
+  EXPECT_GT(covered.size(), 15u);
+}
+
+TEST(TrajectoryTest, Validation) {
+  const graph::Graph g = *graph::PathNetwork(3);
+  const graph::RoadGeometry geometry = graph::RoadGeometry::Constant(3, 1.0);
+  const traffic::DayMatrix truth = FlatTruth(3, 50.0);
+  TrajectorySimulator sim(g, geometry, truth, {}, 1);
+  EXPECT_FALSE(sim.SimulateTrip(0, -1, 2, 60.0).ok());
+  EXPECT_FALSE(sim.SimulateTrip(0, 0, 9, 60.0).ok());
+  EXPECT_FALSE(sim.SimulateTrip(0, 0, 2, -5.0).ok());
+  EXPECT_FALSE(sim.SimulateTrip(0, 0, 2, 25.0 * 60.0).ok());
+  // Disconnected goal.
+  graph::GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  const graph::Graph split = *builder.Build();
+  const graph::RoadGeometry geo4 = graph::RoadGeometry::Constant(4, 1.0);
+  const traffic::DayMatrix truth4 = FlatTruth(4, 50.0);
+  TrajectorySimulator split_sim(split, geo4, truth4, {}, 2);
+  EXPECT_FALSE(split_sim.SimulateTrip(0, 0, 3, 60.0).ok());
+}
+
+}  // namespace
+}  // namespace crowdrtse::crowd

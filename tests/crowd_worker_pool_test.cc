@@ -1,0 +1,88 @@
+#include "crowd/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace crowdrtse::crowd {
+namespace {
+
+std::vector<graph::RoadId> Roads(int n) {
+  std::vector<graph::RoadId> roads(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) roads[static_cast<size_t>(i)] = i;
+  return roads;
+}
+
+TEST(WorkerPoolTest, ScatterPlacesAllWorkersOnGivenRoads) {
+  util::Rng rng(1);
+  WorkerPoolOptions options;
+  options.num_workers = 500;
+  const WorkerPool pool =
+      WorkerPool::ScatterUniform(Roads(20), options, rng);
+  EXPECT_EQ(pool.num_workers(), 500);
+  for (const Worker& w : pool.workers()) {
+    EXPECT_GE(w.road, 0);
+    EXPECT_LT(w.road, 20);
+    EXPECT_GE(w.bias, options.min_bias);
+    EXPECT_LE(w.bias, options.max_bias);
+    EXPECT_GE(w.noise_kmh, options.min_noise_kmh);
+    EXPECT_LE(w.noise_kmh, options.max_noise_kmh);
+  }
+}
+
+TEST(WorkerPoolTest, ScatterOnEmptyRoadsYieldsNoWorkers) {
+  util::Rng rng(1);
+  const WorkerPool pool = WorkerPool::ScatterUniform({}, {}, rng);
+  EXPECT_EQ(pool.num_workers(), 0);
+  EXPECT_TRUE(pool.CoveredRoads().empty());
+}
+
+TEST(WorkerPoolTest, CoverRoadsGuaranteesPerRoadCount) {
+  util::Rng rng(2);
+  const WorkerPool pool =
+      WorkerPool::CoverRoads(Roads(10), /*per_road=*/3, {}, rng);
+  EXPECT_EQ(pool.num_workers(), 30);
+  for (graph::RoadId r = 0; r < 10; ++r) {
+    EXPECT_EQ(pool.CountOn(r), 3);
+  }
+  EXPECT_EQ(pool.CoveredRoads().size(), 10u);
+  EXPECT_EQ(pool.CoveredRoads(/*min_workers=*/4).size(), 0u);
+}
+
+TEST(WorkerPoolTest, CoveredRoadsSortedDistinct) {
+  util::Rng rng(3);
+  WorkerPoolOptions options;
+  options.num_workers = 200;
+  const WorkerPool pool =
+      WorkerPool::ScatterUniform(Roads(15), options, rng);
+  const auto covered = pool.CoveredRoads();
+  EXPECT_TRUE(std::is_sorted(covered.begin(), covered.end()));
+  EXPECT_TRUE(std::adjacent_find(covered.begin(), covered.end()) ==
+              covered.end());
+  // With 200 workers over 15 roads, every road is covered w.h.p.
+  EXPECT_EQ(covered.size(), 15u);
+}
+
+TEST(WorkerPoolTest, WorkersOnReturnsMatchingWorkers) {
+  util::Rng rng(4);
+  const WorkerPool pool = WorkerPool::CoverRoads({7, 9}, 2, {}, rng);
+  const auto on7 = pool.WorkersOn(7);
+  EXPECT_EQ(on7.size(), 2u);
+  for (const Worker* w : on7) EXPECT_EQ(w->road, 7);
+  EXPECT_TRUE(pool.WorkersOn(8).empty());
+}
+
+TEST(WorkerPoolTest, WorkerIdsUnique) {
+  util::Rng rng(5);
+  WorkerPoolOptions options;
+  options.num_workers = 100;
+  const WorkerPool pool =
+      WorkerPool::ScatterUniform(Roads(5), options, rng);
+  std::vector<WorkerId> ids;
+  for (const Worker& w : pool.workers()) ids.push_back(w.id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end());
+}
+
+}  // namespace
+}  // namespace crowdrtse::crowd

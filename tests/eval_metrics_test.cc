@@ -1,0 +1,116 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace crowdrtse::eval {
+namespace {
+
+TEST(ApeTest, Definition) {
+  EXPECT_DOUBLE_EQ(AbsolutePercentageError(55.0, 50.0), 0.1);
+  EXPECT_DOUBLE_EQ(AbsolutePercentageError(45.0, 50.0), 0.1);
+  EXPECT_DOUBLE_EQ(AbsolutePercentageError(50.0, 50.0), 0.0);
+}
+
+TEST(QualityTest, MapeAndFer) {
+  // Truth 100 everywhere; estimates off by 10%, 30%, 0%.
+  const std::vector<double> truth{100.0, 100.0, 100.0};
+  const std::vector<double> estimates{110.0, 70.0, 100.0};
+  const auto q = ComputeQuality(estimates, truth, {0, 1, 2});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->cases, 3u);
+  EXPECT_NEAR(q->mape, (0.1 + 0.3 + 0.0) / 3.0, 1e-12);
+  EXPECT_NEAR(q->fer, 1.0 / 3.0, 1e-12);  // only the 30% case exceeds 0.2
+  EXPECT_NEAR(q->median_ape, 0.1, 1e-12);
+}
+
+TEST(QualityTest, CustomFerThreshold) {
+  const std::vector<double> truth{100.0, 100.0};
+  const std::vector<double> estimates{105.0, 120.0};
+  const auto q = ComputeQuality(estimates, truth, {0, 1}, 0.04);
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->fer, 1.0);
+}
+
+TEST(QualityTest, SubsetOfRoads) {
+  const std::vector<double> truth{100.0, 100.0, 100.0};
+  const std::vector<double> estimates{200.0, 100.0, 100.0};
+  const auto q = ComputeQuality(estimates, truth, {1, 2});
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->mape, 0.0);
+}
+
+TEST(QualityTest, SkipsNonPositiveTruth) {
+  const std::vector<double> truth{0.0, 100.0};
+  const std::vector<double> estimates{50.0, 100.0};
+  const auto q = ComputeQuality(estimates, truth, {0, 1});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->cases, 1u);
+  EXPECT_DOUBLE_EQ(q->mape, 0.0);
+}
+
+TEST(QualityTest, Validation) {
+  EXPECT_FALSE(ComputeQuality({1.0}, {1.0, 2.0}, {0}).ok());
+  EXPECT_FALSE(ComputeQuality({1.0}, {1.0}, {5}).ok());
+  EXPECT_FALSE(ComputeQuality({1.0}, {1.0}, {-1}).ok());
+}
+
+TEST(QualityTest, EmptyRoadsGiveZeroMetrics) {
+  const auto q = ComputeQuality({1.0}, {1.0}, {});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->cases, 0u);
+  EXPECT_DOUBLE_EQ(q->mape, 0.0);
+}
+
+TEST(DapeTest, FractionsSumToOneAndBinCorrectly) {
+  // APEs: 0.02 (bin 0), 0.07 (bin 1), 0.60 (open tail).
+  const std::vector<double> truth{100.0, 100.0, 100.0};
+  const std::vector<double> estimates{102.0, 107.0, 160.0};
+  const auto dape = ComputeDape(estimates, truth, {0, 1, 2});
+  ASSERT_TRUE(dape.ok());
+  EXPECT_EQ(dape->total_cases, 3u);
+  const double total = std::accumulate(dape->fractions.begin(),
+                                       dape->fractions.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(dape->fractions[0], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(dape->fractions[1], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(dape->fractions.back(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(DapeTest, EmptyInput) {
+  const auto dape = ComputeDape({}, {}, {});
+  ASSERT_TRUE(dape.ok());
+  EXPECT_EQ(dape->total_cases, 0u);
+}
+
+TEST(AccumulatorTest, MeansAcrossTrials) {
+  QualityAccumulator acc;
+  QualityMetrics a;
+  a.mape = 0.1;
+  a.fer = 0.2;
+  a.median_ape = 0.05;
+  a.cases = 10;
+  QualityMetrics b;
+  b.mape = 0.3;
+  b.fer = 0.4;
+  b.median_ape = 0.15;
+  b.cases = 20;
+  acc.Add(a);
+  acc.Add(b);
+  const QualityMetrics mean = acc.Mean();
+  EXPECT_NEAR(mean.mape, 0.2, 1e-12);
+  EXPECT_NEAR(mean.fer, 0.3, 1e-12);
+  EXPECT_NEAR(mean.median_ape, 0.1, 1e-12);
+  EXPECT_EQ(mean.cases, 30u);
+  EXPECT_EQ(acc.trials(), 2u);
+}
+
+TEST(AccumulatorTest, EmptyMeanIsZero) {
+  const QualityMetrics mean = QualityAccumulator().Mean();
+  EXPECT_DOUBLE_EQ(mean.mape, 0.0);
+  EXPECT_EQ(mean.cases, 0u);
+}
+
+}  // namespace
+}  // namespace crowdrtse::eval

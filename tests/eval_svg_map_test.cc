@@ -1,0 +1,83 @@
+#include "eval/svg_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace crowdrtse::eval {
+namespace {
+
+TEST(SpeedRatioColorTest, GradientEndpoints) {
+  // Blocked (ratio ~0) renders red-ish; free flow renders green-ish.
+  const std::string blocked = SpeedRatioColor(0.1);
+  const std::string free_flow = SpeedRatioColor(1.0);
+  EXPECT_EQ(blocked.substr(0, 3), "#dc");   // red channel saturated
+  EXPECT_EQ(free_flow.substr(1, 2), "00");  // red channel gone
+  EXPECT_NE(blocked, free_flow);
+  // Out-of-range ratios clamp instead of crashing.
+  EXPECT_EQ(SpeedRatioColor(-5.0), SpeedRatioColor(0.0));
+  EXPECT_EQ(SpeedRatioColor(99.0), SpeedRatioColor(1.2));
+}
+
+TEST(SvgMapTest, RendersAllElements) {
+  util::Rng rng(3);
+  std::vector<std::pair<double, double>> positions;
+  graph::RoadNetworkOptions net;
+  net.num_roads = 30;
+  const graph::Graph g = *graph::RoadNetwork(net, rng, &positions);
+  ASSERT_EQ(positions.size(), 30u);
+  std::vector<double> ratios(30, 1.0);
+  ratios[5] = 0.2;
+  SvgMapOptions options;
+  options.title = "test map";
+  const auto svg = RenderSvgMap(g, positions, ratios, {5, 10}, options);
+  ASSERT_TRUE(svg.ok());
+  // One circle per road, one line per adjacency, title present.
+  size_t circles = 0;
+  size_t pos = 0;
+  while ((pos = svg->find("<circle", pos)) != std::string::npos) {
+    ++circles;
+    ++pos;
+  }
+  EXPECT_EQ(circles, 30u);
+  size_t lines = 0;
+  pos = 0;
+  while ((pos = svg->find("<line", pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(lines, static_cast<size_t>(g.num_edges()));
+  EXPECT_NE(svg->find("test map"), std::string::npos);
+  // Probed roads carry the white ring stroke.
+  EXPECT_NE(svg->find("stroke=\"#ffffff\""), std::string::npos);
+}
+
+TEST(SvgMapTest, Validation) {
+  const graph::Graph g = *graph::PathNetwork(3);
+  const std::vector<std::pair<double, double>> positions(3, {0.5, 0.5});
+  const std::vector<double> ratios(3, 1.0);
+  EXPECT_FALSE(RenderSvgMap(g, {}, ratios, {}).ok());
+  EXPECT_FALSE(RenderSvgMap(g, positions, {1.0}, {}).ok());
+  EXPECT_FALSE(RenderSvgMap(g, positions, ratios, {9}).ok());
+}
+
+TEST(SvgMapTest, FileWrite) {
+  const graph::Graph g = *graph::PathNetwork(4);
+  const std::vector<std::pair<double, double>> positions{
+      {0.1, 0.1}, {0.4, 0.2}, {0.7, 0.5}, {0.9, 0.9}};
+  const std::vector<double> ratios{1.0, 0.8, 0.4, 0.2};
+  const std::string path = ::testing::TempDir() + "/map_test.svg";
+  ASSERT_TRUE(WriteSvgMap(path, g, positions, ratios, {0}).ok());
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_FALSE(
+      WriteSvgMap("/no/such/dir/map.svg", g, positions, ratios, {}).ok());
+}
+
+}  // namespace
+}  // namespace crowdrtse::eval

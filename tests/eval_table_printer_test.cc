@@ -1,0 +1,51 @@
+#include "eval/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrtse::eval {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer_name", "12345"});
+  const std::string out = table.ToString();
+  // Header, rule, two rows.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer_name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // The "value" column starts at the same offset within the header line
+  // and within each data row.
+  const size_t header_col = out.find("value") - out.find("name");
+  const size_t row_start = out.find("longer_name");
+  const size_t row_col = out.find("12345") - row_start;
+  EXPECT_EQ(header_col, row_col);
+}
+
+TEST(TablePrinterTest, NumericRows) {
+  TablePrinter table({"label", "a", "b"});
+  table.AddNumericRow("row", {1.23456, 7.0}, 2);
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("7.00"), std::string::npos);
+  EXPECT_EQ(out.find("1.2345"), std::string::npos);
+}
+
+TEST(TablePrinterTest, EmptyTableStillRendersHeader) {
+  TablePrinter table({"only"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvExport) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"with, comma", "2"});
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("name,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("x,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with, comma\",2\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crowdrtse::eval

@@ -1,0 +1,153 @@
+// Seeded fuzz-style robustness tests: every deserializer / parser in the
+// library must reject arbitrary byte soup (and mutated valid payloads)
+// with a Status — never crash, never accept garbage silently.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "rtf/correlation_table.h"
+#include "rtf/rtf_serialization.h"
+#include "traffic/history_io.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+namespace crowdrtse {
+namespace {
+
+std::string RandomBytes(util::Rng& rng, size_t length) {
+  std::string bytes(length, '\0');
+  for (char& c : bytes) {
+    c = static_cast<char>(rng.UniformUint64(256));
+  }
+  return bytes;
+}
+
+/// Flips a handful of random bytes of a valid payload.
+std::string Mutate(std::string payload, util::Rng& rng, int flips) {
+  for (int i = 0; i < flips && !payload.empty(); ++i) {
+    const size_t at = static_cast<size_t>(
+        rng.UniformUint64(payload.size()));
+    payload[at] = static_cast<char>(rng.UniformUint64(256));
+  }
+  return payload;
+}
+
+TEST(FuzzRobustnessTest, RtfModelDeserializerNeverCrashes) {
+  const graph::Graph g = *graph::PathNetwork(5);
+  util::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto result = rtf::RtfSerializer::Deserialize(
+        g, RandomBytes(rng, 1 + rng.UniformUint64(256)));
+    EXPECT_FALSE(result.ok());  // random bytes must never parse
+  }
+}
+
+TEST(FuzzRobustnessTest, MutatedRtfModelRejectedOrValid) {
+  const graph::Graph g = *graph::PathNetwork(6);
+  rtf::RtfModel model(g, 2);
+  const std::string valid = rtf::RtfSerializer::Serialize(model);
+  util::Rng rng(2);
+  int accepted = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto result = rtf::RtfSerializer::Deserialize(
+        g, Mutate(valid, rng, 1 + static_cast<int>(rng.UniformUint64(8))));
+    if (result.ok()) {
+      // A mutation that survives must still satisfy the model invariants
+      // (it only hit mu/sigma/rho payload bytes in a legal way).
+      EXPECT_TRUE(result->Validate().ok());
+      ++accepted;
+    }
+  }
+  // Most mutations corrupt the header or invariants.
+  EXPECT_LT(accepted, 150);
+}
+
+TEST(FuzzRobustnessTest, HistoryDeserializerNeverCrashes) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto result = traffic::HistorySerializer::Deserialize(
+        RandomBytes(rng, 1 + rng.UniformUint64(512)));
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+TEST(FuzzRobustnessTest, CorrelationTableDeserializerNeverCrashes) {
+  util::Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto result = rtf::CorrelationTable::Deserialize(
+        RandomBytes(rng, 1 + rng.UniformUint64(256)));
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+TEST(FuzzRobustnessTest, EdgeListParserNeverCrashes) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    // Printable garbage exercises the text parser more deeply.
+    std::string text;
+    const size_t length = 1 + rng.UniformUint64(128);
+    for (size_t i = 0; i < length; ++i) {
+      text.push_back(static_cast<char>(' ' + rng.UniformUint64(95)));
+    }
+    const auto result = graph::FromEdgeList(text);
+    if (result.ok()) {
+      // Whatever parsed must be structurally sound.
+      EXPECT_GE(result->num_roads(), 0);
+      EXPECT_GE(result->num_edges(), 0);
+    }
+  }
+}
+
+TEST(FuzzRobustnessTest, CsvParserNeverCrashes) {
+  util::Rng rng(6);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    const size_t length = 1 + rng.UniformUint64(200);
+    for (size_t i = 0; i < length; ++i) {
+      const int pick = static_cast<int>(rng.UniformUint64(100));
+      if (pick < 10) {
+        text.push_back(',');
+      } else if (pick < 18) {
+        text.push_back('"');
+      } else if (pick < 25) {
+        text.push_back('\n');
+      } else {
+        text.push_back(static_cast<char>(' ' + rng.UniformUint64(95)));
+      }
+    }
+    const auto result = util::ParseCsv(text);
+    if (result.ok()) {
+      for (const auto& row : result->rows) {
+        EXPECT_EQ(row.size(), result->header.size());
+      }
+    }
+  }
+}
+
+TEST(FuzzRobustnessTest, RecordsCsvRejectsBadCells) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string csv = "day,slot,road,speed_kmh\n";
+    for (int row = 0; row < 3; ++row) {
+      for (int col = 0; col < 4; ++col) {
+        if (col > 0) csv.push_back(',');
+        // Half the cells are garbage tokens.
+        if (rng.Bernoulli(0.5)) {
+          csv += std::to_string(rng.UniformInt(0, 100));
+        } else {
+          csv += "x!";
+        }
+      }
+      csv.push_back('\n');
+    }
+    const auto result = traffic::RecordsFromCsv(csv);
+    if (result.ok()) {
+      EXPECT_EQ(result->size(), 3u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crowdrtse

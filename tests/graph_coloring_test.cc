@@ -1,0 +1,81 @@
+#include "graph/coloring.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace crowdrtse::graph {
+namespace {
+
+TEST(ColoringTest, PathUsesTwoColors) {
+  const Graph g = *PathNetwork(10);
+  const Coloring c = GreedyColoring(g);
+  EXPECT_TRUE(IsProperColoring(g, c));
+  EXPECT_LE(c.num_colors, 2);
+}
+
+TEST(ColoringTest, OddRingUsesAtMostThree) {
+  const Graph g = *RingNetwork(7);
+  const Coloring c = GreedyColoring(g);
+  EXPECT_TRUE(IsProperColoring(g, c));
+  EXPECT_LE(c.num_colors, 3);
+}
+
+TEST(ColoringTest, GridIsProper) {
+  const Graph g = *GridNetwork(8, 8);
+  const Coloring c = GreedyColoring(g);
+  EXPECT_TRUE(IsProperColoring(g, c));
+  EXPECT_LE(c.num_colors, 5);  // max degree 4 + 1
+}
+
+TEST(ColoringTest, RandomRoadNetworkProper) {
+  util::Rng rng(13);
+  RoadNetworkOptions options;
+  options.num_roads = 200;
+  const Graph g = *RoadNetwork(options, rng);
+  const Coloring c = GreedyColoring(g);
+  EXPECT_TRUE(IsProperColoring(g, c));
+  // Colour count bounded by max degree + 1.
+  int max_degree = 0;
+  for (RoadId r = 0; r < g.num_roads(); ++r) {
+    max_degree = std::max(max_degree, g.Degree(r));
+  }
+  EXPECT_LE(c.num_colors, max_degree + 1);
+}
+
+TEST(ColoringTest, ClassesPartitionRoads) {
+  const Graph g = *GridNetwork(5, 5);
+  const Coloring c = GreedyColoring(g);
+  const auto classes = c.Classes();
+  size_t total = 0;
+  for (const auto& cls : classes) total += cls.size();
+  EXPECT_EQ(total, 25u);
+}
+
+TEST(ColoringTest, ImproperColoringDetected) {
+  const Graph g = *PathNetwork(3);
+  Coloring bad;
+  bad.color = {0, 0, 1};  // 0 and 1 are adjacent with the same colour
+  bad.num_colors = 2;
+  EXPECT_FALSE(IsProperColoring(g, bad));
+}
+
+TEST(ColoringTest, WrongSizeDetected) {
+  const Graph g = *PathNetwork(3);
+  Coloring bad;
+  bad.color = {0, 1};
+  bad.num_colors = 2;
+  EXPECT_FALSE(IsProperColoring(g, bad));
+}
+
+TEST(ColoringTest, EmptyGraph) {
+  GraphBuilder builder(0);
+  const Graph g = *builder.Build();
+  const Coloring c = GreedyColoring(g);
+  EXPECT_EQ(c.num_colors, 0);
+  EXPECT_TRUE(IsProperColoring(g, c));
+}
+
+}  // namespace
+}  // namespace crowdrtse::graph

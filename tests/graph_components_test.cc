@@ -1,0 +1,84 @@
+#include "graph/connected_components.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace crowdrtse::graph {
+namespace {
+
+TEST(ComponentsTest, SingleComponent) {
+  const Graph g = *RingNetwork(5);
+  const Components c = FindConnectedComponents(g);
+  EXPECT_EQ(c.Count(), 1);
+  EXPECT_EQ(c.members[0].size(), 5u);
+  EXPECT_EQ(c.LargestComponent(), 0);
+}
+
+TEST(ComponentsTest, TwoComponentsAndIsolated) {
+  GraphBuilder builder(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(3, 4);
+  const Graph g = *builder.Build();
+  const Components c = FindConnectedComponents(g);
+  EXPECT_EQ(c.Count(), 3);
+  EXPECT_EQ(c.component[0], c.component[2]);
+  EXPECT_NE(c.component[0], c.component[3]);
+  EXPECT_EQ(c.members[static_cast<size_t>(c.component[5])].size(), 1u);
+  EXPECT_EQ(c.LargestComponent(), c.component[0]);
+}
+
+TEST(ComponentsTest, EmptyGraph) {
+  GraphBuilder builder(0);
+  const Components c = FindConnectedComponents(*builder.Build());
+  EXPECT_EQ(c.Count(), 0);
+  EXPECT_EQ(c.LargestComponent(), -1);
+}
+
+TEST(ComponentsTest, EveryRoadLabelled) {
+  util::Rng rng(2);
+  RoadNetworkOptions options;
+  options.num_roads = 50;
+  const Graph g = *RoadNetwork(options, rng);
+  const Components c = FindConnectedComponents(g);
+  size_t total = 0;
+  for (const auto& members : c.members) total += members.size();
+  EXPECT_EQ(total, 50u);
+  for (int label : c.component) EXPECT_GE(label, 0);
+}
+
+TEST(GrowConnectedSubsetTest, ExactSize) {
+  const Graph g = *GridNetwork(6, 6);
+  const auto subset = GrowConnectedSubset(g, 0, 10);
+  EXPECT_EQ(subset.size(), 10u);
+  // Every road after the seed has a neighbour earlier in the subset
+  // (BFS order), so the subset is connected.
+  for (size_t i = 1; i < subset.size(); ++i) {
+    bool attached = false;
+    for (size_t j = 0; j < i && !attached; ++j) {
+      attached = g.AreAdjacent(subset[i], subset[j]);
+    }
+    EXPECT_TRUE(attached) << "road " << subset[i] << " disconnected";
+  }
+}
+
+TEST(GrowConnectedSubsetTest, CappedByComponentSize) {
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  const Graph g = *builder.Build();
+  EXPECT_EQ(GrowConnectedSubset(g, 0, 10).size(), 3u);
+}
+
+TEST(GrowConnectedSubsetTest, InvalidSeedOrSize) {
+  const Graph g = *PathNetwork(3);
+  EXPECT_TRUE(GrowConnectedSubset(g, -1, 2).empty());
+  EXPECT_TRUE(GrowConnectedSubset(g, 0, 0).empty());
+}
+
+}  // namespace
+}  // namespace crowdrtse::graph

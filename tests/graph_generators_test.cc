@@ -1,0 +1,129 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connected_components.h"
+#include "util/rng.h"
+
+namespace crowdrtse::graph {
+namespace {
+
+TEST(GridNetworkTest, SizesAndDegrees) {
+  const auto g = GridNetwork(3, 4);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_roads(), 12);
+  // Edges: 3*3 horizontal + 2*4 vertical = 17.
+  EXPECT_EQ(g->num_edges(), 17);
+  EXPECT_EQ(g->Degree(0), 2);   // corner
+  EXPECT_EQ(g->Degree(1), 3);   // edge
+  EXPECT_EQ(g->Degree(5), 4);   // interior
+}
+
+TEST(GridNetworkTest, RejectsBadDimensions) {
+  EXPECT_FALSE(GridNetwork(0, 5).ok());
+  EXPECT_FALSE(GridNetwork(3, -1).ok());
+}
+
+TEST(RingNetworkTest, EveryRoadDegreeTwo) {
+  const auto g = RingNetwork(9);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 9);
+  for (RoadId r = 0; r < 9; ++r) EXPECT_EQ(g->Degree(r), 2);
+}
+
+TEST(RingNetworkTest, RejectsTooSmall) {
+  EXPECT_FALSE(RingNetwork(2).ok());
+}
+
+TEST(PathNetworkTest, EndpointsDegreeOne) {
+  const auto g = PathNetwork(6);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->Degree(0), 1);
+  EXPECT_EQ(g->Degree(5), 1);
+  EXPECT_EQ(g->Degree(3), 2);
+}
+
+TEST(ScaleFreeTest, ConnectedWithExpectedEdgeCount) {
+  util::Rng rng(5);
+  const auto g = ScaleFreeNetwork(100, 2, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_roads(), 100);
+  const Components c = FindConnectedComponents(*g);
+  EXPECT_EQ(c.Count(), 1);
+  // Seed clique of 3 roads (3 edges) + 97 roads x 2 edges.
+  EXPECT_EQ(g->num_edges(), 3 + 97 * 2);
+}
+
+TEST(ScaleFreeTest, HubsEmerge) {
+  util::Rng rng(8);
+  const auto g = ScaleFreeNetwork(300, 2, rng);
+  ASSERT_TRUE(g.ok());
+  int max_degree = 0;
+  for (RoadId r = 0; r < g->num_roads(); ++r) {
+    max_degree = std::max(max_degree, g->Degree(r));
+  }
+  EXPECT_GT(max_degree, 10);  // preferential attachment grows hubs
+}
+
+TEST(ScaleFreeTest, RejectsBadParameters) {
+  util::Rng rng(1);
+  EXPECT_FALSE(ScaleFreeNetwork(1, 1, rng).ok());
+  EXPECT_FALSE(ScaleFreeNetwork(10, 0, rng).ok());
+  EXPECT_FALSE(ScaleFreeNetwork(10, 10, rng).ok());
+}
+
+TEST(RoadNetworkTest, ConnectedAndSparse) {
+  util::Rng rng(42);
+  RoadNetworkOptions options;
+  options.num_roads = 607;
+  const auto g = RoadNetwork(options, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_roads(), 607);
+  const Components c = FindConnectedComponents(*g);
+  EXPECT_EQ(c.Count(), 1);
+  const double avg_degree =
+      2.0 * g->num_edges() / static_cast<double>(g->num_roads());
+  EXPECT_GT(avg_degree, 2.0);
+  EXPECT_LT(avg_degree, 6.0);  // urban-road sparsity
+}
+
+TEST(RoadNetworkTest, DeterministicForSeed) {
+  RoadNetworkOptions options;
+  options.num_roads = 60;
+  util::Rng rng_a(7);
+  util::Rng rng_b(7);
+  const auto ga = RoadNetwork(options, rng_a);
+  const auto gb = RoadNetwork(options, rng_b);
+  ASSERT_TRUE(ga.ok());
+  ASSERT_TRUE(gb.ok());
+  EXPECT_EQ(ga->num_edges(), gb->num_edges());
+}
+
+TEST(RoadNetworkTest, RejectsBadOptions) {
+  util::Rng rng(1);
+  RoadNetworkOptions options;
+  options.num_roads = 1;
+  EXPECT_FALSE(RoadNetwork(options, rng).ok());
+  options.num_roads = 10;
+  options.neighbors_per_road = 0;
+  EXPECT_FALSE(RoadNetwork(options, rng).ok());
+}
+
+TEST(InducedSubgraphTest, KeepsInternalEdges) {
+  const Graph g = *GridNetwork(3, 3);
+  // Take the top-left 2x2 block: roads 0,1,3,4.
+  const auto sub = InducedSubgraph(g, {0, 1, 3, 4});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->graph.num_roads(), 4);
+  EXPECT_EQ(sub->graph.num_edges(), 4);  // the 2x2 square
+  EXPECT_EQ(sub->original_ids, (std::vector<RoadId>{0, 1, 3, 4}));
+}
+
+TEST(InducedSubgraphTest, RejectsDuplicatesAndOutOfRange) {
+  const Graph g = *PathNetwork(4);
+  EXPECT_FALSE(InducedSubgraph(g, {0, 0}).ok());
+  EXPECT_FALSE(InducedSubgraph(g, {0, 9}).ok());
+}
+
+}  // namespace
+}  // namespace crowdrtse::graph

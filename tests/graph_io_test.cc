@@ -1,0 +1,69 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace crowdrtse::graph {
+namespace {
+
+TEST(GraphIoTest, TextRoundTrip) {
+  util::Rng rng(3);
+  RoadNetworkOptions options;
+  options.num_roads = 40;
+  const Graph g = *RoadNetwork(options, rng);
+  const std::string text = ToEdgeList(g);
+  const auto loaded = FromEdgeList(text);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_roads(), g.num_roads());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(loaded->EdgeEndpoints(e), g.EdgeEndpoints(e));
+  }
+}
+
+TEST(GraphIoTest, EmptyGraphRoundTrip) {
+  GraphBuilder builder(0);
+  const std::string text = ToEdgeList(*builder.Build());
+  const auto loaded = FromEdgeList(text);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_roads(), 0);
+}
+
+TEST(GraphIoTest, MissingHeaderFails) {
+  EXPECT_FALSE(FromEdgeList("").ok());
+  EXPECT_FALSE(FromEdgeList("garbage").ok());
+}
+
+TEST(GraphIoTest, TruncatedEdgeListFails) {
+  EXPECT_FALSE(FromEdgeList("4 2\n0 1\n").ok());
+}
+
+TEST(GraphIoTest, NegativeCountsFail) {
+  EXPECT_FALSE(FromEdgeList("-1 0\n").ok());
+}
+
+TEST(GraphIoTest, InvalidEdgeFails) {
+  EXPECT_FALSE(FromEdgeList("2 1\n0 5\n").ok());  // endpoint out of range
+  EXPECT_FALSE(FromEdgeList("2 1\n1 1\n").ok());  // self loop
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  const Graph g = *GridNetwork(3, 3);
+  const std::string path = ::testing::TempDir() + "/graph_io_test.edges";
+  ASSERT_TRUE(WriteEdgeListFile(path, g).ok());
+  const auto loaded = ReadEdgeListFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileFails) {
+  EXPECT_FALSE(ReadEdgeListFile("/no/such/graph.edges").ok());
+}
+
+}  // namespace
+}  // namespace crowdrtse::graph

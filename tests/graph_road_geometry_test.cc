@@ -1,0 +1,51 @@
+#include "graph/road_geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crowdrtse::graph {
+namespace {
+
+TEST(RoadGeometryTest, UniformRandomWithinRange) {
+  util::Rng rng(1);
+  const auto geometry = RoadGeometry::UniformRandom(100, 0.2, 1.5, rng);
+  ASSERT_TRUE(geometry.ok());
+  EXPECT_EQ(geometry->num_roads(), 100);
+  for (RoadId r = 0; r < 100; ++r) {
+    EXPECT_GE(geometry->LengthKm(r), 0.2);
+    EXPECT_LE(geometry->LengthKm(r), 1.5);
+  }
+}
+
+TEST(RoadGeometryTest, UniformRandomValidation) {
+  util::Rng rng(1);
+  EXPECT_FALSE(RoadGeometry::UniformRandom(-1, 0.1, 1.0, rng).ok());
+  EXPECT_FALSE(RoadGeometry::UniformRandom(5, 0.0, 1.0, rng).ok());
+  EXPECT_FALSE(RoadGeometry::UniformRandom(5, 2.0, 1.0, rng).ok());
+}
+
+TEST(RoadGeometryTest, Constant) {
+  const RoadGeometry geometry = RoadGeometry::Constant(4, 0.8);
+  for (RoadId r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(geometry.LengthKm(r), 0.8);
+  }
+}
+
+TEST(RoadGeometryTest, TravelMinutes) {
+  const RoadGeometry geometry = RoadGeometry::Constant(1, 1.0);
+  // 1 km at 60 km/h -> 1 minute.
+  EXPECT_DOUBLE_EQ(geometry.TravelMinutes(0, 60.0), 1.0);
+  // 1 km at 30 km/h -> 2 minutes.
+  EXPECT_DOUBLE_EQ(geometry.TravelMinutes(0, 30.0), 2.0);
+  EXPECT_TRUE(std::isinf(geometry.TravelMinutes(0, 0.0)));
+}
+
+TEST(RoadGeometryTest, PathLength) {
+  const RoadGeometry geometry = RoadGeometry::Constant(5, 0.5);
+  EXPECT_DOUBLE_EQ(geometry.PathLengthKm({0, 2, 4}), 1.5);
+  EXPECT_DOUBLE_EQ(geometry.PathLengthKm({}), 0.0);
+}
+
+}  // namespace
+}  // namespace crowdrtse::graph

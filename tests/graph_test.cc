@@ -1,0 +1,116 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrtse::graph {
+namespace {
+
+Graph Triangle() {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 2);
+  return *builder.Build();
+}
+
+TEST(GraphBuilderTest, BuildsTriangle) {
+  const Graph g = Triangle();
+  EXPECT_EQ(g.num_roads(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.Degree(0), 2);
+  EXPECT_EQ(g.Degree(1), 2);
+  EXPECT_EQ(g.Degree(2), 2);
+}
+
+TEST(GraphBuilderTest, EdgeIdsAreInsertionOrder) {
+  GraphBuilder builder(3);
+  const EdgeId e0 = builder.AddEdge(0, 1);
+  const EdgeId e1 = builder.AddEdge(2, 1);  // reversed order is normalised
+  EXPECT_EQ(e0, 0);
+  EXPECT_EQ(e1, 1);
+  const Graph g = *builder.Build();
+  EXPECT_EQ(g.EdgeEndpoints(1), (std::pair<RoadId, RoadId>{1, 2}));
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoop) {
+  GraphBuilder builder(2);
+  builder.AddEdge(1, 1);
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(GraphBuilderTest, RejectsDuplicateEdge) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);  // same undirected edge
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEndpoint) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 5);
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder builder(0);
+  const auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_roads(), 0);
+  EXPECT_EQ(g->num_edges(), 0);
+}
+
+TEST(GraphBuilderTest, IsolatedRoads) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  const Graph g = *builder.Build();
+  EXPECT_EQ(g.Degree(2), 0);
+  EXPECT_TRUE(g.Neighbors(3).empty());
+}
+
+TEST(GraphTest, NeighborsAreSortedAndCarryEdgeIds) {
+  GraphBuilder builder(4);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(2, 1);
+  const Graph g = *builder.Build();
+  const auto neighbors = g.Neighbors(2);
+  ASSERT_EQ(neighbors.size(), 3u);
+  EXPECT_EQ(neighbors[0].neighbor, 0);
+  EXPECT_EQ(neighbors[1].neighbor, 1);
+  EXPECT_EQ(neighbors[2].neighbor, 3);
+  EXPECT_EQ(neighbors[0].edge, 0);
+  EXPECT_EQ(neighbors[1].edge, 2);
+  EXPECT_EQ(neighbors[2].edge, 1);
+}
+
+TEST(GraphTest, FindEdge) {
+  const Graph g = Triangle();
+  EXPECT_NE(g.FindEdge(0, 1), kInvalidEdge);
+  EXPECT_EQ(g.FindEdge(0, 1), g.FindEdge(1, 0));
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  const Graph path = *builder.Build();
+  EXPECT_EQ(path.FindEdge(0, 2), kInvalidEdge);
+  EXPECT_EQ(path.FindEdge(0, 99), kInvalidEdge);
+}
+
+TEST(GraphTest, AreAdjacent) {
+  const Graph g = Triangle();
+  EXPECT_TRUE(g.AreAdjacent(0, 2));
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 3);
+  const Graph split = *builder.Build();
+  EXPECT_FALSE(split.AreAdjacent(1, 2));
+}
+
+TEST(GraphTest, IsValidRoad) {
+  const Graph g = Triangle();
+  EXPECT_TRUE(g.IsValidRoad(0));
+  EXPECT_TRUE(g.IsValidRoad(2));
+  EXPECT_FALSE(g.IsValidRoad(3));
+  EXPECT_FALSE(g.IsValidRoad(-1));
+}
+
+}  // namespace
+}  // namespace crowdrtse::graph

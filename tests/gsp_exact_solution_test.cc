@@ -1,0 +1,150 @@
+// Cross-validates GSP against direct numerical optimisation: the converged
+// propagation must match the exact minimiser of the quadratic objective
+// whose coordinate-wise minimiser is paper Eq. (18),
+//
+//   F(v) = sum_i (v_i - mu_i)^2 / sigma_i^2
+//        + sum_{(i,j) in E} ((v_i - v_j) - mu_ij)^2 / sigma_ij^2
+//
+// with the sampled roads' variables pinned to the probed values. The
+// stationarity system A v = b is assembled explicitly and solved with
+// conjugate gradients; GSP must agree on every connected road.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "graph/generators.h"
+#include "gsp/propagation.h"
+#include "math/linear_solver.h"
+#include "util/rng.h"
+
+namespace crowdrtse::gsp {
+namespace {
+
+rtf::RtfModel RandomModel(const graph::Graph& g, uint64_t seed) {
+  util::Rng rng(seed);
+  rtf::RtfModel model(g, 1);
+  for (graph::RoadId r = 0; r < g.num_roads(); ++r) {
+    model.SetMu(0, r, rng.UniformDouble(25.0, 75.0));
+    model.SetSigma(0, r, rng.UniformDouble(0.8, 7.0));
+  }
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    model.SetRho(0, e, rng.UniformDouble(0.3, 0.95));
+  }
+  return model;
+}
+
+/// Solves the pinned stationarity system exactly via CG and returns the
+/// full speed vector (sampled roads at their pins).
+std::vector<double> ExactConditionalOptimum(
+    const rtf::RtfModel& model, const std::vector<graph::RoadId>& sampled,
+    const std::vector<double>& pins) {
+  const graph::Graph& g = model.graph();
+  const int n = g.num_roads();
+  std::vector<bool> pinned(static_cast<size_t>(n), false);
+  std::vector<double> value(static_cast<size_t>(n), 0.0);
+  for (size_t i = 0; i < sampled.size(); ++i) {
+    pinned[static_cast<size_t>(sampled[i])] = true;
+    value[static_cast<size_t>(sampled[i])] = pins[i];
+  }
+  // Index map for the free variables.
+  std::map<graph::RoadId, size_t> index;
+  std::vector<graph::RoadId> free_roads;
+  for (graph::RoadId r = 0; r < n; ++r) {
+    if (!pinned[static_cast<size_t>(r)]) {
+      index[r] = free_roads.size();
+      free_roads.push_back(r);
+    }
+  }
+  const size_t m = free_roads.size();
+  // Assemble A (dense; tests are small) and b from the stationarity of F:
+  //   (1/sigma_i^2 + sum_j 1/u_ij) v_i - sum_{j free} v_j / u_ij
+  //     = mu_i/sigma_i^2 + sum_j mu_ij/u_ij + sum_{j pinned} v_j / u_ij.
+  math::DenseMatrix a(m, m, 0.0);
+  std::vector<double> b(m, 0.0);
+  for (size_t k = 0; k < m; ++k) {
+    const graph::RoadId i = free_roads[k];
+    const double sigma = model.Sigma(0, i);
+    double diag = 1.0 / (sigma * sigma);
+    b[k] = model.Mu(0, i) / (sigma * sigma);
+    for (const graph::Adjacency& adj : g.Neighbors(i)) {
+      const double inv_u = 1.0 / model.PairVariance(0, adj.edge);
+      diag += inv_u;
+      b[k] += model.PairMean(0, i, adj.neighbor) * inv_u;
+      if (pinned[static_cast<size_t>(adj.neighbor)]) {
+        b[k] += value[static_cast<size_t>(adj.neighbor)] * inv_u;
+      } else {
+        a.At(k, index.at(adj.neighbor)) -= inv_u;
+      }
+    }
+    a.At(k, k) = diag;
+  }
+  const math::CgResult solved = math::ConjugateGradient(
+      b, [&](const std::vector<double>& x) { return a.Multiply(x); },
+      {2000, 1e-12});
+  EXPECT_TRUE(solved.converged);
+  for (size_t k = 0; k < m; ++k) {
+    value[static_cast<size_t>(free_roads[k])] = solved.x[k];
+  }
+  return value;
+}
+
+class GspExactTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GspExactTest, MatchesDirectSolveOnRoadNetwork) {
+  const uint64_t seed = GetParam();
+  util::Rng rng(seed);
+  graph::RoadNetworkOptions net;
+  net.num_roads = 60;
+  const graph::Graph g = *graph::RoadNetwork(net, rng);
+  const rtf::RtfModel model = RandomModel(g, seed + 100);
+
+  std::vector<graph::RoadId> sampled;
+  std::vector<double> pins;
+  for (graph::RoadId r = 0; r < g.num_roads();
+       r += 7 + static_cast<int>(seed % 3)) {
+    sampled.push_back(r);
+    pins.push_back(rng.UniformDouble(15.0, 85.0));
+  }
+
+  GspOptions options;
+  options.epsilon = 1e-12;
+  options.max_sweeps = 20000;
+  const SpeedPropagator propagator(model, options);
+  const auto gsp = propagator.Propagate(0, sampled, pins);
+  ASSERT_TRUE(gsp.ok());
+  ASSERT_TRUE(gsp->converged);
+
+  const std::vector<double> exact =
+      ExactConditionalOptimum(model, sampled, pins);
+  for (graph::RoadId r = 0; r < g.num_roads(); ++r) {
+    if (gsp->hops[static_cast<size_t>(r)] < 0) continue;  // unreachable
+    EXPECT_NEAR(gsp->speeds[static_cast<size_t>(r)],
+                exact[static_cast<size_t>(r)], 1e-6)
+        << "road " << r << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GspExactTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(GspExactTest, GridWithSingleProbe) {
+  const graph::Graph g = *graph::GridNetwork(6, 6);
+  const rtf::RtfModel model = RandomModel(g, 9);
+  GspOptions options;
+  options.epsilon = 1e-12;
+  options.max_sweeps = 50000;
+  const SpeedPropagator propagator(model, options);
+  const auto gsp = propagator.Propagate(0, {17}, {12.0});
+  ASSERT_TRUE(gsp.ok());
+  ASSERT_TRUE(gsp->converged);
+  const std::vector<double> exact =
+      ExactConditionalOptimum(model, {17}, {12.0});
+  for (graph::RoadId r = 0; r < g.num_roads(); ++r) {
+    EXPECT_NEAR(gsp->speeds[static_cast<size_t>(r)],
+                exact[static_cast<size_t>(r)], 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace crowdrtse::gsp

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "gsp/propagation.h"
+#include "util/rng.h"
+
+namespace crowdrtse::gsp {
+namespace {
+
+rtf::RtfModel RandomModel(const graph::Graph& g, uint64_t seed) {
+  util::Rng rng(seed);
+  rtf::RtfModel model(g, 1);
+  for (graph::RoadId r = 0; r < g.num_roads(); ++r) {
+    model.SetMu(0, r, rng.UniformDouble(30.0, 70.0));
+    model.SetSigma(0, r, rng.UniformDouble(1.0, 6.0));
+  }
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    model.SetRho(0, e, rng.UniformDouble(0.4, 0.95));
+  }
+  return model;
+}
+
+class GspParallelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GspParallelTest, ParallelReachesSameFixedPoint) {
+  const int num_threads = GetParam();
+  util::Rng rng(7);
+  graph::RoadNetworkOptions net;
+  net.num_roads = 150;
+  const graph::Graph g = *graph::RoadNetwork(net, rng);
+  const rtf::RtfModel model = RandomModel(g, 3);
+
+  std::vector<graph::RoadId> sampled;
+  std::vector<double> probed;
+  for (graph::RoadId r = 0; r < g.num_roads(); r += 10) {
+    sampled.push_back(r);
+    probed.push_back(rng.UniformDouble(20.0, 80.0));
+  }
+
+  GspOptions sequential;
+  sequential.epsilon = 1e-10;
+  sequential.max_sweeps = 2000;
+  GspOptions parallel = sequential;
+  parallel.num_threads = num_threads;
+
+  const auto seq = SpeedPropagator(model, sequential)
+                       .Propagate(0, sampled, probed);
+  const auto par = SpeedPropagator(model, parallel)
+                       .Propagate(0, sampled, probed);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+  EXPECT_TRUE(seq->converged);
+  EXPECT_TRUE(par->converged);
+  // Both converge to the same unique fixed point of the quadratic
+  // objective (the update order differs, the optimum does not).
+  for (graph::RoadId r = 0; r < g.num_roads(); ++r) {
+    EXPECT_NEAR(par->speeds[static_cast<size_t>(r)],
+                seq->speeds[static_cast<size_t>(r)], 1e-5)
+        << "road " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, GspParallelTest,
+                         ::testing::Values(2, 4, 8));
+
+TEST(GspParallelTest2, ParallelFixedPointConditionHolds) {
+  util::Rng rng(9);
+  graph::RoadNetworkOptions net;
+  net.num_roads = 100;
+  const graph::Graph g = *graph::RoadNetwork(net, rng);
+  const rtf::RtfModel model = RandomModel(g, 5);
+  GspOptions options;
+  options.epsilon = 1e-10;
+  options.max_sweeps = 2000;
+  options.num_threads = 4;
+  const SpeedPropagator propagator(model, options);
+  const std::vector<graph::RoadId> sampled{0, 50};
+  const std::vector<double> probed{25.0, 70.0};
+  const auto result = propagator.Propagate(0, sampled, probed);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->converged);
+  for (graph::RoadId r = 0; r < g.num_roads(); ++r) {
+    if (r == 0 || r == 50) continue;
+    if (result->hops[static_cast<size_t>(r)] < 0) continue;
+    EXPECT_NEAR(result->speeds[static_cast<size_t>(r)],
+                propagator.UpdateValue(0, r, result->speeds), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace crowdrtse::gsp

@@ -1,0 +1,119 @@
+#include "gsp/uncertainty.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace crowdrtse::gsp {
+namespace {
+
+rtf::RtfModel RandomModel(const graph::Graph& g, uint64_t seed) {
+  util::Rng rng(seed);
+  rtf::RtfModel model(g, 1);
+  for (graph::RoadId r = 0; r < g.num_roads(); ++r) {
+    model.SetMu(0, r, rng.UniformDouble(30.0, 70.0));
+    model.SetSigma(0, r, rng.UniformDouble(1.0, 6.0));
+  }
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    model.SetRho(0, e, rng.UniformDouble(0.3, 0.95));
+  }
+  return model;
+}
+
+TEST(UncertaintyTest, SampledRoadsHaveZeroVariance) {
+  const graph::Graph g = *graph::PathNetwork(6);
+  const rtf::RtfModel model = RandomModel(g, 1);
+  const auto exact = ExactPosteriorVariances(model, 0, {2, 4});
+  const auto local = LocalConditionalVariances(model, 0, {2, 4});
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(local.ok());
+  EXPECT_DOUBLE_EQ((*exact)[2], 0.0);
+  EXPECT_DOUBLE_EQ((*exact)[4], 0.0);
+  EXPECT_DOUBLE_EQ((*local)[2], 0.0);
+  EXPECT_DOUBLE_EQ((*local)[4], 0.0);
+  for (graph::RoadId r : {0, 1, 3, 5}) {
+    EXPECT_GT((*exact)[static_cast<size_t>(r)], 0.0);
+  }
+}
+
+TEST(UncertaintyTest, LocalIsLowerBoundOnExact) {
+  util::Rng rng(3);
+  graph::RoadNetworkOptions net;
+  net.num_roads = 50;
+  const graph::Graph g = *graph::RoadNetwork(net, rng);
+  const rtf::RtfModel model = RandomModel(g, 5);
+  const auto exact = ExactPosteriorVariances(model, 0, {0, 25});
+  const auto local = LocalConditionalVariances(model, 0, {0, 25});
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(local.ok());
+  for (graph::RoadId r = 0; r < g.num_roads(); ++r) {
+    EXPECT_LE((*local)[static_cast<size_t>(r)],
+              (*exact)[static_cast<size_t>(r)] + 1e-12)
+        << "road " << r;
+  }
+}
+
+TEST(UncertaintyTest, MoreProbesNeverIncreaseVariance) {
+  util::Rng rng(7);
+  graph::RoadNetworkOptions net;
+  net.num_roads = 40;
+  const graph::Graph g = *graph::RoadNetwork(net, rng);
+  const rtf::RtfModel model = RandomModel(g, 9);
+  const auto sparse = ExactPosteriorVariances(model, 0, {0});
+  const auto dense = ExactPosteriorVariances(model, 0, {0, 10, 20, 30});
+  ASSERT_TRUE(sparse.ok());
+  ASSERT_TRUE(dense.ok());
+  for (graph::RoadId r = 0; r < g.num_roads(); ++r) {
+    EXPECT_LE((*dense)[static_cast<size_t>(r)],
+              (*sparse)[static_cast<size_t>(r)] + 1e-12);
+  }
+}
+
+TEST(UncertaintyTest, VarianceGrowsWithDistanceFromProbe) {
+  // On a uniform path probed at one end, confidence decays along the path.
+  const graph::Graph g = *graph::PathNetwork(8);
+  rtf::RtfModel model(g, 1);
+  for (graph::RoadId r = 0; r < 8; ++r) {
+    model.SetMu(0, r, 50.0);
+    model.SetSigma(0, r, 4.0);
+  }
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    model.SetRho(0, e, 0.9);
+  }
+  const auto exact = ExactPosteriorVariances(model, 0, {0});
+  ASSERT_TRUE(exact.ok());
+  for (graph::RoadId r = 1; r < 7; ++r) {
+    EXPECT_LT((*exact)[static_cast<size_t>(r)],
+              (*exact)[static_cast<size_t>(r) + 1]);
+  }
+}
+
+TEST(UncertaintyTest, NoSamplesGivesPriorMarginals) {
+  const graph::Graph g = *graph::PathNetwork(4);
+  const rtf::RtfModel model = RandomModel(g, 11);
+  const auto exact = ExactPosteriorVariances(model, 0, {});
+  ASSERT_TRUE(exact.ok());
+  for (double v : *exact) EXPECT_GT(v, 0.0);
+}
+
+TEST(UncertaintyTest, EverythingSampledAllZero) {
+  const graph::Graph g = *graph::PathNetwork(3);
+  const rtf::RtfModel model = RandomModel(g, 13);
+  const auto exact = ExactPosteriorVariances(model, 0, {0, 1, 2});
+  ASSERT_TRUE(exact.ok());
+  for (double v : *exact) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(UncertaintyTest, Validation) {
+  const graph::Graph g = *graph::PathNetwork(3);
+  const rtf::RtfModel model = RandomModel(g, 15);
+  EXPECT_FALSE(ExactPosteriorVariances(model, 9, {}).ok());
+  EXPECT_FALSE(ExactPosteriorVariances(model, 0, {7}).ok());
+  EXPECT_FALSE(LocalConditionalVariances(model, -1, {}).ok());
+}
+
+}  // namespace
+}  // namespace crowdrtse::gsp

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "gsp/propagation.h"
+#include "util/rng.h"
+
+namespace crowdrtse::gsp {
+namespace {
+
+rtf::RtfModel RandomModel(const graph::Graph& g, uint64_t seed) {
+  util::Rng rng(seed);
+  rtf::RtfModel model(g, 1);
+  for (graph::RoadId r = 0; r < g.num_roads(); ++r) {
+    model.SetMu(0, r, rng.UniformDouble(30.0, 70.0));
+    model.SetSigma(0, r, rng.UniformDouble(1.0, 6.0));
+  }
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    model.SetRho(0, e, rng.UniformDouble(0.4, 0.95));
+  }
+  return model;
+}
+
+TEST(GspWarmStartTest, SameFixedPointAsColdStart) {
+  util::Rng rng(3);
+  graph::RoadNetworkOptions net;
+  net.num_roads = 80;
+  const graph::Graph g = *graph::RoadNetwork(net, rng);
+  const rtf::RtfModel model = RandomModel(g, 5);
+  GspOptions options;
+  options.epsilon = 1e-10;
+  options.max_sweeps = 5000;
+  const SpeedPropagator propagator(model, options);
+  const std::vector<graph::RoadId> sampled{0, 20, 40, 60};
+  const std::vector<double> pins{25.0, 60.0, 45.0, 38.0};
+  const auto cold = propagator.Propagate(0, sampled, pins);
+  ASSERT_TRUE(cold.ok());
+  // Warm start from an arbitrary (bad) initialisation.
+  std::vector<double> initial(static_cast<size_t>(g.num_roads()), 10.0);
+  const auto warm = propagator.PropagateFrom(0, sampled, pins, initial);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->converged);
+  for (graph::RoadId r = 0; r < g.num_roads(); ++r) {
+    if (warm->hops[static_cast<size_t>(r)] < 0) {
+      // Unreachable roads keep their initialisation by design.
+      continue;
+    }
+    EXPECT_NEAR(warm->speeds[static_cast<size_t>(r)],
+                cold->speeds[static_cast<size_t>(r)], 1e-6);
+  }
+}
+
+TEST(GspWarmStartTest, WarmStartFromSolutionConvergesImmediately) {
+  util::Rng rng(7);
+  graph::RoadNetworkOptions net;
+  net.num_roads = 60;
+  const graph::Graph g = *graph::RoadNetwork(net, rng);
+  const rtf::RtfModel model = RandomModel(g, 9);
+  GspOptions options;
+  options.epsilon = 1e-6;
+  const SpeedPropagator propagator(model, options);
+  const std::vector<graph::RoadId> sampled{5, 25, 45};
+  const std::vector<double> pins{30.0, 55.0, 42.0};
+  const auto first = propagator.Propagate(0, sampled, pins);
+  ASSERT_TRUE(first.ok());
+  const auto resumed =
+      propagator.PropagateFrom(0, sampled, pins, first->speeds);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_LE(resumed->sweeps, 2);  // already at the fixed point
+  EXPECT_LT(resumed->sweeps, first->sweeps);
+}
+
+TEST(GspWarmStartTest, ConsecutiveSlotsConvergeFasterWarm) {
+  // Realistic streaming use: answer slot t, then warm-start slot t from a
+  // perturbed variant of the same probes (a 5-minutes-later query).
+  util::Rng rng(11);
+  graph::RoadNetworkOptions net;
+  net.num_roads = 100;
+  const graph::Graph g = *graph::RoadNetwork(net, rng);
+  const rtf::RtfModel model = RandomModel(g, 13);
+  GspOptions options;
+  options.epsilon = 1e-8;
+  options.max_sweeps = 5000;
+  const SpeedPropagator propagator(model, options);
+  std::vector<graph::RoadId> sampled;
+  std::vector<double> pins;
+  for (graph::RoadId r = 0; r < g.num_roads(); r += 9) {
+    sampled.push_back(r);
+    pins.push_back(rng.UniformDouble(25.0, 70.0));
+  }
+  const auto previous = propagator.Propagate(0, sampled, pins);
+  ASSERT_TRUE(previous.ok());
+  std::vector<double> drifted = pins;
+  for (double& v : drifted) v += rng.Normal(0.0, 0.5);  // slight drift
+  const auto cold = propagator.Propagate(0, sampled, drifted);
+  const auto warm =
+      propagator.PropagateFrom(0, sampled, drifted, previous->speeds);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_LE(warm->sweeps, cold->sweeps);
+}
+
+TEST(GspWarmStartTest, Validation) {
+  const graph::Graph g = *graph::PathNetwork(4);
+  const rtf::RtfModel model = RandomModel(g, 15);
+  const SpeedPropagator propagator(model, {});
+  const std::vector<double> wrong_size(2, 50.0);
+  EXPECT_FALSE(
+      propagator.PropagateFrom(0, {0}, {40.0}, wrong_size).ok());
+}
+
+}  // namespace
+}  // namespace crowdrtse::gsp

@@ -1,0 +1,97 @@
+#include "math/dense_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crowdrtse::math {
+namespace {
+
+TEST(DenseMatrixTest, ConstructionAndAccess) {
+  DenseMatrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 1.5);
+  m.At(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 7.0);
+}
+
+TEST(DenseMatrixTest, MatVec) {
+  DenseMatrix m(2, 3);
+  // [1 2 3; 4 5 6] * [1 1 1]^T = [6 15]^T
+  double v = 1;
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) m.At(r, c) = v++;
+  }
+  EXPECT_EQ(m.Multiply(std::vector<double>{1, 1, 1}), (std::vector<double>{6, 15}));
+}
+
+TEST(DenseMatrixTest, MatVecTransposed) {
+  DenseMatrix m(2, 3);
+  double v = 1;
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) m.At(r, c) = v++;
+  }
+  // A^T [1 1]^T = column sums = [5 7 9].
+  EXPECT_EQ(m.MultiplyTransposed(std::vector<double>{1, 1}), (std::vector<double>{5, 7, 9}));
+}
+
+TEST(DenseMatrixTest, MatMul) {
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 3;
+  a.At(1, 1) = 4;
+  DenseMatrix b(2, 2);
+  b.At(0, 0) = 5;
+  b.At(0, 1) = 6;
+  b.At(1, 0) = 7;
+  b.At(1, 1) = 8;
+  const DenseMatrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50);
+}
+
+TEST(DenseMatrixTest, Transposed) {
+  DenseMatrix m(2, 3);
+  m.At(0, 2) = 9;
+  const DenseMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(2, 0), 9);
+}
+
+TEST(DenseMatrixTest, GramMatchesExplicitProduct) {
+  DenseMatrix m(3, 2);
+  double v = 1;
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 2; ++c) m.At(r, c) = v++;
+  }
+  const DenseMatrix gram = m.Gram();
+  const DenseMatrix expected = m.Transposed().Multiply(m);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_DOUBLE_EQ(gram.At(r, c), expected.At(r, c));
+    }
+  }
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(gram.At(0, 1), gram.At(1, 0));
+}
+
+TEST(DenseMatrixTest, Identity) {
+  const DenseMatrix id = DenseMatrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id.At(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(id.At(0, 2), 0.0);
+}
+
+TEST(DenseMatrixTest, FrobeniusNorm) {
+  DenseMatrix m(1, 2);
+  m.At(0, 0) = 3;
+  m.At(0, 1) = 4;
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+}  // namespace
+}  // namespace crowdrtse::math

@@ -1,0 +1,155 @@
+#include "math/linear_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace crowdrtse::math {
+namespace {
+
+DenseMatrix RandomSpd(size_t n, util::Rng& rng) {
+  DenseMatrix a(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) a.At(r, c) = rng.Normal();
+  }
+  DenseMatrix spd = a.Transposed().Multiply(a);
+  for (size_t i = 0; i < n; ++i) spd.At(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+TEST(CholeskyTest, Solves2x2) {
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 4;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 2;
+  a.At(1, 1) = 3;
+  auto factor = CholeskyFactor::Factorize(a);
+  ASSERT_TRUE(factor.ok());
+  const std::vector<double> x = factor->Solve({2, 5});
+  // Verify A x = b.
+  EXPECT_NEAR(4 * x[0] + 2 * x[1], 2.0, 1e-12);
+  EXPECT_NEAR(2 * x[0] + 3 * x[1], 5.0, 1e-12);
+}
+
+TEST(CholeskyTest, RandomSystemsResidualSmall) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t n = 8;
+    const DenseMatrix a = RandomSpd(n, rng);
+    std::vector<double> b(n);
+    for (double& v : b) v = rng.Normal();
+    auto solved = SolveSpd(a, b);
+    ASSERT_TRUE(solved.ok());
+    const std::vector<double> ax = a.Multiply(*solved);
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+  }
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  DenseMatrix a(2, 3);
+  EXPECT_FALSE(CholeskyFactor::Factorize(a).ok());
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 2;
+  a.At(1, 1) = 1;  // eigenvalues 3 and -1
+  const auto factor = CholeskyFactor::Factorize(a);
+  EXPECT_FALSE(factor.ok());
+  EXPECT_EQ(factor.status().code(), util::StatusCode::kNumericalError);
+}
+
+TEST(ConjugateGradientTest, MatchesCholesky) {
+  util::Rng rng(9);
+  const size_t n = 12;
+  const DenseMatrix a = RandomSpd(n, rng);
+  std::vector<double> b(n);
+  for (double& v : b) v = rng.Normal();
+  const CgResult cg = ConjugateGradient(
+      b, [&](const std::vector<double>& x) { return a.Multiply(x); });
+  EXPECT_TRUE(cg.converged);
+  const auto direct = SolveSpd(a, b);
+  ASSERT_TRUE(direct.ok());
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(cg.x[i], (*direct)[i], 1e-6);
+}
+
+TEST(ConjugateGradientTest, ZeroRhsConvergesImmediately) {
+  const CgResult cg = ConjugateGradient(
+      std::vector<double>(5, 0.0),
+      [](const std::vector<double>& x) { return x; });
+  EXPECT_TRUE(cg.converged);
+  EXPECT_EQ(cg.iterations, 0);
+  for (double v : cg.x) EXPECT_EQ(v, 0.0);
+}
+
+TEST(PreconditionedCgTest, MatchesDirectSolve) {
+  util::Rng rng(13);
+  const size_t n = 15;
+  const DenseMatrix a = RandomSpd(n, rng);
+  std::vector<double> b(n);
+  for (double& v : b) v = rng.Normal();
+  std::vector<double> diagonal(n);
+  for (size_t i = 0; i < n; ++i) diagonal[i] = a.At(i, i);
+  const CgResult pcg = PreconditionedConjugateGradient(
+      b, [&](const std::vector<double>& x) { return a.Multiply(x); },
+      diagonal);
+  EXPECT_TRUE(pcg.converged);
+  const auto direct = SolveSpd(a, b);
+  ASSERT_TRUE(direct.ok());
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(pcg.x[i], (*direct)[i], 1e-6);
+}
+
+TEST(PreconditionedCgTest, HelpsOnBadlyScaledSystems) {
+  // A diagonal-dominant system whose scales span 6 orders of magnitude:
+  // Jacobi preconditioning should converge in far fewer iterations.
+  util::Rng rng(17);
+  const size_t n = 60;
+  DenseMatrix a(n, n, 0.0);
+  std::vector<double> diagonal(n);
+  for (size_t i = 0; i < n; ++i) {
+    diagonal[i] = std::pow(10.0, rng.UniformDouble(-3.0, 3.0));
+    a.At(i, i) = diagonal[i];
+    if (i > 0) {
+      // Couple to the previous row at a tenth of the smaller diagonal so
+      // the matrix stays strictly diagonally dominant (hence SPD).
+      const double off = 0.1 * std::min(diagonal[i - 1], diagonal[i]);
+      a.At(i - 1, i) = off;
+      a.At(i, i - 1) = off;
+    }
+  }
+  std::vector<double> b(n);
+  for (double& v : b) v = rng.Normal();
+  CgOptions options;
+  options.max_iterations = 5000;
+  options.tolerance = 1e-10;
+  const auto apply = [&](const std::vector<double>& x) {
+    return a.Multiply(x);
+  };
+  const CgResult plain = ConjugateGradient(b, apply, options);
+  const CgResult pcg =
+      PreconditionedConjugateGradient(b, apply, diagonal, options);
+  EXPECT_TRUE(pcg.converged);
+  EXPECT_LT(pcg.iterations, plain.iterations);
+}
+
+TEST(ConjugateGradientTest, IterationCapRespected) {
+  util::Rng rng(5);
+  const size_t n = 30;
+  const DenseMatrix a = RandomSpd(n, rng);
+  std::vector<double> b(n);
+  for (double& v : b) v = rng.Normal();
+  CgOptions options;
+  options.max_iterations = 2;
+  options.tolerance = 1e-14;
+  const CgResult cg = ConjugateGradient(
+      b, [&](const std::vector<double>& x) { return a.Multiply(x); },
+      options);
+  EXPECT_LE(cg.iterations, 2);
+}
+
+}  // namespace
+}  // namespace crowdrtse::math

@@ -1,0 +1,46 @@
+#include "math/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrtse::math {
+namespace {
+
+TEST(VectorOpsTest, Dot) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+TEST(VectorOpsTest, Norms) {
+  EXPECT_DOUBLE_EQ(Norm2({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Norm1({-1, 2, -3}), 6.0);
+  EXPECT_DOUBLE_EQ(NormInf({-1, 2, -3}), 3.0);
+  EXPECT_DOUBLE_EQ(NormInf({}), 0.0);
+}
+
+TEST(VectorOpsTest, Axpy) {
+  std::vector<double> y{1, 1, 1};
+  Axpy(2.0, {1, 2, 3}, y);
+  EXPECT_EQ(y, (std::vector<double>{3, 5, 7}));
+}
+
+TEST(VectorOpsTest, Scale) {
+  std::vector<double> x{1, -2};
+  Scale(-3.0, x);
+  EXPECT_EQ(x, (std::vector<double>{-3, 6}));
+}
+
+TEST(VectorOpsTest, AddSubtract) {
+  EXPECT_EQ(Add({1, 2}, {3, 4}), (std::vector<double>{4, 6}));
+  EXPECT_EQ(Subtract({1, 2}, {3, 4}), (std::vector<double>{-2, -2}));
+}
+
+TEST(SoftThresholdTest, ThreeRegimes) {
+  EXPECT_DOUBLE_EQ(SoftThreshold(5.0, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(-5.0, 2.0), -3.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(1.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(-1.5, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(SoftThreshold(2.0, 2.0), 0.0);  // boundary maps to zero
+}
+
+}  // namespace
+}  // namespace crowdrtse::math

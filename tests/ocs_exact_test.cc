@@ -1,0 +1,135 @@
+#include "ocs/exact_solver.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "ocs/greedy_selectors.h"
+#include "util/rng.h"
+
+namespace crowdrtse::ocs {
+namespace {
+
+/// Brute-force reference: enumerate all candidate subsets.
+OcsSolution BruteForce(const OcsProblem& problem) {
+  const auto& candidates = problem.candidate_roads();
+  const size_t n = candidates.size();
+  OcsSolution best;
+  for (size_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<graph::RoadId> subset;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) subset.push_back(candidates[i]);
+    }
+    if (!problem.IsFeasible(subset)) continue;
+    const double objective = problem.Objective(subset);
+    if (objective > best.objective) {
+      best.objective = objective;
+      best.roads = subset;
+    }
+  }
+  best.total_cost = problem.costs().TotalCost(best.roads);
+  return best;
+}
+
+struct RandomInstance {
+  graph::Graph graph;
+  rtf::CorrelationTable table;
+  crowd::CostModel costs;
+};
+
+RandomInstance MakeInstance(int num_roads, uint64_t seed) {
+  util::Rng rng(seed);
+  graph::RoadNetworkOptions net;
+  net.num_roads = num_roads;
+  RandomInstance inst{*graph::RoadNetwork(net, rng), {}, {}};
+  std::vector<double> rho(static_cast<size_t>(inst.graph.num_edges()));
+  for (double& r : rho) r = rng.UniformDouble(0.3, 0.95);
+  inst.table = *rtf::CorrelationTable::FromEdgeCorrelations(inst.graph, rho);
+  inst.costs = *crowd::CostModel::UniformRandom(num_roads, 1, 4, rng);
+  return inst;
+}
+
+TEST(ExactSolverTest, MatchesBruteForceOnRandomInstances) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const RandomInstance inst = MakeInstance(14, seed);
+    util::Rng rng(seed * 100);
+    std::vector<graph::RoadId> queried;
+    std::vector<double> weights;
+    for (int i = 0; i < 5; ++i) {
+      queried.push_back(i * 2);
+      weights.push_back(rng.UniformDouble(0.5, 5.0));
+    }
+    std::vector<graph::RoadId> candidates;
+    for (int i = 1; i < 14; i += 1) candidates.push_back(i);
+    const double theta = seed % 2 == 0 ? 1.0 : 0.85;
+    const auto problem = OcsProblem::Create(inst.table, queried, weights,
+                                            candidates, inst.costs,
+                                            /*budget=*/6, theta);
+    ASSERT_TRUE(problem.ok());
+    const auto exact = ExactSolve(*problem);
+    ASSERT_TRUE(exact.ok());
+    const OcsSolution brute = BruteForce(*problem);
+    EXPECT_NEAR(exact->objective, brute.objective, 1e-9)
+        << "seed " << seed;
+    EXPECT_TRUE(problem->IsFeasible(exact->roads));
+  }
+}
+
+TEST(ExactSolverTest, RefusesHugeInstances) {
+  const RandomInstance inst = MakeInstance(40, 1);
+  std::vector<graph::RoadId> candidates;
+  for (int i = 0; i < 40; ++i) candidates.push_back(i);
+  const auto problem = OcsProblem::Create(inst.table, {0}, {1.0},
+                                          candidates, inst.costs, 5, 1.0);
+  ASSERT_TRUE(problem.ok());
+  EXPECT_FALSE(ExactSolve(*problem).ok());
+}
+
+TEST(ExactSolverTest, EmptyBudgetGivesEmptySolution) {
+  const RandomInstance inst = MakeInstance(10, 2);
+  const auto problem = OcsProblem::Create(inst.table, {0}, {1.0},
+                                          {1, 2, 3}, inst.costs, 0, 1.0);
+  ASSERT_TRUE(problem.ok());
+  const auto exact = ExactSolve(*problem);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(exact->roads.empty());
+  EXPECT_DOUBLE_EQ(exact->objective, 0.0);
+}
+
+TEST(ExactSolverTest, HybridWithinTheoremBound) {
+  // Theorem 2: Hybrid-Greedy >= (1 - 1/e)/2 of the optimum.
+  const double bound = (1.0 - 1.0 / std::exp(1.0)) / 2.0;
+  for (uint64_t seed = 10; seed < 25; ++seed) {
+    const RandomInstance inst = MakeInstance(16, seed);
+    util::Rng rng(seed);
+    std::vector<graph::RoadId> queried;
+    std::vector<double> weights;
+    for (int i = 0; i < 6; ++i) {
+      queried.push_back(static_cast<graph::RoadId>(
+          rng.UniformUint64(16)));
+      weights.push_back(rng.UniformDouble(0.5, 4.0));
+    }
+    // De-duplicate queried roads (Create tolerates duplicates in R^q?
+    // keep distinct to be safe).
+    std::sort(queried.begin(), queried.end());
+    queried.erase(std::unique(queried.begin(), queried.end()),
+                  queried.end());
+    weights.resize(queried.size());
+    std::vector<graph::RoadId> candidates;
+    for (int i = 0; i < 16; ++i) candidates.push_back(i);
+    const auto problem = OcsProblem::Create(inst.table, queried, weights,
+                                            candidates, inst.costs, 8, 1.0);
+    ASSERT_TRUE(problem.ok());
+    const auto exact = ExactSolve(*problem);
+    ASSERT_TRUE(exact.ok());
+    const OcsSolution hybrid = HybridGreedy(*problem);
+    if (exact->objective > 0.0) {
+      EXPECT_GE(hybrid.objective / exact->objective, bound - 1e-9)
+          << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crowdrtse::ocs

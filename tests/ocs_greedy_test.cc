@@ -1,0 +1,193 @@
+#include "ocs/greedy_selectors.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+
+namespace crowdrtse::ocs {
+namespace {
+
+/// Builds a star graph: hub 0 with leaves 1..n-1 and chosen edge rhos.
+struct StarFixture {
+  explicit StarFixture(const std::vector<double>& rhos)
+      : graph(BuildStar(static_cast<int>(rhos.size()) + 1)),
+        table(*rtf::CorrelationTable::FromEdgeCorrelations(graph, rhos)) {}
+
+  static graph::Graph BuildStar(int n) {
+    graph::GraphBuilder builder(n);
+    for (int leaf = 1; leaf < n; ++leaf) builder.AddEdge(0, leaf);
+    return *builder.Build();
+  }
+
+  graph::Graph graph;
+  rtf::CorrelationTable table;
+};
+
+TEST(RatioGreedyTest, PrefersCheapRoads) {
+  // Query the hub. Leaf 1 corr 0.9 cost 3; leaf 2 corr 0.5 cost 1.
+  StarFixture f({0.9, 0.5});
+  crowd::CostModel costs = crowd::CostModel::Constant(3, 1);
+  // Hand-craft costs: road 1 -> 3, road 2 -> 1.
+  auto made = crowd::CostModel::FromVolatility({0.0, 1.0, 0.0}, 1, 3);
+  ASSERT_TRUE(made.ok());
+  const auto problem = OcsProblem::Create(f.table, {0}, {1.0}, {1, 2},
+                                          *made, 1, 1.0);
+  ASSERT_TRUE(problem.ok());
+  const OcsSolution ratio = RatioGreedy(*problem);
+  // Budget 1 only fits road 2.
+  EXPECT_EQ(ratio.roads, (std::vector<graph::RoadId>{2}));
+  EXPECT_NEAR(ratio.objective, 0.5, 1e-12);
+}
+
+TEST(GreedyTest, PaperWorstCaseExample) {
+  // Paper Example 1: two candidates, costs 1 and K; correlations 1/K-ish
+  // vs K-1. Ratio-Greedy picks the cheap one, Objective-Greedy the good
+  // one, Hybrid keeps the winner.
+  // Build: query road q with two candidate roads a (cheap, weak) and b
+  // (expensive, strong). Use a star with rhos defining the correlations.
+  const int budget = 5;  // the paper's K
+  StarFixture f({0.3, 0.9});  // corr(q=0, a=1)=0.3, corr(q=0, b=2)=0.9
+  // cost(a)=1, cost(b)=5.
+  auto costs = crowd::CostModel::FromVolatility({0.0, 0.0, 1.0}, 1, 5);
+  ASSERT_TRUE(costs.ok());
+  ASSERT_EQ(costs->Cost(1), 1);
+  ASSERT_EQ(costs->Cost(2), 5);
+  const auto problem =
+      OcsProblem::Create(f.table, {0}, {1.0}, {1, 2}, *costs, budget, 1.0);
+  ASSERT_TRUE(problem.ok());
+  const OcsSolution ratio = RatioGreedy(*problem);
+  const OcsSolution objective = ObjectiveGreedy(*problem);
+  const OcsSolution hybrid = HybridGreedy(*problem);
+  // Ratio picks the cheap road first (0.3/1 > 0.9/5); then b no longer
+  // fits the remaining budget of 4.
+  EXPECT_EQ(ratio.roads, (std::vector<graph::RoadId>{1}));
+  EXPECT_EQ(objective.roads, (std::vector<graph::RoadId>{2}));
+  EXPECT_NEAR(hybrid.objective, 0.9, 1e-12);
+}
+
+TEST(GreedyTest, HybridIsMaxOfBoth) {
+  StarFixture f({0.8, 0.7, 0.6, 0.5});
+  util::Rng rng(3);
+  auto costs = crowd::CostModel::UniformRandom(5, 1, 4, rng);
+  ASSERT_TRUE(costs.ok());
+  const auto problem = OcsProblem::Create(f.table, {0, 1}, {1.0, 2.0},
+                                          {1, 2, 3, 4}, *costs, 6, 1.0);
+  ASSERT_TRUE(problem.ok());
+  const OcsSolution ratio = RatioGreedy(*problem);
+  const OcsSolution objective = ObjectiveGreedy(*problem);
+  const OcsSolution hybrid = HybridGreedy(*problem);
+  EXPECT_DOUBLE_EQ(hybrid.objective,
+                   std::max(ratio.objective, objective.objective));
+}
+
+TEST(GreedyTest, SolutionsAlwaysFeasible) {
+  util::Rng rng(7);
+  graph::RoadNetworkOptions net;
+  net.num_roads = 80;
+  const graph::Graph g = *graph::RoadNetwork(net, rng);
+  std::vector<double> rho(static_cast<size_t>(g.num_edges()));
+  for (double& r : rho) r = rng.UniformDouble(0.3, 0.95);
+  const auto table = rtf::CorrelationTable::FromEdgeCorrelations(g, rho);
+  ASSERT_TRUE(table.ok());
+  auto costs = crowd::CostModel::UniformRandom(80, 1, 5, rng);
+  ASSERT_TRUE(costs.ok());
+  std::vector<graph::RoadId> queried;
+  std::vector<double> weights;
+  for (int i = 0; i < 20; ++i) {
+    queried.push_back(i * 4);
+    weights.push_back(rng.UniformDouble(0.5, 8.0));
+  }
+  std::vector<graph::RoadId> candidates;
+  for (int i = 0; i < 80; ++i) candidates.push_back(i);
+  for (double theta : {0.92, 1.0}) {
+    for (int budget : {5, 15, 40}) {
+      const auto problem = OcsProblem::Create(*table, queried, weights,
+                                              candidates, *costs, budget,
+                                              theta);
+      ASSERT_TRUE(problem.ok());
+      for (const OcsSolution& solution :
+           {RatioGreedy(*problem), ObjectiveGreedy(*problem),
+            HybridGreedy(*problem)}) {
+        EXPECT_TRUE(problem->IsFeasible(solution.roads));
+        EXPECT_LE(solution.total_cost, budget);
+        EXPECT_NEAR(solution.objective, problem->Objective(solution.roads),
+                    1e-9);
+      }
+    }
+  }
+}
+
+TEST(GreedyTest, ObjectiveMonotoneInBudget) {
+  StarFixture f({0.9, 0.8, 0.7, 0.6, 0.5});
+  const crowd::CostModel costs = crowd::CostModel::Constant(6, 2);
+  double last = -1.0;
+  for (int budget = 0; budget <= 10; budget += 2) {
+    const auto problem = OcsProblem::Create(
+        f.table, {0}, {1.0}, {1, 2, 3, 4, 5}, costs, budget, 1.0);
+    ASSERT_TRUE(problem.ok());
+    const OcsSolution hybrid = HybridGreedy(*problem);
+    EXPECT_GE(hybrid.objective, last - 1e-12);
+    last = hybrid.objective;
+  }
+}
+
+TEST(RandomSelectTest, FeasibleAndDeterministicPerSeed) {
+  StarFixture f({0.9, 0.8, 0.7, 0.6});
+  const crowd::CostModel costs = crowd::CostModel::Constant(5, 2);
+  const auto problem = OcsProblem::Create(f.table, {0}, {1.0},
+                                          {1, 2, 3, 4}, costs, 4, 1.0);
+  ASSERT_TRUE(problem.ok());
+  util::Rng rng_a(9);
+  util::Rng rng_b(9);
+  const OcsSolution a = RandomSelect(*problem, rng_a);
+  const OcsSolution b = RandomSelect(*problem, rng_b);
+  EXPECT_EQ(a.roads, b.roads);
+  EXPECT_TRUE(problem->IsFeasible(a.roads));
+  EXPECT_EQ(a.total_cost, 4);  // fills the budget with unit-cost-2 roads
+}
+
+TEST(TrivialCaseTest, OverAdequateBudgetTakesAll) {
+  StarFixture f({0.9, 0.8});
+  const crowd::CostModel costs = crowd::CostModel::Constant(3, 1);
+  const auto problem =
+      OcsProblem::Create(f.table, {0}, {1.0}, {1, 2}, costs, 10, 1.0);
+  ASSERT_TRUE(problem.ok());
+  const auto solution = SolveTrivialCase(*problem);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->roads.size(), 2u);
+}
+
+TEST(TrivialCaseTest, FewQueriesPicksBestPerQuery) {
+  StarFixture f({0.9, 0.3, 0.5});
+  const crowd::CostModel costs = crowd::CostModel::Constant(4, 1);
+  // |R^q| = 1 < budget 2 < |R^w| = 3.
+  const auto problem =
+      OcsProblem::Create(f.table, {0}, {1.0}, {1, 2, 3}, costs, 2, 1.0);
+  ASSERT_TRUE(problem.ok());
+  const auto solution = SolveTrivialCase(*problem);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->roads, (std::vector<graph::RoadId>{1}));
+  // Greedy matches the trivial optimum... and may add more roads with the
+  // leftover budget, so only compare the objective.
+  const OcsSolution hybrid = HybridGreedy(*problem);
+  EXPECT_GE(hybrid.objective, solution->objective - 1e-12);
+}
+
+TEST(TrivialCaseTest, NonTrivialRejected) {
+  StarFixture f({0.9, 0.8});
+  const crowd::CostModel expensive = crowd::CostModel::Constant(3, 2);
+  const auto problem =
+      OcsProblem::Create(f.table, {0}, {1.0}, {1, 2}, expensive, 10, 1.0);
+  ASSERT_TRUE(problem.ok());
+  EXPECT_FALSE(SolveTrivialCase(*problem).ok());  // non-unit costs
+  const crowd::CostModel unit = crowd::CostModel::Constant(3, 1);
+  const auto theta_problem =
+      OcsProblem::Create(f.table, {0}, {1.0}, {1, 2}, unit, 10, 0.9);
+  ASSERT_TRUE(theta_problem.ok());
+  EXPECT_FALSE(SolveTrivialCase(*theta_problem).ok());  // theta < 1
+}
+
+}  // namespace
+}  // namespace crowdrtse::ocs

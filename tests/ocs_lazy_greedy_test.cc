@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "ocs/greedy_selectors.h"
+#include "util/rng.h"
+
+namespace crowdrtse::ocs {
+namespace {
+
+struct Instance {
+  graph::Graph graph;
+  rtf::CorrelationTable table;
+  crowd::CostModel costs;
+  std::vector<graph::RoadId> queried;
+  std::vector<double> weights;
+  std::vector<graph::RoadId> candidates;
+};
+
+Instance MakeInstance(uint64_t seed, int num_roads) {
+  util::Rng rng(seed);
+  graph::RoadNetworkOptions net;
+  net.num_roads = num_roads;
+  Instance inst{*graph::RoadNetwork(net, rng), {}, {}, {}, {}, {}};
+  std::vector<double> rho(static_cast<size_t>(inst.graph.num_edges()));
+  for (double& r : rho) r = rng.UniformDouble(0.3, 0.95);
+  inst.table = *rtf::CorrelationTable::FromEdgeCorrelations(inst.graph, rho);
+  inst.costs = *crowd::CostModel::UniformRandom(num_roads, 1, 6, rng);
+  for (int i = 0; i < num_roads / 4; ++i) {
+    inst.queried.push_back(i * 3);
+    // Continuous random weights make exact gain ties measure-zero, so the
+    // lazy and eager selections coincide exactly.
+    inst.weights.push_back(rng.UniformDouble(0.5, 8.0));
+  }
+  for (int i = 0; i < num_roads; ++i) inst.candidates.push_back(i);
+  return inst;
+}
+
+class LazyGreedyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LazyGreedyTest, MatchesEagerObjectiveAndSelection) {
+  const Instance inst = MakeInstance(GetParam(), 80);
+  for (double theta : {0.9, 1.0}) {
+    for (int budget : {10, 30, 80}) {
+      const auto problem = OcsProblem::Create(
+          inst.table, inst.queried, inst.weights, inst.candidates,
+          inst.costs, budget, theta);
+      ASSERT_TRUE(problem.ok());
+      const OcsSolution eager_ratio = RatioGreedy(*problem);
+      const OcsSolution lazy_ratio = LazyRatioGreedy(*problem);
+      // The objective always matches; selection sizes may differ by a few
+      // zero-gain "budget filler" roads whose ties break differently.
+      EXPECT_NEAR(lazy_ratio.objective, eager_ratio.objective, 1e-9);
+      const OcsSolution eager_obj = ObjectiveGreedy(*problem);
+      const OcsSolution lazy_obj = LazyObjectiveGreedy(*problem);
+      EXPECT_NEAR(lazy_obj.objective, eager_obj.objective, 1e-9);
+      const OcsSolution eager_hybrid = HybridGreedy(*problem);
+      const OcsSolution lazy_hybrid = LazyHybridGreedy(*problem);
+      EXPECT_NEAR(lazy_hybrid.objective, eager_hybrid.objective, 1e-9);
+      EXPECT_TRUE(problem->IsFeasible(lazy_hybrid.roads));
+      EXPECT_NEAR(lazy_hybrid.objective,
+                  problem->Objective(lazy_hybrid.roads), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LazyGreedyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(LazyGreedyTest, EmptyBudget) {
+  const Instance inst = MakeInstance(9, 30);
+  const auto problem =
+      OcsProblem::Create(inst.table, inst.queried, inst.weights,
+                         inst.candidates, inst.costs, 0, 1.0);
+  ASSERT_TRUE(problem.ok());
+  EXPECT_TRUE(LazyHybridGreedy(*problem).roads.empty());
+}
+
+}  // namespace
+}  // namespace crowdrtse::ocs

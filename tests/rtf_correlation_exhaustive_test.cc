@@ -1,0 +1,92 @@
+// Brute-force verification of the correlation closure: on small graphs,
+// enumerate EVERY simple path between every road pair and check that the
+// Dijkstra-based table returns exactly the maximal edge-rho product
+// (paper Eq. 8).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.h"
+#include "rtf/correlation_table.h"
+#include "util/rng.h"
+
+namespace crowdrtse::rtf {
+namespace {
+
+/// DFS over all simple paths src..dst accumulating the best product.
+class PathEnumerator {
+ public:
+  PathEnumerator(const graph::Graph& g, const std::vector<double>& rho)
+      : graph_(g), rho_(rho) {}
+
+  double BestProduct(graph::RoadId src, graph::RoadId dst) {
+    best_ = 0.0;
+    visited_.assign(static_cast<size_t>(graph_.num_roads()), false);
+    visited_[static_cast<size_t>(src)] = true;
+    Dfs(src, dst, 1.0);
+    return best_;
+  }
+
+ private:
+  void Dfs(graph::RoadId at, graph::RoadId dst, double product) {
+    if (at == dst) {
+      best_ = std::max(best_, product);
+      return;
+    }
+    for (const graph::Adjacency& adj : graph_.Neighbors(at)) {
+      if (visited_[static_cast<size_t>(adj.neighbor)]) continue;
+      visited_[static_cast<size_t>(adj.neighbor)] = true;
+      Dfs(adj.neighbor, dst,
+          product * rho_[static_cast<size_t>(adj.edge)]);
+      visited_[static_cast<size_t>(adj.neighbor)] = false;
+    }
+  }
+
+  const graph::Graph& graph_;
+  const std::vector<double>& rho_;
+  double best_ = 0.0;
+  std::vector<bool> visited_;
+};
+
+class CorrelationExhaustiveTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(CorrelationExhaustiveTest, TableEqualsBruteForceMaxProduct) {
+  util::Rng rng(GetParam());
+  graph::RoadNetworkOptions net;
+  net.num_roads = 10;  // small enough for full path enumeration
+  const graph::Graph g = *graph::RoadNetwork(net, rng);
+  std::vector<double> rho(static_cast<size_t>(g.num_edges()));
+  for (double& r : rho) r = rng.UniformDouble(0.2, 0.98);
+  const auto table = CorrelationTable::FromEdgeCorrelations(g, rho);
+  ASSERT_TRUE(table.ok());
+  PathEnumerator enumerator(g, rho);
+  for (graph::RoadId i = 0; i < g.num_roads(); ++i) {
+    for (graph::RoadId j = 0; j < g.num_roads(); ++j) {
+      if (i == j) continue;
+      EXPECT_NEAR(table->Corr(i, j), enumerator.BestProduct(i, j), 1e-10)
+          << "pair (" << i << ", " << j << ") seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorrelationExhaustiveTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(CorrelationExhaustiveTest, GridGraph) {
+  const graph::Graph g = *graph::GridNetwork(3, 3);
+  util::Rng rng(99);
+  std::vector<double> rho(static_cast<size_t>(g.num_edges()));
+  for (double& r : rho) r = rng.UniformDouble(0.3, 0.95);
+  const auto table = CorrelationTable::FromEdgeCorrelations(g, rho);
+  ASSERT_TRUE(table.ok());
+  PathEnumerator enumerator(g, rho);
+  for (graph::RoadId i = 0; i < 9; ++i) {
+    for (graph::RoadId j = i + 1; j < 9; ++j) {
+      EXPECT_NEAR(table->Corr(i, j), enumerator.BestProduct(i, j), 1e-10);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crowdrtse::rtf

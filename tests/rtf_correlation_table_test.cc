@@ -1,0 +1,181 @@
+#include "rtf/correlation_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace crowdrtse::rtf {
+namespace {
+
+TEST(CorrelationTableTest, AdjacentEqualsEdgeRho) {
+  const graph::Graph g = *graph::PathNetwork(3);
+  const auto table =
+      CorrelationTable::FromEdgeCorrelations(g, {0.8, 0.5});
+  ASSERT_TRUE(table.ok());
+  EXPECT_NEAR(table->Corr(0, 1), 0.8, 1e-12);
+  EXPECT_NEAR(table->Corr(1, 2), 0.5, 1e-12);
+}
+
+TEST(CorrelationTableTest, NonAdjacentIsPathProduct) {
+  const graph::Graph g = *graph::PathNetwork(4);
+  const auto table =
+      CorrelationTable::FromEdgeCorrelations(g, {0.8, 0.5, 0.9});
+  ASSERT_TRUE(table.ok());
+  EXPECT_NEAR(table->Corr(0, 2), 0.4, 1e-12);
+  EXPECT_NEAR(table->Corr(0, 3), 0.8 * 0.5 * 0.9, 1e-12);
+}
+
+TEST(CorrelationTableTest, PicksMaxProductPath) {
+  // Triangle: direct edge 0-2 weak (0.3); path 0-1-2 gives 0.9*0.9=0.81.
+  graph::GraphBuilder builder(3);
+  builder.AddEdge(0, 1);  // e0
+  builder.AddEdge(1, 2);  // e1
+  builder.AddEdge(0, 2);  // e2
+  const graph::Graph g = *builder.Build();
+  const auto table =
+      CorrelationTable::FromEdgeCorrelations(g, {0.9, 0.9, 0.3});
+  ASSERT_TRUE(table.ok());
+  EXPECT_NEAR(table->Corr(0, 2), 0.81, 1e-12);
+}
+
+TEST(CorrelationTableTest, DiagonalOneAndSymmetric) {
+  util::Rng rng(5);
+  graph::RoadNetworkOptions options;
+  options.num_roads = 50;
+  const graph::Graph g = *graph::RoadNetwork(options, rng);
+  std::vector<double> rho(static_cast<size_t>(g.num_edges()));
+  for (double& r : rho) r = rng.UniformDouble(0.2, 0.95);
+  const auto table = CorrelationTable::FromEdgeCorrelations(g, rho);
+  ASSERT_TRUE(table.ok());
+  for (graph::RoadId i = 0; i < g.num_roads(); ++i) {
+    EXPECT_DOUBLE_EQ(table->Corr(i, i), 1.0);
+    for (graph::RoadId j = 0; j < i; ++j) {
+      EXPECT_NEAR(table->Corr(i, j), table->Corr(j, i), 1e-9);
+    }
+  }
+}
+
+TEST(CorrelationTableTest, ValuesBoundedByOne) {
+  util::Rng rng(6);
+  graph::RoadNetworkOptions options;
+  options.num_roads = 40;
+  const graph::Graph g = *graph::RoadNetwork(options, rng);
+  std::vector<double> rho(static_cast<size_t>(g.num_edges()));
+  for (double& r : rho) r = rng.UniformDouble(0.5, 1.0);
+  const auto table = CorrelationTable::FromEdgeCorrelations(g, rho);
+  ASSERT_TRUE(table.ok());
+  for (graph::RoadId i = 0; i < g.num_roads(); ++i) {
+    for (graph::RoadId j = 0; j < g.num_roads(); ++j) {
+      EXPECT_LE(table->Corr(i, j), 1.0 + 1e-12);
+      EXPECT_GE(table->Corr(i, j), 0.0);
+    }
+  }
+}
+
+TEST(CorrelationTableTest, DisconnectedRoadsZero) {
+  graph::GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 3);
+  const graph::Graph g = *builder.Build();
+  const auto table = CorrelationTable::FromEdgeCorrelations(g, {0.9, 0.9});
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ(table->Corr(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(table->Corr(1, 3), 0.0);
+}
+
+TEST(CorrelationTableTest, ZeroRhoEdgeBlocksPath) {
+  const graph::Graph g = *graph::PathNetwork(3);
+  const auto table = CorrelationTable::FromEdgeCorrelations(g, {0.9, 0.0});
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ(table->Corr(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(table->Corr(1, 2), 0.0);
+}
+
+TEST(CorrelationTableTest, RoadSetCorrIsMax) {
+  const graph::Graph g = *graph::PathNetwork(4);
+  const auto table =
+      CorrelationTable::FromEdgeCorrelations(g, {0.8, 0.5, 0.9});
+  ASSERT_TRUE(table.ok());
+  EXPECT_NEAR(table->RoadSetCorr(0, {2, 3}), 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(table->RoadSetCorr(0, {}), 0.0);
+  EXPECT_DOUBLE_EQ(table->RoadSetCorr(0, {0, 3}), 1.0);  // self in set
+}
+
+TEST(CorrelationTableTest, ReciprocalModeDiffersFromNegLog) {
+  // The paper's 1/rho weighting is a heuristic; build a case where the two
+  // reductions choose different paths. Path A: two edges of 0.6
+  // (product 0.36, reciprocal sum 3.33). Path B: edges 0.9 and 0.35
+  // (product 0.315, reciprocal sum 1.11 + 2.86 = 3.97).
+  // NegLog picks A (0.36); reciprocal also picks A here; instead use:
+  // A: 0.5, 0.5 (product 0.25, sum 4.0); B: 0.9, 0.3 (product 0.27,
+  // sum 1.11 + 3.33 = 4.44). NegLog -> B (0.27); reciprocal -> A (0.25).
+  graph::GraphBuilder builder(4);
+  builder.AddEdge(0, 1);  // e0: A first hop
+  builder.AddEdge(1, 3);  // e1: A second hop
+  builder.AddEdge(0, 2);  // e2: B first hop
+  builder.AddEdge(2, 3);  // e3: B second hop
+  const graph::Graph g = *builder.Build();
+  const std::vector<double> rho{0.5, 0.5, 0.9, 0.3};
+  const auto neg_log = CorrelationTable::FromEdgeCorrelations(
+      g, rho, PathWeightMode::kNegLog);
+  const auto reciprocal = CorrelationTable::FromEdgeCorrelations(
+      g, rho, PathWeightMode::kReciprocal);
+  ASSERT_TRUE(neg_log.ok());
+  ASSERT_TRUE(reciprocal.ok());
+  EXPECT_NEAR(neg_log->Corr(0, 3), 0.27, 1e-12);
+  EXPECT_NEAR(reciprocal->Corr(0, 3), 0.25, 1e-12);
+  // NegLog always dominates: it is the true max-product closure.
+  EXPECT_GE(neg_log->Corr(0, 3), reciprocal->Corr(0, 3));
+}
+
+TEST(CorrelationTableTest, ComputeFromModelUsesSlotRho) {
+  const graph::Graph g = *graph::PathNetwork(3);
+  RtfModel model(g, 2);
+  model.SetRho(0, 0, 0.9);
+  model.SetRho(0, 1, 0.8);
+  model.SetRho(1, 0, 0.2);
+  model.SetRho(1, 1, 0.2);
+  const auto slot0 = CorrelationTable::Compute(model, 0);
+  const auto slot1 = CorrelationTable::Compute(model, 1);
+  ASSERT_TRUE(slot0.ok());
+  ASSERT_TRUE(slot1.ok());
+  EXPECT_NEAR(slot0->Corr(0, 2), 0.72, 1e-12);
+  EXPECT_NEAR(slot1->Corr(0, 2), 0.04, 1e-12);
+  EXPECT_FALSE(CorrelationTable::Compute(model, 5).ok());
+}
+
+TEST(CorrelationTableTest, InvalidInputsRejected) {
+  const graph::Graph g = *graph::PathNetwork(3);
+  EXPECT_FALSE(CorrelationTable::FromEdgeCorrelations(g, {0.5}).ok());
+  EXPECT_FALSE(
+      CorrelationTable::FromEdgeCorrelations(g, {0.5, 1.5}).ok());
+  EXPECT_FALSE(
+      CorrelationTable::FromEdgeCorrelations(g, {0.5, -0.1}).ok());
+}
+
+TEST(CorrelationTableTest, PathDominance) {
+  // corr(i, k) >= corr(i, j) * corr(j, k): the best i..k path is at least
+  // as good as concatenating best i..j and j..k paths.
+  util::Rng rng(8);
+  graph::RoadNetworkOptions options;
+  options.num_roads = 30;
+  const graph::Graph g = *graph::RoadNetwork(options, rng);
+  std::vector<double> rho(static_cast<size_t>(g.num_edges()));
+  for (double& r : rho) r = rng.UniformDouble(0.3, 0.95);
+  const auto table = CorrelationTable::FromEdgeCorrelations(g, rho);
+  ASSERT_TRUE(table.ok());
+  for (graph::RoadId i = 0; i < 10; ++i) {
+    for (graph::RoadId j = 10; j < 20; ++j) {
+      for (graph::RoadId k = 20; k < 30; ++k) {
+        EXPECT_GE(table->Corr(i, k) + 1e-9,
+                  table->Corr(i, j) * table->Corr(j, k));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crowdrtse::rtf

@@ -1,0 +1,95 @@
+#include "rtf/rtf_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace crowdrtse::rtf {
+namespace {
+
+TEST(RtfModelTest, DefaultInitialisation) {
+  const graph::Graph g = *graph::PathNetwork(4);
+  const RtfModel model(g, 5);
+  EXPECT_EQ(model.num_slots(), 5);
+  EXPECT_EQ(model.num_roads(), 4);
+  EXPECT_EQ(model.num_edges(), 3);
+  EXPECT_DOUBLE_EQ(model.Mu(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(model.Sigma(4, 3), 1.0);
+  EXPECT_DOUBLE_EQ(model.Rho(2, 1), 0.5);
+}
+
+TEST(RtfModelTest, SettersAndSlotViews) {
+  const graph::Graph g = *graph::PathNetwork(3);
+  RtfModel model(g, 2);
+  model.SetMu(1, 2, 50.0);
+  model.SetSigma(1, 2, 4.0);
+  model.SetRho(1, 0, 0.9);
+  EXPECT_DOUBLE_EQ(model.Mu(1, 2), 50.0);
+  EXPECT_DOUBLE_EQ(model.MuSlot(1)[2], 50.0);
+  EXPECT_DOUBLE_EQ(model.SigmaSlot(1)[2], 4.0);
+  EXPECT_DOUBLE_EQ(model.RhoSlot(1)[0], 0.9);
+  // Other slots untouched.
+  EXPECT_DOUBLE_EQ(model.Mu(0, 2), 0.0);
+}
+
+TEST(RtfModelTest, PairMeanIsOrientedDifference) {
+  const graph::Graph g = *graph::PathNetwork(2);
+  RtfModel model(g, 1);
+  model.SetMu(0, 0, 30.0);
+  model.SetMu(0, 1, 50.0);
+  EXPECT_DOUBLE_EQ(model.PairMean(0, 0, 1), -20.0);
+  EXPECT_DOUBLE_EQ(model.PairMean(0, 1, 0), 20.0);
+}
+
+TEST(RtfModelTest, PairVarianceFormula) {
+  const graph::Graph g = *graph::PathNetwork(2);
+  RtfModel model(g, 1);
+  model.SetSigma(0, 0, 3.0);
+  model.SetSigma(0, 1, 4.0);
+  model.SetRho(0, 0, 0.5);
+  // 9 + 16 - 2*0.5*12 = 13.
+  EXPECT_DOUBLE_EQ(model.PairVariance(0, 0), 13.0);
+}
+
+TEST(RtfModelTest, PairVarianceFloored) {
+  const graph::Graph g = *graph::PathNetwork(2);
+  RtfModel model(g, 1);
+  model.SetSigma(0, 0, 2.0);
+  model.SetSigma(0, 1, 2.0);
+  model.SetRho(0, 0, 1.0);  // rho=1 with equal sigmas -> zero variance
+  EXPECT_GE(model.PairVariance(0, 0), RtfModel::kMinPairVariance);
+}
+
+TEST(RtfModelTest, ClampParameters) {
+  const graph::Graph g = *graph::PathNetwork(2);
+  RtfModel model(g, 1);
+  model.SetSigma(0, 0, -5.0);
+  model.SetRho(0, 0, 2.0);
+  model.ClampParameters();
+  EXPECT_GE(model.Sigma(0, 0), RtfModel::kMinSigma);
+  EXPECT_LE(model.Rho(0, 0), RtfModel::kMaxRho);
+}
+
+TEST(RtfModelTest, ValidateCatchesBadValues) {
+  const graph::Graph g = *graph::PathNetwork(2);
+  RtfModel model(g, 1);
+  EXPECT_TRUE(model.Validate().ok());
+  model.SetMu(0, 0, std::nan(""));
+  EXPECT_FALSE(model.Validate().ok());
+  model.SetMu(0, 0, 1.0);
+  model.SetSigma(0, 1, 0.0);
+  EXPECT_FALSE(model.Validate().ok());
+  model.SetSigma(0, 1, 1.0);
+  model.SetRho(0, 0, -0.2);
+  EXPECT_FALSE(model.Validate().ok());
+}
+
+TEST(RtfModelTest, DefaultConstructedHasNoGraph) {
+  RtfModel model;
+  EXPECT_FALSE(model.Validate().ok());
+}
+
+}  // namespace
+}  // namespace crowdrtse::rtf

@@ -1,0 +1,118 @@
+#include "rtf/moment_accumulator.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "rtf/moment_estimator.h"
+#include "traffic/traffic_simulator.h"
+#include "util/rng.h"
+
+namespace crowdrtse::rtf {
+namespace {
+
+class MomentAccumulatorTest : public ::testing::Test {
+ protected:
+  MomentAccumulatorTest() {
+    util::Rng rng(3);
+    graph::RoadNetworkOptions net;
+    net.num_roads = 40;
+    graph_ = *graph::RoadNetwork(net, rng);
+  }
+
+  graph::Graph graph_;
+};
+
+TEST_F(MomentAccumulatorTest, MatchesBatchEstimator) {
+  traffic::TrafficModelOptions traffic_options;
+  traffic_options.num_days = 8;
+  const traffic::TrafficSimulator sim(graph_, traffic_options, 5);
+  const traffic::HistoryStore history = sim.GenerateHistory();
+
+  for (int window : {0, 1, 2}) {
+    MomentEstimatorOptions batch_options;
+    batch_options.slot_window = window;
+    const auto batch = EstimateByMoments(graph_, history, batch_options);
+    ASSERT_TRUE(batch.ok());
+
+    MomentAccumulator accumulator(graph_, history.num_slots(), window,
+                                  batch_options.min_sigma);
+    ASSERT_TRUE(accumulator.AbsorbHistory(history).ok());
+    const auto streamed = accumulator.EmitModel();
+    ASSERT_TRUE(streamed.ok());
+
+    for (int slot : {0, 99, 287}) {
+      for (graph::RoadId r = 0; r < graph_.num_roads(); ++r) {
+        EXPECT_NEAR(streamed->Mu(slot, r), batch->Mu(slot, r), 1e-9);
+        EXPECT_NEAR(streamed->Sigma(slot, r), batch->Sigma(slot, r), 1e-9);
+      }
+      for (graph::EdgeId e = 0; e < graph_.num_edges(); ++e) {
+        EXPECT_NEAR(streamed->Rho(slot, e), batch->Rho(slot, e), 1e-9);
+      }
+    }
+  }
+}
+
+TEST_F(MomentAccumulatorTest, IncrementalAbsorptionEqualsBulk) {
+  traffic::TrafficModelOptions traffic_options;
+  traffic_options.num_days = 6;
+  const traffic::TrafficSimulator sim(graph_, traffic_options, 7);
+  const traffic::HistoryStore history = sim.GenerateHistory();
+
+  MomentAccumulator bulk(graph_, history.num_slots(), 1);
+  ASSERT_TRUE(bulk.AbsorbHistory(history).ok());
+
+  // Absorb day by day instead (as an online deployment would).
+  MomentAccumulator streaming(graph_, history.num_slots(), 1);
+  for (int day = 0; day < history.num_days(); ++day) {
+    ASSERT_TRUE(streaming.AbsorbDay(sim.GenerateDay(day)).ok());
+  }
+  EXPECT_EQ(streaming.num_days_absorbed(), bulk.num_days_absorbed());
+  const auto a = bulk.EmitModel();
+  const auto b = streaming.EmitModel();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (graph::RoadId r = 0; r < graph_.num_roads(); ++r) {
+    EXPECT_NEAR(a->Mu(150, r), b->Mu(150, r), 1e-9);
+    EXPECT_NEAR(a->Sigma(150, r), b->Sigma(150, r), 1e-9);
+  }
+}
+
+TEST_F(MomentAccumulatorTest, ModelFreshensWithNewData) {
+  // Absorb a quiet history, then days with a persistent new slowdown on
+  // road 0; mu must drift towards the new regime.
+  traffic::TrafficModelOptions traffic_options;
+  traffic_options.num_days = 4;
+  const traffic::TrafficSimulator sim(graph_, traffic_options, 9);
+  MomentAccumulator accumulator(graph_, traffic::kSlotsPerDay, 0);
+  ASSERT_TRUE(accumulator.AbsorbHistory(sim.GenerateHistory()).ok());
+  const auto before = accumulator.EmitModel();
+  ASSERT_TRUE(before.ok());
+
+  for (int extra = 0; extra < 12; ++extra) {
+    traffic::DayMatrix day = sim.GenerateDay(100 + extra);
+    for (int slot = 0; slot < traffic::kSlotsPerDay; ++slot) {
+      day.At(slot, 0) *= 0.5;  // road 0 permanently slowed
+    }
+    ASSERT_TRUE(accumulator.AbsorbDay(day).ok());
+  }
+  const auto after = accumulator.EmitModel();
+  ASSERT_TRUE(after.ok());
+  EXPECT_LT(after->Mu(100, 0), before->Mu(100, 0) * 0.85);
+}
+
+TEST_F(MomentAccumulatorTest, Validation) {
+  MomentAccumulator accumulator(graph_, 10, 1);
+  traffic::DayMatrix wrong_roads(10, 5);
+  EXPECT_FALSE(accumulator.AbsorbDay(wrong_roads).ok());
+  traffic::DayMatrix wrong_slots(5, graph_.num_roads());
+  EXPECT_FALSE(accumulator.AbsorbDay(wrong_slots).ok());
+  EXPECT_FALSE(accumulator.EmitModel().ok());  // 0 days
+  traffic::DayMatrix ok_day(10, graph_.num_roads());
+  ASSERT_TRUE(accumulator.AbsorbDay(ok_day).ok());
+  EXPECT_FALSE(accumulator.EmitModel().ok());  // 1 day still too few
+  ASSERT_TRUE(accumulator.AbsorbDay(ok_day).ok());
+  EXPECT_TRUE(accumulator.EmitModel().ok());
+}
+
+}  // namespace
+}  // namespace crowdrtse::rtf

@@ -1,0 +1,143 @@
+#include "rtf/moment_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "traffic/traffic_simulator.h"
+#include "util/rng.h"
+
+namespace crowdrtse::rtf {
+namespace {
+
+/// Builds a tiny deterministic history over a 2-road path:
+/// road 0 alternates 40 +/- 2, road 1 = road 0 + 10 (perfectly correlated).
+traffic::HistoryStore CorrelatedHistory(int num_days) {
+  traffic::HistoryStore store(2, num_days, /*num_slots=*/4);
+  for (int day = 0; day < num_days; ++day) {
+    for (int slot = 0; slot < 4; ++slot) {
+      const double base = 40.0 + (day % 2 == 0 ? 2.0 : -2.0);
+      store.At(day, slot, 0) = base;
+      store.At(day, slot, 1) = base + 10.0;
+    }
+  }
+  return store;
+}
+
+TEST(MomentEstimatorTest, RecoversMeansAndPerfectCorrelation) {
+  const graph::Graph g = *graph::PathNetwork(2);
+  const traffic::HistoryStore history = CorrelatedHistory(10);
+  MomentEstimatorOptions options;
+  options.slot_window = 0;
+  const auto model = EstimateByMoments(g, history, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->Mu(0, 0), 40.0, 1e-9);
+  EXPECT_NEAR(model->Mu(0, 1), 50.0, 1e-9);
+  // Alternating +/-2 -> sample stddev ~2.1 for 10 samples.
+  EXPECT_NEAR(model->Sigma(0, 0), 2.0 * std::sqrt(10.0 / 9.0), 1e-9);
+  // Perfect correlation clamps to the max allowed value.
+  EXPECT_DOUBLE_EQ(model->Rho(0, 0), RtfModel::kMaxRho);
+}
+
+TEST(MomentEstimatorTest, AntiCorrelationClampsToMin) {
+  const graph::Graph g = *graph::PathNetwork(2);
+  traffic::HistoryStore store(2, 10, 2);
+  for (int day = 0; day < 10; ++day) {
+    for (int slot = 0; slot < 2; ++slot) {
+      const double delta = (day % 2 == 0 ? 3.0 : -3.0);
+      store.At(day, slot, 0) = 40.0 + delta;
+      store.At(day, slot, 1) = 40.0 - delta;  // anti-correlated
+    }
+  }
+  const auto model = EstimateByMoments(g, store, MomentEstimatorOptions{});
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->Rho(0, 0), RtfModel::kMinRho);
+}
+
+TEST(MomentEstimatorTest, SigmaFloorApplied) {
+  const graph::Graph g = *graph::PathNetwork(2);
+  traffic::HistoryStore store(2, 5, 2);  // all zeros -> zero variance
+  for (int day = 0; day < 5; ++day) {
+    for (int slot = 0; slot < 2; ++slot) {
+      store.At(day, slot, 0) = 30.0;
+      store.At(day, slot, 1) = 30.0;
+    }
+  }
+  MomentEstimatorOptions options;
+  options.min_sigma = 0.75;
+  const auto model = EstimateByMoments(g, store, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->Sigma(0, 0), 0.75);
+}
+
+TEST(MomentEstimatorTest, SlotWindowPoolsNeighbours) {
+  const graph::Graph g = *graph::PathNetwork(2);
+  traffic::HistoryStore store(2, 4, 3);
+  // Slot means differ: slot 0 -> 10, slot 1 -> 20, slot 2 -> 30.
+  for (int day = 0; day < 4; ++day) {
+    for (int slot = 0; slot < 3; ++slot) {
+      store.At(day, slot, 0) = 10.0 * (slot + 1);
+      store.At(day, slot, 1) = 10.0 * (slot + 1);
+    }
+  }
+  MomentEstimatorOptions narrow;
+  narrow.slot_window = 0;
+  const auto m0 = EstimateByMoments(g, store, narrow);
+  ASSERT_TRUE(m0.ok());
+  EXPECT_NEAR(m0->Mu(1, 0), 20.0, 1e-9);
+  MomentEstimatorOptions wide;
+  wide.slot_window = 1;
+  const auto m1 = EstimateByMoments(g, store, wide);
+  ASSERT_TRUE(m1.ok());
+  // Pooled over slots 0..2 -> mean 20, but slot 0 pools {2, 0, 1}(wrap).
+  EXPECT_NEAR(m1->Mu(1, 0), 20.0, 1e-9);
+  EXPECT_GT(m1->Sigma(1, 0), m0->Sigma(1, 0));  // pooling adds profile spread
+}
+
+TEST(MomentEstimatorTest, ValidationErrors) {
+  const graph::Graph g = *graph::PathNetwork(2);
+  traffic::HistoryStore wrong_roads(3, 5, 2);
+  EXPECT_FALSE(EstimateByMoments(g, wrong_roads, {}).ok());
+  traffic::HistoryStore one_day(2, 1, 2);
+  EXPECT_FALSE(EstimateByMoments(g, one_day, {}).ok());
+  traffic::HistoryStore ok_history(2, 5, 2);
+  MomentEstimatorOptions bad;
+  bad.slot_window = -1;
+  EXPECT_FALSE(EstimateByMoments(g, ok_history, bad).ok());
+}
+
+TEST(MomentEstimatorTest, SimulatedTrafficRecoversProfile) {
+  util::Rng rng(3);
+  graph::RoadNetworkOptions net_options;
+  net_options.num_roads = 40;
+  const graph::Graph g = *graph::RoadNetwork(net_options, rng);
+  traffic::TrafficModelOptions traffic_options;
+  traffic_options.num_days = 20;
+  traffic_options.incident_rate_per_road_day = 0.0;
+  const traffic::TrafficSimulator sim(g, traffic_options, 17);
+  const traffic::HistoryStore history = sim.GenerateHistory();
+  MomentEstimatorOptions options;
+  options.slot_window = 0;
+  const auto model = EstimateByMoments(g, history, options);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->Validate().ok());
+  // mu should track the simulator's periodic profile within a few noise
+  // scales, for a sample of roads and slots.
+  for (graph::RoadId r = 0; r < 10; ++r) {
+    for (int slot : {30, 99, 150, 216}) {
+      EXPECT_NEAR(model->Mu(slot, r), sim.PeriodicSpeed(r, slot),
+                  4.0 * sim.profiles()[static_cast<size_t>(r)].noise_scale)
+          << "road " << r << " slot " << slot;
+    }
+  }
+  // Edge correlations must skew positive (spatially diffused noise).
+  double rho_sum = 0.0;
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    rho_sum += model->Rho(100, e);
+  }
+  EXPECT_GT(rho_sum / g.num_edges(), 0.25);
+}
+
+}  // namespace
+}  // namespace crowdrtse::rtf

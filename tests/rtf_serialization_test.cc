@@ -1,0 +1,86 @@
+#include "rtf/rtf_serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace crowdrtse::rtf {
+namespace {
+
+RtfModel RandomModel(const graph::Graph& g, int num_slots, uint64_t seed) {
+  util::Rng rng(seed);
+  RtfModel model(g, num_slots);
+  for (int slot = 0; slot < num_slots; ++slot) {
+    for (graph::RoadId r = 0; r < g.num_roads(); ++r) {
+      model.SetMu(slot, r, rng.UniformDouble(20.0, 80.0));
+      model.SetSigma(slot, r, rng.UniformDouble(0.5, 8.0));
+    }
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+      model.SetRho(slot, e, rng.UniformDouble(0.1, 0.95));
+    }
+  }
+  return model;
+}
+
+TEST(RtfSerializationTest, RoundTripInMemory) {
+  const graph::Graph g = *graph::GridNetwork(4, 4);
+  const RtfModel model = RandomModel(g, 3, 1);
+  const std::string data = RtfSerializer::Serialize(model);
+  const auto loaded = RtfSerializer::Deserialize(g, data);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_slots(), 3);
+  for (int slot = 0; slot < 3; ++slot) {
+    for (graph::RoadId r = 0; r < g.num_roads(); ++r) {
+      EXPECT_DOUBLE_EQ(loaded->Mu(slot, r), model.Mu(slot, r));
+      EXPECT_DOUBLE_EQ(loaded->Sigma(slot, r), model.Sigma(slot, r));
+    }
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+      EXPECT_DOUBLE_EQ(loaded->Rho(slot, e), model.Rho(slot, e));
+    }
+  }
+}
+
+TEST(RtfSerializationTest, RoundTripOnDisk) {
+  const graph::Graph g = *graph::PathNetwork(5);
+  const RtfModel model = RandomModel(g, 2, 2);
+  const std::string path = ::testing::TempDir() + "/rtf_model.bin";
+  ASSERT_TRUE(RtfSerializer::SaveToFile(model, path).ok());
+  const auto loaded = RtfSerializer::LoadFromFile(g, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->Mu(1, 4), model.Mu(1, 4));
+  std::remove(path.c_str());
+}
+
+TEST(RtfSerializationTest, RejectsWrongMagic) {
+  const graph::Graph g = *graph::PathNetwork(2);
+  EXPECT_FALSE(RtfSerializer::Deserialize(g, "not a model").ok());
+}
+
+TEST(RtfSerializationTest, RejectsGraphMismatch) {
+  const graph::Graph g = *graph::PathNetwork(5);
+  const RtfModel model = RandomModel(g, 2, 3);
+  const std::string data = RtfSerializer::Serialize(model);
+  const graph::Graph other = *graph::PathNetwork(6);
+  EXPECT_FALSE(RtfSerializer::Deserialize(other, data).ok());
+  const graph::Graph ring = *graph::RingNetwork(5);  // same roads, more edges
+  EXPECT_FALSE(RtfSerializer::Deserialize(ring, data).ok());
+}
+
+TEST(RtfSerializationTest, RejectsTruncated) {
+  const graph::Graph g = *graph::PathNetwork(4);
+  const RtfModel model = RandomModel(g, 1, 4);
+  const std::string data = RtfSerializer::Serialize(model);
+  EXPECT_FALSE(
+      RtfSerializer::Deserialize(g, data.substr(0, data.size() / 2)).ok());
+}
+
+TEST(RtfSerializationTest, MissingFileFails) {
+  const graph::Graph g = *graph::PathNetwork(2);
+  EXPECT_FALSE(RtfSerializer::LoadFromFile(g, "/no/such/model.bin").ok());
+}
+
+}  // namespace
+}  // namespace crowdrtse::rtf

@@ -1,0 +1,67 @@
+#include "server/budget_ledger.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrtse::server {
+namespace {
+
+TEST(BudgetLedgerTest, GrantsPerQueryCap) {
+  BudgetLedger ledger(1000, 50);
+  EXPECT_EQ(ledger.NextQueryBudget(), 50);
+  EXPECT_FALSE(ledger.exhausted());
+}
+
+TEST(BudgetLedgerTest, GrantsRemainderWhenCampaignLow) {
+  BudgetLedger ledger(60, 50);
+  ASSERT_TRUE(ledger.Settle(1, 50, 45).ok());
+  EXPECT_EQ(ledger.NextQueryBudget(), 15);  // 60 - 45
+  ASSERT_TRUE(ledger.Settle(2, 15, 15).ok());
+  EXPECT_EQ(ledger.NextQueryBudget(), 0);
+  EXPECT_TRUE(ledger.exhausted());
+}
+
+TEST(BudgetLedgerTest, UnspentReservationFlowsBack) {
+  BudgetLedger ledger(100, 60);
+  ASSERT_TRUE(ledger.Settle(1, 60, 10).ok());
+  EXPECT_EQ(ledger.total_spent(), 10);
+  EXPECT_EQ(ledger.remaining(), 90);
+  EXPECT_EQ(ledger.NextQueryBudget(), 60);
+}
+
+TEST(BudgetLedgerTest, UnlimitedCampaign) {
+  BudgetLedger ledger(-1, 40);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ledger.NextQueryBudget(), 40);
+    ASSERT_TRUE(ledger.Settle(i, 40, 40).ok());
+  }
+  EXPECT_EQ(ledger.remaining(), -1);
+  EXPECT_FALSE(ledger.exhausted());
+}
+
+TEST(BudgetLedgerTest, RejectsOverspend) {
+  BudgetLedger ledger(100, 50);
+  EXPECT_FALSE(ledger.Settle(1, 50, 51).ok());
+  EXPECT_FALSE(ledger.Settle(1, -1, 0).ok());
+  EXPECT_FALSE(ledger.Settle(1, 10, -1).ok());
+  EXPECT_EQ(ledger.total_spent(), 0);
+}
+
+TEST(BudgetLedgerTest, EntriesRecorded) {
+  BudgetLedger ledger(100, 50);
+  ASSERT_TRUE(ledger.Settle(7, 50, 33).ok());
+  ASSERT_EQ(ledger.entries().size(), 1u);
+  EXPECT_EQ(ledger.entries()[0].query_id, 7);
+  EXPECT_EQ(ledger.entries()[0].reserved, 50);
+  EXPECT_EQ(ledger.entries()[0].spent, 33);
+}
+
+TEST(BudgetLedgerTest, ReportMentionsTotals) {
+  BudgetLedger ledger(100, 50);
+  ASSERT_TRUE(ledger.Settle(1, 50, 20).ok());
+  const std::string report = ledger.Report();
+  EXPECT_NE(report.find("spent 20"), std::string::npos);
+  EXPECT_NE(report.find("remaining 80"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crowdrtse::server

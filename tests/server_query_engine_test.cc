@@ -1,0 +1,159 @@
+#include "server/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.h"
+#include "traffic/traffic_simulator.h"
+#include "util/rng.h"
+
+namespace crowdrtse::server {
+namespace {
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  QueryEngineTest() {
+    util::Rng rng(3);
+    graph::RoadNetworkOptions net;
+    net.num_roads = 100;
+    graph_ = *graph::RoadNetwork(net, rng);
+    traffic::TrafficModelOptions traffic_options;
+    traffic_options.num_days = 8;
+    sim_ = std::make_unique<traffic::TrafficSimulator>(graph_,
+                                                       traffic_options, 5);
+    history_ = sim_->GenerateHistory();
+    truth_ = sim_->GenerateEvaluationDay();
+    system_ = std::make_unique<core::CrowdRtse>(
+        *core::CrowdRtse::BuildOffline(graph_, history_, {}));
+    WorkerRegistryOptions registry_options;
+    registry_options.num_workers = 600;
+    registry_ = std::make_unique<WorkerRegistry>(graph_, registry_options,
+                                                 7);
+    costs_ = crowd::CostModel::Constant(100, 2);
+    crowd_sim_ =
+        std::make_unique<crowd::CrowdSimulator>(crowd::CrowdSimOptions{},
+                                                util::Rng(9));
+  }
+
+  QueryRequest MakeRequest(int slot = 100) {
+    QueryRequest request;
+    request.slot = slot;
+    request.queried = {3, 17, 42, 77};
+    return request;
+  }
+
+  graph::Graph graph_;
+  std::unique_ptr<traffic::TrafficSimulator> sim_;
+  traffic::HistoryStore history_;
+  traffic::DayMatrix truth_;
+  std::unique_ptr<core::CrowdRtse> system_;
+  std::unique_ptr<WorkerRegistry> registry_;
+  crowd::CostModel costs_;
+  std::unique_ptr<crowd::CrowdSimulator> crowd_sim_;
+};
+
+TEST_F(QueryEngineTest, ServesQueryEndToEnd) {
+  BudgetLedger ledger(1000, 12);
+  QueryEngine engine(*system_, *registry_, ledger, costs_, *crowd_sim_);
+  const auto response = engine.Serve(MakeRequest(), truth_);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->queried_speeds.size(), 4u);
+  EXPECT_EQ(response->granted_budget, 12);
+  EXPECT_LE(response->paid, 12);
+  EXPECT_GT(response->paid, 0);
+  EXPECT_FALSE(response->probed_roads.empty());
+  for (double v : response->queried_speeds) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 200.0);
+  }
+  EXPECT_EQ(engine.stats().queries_served, 1);
+  EXPECT_EQ(ledger.total_spent(), response->paid);
+}
+
+TEST_F(QueryEngineTest, QueryIdsIncrement) {
+  BudgetLedger ledger(1000, 10);
+  QueryEngine engine(*system_, *registry_, ledger, costs_, *crowd_sim_);
+  const auto a = engine.Serve(MakeRequest(), truth_);
+  const auto b = engine.Serve(MakeRequest(), truth_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->query_id, a->query_id + 1);
+}
+
+TEST_F(QueryEngineTest, RejectsWhenCampaignExhausted) {
+  BudgetLedger ledger(10, 10);
+  QueryEngine engine(*system_, *registry_, ledger, costs_, *crowd_sim_);
+  const auto first = engine.Serve(MakeRequest(), truth_);
+  ASSERT_TRUE(first.ok());
+  // Drain whatever remains.
+  for (int i = 0; i < 10 && !ledger.exhausted(); ++i) {
+    (void)engine.Serve(MakeRequest(), truth_);
+  }
+  const auto rejected = engine.Serve(MakeRequest(), truth_);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_GE(engine.stats().queries_rejected, 1);
+}
+
+TEST_F(QueryEngineTest, RejectsEmptyQuery) {
+  BudgetLedger ledger(100, 10);
+  QueryEngine engine(*system_, *registry_, ledger, costs_, *crowd_sim_);
+  QueryRequest empty;
+  empty.slot = 100;
+  EXPECT_FALSE(engine.Serve(empty, truth_).ok());
+}
+
+TEST_F(QueryEngineTest, ProbedRoadsComeFromWorkerCoverage) {
+  BudgetLedger ledger(1000, 10);
+  QueryEngine engine(*system_, *registry_, ledger, costs_, *crowd_sim_);
+  const auto response = engine.Serve(MakeRequest(), truth_);
+  ASSERT_TRUE(response.ok());
+  const auto covered = registry_->CoveredRoads();
+  for (graph::RoadId r : response->probed_roads) {
+    EXPECT_TRUE(std::binary_search(covered.begin(), covered.end(), r));
+  }
+}
+
+TEST_F(QueryEngineTest, WorksAcrossMovingWorkers) {
+  BudgetLedger ledger(-1, 10);
+  QueryEngine engine(*system_, *registry_, ledger, costs_, *crowd_sim_);
+  for (int step = 0; step < 5; ++step) {
+    const auto response = engine.Serve(MakeRequest(100 + step), truth_);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    registry_->AdvanceSlot();
+  }
+  EXPECT_EQ(engine.stats().queries_served, 5);
+  const std::string report = engine.stats().Report();
+  EXPECT_NE(report.find("served 5"), std::string::npos);
+}
+
+TEST_F(QueryEngineTest, FullStaffingOptionPreventsUnderfilledRoads) {
+  BudgetLedger ledger(-1, 20);
+  QueryEngine::Options options;
+  options.require_full_staffing = true;
+  QueryEngine engine(*system_, *registry_, ledger, costs_, *crowd_sim_,
+                     options);
+  for (int i = 0; i < 5; ++i) {
+    const auto response = engine.Serve(MakeRequest(100 + i), truth_);
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(response->underfilled_roads.empty());
+    registry_->AdvanceSlot();
+  }
+}
+
+TEST_F(QueryEngineTest, EstimatesTrackTruthReasonably) {
+  BudgetLedger ledger(-1, 30);
+  QueryEngine engine(*system_, *registry_, ledger, costs_, *crowd_sim_);
+  const QueryRequest request = MakeRequest();
+  const auto response = engine.Serve(request, truth_);
+  ASSERT_TRUE(response.ok());
+  for (size_t i = 0; i < request.queried.size(); ++i) {
+    const double actual = truth_.At(request.slot, request.queried[i]);
+    EXPECT_NEAR(response->queried_speeds[i], actual, 0.6 * actual)
+        << "road " << request.queried[i];
+  }
+}
+
+}  // namespace
+}  // namespace crowdrtse::server

@@ -1,0 +1,137 @@
+#include "server/worker_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.h"
+
+namespace crowdrtse::server {
+namespace {
+
+graph::Graph TestGraph() {
+  util::Rng rng(1);
+  graph::RoadNetworkOptions options;
+  options.num_roads = 80;
+  return *graph::RoadNetwork(options, rng);
+}
+
+TEST(WorkerRegistryTest, InitialPopulationOnValidRoads) {
+  const graph::Graph g = TestGraph();
+  WorkerRegistryOptions options;
+  options.num_workers = 300;
+  WorkerRegistry registry(g, options, 5);
+  EXPECT_EQ(registry.num_workers(), 300);
+  for (const crowd::Worker& w : registry.workers()) {
+    EXPECT_TRUE(g.IsValidRoad(w.road));
+  }
+}
+
+TEST(WorkerRegistryTest, PopulationStationaryUnderChurn) {
+  const graph::Graph g = TestGraph();
+  WorkerRegistryOptions options;
+  options.num_workers = 200;
+  options.churn_probability = 0.1;
+  WorkerRegistry registry(g, options, 7);
+  for (int step = 0; step < 20; ++step) registry.AdvanceSlot();
+  EXPECT_EQ(registry.num_workers(), 200);
+  EXPECT_EQ(registry.current_slot_offset(), 20);
+}
+
+TEST(WorkerRegistryTest, WorkersActuallyMove) {
+  const graph::Graph g = TestGraph();
+  WorkerRegistryOptions options;
+  options.num_workers = 100;
+  options.churn_probability = 0.0;
+  options.move_probability = 1.0;
+  WorkerRegistry registry(g, options, 9);
+  std::vector<graph::RoadId> before;
+  for (const auto& w : registry.workers()) before.push_back(w.road);
+  registry.AdvanceSlot();
+  int moved = 0;
+  for (int i = 0; i < 100; ++i) {
+    const graph::RoadId now = registry.workers()[static_cast<size_t>(i)].road;
+    if (now != before[static_cast<size_t>(i)]) {
+      // Must have moved along an edge.
+      EXPECT_TRUE(g.AreAdjacent(before[static_cast<size_t>(i)], now));
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 80);  // move_probability = 1, only isolated roads stay
+}
+
+TEST(WorkerRegistryTest, MoveProbabilityZeroFreezesLocations) {
+  const graph::Graph g = TestGraph();
+  WorkerRegistryOptions options;
+  options.num_workers = 50;
+  options.churn_probability = 0.0;
+  options.move_probability = 0.0;
+  WorkerRegistry registry(g, options, 11);
+  std::vector<graph::RoadId> before;
+  for (const auto& w : registry.workers()) before.push_back(w.road);
+  registry.AdvanceSlot();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(registry.workers()[static_cast<size_t>(i)].road,
+              before[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(WorkerRegistryTest, ChurnAssignsFreshIds) {
+  const graph::Graph g = TestGraph();
+  WorkerRegistryOptions options;
+  options.num_workers = 100;
+  options.churn_probability = 0.5;
+  WorkerRegistry registry(g, options, 13);
+  std::set<crowd::WorkerId> before;
+  for (const auto& w : registry.workers()) before.insert(w.id);
+  registry.AdvanceSlot();
+  int fresh = 0;
+  for (const auto& w : registry.workers()) {
+    if (before.count(w.id) == 0) ++fresh;
+  }
+  EXPECT_GT(fresh, 20);
+  EXPECT_LT(fresh, 80);
+}
+
+TEST(WorkerRegistryTest, StaffableRoadsRespectQuotas) {
+  const graph::Graph g = TestGraph();
+  WorkerRegistryOptions options;
+  options.num_workers = 300;
+  WorkerRegistry registry(g, options, 21);
+  // With unit costs, staffable == covered.
+  const crowd::CostModel unit =
+      crowd::CostModel::Constant(g.num_roads(), 1);
+  EXPECT_EQ(registry.StaffableRoads(unit), registry.CoveredRoads());
+  // With an impossible quota nothing is staffable.
+  const crowd::CostModel huge =
+      crowd::CostModel::Constant(g.num_roads(), 1000);
+  EXPECT_TRUE(registry.StaffableRoads(huge).empty());
+  // Every staffable road really has the required head-count.
+  const crowd::CostModel quota =
+      crowd::CostModel::Constant(g.num_roads(), 4);
+  for (graph::RoadId r : registry.StaffableRoads(quota)) {
+    EXPECT_GE(registry.CountOn(r), 4);
+  }
+}
+
+TEST(WorkerRegistryTest, CoveredRoadsReflectsPlacement) {
+  const graph::Graph g = TestGraph();
+  WorkerRegistryOptions options;
+  options.num_workers = 1000;
+  WorkerRegistry registry(g, options, 15);
+  const auto covered = registry.CoveredRoads();
+  EXPECT_TRUE(std::is_sorted(covered.begin(), covered.end()));
+  // 1000 workers over 80 roads: essentially everything covered.
+  EXPECT_GT(covered.size(), 70u);
+  int total = 0;
+  for (graph::RoadId r = 0; r < g.num_roads(); ++r) {
+    total += registry.CountOn(r);
+  }
+  EXPECT_EQ(total, 1000);
+  // Thresholded coverage shrinks.
+  EXPECT_LE(registry.CoveredRoads(20).size(), covered.size());
+}
+
+}  // namespace
+}  // namespace crowdrtse::server

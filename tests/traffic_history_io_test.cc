@@ -1,0 +1,95 @@
+#include "traffic/history_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/rng.h"
+
+namespace crowdrtse::traffic {
+namespace {
+
+HistoryStore RandomHistory(int roads, int days, int slots, uint64_t seed) {
+  util::Rng rng(seed);
+  HistoryStore history(roads, days, slots);
+  for (int day = 0; day < days; ++day) {
+    for (int slot = 0; slot < slots; ++slot) {
+      for (graph::RoadId r = 0; r < roads; ++r) {
+        history.At(day, slot, r) = rng.UniformDouble(5.0, 90.0);
+      }
+    }
+  }
+  return history;
+}
+
+TEST(HistoryIoTest, BinaryRoundTrip) {
+  const HistoryStore history = RandomHistory(7, 4, 12, 1);
+  const std::string data = HistorySerializer::Serialize(history);
+  const auto loaded = HistorySerializer::Deserialize(data);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_roads(), 7);
+  EXPECT_EQ(loaded->num_days(), 4);
+  EXPECT_EQ(loaded->num_slots(), 12);
+  for (int day = 0; day < 4; ++day) {
+    for (int slot = 0; slot < 12; ++slot) {
+      for (graph::RoadId r = 0; r < 7; ++r) {
+        EXPECT_DOUBLE_EQ(loaded->At(day, slot, r),
+                         history.At(day, slot, r));
+      }
+    }
+  }
+}
+
+TEST(HistoryIoTest, FileRoundTrip) {
+  const HistoryStore history = RandomHistory(3, 2, 5, 2);
+  const std::string path = ::testing::TempDir() + "/history_io_test.bin";
+  ASSERT_TRUE(HistorySerializer::SaveToFile(history, path).ok());
+  const auto loaded = HistorySerializer::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->At(1, 4, 2), history.At(1, 4, 2));
+  std::remove(path.c_str());
+}
+
+TEST(HistoryIoTest, RejectsGarbage) {
+  EXPECT_FALSE(HistorySerializer::Deserialize("nope").ok());
+  const HistoryStore history = RandomHistory(3, 2, 5, 3);
+  const std::string data = HistorySerializer::Serialize(history);
+  EXPECT_FALSE(
+      HistorySerializer::Deserialize(data.substr(0, data.size() - 9)).ok());
+}
+
+TEST(HistoryIoTest, MissingFileFails) {
+  EXPECT_FALSE(HistorySerializer::LoadFromFile("/no/such/history.bin").ok());
+}
+
+TEST(HistoryIoTest, CsvRoundTrip) {
+  std::vector<SpeedRecord> records{{0, 5, 2, 42.125}, {1, 100, 0, 7.5}};
+  const std::string csv = RecordsToCsv(records);
+  const auto parsed = RecordsFromCsv(csv);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].day, 0);
+  EXPECT_EQ((*parsed)[0].slot, 5);
+  EXPECT_EQ((*parsed)[0].road, 2);
+  EXPECT_NEAR((*parsed)[0].speed_kmh, 42.125, 1e-3);
+  EXPECT_EQ((*parsed)[1].slot, 100);
+}
+
+TEST(HistoryIoTest, CsvRejectsMissingColumns) {
+  EXPECT_FALSE(RecordsFromCsv("day,slot,road\n1,2,3\n").ok());
+  EXPECT_FALSE(RecordsFromCsv("day,slot,road,speed_kmh\n1,2,x,4\n").ok());
+}
+
+TEST(HistoryIoTest, ExtractDay) {
+  const HistoryStore history = RandomHistory(4, 3, 6, 5);
+  const auto records = ExtractDay(history, 1);
+  EXPECT_EQ(records.size(), 24u);
+  for (const SpeedRecord& r : records) {
+    EXPECT_EQ(r.day, 1);
+    EXPECT_DOUBLE_EQ(r.speed_kmh, history.At(1, r.slot, r.road));
+  }
+  EXPECT_TRUE(ExtractDay(history, 9).empty());
+}
+
+}  // namespace
+}  // namespace crowdrtse::traffic

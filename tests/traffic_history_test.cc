@@ -1,0 +1,98 @@
+#include "traffic/history_store.h"
+
+#include <gtest/gtest.h>
+
+#include "traffic/time_slots.h"
+
+namespace crowdrtse::traffic {
+namespace {
+
+TEST(TimeSlotsTest, SlotArithmetic) {
+  EXPECT_EQ(kSlotsPerDay, 288);
+  EXPECT_EQ(SlotOfTime(0, 0), 0);
+  EXPECT_EQ(SlotOfTime(0, 5), 1);
+  EXPECT_EQ(SlotOfTime(8, 15), 99);
+  EXPECT_EQ(SlotOfTime(23, 55), 287);
+  EXPECT_EQ(HourOfSlot(99), 8);
+  EXPECT_EQ(MinuteOfSlot(99), 15);
+}
+
+TEST(TimeSlotsTest, WrapSlot) {
+  EXPECT_EQ(WrapSlot(288), 0);
+  EXPECT_EQ(WrapSlot(-1), 287);
+  EXPECT_EQ(WrapSlot(5), 5);
+  EXPECT_EQ(WrapSlot(-289), 287);
+}
+
+TEST(TimeSlotsTest, IsValidSlot) {
+  EXPECT_TRUE(IsValidSlot(0));
+  EXPECT_TRUE(IsValidSlot(287));
+  EXPECT_FALSE(IsValidSlot(288));
+  EXPECT_FALSE(IsValidSlot(-1));
+}
+
+TEST(DayMatrixTest, AccessAndSlotViews) {
+  DayMatrix m(4, 3);
+  m.At(2, 1) = 42.5;
+  EXPECT_DOUBLE_EQ(m.At(2, 1), 42.5);
+  EXPECT_DOUBLE_EQ(m.SlotPtr(2)[1], 42.5);
+  const auto speeds = m.SlotSpeeds(2);
+  EXPECT_EQ(speeds.size(), 3u);
+  EXPECT_DOUBLE_EQ(speeds[1], 42.5);
+  EXPECT_DOUBLE_EQ(speeds[0], 0.0);
+}
+
+TEST(HistoryStoreTest, SetDayAndSeries) {
+  HistoryStore store(3, 2, 4);
+  DayMatrix day0(4, 3);
+  DayMatrix day1(4, 3);
+  day0.At(1, 2) = 10.0;
+  day1.At(1, 2) = 20.0;
+  ASSERT_TRUE(store.SetDay(0, day0).ok());
+  ASSERT_TRUE(store.SetDay(1, day1).ok());
+  EXPECT_EQ(store.Series(2, 1), (std::vector<double>{10.0, 20.0}));
+  EXPECT_DOUBLE_EQ(store.At(1, 1, 2), 20.0);
+}
+
+TEST(HistoryStoreTest, SetDayValidation) {
+  HistoryStore store(3, 2, 4);
+  DayMatrix wrong_shape(4, 5);
+  EXPECT_FALSE(store.SetDay(0, wrong_shape).ok());
+  DayMatrix ok_shape(4, 3);
+  EXPECT_FALSE(store.SetDay(2, ok_shape).ok());
+  EXPECT_FALSE(store.SetDay(-1, ok_shape).ok());
+}
+
+TEST(HistoryStoreTest, AddRecord) {
+  HistoryStore store(2, 3, kSlotsPerDay);
+  SpeedRecord record;
+  record.day = 1;
+  record.slot = 100;
+  record.road = 1;
+  record.speed_kmh = 55.5;
+  ASSERT_TRUE(store.AddRecord(record).ok());
+  EXPECT_DOUBLE_EQ(store.At(1, 100, 1), 55.5);
+}
+
+TEST(HistoryStoreTest, AddRecordValidation) {
+  HistoryStore store(2, 3, kSlotsPerDay);
+  SpeedRecord record;
+  record.day = 5;
+  EXPECT_FALSE(store.AddRecord(record).ok());
+  record.day = 0;
+  record.slot = 999;
+  EXPECT_FALSE(store.AddRecord(record).ok());
+  record.slot = 0;
+  record.road = 7;
+  EXPECT_FALSE(store.AddRecord(record).ok());
+}
+
+TEST(HistoryStoreTest, RecordCountMatchesPaperScale) {
+  // 607 roads x 288 slots x 30 days = 5,244,480 records — the paper's
+  // crawl volume.
+  HistoryStore store(607, 30);
+  EXPECT_EQ(store.num_records(), 5244480u);
+}
+
+}  // namespace
+}  // namespace crowdrtse::traffic

@@ -1,0 +1,93 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace crowdrtse::util {
+namespace {
+
+TEST(CsvTest, SplitPlainLine) {
+  const auto cells = SplitCsvLine("a,b,c");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[2], "c");
+}
+
+TEST(CsvTest, SplitKeepsEmptyCells) {
+  const auto cells = SplitCsvLine("a,,c,");
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[1], "");
+  EXPECT_EQ(cells[3], "");
+}
+
+TEST(CsvTest, SplitQuotedCells) {
+  const auto cells = SplitCsvLine(R"("hello, world","say ""hi""",plain)");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "hello, world");
+  EXPECT_EQ(cells[1], "say \"hi\"");
+  EXPECT_EQ(cells[2], "plain");
+}
+
+TEST(CsvTest, ParseWithHeader) {
+  const auto table = ParseCsv("road,speed\n1,42.5\n2,38.0\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header.size(), 2u);
+  EXPECT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[1][1], "38.0");
+  EXPECT_EQ(table->ColumnIndex("speed"), 1);
+  EXPECT_EQ(table->ColumnIndex("missing"), -1);
+}
+
+TEST(CsvTest, ParseWithoutHeaderSynthesisesNames) {
+  const auto table = ParseCsv("1,2\n3,4\n", /*has_header=*/false);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header[0], "c0");
+  EXPECT_EQ(table->rows.size(), 2u);
+}
+
+TEST(CsvTest, RowWidthMismatchFails) {
+  const auto table = ParseCsv("a,b\n1,2,3\n");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  const auto table = ParseCsv("a,b\n\n1,2\n\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows.size(), 1u);
+}
+
+TEST(CsvTest, RoundTripWithQuoting) {
+  CsvTable table;
+  table.header = {"name", "note"};
+  table.rows.push_back({"x", "needs, comma"});
+  table.rows.push_back({"y", "has \"quote\""});
+  const std::string text = ToCsv(table);
+  const auto parsed = ParseCsv(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows[0][1], "needs, comma");
+  EXPECT_EQ(parsed->rows[1][1], "has \"quote\"");
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvTable table;
+  table.header = {"a"};
+  table.rows.push_back({"1"});
+  const std::string path = ::testing::TempDir() + "/csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, table).ok());
+  const auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileFails) {
+  const auto loaded = ReadCsvFile("/nonexistent/really/not/here.csv");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace crowdrtse::util

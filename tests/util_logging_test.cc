@@ -1,0 +1,40 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrtse::util {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, NonFatalLevelsDoNotAbort) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // suppress output below error
+  LogMessage(LogLevel::kDebug, __FILE__, __LINE__, "suppressed");
+  LogMessage(LogLevel::kInfo, __FILE__, __LINE__, "suppressed");
+  LogMessage(LogLevel::kWarning, __FILE__, __LINE__, "suppressed");
+  LogMessage(LogLevel::kError, __FILE__, __LINE__, "printed to stderr");
+  SetLogLevel(original);
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, FatalAborts) {
+  EXPECT_DEATH(
+      LogMessage(LogLevel::kFatal, __FILE__, __LINE__, "fatal message"),
+      "fatal message");
+}
+
+TEST(LoggingDeathTest, CheckMacroAbortsOnFalse) {
+  EXPECT_DEATH(CROWDRTSE_CHECK(1 == 2), "check failed");
+  CROWDRTSE_CHECK(1 == 1);  // no abort on truth
+}
+
+}  // namespace
+}  // namespace crowdrtse::util

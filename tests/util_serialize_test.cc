@@ -1,0 +1,88 @@
+#include "util/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace crowdrtse::util {
+namespace {
+
+TEST(SerializeTest, ScalarRoundTrip) {
+  BinaryWriter writer;
+  writer.WriteUint32(0xDEADBEEF);
+  writer.WriteUint64(1234567890123ULL);
+  writer.WriteInt32(-42);
+  writer.WriteDouble(3.14159);
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(*reader.ReadUint32(), 0xDEADBEEF);
+  EXPECT_EQ(*reader.ReadUint64(), 1234567890123ULL);
+  EXPECT_EQ(*reader.ReadInt32(), -42);
+  EXPECT_DOUBLE_EQ(*reader.ReadDouble(), 3.14159);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerializeTest, StringRoundTrip) {
+  BinaryWriter writer;
+  writer.WriteString("hello world");
+  writer.WriteString("");
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(*reader.ReadString(), "hello world");
+  EXPECT_EQ(*reader.ReadString(), "");
+}
+
+TEST(SerializeTest, VectorRoundTrip) {
+  BinaryWriter writer;
+  writer.WriteDoubleVector({1.5, -2.5, 0.0});
+  writer.WriteInt32Vector({7, -8});
+  BinaryReader reader(writer.buffer());
+  const auto doubles = reader.ReadDoubleVector();
+  ASSERT_TRUE(doubles.ok());
+  EXPECT_EQ(*doubles, (std::vector<double>{1.5, -2.5, 0.0}));
+  const auto ints = reader.ReadInt32Vector();
+  ASSERT_TRUE(ints.ok());
+  EXPECT_EQ(*ints, (std::vector<int32_t>{7, -8}));
+}
+
+TEST(SerializeTest, TruncatedInputFails) {
+  BinaryWriter writer;
+  writer.WriteDouble(1.0);
+  const std::string truncated = writer.buffer().substr(0, 4);
+  BinaryReader reader(truncated);
+  EXPECT_FALSE(reader.ReadDouble().ok());
+}
+
+TEST(SerializeTest, TruncatedVectorFails) {
+  BinaryWriter writer;
+  writer.WriteDoubleVector({1.0, 2.0, 3.0});
+  const std::string truncated =
+      writer.buffer().substr(0, writer.buffer().size() - 8);
+  BinaryReader reader(truncated);
+  EXPECT_FALSE(reader.ReadDoubleVector().ok());
+}
+
+TEST(SerializeTest, LyingLengthPrefixFails) {
+  BinaryWriter writer;
+  writer.WriteUint64(1'000'000'000ULL);  // claims a huge string follows
+  BinaryReader reader(writer.buffer());
+  EXPECT_FALSE(reader.ReadString().ok());
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  BinaryWriter writer;
+  writer.WriteUint32(7);
+  writer.WriteString("file payload");
+  const std::string path = ::testing::TempDir() + "/serialize_test.bin";
+  ASSERT_TRUE(writer.Flush(path).ok());
+  auto reader = BinaryReader::FromFile(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(*reader->ReadUint32(), 7u);
+  EXPECT_EQ(*reader->ReadString(), "file payload");
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  EXPECT_FALSE(BinaryReader::FromFile("/no/such/file.bin").ok());
+}
+
+}  // namespace
+}  // namespace crowdrtse::util

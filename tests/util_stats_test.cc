@@ -1,0 +1,135 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace crowdrtse::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+  EXPECT_EQ(s.StdDev(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.Mean(), 5.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.PopulationVariance(), 4.0);
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatsTest, MergeEqualsBulk) {
+  Rng rng(1);
+  RunningStats bulk;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    bulk.Add(x);
+    (i < 200 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), bulk.count());
+  EXPECT_NEAR(left.Mean(), bulk.Mean(), 1e-10);
+  EXPECT_NEAR(left.Variance(), bulk.Variance(), 1e-10);
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+  RunningStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.Mean(), 2.0);
+}
+
+TEST(RunningCovarianceTest, PerfectPositiveCorrelation) {
+  RunningCovariance c;
+  for (int i = 0; i < 50; ++i) {
+    c.Add(i, 2.0 * i + 1.0);
+  }
+  EXPECT_NEAR(c.Correlation(), 1.0, 1e-12);
+}
+
+TEST(RunningCovarianceTest, PerfectNegativeCorrelation) {
+  RunningCovariance c;
+  for (int i = 0; i < 50; ++i) {
+    c.Add(i, -3.0 * i);
+  }
+  EXPECT_NEAR(c.Correlation(), -1.0, 1e-12);
+}
+
+TEST(RunningCovarianceTest, IndependentNearZero) {
+  Rng rng(4);
+  RunningCovariance c;
+  for (int i = 0; i < 20000; ++i) {
+    c.Add(rng.Normal(), rng.Normal());
+  }
+  EXPECT_NEAR(c.Correlation(), 0.0, 0.03);
+}
+
+TEST(RunningCovarianceTest, DegenerateMarginalGivesZero) {
+  RunningCovariance c;
+  for (int i = 0; i < 10; ++i) c.Add(5.0, i);
+  EXPECT_EQ(c.Correlation(), 0.0);
+}
+
+TEST(RunningCovarianceTest, CovarianceMatchesDefinition) {
+  RunningCovariance c;
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 5, 9};
+  for (size_t i = 0; i < xs.size(); ++i) c.Add(xs[i], ys[i]);
+  // Sample covariance computed by hand: mean_x=2.5, mean_y=5.
+  // sum (x-mx)(y-my) = (-1.5)(-3)+(-.5)(-1)+(.5)(0)+(1.5)(4) = 11.
+  EXPECT_NEAR(c.Covariance(), 11.0 / 3.0, 1e-12);
+}
+
+TEST(QuantileTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(QuantileTest, Extremes) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+}
+
+TEST(QuantileTest, EmptyIsZero) { EXPECT_EQ(Quantile({}, 0.5), 0.0); }
+
+TEST(MeanTest, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_EQ(Mean({}), 0.0);
+}
+
+TEST(TrimmedMeanTest, DropsOutliers) {
+  // 10 values, trim 10% each side -> drops the 1000 and the -1000.
+  std::vector<double> v{1, 1, 1, 1, 1, 1, 1, 1, 1000, -1000};
+  EXPECT_DOUBLE_EQ(TrimmedMean(v, 0.1), 1.0);
+}
+
+TEST(TrimmedMeanTest, FallsBackWhenTooFew) {
+  EXPECT_DOUBLE_EQ(TrimmedMean({2.0, 4.0}, 0.4), 3.0);
+}
+
+}  // namespace
+}  // namespace crowdrtse::util

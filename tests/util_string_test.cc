@@ -1,0 +1,78 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdrtse::util {
+namespace {
+
+TEST(SplitTest, Basic) {
+  const auto pieces = Split("a:b:c", ':');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[1], "b");
+}
+
+TEST(SplitTest, KeepsEmptyPieces) {
+  const auto pieces = Split("::", ':');
+  EXPECT_EQ(pieces.size(), 3u);
+}
+
+TEST(TrimTest, StripsWhitespace) {
+  EXPECT_EQ(Trim("  hello\t\n"), "hello");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(ParseDoubleTest, Valid) {
+  auto r = ParseDouble(" 3.25 ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 3.25);
+  r = ParseDouble("-1e3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, -1000.0);
+}
+
+TEST(ParseDoubleTest, Invalid) {
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(ParseIntTest, Valid) {
+  auto r = ParseInt("42");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  r = ParseInt(" -7 ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, -7);
+}
+
+TEST(ParseIntTest, Invalid) {
+  EXPECT_FALSE(ParseInt("4.5").ok());
+  EXPECT_FALSE(ParseInt("x").ok());
+  EXPECT_FALSE(ParseInt("").ok());
+}
+
+TEST(ParseIntTest, OutOfRange) {
+  EXPECT_FALSE(ParseInt("99999999999999999").ok());
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("prefix_rest", "prefix"));
+  EXPECT_FALSE(StartsWith("pre", "prefix"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+}  // namespace
+}  // namespace crowdrtse::util
