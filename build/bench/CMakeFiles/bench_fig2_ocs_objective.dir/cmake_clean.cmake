@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_ocs_objective.dir/bench_fig2_ocs_objective.cc.o"
+  "CMakeFiles/bench_fig2_ocs_objective.dir/bench_fig2_ocs_objective.cc.o.d"
+  "bench_fig2_ocs_objective"
+  "bench_fig2_ocs_objective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ocs_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

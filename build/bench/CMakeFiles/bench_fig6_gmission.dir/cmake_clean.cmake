@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_gmission.dir/bench_fig6_gmission.cc.o"
+  "CMakeFiles/bench_fig6_gmission.dir/bench_fig6_gmission.cc.o.d"
+  "bench_fig6_gmission"
+  "bench_fig6_gmission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_gmission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_planner.dir/campaign_planner.cpp.o"
+  "CMakeFiles/campaign_planner.dir/campaign_planner.cpp.o.d"
+  "campaign_planner"
+  "campaign_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

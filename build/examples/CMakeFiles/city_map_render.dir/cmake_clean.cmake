@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_map_render.dir/city_map_render.cpp.o"
+  "CMakeFiles/city_map_render.dir/city_map_render.cpp.o.d"
+  "city_map_render"
+  "city_map_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_map_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_console.dir/traffic_console.cpp.o"
+  "CMakeFiles/traffic_console.dir/traffic_console.cpp.o.d"
+  "traffic_console"
+  "traffic_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

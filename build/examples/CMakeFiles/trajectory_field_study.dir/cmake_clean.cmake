@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_field_study.dir/trajectory_field_study.cpp.o"
+  "CMakeFiles/trajectory_field_study.dir/trajectory_field_study.cpp.o.d"
+  "trajectory_field_study"
+  "trajectory_field_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_field_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("math")
+subdirs("graph")
+subdirs("traffic")
+subdirs("rtf")
+subdirs("crowd")
+subdirs("ocs")
+subdirs("gsp")
+subdirs("baselines")
+subdirs("eval")
+subdirs("core")
+subdirs("server")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/grmc.cc" "src/baselines/CMakeFiles/crowdrtse_baselines.dir/grmc.cc.o" "gcc" "src/baselines/CMakeFiles/crowdrtse_baselines.dir/grmc.cc.o.d"
+  "/root/repo/src/baselines/knn_days.cc" "src/baselines/CMakeFiles/crowdrtse_baselines.dir/knn_days.cc.o" "gcc" "src/baselines/CMakeFiles/crowdrtse_baselines.dir/knn_days.cc.o.d"
+  "/root/repo/src/baselines/lasso.cc" "src/baselines/CMakeFiles/crowdrtse_baselines.dir/lasso.cc.o" "gcc" "src/baselines/CMakeFiles/crowdrtse_baselines.dir/lasso.cc.o.d"
+  "/root/repo/src/baselines/periodic_estimator.cc" "src/baselines/CMakeFiles/crowdrtse_baselines.dir/periodic_estimator.cc.o" "gcc" "src/baselines/CMakeFiles/crowdrtse_baselines.dir/periodic_estimator.cc.o.d"
+  "/root/repo/src/baselines/ridge.cc" "src/baselines/CMakeFiles/crowdrtse_baselines.dir/ridge.cc.o" "gcc" "src/baselines/CMakeFiles/crowdrtse_baselines.dir/ridge.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtf/CMakeFiles/crowdrtse_rtf.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/crowdrtse_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/crowdrtse_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/crowdrtse_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdrtse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrtse_baselines.dir/grmc.cc.o"
+  "CMakeFiles/crowdrtse_baselines.dir/grmc.cc.o.d"
+  "CMakeFiles/crowdrtse_baselines.dir/knn_days.cc.o"
+  "CMakeFiles/crowdrtse_baselines.dir/knn_days.cc.o.d"
+  "CMakeFiles/crowdrtse_baselines.dir/lasso.cc.o"
+  "CMakeFiles/crowdrtse_baselines.dir/lasso.cc.o.d"
+  "CMakeFiles/crowdrtse_baselines.dir/periodic_estimator.cc.o"
+  "CMakeFiles/crowdrtse_baselines.dir/periodic_estimator.cc.o.d"
+  "CMakeFiles/crowdrtse_baselines.dir/ridge.cc.o"
+  "CMakeFiles/crowdrtse_baselines.dir/ridge.cc.o.d"
+  "libcrowdrtse_baselines.a"
+  "libcrowdrtse_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrtse_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

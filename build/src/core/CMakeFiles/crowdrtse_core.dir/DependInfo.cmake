@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/congestion_monitor.cc" "src/core/CMakeFiles/crowdrtse_core.dir/congestion_monitor.cc.o" "gcc" "src/core/CMakeFiles/crowdrtse_core.dir/congestion_monitor.cc.o.d"
+  "/root/repo/src/core/crowd_rtse.cc" "src/core/CMakeFiles/crowdrtse_core.dir/crowd_rtse.cc.o" "gcc" "src/core/CMakeFiles/crowdrtse_core.dir/crowd_rtse.cc.o.d"
+  "/root/repo/src/core/theta_tuner.cc" "src/core/CMakeFiles/crowdrtse_core.dir/theta_tuner.cc.o" "gcc" "src/core/CMakeFiles/crowdrtse_core.dir/theta_tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ocs/CMakeFiles/crowdrtse_ocs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gsp/CMakeFiles/crowdrtse_gsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtf/CMakeFiles/crowdrtse_rtf.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/crowdrtse_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/crowdrtse_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/crowdrtse_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/crowdrtse_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdrtse_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/crowdrtse_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

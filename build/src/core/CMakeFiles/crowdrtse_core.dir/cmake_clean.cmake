@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrtse_core.dir/congestion_monitor.cc.o"
+  "CMakeFiles/crowdrtse_core.dir/congestion_monitor.cc.o.d"
+  "CMakeFiles/crowdrtse_core.dir/crowd_rtse.cc.o"
+  "CMakeFiles/crowdrtse_core.dir/crowd_rtse.cc.o.d"
+  "CMakeFiles/crowdrtse_core.dir/theta_tuner.cc.o"
+  "CMakeFiles/crowdrtse_core.dir/theta_tuner.cc.o.d"
+  "libcrowdrtse_core.a"
+  "libcrowdrtse_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrtse_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

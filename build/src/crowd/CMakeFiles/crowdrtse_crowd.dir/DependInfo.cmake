@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crowd/aggregation.cc" "src/crowd/CMakeFiles/crowdrtse_crowd.dir/aggregation.cc.o" "gcc" "src/crowd/CMakeFiles/crowdrtse_crowd.dir/aggregation.cc.o.d"
+  "/root/repo/src/crowd/calibration.cc" "src/crowd/CMakeFiles/crowdrtse_crowd.dir/calibration.cc.o" "gcc" "src/crowd/CMakeFiles/crowdrtse_crowd.dir/calibration.cc.o.d"
+  "/root/repo/src/crowd/cost_model.cc" "src/crowd/CMakeFiles/crowdrtse_crowd.dir/cost_model.cc.o" "gcc" "src/crowd/CMakeFiles/crowdrtse_crowd.dir/cost_model.cc.o.d"
+  "/root/repo/src/crowd/crowd_simulator.cc" "src/crowd/CMakeFiles/crowdrtse_crowd.dir/crowd_simulator.cc.o" "gcc" "src/crowd/CMakeFiles/crowdrtse_crowd.dir/crowd_simulator.cc.o.d"
+  "/root/repo/src/crowd/gmission_scenario.cc" "src/crowd/CMakeFiles/crowdrtse_crowd.dir/gmission_scenario.cc.o" "gcc" "src/crowd/CMakeFiles/crowdrtse_crowd.dir/gmission_scenario.cc.o.d"
+  "/root/repo/src/crowd/task_assignment.cc" "src/crowd/CMakeFiles/crowdrtse_crowd.dir/task_assignment.cc.o" "gcc" "src/crowd/CMakeFiles/crowdrtse_crowd.dir/task_assignment.cc.o.d"
+  "/root/repo/src/crowd/trajectory.cc" "src/crowd/CMakeFiles/crowdrtse_crowd.dir/trajectory.cc.o" "gcc" "src/crowd/CMakeFiles/crowdrtse_crowd.dir/trajectory.cc.o.d"
+  "/root/repo/src/crowd/worker_pool.cc" "src/crowd/CMakeFiles/crowdrtse_crowd.dir/worker_pool.cc.o" "gcc" "src/crowd/CMakeFiles/crowdrtse_crowd.dir/worker_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/crowdrtse_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/crowdrtse_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdrtse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrtse_crowd.dir/aggregation.cc.o"
+  "CMakeFiles/crowdrtse_crowd.dir/aggregation.cc.o.d"
+  "CMakeFiles/crowdrtse_crowd.dir/calibration.cc.o"
+  "CMakeFiles/crowdrtse_crowd.dir/calibration.cc.o.d"
+  "CMakeFiles/crowdrtse_crowd.dir/cost_model.cc.o"
+  "CMakeFiles/crowdrtse_crowd.dir/cost_model.cc.o.d"
+  "CMakeFiles/crowdrtse_crowd.dir/crowd_simulator.cc.o"
+  "CMakeFiles/crowdrtse_crowd.dir/crowd_simulator.cc.o.d"
+  "CMakeFiles/crowdrtse_crowd.dir/gmission_scenario.cc.o"
+  "CMakeFiles/crowdrtse_crowd.dir/gmission_scenario.cc.o.d"
+  "CMakeFiles/crowdrtse_crowd.dir/task_assignment.cc.o"
+  "CMakeFiles/crowdrtse_crowd.dir/task_assignment.cc.o.d"
+  "CMakeFiles/crowdrtse_crowd.dir/trajectory.cc.o"
+  "CMakeFiles/crowdrtse_crowd.dir/trajectory.cc.o.d"
+  "CMakeFiles/crowdrtse_crowd.dir/worker_pool.cc.o"
+  "CMakeFiles/crowdrtse_crowd.dir/worker_pool.cc.o.d"
+  "libcrowdrtse_crowd.a"
+  "libcrowdrtse_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrtse_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrtse_eval.dir/metrics.cc.o"
+  "CMakeFiles/crowdrtse_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/crowdrtse_eval.dir/svg_map.cc.o"
+  "CMakeFiles/crowdrtse_eval.dir/svg_map.cc.o.d"
+  "CMakeFiles/crowdrtse_eval.dir/table_printer.cc.o"
+  "CMakeFiles/crowdrtse_eval.dir/table_printer.cc.o.d"
+  "libcrowdrtse_eval.a"
+  "libcrowdrtse_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrtse_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bfs.cc" "src/graph/CMakeFiles/crowdrtse_graph.dir/bfs.cc.o" "gcc" "src/graph/CMakeFiles/crowdrtse_graph.dir/bfs.cc.o.d"
+  "/root/repo/src/graph/coloring.cc" "src/graph/CMakeFiles/crowdrtse_graph.dir/coloring.cc.o" "gcc" "src/graph/CMakeFiles/crowdrtse_graph.dir/coloring.cc.o.d"
+  "/root/repo/src/graph/connected_components.cc" "src/graph/CMakeFiles/crowdrtse_graph.dir/connected_components.cc.o" "gcc" "src/graph/CMakeFiles/crowdrtse_graph.dir/connected_components.cc.o.d"
+  "/root/repo/src/graph/dijkstra.cc" "src/graph/CMakeFiles/crowdrtse_graph.dir/dijkstra.cc.o" "gcc" "src/graph/CMakeFiles/crowdrtse_graph.dir/dijkstra.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/crowdrtse_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/crowdrtse_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/crowdrtse_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/crowdrtse_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/graph/CMakeFiles/crowdrtse_graph.dir/graph_io.cc.o" "gcc" "src/graph/CMakeFiles/crowdrtse_graph.dir/graph_io.cc.o.d"
+  "/root/repo/src/graph/road_geometry.cc" "src/graph/CMakeFiles/crowdrtse_graph.dir/road_geometry.cc.o" "gcc" "src/graph/CMakeFiles/crowdrtse_graph.dir/road_geometry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/crowdrtse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

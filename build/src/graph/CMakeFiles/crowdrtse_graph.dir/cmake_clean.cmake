@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrtse_graph.dir/bfs.cc.o"
+  "CMakeFiles/crowdrtse_graph.dir/bfs.cc.o.d"
+  "CMakeFiles/crowdrtse_graph.dir/coloring.cc.o"
+  "CMakeFiles/crowdrtse_graph.dir/coloring.cc.o.d"
+  "CMakeFiles/crowdrtse_graph.dir/connected_components.cc.o"
+  "CMakeFiles/crowdrtse_graph.dir/connected_components.cc.o.d"
+  "CMakeFiles/crowdrtse_graph.dir/dijkstra.cc.o"
+  "CMakeFiles/crowdrtse_graph.dir/dijkstra.cc.o.d"
+  "CMakeFiles/crowdrtse_graph.dir/generators.cc.o"
+  "CMakeFiles/crowdrtse_graph.dir/generators.cc.o.d"
+  "CMakeFiles/crowdrtse_graph.dir/graph.cc.o"
+  "CMakeFiles/crowdrtse_graph.dir/graph.cc.o.d"
+  "CMakeFiles/crowdrtse_graph.dir/graph_io.cc.o"
+  "CMakeFiles/crowdrtse_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/crowdrtse_graph.dir/road_geometry.cc.o"
+  "CMakeFiles/crowdrtse_graph.dir/road_geometry.cc.o.d"
+  "libcrowdrtse_graph.a"
+  "libcrowdrtse_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrtse_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrtse_gsp.dir/propagation.cc.o"
+  "CMakeFiles/crowdrtse_gsp.dir/propagation.cc.o.d"
+  "CMakeFiles/crowdrtse_gsp.dir/uncertainty.cc.o"
+  "CMakeFiles/crowdrtse_gsp.dir/uncertainty.cc.o.d"
+  "libcrowdrtse_gsp.a"
+  "libcrowdrtse_gsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrtse_gsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

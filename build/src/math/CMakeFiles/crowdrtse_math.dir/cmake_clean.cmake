@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrtse_math.dir/dense_matrix.cc.o"
+  "CMakeFiles/crowdrtse_math.dir/dense_matrix.cc.o.d"
+  "CMakeFiles/crowdrtse_math.dir/linear_solver.cc.o"
+  "CMakeFiles/crowdrtse_math.dir/linear_solver.cc.o.d"
+  "CMakeFiles/crowdrtse_math.dir/vector_ops.cc.o"
+  "CMakeFiles/crowdrtse_math.dir/vector_ops.cc.o.d"
+  "libcrowdrtse_math.a"
+  "libcrowdrtse_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrtse_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ocs/exact_solver.cc" "src/ocs/CMakeFiles/crowdrtse_ocs.dir/exact_solver.cc.o" "gcc" "src/ocs/CMakeFiles/crowdrtse_ocs.dir/exact_solver.cc.o.d"
+  "/root/repo/src/ocs/greedy_selectors.cc" "src/ocs/CMakeFiles/crowdrtse_ocs.dir/greedy_selectors.cc.o" "gcc" "src/ocs/CMakeFiles/crowdrtse_ocs.dir/greedy_selectors.cc.o.d"
+  "/root/repo/src/ocs/ocs_problem.cc" "src/ocs/CMakeFiles/crowdrtse_ocs.dir/ocs_problem.cc.o" "gcc" "src/ocs/CMakeFiles/crowdrtse_ocs.dir/ocs_problem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtf/CMakeFiles/crowdrtse_rtf.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/crowdrtse_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/crowdrtse_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdrtse_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/crowdrtse_traffic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

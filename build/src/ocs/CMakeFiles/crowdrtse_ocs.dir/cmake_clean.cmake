@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrtse_ocs.dir/exact_solver.cc.o"
+  "CMakeFiles/crowdrtse_ocs.dir/exact_solver.cc.o.d"
+  "CMakeFiles/crowdrtse_ocs.dir/greedy_selectors.cc.o"
+  "CMakeFiles/crowdrtse_ocs.dir/greedy_selectors.cc.o.d"
+  "CMakeFiles/crowdrtse_ocs.dir/ocs_problem.cc.o"
+  "CMakeFiles/crowdrtse_ocs.dir/ocs_problem.cc.o.d"
+  "libcrowdrtse_ocs.a"
+  "libcrowdrtse_ocs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrtse_ocs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

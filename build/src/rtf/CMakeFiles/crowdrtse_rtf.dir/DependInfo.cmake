@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtf/ccd_trainer.cc" "src/rtf/CMakeFiles/crowdrtse_rtf.dir/ccd_trainer.cc.o" "gcc" "src/rtf/CMakeFiles/crowdrtse_rtf.dir/ccd_trainer.cc.o.d"
+  "/root/repo/src/rtf/correlation_table.cc" "src/rtf/CMakeFiles/crowdrtse_rtf.dir/correlation_table.cc.o" "gcc" "src/rtf/CMakeFiles/crowdrtse_rtf.dir/correlation_table.cc.o.d"
+  "/root/repo/src/rtf/moment_accumulator.cc" "src/rtf/CMakeFiles/crowdrtse_rtf.dir/moment_accumulator.cc.o" "gcc" "src/rtf/CMakeFiles/crowdrtse_rtf.dir/moment_accumulator.cc.o.d"
+  "/root/repo/src/rtf/moment_estimator.cc" "src/rtf/CMakeFiles/crowdrtse_rtf.dir/moment_estimator.cc.o" "gcc" "src/rtf/CMakeFiles/crowdrtse_rtf.dir/moment_estimator.cc.o.d"
+  "/root/repo/src/rtf/rtf_model.cc" "src/rtf/CMakeFiles/crowdrtse_rtf.dir/rtf_model.cc.o" "gcc" "src/rtf/CMakeFiles/crowdrtse_rtf.dir/rtf_model.cc.o.d"
+  "/root/repo/src/rtf/rtf_serialization.cc" "src/rtf/CMakeFiles/crowdrtse_rtf.dir/rtf_serialization.cc.o" "gcc" "src/rtf/CMakeFiles/crowdrtse_rtf.dir/rtf_serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/crowdrtse_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/crowdrtse_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdrtse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

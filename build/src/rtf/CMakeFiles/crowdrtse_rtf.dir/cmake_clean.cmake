@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrtse_rtf.dir/ccd_trainer.cc.o"
+  "CMakeFiles/crowdrtse_rtf.dir/ccd_trainer.cc.o.d"
+  "CMakeFiles/crowdrtse_rtf.dir/correlation_table.cc.o"
+  "CMakeFiles/crowdrtse_rtf.dir/correlation_table.cc.o.d"
+  "CMakeFiles/crowdrtse_rtf.dir/moment_accumulator.cc.o"
+  "CMakeFiles/crowdrtse_rtf.dir/moment_accumulator.cc.o.d"
+  "CMakeFiles/crowdrtse_rtf.dir/moment_estimator.cc.o"
+  "CMakeFiles/crowdrtse_rtf.dir/moment_estimator.cc.o.d"
+  "CMakeFiles/crowdrtse_rtf.dir/rtf_model.cc.o"
+  "CMakeFiles/crowdrtse_rtf.dir/rtf_model.cc.o.d"
+  "CMakeFiles/crowdrtse_rtf.dir/rtf_serialization.cc.o"
+  "CMakeFiles/crowdrtse_rtf.dir/rtf_serialization.cc.o.d"
+  "libcrowdrtse_rtf.a"
+  "libcrowdrtse_rtf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrtse_rtf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

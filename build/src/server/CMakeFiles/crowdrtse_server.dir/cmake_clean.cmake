@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrtse_server.dir/budget_ledger.cc.o"
+  "CMakeFiles/crowdrtse_server.dir/budget_ledger.cc.o.d"
+  "CMakeFiles/crowdrtse_server.dir/query_engine.cc.o"
+  "CMakeFiles/crowdrtse_server.dir/query_engine.cc.o.d"
+  "CMakeFiles/crowdrtse_server.dir/worker_registry.cc.o"
+  "CMakeFiles/crowdrtse_server.dir/worker_registry.cc.o.d"
+  "libcrowdrtse_server.a"
+  "libcrowdrtse_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrtse_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrowdrtse_server.a"
+)

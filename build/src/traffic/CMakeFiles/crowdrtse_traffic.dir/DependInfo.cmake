@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/history_io.cc" "src/traffic/CMakeFiles/crowdrtse_traffic.dir/history_io.cc.o" "gcc" "src/traffic/CMakeFiles/crowdrtse_traffic.dir/history_io.cc.o.d"
+  "/root/repo/src/traffic/history_store.cc" "src/traffic/CMakeFiles/crowdrtse_traffic.dir/history_store.cc.o" "gcc" "src/traffic/CMakeFiles/crowdrtse_traffic.dir/history_store.cc.o.d"
+  "/root/repo/src/traffic/traffic_simulator.cc" "src/traffic/CMakeFiles/crowdrtse_traffic.dir/traffic_simulator.cc.o" "gcc" "src/traffic/CMakeFiles/crowdrtse_traffic.dir/traffic_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/crowdrtse_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdrtse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

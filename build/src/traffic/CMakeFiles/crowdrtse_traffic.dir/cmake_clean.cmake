@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrtse_traffic.dir/history_io.cc.o"
+  "CMakeFiles/crowdrtse_traffic.dir/history_io.cc.o.d"
+  "CMakeFiles/crowdrtse_traffic.dir/history_store.cc.o"
+  "CMakeFiles/crowdrtse_traffic.dir/history_store.cc.o.d"
+  "CMakeFiles/crowdrtse_traffic.dir/traffic_simulator.cc.o"
+  "CMakeFiles/crowdrtse_traffic.dir/traffic_simulator.cc.o.d"
+  "libcrowdrtse_traffic.a"
+  "libcrowdrtse_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrtse_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

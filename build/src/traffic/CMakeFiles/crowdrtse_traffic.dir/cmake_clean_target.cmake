@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrowdrtse_traffic.a"
+)

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdrtse_util.dir/csv.cc.o"
+  "CMakeFiles/crowdrtse_util.dir/csv.cc.o.d"
+  "CMakeFiles/crowdrtse_util.dir/logging.cc.o"
+  "CMakeFiles/crowdrtse_util.dir/logging.cc.o.d"
+  "CMakeFiles/crowdrtse_util.dir/rng.cc.o"
+  "CMakeFiles/crowdrtse_util.dir/rng.cc.o.d"
+  "CMakeFiles/crowdrtse_util.dir/serialize.cc.o"
+  "CMakeFiles/crowdrtse_util.dir/serialize.cc.o.d"
+  "CMakeFiles/crowdrtse_util.dir/stats.cc.o"
+  "CMakeFiles/crowdrtse_util.dir/stats.cc.o.d"
+  "CMakeFiles/crowdrtse_util.dir/status.cc.o"
+  "CMakeFiles/crowdrtse_util.dir/status.cc.o.d"
+  "CMakeFiles/crowdrtse_util.dir/string_util.cc.o"
+  "CMakeFiles/crowdrtse_util.dir/string_util.cc.o.d"
+  "CMakeFiles/crowdrtse_util.dir/thread_pool.cc.o"
+  "CMakeFiles/crowdrtse_util.dir/thread_pool.cc.o.d"
+  "libcrowdrtse_util.a"
+  "libcrowdrtse_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdrtse_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

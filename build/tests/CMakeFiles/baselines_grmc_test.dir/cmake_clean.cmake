@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_grmc_test.dir/baselines_grmc_test.cc.o"
+  "CMakeFiles/baselines_grmc_test.dir/baselines_grmc_test.cc.o.d"
+  "baselines_grmc_test"
+  "baselines_grmc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_grmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_knn_days_test.dir/baselines_knn_days_test.cc.o"
+  "CMakeFiles/baselines_knn_days_test.dir/baselines_knn_days_test.cc.o.d"
+  "baselines_knn_days_test"
+  "baselines_knn_days_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_knn_days_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

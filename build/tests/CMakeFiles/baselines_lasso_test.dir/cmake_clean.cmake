@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_lasso_test.dir/baselines_lasso_test.cc.o"
+  "CMakeFiles/baselines_lasso_test.dir/baselines_lasso_test.cc.o.d"
+  "baselines_lasso_test"
+  "baselines_lasso_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_lasso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

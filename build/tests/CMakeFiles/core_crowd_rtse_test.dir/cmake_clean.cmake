@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_crowd_rtse_test.dir/core_crowd_rtse_test.cc.o"
+  "CMakeFiles/core_crowd_rtse_test.dir/core_crowd_rtse_test.cc.o.d"
+  "core_crowd_rtse_test"
+  "core_crowd_rtse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_crowd_rtse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_theta_tuner_test.dir/core_theta_tuner_test.cc.o"
+  "CMakeFiles/core_theta_tuner_test.dir/core_theta_tuner_test.cc.o.d"
+  "core_theta_tuner_test"
+  "core_theta_tuner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_theta_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_calibration_test.dir/crowd_calibration_test.cc.o"
+  "CMakeFiles/crowd_calibration_test.dir/crowd_calibration_test.cc.o.d"
+  "crowd_calibration_test"
+  "crowd_calibration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_cost_model_test.dir/crowd_cost_model_test.cc.o"
+  "CMakeFiles/crowd_cost_model_test.dir/crowd_cost_model_test.cc.o.d"
+  "crowd_cost_model_test"
+  "crowd_cost_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_cost_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_gmission_test.dir/crowd_gmission_test.cc.o"
+  "CMakeFiles/crowd_gmission_test.dir/crowd_gmission_test.cc.o.d"
+  "crowd_gmission_test"
+  "crowd_gmission_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_gmission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

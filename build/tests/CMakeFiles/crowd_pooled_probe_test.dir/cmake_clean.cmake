@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_pooled_probe_test.dir/crowd_pooled_probe_test.cc.o"
+  "CMakeFiles/crowd_pooled_probe_test.dir/crowd_pooled_probe_test.cc.o.d"
+  "crowd_pooled_probe_test"
+  "crowd_pooled_probe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_pooled_probe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

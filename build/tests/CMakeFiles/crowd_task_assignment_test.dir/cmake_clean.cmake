@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_task_assignment_test.dir/crowd_task_assignment_test.cc.o"
+  "CMakeFiles/crowd_task_assignment_test.dir/crowd_task_assignment_test.cc.o.d"
+  "crowd_task_assignment_test"
+  "crowd_task_assignment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_task_assignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

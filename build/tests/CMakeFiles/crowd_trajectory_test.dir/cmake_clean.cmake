@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_trajectory_test.dir/crowd_trajectory_test.cc.o"
+  "CMakeFiles/crowd_trajectory_test.dir/crowd_trajectory_test.cc.o.d"
+  "crowd_trajectory_test"
+  "crowd_trajectory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_trajectory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_worker_pool_test.dir/crowd_worker_pool_test.cc.o"
+  "CMakeFiles/crowd_worker_pool_test.dir/crowd_worker_pool_test.cc.o.d"
+  "crowd_worker_pool_test"
+  "crowd_worker_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_worker_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_contract_test.dir/estimator_contract_test.cc.o"
+  "CMakeFiles/estimator_contract_test.dir/estimator_contract_test.cc.o.d"
+  "estimator_contract_test"
+  "estimator_contract_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

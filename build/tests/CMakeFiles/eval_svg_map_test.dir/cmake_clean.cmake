@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_svg_map_test.dir/eval_svg_map_test.cc.o"
+  "CMakeFiles/eval_svg_map_test.dir/eval_svg_map_test.cc.o.d"
+  "eval_svg_map_test"
+  "eval_svg_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_svg_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

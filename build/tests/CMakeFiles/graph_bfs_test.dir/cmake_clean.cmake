@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_bfs_test.dir/graph_bfs_test.cc.o"
+  "CMakeFiles/graph_bfs_test.dir/graph_bfs_test.cc.o.d"
+  "graph_bfs_test"
+  "graph_bfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_bfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_dijkstra_test.dir/graph_dijkstra_test.cc.o"
+  "CMakeFiles/graph_dijkstra_test.dir/graph_dijkstra_test.cc.o.d"
+  "graph_dijkstra_test"
+  "graph_dijkstra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_dijkstra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

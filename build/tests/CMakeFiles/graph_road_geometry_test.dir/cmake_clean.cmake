@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_road_geometry_test.dir/graph_road_geometry_test.cc.o"
+  "CMakeFiles/graph_road_geometry_test.dir/graph_road_geometry_test.cc.o.d"
+  "graph_road_geometry_test"
+  "graph_road_geometry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_road_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

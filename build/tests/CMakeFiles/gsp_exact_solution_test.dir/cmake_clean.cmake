@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsp_exact_solution_test.dir/gsp_exact_solution_test.cc.o"
+  "CMakeFiles/gsp_exact_solution_test.dir/gsp_exact_solution_test.cc.o.d"
+  "gsp_exact_solution_test"
+  "gsp_exact_solution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsp_exact_solution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsp_parallel_test.dir/gsp_parallel_test.cc.o"
+  "CMakeFiles/gsp_parallel_test.dir/gsp_parallel_test.cc.o.d"
+  "gsp_parallel_test"
+  "gsp_parallel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsp_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gsp_propagation_test.cc" "tests/CMakeFiles/gsp_propagation_test.dir/gsp_propagation_test.cc.o" "gcc" "tests/CMakeFiles/gsp_propagation_test.dir/gsp_propagation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/crowdrtse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/crowdrtse_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/crowdrtse_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocs/CMakeFiles/crowdrtse_ocs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gsp/CMakeFiles/crowdrtse_gsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/crowdrtse_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtf/CMakeFiles/crowdrtse_rtf.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/crowdrtse_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/crowdrtse_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/crowdrtse_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/crowdrtse_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crowdrtse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

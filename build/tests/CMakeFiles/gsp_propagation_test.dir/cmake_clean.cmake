@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsp_propagation_test.dir/gsp_propagation_test.cc.o"
+  "CMakeFiles/gsp_propagation_test.dir/gsp_propagation_test.cc.o.d"
+  "gsp_propagation_test"
+  "gsp_propagation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsp_propagation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

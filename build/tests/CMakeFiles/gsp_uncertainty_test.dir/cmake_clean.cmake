@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsp_uncertainty_test.dir/gsp_uncertainty_test.cc.o"
+  "CMakeFiles/gsp_uncertainty_test.dir/gsp_uncertainty_test.cc.o.d"
+  "gsp_uncertainty_test"
+  "gsp_uncertainty_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsp_uncertainty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

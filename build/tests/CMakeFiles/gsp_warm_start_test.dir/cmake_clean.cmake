@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsp_warm_start_test.dir/gsp_warm_start_test.cc.o"
+  "CMakeFiles/gsp_warm_start_test.dir/gsp_warm_start_test.cc.o.d"
+  "gsp_warm_start_test"
+  "gsp_warm_start_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsp_warm_start_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

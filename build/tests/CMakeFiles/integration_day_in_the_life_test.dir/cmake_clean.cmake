@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_day_in_the_life_test.dir/integration_day_in_the_life_test.cc.o"
+  "CMakeFiles/integration_day_in_the_life_test.dir/integration_day_in_the_life_test.cc.o.d"
+  "integration_day_in_the_life_test"
+  "integration_day_in_the_life_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_day_in_the_life_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_dense_matrix_test.dir/math_dense_matrix_test.cc.o"
+  "CMakeFiles/math_dense_matrix_test.dir/math_dense_matrix_test.cc.o.d"
+  "math_dense_matrix_test"
+  "math_dense_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_dense_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

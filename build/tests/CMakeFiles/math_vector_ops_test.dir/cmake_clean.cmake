@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_vector_ops_test.dir/math_vector_ops_test.cc.o"
+  "CMakeFiles/math_vector_ops_test.dir/math_vector_ops_test.cc.o.d"
+  "math_vector_ops_test"
+  "math_vector_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_vector_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

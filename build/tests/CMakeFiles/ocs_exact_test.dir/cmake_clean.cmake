@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocs_exact_test.dir/ocs_exact_test.cc.o"
+  "CMakeFiles/ocs_exact_test.dir/ocs_exact_test.cc.o.d"
+  "ocs_exact_test"
+  "ocs_exact_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocs_exact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

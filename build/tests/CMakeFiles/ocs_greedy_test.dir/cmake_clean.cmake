@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocs_greedy_test.dir/ocs_greedy_test.cc.o"
+  "CMakeFiles/ocs_greedy_test.dir/ocs_greedy_test.cc.o.d"
+  "ocs_greedy_test"
+  "ocs_greedy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocs_greedy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

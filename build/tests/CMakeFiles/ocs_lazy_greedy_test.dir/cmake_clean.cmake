@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocs_lazy_greedy_test.dir/ocs_lazy_greedy_test.cc.o"
+  "CMakeFiles/ocs_lazy_greedy_test.dir/ocs_lazy_greedy_test.cc.o.d"
+  "ocs_lazy_greedy_test"
+  "ocs_lazy_greedy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocs_lazy_greedy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ocs_lazy_greedy_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocs_problem_test.dir/ocs_problem_test.cc.o"
+  "CMakeFiles/ocs_problem_test.dir/ocs_problem_test.cc.o.d"
+  "ocs_problem_test"
+  "ocs_problem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocs_problem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

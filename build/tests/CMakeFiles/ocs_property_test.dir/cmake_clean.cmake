@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocs_property_test.dir/ocs_property_test.cc.o"
+  "CMakeFiles/ocs_property_test.dir/ocs_property_test.cc.o.d"
+  "ocs_property_test"
+  "ocs_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

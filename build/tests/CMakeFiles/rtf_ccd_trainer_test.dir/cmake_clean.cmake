@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtf_ccd_trainer_test.dir/rtf_ccd_trainer_test.cc.o"
+  "CMakeFiles/rtf_ccd_trainer_test.dir/rtf_ccd_trainer_test.cc.o.d"
+  "rtf_ccd_trainer_test"
+  "rtf_ccd_trainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtf_ccd_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtf_correlation_table_test.dir/rtf_correlation_table_test.cc.o"
+  "CMakeFiles/rtf_correlation_table_test.dir/rtf_correlation_table_test.cc.o.d"
+  "rtf_correlation_table_test"
+  "rtf_correlation_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtf_correlation_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

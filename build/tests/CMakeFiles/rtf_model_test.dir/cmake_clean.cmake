@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtf_model_test.dir/rtf_model_test.cc.o"
+  "CMakeFiles/rtf_model_test.dir/rtf_model_test.cc.o.d"
+  "rtf_model_test"
+  "rtf_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtf_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtf_moment_accumulator_test.dir/rtf_moment_accumulator_test.cc.o"
+  "CMakeFiles/rtf_moment_accumulator_test.dir/rtf_moment_accumulator_test.cc.o.d"
+  "rtf_moment_accumulator_test"
+  "rtf_moment_accumulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtf_moment_accumulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtf_serialization_test.dir/rtf_serialization_test.cc.o"
+  "CMakeFiles/rtf_serialization_test.dir/rtf_serialization_test.cc.o.d"
+  "rtf_serialization_test"
+  "rtf_serialization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtf_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

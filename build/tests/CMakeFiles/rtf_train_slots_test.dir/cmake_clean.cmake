@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtf_train_slots_test.dir/rtf_train_slots_test.cc.o"
+  "CMakeFiles/rtf_train_slots_test.dir/rtf_train_slots_test.cc.o.d"
+  "rtf_train_slots_test"
+  "rtf_train_slots_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtf_train_slots_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rtf_train_slots_test.
+# This may be replaced when dependencies are built.

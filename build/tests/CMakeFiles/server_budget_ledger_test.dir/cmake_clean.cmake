@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_budget_ledger_test.dir/server_budget_ledger_test.cc.o"
+  "CMakeFiles/server_budget_ledger_test.dir/server_budget_ledger_test.cc.o.d"
+  "server_budget_ledger_test"
+  "server_budget_ledger_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_budget_ledger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

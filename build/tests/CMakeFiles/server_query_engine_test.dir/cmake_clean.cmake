@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_query_engine_test.dir/server_query_engine_test.cc.o"
+  "CMakeFiles/server_query_engine_test.dir/server_query_engine_test.cc.o.d"
+  "server_query_engine_test"
+  "server_query_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_query_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

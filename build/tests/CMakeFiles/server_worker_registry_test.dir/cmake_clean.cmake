@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_worker_registry_test.dir/server_worker_registry_test.cc.o"
+  "CMakeFiles/server_worker_registry_test.dir/server_worker_registry_test.cc.o.d"
+  "server_worker_registry_test"
+  "server_worker_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_worker_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

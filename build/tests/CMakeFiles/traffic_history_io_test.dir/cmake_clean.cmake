@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_history_io_test.dir/traffic_history_io_test.cc.o"
+  "CMakeFiles/traffic_history_io_test.dir/traffic_history_io_test.cc.o.d"
+  "traffic_history_io_test"
+  "traffic_history_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_history_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
