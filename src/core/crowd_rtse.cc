@@ -25,6 +25,11 @@ util::Result<const rtf::CorrelationTable*> CrowdRtse::CorrelationsFor(
     return util::Status::OutOfRange("slot out of range: " +
                                     std::to_string(slot));
   }
+  // One lock for the whole lookup-or-compute: concurrent first touches of
+  // the same slot serialize (the table is ~one Dijkstra per road, worth
+  // computing once), and map nodes are stable, so the pointer handed out
+  // stays valid after the lock drops.
+  std::lock_guard<std::mutex> lock(*correlation_mutex_);
   if (config_.refine_with_ccd && !ccd_refined_[slot]) {
     const rtf::CcdTrainer trainer(*graph_, *history_, config_.ccd);
     util::Result<rtf::CcdReport> report = trainer.TrainSlot(model_, slot);

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "crowd/cost_model.h"
@@ -67,7 +68,12 @@ class CrowdRtse {
   const CrowdRtseConfig& config() const { return config_; }
 
   /// The cached correlation closure for `slot` (computed on first use —
-  /// ~one Dijkstra per road).
+  /// ~one Dijkstra per road). Thread-safe: concurrent callers of the same
+  /// cold slot serialize on the computation, and returned pointers stay
+  /// valid for the object's lifetime. Caveat: with refine_with_ccd set,
+  /// refinement mutates the shared model, so concurrent use additionally
+  /// requires every queried slot to have been warmed (queried once)
+  /// beforehand.
   util::Result<const rtf::CorrelationTable*> CorrelationsFor(int slot);
 
   /// Online step 1 — OCS: choose which worker-covered roads to probe for
@@ -128,6 +134,11 @@ class CrowdRtse {
   const traffic::HistoryStore* history_;
   rtf::RtfModel model_;
   CrowdRtseConfig config_;
+  // Guards the two lazy caches below (CrowdRtse stays copyable for
+  // Result<CrowdRtse>, so the mutex lives behind a shared_ptr; copies
+  // share it, which is harmless — their caches are independent).
+  std::shared_ptr<std::mutex> correlation_mutex_ =
+      std::make_shared<std::mutex>();
   std::map<int, rtf::CorrelationTable> correlation_cache_;
   std::map<int, bool> ccd_refined_;
 };

@@ -1,0 +1,43 @@
+#include "gsp/propagator_pool.h"
+
+#include <algorithm>
+
+namespace crowdrtse::gsp {
+
+PropagatorPool::PropagatorPool(const rtf::RtfModel& model, GspOptions options,
+                               int size) {
+  const int n = std::max(1, size);
+  instances_.reserve(static_cast<size_t>(n));
+  free_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    instances_.push_back(std::make_unique<SpeedPropagator>(model, options));
+    free_.push_back(instances_.back().get());
+  }
+}
+
+PropagatorPool::Lease PropagatorPool::Acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  freed_.wait(lock, [this] { return !free_.empty(); });
+  const SpeedPropagator* propagator = free_.back();
+  free_.pop_back();
+  return Lease(this, propagator);
+}
+
+int PropagatorPool::available() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(free_.size());
+}
+
+void PropagatorPool::Return(const SpeedPropagator* propagator) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(propagator);
+  }
+  freed_.notify_one();
+}
+
+PropagatorPool::Lease::~Lease() {
+  if (pool_ != nullptr) pool_->Return(propagator_);
+}
+
+}  // namespace crowdrtse::gsp

@@ -2,7 +2,9 @@
 #define CROWDRTSE_SERVER_BUDGET_LEDGER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "util/status.h"
@@ -21,30 +23,59 @@ struct LedgerEntry {
 /// queries. The ledger hands each query the smaller of the per-query cap
 /// and whatever remains of the campaign budget, then records the actual
 /// spend (unspent reservations flow back).
+///
+/// Grants are real reservations: Reserve() earmarks the granted units, so
+/// the headroom seen by the next caller already excludes every in-flight
+/// query — concurrent queries cannot jointly overspend the campaign.
+/// Each reservation must be closed exactly once, via Settle() (actual
+/// spend, possibly zero) or Release() (nothing was paid). All methods are
+/// thread-safe.
 class BudgetLedger {
  public:
   /// `campaign_budget` < 0 means unlimited.
   BudgetLedger(int64_t campaign_budget, int per_query_cap);
 
-  /// Budget available to the next query (0 when the campaign is dry).
+  /// Budget available to the next query — per-query cap bounded by what
+  /// the campaign has neither spent nor currently reserved (0 when dry).
   int NextQueryBudget() const;
 
+  /// Reserves the next query's budget for `query_id` and returns the
+  /// granted amount; 0 when the campaign is dry (nothing is reserved).
+  int Reserve(int64_t query_id);
+
   /// Records that query `query_id` was granted `reserved` and actually
-  /// paid `spent` (must be <= reserved).
+  /// paid `spent` (must be <= reserved). Closes the matching reservation
+  /// if one is outstanding; the unspent remainder flows back.
   util::Status Settle(int64_t query_id, int reserved, int spent);
 
-  int64_t total_spent() const { return total_spent_; }
+  /// Closes the reservation of a query that paid nothing (e.g. rejected
+  /// before its crowdsourcing round). Equivalent to settling zero spend,
+  /// without appending a ledger entry.
+  util::Status Release(int64_t query_id, int reserved);
+
+  int64_t total_spent() const;
   int64_t remaining() const;
+  /// Units currently earmarked by in-flight reservations.
+  int64_t reserved_outstanding() const;
   bool exhausted() const { return NextQueryBudget() <= 0; }
-  const std::vector<LedgerEntry>& entries() const { return entries_; }
+  /// Snapshot of all settled entries (copied: the ledger may be written
+  /// concurrently).
+  std::vector<LedgerEntry> entries() const;
 
   /// Human-readable account summary.
   std::string Report() const;
 
  private:
+  int NextQueryBudgetLocked() const;
+  /// Drops `query_id`'s outstanding reservation, if any.
+  void CloseReservationLocked(int64_t query_id);
+
+  mutable std::mutex mutex_;
   int64_t campaign_budget_;
   int per_query_cap_;
   int64_t total_spent_ = 0;
+  int64_t reserved_outstanding_ = 0;
+  std::unordered_map<int64_t, int> active_reservations_;
   std::vector<LedgerEntry> entries_;
 };
 

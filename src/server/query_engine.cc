@@ -1,19 +1,29 @@
 #include "server/query_engine.h"
 
+#include <algorithm>
+
+#include "traffic/time_slots.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
 namespace crowdrtse::server {
+namespace {
+
+int PoolSizeOrDefault(int requested) { return requested > 0 ? requested : 4; }
+
+}  // namespace
 
 std::string EngineStats::Report() const {
-  const double served =
-      queries_served > 0 ? static_cast<double>(queries_served) : 1.0;
-  return "EngineStats: served " + std::to_string(queries_served) +
-         ", rejected " + std::to_string(queries_rejected) + ", paid " +
-         std::to_string(total_paid) + " units; mean latency ms: OCS " +
-         util::FormatDouble(total_ocs_millis / served, 2) + ", crowd " +
-         util::FormatDouble(total_crowd_millis / served, 2) + ", GSP " +
-         util::FormatDouble(total_gsp_millis / served, 2);
+  std::string out =
+      "EngineStats: served " + std::to_string(queries_served) +
+      ", rejected " + std::to_string(queries_rejected) + ", failed " +
+      std::to_string(queries_failed) + ", paid " +
+      std::to_string(total_paid) + " units\n";
+  out += "  ocs:    " + ocs_latency.ToString() + "\n";
+  out += "  crowd:  " + crowd_latency.ToString() + "\n";
+  out += "  gsp:    " + gsp_latency.ToString() + "\n";
+  out += "  serve:  " + serve_latency.ToString();
+  return out;
 }
 
 QueryEngine::QueryEngine(core::CrowdRtse& system, WorkerRegistry& registry,
@@ -31,22 +41,61 @@ QueryEngine::QueryEngine(core::CrowdRtse& system, WorkerRegistry& registry,
       ledger_(ledger),
       costs_(costs),
       crowd_sim_(crowd_sim),
-      options_(options) {}
+      options_(options),
+      propagators_(system.model(), system.config().gsp,
+                   PoolSizeOrDefault(options.propagator_pool_size)) {}
+
+util::Status QueryEngine::RejectQuery(const util::Status& status) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++queries_rejected_;
+  return status;
+}
+
+util::Status QueryEngine::FailQuery(int64_t query_id, int granted, int paid,
+                                    const util::Status& status) {
+  // The crowd (if it ran) was really paid: that spend must not vanish from
+  // the campaign accounting just because a later phase failed.
+  (void)ledger_.Settle(query_id, granted, paid);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++queries_failed_;
+  total_paid_ += paid;
+  return status;
+}
 
 util::Result<QueryResponse> QueryEngine::Serve(
     const QueryRequest& request, const traffic::DayMatrix& world) {
+  util::Timer serve_timer;
+  // Validate the request up front — before any budget is granted and any
+  // worker paid, so a malformed query cannot leak campaign spend.
   if (request.queried.empty()) {
-    return util::Status::InvalidArgument("query has no roads");
+    return RejectQuery(util::Status::InvalidArgument("query has no roads"));
   }
-  const int budget = ledger_.NextQueryBudget();
+  if (!traffic::IsValidSlot(request.slot) ||
+      request.slot >= world.num_slots()) {
+    return RejectQuery(util::Status::InvalidArgument(
+        "slot out of range: " + std::to_string(request.slot)));
+  }
+  const int num_roads = system_.graph().num_roads();
+  for (graph::RoadId r : request.queried) {
+    if (r < 0 || r >= num_roads) {
+      return RejectQuery(util::Status::InvalidArgument(
+          "queried road out of range: " + std::to_string(r)));
+    }
+  }
+  std::vector<graph::RoadId> queried = request.queried;
+  std::sort(queried.begin(), queried.end());
+  queried.erase(std::unique(queried.begin(), queried.end()), queried.end());
+
+  const int64_t query_id =
+      next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  const int budget = ledger_.Reserve(query_id);
   if (budget <= 0) {
-    ++stats_.queries_rejected;
-    return util::Status::FailedPrecondition(
-        "campaign budget exhausted: " + ledger_.Report());
+    return RejectQuery(util::Status::FailedPrecondition(
+        "campaign budget exhausted: " + ledger_.Report()));
   }
 
   QueryResponse response;
-  response.query_id = next_query_id_++;
+  response.query_id = query_id;
   response.granted_budget = budget;
 
   // Step 1 — OCS over the roads workers currently cover (optionally only
@@ -56,25 +105,37 @@ util::Result<QueryResponse> QueryEngine::Serve(
       options_.require_full_staffing ? registry_.StaffableRoads(costs_)
                                      : registry_.CoveredRoads();
   util::Result<ocs::OcsSolution> selection = system_.SelectRoads(
-      request.slot, request.queried, worker_roads, costs_, budget,
+      request.slot, queried, worker_roads, costs_, budget,
       request.selector);
-  if (!selection.ok()) return selection.status();
+  if (!selection.ok()) {
+    return FailQuery(query_id, budget, 0, selection.status());
+  }
   response.ocs_millis = timer.ElapsedMillis();
+  ocs_latency_.Record(response.ocs_millis);
 
   // Step 2 — crowdsourcing round: assign concrete workers to the selected
-  // roads (each reports once with her own bias/noise), then collect.
+  // roads (each reports once with her own bias/noise), then collect. The
+  // simulator's RNG is stateful, so this phase runs one query at a time.
   timer.Reset();
-  util::Result<crowd::AssignmentPlan> plan = crowd::AssignTasks(
-      selection->roads, costs_, registry_.workers());
-  if (!plan.ok()) return plan.status();
-  response.underfilled_roads = plan->underfilled_roads;
-  util::Result<crowd::CrowdRound> round = crowd_sim_.ProbeWithAssignments(
-      *plan, registry_.workers(), world, request.slot);
-  if (!round.ok()) return round.status();
+  util::Result<crowd::CrowdRound> round = [&] {
+    std::lock_guard<std::mutex> lock(crowd_mutex_);
+    util::Result<crowd::AssignmentPlan> plan = crowd::AssignTasks(
+        selection->roads, costs_, registry_.workers());
+    if (!plan.ok()) return util::Result<crowd::CrowdRound>(plan.status());
+    response.underfilled_roads = plan->underfilled_roads;
+    return crowd_sim_.ProbeWithAssignments(*plan, registry_.workers(),
+                                           world, request.slot);
+  }();
+  if (!round.ok()) {
+    return FailQuery(query_id, budget, 0, round.status());
+  }
   response.crowd_millis = timer.ElapsedMillis();
+  crowd_latency_.Record(response.crowd_millis);
   response.paid = round->total_paid;
 
-  // Step 3 — GSP over the roads that actually produced answers.
+  // Step 3 — GSP over the roads that actually produced answers. Leases a
+  // propagator so concurrent queries never share a (non-reentrant)
+  // parallel propagator or respawn its thread pool.
   timer.Reset();
   std::vector<double> probed;
   probed.reserve(round->probes.size());
@@ -82,30 +143,55 @@ util::Result<QueryResponse> QueryEngine::Serve(
     response.probed_roads.push_back(p.road);
     probed.push_back(p.probed_kmh);
   }
-  util::Result<gsp::GspResult> estimate =
-      system_.Estimate(request.slot, response.probed_roads, probed);
-  if (!estimate.ok()) return estimate.status();
+  util::Result<gsp::GspResult> estimate = [&] {
+    gsp::PropagatorPool::Lease propagator = propagators_.Acquire();
+    return propagator->Propagate(request.slot, response.probed_roads,
+                                 probed);
+  }();
+  if (!estimate.ok()) {
+    return FailQuery(query_id, budget, response.paid, estimate.status());
+  }
   response.gsp_millis = timer.ElapsedMillis();
+  gsp_latency_.Record(response.gsp_millis);
   response.gsp_sweeps = estimate->sweeps;
 
   response.queried_speeds.reserve(request.queried.size());
   for (graph::RoadId r : request.queried) {
-    if (r < 0 || static_cast<size_t>(r) >= estimate->speeds.size()) {
-      return util::Status::InvalidArgument("queried road out of range: " +
-                                           std::to_string(r));
-    }
     response.queried_speeds.push_back(
         estimate->speeds[static_cast<size_t>(r)]);
   }
 
-  CROWDRTSE_RETURN_IF_ERROR(
-      ledger_.Settle(response.query_id, budget, response.paid));
-  ++stats_.queries_served;
-  stats_.total_paid += response.paid;
-  stats_.total_ocs_millis += response.ocs_millis;
-  stats_.total_crowd_millis += response.crowd_millis;
-  stats_.total_gsp_millis += response.gsp_millis;
+  const util::Status settled =
+      ledger_.Settle(query_id, budget, response.paid);
+  if (!settled.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++queries_failed_;
+    return settled;
+  }
+  serve_latency_.Record(serve_timer.ElapsedMillis());
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++queries_served_;
+  total_paid_ += response.paid;
   return response;
+}
+
+EngineStats QueryEngine::stats() const {
+  EngineStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot.queries_served = queries_served_;
+    snapshot.queries_rejected = queries_rejected_;
+    snapshot.queries_failed = queries_failed_;
+    snapshot.total_paid = total_paid_;
+  }
+  snapshot.ocs_latency = ocs_latency_.Snapshot();
+  snapshot.crowd_latency = crowd_latency_.Snapshot();
+  snapshot.gsp_latency = gsp_latency_.Snapshot();
+  snapshot.serve_latency = serve_latency_.Snapshot();
+  snapshot.total_ocs_millis = snapshot.ocs_latency.sum_ms;
+  snapshot.total_crowd_millis = snapshot.crowd_latency.sum_ms;
+  snapshot.total_gsp_millis = snapshot.gsp_latency.sum_ms;
+  return snapshot;
 }
 
 }  // namespace crowdrtse::server

@@ -1,14 +1,18 @@
 #ifndef CROWDRTSE_SERVER_QUERY_ENGINE_H_
 #define CROWDRTSE_SERVER_QUERY_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/crowd_rtse.h"
+#include "gsp/propagator_pool.h"
 #include "server/budget_ledger.h"
 #include "server/worker_registry.h"
 #include "traffic/history_store.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace crowdrtse::server {
@@ -37,14 +41,27 @@ struct QueryResponse {
   int gsp_sweeps = 0;
 };
 
-/// Rolling service statistics.
+/// Point-in-time snapshot of the rolling service statistics. Every query
+/// lands in exactly one of the three outcome counters:
+///   served    — answered successfully;
+///   rejected  — refused up front (invalid request or campaign budget dry)
+///               before any money moved;
+///   failed    — died mid-pipeline after its budget grant (its actual crowd
+///               spend, possibly zero, is still settled with the ledger).
 struct EngineStats {
   int64_t queries_served = 0;
   int64_t queries_rejected = 0;
+  int64_t queries_failed = 0;
   int64_t total_paid = 0;
   double total_ocs_millis = 0.0;
   double total_crowd_millis = 0.0;
   double total_gsp_millis = 0.0;
+  /// Per-phase latency distributions over all queries that ran the phase.
+  util::metrics::LatencySnapshot ocs_latency;
+  util::metrics::LatencySnapshot crowd_latency;
+  util::metrics::LatencySnapshot gsp_latency;
+  /// End-to-end Serve latency of successfully served queries.
+  util::metrics::LatencySnapshot serve_latency;
 
   std::string Report() const;
 };
@@ -54,6 +71,18 @@ struct EngineStats {
 /// ledger grant a budget, runs OCS -> crowdsourcing -> GSP, settles the
 /// payment and answers. The ground-truth DayMatrix stands in for the real
 /// world the crowd measures (see DESIGN.md §2 substitutions).
+///
+/// Thread-safety: Serve may be called from any number of threads
+/// concurrently. Query ids are allocated atomically, the ledger reserves
+/// budget atomically, stats/metrics are internally synchronized, the GSP
+/// phase leases a propagator from a fixed pool (parallel-GSP propagators
+/// are non-reentrant, see gsp/propagation.h), and the crowd-simulation
+/// phase is serialized on an internal mutex (the simulator's RNG is
+/// stateful; a real crowd is asynchronous anyway). Two caveats remain the
+/// caller's responsibility: WorkerRegistry::AdvanceSlot must not run while
+/// queries are in flight (quiesce between slots), and concurrent serving
+/// requires CCD refinement to be disabled or pre-run for every queried
+/// slot (refinement mutates the shared model).
 class QueryEngine {
  public:
   /// Engine behaviour knobs.
@@ -63,6 +92,9 @@ class QueryEngine {
     /// false, any covered road is a candidate and shortfalls aggregate
     /// fewer answers.
     bool require_full_staffing = false;
+    /// Number of SpeedPropagator instances available to concurrent GSP
+    /// phases (also the GSP concurrency limit). <= 0 means 4.
+    int propagator_pool_size = 0;
   };
 
   /// All dependencies are borrowed and must outlive the engine.
@@ -74,21 +106,46 @@ class QueryEngine {
               crowd::CrowdSimulator& crowd_sim, Options options);
 
   /// Serves one query against `world` (today's real speeds). Rejects with
-  /// FailedPrecondition when the campaign budget is exhausted.
+  /// InvalidArgument on a malformed request (no roads, out-of-range slot
+  /// or road ids) and FailedPrecondition when the campaign budget is
+  /// exhausted — both before any budget is granted or worker paid.
   util::Result<QueryResponse> Serve(const QueryRequest& request,
                                     const traffic::DayMatrix& world);
 
-  const EngineStats& stats() const { return stats_; }
+  /// Consistent snapshot of the rolling statistics.
+  EngineStats stats() const;
 
  private:
+  /// Closes the books on a query that died mid-pipeline: settles whatever
+  /// the crowd was actually paid (so real spend never leaks from the
+  /// campaign accounting) and counts the failure. Returns `status`.
+  util::Status FailQuery(int64_t query_id, int granted, int paid,
+                         const util::Status& status);
+  util::Status RejectQuery(const util::Status& status);
+
   core::CrowdRtse& system_;
   WorkerRegistry& registry_;
   BudgetLedger& ledger_;
   const crowd::CostModel& costs_;
   crowd::CrowdSimulator& crowd_sim_;
   Options options_;
-  EngineStats stats_;
-  int64_t next_query_id_ = 1;
+  gsp::PropagatorPool propagators_;
+
+  std::atomic<int64_t> next_query_id_{1};
+  /// Serializes the stateful crowd simulator (see class comment).
+  std::mutex crowd_mutex_;
+
+  /// Outcome counters and totals; the scalar totals share one mutex, the
+  /// histograms are internally lock-free.
+  mutable std::mutex stats_mutex_;
+  int64_t queries_served_ = 0;
+  int64_t queries_rejected_ = 0;
+  int64_t queries_failed_ = 0;
+  int64_t total_paid_ = 0;
+  util::metrics::LatencyHistogram ocs_latency_;
+  util::metrics::LatencyHistogram crowd_latency_;
+  util::metrics::LatencyHistogram gsp_latency_;
+  util::metrics::LatencyHistogram serve_latency_;
 };
 
 }  // namespace crowdrtse::server

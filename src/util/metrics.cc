@@ -1,0 +1,106 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace crowdrtse::util::metrics {
+namespace {
+
+// Geometric bucket grid: bound(i) = kFirstBoundMs * kGrowth^i. With 48
+// buckets this spans 0.001 ms .. ~105 s.
+constexpr double kFirstBoundMs = 1e-3;
+constexpr double kGrowth = 1.6;
+
+struct BucketTable {
+  std::array<double, LatencyHistogram::kNumBuckets> bounds;
+  BucketTable() {
+    double b = kFirstBoundMs;
+    for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+      bounds[static_cast<size_t>(i)] = b;
+      b *= kGrowth;
+    }
+  }
+};
+
+const BucketTable& Table() {
+  static const BucketTable table;
+  return table;
+}
+
+}  // namespace
+
+std::string LatencySnapshot::ToString() const {
+  return "n=" + std::to_string(count) + " mean=" + FormatDouble(mean_ms, 3) +
+         "ms p50=" + FormatDouble(p50_ms, 3) + "ms p95=" +
+         FormatDouble(p95_ms, 3) + "ms p99=" + FormatDouble(p99_ms, 3) +
+         "ms max=" + FormatDouble(max_ms, 3) + "ms";
+}
+
+double LatencyHistogram::BucketUpperBound(int i) {
+  return Table().bounds[static_cast<size_t>(
+      std::clamp(i, 0, kNumBuckets - 1))];
+}
+
+void LatencyHistogram::Record(double millis) {
+  const double sample = std::max(0.0, millis);
+  const auto& bounds = Table().bounds;
+  // Buckets are few; branchless binary search via upper_bound.
+  const auto it = std::upper_bound(bounds.begin(), bounds.end(), sample);
+  const size_t index = std::min<size_t>(
+      static_cast<size_t>(it - bounds.begin()), kNumBuckets - 1);
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t micros = static_cast<int64_t>(std::llround(sample * 1e3));
+  sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+  int64_t seen = max_micros_.load(std::memory_order_relaxed);
+  while (micros > seen &&
+         !max_micros_.compare_exchange_weak(seen, micros,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+LatencySnapshot LatencyHistogram::Snapshot() const {
+  std::array<int64_t, kNumBuckets> counts;
+  int64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    total += counts[static_cast<size_t>(i)];
+  }
+  LatencySnapshot snap;
+  snap.count = total;
+  if (total == 0) return snap;
+  snap.sum_ms =
+      static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) * 1e-3;
+  snap.mean_ms = snap.sum_ms / static_cast<double>(total);
+  snap.max_ms =
+      static_cast<double>(max_micros_.load(std::memory_order_relaxed)) * 1e-3;
+
+  const auto percentile = [&](double q) {
+    const double target = q * static_cast<double>(total);
+    int64_t cumulative = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      const int64_t in_bucket = counts[static_cast<size_t>(i)];
+      if (in_bucket == 0) continue;
+      if (static_cast<double>(cumulative + in_bucket) >= target) {
+        const double lower = i == 0 ? 0.0 : BucketUpperBound(i - 1);
+        const double upper = std::min(BucketUpperBound(i), snap.max_ms);
+        const double fraction =
+            (target - static_cast<double>(cumulative)) /
+            static_cast<double>(in_bucket);
+        return lower + std::clamp(fraction, 0.0, 1.0) *
+                           (std::max(upper, lower) - lower);
+      }
+      cumulative += in_bucket;
+    }
+    return snap.max_ms;
+  };
+  snap.p50_ms = percentile(0.50);
+  snap.p95_ms = percentile(0.95);
+  snap.p99_ms = percentile(0.99);
+  return snap;
+}
+
+}  // namespace crowdrtse::util::metrics

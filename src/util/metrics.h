@@ -1,0 +1,85 @@
+#ifndef CROWDRTSE_UTIL_METRICS_H_
+#define CROWDRTSE_UTIL_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace crowdrtse::util::metrics {
+
+/// Monotonically increasing event counter. Increment is wait-free; reads
+/// are approximate under concurrent writers (a snapshot of a moment, which
+/// is all a service dashboard needs).
+class Counter {
+ public:
+  Counter() = default;
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(int64_t amount = 1) {
+    value_.fetch_add(amount, std::memory_order_relaxed);
+  }
+
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time summary of a LatencyHistogram. Percentiles are estimated
+/// by linear interpolation inside the owning bucket, so they are exact to
+/// within one bucket width (buckets grow geometrically, ~26% relative
+/// error bound — the standard fixed-bucket tradeoff).
+struct LatencySnapshot {
+  int64_t count = 0;
+  double sum_ms = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+
+  /// Renders "n=12 mean=1.23ms p50=1.10ms p95=2.50ms p99=3.00ms max=3.10ms".
+  std::string ToString() const;
+};
+
+/// Fixed-bucket latency histogram with wait-free recording. Bucket upper
+/// bounds grow geometrically from 1 microsecond to ~100 seconds, which
+/// covers everything the serving path can produce; slower samples land in
+/// a final overflow bucket. Record() is a single atomic increment plus two
+/// relaxed accumulations, so it is safe (and cheap) to call from every
+/// serving thread concurrently; Snapshot() may run concurrently with
+/// writers and observes some consistent-enough recent state.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 48;
+
+  LatencyHistogram() = default;
+
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one sample, in milliseconds. Negative samples clamp to zero.
+  void Record(double millis);
+
+  LatencySnapshot Snapshot() const;
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Upper bound (ms) of bucket `i`; the last bucket is unbounded.
+  static double BucketUpperBound(int i);
+
+ private:
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  // Sum and max are tracked in integer microseconds so the accumulation
+  // stays a portable fetch_add / CAS on int64.
+  std::atomic<int64_t> sum_micros_{0};
+  std::atomic<int64_t> max_micros_{0};
+};
+
+}  // namespace crowdrtse::util::metrics
+
+#endif  // CROWDRTSE_UTIL_METRICS_H_

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 namespace crowdrtse::server {
 namespace {
 
@@ -61,6 +65,80 @@ TEST(BudgetLedgerTest, ReportMentionsTotals) {
   const std::string report = ledger.Report();
   EXPECT_NE(report.find("spent 20"), std::string::npos);
   EXPECT_NE(report.find("remaining 80"), std::string::npos);
+}
+
+TEST(BudgetLedgerTest, ReservationsEarmarkHeadroom) {
+  BudgetLedger ledger(100, 60);
+  EXPECT_EQ(ledger.Reserve(1), 60);
+  // The second in-flight query only sees what the first left unreserved.
+  EXPECT_EQ(ledger.NextQueryBudget(), 40);
+  EXPECT_EQ(ledger.Reserve(2), 40);
+  EXPECT_EQ(ledger.reserved_outstanding(), 100);
+  EXPECT_TRUE(ledger.exhausted());
+  EXPECT_EQ(ledger.Reserve(3), 0);
+  // Settling releases the unspent remainder back to the campaign.
+  ASSERT_TRUE(ledger.Settle(1, 60, 10).ok());
+  EXPECT_EQ(ledger.reserved_outstanding(), 40);
+  EXPECT_EQ(ledger.NextQueryBudget(), 50);  // 100 - 10 spent - 40 reserved
+}
+
+TEST(BudgetLedgerTest, ReleaseReturnsReservationWithoutAnEntry) {
+  BudgetLedger ledger(100, 60);
+  const int granted = ledger.Reserve(7);
+  EXPECT_EQ(granted, 60);
+  ASSERT_TRUE(ledger.Release(7, granted).ok());
+  EXPECT_EQ(ledger.reserved_outstanding(), 0);
+  EXPECT_EQ(ledger.NextQueryBudget(), 60);
+  EXPECT_EQ(ledger.total_spent(), 0);
+  EXPECT_TRUE(ledger.entries().empty());
+}
+
+TEST(BudgetLedgerTest, UnlimitedCampaignReservesFreely) {
+  BudgetLedger ledger(-1, 40);
+  EXPECT_EQ(ledger.Reserve(1), 40);
+  EXPECT_EQ(ledger.Reserve(2), 40);
+  EXPECT_EQ(ledger.NextQueryBudget(), 40);
+  ASSERT_TRUE(ledger.Settle(1, 40, 40).ok());
+  ASSERT_TRUE(ledger.Settle(2, 40, 40).ok());
+  EXPECT_FALSE(ledger.exhausted());
+}
+
+TEST(BudgetLedgerTest, ReportMentionsInFlightReservations) {
+  BudgetLedger ledger(100, 30);
+  (void)ledger.Reserve(1);
+  EXPECT_NE(ledger.Report().find("30 reserved in flight"),
+            std::string::npos);
+}
+
+// The bug the reservation cycle fixes: two "in-flight" queries that both
+// read the remainder before either settles must not jointly overspend.
+TEST(BudgetLedgerTest, ConcurrentReserveSettleNeverOverspends) {
+  constexpr int64_t kCampaign = 500;
+  BudgetLedger ledger(kCampaign, 13);
+  constexpr int kThreads = 8;
+  std::atomic<int64_t> next_id{1};
+  std::atomic<int64_t> granted_total{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        const int64_t id = next_id.fetch_add(1);
+        const int granted = ledger.Reserve(id);
+        if (granted == 0) continue;
+        granted_total.fetch_add(granted);
+        // Spend most of the grant, like a real crowd round would.
+        const int spent = granted - (i % 3);
+        ASSERT_TRUE(ledger.Settle(id, granted, std::max(0, spent)).ok());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(ledger.total_spent(), kCampaign);
+  EXPECT_EQ(ledger.reserved_outstanding(), 0);
+  // Sum of settled spends matches the running total.
+  int64_t from_entries = 0;
+  for (const LedgerEntry& e : ledger.entries()) from_entries += e.spent;
+  EXPECT_EQ(from_entries, ledger.total_spent());
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "graph/generators.h"
+#include "traffic/time_slots.h"
 #include "traffic/traffic_simulator.h"
 #include "util/rng.h"
 
@@ -140,6 +141,100 @@ TEST_F(QueryEngineTest, FullStaffingOptionPreventsUnderfilledRoads) {
     EXPECT_TRUE(response->underfilled_roads.empty());
     registry_->AdvanceSlot();
   }
+}
+
+// Regression (budget leak): a query that dies after its crowdsourcing
+// round really paid the workers; that spend must reach the ledger even
+// though the query failed. Forcing the GSP phase to fail (invalid epsilon)
+// reproduces the old leak, where the early return skipped Settle and the
+// campaign silently overspent.
+TEST_F(QueryEngineTest, FailedQueryStillSettlesItsCrowdSpend) {
+  core::CrowdRtseConfig broken_config;
+  broken_config.gsp.epsilon = -1.0;  // GSP rejects this after the crowd ran
+  auto broken_system =
+      core::CrowdRtse::BuildOffline(graph_, history_, broken_config);
+  ASSERT_TRUE(broken_system.ok());
+  BudgetLedger ledger(1000, 12);
+  QueryEngine engine(*broken_system, *registry_, ledger, costs_,
+                     *crowd_sim_);
+  const auto response = engine.Serve(MakeRequest(), truth_);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(engine.stats().queries_failed, 1);
+  EXPECT_EQ(engine.stats().queries_served, 0);
+  // The crowd round paid real units and they are all on the books.
+  EXPECT_GT(ledger.total_spent(), 0);
+  EXPECT_EQ(engine.stats().total_paid, ledger.total_spent());
+  ASSERT_EQ(ledger.entries().size(), 1u);
+  EXPECT_EQ(ledger.entries()[0].spent, ledger.total_spent());
+  EXPECT_EQ(ledger.reserved_outstanding(), 0);
+}
+
+// Regression (missing slot validation): out-of-range slots used to flow
+// into the RTF parameter tables unchecked.
+TEST_F(QueryEngineTest, RejectsOutOfRangeSlot) {
+  BudgetLedger ledger(1000, 12);
+  QueryEngine engine(*system_, *registry_, ledger, costs_, *crowd_sim_);
+  for (int slot : {-1, traffic::kSlotsPerDay, traffic::kSlotsPerDay + 7}) {
+    const auto response = engine.Serve(MakeRequest(slot), truth_);
+    ASSERT_FALSE(response.ok()) << "slot " << slot;
+    EXPECT_EQ(response.status().code(), util::StatusCode::kInvalidArgument);
+  }
+  EXPECT_EQ(engine.stats().queries_rejected, 3);
+  // Rejected before any grant: no spend, no reservation, no entries.
+  EXPECT_EQ(ledger.total_spent(), 0);
+  EXPECT_EQ(ledger.reserved_outstanding(), 0);
+  EXPECT_TRUE(ledger.entries().empty());
+}
+
+// Regression (budget leak, validation order): a bad road id used to be
+// detected only after the crowd round had paid — and the early return
+// skipped settlement. Now it is rejected before any money moves.
+TEST_F(QueryEngineTest, RejectsBadRoadBeforePayingWorkers) {
+  BudgetLedger ledger(1000, 12);
+  QueryEngine engine(*system_, *registry_, ledger, costs_, *crowd_sim_);
+  QueryRequest request = MakeRequest();
+  request.queried.push_back(graph_.num_roads() + 5);
+  const auto response = engine.Serve(request, truth_);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(ledger.total_spent(), 0);
+  EXPECT_TRUE(ledger.entries().empty());
+  EXPECT_EQ(engine.stats().queries_rejected, 1);
+  EXPECT_EQ(engine.stats().queries_failed, 0);
+}
+
+TEST_F(QueryEngineTest, DeduplicatesQueriedRoads) {
+  BudgetLedger ledger(1000, 12);
+  QueryEngine engine(*system_, *registry_, ledger, costs_, *crowd_sim_);
+  QueryRequest request = MakeRequest();
+  request.queried = {17, 3, 17, 42, 3};
+  const auto response = engine.Serve(request, truth_);
+  ASSERT_TRUE(response.ok());
+  // The answer stays aligned with the request as submitted...
+  ASSERT_EQ(response->queried_speeds.size(), 5u);
+  // ...and duplicates agree with each other.
+  EXPECT_EQ(response->queried_speeds[0], response->queried_speeds[2]);
+  EXPECT_EQ(response->queried_speeds[1], response->queried_speeds[4]);
+}
+
+// Regression (invisible failures): every outcome increments exactly one of
+// served / rejected / failed.
+TEST_F(QueryEngineTest, EveryOutcomeCountedExactlyOnce) {
+  BudgetLedger ledger(1000, 12);
+  QueryEngine engine(*system_, *registry_, ledger, costs_, *crowd_sim_);
+  ASSERT_TRUE(engine.Serve(MakeRequest(), truth_).ok());     // served
+  QueryRequest empty;
+  empty.slot = 100;
+  ASSERT_FALSE(engine.Serve(empty, truth_).ok());            // rejected
+  ASSERT_FALSE(engine.Serve(MakeRequest(-3), truth_).ok());  // rejected
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.queries_served, 1);
+  EXPECT_EQ(stats.queries_rejected, 2);
+  EXPECT_EQ(stats.queries_failed, 0);
+  EXPECT_EQ(stats.queries_served + stats.queries_rejected +
+                stats.queries_failed,
+            3);
+  EXPECT_EQ(stats.serve_latency.count, 1);
 }
 
 TEST_F(QueryEngineTest, EstimatesTrackTruthReasonably) {

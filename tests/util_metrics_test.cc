@@ -1,0 +1,122 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace crowdrtse::util::metrics {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(LatencyHistogramTest, EmptySnapshotIsAllZero) {
+  LatencyHistogram histogram;
+  const LatencySnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_EQ(snap.mean_ms, 0.0);
+  EXPECT_EQ(snap.p50_ms, 0.0);
+  EXPECT_EQ(snap.p99_ms, 0.0);
+  EXPECT_EQ(snap.max_ms, 0.0);
+}
+
+TEST(LatencyHistogramTest, CountSumAndMaxAreExact) {
+  LatencyHistogram histogram;
+  histogram.Record(1.0);
+  histogram.Record(2.0);
+  histogram.Record(9.0);
+  const LatencySnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 3);
+  EXPECT_NEAR(snap.sum_ms, 12.0, 1e-6);
+  EXPECT_NEAR(snap.mean_ms, 4.0, 1e-6);
+  EXPECT_NEAR(snap.max_ms, 9.0, 1e-6);
+}
+
+TEST(LatencyHistogramTest, PercentilesLandWithinABucket) {
+  LatencyHistogram histogram;
+  // 100 samples spread 1..100 ms. Exact p50 = 50, p95 = 95, p99 = 99;
+  // bucket interpolation is accurate to within one geometric bucket
+  // (ratio 1.6), so allow that relative slack.
+  for (int i = 1; i <= 100; ++i) {
+    histogram.Record(static_cast<double>(i));
+  }
+  const LatencySnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 100);
+  EXPECT_GT(snap.p50_ms, 50.0 / 1.7);
+  EXPECT_LT(snap.p50_ms, 50.0 * 1.7);
+  EXPECT_GT(snap.p95_ms, 95.0 / 1.7);
+  EXPECT_LT(snap.p95_ms, 95.0 * 1.7);
+  EXPECT_GT(snap.p99_ms, 99.0 / 1.7);
+  EXPECT_LE(snap.p99_ms, snap.max_ms + 1e-9);
+  // Order must hold regardless of interpolation.
+  EXPECT_LE(snap.p50_ms, snap.p95_ms);
+  EXPECT_LE(snap.p95_ms, snap.p99_ms);
+  EXPECT_LE(snap.p99_ms, snap.max_ms);
+}
+
+TEST(LatencyHistogramTest, NegativeAndHugeSamplesClampIntoRange) {
+  LatencyHistogram histogram;
+  histogram.Record(-5.0);   // clamps to 0
+  histogram.Record(1e12);   // lands in the overflow bucket
+  const LatencySnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 2);
+  EXPECT_NEAR(snap.max_ms, 1e12, 1e6);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllCounted) {
+  LatencyHistogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Record(0.5 + 0.1 * static_cast<double>(t));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const LatencySnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_GE(snap.max_ms, 0.5);
+}
+
+TEST(LatencySnapshotTest, ToStringMentionsPercentiles) {
+  LatencyHistogram histogram;
+  histogram.Record(2.0);
+  const std::string text = histogram.Snapshot().ToString();
+  EXPECT_NE(text.find("p50="), std::string::npos);
+  EXPECT_NE(text.find("p95="), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+  EXPECT_NE(text.find("n=1"), std::string::npos);
+}
+
+TEST(LatencyHistogramTest, BucketBoundsAreMonotonic) {
+  for (int i = 1; i < LatencyHistogram::kNumBuckets; ++i) {
+    EXPECT_GT(LatencyHistogram::BucketUpperBound(i),
+              LatencyHistogram::BucketUpperBound(i - 1));
+  }
+}
+
+}  // namespace
+}  // namespace crowdrtse::util::metrics
