@@ -7,6 +7,26 @@
 
 namespace crowdrtse::core {
 
+CrowdRtse::CrowdRtse(const graph::Graph& graph,
+                     const traffic::HistoryStore& history,
+                     rtf::RtfModel model, const CrowdRtseConfig& config)
+    : graph_(&graph),
+      history_(&history),
+      model_(std::move(model)),
+      config_(config) {
+  rtf::CorrelationCacheOptions cache_options = config_.correlation_cache;
+  if (cache_options.expected_num_roads <= 0) {
+    cache_options.expected_num_roads = graph.num_roads();
+  }
+  if (config_.refine_with_ccd) {
+    // A persisted table cannot prove it was computed from the refined
+    // parameters, so warm-starting would silently skip refinement.
+    cache_options.persist_dir.clear();
+  }
+  correlation_cache_ =
+      std::make_shared<rtf::CorrelationCache>(std::move(cache_options));
+}
+
 util::Result<CrowdRtse> CrowdRtse::BuildOffline(
     const graph::Graph& graph, const traffic::HistoryStore& history,
     const CrowdRtseConfig& config) {
@@ -16,36 +36,41 @@ util::Result<CrowdRtse> CrowdRtse::BuildOffline(
   util::Result<rtf::RtfModel> model =
       rtf::EstimateByMoments(graph, history, config.moments);
   if (!model.ok()) return model.status();
-  return CrowdRtse(graph, history, std::move(*model), config);
+  CrowdRtse system(graph, history, std::move(*model), config);
+  if (config.warm_start_correlations) {
+    // Loads whatever a previous run persisted; the cache is shared across
+    // copies/moves of the returned object, so the warm tables survive.
+    system.correlation_cache_->WarmStart(system.model_.num_slots());
+  }
+  return system;
 }
 
-util::Result<const rtf::CorrelationTable*> CrowdRtse::CorrelationsFor(
+util::Result<rtf::CorrelationCache::TablePtr> CrowdRtse::CorrelationsFor(
     int slot) {
   if (slot < 0 || slot >= model_.num_slots()) {
     return util::Status::OutOfRange("slot out of range: " +
                                     std::to_string(slot));
   }
-  // One lock for the whole lookup-or-compute: concurrent first touches of
-  // the same slot serialize (the table is ~one Dijkstra per road, worth
-  // computing once), and map nodes are stable, so the pointer handed out
-  // stays valid after the lock drops.
-  std::lock_guard<std::mutex> lock(*correlation_mutex_);
-  if (config_.refine_with_ccd && !ccd_refined_[slot]) {
-    const rtf::CcdTrainer trainer(*graph_, *history_, config_.ccd);
-    util::Result<rtf::CcdReport> report = trainer.TrainSlot(model_, slot);
-    if (!report.ok()) return report.status();
-    model_.ClampParameters();
-    ccd_refined_[slot] = true;
-    correlation_cache_.erase(slot);  // parameters moved; recompute
-  }
-  auto it = correlation_cache_.find(slot);
-  if (it == correlation_cache_.end()) {
-    util::Result<rtf::CorrelationTable> table =
-        rtf::CorrelationTable::Compute(model_, slot, config_.path_mode);
-    if (!table.ok()) return table.status();
-    it = correlation_cache_.emplace(slot, std::move(*table)).first;
-  }
-  return &it->second;
+  return correlation_cache_->GetOrCompute(
+      slot,
+      [this](int s,
+             util::ThreadPool* fanout) -> util::Result<rtf::CorrelationTable> {
+        if (config_.refine_with_ccd) {
+          // Refinement mutates the shared model, so it is serialized; with
+          // concurrent callers the header requires pre-warming every slot.
+          std::lock_guard<std::mutex> lock(ccd_state_->mutex);
+          if (ccd_state_->refined_slots.count(s) == 0) {
+            const rtf::CcdTrainer trainer(*graph_, *history_, config_.ccd);
+            util::Result<rtf::CcdReport> report =
+                trainer.TrainSlot(model_, s);
+            if (!report.ok()) return report.status();
+            model_.ClampParameters();
+            ccd_state_->refined_slots.insert(s);
+          }
+        }
+        return rtf::CorrelationTable::Compute(model_, s, config_.path_mode,
+                                              fanout);
+      });
 }
 
 std::vector<double> CrowdRtse::SigmaWeights(
@@ -62,8 +87,11 @@ util::Result<ocs::OcsSolution> CrowdRtse::SelectRoads(
     int slot, const std::vector<graph::RoadId>& queried_roads,
     const std::vector<graph::RoadId>& worker_roads,
     const crowd::CostModel& costs, int budget, SelectorKind selector) {
-  util::Result<const rtf::CorrelationTable*> table = CorrelationsFor(slot);
+  util::Result<rtf::CorrelationCache::TablePtr> table =
+      CorrelationsFor(slot);
   if (!table.ok()) return table.status();
+  // `*table` is held for the whole solve: OcsProblem keeps a raw reference,
+  // and the shared_ptr outlives it even if the cache evicts the slot.
   util::Result<ocs::OcsProblem> problem = ocs::OcsProblem::Create(
       **table, queried_roads, SigmaWeights(slot, queried_roads),
       worker_roads, costs, budget, config_.theta);

@@ -1,9 +1,9 @@
 #ifndef CROWDRTSE_CORE_CROWD_RTSE_H_
 #define CROWDRTSE_CORE_CROWD_RTSE_H_
 
-#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "crowd/cost_model.h"
@@ -13,6 +13,7 @@
 #include "ocs/greedy_selectors.h"
 #include "ocs/ocs_problem.h"
 #include "rtf/ccd_trainer.h"
+#include "rtf/correlation_cache.h"
 #include "rtf/correlation_table.h"
 #include "rtf/moment_estimator.h"
 #include "rtf/rtf_model.h"
@@ -30,6 +31,17 @@ struct CrowdRtseConfig {
   rtf::CcdOptions ccd;
   /// Path-correlation reduction for Gamma_R (Eq. 8-10).
   rtf::PathWeightMode path_mode = rtf::PathWeightMode::kNegLog;
+
+  /// Gamma_R cache behaviour: memory budget (bytes; 0 = unlimited, the
+  /// pre-cache behaviour), warm-start persistence directory, lock sharding
+  /// and Dijkstra fan-out width. Persistence is ignored when
+  /// refine_with_ccd is set — a persisted table cannot prove it was
+  /// computed from the refined parameters.
+  rtf::CorrelationCacheOptions correlation_cache;
+  /// Eagerly reload persisted Gamma_R tables during BuildOffline (no-op
+  /// without correlation_cache.persist_dir), so a restarted engine does not
+  /// re-pay one Dijkstra per road per warm slot.
+  bool warm_start_correlations = true;
 
   /// Online stage defaults.
   double theta = 0.92;  // redundancy threshold (paper's tuned value)
@@ -68,13 +80,24 @@ class CrowdRtse {
   const CrowdRtseConfig& config() const { return config_; }
 
   /// The cached correlation closure for `slot` (computed on first use —
-  /// ~one Dijkstra per road). Thread-safe: concurrent callers of the same
-  /// cold slot serialize on the computation, and returned pointers stay
-  /// valid for the object's lifetime. Caveat: with refine_with_ccd set,
-  /// refinement mutates the shared model, so concurrent use additionally
-  /// requires every queried slot to have been warmed (queried once)
-  /// beforehand.
-  util::Result<const rtf::CorrelationTable*> CorrelationsFor(int slot);
+  /// ~one Dijkstra per road, fanned out across the cache's thread pool).
+  /// Thread-safe and non-blocking across slots: concurrent first touches of
+  /// the same cold slot coalesce onto one computation, while other slots —
+  /// warm or cold — proceed untouched. The shared_ptr keeps the table alive
+  /// even if the cache's memory budget evicts it meanwhile. Caveat: with
+  /// refine_with_ccd set, refinement mutates the shared model, so
+  /// concurrent use additionally requires every queried slot to have been
+  /// warmed (queried once) beforehand.
+  util::Result<rtf::CorrelationCache::TablePtr> CorrelationsFor(int slot);
+
+  /// Hit/miss/eviction counters and cold-compute latency of the Gamma_R
+  /// cache (surfaced by server::EngineStats::Report).
+  rtf::CorrelationCache::StatsSnapshot CorrelationCacheStats() const {
+    return correlation_cache_->stats();
+  }
+
+  /// The Gamma_R cache itself (e.g. for WarmStart or Invalidate).
+  rtf::CorrelationCache& correlation_cache() { return *correlation_cache_; }
 
   /// Online step 1 — OCS: choose which worker-covered roads to probe for
   /// the given query, budget and (config) theta.
@@ -123,24 +146,25 @@ class CrowdRtse {
       int slot, const std::vector<graph::RoadId>& queried_roads) const;
 
  private:
+  /// Lazy CCD bookkeeping, shared across copies like the cache itself.
+  struct CcdState {
+    std::mutex mutex;
+    std::set<int> refined_slots;
+  };
+
   CrowdRtse(const graph::Graph& graph, const traffic::HistoryStore& history,
-            rtf::RtfModel model, const CrowdRtseConfig& config)
-      : graph_(&graph),
-        history_(&history),
-        model_(std::move(model)),
-        config_(config) {}
+            rtf::RtfModel model, const CrowdRtseConfig& config);
 
   const graph::Graph* graph_;
   const traffic::HistoryStore* history_;
   rtf::RtfModel model_;
   CrowdRtseConfig config_;
-  // Guards the two lazy caches below (CrowdRtse stays copyable for
-  // Result<CrowdRtse>, so the mutex lives behind a shared_ptr; copies
-  // share it, which is harmless — their caches are independent).
-  std::shared_ptr<std::mutex> correlation_mutex_ =
-      std::make_shared<std::mutex>();
-  std::map<int, rtf::CorrelationTable> correlation_cache_;
-  std::map<int, bool> ccd_refined_;
+  // CrowdRtse stays copyable for Result<CrowdRtse>, so the (mutex-bearing)
+  // cache and CCD state live behind shared_ptrs; copies share them, which
+  // is sound — copies train the same model from the same config, so the
+  // tables are interchangeable.
+  std::shared_ptr<rtf::CorrelationCache> correlation_cache_;
+  std::shared_ptr<CcdState> ccd_state_ = std::make_shared<CcdState>();
 };
 
 }  // namespace crowdrtse::core

@@ -7,6 +7,7 @@
 #include "gsp/propagation.h"
 #include "ocs/greedy_selectors.h"
 #include "ocs/ocs_problem.h"
+#include "rtf/correlation_cache.h"
 #include "rtf/correlation_table.h"
 #include "rtf/moment_estimator.h"
 #include "util/rng.h"
@@ -67,6 +68,15 @@ util::Result<ThetaTunerResult> TuneTheta(
     candidates.push_back(r);
   }
   const gsp::SpeedPropagator propagator(*model, {});
+  // Gamma_R for a slot is identical across candidate thetas; the cache
+  // computes each slot once (with the Dijkstra fan-out) instead of
+  // |thetas| times, in the configured path mode.
+  rtf::CorrelationCache gamma_cache;
+  const auto compute_gamma =
+      [&model, &options](int s, util::ThreadPool* fanout) {
+        return rtf::CorrelationTable::Compute(*model, s, options.path_mode,
+                                              fanout);
+      };
 
   ThetaTunerResult result;
   result.scores.reserve(options.candidate_thetas.size());
@@ -74,15 +84,15 @@ util::Result<ThetaTunerResult> TuneTheta(
     double mape_sum = 0.0;
     int cells = 0;
     for (int slot : options.slots) {
-      util::Result<rtf::CorrelationTable> table =
-          rtf::CorrelationTable::Compute(*model, slot);
+      util::Result<rtf::CorrelationCache::TablePtr> table =
+          gamma_cache.GetOrCompute(slot, compute_gamma);
       if (!table.ok()) return table.status();
       std::vector<double> weights;
       for (graph::RoadId r : queried) {
         weights.push_back(model->Sigma(slot, r));
       }
       util::Result<ocs::OcsProblem> problem = ocs::OcsProblem::Create(
-          *table, queried, weights, candidates, costs, options.budget,
+          **table, queried, weights, candidates, costs, options.budget,
           theta);
       if (!problem.ok()) return problem.status();
       const ocs::OcsSolution selection = ocs::LazyHybridGreedy(*problem);

@@ -5,6 +5,7 @@
 
 #include "crowd/cost_model.h"
 #include "graph/graph.h"
+#include "rtf/correlation_table.h"
 #include "traffic/history_store.h"
 #include "util/status.h"
 
@@ -14,6 +15,10 @@ namespace crowdrtse::core {
 struct ThetaTunerOptions {
   /// Candidate thresholds, each in (0, 1].
   std::vector<double> candidate_thetas{0.7, 0.8, 0.9, 0.92, 0.95, 1.0};
+  /// Gamma_R path reduction. Must match the engine's configured mode
+  /// (CrowdRtseConfig::path_mode): tuning theta against kNegLog tables and
+  /// then serving with kReciprocal ones would optimize the wrong objective.
+  rtf::PathWeightMode path_mode = rtf::PathWeightMode::kNegLog;
   /// The last N historical days are held out as pseudo-realtime days.
   int validation_days = 3;
   /// Query slots evaluated on each validation day.

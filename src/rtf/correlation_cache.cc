@@ -1,0 +1,272 @@
+#include "rtf/correlation_cache.h"
+
+#include <filesystem>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace crowdrtse::rtf {
+
+std::string CorrelationCache::StatsSnapshot::ToString() const {
+  std::string out =
+      "hits=" + std::to_string(hits) + " misses=" + std::to_string(misses) +
+      " coalesced=" + std::to_string(coalesced) +
+      " warm=" + std::to_string(warm_loads) +
+      " evictions=" + std::to_string(evictions) +
+      " resident=" + std::to_string(resident_tables) + " tables/" +
+      std::to_string(resident_bytes) + " bytes";
+  if (persist_failures > 0) {
+    out += " persist_failures=" + std::to_string(persist_failures);
+  }
+  out += "; compute " + compute_latency.ToString();
+  return out;
+}
+
+CorrelationCache::CorrelationCache(CorrelationCacheOptions options)
+    : options_(std::move(options)) {
+  if (options_.num_shards < 1) options_.num_shards = 1;
+  shards_ = std::make_unique<Shard[]>(static_cast<size_t>(options_.num_shards));
+}
+
+std::shared_ptr<CorrelationCache::Entry> CorrelationCache::EntryFor(
+    int slot) {
+  Shard& shard = shards_[static_cast<size_t>(slot % options_.num_shards)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::shared_ptr<Entry>& entry = shard.entries[slot];
+  if (!entry) entry = std::make_shared<Entry>();
+  return entry;
+}
+
+util::Result<CorrelationCache::TablePtr> CorrelationCache::GetOrCompute(
+    int slot, const ComputeFn& compute) {
+  if (slot < 0) {
+    return util::Status::OutOfRange("negative slot: " + std::to_string(slot));
+  }
+  std::shared_ptr<Entry> entry = EntryFor(slot);
+  std::unique_lock<std::mutex> lock(entry->mutex);
+  if (entry->table) {
+    hits_.Increment();
+    TablePtr table = entry->table;
+    lock.unlock();
+    Touch(slot);
+    return table;
+  }
+  if (entry->computing) {
+    // Singleflight: somebody is already computing this slot — wait for
+    // their result instead of duplicating ~one Dijkstra per road.
+    coalesced_.Increment();
+    entry->computed.wait(lock, [&] { return !entry->computing; });
+    if (entry->table) {
+      hits_.Increment();
+      TablePtr table = entry->table;
+      lock.unlock();
+      Touch(slot);
+      return table;
+    }
+    return entry->error;
+  }
+  entry->computing = true;
+  lock.unlock();
+
+  // The slow path runs outside every lock: other slots proceed untouched
+  // and same-slot arrivals park on the condition variable above.
+  misses_.Increment();
+  TablePtr table = TryLoadPersisted(slot);
+  util::Status error;
+  if (table) {
+    warm_loads_.Increment();
+  } else {
+    util::Timer timer;
+    util::Result<CorrelationTable> computed = [&] {
+      util::ThreadPool* pool = nullptr;
+      std::unique_lock<std::mutex> fan_lock(fanout_mutex_, std::try_to_lock);
+      if (fan_lock.owns_lock()) {
+        if (!fanout_) {
+          int threads = options_.fanout_threads;
+          if (threads <= 0) {
+            threads = static_cast<int>(std::thread::hardware_concurrency());
+          }
+          if (threads > 1) {
+            fanout_ = std::make_unique<util::ThreadPool>(threads);
+          }
+        }
+        pool = fanout_.get();
+      }
+      return compute(slot, pool);
+    }();
+    compute_latency_.Record(timer.ElapsedMillis());
+    if (computed.ok()) {
+      table = std::make_shared<CorrelationTable>(std::move(*computed));
+      Persist(slot, *table);
+    } else {
+      error = computed.status();
+    }
+  }
+
+  lock.lock();
+  entry->computing = false;
+  entry->table = table;  // stays null on failure; the next call retries
+  entry->error = error;
+  entry->computed.notify_all();
+  lock.unlock();
+
+  if (!table) return error;
+  Publish(slot, table);
+  return table;
+}
+
+void CorrelationCache::Touch(int slot) {
+  std::lock_guard<std::mutex> lock(lru_mutex_);
+  auto it = lru_index_.find(slot);
+  if (it == lru_index_.end()) return;  // evicted in the meantime
+  lru_.splice(lru_.begin(), lru_, it->second.position);
+}
+
+void CorrelationCache::Publish(int slot, const TablePtr& table) {
+  std::vector<int> victims;
+  {
+    std::lock_guard<std::mutex> lock(lru_mutex_);
+    auto it = lru_index_.find(slot);
+    if (it != lru_index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.position);
+    } else {
+      lru_.push_front(slot);
+      const std::size_t bytes = table->MemoryBytes();
+      lru_index_[slot] = LruNode{lru_.begin(), bytes};
+      resident_bytes_ += bytes;
+    }
+    if (options_.memory_budget_bytes > 0) {
+      // Never evict the table just published — with a budget below one
+      // table size the cache would otherwise thrash forever.
+      while (resident_bytes_ > options_.memory_budget_bytes &&
+             lru_.size() > 1 && lru_.back() != slot) {
+        const int victim = lru_.back();
+        lru_.pop_back();
+        resident_bytes_ -= lru_index_[victim].bytes;
+        lru_index_.erase(victim);
+        victims.push_back(victim);
+      }
+    }
+  }
+  // Drop the victims' tables outside the LRU lock; readers holding the
+  // shared_ptr keep their copy alive.
+  for (int victim : victims) {
+    std::shared_ptr<Entry> entry = EntryFor(victim);
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    entry->table.reset();
+    evictions_.Increment();
+  }
+}
+
+void CorrelationCache::Invalidate(int slot) {
+  if (slot < 0) return;
+  std::shared_ptr<Entry> entry = EntryFor(slot);
+  {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    entry->table.reset();
+    entry->error = util::Status::Ok();
+  }
+  {
+    std::lock_guard<std::mutex> lock(lru_mutex_);
+    auto it = lru_index_.find(slot);
+    if (it != lru_index_.end()) {
+      resident_bytes_ -= it->second.bytes;
+      lru_.erase(it->second.position);
+      lru_index_.erase(it);
+    }
+  }
+  const std::string path = PersistPath(slot);
+  if (!path.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+}
+
+int CorrelationCache::WarmStart(int num_slots) {
+  if (options_.persist_dir.empty()) return 0;
+  int loaded = 0;
+  for (int slot = 0; slot < num_slots; ++slot) {
+    if (options_.memory_budget_bytes > 0) {
+      std::lock_guard<std::mutex> lock(lru_mutex_);
+      if (resident_bytes_ >= options_.memory_budget_bytes) break;
+    }
+    std::shared_ptr<Entry> entry = EntryFor(slot);
+    std::unique_lock<std::mutex> lock(entry->mutex);
+    if (entry->table || entry->computing) continue;
+    TablePtr table = TryLoadPersisted(slot);
+    if (!table) continue;
+    entry->table = table;
+    lock.unlock();
+    warm_loads_.Increment();
+    Publish(slot, table);
+    ++loaded;
+  }
+  return loaded;
+}
+
+std::string CorrelationCache::PersistPath(int slot) const {
+  if (options_.persist_dir.empty()) return "";
+  return options_.persist_dir + "/gamma_slot_" + std::to_string(slot) +
+         ".bin";
+}
+
+CorrelationCache::TablePtr CorrelationCache::TryLoadPersisted(int slot) {
+  const std::string path = PersistPath(slot);
+  if (path.empty()) return nullptr;
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return nullptr;
+  util::Result<CorrelationTable> loaded =
+      CorrelationTable::LoadFromFile(path);
+  if (!loaded.ok()) {
+    persist_failures_.Increment();
+    CROWDRTSE_LOG(Warning, "discarding persisted Gamma_R " + path + ": " +
+                               loaded.status().ToString());
+    return nullptr;
+  }
+  if (options_.expected_num_roads > 0 &&
+      loaded->num_roads() != options_.expected_num_roads) {
+    persist_failures_.Increment();
+    CROWDRTSE_LOG(Warning,
+                  "discarding persisted Gamma_R " + path + ": road count " +
+                      std::to_string(loaded->num_roads()) +
+                      " does not match the network (" +
+                      std::to_string(options_.expected_num_roads) + ")");
+    return nullptr;
+  }
+  return std::make_shared<CorrelationTable>(std::move(*loaded));
+}
+
+void CorrelationCache::Persist(int slot, const CorrelationTable& table) {
+  const std::string path = PersistPath(slot);
+  if (path.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(options_.persist_dir, ec);
+  const util::Status saved = table.SaveToFile(path);
+  if (!saved.ok()) {
+    persist_failures_.Increment();
+    CROWDRTSE_LOG(Warning, "failed to persist Gamma_R " + path + ": " +
+                               saved.ToString());
+  }
+}
+
+CorrelationCache::StatsSnapshot CorrelationCache::stats() const {
+  StatsSnapshot snapshot;
+  snapshot.hits = hits_.value();
+  snapshot.misses = misses_.value();
+  snapshot.coalesced = coalesced_.value();
+  snapshot.evictions = evictions_.value();
+  snapshot.warm_loads = warm_loads_.value();
+  snapshot.persist_failures = persist_failures_.value();
+  {
+    std::lock_guard<std::mutex> lock(lru_mutex_);
+    snapshot.resident_tables = static_cast<int64_t>(lru_.size());
+    snapshot.resident_bytes = static_cast<int64_t>(resident_bytes_);
+  }
+  snapshot.compute_latency = compute_latency_.Snapshot();
+  return snapshot;
+}
+
+}  // namespace crowdrtse::rtf

@@ -1,0 +1,184 @@
+#ifndef CROWDRTSE_RTF_CORRELATION_CACHE_H_
+#define CROWDRTSE_RTF_CORRELATION_CACHE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "rtf/correlation_table.h"
+#include "util/metrics.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace crowdrtse::rtf {
+
+/// Behaviour knobs of the Gamma_R cache.
+struct CorrelationCacheOptions {
+  /// Upper bound, in bytes of CorrelationTable::MemoryBytes(), on the
+  /// resident tables. 0 (the default) disables eviction, preserving the
+  /// grow-without-bound behaviour of the pre-cache code. When the budget is
+  /// smaller than a single table, that table is still kept (evicting the
+  /// only copy would just thrash).
+  std::size_t memory_budget_bytes = 0;
+
+  /// Directory for warm-start persistence. When non-empty, every computed
+  /// table is saved as `<persist_dir>/gamma_slot_<slot>.bin` and cache
+  /// misses first try to reload from there (see also WarmStart), so a
+  /// process restart does not re-pay one Dijkstra per road per slot.
+  /// Empty (the default) disables persistence.
+  std::string persist_dir;
+
+  /// Number of lock shards the per-slot entries spread over. More shards
+  /// means less contention on the entry-lookup step (the per-slot state
+  /// itself is individually locked regardless).
+  int num_shards = 16;
+
+  /// Threads for the per-source Dijkstra fan-out inside one table
+  /// computation. 0 means hardware concurrency; 1 disables the fan-out
+  /// pool entirely.
+  int fanout_threads = 0;
+
+  /// When > 0, warm-loaded files whose road count differs are rejected
+  /// (they were computed against a different network) and recomputed.
+  int expected_num_roads = 0;
+};
+
+/// Concurrent, memory-budgeted, persistent cache of per-slot Gamma_R
+/// closures. This replaces the map-under-one-global-mutex in CrowdRtse: a
+/// cold-slot computation (~one Dijkstra per road, n^2 doubles) no longer
+/// stalls queries for other slots.
+///
+///   - Sharded per-slot locking: every slot has its own entry mutex; a
+///     lookup touches one shard map lock (briefly) plus that entry lock.
+///   - Singleflight compute: concurrent first touches of the *same* slot
+///     coalesce onto one computation — the first arrival computes, the rest
+///     wait on the entry's condition variable; other slots never block.
+///   - Dijkstra fan-out: the compute callback is handed the cache's
+///     util::ThreadPool when it is free (the pool runs one ParallelFor at a
+///     time, so concurrent cold slots beyond the first compute serially in
+///     their own thread rather than queue on the pool).
+///   - LRU eviction: tables are evicted least-recently-used when resident
+///     bytes exceed the budget. Lookups hand out shared_ptrs, so a reader
+///     holding a table keeps it alive across eviction.
+///   - Warm persistence: computed tables are saved to persist_dir and
+///     reloaded on miss or eagerly via WarmStart.
+///
+/// Thread-safe for any number of concurrent GetOrCompute/Invalidate/stats
+/// callers. The compute callback runs outside all cache locks and may be
+/// invoked concurrently for *different* slots — it must be safe for that
+/// (pure functions of an immutable model are; see CrowdRtse for the CCD
+/// caveat).
+class CorrelationCache {
+ public:
+  /// Result handle: shared ownership so eviction can never invalidate a
+  /// table a reader is still using.
+  using TablePtr = std::shared_ptr<const CorrelationTable>;
+
+  /// Computes the table for `slot`. `fanout` is the cache's Dijkstra pool
+  /// when available, nullptr otherwise (compute serially then).
+  using ComputeFn = std::function<util::Result<CorrelationTable>(
+      int slot, util::ThreadPool* fanout)>;
+
+  /// Point-in-time cache statistics (counters are monotonic since
+  /// construction; resident_* reflect the current moment).
+  struct StatsSnapshot {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t coalesced = 0;        // same-slot first touches that waited
+    int64_t evictions = 0;
+    int64_t warm_loads = 0;       // misses satisfied from persist_dir
+    int64_t persist_failures = 0; // unreadable/mismatched/unwritable files
+    int64_t resident_tables = 0;
+    int64_t resident_bytes = 0;
+    util::metrics::LatencySnapshot compute_latency;
+
+    /// One-line counters plus the compute-latency distribution.
+    std::string ToString() const;
+  };
+
+  explicit CorrelationCache(CorrelationCacheOptions options = {});
+
+  CorrelationCache(const CorrelationCache&) = delete;
+  CorrelationCache& operator=(const CorrelationCache&) = delete;
+
+  /// Returns the cached table for `slot`, warm-loading or computing it via
+  /// `compute` on a miss. Errors are returned to every coalesced waiter but
+  /// not cached — the next call retries.
+  util::Result<TablePtr> GetOrCompute(int slot, const ComputeFn& compute);
+
+  /// Drops the cached table for `slot` (and its persisted file), e.g. after
+  /// the model parameters it was computed from changed. No-op when absent.
+  void Invalidate(int slot);
+
+  /// Eagerly loads persisted tables for slots [0, num_slots) until the
+  /// memory budget is reached. Returns the number of tables loaded.
+  int WarmStart(int num_slots);
+
+  StatsSnapshot stats() const;
+
+  const CorrelationCacheOptions& options() const { return options_; }
+
+  /// `<persist_dir>/gamma_slot_<slot>.bin`; empty when persistence is off.
+  std::string PersistPath(int slot) const;
+
+ private:
+  struct Entry {
+    std::mutex mutex;
+    std::condition_variable computed;
+    bool computing = false;
+    util::Status error;  // outcome handed to coalesced waiters
+    TablePtr table;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::map<int, std::shared_ptr<Entry>> entries;
+  };
+  struct LruNode {
+    std::list<int>::iterator position;
+    std::size_t bytes = 0;
+  };
+
+  std::shared_ptr<Entry> EntryFor(int slot);
+  /// Moves `slot` to the LRU front if still resident.
+  void Touch(int slot);
+  /// Accounts a newly resident table and evicts LRU victims over budget.
+  void Publish(int slot, const TablePtr& table);
+  /// Tries persist_dir; returns nullptr when absent/invalid.
+  TablePtr TryLoadPersisted(int slot);
+  void Persist(int slot, const CorrelationTable& table);
+
+  CorrelationCacheOptions options_;
+  std::unique_ptr<Shard[]> shards_;
+
+  // LRU bookkeeping; never held together with an entry mutex (Publish and
+  // Touch run after the entry lock is released, eviction takes each
+  // victim's entry lock only after the LRU lock is dropped).
+  mutable std::mutex lru_mutex_;
+  std::list<int> lru_;  // front = most recently used
+  std::map<int, LruNode> lru_index_;
+  std::size_t resident_bytes_ = 0;
+
+  // Dijkstra fan-out pool, created lazily and try-locked per compute: the
+  // pool runs one ParallelFor at a time, so a second concurrent cold slot
+  // computes serially instead of blocking on the first.
+  std::mutex fanout_mutex_;
+  std::unique_ptr<util::ThreadPool> fanout_;
+
+  util::metrics::Counter hits_;
+  util::metrics::Counter misses_;
+  util::metrics::Counter coalesced_;
+  util::metrics::Counter evictions_;
+  util::metrics::Counter warm_loads_;
+  util::metrics::Counter persist_failures_;
+  util::metrics::LatencyHistogram compute_latency_;
+};
+
+}  // namespace crowdrtse::rtf
+
+#endif  // CROWDRTSE_RTF_CORRELATION_CACHE_H_

@@ -7,11 +7,13 @@
 
 #include "graph/dijkstra.h"
 #include "util/serialize.h"
+#include "util/thread_pool.h"
 
 namespace crowdrtse::rtf {
 
 util::Result<CorrelationTable> CorrelationTable::Compute(
-    const RtfModel& model, int slot, PathWeightMode mode) {
+    const RtfModel& model, int slot, PathWeightMode mode,
+    util::ThreadPool* fanout) {
   if (slot < 0 || slot >= model.num_slots()) {
     return util::Status::OutOfRange("slot out of range");
   }
@@ -19,12 +21,12 @@ util::Result<CorrelationTable> CorrelationTable::Compute(
   for (graph::EdgeId e = 0; e < model.num_edges(); ++e) {
     edge_rho[static_cast<size_t>(e)] = model.Rho(slot, e);
   }
-  return FromEdgeCorrelations(model.graph(), edge_rho, mode);
+  return FromEdgeCorrelations(model.graph(), edge_rho, mode, fanout);
 }
 
 util::Result<CorrelationTable> CorrelationTable::FromEdgeCorrelations(
     const graph::Graph& graph, const std::vector<double>& edge_rho,
-    PathWeightMode mode) {
+    PathWeightMode mode, util::ThreadPool* fanout) {
   if (edge_rho.size() != static_cast<size_t>(graph.num_edges())) {
     return util::Status::InvalidArgument(
         "edge correlation count does not match the graph");
@@ -53,7 +55,9 @@ util::Result<CorrelationTable> CorrelationTable::FromEdgeCorrelations(
     return graph::kUnreachable;
   };
 
-  for (graph::RoadId src = 0; src < n; ++src) {
+  // One Dijkstra per source; rows are disjoint, so sources fan out across
+  // the pool with no synchronisation beyond the ParallelFor barrier.
+  const auto compute_row = [&](graph::RoadId src) {
     const graph::ShortestPaths tree = graph::Dijkstra(graph, src, weight);
     double* row = table.data_.data() +
                   static_cast<size_t>(src) * static_cast<size_t>(n);
@@ -79,37 +83,72 @@ util::Result<CorrelationTable> CorrelationTable::FromEdgeCorrelations(
       }
     }
     row[src] = 1.0;
+  };
+
+  if (fanout != nullptr && fanout->num_threads() > 1 && n > 1) {
+    fanout->ParallelFor(static_cast<size_t>(n),
+                        [&](size_t begin, size_t end) {
+                          for (size_t src = begin; src < end; ++src) {
+                            compute_row(static_cast<graph::RoadId>(src));
+                          }
+                        });
+  } else {
+    for (graph::RoadId src = 0; src < n; ++src) compute_row(src);
   }
   return table;
+}
+
+util::Result<double> CorrelationTable::CheckedCorr(graph::RoadId i,
+                                                   graph::RoadId j) const {
+  if (!InRange(i) || !InRange(j)) {
+    return util::Status::OutOfRange(
+        "road id out of range for correlation table: (" + std::to_string(i) +
+        ", " + std::to_string(j) + ") with " + std::to_string(num_roads_) +
+        " roads");
+  }
+  return Corr(i, j);
 }
 
 double CorrelationTable::RoadSetCorr(
     graph::RoadId road, const std::vector<graph::RoadId>& set) const {
   double best = 0.0;
   const double* row = Row(road);
-  for (graph::RoadId s : set) best = std::max(best, row[s]);
+  for (graph::RoadId s : set) {
+    assert(InRange(s));
+    best = std::max(best, row[s]);
+  }
   return best;
 }
 
 namespace {
 constexpr uint32_t kTableMagic = 0x47414D31;  // "GAM1"
+// Layout revision after the magic. v1 (the seed) had no version field; v2
+// inserted this field, so v1 files fail the version check and recompute
+// rather than being misparsed.
+constexpr uint32_t kFormatVersion = 2;
 }  // namespace
 
-std::string CorrelationTable::Serialize() const {
-  util::BinaryWriter writer;
+void CorrelationTable::AppendTo(util::BinaryWriter& writer) const {
   writer.WriteUint32(kTableMagic);
+  writer.WriteUint32(kFormatVersion);
   writer.WriteInt32(num_roads_);
   writer.WriteDoubleVector(data_);
-  return writer.buffer();
 }
 
-util::Result<CorrelationTable> CorrelationTable::Deserialize(
-    const std::string& data) {
-  util::BinaryReader reader(data);
+util::Result<CorrelationTable> CorrelationTable::ParseFrom(
+    util::BinaryReader& reader) {
   util::Result<uint32_t> magic = reader.ReadUint32();
   if (!magic.ok()) return magic.status();
   if (*magic != kTableMagic) {
     return util::Status::InvalidArgument("not a correlation table file");
+  }
+  util::Result<uint32_t> version = reader.ReadUint32();
+  if (!version.ok()) return version.status();
+  if (*version != kFormatVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported correlation table format version " +
+        std::to_string(*version) + " (expected " +
+        std::to_string(kFormatVersion) + ")");
   }
   util::Result<int32_t> num_roads = reader.ReadInt32();
   if (!num_roads.ok()) return num_roads.status();
@@ -129,11 +168,21 @@ util::Result<CorrelationTable> CorrelationTable::Deserialize(
   return table;
 }
 
+std::string CorrelationTable::Serialize() const {
+  util::BinaryWriter writer;
+  AppendTo(writer);
+  return writer.buffer();
+}
+
+util::Result<CorrelationTable> CorrelationTable::Deserialize(
+    const std::string& data) {
+  util::BinaryReader reader(data);
+  return ParseFrom(reader);
+}
+
 util::Status CorrelationTable::SaveToFile(const std::string& path) const {
   util::BinaryWriter writer;
-  writer.WriteUint32(kTableMagic);
-  writer.WriteInt32(num_roads_);
-  writer.WriteDoubleVector(data_);
+  AppendTo(writer);
   return writer.Flush(path);
 }
 
@@ -142,24 +191,7 @@ util::Result<CorrelationTable> CorrelationTable::LoadFromFile(
   util::Result<util::BinaryReader> reader =
       util::BinaryReader::FromFile(path);
   if (!reader.ok()) return reader.status();
-  util::Result<uint32_t> magic = reader->ReadUint32();
-  if (!magic.ok()) return magic.status();
-  if (*magic != kTableMagic) {
-    return util::Status::InvalidArgument("not a correlation table file");
-  }
-  util::Result<int32_t> num_roads = reader->ReadInt32();
-  if (!num_roads.ok()) return num_roads.status();
-  util::Result<std::vector<double>> values = reader->ReadDoubleVector();
-  if (!values.ok()) return values.status();
-  if (*num_roads < 0 ||
-      values->size() != static_cast<size_t>(*num_roads) *
-                            static_cast<size_t>(*num_roads)) {
-    return util::Status::InvalidArgument("table payload size mismatch");
-  }
-  CorrelationTable table;
-  table.num_roads_ = *num_roads;
-  table.data_ = std::move(*values);
-  return table;
+  return ParseFrom(*reader);
 }
 
 }  // namespace crowdrtse::rtf

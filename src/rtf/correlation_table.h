@@ -1,12 +1,20 @@
 #ifndef CROWDRTSE_RTF_CORRELATION_TABLE_H_
 #define CROWDRTSE_RTF_CORRELATION_TABLE_H_
 
+#include <cassert>
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "graph/graph.h"
 #include "rtf/rtf_model.h"
 #include "util/status.h"
+
+namespace crowdrtse::util {
+class BinaryWriter;
+class BinaryReader;
+class ThreadPool;
+}  // namespace crowdrtse::util
 
 namespace crowdrtse::rtf {
 
@@ -28,28 +36,46 @@ enum class PathWeightMode {
 /// corr^t(r_i, r_j) = max over joining paths of the product of edge rhos
 /// (Eq. 8), computed offline by one Dijkstra per source road and then read
 /// in O(1) by OCS. 607 roads => ~2.9 MB per slot.
+///
+/// The unchecked accessors (Corr/Row/RoadSetCorr) assume road ids already
+/// validated against num_roads() — OcsProblem::Create and QueryEngine::Serve
+/// both reject out-of-range ids at the trust boundary — and assert in debug
+/// builds. Untrusted callers should use CheckedCorr.
 class CorrelationTable {
  public:
   CorrelationTable() = default;
 
-  /// Computes the full table for `slot` from the trained model.
+  /// Computes the full table for `slot` from the trained model. When
+  /// `fanout` is non-null the per-source Dijkstra loop runs data-parallel
+  /// on that pool (the pool's one-ParallelFor-at-a-time contract applies).
   static util::Result<CorrelationTable> Compute(
       const RtfModel& model, int slot,
-      PathWeightMode mode = PathWeightMode::kNegLog);
+      PathWeightMode mode = PathWeightMode::kNegLog,
+      util::ThreadPool* fanout = nullptr);
 
   /// Builds a table directly from per-edge correlations (used by tests and
   /// by scenarios that bypass RTF training).
   static util::Result<CorrelationTable> FromEdgeCorrelations(
       const graph::Graph& graph, const std::vector<double>& edge_rho,
-      PathWeightMode mode = PathWeightMode::kNegLog);
+      PathWeightMode mode = PathWeightMode::kNegLog,
+      util::ThreadPool* fanout = nullptr);
 
   int num_roads() const { return num_roads_; }
 
+  /// Heap footprint of the dense closure, the unit of the correlation
+  /// cache's memory budget (entry bookkeeping is negligible next to n^2
+  /// doubles and deliberately excluded to keep budgets predictable).
+  std::size_t MemoryBytes() const { return data_.size() * sizeof(double); }
+
   /// corr(i, j); 1 on the diagonal, 0 when the roads are disconnected.
   double Corr(graph::RoadId i, graph::RoadId j) const {
+    assert(InRange(i) && InRange(j));
     return data_[static_cast<size_t>(i) * static_cast<size_t>(num_roads_) +
                  static_cast<size_t>(j)];
   }
+
+  /// Bounds-checked corr(i, j) for callers holding unvalidated road ids.
+  util::Result<double> CheckedCorr(graph::RoadId i, graph::RoadId j) const;
 
   /// Road-set correlation corr(r, S) = max_{s in S} corr(r, s) (Eq. 11);
   /// 0 for the empty set.
@@ -58,12 +84,16 @@ class CorrelationTable {
 
   /// Contiguous row of correlations from road `i` to every road.
   const double* Row(graph::RoadId i) const {
+    assert(InRange(i));
     return data_.data() +
            static_cast<size_t>(i) * static_cast<size_t>(num_roads_);
   }
 
   /// Binary persistence: the offline stage computes Gamma_R once per used
-  /// slot (|R| Dijkstras) and the online stage reloads it at startup.
+  /// slot (|R| Dijkstras) and the online stage reloads it at startup. The
+  /// byte layout is magic + format version + payload; loads reject files
+  /// whose version does not match (stale caches recompute instead of being
+  /// misparsed).
   std::string Serialize() const;
   static util::Result<CorrelationTable> Deserialize(const std::string& data);
   util::Status SaveToFile(const std::string& path) const;
@@ -71,6 +101,14 @@ class CorrelationTable {
       const std::string& path);
 
  private:
+  bool InRange(graph::RoadId r) const { return r >= 0 && r < num_roads_; }
+
+  /// Single source of truth for the byte layout: Serialize and SaveToFile
+  /// both append through here, Deserialize and LoadFromFile both parse
+  /// through ParseFrom, so the two paths cannot drift.
+  void AppendTo(util::BinaryWriter& writer) const;
+  static util::Result<CorrelationTable> ParseFrom(util::BinaryReader& reader);
+
   int num_roads_ = 0;
   std::vector<double> data_;
 };

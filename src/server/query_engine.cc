@@ -22,7 +22,8 @@ std::string EngineStats::Report() const {
   out += "  ocs:    " + ocs_latency.ToString() + "\n";
   out += "  crowd:  " + crowd_latency.ToString() + "\n";
   out += "  gsp:    " + gsp_latency.ToString() + "\n";
-  out += "  serve:  " + serve_latency.ToString();
+  out += "  serve:  " + serve_latency.ToString() + "\n";
+  out += "  gamma:  " + gamma_cache.ToString();
   return out;
 }
 
@@ -188,6 +189,7 @@ EngineStats QueryEngine::stats() const {
   snapshot.crowd_latency = crowd_latency_.Snapshot();
   snapshot.gsp_latency = gsp_latency_.Snapshot();
   snapshot.serve_latency = serve_latency_.Snapshot();
+  snapshot.gamma_cache = system_.CorrelationCacheStats();
   snapshot.total_ocs_millis = snapshot.ocs_latency.sum_ms;
   snapshot.total_crowd_millis = snapshot.crowd_latency.sum_ms;
   snapshot.total_gsp_millis = snapshot.gsp_latency.sum_ms;

@@ -62,6 +62,9 @@ struct EngineStats {
   util::metrics::LatencySnapshot gsp_latency;
   /// End-to-end Serve latency of successfully served queries.
   util::metrics::LatencySnapshot serve_latency;
+  /// Gamma_R correlation-cache state: hit/miss/coalesce/eviction counters,
+  /// resident footprint, and the cold-slot compute-latency distribution.
+  rtf::CorrelationCache::StatsSnapshot gamma_cache;
 
   std::string Report() const;
 };

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <filesystem>
 #include <memory>
 #include <set>
+#include <string>
 
 #include "core/gsp_estimator.h"
 #include "graph/generators.h"
@@ -66,6 +69,46 @@ TEST_F(CrowdRtseTest, CorrelationTableCachedPerSlot) {
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(*a, *b);  // same cached pointer
   EXPECT_FALSE(system->CorrelationsFor(-1).ok());
+}
+
+TEST_F(CrowdRtseTest, WarmStartsCorrelationsFromPersistDir) {
+  const std::string dir = ::testing::TempDir() + "/crowd_rtse_warm_start";
+  std::filesystem::remove_all(dir);
+  CrowdRtseConfig config = Config();
+  config.correlation_cache.persist_dir = dir;
+  {
+    auto cold = CrowdRtse::BuildOffline(graph_, history_, config);
+    ASSERT_TRUE(cold.ok());
+    ASSERT_TRUE(cold->CorrelationsFor(100).ok());  // compute + persist
+    EXPECT_EQ(cold->CorrelationCacheStats().misses, 1);
+    EXPECT_EQ(cold->CorrelationCacheStats().warm_loads, 0);
+  }
+  auto warm = CrowdRtse::BuildOffline(graph_, history_, config);
+  ASSERT_TRUE(warm.ok());
+  // BuildOffline eagerly reloaded the persisted slot from disk...
+  EXPECT_GE(warm->CorrelationCacheStats().warm_loads, 1);
+  // ...so touching it again is a pure hit, no recompute.
+  ASSERT_TRUE(warm->CorrelationsFor(100).ok());
+  EXPECT_EQ(warm->CorrelationCacheStats().misses, 0);
+  EXPECT_GE(warm->CorrelationCacheStats().hits, 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(CrowdRtseTest, CorrelationMemoryBudgetEvicts) {
+  CrowdRtseConfig config = Config();
+  // Room for exactly one resident table: the second slot evicts the first.
+  config.correlation_cache.memory_budget_bytes =
+      static_cast<std::size_t>(graph_.num_roads()) *
+      static_cast<std::size_t>(graph_.num_roads()) * sizeof(double);
+  auto system = CrowdRtse::BuildOffline(graph_, history_, config);
+  ASSERT_TRUE(system.ok());
+  ASSERT_TRUE(system->CorrelationsFor(100).ok());
+  ASSERT_TRUE(system->CorrelationsFor(101).ok());
+  const auto stats = system->CorrelationCacheStats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.resident_tables, 1);
+  // The evicted slot still answers correctly (recompute on next touch).
+  EXPECT_TRUE(system->CorrelationsFor(100).ok());
 }
 
 TEST_F(CrowdRtseTest, SelectRoadsHonoursBudgetAndWorkers) {

@@ -60,6 +60,20 @@ TEST_F(ThetaTunerTest, PicksACandidateAndScoresAll) {
   EXPECT_TRUE(best_in_candidates);
 }
 
+TEST_F(ThetaTunerTest, HonoursConfiguredPathWeightMode) {
+  // The tuner must validate with the same closure semantics the engine
+  // will serve with (it used to hard-code kNegLog).
+  ThetaTunerOptions options = FastOptions();
+  options.path_mode = rtf::PathWeightMode::kReciprocal;
+  const auto result = TuneTheta(graph_, history_, costs_, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->scores.size(), 3u);
+  for (const ThetaScore& score : result->scores) {
+    EXPECT_TRUE(std::isfinite(score.mape));
+    EXPECT_GE(score.mape, 0.0);
+  }
+}
+
 TEST_F(ThetaTunerTest, Deterministic) {
   const auto a = TuneTheta(graph_, history_, costs_, FastOptions());
   const auto b = TuneTheta(graph_, history_, costs_, FastOptions());

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "graph/generators.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace crowdrtse::rtf {
 namespace {
@@ -175,6 +177,77 @@ TEST(CorrelationTableTest, PathDominance) {
       }
     }
   }
+}
+
+TEST(CorrelationTableTest, ParallelFanoutMatchesSerial) {
+  util::Rng rng(17);
+  graph::RoadNetworkOptions options;
+  options.num_roads = 50;
+  const graph::Graph g = *graph::RoadNetwork(options, rng);
+  std::vector<double> rho(static_cast<size_t>(g.num_edges()));
+  for (double& r : rho) r = rng.UniformDouble(0.2, 0.99);
+  const auto serial = CorrelationTable::FromEdgeCorrelations(g, rho);
+  util::ThreadPool pool(4);
+  const auto parallel = CorrelationTable::FromEdgeCorrelations(
+      g, rho, PathWeightMode::kNegLog, &pool);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  for (graph::RoadId i = 0; i < g.num_roads(); ++i) {
+    for (graph::RoadId j = 0; j < g.num_roads(); ++j) {
+      EXPECT_DOUBLE_EQ(serial->Corr(i, j), parallel->Corr(i, j));
+    }
+  }
+}
+
+TEST(CorrelationTableTest, CheckedCorrRejectsOutOfRangeIds) {
+  const graph::Graph g = *graph::PathNetwork(3);
+  const auto table = CorrelationTable::FromEdgeCorrelations(g, {0.8, 0.5});
+  ASSERT_TRUE(table.ok());
+  const auto ok = table->CheckedCorr(0, 1);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_DOUBLE_EQ(*ok, table->Corr(0, 1));
+  EXPECT_FALSE(table->CheckedCorr(-1, 0).ok());
+  EXPECT_FALSE(table->CheckedCorr(0, 3).ok());
+  EXPECT_FALSE(table->CheckedCorr(3, 3).ok());
+}
+
+TEST(CorrelationTableTest, DeserializeRejectsMismatchedFormatVersion) {
+  const graph::Graph g = *graph::PathNetwork(3);
+  const auto table = CorrelationTable::FromEdgeCorrelations(g, {0.8, 0.5});
+  ASSERT_TRUE(table.ok());
+  std::string data = table->Serialize();
+  ASSERT_TRUE(CorrelationTable::Deserialize(data).ok());
+  // The version field sits right after the 4-byte magic; bump it.
+  uint32_t version = 0;
+  std::memcpy(&version, data.data() + 4, sizeof(version));
+  ++version;
+  std::memcpy(data.data() + 4, &version, sizeof(version));
+  const auto rejected = CorrelationTable::Deserialize(data);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("version"), std::string::npos);
+}
+
+TEST(CorrelationTableTest, SerializeAndSaveToFileShareOneByteLayout) {
+  const graph::Graph g = *graph::PathNetwork(4);
+  const auto table =
+      CorrelationTable::FromEdgeCorrelations(g, {0.9, 0.8, 0.7});
+  ASSERT_TRUE(table.ok());
+  const std::string path =
+      ::testing::TempDir() + "/gamma_layout_test.bin";
+  ASSERT_TRUE(table->SaveToFile(path).ok());
+  std::string file_bytes;
+  {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buffer[4096];
+    size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+      file_bytes.append(buffer, n);
+    }
+    std::fclose(f);
+  }
+  EXPECT_EQ(file_bytes, table->Serialize());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -168,6 +168,13 @@ TEST_F(ConcurrentEngineTest, ReportIncludesPerPhasePercentiles) {
   EXPECT_NE(report.find("p50="), std::string::npos);
   EXPECT_NE(report.find("p95="), std::string::npos);
   EXPECT_NE(report.find("p99="), std::string::npos);
+  // Gamma_R cache state is part of the service report: the four slots above
+  // were each a cold miss, later queries of the same slot are hits.
+  EXPECT_NE(report.find("gamma:"), std::string::npos);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.gamma_cache.misses, 4);
+  ASSERT_TRUE(engine.Serve(MakeRequest(100), truth_).ok());
+  EXPECT_GE(engine.stats().gamma_cache.hits, 1);
 }
 
 }  // namespace
