@@ -12,8 +12,8 @@ CrowdRtse::CrowdRtse(const graph::Graph& graph,
                      rtf::RtfModel model, const CrowdRtseConfig& config)
     : graph_(&graph),
       history_(&history),
-      model_(std::move(model)),
-      config_(config) {
+      config_(config),
+      model_(std::make_shared<rtf::RtfModel>(std::move(model))) {
   rtf::CorrelationCacheOptions cache_options = config_.correlation_cache;
   if (cache_options.expected_num_roads <= 0) {
     cache_options.expected_num_roads = graph.num_roads();
@@ -40,14 +40,14 @@ util::Result<CrowdRtse> CrowdRtse::BuildOffline(
   if (config.warm_start_correlations) {
     // Loads whatever a previous run persisted; the cache is shared across
     // copies/moves of the returned object, so the warm tables survive.
-    system.correlation_cache_->WarmStart(system.model_.num_slots());
+    system.correlation_cache_->WarmStart(system.model_->num_slots());
   }
   return system;
 }
 
 util::Result<rtf::CorrelationCache::TablePtr> CrowdRtse::CorrelationsFor(
     int slot) {
-  if (slot < 0 || slot >= model_.num_slots()) {
+  if (slot < 0 || slot >= model_->num_slots()) {
     return util::Status::OutOfRange("slot out of range: " +
                                     std::to_string(slot));
   }
@@ -56,19 +56,32 @@ util::Result<rtf::CorrelationCache::TablePtr> CrowdRtse::CorrelationsFor(
       [this](int s,
              util::ThreadPool* fanout) -> util::Result<rtf::CorrelationTable> {
         if (config_.refine_with_ccd) {
-          // Refinement mutates the shared model, so it is serialized; with
-          // concurrent callers the header requires pre-warming every slot.
-          std::lock_guard<std::mutex> lock(ccd_state_->mutex);
-          if (ccd_state_->refined_slots.count(s) == 0) {
-            const rtf::CcdTrainer trainer(*graph_, *history_, config_.ccd);
-            util::Result<rtf::CcdReport> report =
-                trainer.TrainSlot(model_, s);
-            if (!report.ok()) return report.status();
-            model_.ClampParameters();
-            ccd_state_->refined_slots.insert(s);
-          }
+          // Refinement mutates the shared model, so it runs under the CCD
+          // mutex and touches only slot s's parameters. The table is then
+          // computed from a snapshot taken under the same lock: the cache
+          // runs compute callbacks for different cold slots concurrently,
+          // and another slot's in-flight refinement must not mutate the
+          // model mid-Compute.
+          util::Result<rtf::RtfModel> snapshot =
+              [&]() -> util::Result<rtf::RtfModel> {
+            std::lock_guard<std::mutex> lock(ccd_state_->mutex);
+            if (ccd_state_->refined_slots.count(s) == 0) {
+              const rtf::CcdTrainer trainer(*graph_, *history_, config_.ccd);
+              util::Result<rtf::CcdReport> report =
+                  trainer.TrainSlot(*model_, s);
+              if (!report.ok()) return report.status();
+              model_->ClampParameters(s);
+              ccd_state_->refined_slots.insert(s);
+            }
+            return *model_;
+          }();
+          if (!snapshot.ok()) return snapshot.status();
+          return rtf::CorrelationTable::Compute(*snapshot, s,
+                                                config_.path_mode, fanout);
         }
-        return rtf::CorrelationTable::Compute(model_, s, config_.path_mode,
+        // Without refinement the model is immutable after BuildOffline, so
+        // reading it lock-free here is safe.
+        return rtf::CorrelationTable::Compute(*model_, s, config_.path_mode,
                                               fanout);
       });
 }
@@ -78,7 +91,7 @@ std::vector<double> CrowdRtse::SigmaWeights(
   std::vector<double> weights;
   weights.reserve(queried_roads.size());
   for (graph::RoadId r : queried_roads) {
-    weights.push_back(model_.Sigma(slot, r));
+    weights.push_back(model_->Sigma(slot, r));
   }
   return weights;
 }
@@ -112,7 +125,7 @@ util::Result<ocs::OcsSolution> CrowdRtse::SelectRoads(
 util::Result<gsp::GspResult> CrowdRtse::Estimate(
     int slot, const std::vector<graph::RoadId>& sampled_roads,
     const std::vector<double>& sampled_speeds) const {
-  const gsp::SpeedPropagator propagator(model_, config_.gsp);
+  const gsp::SpeedPropagator propagator(*model_, config_.gsp);
   return propagator.Propagate(slot, sampled_roads, sampled_speeds);
 }
 
@@ -123,7 +136,7 @@ util::Result<CrowdRtse::ConfidentEstimate> CrowdRtse::EstimateWithConfidence(
       Estimate(slot, sampled_roads, sampled_speeds);
   if (!estimate.ok()) return estimate.status();
   util::Result<std::vector<double>> variance =
-      gsp::LocalConditionalVariances(model_, slot, sampled_roads);
+      gsp::LocalConditionalVariances(*model_, slot, sampled_roads);
   if (!variance.ok()) return variance.status();
   ConfidentEstimate out;
   out.estimate = std::move(*estimate);

@@ -76,7 +76,7 @@ class CrowdRtse {
       const CrowdRtseConfig& config);
 
   const graph::Graph& graph() const { return *graph_; }
-  const rtf::RtfModel& model() const { return model_; }
+  const rtf::RtfModel& model() const { return *model_; }
   const CrowdRtseConfig& config() const { return config_; }
 
   /// The cached correlation closure for `slot` (computed on first use —
@@ -84,10 +84,15 @@ class CrowdRtse {
   /// Thread-safe and non-blocking across slots: concurrent first touches of
   /// the same cold slot coalesce onto one computation, while other slots —
   /// warm or cold — proceed untouched. The shared_ptr keeps the table alive
-  /// even if the cache's memory budget evicts it meanwhile. Caveat: with
-  /// refine_with_ccd set, refinement mutates the shared model, so
-  /// concurrent use additionally requires every queried slot to have been
-  /// warmed (queried once) beforehand.
+  /// even if the cache's memory budget evicts it meanwhile. With
+  /// refine_with_ccd set, a slot's first touch additionally refines it:
+  /// refinement is serialized on an internal mutex, writes only that slot's
+  /// parameters, and the table is computed from a snapshot taken under the
+  /// lock — so concurrent CorrelationsFor/SelectRoads/Serve are safe
+  /// without pre-warming. The one remaining caveat: Estimate() reads the
+  /// model without that lock, so don't call it directly (bypassing
+  /// SelectRoads) for a slot whose first refinement may be in flight on
+  /// another thread.
   util::Result<rtf::CorrelationCache::TablePtr> CorrelationsFor(int slot);
 
   /// Hit/miss/eviction counters and cold-compute latency of the Gamma_R
@@ -157,12 +162,13 @@ class CrowdRtse {
 
   const graph::Graph* graph_;
   const traffic::HistoryStore* history_;
-  rtf::RtfModel model_;
   CrowdRtseConfig config_;
   // CrowdRtse stays copyable for Result<CrowdRtse>, so the (mutex-bearing)
-  // cache and CCD state live behind shared_ptrs; copies share them, which
-  // is sound — copies train the same model from the same config, so the
-  // tables are interchangeable.
+  // cache and CCD state live behind shared_ptrs; copies share them. The
+  // model is shared too: CCD refinement mutates it, and a copy recomputing
+  // an evicted slot that the shared refined_slots set already marks as
+  // refined must see those refined parameters, not a private stale copy.
+  std::shared_ptr<rtf::RtfModel> model_;
   std::shared_ptr<rtf::CorrelationCache> correlation_cache_;
   std::shared_ptr<CcdState> ccd_state_ = std::make_shared<CcdState>();
 };

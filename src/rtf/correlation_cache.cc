@@ -45,20 +45,9 @@ util::Result<CorrelationCache::TablePtr> CorrelationCache::GetOrCompute(
   if (slot < 0) {
     return util::Status::OutOfRange("negative slot: " + std::to_string(slot));
   }
-  std::shared_ptr<Entry> entry = EntryFor(slot);
-  std::unique_lock<std::mutex> lock(entry->mutex);
-  if (entry->table) {
-    hits_.Increment();
-    TablePtr table = entry->table;
-    lock.unlock();
-    Touch(slot);
-    return table;
-  }
-  if (entry->computing) {
-    // Singleflight: somebody is already computing this slot — wait for
-    // their result instead of duplicating ~one Dijkstra per road.
-    coalesced_.Increment();
-    entry->computed.wait(lock, [&] { return !entry->computing; });
+  for (;;) {
+    std::shared_ptr<Entry> entry = EntryFor(slot);
+    std::unique_lock<std::mutex> lock(entry->mutex);
     if (entry->table) {
       hits_.Increment();
       TablePtr table = entry->table;
@@ -66,56 +55,89 @@ util::Result<CorrelationCache::TablePtr> CorrelationCache::GetOrCompute(
       Touch(slot);
       return table;
     }
-    return entry->error;
-  }
-  entry->computing = true;
-  lock.unlock();
-
-  // The slow path runs outside every lock: other slots proceed untouched
-  // and same-slot arrivals park on the condition variable above.
-  misses_.Increment();
-  TablePtr table = TryLoadPersisted(slot);
-  util::Status error;
-  if (table) {
-    warm_loads_.Increment();
-  } else {
-    util::Timer timer;
-    util::Result<CorrelationTable> computed = [&] {
-      util::ThreadPool* pool = nullptr;
-      std::unique_lock<std::mutex> fan_lock(fanout_mutex_, std::try_to_lock);
-      if (fan_lock.owns_lock()) {
-        if (!fanout_) {
-          int threads = options_.fanout_threads;
-          if (threads <= 0) {
-            threads = static_cast<int>(std::thread::hardware_concurrency());
-          }
-          if (threads > 1) {
-            fanout_ = std::make_unique<util::ThreadPool>(threads);
-          }
-        }
-        pool = fanout_.get();
+    if (entry->computing) {
+      // Singleflight: somebody is already computing this slot — wait for
+      // their result instead of duplicating ~one Dijkstra per road.
+      coalesced_.Increment();
+      entry->computed.wait(lock, [&] { return !entry->computing; });
+      if (entry->table) {
+        hits_.Increment();
+        TablePtr table = entry->table;
+        lock.unlock();
+        Touch(slot);
+        return table;
       }
-      return compute(slot, pool);
-    }();
-    compute_latency_.Record(timer.ElapsedMillis());
-    if (computed.ok()) {
-      table = std::make_shared<CorrelationTable>(std::move(*computed));
-      Persist(slot, *table);
-    } else {
-      error = computed.status();
+      if (!entry->error.ok()) return entry->error;
+      // No table and no error: the computer's result was discarded (an
+      // Invalidate raced the compute) or the table was evicted before we
+      // woke. Retry the whole lookup — never hand an OK Status to Result.
+      lock.unlock();
+      continue;
     }
+    entry->computing = true;
+    entry->error = util::Status::Ok();  // don't leak a prior round's error
+    const uint64_t generation = entry->generation;
+    lock.unlock();
+
+    // The slow path runs outside every lock: other slots proceed untouched
+    // and same-slot arrivals park on the condition variable above.
+    misses_.Increment();
+    TablePtr table = TryLoadPersisted(slot);
+    const bool warm_loaded = table != nullptr;
+    util::Status error;
+    if (!table) {
+      util::Timer timer;
+      util::Result<CorrelationTable> computed = [&] {
+        util::ThreadPool* pool = nullptr;
+        std::unique_lock<std::mutex> fan_lock(fanout_mutex_,
+                                              std::try_to_lock);
+        if (fan_lock.owns_lock()) {
+          if (!fanout_) {
+            int threads = options_.fanout_threads;
+            if (threads <= 0) {
+              threads = static_cast<int>(std::thread::hardware_concurrency());
+            }
+            if (threads > 1) {
+              fanout_ = std::make_unique<util::ThreadPool>(threads);
+            }
+          }
+          pool = fanout_.get();
+        }
+        return compute(slot, pool);
+      }();
+      compute_latency_.Record(timer.ElapsedMillis());
+      if (computed.ok()) {
+        table = std::make_shared<CorrelationTable>(std::move(*computed));
+      } else {
+        error = computed.status();
+      }
+    }
+
+    lock.lock();
+    entry->computing = false;
+    const bool stale = entry->generation != generation;
+    if (!stale) {
+      entry->table = table;  // stays null on failure; the next call retries
+      entry->error = error;
+    }
+    entry->computed.notify_all();
+    lock.unlock();
+
+    if (stale) {
+      // Invalidate ran while we computed (or warm-loaded): the result was
+      // built from pre-invalidation state. Discard it — no caching, no
+      // persisting — and retry against the fresh parameters.
+      continue;
+    }
+    if (!table) return error;
+    if (warm_loaded) {
+      warm_loads_.Increment();
+    } else {
+      Persist(slot, *table);
+    }
+    Publish(slot, table);
+    return table;
   }
-
-  lock.lock();
-  entry->computing = false;
-  entry->table = table;  // stays null on failure; the next call retries
-  entry->error = error;
-  entry->computed.notify_all();
-  lock.unlock();
-
-  if (!table) return error;
-  Publish(slot, table);
-  return table;
 }
 
 void CorrelationCache::Touch(int slot) {
@@ -168,6 +190,9 @@ void CorrelationCache::Invalidate(int slot) {
     std::lock_guard<std::mutex> lock(entry->mutex);
     entry->table.reset();
     entry->error = util::Status::Ok();
+    // An in-flight compute for this slot (started against the old
+    // parameters) sees the bump when it finishes and discards its result.
+    ++entry->generation;
   }
   {
     std::lock_guard<std::mutex> lock(lru_mutex_);

@@ -114,6 +114,9 @@ class CorrelationCache {
 
   /// Drops the cached table for `slot` (and its persisted file), e.g. after
   /// the model parameters it was computed from changed. No-op when absent.
+  /// A compute already in flight for the slot is not interrupted, but its
+  /// result is discarded (not cached, not persisted) and recomputed from
+  /// the post-invalidation state — stale tables never resurface.
   void Invalidate(int slot);
 
   /// Eagerly loads persisted tables for slots [0, num_slots) until the
@@ -132,7 +135,11 @@ class CorrelationCache {
     std::mutex mutex;
     std::condition_variable computed;
     bool computing = false;
-    util::Status error;  // outcome handed to coalesced waiters
+    /// Bumped by Invalidate so an in-flight compute started against the
+    /// old parameters discards its result instead of resurrecting them.
+    uint64_t generation = 0;
+    util::Status error;  // outcome handed to coalesced waiters (never OK
+                         // while table is null after a finished compute)
     TablePtr table;
   };
   struct Shard {

@@ -32,6 +32,17 @@ void RtfModel::ClampParameters() {
   for (double& r : rho_) r = std::clamp(r, kMinRho, kMaxRho);
 }
 
+void RtfModel::ClampParameters(int slot) {
+  for (graph::RoadId r = 0; r < num_roads_; ++r) {
+    const size_t i = NodeIndex(slot, r);
+    sigma_[i] = std::max(sigma_[i], kMinSigma);
+  }
+  for (graph::EdgeId e = 0; e < num_edges_; ++e) {
+    const size_t i = EdgeIndex(slot, e);
+    rho_[i] = std::clamp(rho_[i], kMinRho, kMaxRho);
+  }
+}
+
 util::Status RtfModel::Validate() const {
   if (graph_ == nullptr) {
     return util::Status::FailedPrecondition("model has no graph");

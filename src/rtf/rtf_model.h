@@ -86,8 +86,11 @@ class RtfModel {
   static constexpr double kMinRho = 1e-3;
   static constexpr double kMaxRho = 0.999;
 
-  /// Clamps sigma and rho into their legal ranges in place.
+  /// Clamps sigma and rho into their legal ranges in place. The slot
+  /// overload touches only that slot's parameters, so concurrent readers
+  /// of *other* slots never observe a write.
   void ClampParameters();
+  void ClampParameters(int slot);
 
   /// Shape/invariant validation: finite values, sigma > 0, rho in [0, 1].
   util::Status Validate() const;

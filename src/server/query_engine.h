@@ -81,11 +81,12 @@ struct EngineStats {
 /// phase leases a propagator from a fixed pool (parallel-GSP propagators
 /// are non-reentrant, see gsp/propagation.h), and the crowd-simulation
 /// phase is serialized on an internal mutex (the simulator's RNG is
-/// stateful; a real crowd is asynchronous anyway). Two caveats remain the
-/// caller's responsibility: WorkerRegistry::AdvanceSlot must not run while
-/// queries are in flight (quiesce between slots), and concurrent serving
-/// requires CCD refinement to be disabled or pre-run for every queried
-/// slot (refinement mutates the shared model).
+/// stateful; a real crowd is asynchronous anyway). Lazy CCD refinement is
+/// safe under concurrent serving: CrowdRtse serializes it internally,
+/// confines its writes to the slot being refined, and computes Gamma_R
+/// from a snapshot, so cold slots need no pre-warming. One caveat remains
+/// the caller's responsibility: WorkerRegistry::AdvanceSlot must not run
+/// while queries are in flight (quiesce between slots).
 class QueryEngine {
  public:
   /// Engine behaviour knobs.

@@ -7,6 +7,8 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/gsp_estimator.h"
 #include "graph/generators.h"
@@ -175,6 +177,52 @@ TEST_F(CrowdRtseTest, CcdRefinementRunsLazily) {
   const auto table = system->CorrelationsFor(100);
   ASSERT_TRUE(table.ok());
   EXPECT_TRUE(system->model().Validate().ok());
+}
+
+TEST_F(CrowdRtseTest, ConcurrentCcdColdSlotsServeSafely) {
+  // Four threads first-touch four distinct cold slots with CCD refinement
+  // on. Refinement serializes on the CCD mutex but each Gamma_R computes
+  // from a snapshot, so no thread reads the model while another mutates it
+  // (under TSan this is the regression test for that race).
+  CrowdRtseConfig config = Config();
+  config.refine_with_ccd = true;
+  config.ccd.max_iterations = 3;
+  config.ccd.learning_rate = 0.01;
+  auto system = CrowdRtse::BuildOffline(graph_, history_, config);
+  ASSERT_TRUE(system.ok());
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const auto table = system->CorrelationsFor(100 + t);
+      EXPECT_TRUE(table.ok());
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_TRUE(system->model().Validate().ok());
+}
+
+TEST_F(CrowdRtseTest, CopiesShareRefinedModel) {
+  CrowdRtseConfig config = Config();
+  config.refine_with_ccd = true;
+  config.ccd.max_iterations = 5;
+  config.ccd.learning_rate = 0.01;
+  auto system = CrowdRtse::BuildOffline(graph_, history_, config);
+  ASSERT_TRUE(system.ok());
+  const auto original = system->CorrelationsFor(100);
+  ASSERT_TRUE(original.ok());
+  CrowdRtse copy = *system;
+  // Evict the cached table, then recompute through the copy: the shared
+  // CCD state already marks slot 100 refined, so the copy must see the
+  // same (shared) refined parameters, not a private unrefined model.
+  copy.correlation_cache().Invalidate(100);
+  const auto recomputed = copy.CorrelationsFor(100);
+  ASSERT_TRUE(recomputed.ok());
+  for (graph::RoadId i = 0; i < graph_.num_roads(); i += 7) {
+    for (graph::RoadId j = 0; j < graph_.num_roads(); j += 5) {
+      EXPECT_DOUBLE_EQ((*original)->Corr(i, j), (*recomputed)->Corr(i, j));
+    }
+  }
 }
 
 TEST_F(CrowdRtseTest, ReciprocalPathModeChangesCorrelationsNotValidity) {

@@ -372,6 +372,61 @@ TEST(CorrelationCacheTest, InvalidateDropsTableAndPersistedFile) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(CorrelationCacheTest, InvalidateDuringComputeDiscardsStaleResult) {
+  // Invalidate lands while slot 0's compute is in flight. The stale result
+  // (built with rho 0.9) must be discarded — neither cached nor persisted —
+  // and both the computing thread and a coalesced waiter must end up with a
+  // table built from the post-invalidation parameters (rho 0.5). The waiter
+  // exercises the retry path: it wakes to a null table with an OK status
+  // (the old code wrapped that OK status in a failed Result).
+  const graph::Graph g = TestGraph();
+  const std::string dir = FreshDir("stale");
+  CorrelationCacheOptions options;
+  options.persist_dir = dir;
+  CorrelationCache cache(options);
+  std::atomic<int> computes{0};
+  std::atomic<bool> entered{false};
+  std::atomic<bool> invalidated{false};
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  const auto compute = [&](int, util::ThreadPool*) {
+    const double rho = invalidated.load() ? 0.5 : 0.9;
+    if (computes.fetch_add(1) == 0) {
+      entered = true;
+      gate.wait();  // hold the first (pre-invalidation) compute open
+    }
+    return CorrelationTable::FromEdgeCorrelations(g, {rho, rho, rho});
+  };
+  std::thread computer([&] {
+    const auto result = cache.GetOrCompute(0, compute);
+    EXPECT_TRUE(result.ok());
+    if (result.ok()) EXPECT_DOUBLE_EQ((*result)->Corr(0, 1), 0.5);
+  });
+  while (!entered.load()) std::this_thread::yield();
+  std::thread waiter([&] {
+    const auto result = cache.GetOrCompute(0, compute);
+    EXPECT_TRUE(result.ok());
+    if (result.ok()) EXPECT_DOUBLE_EQ((*result)->Corr(0, 1), 0.5);
+  });
+  while (cache.stats().coalesced < 1) std::this_thread::yield();
+  cache.Invalidate(0);
+  invalidated = true;
+  release.set_value();
+  computer.join();
+  waiter.join();
+  // Exactly one retry compute: the discarded first flight plus one fresh
+  // one (the other thread coalesces onto it or hits the installed table).
+  EXPECT_EQ(computes.load(), 2);
+  // Only the fresh table was persisted.
+  CorrelationCache reload(options);
+  std::atomic<int> cold_computes{0};
+  const auto table = reload.GetOrCompute(0, CountingCompute(g, &cold_computes));
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(cold_computes.load(), 0);
+  EXPECT_DOUBLE_EQ((*table)->Corr(0, 1), 0.5);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(CorrelationCacheTest, ConcurrentStressDisjointAndSharedSlots) {
   // 8 threads hammering a mix of shared and private slots with real
   // computations (and the Dijkstra fan-out pool enabled): every result must

@@ -72,6 +72,22 @@ TEST(RtfModelTest, ClampParameters) {
   EXPECT_LE(model.Rho(0, 0), RtfModel::kMaxRho);
 }
 
+TEST(RtfModelTest, ClampParametersSlotOverloadLeavesOtherSlotsAlone) {
+  const graph::Graph g = *graph::PathNetwork(2);
+  RtfModel model(g, 2);
+  model.SetSigma(0, 0, -5.0);
+  model.SetRho(0, 0, 2.0);
+  model.SetSigma(1, 0, -5.0);
+  model.SetRho(1, 0, 2.0);
+  model.ClampParameters(0);
+  EXPECT_GE(model.Sigma(0, 0), RtfModel::kMinSigma);
+  EXPECT_LE(model.Rho(0, 0), RtfModel::kMaxRho);
+  // Slot 1 is untouched — the overload must not write other slots'
+  // parameters (concurrent readers depend on it).
+  EXPECT_DOUBLE_EQ(model.Sigma(1, 0), -5.0);
+  EXPECT_DOUBLE_EQ(model.Rho(1, 0), 2.0);
+}
+
 TEST(RtfModelTest, ValidateCatchesBadValues) {
   const graph::Graph g = *graph::PathNetwork(2);
   RtfModel model(g, 1);
