@@ -96,6 +96,16 @@ std::vector<double> CrowdRtse::SigmaWeights(
   return weights;
 }
 
+std::vector<double> CrowdRtse::PeriodicMeans(
+    int slot, const std::vector<graph::RoadId>& roads) const {
+  std::vector<double> means;
+  means.reserve(roads.size());
+  for (graph::RoadId r : roads) {
+    means.push_back(model_->Mu(slot, r));
+  }
+  return means;
+}
+
 util::Result<ocs::OcsSolution> CrowdRtse::SelectRoads(
     int slot, const std::vector<graph::RoadId>& queried_roads,
     const std::vector<graph::RoadId>& worker_roads,

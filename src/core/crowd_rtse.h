@@ -150,6 +150,13 @@ class CrowdRtse {
   std::vector<double> SigmaWeights(
       int slot, const std::vector<graph::RoadId>& queried_roads) const;
 
+  /// The RTF periodic means mu_i^t of `roads` at `slot` — the degradation
+  /// ladder's fallback estimate for a road whose probes all failed (the
+  /// same spatio-temporal prior STC/HTTE fall back on when probe data is
+  /// missing).
+  std::vector<double> PeriodicMeans(
+      int slot, const std::vector<graph::RoadId>& roads) const;
+
  private:
   /// Lazy CCD bookkeeping, shared across copies like the cache itself.
   struct CcdState {

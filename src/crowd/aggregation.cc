@@ -1,5 +1,9 @@
 #include "crowd/aggregation.h"
 
+#include <cmath>
+#include <set>
+#include <utility>
+
 #include "util/stats.h"
 
 namespace crowdrtse::crowd {
@@ -33,6 +37,37 @@ util::Result<double> AggregateAnswers(const std::vector<SpeedAnswer>& answers,
       return util::TrimmedMean(std::move(values), 0.2);
   }
   return util::Status::InvalidArgument("unknown aggregation policy");
+}
+
+std::vector<SpeedAnswer> FilterReports(const std::vector<SpeedAnswer>& answers,
+                                       double mad_sigmas) {
+  std::vector<SpeedAnswer> deduped;
+  deduped.reserve(answers.size());
+  std::set<std::pair<WorkerId, graph::RoadId>> seen;
+  for (const SpeedAnswer& a : answers) {
+    if (seen.insert({a.worker, a.road}).second) deduped.push_back(a);
+  }
+  if (mad_sigmas <= 0.0 || deduped.size() < 4) return deduped;
+
+  std::vector<double> values;
+  values.reserve(deduped.size());
+  for (const SpeedAnswer& a : deduped) values.push_back(a.reported_kmh);
+  const double median = util::Median(values);
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (double v : values) deviations.push_back(std::fabs(v - median));
+  // 1.4826 * MAD estimates sigma for Gaussian data.
+  const double robust_sigma = 1.4826 * util::Median(std::move(deviations));
+  if (robust_sigma <= 0.0) return deduped;  // all answers (near) identical
+
+  std::vector<SpeedAnswer> kept;
+  kept.reserve(deduped.size());
+  for (const SpeedAnswer& a : deduped) {
+    if (std::fabs(a.reported_kmh - median) <= mad_sigmas * robust_sigma) {
+      kept.push_back(a);
+    }
+  }
+  return kept;
 }
 
 }  // namespace crowdrtse::crowd

@@ -26,6 +26,16 @@ const char* AggregationPolicyName(AggregationPolicy policy);
 util::Result<double> AggregateAnswers(const std::vector<SpeedAnswer>& answers,
                                       AggregationPolicy policy);
 
+/// Pre-aggregation hygiene for the fault-tolerant dispatch path: drops
+/// duplicate submissions (a worker's second answer for the same road) and,
+/// given >= 4 distinct answers, statistical outliers farther than
+/// `mad_sigmas` robust standard deviations (1.4826 * MAD) from the median.
+/// `mad_sigmas <= 0` disables the statistical stage. Never empties a
+/// non-empty input — the median answer always survives — and preserves the
+/// input order of the survivors.
+std::vector<SpeedAnswer> FilterReports(const std::vector<SpeedAnswer>& answers,
+                                       double mad_sigmas);
+
 }  // namespace crowdrtse::crowd
 
 #endif  // CROWDRTSE_CROWD_AGGREGATION_H_

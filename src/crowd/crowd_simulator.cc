@@ -87,17 +87,8 @@ util::Result<CrowdRound> CrowdSimulator::ProbeWithAssignments(
           std::to_string(task.worker));
     }
     const Worker& worker = *it->second;
-    const double true_speed = truth.At(slot, task.road);
-    SpeedAnswer answer;
-    answer.worker = worker.id;
-    answer.road = task.road;
-    if (rng_.Bernoulli(options_.outlier_rate)) {
-      answer.reported_kmh = rng_.UniformDouble(2.0, 120.0);
-    } else {
-      answer.reported_kmh =
-          std::max(0.0, worker.bias * true_speed +
-                            rng_.Normal(0.0, worker.noise_kmh));
-    }
+    const SpeedAnswer answer =
+        GenerateAnswer(worker, task.road, truth, slot);
     answers_by_road[task.road].push_back(answer);
     round.raw_answers.push_back(answer);
     round.total_paid += task.payment_units;
@@ -115,6 +106,24 @@ util::Result<CrowdRound> CrowdSimulator::ProbeWithAssignments(
     round.probes.push_back(probe);
   }
   return round;
+}
+
+SpeedAnswer CrowdSimulator::GenerateAnswer(const Worker& worker,
+                                           graph::RoadId road,
+                                           const traffic::DayMatrix& truth,
+                                           int slot) {
+  const double true_speed = truth.At(slot, road);
+  SpeedAnswer answer;
+  answer.worker = worker.id;
+  answer.road = road;
+  if (rng_.Bernoulli(options_.outlier_rate)) {
+    answer.reported_kmh = rng_.UniformDouble(2.0, 120.0);
+  } else {
+    answer.reported_kmh =
+        std::max(0.0, worker.bias * true_speed +
+                          rng_.Normal(0.0, worker.noise_kmh));
+  }
+  return answer;
 }
 
 }  // namespace crowdrtse::crowd

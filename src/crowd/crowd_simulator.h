@@ -68,6 +68,13 @@ class CrowdSimulator {
       const AssignmentPlan& plan, const std::vector<Worker>& workers,
       const traffic::DayMatrix& truth, int slot);
 
+  /// One synthetic reading by `worker` for `road`: her persistent bias and
+  /// noise applied to the ground truth at `slot` (or junk, with the
+  /// options' outlier rate). Advances the simulator's RNG — the dispatch
+  /// controller's answer source. `road` and `slot` must be in range.
+  SpeedAnswer GenerateAnswer(const Worker& worker, graph::RoadId road,
+                             const traffic::DayMatrix& truth, int slot);
+
  private:
   CrowdSimOptions options_;
   util::Rng rng_;

@@ -1,0 +1,376 @@
+#include "crowd/dispatch_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <string>
+
+#include "crowd/aggregation.h"
+
+namespace crowdrtse::crowd {
+
+namespace {
+
+constexpr uint64_t kLatencySalt = 0x1a7eu;
+constexpr uint64_t kDupGapSalt = 0xd0b1eu;
+constexpr uint64_t kJitterSalt = 0xbad0u;
+
+int64_t MsToUs(double ms) { return static_cast<int64_t>(ms * 1e3); }
+
+struct Task {
+  graph::RoadId road = graph::kInvalidRoad;
+  int attempts_used = 0;     // dispatches so far
+  int active_attempt = 0;    // 1-based; deadline events for older ones stale
+  WorkerId current_worker = -1;
+  bool resolved = false;
+  bool answered = false;
+  int deadline_failures = 0;
+  int outlier_failures = 0;
+};
+
+struct Event {
+  enum Type { kArrival, kDeadline };
+  int64_t at_us = 0;
+  int64_t seq = 0;  // deterministic tie-break: insertion order
+  Type type = kArrival;
+  int task = 0;
+  int attempt = 0;
+  WorkerId worker = -1;
+  double value_kmh = 0.0;
+  int64_t attempt_deadline_us = 0;
+
+  bool operator>(const Event& other) const {
+    return at_us != other.at_us ? at_us > other.at_us : seq > other.seq;
+  }
+};
+
+using EventQueue =
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>;
+
+}  // namespace
+
+double DispatchOptions::MaxRoundSpanMs() const {
+  double span = deadline_ms * std::max(1, max_attempts);
+  for (int k = 1; k < max_attempts; ++k) {
+    const double backoff =
+        std::min(backoff_cap_ms, backoff_base_ms * std::ldexp(1.0, k - 1));
+    span += backoff * (1.0 + backoff_jitter);
+  }
+  return span;
+}
+
+const char* DegradeReasonName(DegradeReason reason) {
+  switch (reason) {
+    case DegradeReason::kUnstaffed:
+      return "unstaffed";
+    case DegradeReason::kDeadline:
+      return "deadline";
+    case DegradeReason::kOutlier:
+      return "outlier";
+  }
+  return "?";
+}
+
+DispatchController::DispatchController(const DispatchOptions& options,
+                                       util::Clock* clock)
+    : options_(options),
+      clock_(clock != nullptr ? clock : &util::WallClock::Get()) {}
+
+util::Result<DispatchRound> DispatchController::Run(
+    const AssignmentPlan& plan, const std::vector<Worker>& workers,
+    const CostModel& costs, const FaultPlan& faults,
+    const AnswerFn& answer) const {
+  if (!answer) {
+    return util::Status::InvalidArgument("dispatch needs an answer source");
+  }
+  if (options_.max_attempts < 1 || options_.deadline_ms <= 0.0) {
+    return util::Status::InvalidArgument(
+        "dispatch needs max_attempts >= 1 and a positive deadline");
+  }
+  std::map<WorkerId, const Worker*> by_id;
+  for (const Worker& w : workers) by_id[w.id] = &w;
+  for (const TaskAssignment& task : plan.assignments) {
+    if (by_id.find(task.worker) == by_id.end()) {
+      return util::Status::InvalidArgument(
+          "assignment references unknown worker " +
+          std::to_string(task.worker));
+    }
+    if (task.road < 0 || task.road >= costs.num_roads()) {
+      return util::Status::InvalidArgument(
+          "assigned road missing from cost model: " +
+          std::to_string(task.road));
+    }
+  }
+
+  // Replacement pools for straggler reassignment: every worker on a
+  // selected road who was not hired by the plan, cleanest first (the same
+  // order AssignTasks hires in, so a reassignment hires the next-best).
+  std::map<graph::RoadId, std::vector<const Worker*>> spares;
+  {
+    std::map<WorkerId, bool> hired;
+    std::map<graph::RoadId, bool> selected;
+    for (const TaskAssignment& t : plan.assignments) {
+      hired[t.worker] = true;
+      selected[t.road] = true;
+    }
+    for (graph::RoadId r : plan.underfilled_roads) selected[r] = true;
+    for (const Worker& w : workers) {
+      if (selected.count(w.road) != 0 && hired.count(w.id) == 0) {
+        spares[w.road].push_back(&w);
+      }
+    }
+    for (auto& [road, bucket] : spares) {
+      std::sort(bucket.begin(), bucket.end(),
+                [](const Worker* a, const Worker* b) {
+                  return a->noise_kmh != b->noise_kmh
+                             ? a->noise_kmh < b->noise_kmh
+                             : a->id < b->id;
+                });
+    }
+  }
+  std::map<graph::RoadId, size_t> next_spare;
+
+  DispatchRound out;
+  std::vector<Task> tasks;
+  tasks.reserve(plan.assignments.size());
+  EventQueue queue;
+  int64_t next_seq = 0;
+  const int64_t t0 = clock_->NowMicros();
+  const int64_t deadline_us = MsToUs(options_.deadline_ms);
+
+  const auto dispatch = [&](int task_index, const Worker& worker,
+                            int attempt, int64_t at_us, bool reassigned) {
+    Task& task = tasks[static_cast<size_t>(task_index)];
+    task.attempts_used = attempt;
+    task.active_attempt = attempt;
+    task.current_worker = worker.id;
+
+    DispatchAttempt log;
+    log.road = task.road;
+    log.worker = worker.id;
+    log.task = task_index;
+    log.attempt = attempt;
+    log.dispatched_us = at_us - t0;
+    log.reassigned = reassigned;
+
+    const FaultPlan::Outcome fault =
+        faults.Decide(worker.id, task.road, attempt);
+    log.fault = fault.kind;
+    out.attempts.push_back(log);
+
+    const uint64_t w = static_cast<uint64_t>(static_cast<int64_t>(worker.id));
+    const uint64_t r = static_cast<uint64_t>(static_cast<int64_t>(task.road));
+    const uint64_t k = static_cast<uint64_t>(attempt);
+    if (fault.kind != FaultKind::kDrop) {
+      // The worker really answers: draw her report now (dispatch order is
+      // deterministic, so a stateful answer source replays identically).
+      const SpeedAnswer report = answer(worker, task.road);
+      const double latency_ms =
+          fault.kind == FaultKind::kDelay
+              ? fault.delay_ms
+              : options_.min_response_ms +
+                    (options_.max_response_ms - options_.min_response_ms) *
+                        DispatchHashUnit(options_.seed, w, r, k,
+                                         kLatencySalt);
+      Event arrival;
+      arrival.at_us = at_us + MsToUs(latency_ms);
+      arrival.seq = next_seq++;
+      arrival.type = Event::kArrival;
+      arrival.task = task_index;
+      arrival.attempt = attempt;
+      arrival.worker = worker.id;
+      arrival.value_kmh = fault.kind == FaultKind::kCorrupt
+                              ? fault.corrupt_kmh
+                              : report.reported_kmh;
+      arrival.attempt_deadline_us = at_us + deadline_us;
+      queue.push(arrival);
+      if (fault.kind == FaultKind::kDuplicate) {
+        Event dup = arrival;
+        dup.seq = next_seq++;
+        dup.at_us +=
+            MsToUs(1.0 + 4.0 * DispatchHashUnit(options_.seed, w, r, k,
+                                                kDupGapSalt));
+        queue.push(dup);
+      }
+    }
+    Event deadline;
+    deadline.at_us = at_us + deadline_us;
+    deadline.seq = next_seq++;
+    deadline.type = Event::kDeadline;
+    deadline.task = task_index;
+    deadline.attempt = attempt;
+    queue.push(deadline);
+  };
+
+  for (const TaskAssignment& assignment : plan.assignments) {
+    Task task;
+    task.road = assignment.road;
+    tasks.push_back(task);
+  }
+  out.stats.tasks = static_cast<int>(tasks.size());
+  for (size_t i = 0; i < plan.assignments.size(); ++i) {
+    dispatch(static_cast<int>(i), *by_id.at(plan.assignments[i].worker),
+             /*attempt=*/1, t0, /*reassigned=*/false);
+  }
+
+  std::map<graph::RoadId, std::vector<SpeedAnswer>> accepted;
+  int resolved = 0;
+  int64_t last_resolution_us = t0;
+
+  const auto resolve = [&](Task& task, bool with_answer, int64_t at_us) {
+    task.resolved = true;
+    task.answered = with_answer;
+    ++resolved;
+    last_resolution_us = std::max(last_resolution_us, at_us);
+  };
+
+  // A failed attempt either exhausts the task or schedules the next
+  // attempt after the jittered exponential backoff, preferring a spare
+  // worker on the same road over the straggler.
+  const auto fail_attempt = [&](int task_index, int64_t now_us) {
+    Task& task = tasks[static_cast<size_t>(task_index)];
+    if (task.attempts_used >= options_.max_attempts) {
+      ++out.stats.exhausted;
+      resolve(task, /*with_answer=*/false, now_us);
+      return;
+    }
+    const int retry = task.attempts_used;  // 1-based retry index
+    double backoff_ms =
+        std::min(options_.backoff_cap_ms,
+                 options_.backoff_base_ms * std::ldexp(1.0, retry - 1));
+    if (options_.backoff_jitter > 0.0) {
+      const double u = DispatchHashUnit(
+          options_.seed, static_cast<uint64_t>(task_index),
+          static_cast<uint64_t>(retry), 0, kJitterSalt);
+      backoff_ms *= 1.0 + options_.backoff_jitter * (2.0 * u - 1.0);
+    }
+    ++out.stats.retries;
+    const Worker* next_worker = by_id.at(task.current_worker);
+    bool reassigned = false;
+    if (options_.reassign_stragglers) {
+      auto it = spares.find(task.road);
+      if (it != spares.end()) {
+        size_t& cursor = next_spare[task.road];
+        if (cursor < it->second.size()) {
+          next_worker = it->second[cursor++];
+          reassigned = true;
+          ++out.stats.reassignments;
+        }
+      }
+    }
+    dispatch(task_index, *next_worker, task.attempts_used + 1,
+             now_us + MsToUs(backoff_ms), reassigned);
+  };
+
+  const auto plausible = [&](double kmh) {
+    return std::isfinite(kmh) && kmh >= options_.min_plausible_kmh &&
+           kmh <= options_.max_plausible_kmh;
+  };
+
+  while (resolved < static_cast<int>(tasks.size()) && !queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+    clock_->SleepUntilMicros(ev.at_us);
+    Task& task = tasks[static_cast<size_t>(ev.task)];
+    if (ev.type == Event::kDeadline) {
+      if (task.resolved || ev.attempt != task.active_attempt) continue;
+      ++out.stats.deadline_misses;
+      ++task.deadline_failures;
+      fail_attempt(ev.task, ev.at_us);
+      continue;
+    }
+    // Arrival.
+    if (ev.at_us > ev.attempt_deadline_us) ++out.stats.late_reports;
+    if (task.resolved) {
+      if (task.answered) ++out.stats.duplicate_reports;
+      continue;
+    }
+    if (!plausible(ev.value_kmh)) {
+      ++out.stats.outlier_reports;
+      if (ev.attempt == task.active_attempt) {
+        ++task.outlier_failures;
+        fail_attempt(ev.task, ev.at_us);
+      }
+      continue;
+    }
+    SpeedAnswer accepted_answer;
+    accepted_answer.worker = ev.worker;
+    accepted_answer.road = task.road;
+    accepted_answer.reported_kmh = ev.value_kmh;
+    accepted[task.road].push_back(accepted_answer);
+    ++out.stats.answered;
+    resolve(task, /*with_answer=*/true, ev.at_us);
+  }
+
+  // Post-resolution stragglers cost no time (nobody waits for them) but
+  // still show up in the counters — they would hit the service logs.
+  while (!queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+    if (ev.type != Event::kArrival) continue;
+    if (ev.at_us > ev.attempt_deadline_us) ++out.stats.late_reports;
+    if (tasks[static_cast<size_t>(ev.task)].answered) {
+      ++out.stats.duplicate_reports;
+    }
+  }
+
+  out.span_ms = static_cast<double>(last_resolution_us - t0) / 1e3;
+
+  // Per-road verdicts. A selected road is exactly one of: probed (>= 1
+  // accepted answer, possibly underfilled) or degraded (zero answers).
+  std::map<graph::RoadId, std::pair<int, int>> failures;  // deadline, outlier
+  std::map<graph::RoadId, int> staffed;
+  for (const Task& task : tasks) {
+    failures[task.road].first += task.deadline_failures;
+    failures[task.road].second += task.outlier_failures;
+    ++staffed[task.road];
+  }
+  std::vector<graph::RoadId> selected;
+  for (const TaskAssignment& t : plan.assignments) selected.push_back(t.road);
+  for (graph::RoadId r : plan.underfilled_roads) selected.push_back(r);
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()),
+                 selected.end());
+
+  for (graph::RoadId road : selected) {
+    const auto it = accepted.find(road);
+    const int num_accepted =
+        it == accepted.end() ? 0 : static_cast<int>(it->second.size());
+    if (num_accepted == 0) {
+      out.degraded_roads.push_back(road);
+      DegradeReason reason = DegradeReason::kDeadline;
+      if (staffed.count(road) == 0) {
+        reason = DegradeReason::kUnstaffed;
+      } else if (failures[road].second > failures[road].first) {
+        reason = DegradeReason::kOutlier;
+      }
+      out.degraded_reasons.push_back(reason);
+      continue;
+    }
+    // Accepted answers were paid in good faith; the statistical filter only
+    // keeps them out of the aggregate, not out of the books.
+    const std::vector<SpeedAnswer> kept =
+        FilterReports(it->second, options_.mad_sigmas);
+    out.stats.outlier_reports +=
+        num_accepted - static_cast<int>(kept.size());
+    util::Result<double> aggregated =
+        AggregateAnswers(kept, options_.aggregation);
+    if (!aggregated.ok()) return aggregated.status();
+    ProbeResult probe;
+    probe.road = road;
+    probe.probed_kmh = *aggregated;
+    probe.num_answers = static_cast<int>(kept.size());
+    probe.paid_units = num_accepted;  // only accepted reports are paid
+    out.round.total_paid += probe.paid_units;
+    out.round.probes.push_back(probe);
+    for (const SpeedAnswer& a : kept) {
+      out.round.raw_answers.push_back(a);
+    }
+    const int quota = std::max(1, costs.Cost(road));
+    if (num_accepted < quota) out.underfilled_roads.push_back(road);
+  }
+  return out;
+}
+
+}  // namespace crowdrtse::crowd

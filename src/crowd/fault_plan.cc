@@ -1,0 +1,95 @@
+#include "crowd/fault_plan.h"
+
+#include <algorithm>
+
+namespace crowdrtse::crowd {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+double UniformIn(double lo, double hi, double unit) {
+  if (hi <= lo) return lo;
+  return lo + (hi - lo) * unit;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+  }
+  return "?";
+}
+
+uint64_t DispatchHash(uint64_t seed, uint64_t a, uint64_t b, uint64_t c,
+                      uint64_t salt) {
+  uint64_t h = SplitMix64(seed ^ salt);
+  h = SplitMix64(h ^ a);
+  h = SplitMix64(h ^ (b + 0x632BE59BD9B4E019ULL));
+  h = SplitMix64(h ^ (c + 0x2545F4914F6CDD1DULL));
+  return h;
+}
+
+double DispatchHashUnit(uint64_t seed, uint64_t a, uint64_t b, uint64_t c,
+                        uint64_t salt) {
+  // 53 mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(DispatchHash(seed, a, b, c, salt) >> 11) *
+         0x1.0p-53;
+}
+
+const FaultSpec& FaultPlan::SpecFor(WorkerId worker,
+                                    graph::RoadId road) const {
+  const auto wit = worker_specs_.find(worker);
+  if (wit != worker_specs_.end()) return wit->second;
+  const auto rit = road_specs_.find(road);
+  if (rit != road_specs_.end()) return rit->second;
+  return default_spec_;
+}
+
+FaultPlan::Outcome FaultPlan::Decide(WorkerId worker, graph::RoadId road,
+                                     int attempt) const {
+  const FaultSpec& spec = SpecFor(worker, road);
+  Outcome outcome;
+  if (spec.FaultFree()) return outcome;
+  const uint64_t w = static_cast<uint64_t>(static_cast<int64_t>(worker));
+  const uint64_t r = static_cast<uint64_t>(static_cast<int64_t>(road));
+  const uint64_t k = static_cast<uint64_t>(attempt);
+  const double u = DispatchHashUnit(seed_, w, r, k, /*salt=*/0x5fau);
+  const double drop = std::max(0.0, spec.drop_rate);
+  const double delay = drop + std::max(0.0, spec.delay_rate);
+  const double dup = delay + std::max(0.0, spec.duplicate_rate);
+  const double corrupt = dup + std::max(0.0, spec.corrupt_rate);
+  if (u < drop) {
+    outcome.kind = FaultKind::kDrop;
+  } else if (u < delay) {
+    outcome.kind = FaultKind::kDelay;
+    outcome.delay_ms =
+        UniformIn(spec.delay_min_ms, spec.delay_max_ms,
+                  DispatchHashUnit(seed_, w, r, k, /*salt=*/0xde1au));
+  } else if (u < dup) {
+    outcome.kind = FaultKind::kDuplicate;
+  } else if (u < corrupt) {
+    outcome.kind = FaultKind::kCorrupt;
+    outcome.corrupt_kmh =
+        UniformIn(spec.corrupt_min_kmh, spec.corrupt_max_kmh,
+                  DispatchHashUnit(seed_, w, r, k, /*salt=*/0xc0bbu));
+  }
+  return outcome;
+}
+
+}  // namespace crowdrtse::crowd

@@ -1,0 +1,109 @@
+#ifndef CROWDRTSE_CROWD_FAULT_PLAN_H_
+#define CROWDRTSE_CROWD_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "crowd/worker.h"
+#include "graph/graph.h"
+
+namespace crowdrtse::crowd {
+
+/// What the injection layer does to one dispatched task attempt. The real
+/// crowd exhibits all of these (paper §V-A assumes none): a worker who
+/// never answers, answers late, double-submits, or reports garbage.
+enum class FaultKind {
+  kNone,       // the worker answers normally, within her response latency
+  kDrop,       // the answer never arrives
+  kDelay,      // the answer arrives, but after the fault's injected delay
+  kDuplicate,  // the answer arrives twice (double tap / client retry)
+  kCorrupt,    // the answer arrives on time with a wild value
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// Fault mix for one scope (default, per-road, or per-worker). Rates are
+/// mutually exclusive probabilities; their sum is clamped to 1 and the
+/// remainder is healthy behaviour.
+struct FaultSpec {
+  double drop_rate = 0.0;
+  double delay_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double corrupt_rate = 0.0;
+  /// Injected answer latency of a kDelay fault, drawn uniformly (ms).
+  /// Defaults sit past any sane per-attempt deadline.
+  double delay_min_ms = 100.0;
+  double delay_max_ms = 400.0;
+  /// A kCorrupt answer is replaced by a uniform speed in this range (km/h).
+  double corrupt_min_kmh = 0.0;
+  double corrupt_max_kmh = 500.0;
+
+  bool FaultFree() const {
+    return drop_rate <= 0.0 && delay_rate <= 0.0 && duplicate_rate <= 0.0 &&
+           corrupt_rate <= 0.0;
+  }
+};
+
+/// Deterministic, seeded fault-injection layer over the simulated crowd.
+///
+/// Decisions are a pure hash of (seed, worker, road, attempt) — no shared
+/// RNG stream — so the outcome of an attempt does not depend on dispatch
+/// order, thread interleaving, or how many other faults fired before it.
+/// That is what makes a faulted scenario replay bit-identically under
+/// SimClock and lets tests pin exact retry counts. Precedence: a per-worker
+/// spec overrides a per-road spec overrides the default spec.
+class FaultPlan {
+ public:
+  /// The default plan injects nothing (every attempt is kNone).
+  FaultPlan() = default;
+  explicit FaultPlan(const FaultSpec& default_spec, uint64_t seed)
+      : default_spec_(default_spec), seed_(seed) {}
+
+  void SetDefault(const FaultSpec& spec) { default_spec_ = spec; }
+  void SetRoadSpec(graph::RoadId road, const FaultSpec& spec) {
+    road_specs_[road] = spec;
+  }
+  void SetWorkerSpec(WorkerId worker, const FaultSpec& spec) {
+    worker_specs_[worker] = spec;
+  }
+  void set_seed(uint64_t seed) { seed_ = seed; }
+  uint64_t seed() const { return seed_; }
+
+  bool FaultFree() const {
+    return default_spec_.FaultFree() && road_specs_.empty() &&
+           worker_specs_.empty();
+  }
+
+  /// The resolved outcome for attempt `attempt` (1-based) of `worker`
+  /// reporting `road`. delay_ms / corrupt_kmh are populated only for the
+  /// matching kinds.
+  struct Outcome {
+    FaultKind kind = FaultKind::kNone;
+    double delay_ms = 0.0;
+    double corrupt_kmh = 0.0;
+  };
+  Outcome Decide(WorkerId worker, graph::RoadId road, int attempt) const;
+
+ private:
+  const FaultSpec& SpecFor(WorkerId worker, graph::RoadId road) const;
+
+  FaultSpec default_spec_;
+  std::unordered_map<graph::RoadId, FaultSpec> road_specs_;
+  std::unordered_map<WorkerId, FaultSpec> worker_specs_;
+  uint64_t seed_ = 0x0fa17ed0c0ffee42ULL;
+};
+
+/// Stateless SplitMix64-style mixer shared by the fault plan and the
+/// dispatch controller's jitter/latency draws: maps a (seed, a, b, c, salt)
+/// tuple to an i.i.d.-looking uint64. Exposed so every deterministic draw
+/// in the dispatch path goes through one audited construction.
+uint64_t DispatchHash(uint64_t seed, uint64_t a, uint64_t b, uint64_t c,
+                      uint64_t salt);
+
+/// The same hash mapped to a uniform double in [0, 1).
+double DispatchHashUnit(uint64_t seed, uint64_t a, uint64_t b, uint64_t c,
+                        uint64_t salt);
+
+}  // namespace crowdrtse::crowd
+
+#endif  // CROWDRTSE_CROWD_FAULT_PLAN_H_

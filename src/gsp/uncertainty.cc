@@ -100,4 +100,23 @@ util::Result<std::vector<double>> LocalConditionalVariances(
   return variance;
 }
 
+util::Result<std::vector<double>> DegradedAwareVariances(
+    const rtf::RtfModel& model, int slot,
+    const std::vector<graph::RoadId>& sampled_roads,
+    const std::vector<graph::RoadId>& degraded_roads, double inflation) {
+  if (inflation < 1.0) {
+    return util::Status::InvalidArgument(
+        "degraded variance inflation must be >= 1");
+  }
+  CROWDRTSE_RETURN_IF_ERROR(ValidateInputs(model, slot, degraded_roads));
+  util::Result<std::vector<double>> variance =
+      LocalConditionalVariances(model, slot, sampled_roads);
+  if (!variance.ok()) return variance.status();
+  for (graph::RoadId r : degraded_roads) {
+    const double sigma = model.Sigma(slot, r);
+    (*variance)[static_cast<size_t>(r)] = inflation * sigma * sigma;
+  }
+  return variance;
+}
+
 }  // namespace crowdrtse::gsp

@@ -36,6 +36,18 @@ util::Result<std::vector<double>> LocalConditionalVariances(
     const rtf::RtfModel& model, int slot,
     const std::vector<graph::RoadId>& sampled_roads);
 
+/// Degradation-ladder variances: LocalConditionalVariances, with every
+/// `degraded_road` (a road whose crowd probes all failed — see
+/// crowd::DispatchController) overridden by its *widened prior marginal*
+/// inflation * sigma_i^2. The local conditional bound assumes neighbours
+/// carry probe-derived information; a degraded road's own probe attempt
+/// failing is evidence against that, so its reported uncertainty must not
+/// shrink below the prior. `inflation` must be >= 1.
+util::Result<std::vector<double>> DegradedAwareVariances(
+    const rtf::RtfModel& model, int slot,
+    const std::vector<graph::RoadId>& sampled_roads,
+    const std::vector<graph::RoadId>& degraded_roads, double inflation);
+
 }  // namespace crowdrtse::gsp
 
 #endif  // CROWDRTSE_GSP_UNCERTAINTY_H_

@@ -1,7 +1,10 @@
 #include "server/query_engine.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "crowd/task_assignment.h"
+#include "gsp/uncertainty.h"
 #include "traffic/time_slots.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -23,6 +26,16 @@ std::string EngineStats::Report() const {
   out += "  crowd:  " + crowd_latency.ToString() + "\n";
   out += "  gsp:    " + gsp_latency.ToString() + "\n";
   out += "  serve:  " + serve_latency.ToString() + "\n";
+  out += "  dispatch: retries " + std::to_string(crowd_retries) +
+         ", reassigned " + std::to_string(crowd_reassignments) +
+         ", deadline misses " + std::to_string(crowd_deadline_misses) +
+         ", late " + std::to_string(reports_late) + ", duplicate " +
+         std::to_string(reports_duplicate) + ", outlier " +
+         std::to_string(reports_outlier) + "\n";
+  out += "  degraded: " + std::to_string(roads_degraded) +
+         " roads (deadline " + std::to_string(degraded_deadline) +
+         ", outlier " + std::to_string(degraded_outlier) + ", unstaffed " +
+         std::to_string(degraded_unstaffed) + ")\n";
   out += "  gamma:  " + gamma_cache.ToString();
   return out;
 }
@@ -115,17 +128,42 @@ util::Result<QueryResponse> QueryEngine::Serve(
   ocs_latency_.Record(response.ocs_millis);
 
   // Step 2 — crowdsourcing round: assign concrete workers to the selected
-  // roads (each reports once with her own bias/noise), then collect. The
-  // simulator's RNG is stateful, so this phase runs one query at a time.
+  // roads, then collect. Legacy path: every assigned worker reports once,
+  // synchronously. Fault-tolerant path: the dispatch controller drives the
+  // round under deadlines, retry/backoff, straggler reassignment and
+  // report rejection; roads whose probes all fail come back degraded, not
+  // as errors. The simulator's RNG is stateful, so either way this phase
+  // runs one query at a time.
   timer.Reset();
+  std::vector<crowd::DegradeReason> degraded_reasons;
+  crowd::DispatchStats dispatch_stats;
   util::Result<crowd::CrowdRound> round = [&] {
     std::lock_guard<std::mutex> lock(crowd_mutex_);
     util::Result<crowd::AssignmentPlan> plan = crowd::AssignTasks(
         selection->roads, costs_, registry_.workers());
     if (!plan.ok()) return util::Result<crowd::CrowdRound>(plan.status());
-    response.underfilled_roads = plan->underfilled_roads;
-    return crowd_sim_.ProbeWithAssignments(*plan, registry_.workers(),
-                                           world, request.slot);
+    if (!options_.fault_tolerant_dispatch) {
+      response.underfilled_roads = plan->underfilled_roads;
+      return crowd_sim_.ProbeWithAssignments(*plan, registry_.workers(),
+                                             world, request.slot);
+    }
+    crowd::DispatchController controller(options_.dispatch,
+                                         options_.clock);
+    util::Result<crowd::DispatchRound> dispatched = controller.Run(
+        *plan, registry_.workers(), costs_, options_.fault_plan,
+        [&](const crowd::Worker& worker, graph::RoadId road) {
+          return crowd_sim_.GenerateAnswer(worker, road, world,
+                                           request.slot);
+        });
+    if (!dispatched.ok()) {
+      return util::Result<crowd::CrowdRound>(dispatched.status());
+    }
+    response.underfilled_roads = std::move(dispatched->underfilled_roads);
+    response.degraded_roads = std::move(dispatched->degraded_roads);
+    response.dispatch_span_ms = dispatched->span_ms;
+    degraded_reasons = std::move(dispatched->degraded_reasons);
+    dispatch_stats = dispatched->stats;
+    return util::Result<crowd::CrowdRound>(std::move(dispatched->round));
   }();
   if (!round.ok()) {
     return FailQuery(query_id, budget, 0, round.status());
@@ -162,6 +200,40 @@ util::Result<QueryResponse> QueryEngine::Serve(
         estimate->speeds[static_cast<size_t>(r)]);
   }
 
+  // Degradation ladder (fault-tolerant path): a queried road whose probes
+  // all failed answers with its RTF periodic mean mu_i^t instead of a
+  // GSP value propagated from probes it never had, and every queried road
+  // reports a variance — widened to the prior for degraded roads.
+  if (options_.fault_tolerant_dispatch) {
+    if (!response.degraded_roads.empty()) {
+      const std::vector<double> fallback = system_.PeriodicMeans(
+          request.slot, response.degraded_roads);
+      for (size_t i = 0; i < request.queried.size(); ++i) {
+        const auto it = std::lower_bound(response.degraded_roads.begin(),
+                                         response.degraded_roads.end(),
+                                         request.queried[i]);
+        if (it != response.degraded_roads.end() &&
+            *it == request.queried[i]) {
+          response.queried_speeds[i] = fallback[static_cast<size_t>(
+              it - response.degraded_roads.begin())];
+        }
+      }
+    }
+    util::Result<std::vector<double>> variances =
+        gsp::DegradedAwareVariances(system_.model(), request.slot,
+                                    response.probed_roads,
+                                    response.degraded_roads,
+                                    options_.degraded_variance_inflation);
+    if (!variances.ok()) {
+      return FailQuery(query_id, budget, response.paid, variances.status());
+    }
+    response.queried_variances.reserve(request.queried.size());
+    for (graph::RoadId r : request.queried) {
+      response.queried_variances.push_back(
+          (*variances)[static_cast<size_t>(r)]);
+    }
+  }
+
   const util::Status settled =
       ledger_.Settle(query_id, budget, response.paid);
   if (!settled.ok()) {
@@ -173,6 +245,28 @@ util::Result<QueryResponse> QueryEngine::Serve(
   std::lock_guard<std::mutex> lock(stats_mutex_);
   ++queries_served_;
   total_paid_ += response.paid;
+  if (options_.fault_tolerant_dispatch) {
+    roads_degraded_ += static_cast<int64_t>(response.degraded_roads.size());
+    for (crowd::DegradeReason reason : degraded_reasons) {
+      switch (reason) {
+        case crowd::DegradeReason::kDeadline:
+          ++degraded_deadline_;
+          break;
+        case crowd::DegradeReason::kOutlier:
+          ++degraded_outlier_;
+          break;
+        case crowd::DegradeReason::kUnstaffed:
+          ++degraded_unstaffed_;
+          break;
+      }
+    }
+    crowd_retries_ += dispatch_stats.retries;
+    crowd_reassignments_ += dispatch_stats.reassignments;
+    crowd_deadline_misses_ += dispatch_stats.deadline_misses;
+    reports_late_ += dispatch_stats.late_reports;
+    reports_duplicate_ += dispatch_stats.duplicate_reports;
+    reports_outlier_ += dispatch_stats.outlier_reports;
+  }
   return response;
 }
 
@@ -184,6 +278,16 @@ EngineStats QueryEngine::stats() const {
     snapshot.queries_rejected = queries_rejected_;
     snapshot.queries_failed = queries_failed_;
     snapshot.total_paid = total_paid_;
+    snapshot.roads_degraded = roads_degraded_;
+    snapshot.degraded_deadline = degraded_deadline_;
+    snapshot.degraded_outlier = degraded_outlier_;
+    snapshot.degraded_unstaffed = degraded_unstaffed_;
+    snapshot.crowd_retries = crowd_retries_;
+    snapshot.crowd_reassignments = crowd_reassignments_;
+    snapshot.crowd_deadline_misses = crowd_deadline_misses_;
+    snapshot.reports_late = reports_late_;
+    snapshot.reports_duplicate = reports_duplicate_;
+    snapshot.reports_outlier = reports_outlier_;
   }
   snapshot.ocs_latency = ocs_latency_.Snapshot();
   snapshot.crowd_latency = crowd_latency_.Snapshot();

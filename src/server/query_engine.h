@@ -8,10 +8,13 @@
 #include <vector>
 
 #include "core/crowd_rtse.h"
+#include "crowd/dispatch_controller.h"
+#include "crowd/fault_plan.h"
 #include "gsp/propagator_pool.h"
 #include "server/budget_ledger.h"
 #include "server/worker_registry.h"
 #include "traffic/history_store.h"
+#include "util/clock.h"
 #include "util/metrics.h"
 #include "util/status.h"
 
@@ -30,14 +33,28 @@ struct QueryResponse {
   int64_t query_id = 0;
   std::vector<double> queried_speeds;     // aligned with request.queried
   std::vector<graph::RoadId> probed_roads;
-  /// OCS-selected roads the worker population could not fully staff
-  /// (fewer answers were aggregated there).
+  /// OCS-selected roads that produced fewer answers than their quota but
+  /// at least one (their probe is noisier, still usable). Disjoint from
+  /// degraded_roads.
   std::vector<graph::RoadId> underfilled_roads;
+  /// Fault-tolerant dispatch only: OCS-selected roads whose probes all
+  /// failed (deadline/outlier/unstaffed). They fell down the degradation
+  /// ladder to their RTF periodic mean mu_i^t, with widened uncertainty.
+  std::vector<graph::RoadId> degraded_roads;
+  /// Fault-tolerant dispatch only: per-queried-road variance, aligned with
+  /// `queried_speeds`. Probed roads report 0, propagated roads the GSP
+  /// local conditional variance, degraded roads their prior marginal
+  /// widened by Options::degraded_variance_inflation.
+  std::vector<double> queried_variances;
   int granted_budget = 0;
   int paid = 0;
   double ocs_millis = 0.0;
   double crowd_millis = 0.0;
   double gsp_millis = 0.0;
+  /// Fault-tolerant dispatch only: the crowd round's dispatch-to-resolution
+  /// span on the engine clock (ms); bounded by
+  /// DispatchOptions::MaxRoundSpanMs() whatever the fault plan injects.
+  double dispatch_span_ms = 0.0;
   int gsp_sweeps = 0;
 };
 
@@ -62,6 +79,19 @@ struct EngineStats {
   util::metrics::LatencySnapshot gsp_latency;
   /// End-to-end Serve latency of successfully served queries.
   util::metrics::LatencySnapshot serve_latency;
+  /// Degradation-ladder accounting (fault-tolerant dispatch only). Every
+  /// degraded road lands in exactly one per-reason counter.
+  int64_t roads_degraded = 0;
+  int64_t degraded_deadline = 0;   // all attempts dropped out / timed out
+  int64_t degraded_outlier = 0;    // answers arrived, all implausible
+  int64_t degraded_unstaffed = 0;  // no worker on the road to ask
+  /// Dispatch fault/retry counters summed over all served queries.
+  int64_t crowd_retries = 0;
+  int64_t crowd_reassignments = 0;
+  int64_t crowd_deadline_misses = 0;
+  int64_t reports_late = 0;
+  int64_t reports_duplicate = 0;
+  int64_t reports_outlier = 0;
   /// Gamma_R correlation-cache state: hit/miss/coalesce/eviction counters,
   /// resident footprint, and the cold-slot compute-latency distribution.
   rtf::CorrelationCache::StatsSnapshot gamma_cache;
@@ -99,6 +129,25 @@ class QueryEngine {
     /// Number of SpeedPropagator instances available to concurrent GSP
     /// phases (also the GSP concurrency limit). <= 0 means 4.
     int propagator_pool_size = 0;
+    /// Fault-tolerant crowd dispatch (deadline -> retry -> reassign ->
+    /// degrade; DESIGN.md §5c). When false the legacy single-shot
+    /// assignment path runs: every assigned worker answers, no deadlines,
+    /// no degradation.
+    bool fault_tolerant_dispatch = false;
+    /// Deadline / retry / backoff / rejection knobs of the dispatch state
+    /// machine.
+    crowd::DispatchOptions dispatch;
+    /// Fault injection over the simulated crowd (fault-free by default;
+    /// tests and chaos drills configure drops/delays/duplicates/corruption
+    /// here, fully seeded).
+    crowd::FaultPlan fault_plan;
+    /// Time source for deadlines and backoff waits. nullptr = wall clock;
+    /// tests inject a util::SimClock so faulted rounds cost zero wall time
+    /// and replay bit-identically. Must outlive the engine.
+    util::Clock* clock = nullptr;
+    /// How much a degraded road's reported variance widens over its prior
+    /// marginal sigma_i^2 (>= 1).
+    double degraded_variance_inflation = 4.0;
   };
 
   /// All dependencies are borrowed and must outlive the engine.
@@ -146,6 +195,17 @@ class QueryEngine {
   int64_t queries_rejected_ = 0;
   int64_t queries_failed_ = 0;
   int64_t total_paid_ = 0;
+  /// Degradation / dispatch accounting (fault-tolerant path only).
+  int64_t roads_degraded_ = 0;
+  int64_t degraded_deadline_ = 0;
+  int64_t degraded_outlier_ = 0;
+  int64_t degraded_unstaffed_ = 0;
+  int64_t crowd_retries_ = 0;
+  int64_t crowd_reassignments_ = 0;
+  int64_t crowd_deadline_misses_ = 0;
+  int64_t reports_late_ = 0;
+  int64_t reports_duplicate_ = 0;
+  int64_t reports_outlier_ = 0;
   util::metrics::LatencyHistogram ocs_latency_;
   util::metrics::LatencyHistogram crowd_latency_;
   util::metrics::LatencyHistogram gsp_latency_;

@@ -79,4 +79,13 @@ int WorkerRegistry::CountOn(graph::RoadId road) const {
   return count;
 }
 
+std::vector<const crowd::Worker*> WorkerRegistry::WorkersOn(
+    graph::RoadId road) const {
+  std::vector<const crowd::Worker*> on_road;
+  for (const crowd::Worker& w : workers_) {
+    if (w.road == road) on_road.push_back(&w);
+  }
+  return on_road;
+}
+
 }  // namespace crowdrtse::server

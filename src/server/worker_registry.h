@@ -60,6 +60,11 @@ class WorkerRegistry {
   /// Number of workers currently on `road`.
   int CountOn(graph::RoadId road) const;
 
+  /// The workers currently on `road` (e.g. to scope a per-worker
+  /// crowd::FaultPlan to one road's population). Pointers are valid until
+  /// the next AdvanceSlot.
+  std::vector<const crowd::Worker*> WorkersOn(graph::RoadId road) const;
+
   /// Total slots advanced since construction.
   int current_slot_offset() const { return slot_offset_; }
 

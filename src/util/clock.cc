@@ -1,0 +1,53 @@
+#include "util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace crowdrtse::util {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             SteadyClock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int64_t WallClock::NowMicros() const { return SteadyNowMicros(); }
+
+void WallClock::SleepUntilMicros(int64_t deadline_micros) {
+  const int64_t now = SteadyNowMicros();
+  if (deadline_micros <= now) return;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(deadline_micros - now));
+}
+
+WallClock& WallClock::Get() {
+  static WallClock instance;
+  return instance;
+}
+
+void SimClock::AdvanceMicros(int64_t delta_micros) {
+  if (delta_micros <= 0) return;
+  now_micros_.fetch_add(delta_micros, std::memory_order_acq_rel);
+}
+
+void SimClock::AdvanceMillis(double millis) {
+  AdvanceMicros(static_cast<int64_t>(millis * 1e3));
+}
+
+void SimClock::AdvanceTo(int64_t target_micros) {
+  int64_t current = now_micros_.load(std::memory_order_acquire);
+  while (current < target_micros &&
+         !now_micros_.compare_exchange_weak(current, target_micros,
+                                            std::memory_order_acq_rel)) {
+    // `current` was refreshed by the failed CAS; loop until someone (maybe
+    // us) has moved time at least to the target.
+  }
+}
+
+}  // namespace crowdrtse::util

@@ -1,0 +1,64 @@
+#ifndef CROWDRTSE_UTIL_CLOCK_H_
+#define CROWDRTSE_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace crowdrtse::util {
+
+/// Virtualised monotonic time for everything that waits on deadlines (the
+/// crowd dispatch path). Production code runs on WallClock; tests run on
+/// SimClock, where waiting is instantaneous and fully deterministic — the
+/// pattern that makes retry/backoff schedules assertable to the microsecond
+/// (see DESIGN.md §5c).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic now, in microseconds since an arbitrary epoch.
+  virtual int64_t NowMicros() const = 0;
+
+  /// Blocks until NowMicros() >= deadline_micros. A wall clock sleeps; a
+  /// simulated clock jumps forward and returns immediately.
+  virtual void SleepUntilMicros(int64_t deadline_micros) = 0;
+};
+
+/// The real steady clock; SleepUntilMicros really sleeps.
+class WallClock : public Clock {
+ public:
+  int64_t NowMicros() const override;
+  void SleepUntilMicros(int64_t deadline_micros) override;
+
+  /// Process-wide instance (the default when no clock is injected).
+  static WallClock& Get();
+};
+
+/// Manually-advanced clock for deterministic tests. Time only moves when a
+/// caller advances it (AdvanceMicros) or sleeps on it (SleepUntilMicros
+/// jumps straight to the deadline). Monotonic and thread-safe: concurrent
+/// sleepers race forward with a CAS-max, so time never goes backwards.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(int64_t start_micros = 0) : now_micros_(start_micros) {}
+
+  int64_t NowMicros() const override {
+    return now_micros_.load(std::memory_order_acquire);
+  }
+
+  void SleepUntilMicros(int64_t deadline_micros) override {
+    AdvanceTo(deadline_micros);
+  }
+
+  /// Moves time forward by `delta_micros` (>= 0).
+  void AdvanceMicros(int64_t delta_micros);
+  void AdvanceMillis(double millis);
+
+ private:
+  void AdvanceTo(int64_t target_micros);
+
+  std::atomic<int64_t> now_micros_;
+};
+
+}  // namespace crowdrtse::util
+
+#endif  // CROWDRTSE_UTIL_CLOCK_H_

@@ -1,0 +1,428 @@
+// Deterministic fault-matrix suite for the fault-tolerant crowd dispatch
+// path: {drop, delay-past-deadline, duplicate, corrupt/outlier} crossed
+// with {retry succeeds, retry exhausts -> degrade}, all on util::SimClock
+// so retry counts and the exact backoff schedule are assertable to the
+// microsecond and a round costs zero wall time.
+#include "crowd/dispatch_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "crowd/aggregation.h"
+#include "crowd/fault_plan.h"
+#include "crowd/task_assignment.h"
+#include "traffic/history_store.h"
+#include "util/clock.h"
+
+namespace crowdrtse::crowd {
+namespace {
+
+constexpr int kNumRoads = 8;
+constexpr double kTruthBase = 30.0;
+
+double TruthFor(graph::RoadId road) { return kTruthBase + road; }
+
+/// Noise-free worker: her report is exactly the ground truth, so probe
+/// values are assertable bit-exactly.
+Worker MakeWorker(WorkerId id, graph::RoadId road) {
+  Worker w;
+  w.id = id;
+  w.road = road;
+  w.bias = 1.0;
+  w.noise_kmh = 0.0;
+  return w;
+}
+
+class DispatchFaultTest : public ::testing::Test {
+ protected:
+  DispatchFaultTest() : truth_(1, kNumRoads) {
+    for (graph::RoadId r = 0; r < kNumRoads; ++r) {
+      truth_.At(0, r) = TruthFor(r);
+    }
+    // Exact-schedule defaults: no jitter, generous plausibility window.
+    options_.deadline_ms = 50.0;
+    options_.max_attempts = 3;
+    options_.backoff_base_ms = 10.0;
+    options_.backoff_cap_ms = 200.0;
+    options_.backoff_jitter = 0.0;
+    options_.min_response_ms = 5.0;
+    options_.max_response_ms = 20.0;
+    options_.min_plausible_kmh = 0.5;
+    options_.max_plausible_kmh = 150.0;
+  }
+
+  /// The controller's answer source: the worker reads the truth exactly.
+  DispatchController::AnswerFn Answers() {
+    return [this](const Worker& worker, graph::RoadId road) {
+      SpeedAnswer answer;
+      answer.worker = worker.id;
+      answer.road = road;
+      answer.reported_kmh = truth_.At(0, road);
+      return answer;
+    };
+  }
+
+  util::Result<DispatchRound> RunRound(
+      const std::vector<graph::RoadId>& selected,
+      const std::vector<Worker>& workers, const FaultPlan& faults,
+      int quota = 1) {
+    const CostModel costs = CostModel::Constant(kNumRoads, quota);
+    util::Result<AssignmentPlan> plan =
+        AssignTasks(selected, costs, workers);
+    if (!plan.ok()) return plan.status();
+    DispatchController controller(options_, &clock_);
+    return controller.Run(*plan, workers, costs, faults, Answers());
+  }
+
+  traffic::DayMatrix truth_;
+  DispatchOptions options_;
+  util::SimClock clock_;
+};
+
+TEST_F(DispatchFaultTest, FaultFreeRoundAnswersEverythingFirstTry) {
+  const std::vector<Worker> workers = {MakeWorker(0, 0), MakeWorker(1, 1),
+                                       MakeWorker(2, 1)};
+  const auto round = RunRound({0, 1}, workers, FaultPlan{}, /*quota=*/2);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round->stats.retries, 0);
+  EXPECT_EQ(round->stats.deadline_misses, 0);
+  EXPECT_EQ(round->stats.answered, round->stats.tasks);
+  EXPECT_TRUE(round->degraded_roads.empty());
+  // Road 0 has one worker against a quota of 2: underfilled, not degraded.
+  EXPECT_EQ(round->underfilled_roads, std::vector<graph::RoadId>{0});
+  ASSERT_EQ(round->round.probes.size(), 2u);
+  EXPECT_DOUBLE_EQ(round->round.probes[0].probed_kmh, TruthFor(0));
+  EXPECT_DOUBLE_EQ(round->round.probes[1].probed_kmh, TruthFor(1));
+  EXPECT_EQ(round->round.total_paid, 3);
+  // Everyone answered inside her response window.
+  EXPECT_LE(round->span_ms, options_.max_response_ms);
+  EXPECT_GE(round->span_ms, options_.min_response_ms);
+}
+
+TEST_F(DispatchFaultTest, DroppedWorkerRetriesOnSpareExactSchedule) {
+  // Worker 0 (hired first: lowest id at equal noise) always drops; worker
+  // 1 is the spare on the same road.
+  const std::vector<Worker> workers = {MakeWorker(0, 0), MakeWorker(1, 0)};
+  FaultSpec drop_all;
+  drop_all.drop_rate = 1.0;
+  FaultPlan faults;
+  faults.SetWorkerSpec(0, drop_all);
+  const auto round = RunRound({0}, workers, faults);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  ASSERT_EQ(round->attempts.size(), 2u);
+  EXPECT_EQ(round->attempts[0].worker, 0);
+  EXPECT_EQ(round->attempts[0].dispatched_us, 0);
+  EXPECT_EQ(round->attempts[0].fault, FaultKind::kDrop);
+  // Retry 1 fires exactly at deadline + base backoff (jitter is 0) and
+  // moves to the spare.
+  EXPECT_EQ(round->attempts[1].worker, 1);
+  EXPECT_EQ(round->attempts[1].dispatched_us, 60'000);
+  EXPECT_TRUE(round->attempts[1].reassigned);
+  EXPECT_EQ(round->stats.retries, 1);
+  EXPECT_EQ(round->stats.reassignments, 1);
+  EXPECT_EQ(round->stats.deadline_misses, 1);
+  EXPECT_EQ(round->stats.answered, 1);
+  ASSERT_EQ(round->round.probes.size(), 1u);
+  EXPECT_DOUBLE_EQ(round->round.probes[0].probed_kmh, TruthFor(0));
+  EXPECT_EQ(round->round.total_paid, 1);
+  EXPECT_TRUE(round->degraded_roads.empty());
+}
+
+TEST_F(DispatchFaultTest, DropEverythingExhaustsBackoffScheduleAndDegrades) {
+  const std::vector<Worker> workers = {MakeWorker(0, 3), MakeWorker(1, 3)};
+  FaultSpec drop_all;
+  drop_all.drop_rate = 1.0;
+  FaultPlan faults;
+  faults.SetRoadSpec(3, drop_all);  // every worker on the road drops
+  const auto round = RunRound({3}, workers, faults);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  // Exact jitter-free schedule: dispatch at 0; deadline 50ms + 10ms
+  // backoff -> 60ms; deadline 110ms + 20ms backoff -> 130ms; final
+  // deadline 180ms exhausts the task.
+  ASSERT_EQ(round->attempts.size(), 3u);
+  EXPECT_EQ(round->attempts[0].dispatched_us, 0);
+  EXPECT_EQ(round->attempts[1].dispatched_us, 60'000);
+  EXPECT_EQ(round->attempts[2].dispatched_us, 130'000);
+  EXPECT_EQ(round->stats.retries, 2);
+  EXPECT_EQ(round->stats.deadline_misses, 3);
+  EXPECT_EQ(round->stats.exhausted, 1);
+  EXPECT_EQ(round->stats.answered, 0);
+  EXPECT_DOUBLE_EQ(round->span_ms, 180.0);
+  EXPECT_DOUBLE_EQ(round->span_ms, options_.MaxRoundSpanMs());
+  ASSERT_EQ(round->degraded_roads.size(), 1u);
+  EXPECT_EQ(round->degraded_roads[0], 3);
+  EXPECT_EQ(round->degraded_reasons[0], DegradeReason::kDeadline);
+  // An unanswered task pays nobody and yields no probe.
+  EXPECT_EQ(round->round.total_paid, 0);
+  EXPECT_TRUE(round->round.probes.empty());
+  EXPECT_TRUE(round->underfilled_roads.empty());  // degraded, not both
+}
+
+TEST_F(DispatchFaultTest, DelayPastDeadlineRetriesAndCountsStraggler) {
+  const std::vector<Worker> workers = {MakeWorker(0, 2), MakeWorker(1, 2)};
+  FaultSpec slow;
+  slow.delay_rate = 1.0;
+  slow.delay_min_ms = 300.0;
+  slow.delay_max_ms = 300.0;
+  FaultPlan faults;
+  faults.SetWorkerSpec(0, slow);
+  const auto round = RunRound({2}, workers, faults);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  ASSERT_EQ(round->attempts.size(), 2u);
+  EXPECT_EQ(round->attempts[0].fault, FaultKind::kDelay);
+  EXPECT_EQ(round->attempts[1].dispatched_us, 60'000);
+  EXPECT_TRUE(round->attempts[1].reassigned);
+  EXPECT_EQ(round->stats.answered, 1);
+  // The round resolves on the retry; nobody waits for the straggler...
+  EXPECT_LT(round->span_ms, 100.0);
+  // ...but its eventual arrival is on the books: late, and a duplicate of
+  // the answer the spare already gave.
+  EXPECT_GE(round->stats.late_reports, 1);
+  EXPECT_GE(round->stats.duplicate_reports, 1);
+  EXPECT_EQ(round->round.total_paid, 1);
+}
+
+TEST_F(DispatchFaultTest, DuplicateReportRejectedAndPaidOnce) {
+  const std::vector<Worker> workers = {MakeWorker(0, 1)};
+  FaultSpec dup;
+  dup.duplicate_rate = 1.0;
+  FaultPlan faults;
+  faults.SetRoadSpec(1, dup);
+  const auto round = RunRound({1}, workers, faults);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round->stats.duplicate_reports, 1);
+  EXPECT_EQ(round->stats.retries, 0);
+  EXPECT_EQ(round->stats.answered, 1);
+  ASSERT_EQ(round->round.probes.size(), 1u);
+  EXPECT_EQ(round->round.probes[0].num_answers, 1);
+  // The double submission is paid once, and aggregation sees one answer.
+  EXPECT_EQ(round->round.total_paid, 1);
+  EXPECT_DOUBLE_EQ(round->round.probes[0].probed_kmh, TruthFor(1));
+}
+
+TEST_F(DispatchFaultTest, CorruptReportRejectedThenRetrySucceeds) {
+  const std::vector<Worker> workers = {MakeWorker(0, 4), MakeWorker(1, 4)};
+  FaultSpec corrupt;
+  corrupt.corrupt_rate = 1.0;
+  corrupt.corrupt_min_kmh = 400.0;  // far outside the plausibility window
+  corrupt.corrupt_max_kmh = 500.0;
+  FaultPlan faults;
+  faults.SetWorkerSpec(0, corrupt);
+  const auto round = RunRound({4}, workers, faults);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round->stats.outlier_reports, 1);
+  EXPECT_EQ(round->stats.retries, 1);
+  EXPECT_EQ(round->stats.reassignments, 1);
+  // The outlier fails its attempt on arrival: the retry fires at arrival
+  // (inside the worker response window) + base backoff, before the
+  // original deadline would have.
+  ASSERT_EQ(round->attempts.size(), 2u);
+  EXPECT_GE(round->attempts[1].dispatched_us,
+            static_cast<int64_t>((options_.min_response_ms +
+                                  options_.backoff_base_ms) *
+                                 1e3));
+  EXPECT_LE(round->attempts[1].dispatched_us,
+            static_cast<int64_t>((options_.max_response_ms +
+                                  options_.backoff_base_ms) *
+                                 1e3));
+  ASSERT_EQ(round->round.probes.size(), 1u);
+  EXPECT_DOUBLE_EQ(round->round.probes[0].probed_kmh, TruthFor(4));
+  EXPECT_EQ(round->round.total_paid, 1);
+}
+
+TEST_F(DispatchFaultTest, AllCorruptExhaustsAndDegradesAsOutlier) {
+  const std::vector<Worker> workers = {MakeWorker(0, 5), MakeWorker(1, 5),
+                                       MakeWorker(2, 5)};
+  FaultSpec corrupt;
+  corrupt.corrupt_rate = 1.0;
+  corrupt.corrupt_min_kmh = 400.0;
+  corrupt.corrupt_max_kmh = 500.0;
+  FaultPlan faults;
+  faults.SetRoadSpec(5, corrupt);
+  const auto round = RunRound({5}, workers, faults);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round->stats.outlier_reports, 3);
+  EXPECT_EQ(round->stats.retries, 2);
+  EXPECT_EQ(round->stats.exhausted, 1);
+  ASSERT_EQ(round->degraded_roads.size(), 1u);
+  EXPECT_EQ(round->degraded_roads[0], 5);
+  EXPECT_EQ(round->degraded_reasons[0], DegradeReason::kOutlier);
+  EXPECT_EQ(round->round.total_paid, 0);
+}
+
+TEST_F(DispatchFaultTest, UnstaffedRoadDegradesAsUnstaffed) {
+  // Road 6 has nobody on it; road 0 is staffed and healthy.
+  const std::vector<Worker> workers = {MakeWorker(0, 0)};
+  const auto round = RunRound({0, 6}, workers, FaultPlan{});
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  ASSERT_EQ(round->degraded_roads.size(), 1u);
+  EXPECT_EQ(round->degraded_roads[0], 6);
+  EXPECT_EQ(round->degraded_reasons[0], DegradeReason::kUnstaffed);
+  ASSERT_EQ(round->round.probes.size(), 1u);
+  EXPECT_EQ(round->round.probes[0].road, 0);
+  // The unstaffed road never shows up as underfilled too (no double
+  // counting between the classifications).
+  EXPECT_TRUE(round->underfilled_roads.empty());
+}
+
+TEST_F(DispatchFaultTest, FaultedRoundReplaysBitIdentically) {
+  const std::vector<Worker> workers = {
+      MakeWorker(0, 0), MakeWorker(1, 0), MakeWorker(2, 1),
+      MakeWorker(3, 1), MakeWorker(4, 2), MakeWorker(5, 2)};
+  FaultSpec mix;
+  mix.drop_rate = 0.3;
+  mix.delay_rate = 0.2;
+  mix.duplicate_rate = 0.1;
+  mix.corrupt_rate = 0.1;
+  mix.corrupt_min_kmh = 300.0;
+  mix.corrupt_max_kmh = 400.0;
+  const FaultPlan faults(mix, /*seed=*/42);
+  const auto a = RunRound({0, 1, 2}, workers, faults, /*quota=*/2);
+  const auto b = RunRound({0, 1, 2}, workers, faults, /*quota=*/2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->attempts.size(), b->attempts.size());
+  for (size_t i = 0; i < a->attempts.size(); ++i) {
+    EXPECT_EQ(a->attempts[i].worker, b->attempts[i].worker);
+    EXPECT_EQ(a->attempts[i].attempt, b->attempts[i].attempt);
+    EXPECT_EQ(a->attempts[i].dispatched_us, b->attempts[i].dispatched_us);
+    EXPECT_EQ(a->attempts[i].fault, b->attempts[i].fault);
+  }
+  ASSERT_EQ(a->round.probes.size(), b->round.probes.size());
+  for (size_t i = 0; i < a->round.probes.size(); ++i) {
+    EXPECT_EQ(a->round.probes[i].road, b->round.probes[i].road);
+    // Bit-identical, not just close.
+    EXPECT_EQ(a->round.probes[i].probed_kmh, b->round.probes[i].probed_kmh);
+  }
+  EXPECT_EQ(a->degraded_roads, b->degraded_roads);
+  EXPECT_EQ(a->round.total_paid, b->round.total_paid);
+  EXPECT_DOUBLE_EQ(a->span_ms, b->span_ms);
+}
+
+TEST_F(DispatchFaultTest, JitteredBackoffStaysInEnvelopeDeterministically) {
+  options_.backoff_jitter = 0.5;
+  const std::vector<Worker> workers = {MakeWorker(0, 0)};
+  FaultSpec drop_all;
+  drop_all.drop_rate = 1.0;
+  FaultPlan faults;
+  faults.SetRoadSpec(0, drop_all);
+  const auto a = RunRound({0}, workers, faults);
+  const auto b = RunRound({0}, workers, faults);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->attempts.size(), 3u);
+  // Retry k waits base * 2^(k-1) * U[0.5, 1.5] after the missed deadline.
+  const int64_t gap1 = a->attempts[1].dispatched_us - 50'000;
+  const int64_t gap2 = a->attempts[2].dispatched_us -
+                       (a->attempts[1].dispatched_us + 50'000);
+  EXPECT_GE(gap1, 5'000);
+  EXPECT_LE(gap1, 15'000);
+  EXPECT_GE(gap2, 10'000);
+  EXPECT_LE(gap2, 30'000);
+  // The jitter draw is a pure hash: both runs saw the same schedule.
+  EXPECT_EQ(a->attempts[1].dispatched_us, b->attempts[1].dispatched_us);
+  EXPECT_EQ(a->attempts[2].dispatched_us, b->attempts[2].dispatched_us);
+  EXPECT_LE(a->span_ms, options_.MaxRoundSpanMs());
+}
+
+TEST_F(DispatchFaultTest, MixedFaultMatrixResolvesWithinBudget) {
+  std::vector<Worker> workers;
+  std::vector<graph::RoadId> selected;
+  for (graph::RoadId r = 0; r < kNumRoads; ++r) {
+    selected.push_back(r);
+    for (int k = 0; k < 5; ++k) {
+      workers.push_back(
+          MakeWorker(static_cast<WorkerId>(r * 5 + k), r));
+    }
+  }
+  FaultSpec mix;
+  mix.drop_rate = 0.3;
+  mix.delay_rate = 0.2;
+  const FaultPlan faults(mix, /*seed=*/7);
+  const auto round = RunRound(selected, workers, faults, /*quota=*/3);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  // Every task resolved inside the hard latency budget, faults or not.
+  EXPECT_EQ(round->stats.answered + round->stats.exhausted,
+            round->stats.tasks);
+  EXPECT_LE(round->span_ms, options_.MaxRoundSpanMs());
+  // probed + degraded partition the selected roads.
+  std::vector<graph::RoadId> covered;
+  for (const ProbeResult& p : round->round.probes) covered.push_back(p.road);
+  for (graph::RoadId r : round->degraded_roads) covered.push_back(r);
+  std::sort(covered.begin(), covered.end());
+  EXPECT_EQ(covered, selected);
+  for (graph::RoadId r : round->underfilled_roads) {
+    EXPECT_FALSE(std::binary_search(round->degraded_roads.begin(),
+                                    round->degraded_roads.end(), r));
+  }
+  // Payment covers exactly the accepted answers.
+  EXPECT_EQ(round->round.total_paid, round->stats.answered);
+}
+
+TEST(FaultPlanTest, WorkerSpecOverridesRoadSpecOverridesDefault) {
+  FaultSpec drop_all;
+  drop_all.drop_rate = 1.0;
+  FaultSpec dup_all;
+  dup_all.duplicate_rate = 1.0;
+  FaultPlan plan(drop_all, /*seed=*/1);
+  plan.SetRoadSpec(2, dup_all);
+  plan.SetWorkerSpec(9, FaultSpec{});  // healthy despite her road
+  EXPECT_EQ(plan.Decide(1, 0, 1).kind, FaultKind::kDrop);
+  EXPECT_EQ(plan.Decide(1, 2, 1).kind, FaultKind::kDuplicate);
+  EXPECT_EQ(plan.Decide(9, 2, 1).kind, FaultKind::kNone);
+}
+
+TEST(FaultPlanTest, DecisionsAreDeterministicPerAttempt) {
+  FaultSpec mix;
+  mix.drop_rate = 0.5;
+  mix.delay_rate = 0.3;
+  const FaultPlan plan(mix, /*seed=*/11);
+  int drops = 0;
+  for (int attempt = 1; attempt <= 200; ++attempt) {
+    const auto first = plan.Decide(3, 4, attempt);
+    const auto again = plan.Decide(3, 4, attempt);
+    EXPECT_EQ(first.kind, again.kind);
+    EXPECT_EQ(first.delay_ms, again.delay_ms);
+    if (first.kind == FaultKind::kDrop) ++drops;
+  }
+  // Roughly half the attempts drop (hash uniformity sanity check).
+  EXPECT_GT(drops, 60);
+  EXPECT_LT(drops, 140);
+}
+
+TEST(FilterReportsTest, DropsDuplicatesAndMadOutliersButNeverEverything) {
+  std::vector<SpeedAnswer> answers;
+  for (int i = 0; i < 5; ++i) {
+    answers.push_back({/*worker=*/i, /*road=*/0,
+                       /*reported_kmh=*/50.0 + 0.1 * i});
+  }
+  answers.push_back({/*worker=*/2, /*road=*/0, /*reported_kmh=*/49.0});
+  answers.push_back({/*worker=*/7, /*road=*/0, /*reported_kmh=*/140.0});
+  const auto kept = FilterReports(answers, /*mad_sigmas=*/4.0);
+  ASSERT_EQ(kept.size(), 5u);  // duplicate worker 2 and the outlier gone
+  for (const SpeedAnswer& a : kept) {
+    EXPECT_LT(a.reported_kmh, 60.0);
+  }
+  // Identical answers (zero MAD) all survive.
+  std::vector<SpeedAnswer> flat;
+  for (int i = 0; i < 6; ++i) flat.push_back({i, 0, 40.0});
+  EXPECT_EQ(FilterReports(flat, 4.0).size(), 6u);
+}
+
+TEST(SimClockTest, AdvancesManuallyAndOnSleepMonotonically) {
+  util::SimClock clock(1'000);
+  EXPECT_EQ(clock.NowMicros(), 1'000);
+  clock.AdvanceMicros(500);
+  EXPECT_EQ(clock.NowMicros(), 1'500);
+  clock.SleepUntilMicros(10'000);  // jumps, no wall time
+  EXPECT_EQ(clock.NowMicros(), 10'000);
+  clock.SleepUntilMicros(5'000);  // never goes backwards
+  EXPECT_EQ(clock.NowMicros(), 10'000);
+  clock.AdvanceMillis(1.5);
+  EXPECT_EQ(clock.NowMicros(), 11'500);
+}
+
+}  // namespace
+}  // namespace crowdrtse::crowd

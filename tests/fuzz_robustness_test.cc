@@ -1,20 +1,52 @@
 // Seeded fuzz-style robustness tests: every deserializer / parser in the
 // library must reject arbitrary byte soup (and mutated valid payloads)
 // with a Status — never crash, never accept garbage silently.
+//
+// Seeding: each test derives its stream from a per-test salt XORed with a
+// base seed taken from the CROWDRTSE_FUZZ_SEED environment variable (CI
+// sweeps it; unset means the fixed default 0). On failure the gtest trace
+// prints the exact value to export for a bit-identical local replay.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "crowd/cost_model.h"
+#include "crowd/dispatch_controller.h"
+#include "crowd/fault_plan.h"
+#include "crowd/task_assignment.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "rtf/correlation_table.h"
 #include "rtf/rtf_serialization.h"
 #include "traffic/history_io.h"
+#include "util/clock.h"
 #include "util/csv.h"
 #include "util/rng.h"
 
 namespace crowdrtse {
 namespace {
+
+/// Base fuzz seed: CROWDRTSE_FUZZ_SEED when set, 0 otherwise.
+uint64_t BaseFuzzSeed() {
+  const char* env = std::getenv("CROWDRTSE_FUZZ_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 0;
+}
+
+/// Per-test RNG seed. SCOPED_TRACE the returned value so a failing run
+/// logs how to replay it.
+uint64_t FuzzSeed(uint64_t salt) { return BaseFuzzSeed() ^ salt; }
+
+#define CROWDRTSE_TRACE_SEED(seed)                                       \
+  SCOPED_TRACE(::testing::Message()                                      \
+               << "replay: export CROWDRTSE_FUZZ_SEED="                  \
+               << (BaseFuzzSeed()) << "  (effective test seed " << (seed) \
+               << ")")
 
 std::string RandomBytes(util::Rng& rng, size_t length) {
   std::string bytes(length, '\0');
@@ -36,7 +68,9 @@ std::string Mutate(std::string payload, util::Rng& rng, int flips) {
 
 TEST(FuzzRobustnessTest, RtfModelDeserializerNeverCrashes) {
   const graph::Graph g = *graph::PathNetwork(5);
-  util::Rng rng(1);
+  const uint64_t seed = FuzzSeed(1);
+  CROWDRTSE_TRACE_SEED(seed);
+  util::Rng rng(seed);
   for (int trial = 0; trial < 200; ++trial) {
     const auto result = rtf::RtfSerializer::Deserialize(
         g, RandomBytes(rng, 1 + rng.UniformUint64(256)));
@@ -48,7 +82,9 @@ TEST(FuzzRobustnessTest, MutatedRtfModelRejectedOrValid) {
   const graph::Graph g = *graph::PathNetwork(6);
   rtf::RtfModel model(g, 2);
   const std::string valid = rtf::RtfSerializer::Serialize(model);
-  util::Rng rng(2);
+  const uint64_t seed = FuzzSeed(2);
+  CROWDRTSE_TRACE_SEED(seed);
+  util::Rng rng(seed);
   int accepted = 0;
   for (int trial = 0; trial < 200; ++trial) {
     const auto result = rtf::RtfSerializer::Deserialize(
@@ -65,7 +101,9 @@ TEST(FuzzRobustnessTest, MutatedRtfModelRejectedOrValid) {
 }
 
 TEST(FuzzRobustnessTest, HistoryDeserializerNeverCrashes) {
-  util::Rng rng(3);
+  const uint64_t seed = FuzzSeed(3);
+  CROWDRTSE_TRACE_SEED(seed);
+  util::Rng rng(seed);
   for (int trial = 0; trial < 200; ++trial) {
     const auto result = traffic::HistorySerializer::Deserialize(
         RandomBytes(rng, 1 + rng.UniformUint64(512)));
@@ -74,7 +112,9 @@ TEST(FuzzRobustnessTest, HistoryDeserializerNeverCrashes) {
 }
 
 TEST(FuzzRobustnessTest, CorrelationTableDeserializerNeverCrashes) {
-  util::Rng rng(4);
+  const uint64_t seed = FuzzSeed(4);
+  CROWDRTSE_TRACE_SEED(seed);
+  util::Rng rng(seed);
   for (int trial = 0; trial < 200; ++trial) {
     const auto result = rtf::CorrelationTable::Deserialize(
         RandomBytes(rng, 1 + rng.UniformUint64(256)));
@@ -83,7 +123,9 @@ TEST(FuzzRobustnessTest, CorrelationTableDeserializerNeverCrashes) {
 }
 
 TEST(FuzzRobustnessTest, EdgeListParserNeverCrashes) {
-  util::Rng rng(5);
+  const uint64_t seed = FuzzSeed(5);
+  CROWDRTSE_TRACE_SEED(seed);
+  util::Rng rng(seed);
   for (int trial = 0; trial < 300; ++trial) {
     // Printable garbage exercises the text parser more deeply.
     std::string text;
@@ -101,7 +143,9 @@ TEST(FuzzRobustnessTest, EdgeListParserNeverCrashes) {
 }
 
 TEST(FuzzRobustnessTest, CsvParserNeverCrashes) {
-  util::Rng rng(6);
+  const uint64_t seed = FuzzSeed(6);
+  CROWDRTSE_TRACE_SEED(seed);
+  util::Rng rng(seed);
   for (int trial = 0; trial < 300; ++trial) {
     std::string text;
     const size_t length = 1 + rng.UniformUint64(200);
@@ -127,7 +171,9 @@ TEST(FuzzRobustnessTest, CsvParserNeverCrashes) {
 }
 
 TEST(FuzzRobustnessTest, RecordsCsvRejectsBadCells) {
-  util::Rng rng(7);
+  const uint64_t seed = FuzzSeed(7);
+  CROWDRTSE_TRACE_SEED(seed);
+  util::Rng rng(seed);
   for (int trial = 0; trial < 100; ++trial) {
     std::string csv = "day,slot,road,speed_kmh\n";
     for (int row = 0; row < 3; ++row) {
@@ -145,6 +191,86 @@ TEST(FuzzRobustnessTest, RecordsCsvRejectsBadCells) {
     const auto result = traffic::RecordsFromCsv(csv);
     if (result.ok()) {
       EXPECT_EQ(result->size(), 3u);
+    }
+  }
+}
+
+// Randomized fault plans against the dispatch controller: whatever the
+// drop/delay/duplicate/corrupt mix, worker population, or quota, a round
+// must terminate inside its worst-case span, pay exactly the accepted
+// answers, and classify every selected road as probed xor degraded.
+TEST(FuzzRobustnessTest, RandomFaultPlansNeverBreakDispatchInvariants) {
+  const uint64_t seed = FuzzSeed(8);
+  CROWDRTSE_TRACE_SEED(seed);
+  util::Rng rng(seed);
+  for (int trial = 0; trial < 50; ++trial) {
+    SCOPED_TRACE(::testing::Message() << "trial " << trial);
+    const int num_roads = 2 + static_cast<int>(rng.UniformUint64(6));
+    const int quota = 1 + static_cast<int>(rng.UniformUint64(3));
+    std::vector<crowd::Worker> workers;
+    std::vector<graph::RoadId> selected;
+    for (graph::RoadId r = 0; r < num_roads; ++r) {
+      selected.push_back(r);
+      const int staff = static_cast<int>(rng.UniformUint64(5));  // may be 0
+      for (int k = 0; k < staff; ++k) {
+        crowd::Worker w;
+        w.id = static_cast<crowd::WorkerId>(workers.size());
+        w.road = r;
+        w.bias = 1.0;
+        w.noise_kmh = rng.UniformDouble(0.0, 3.0);
+        workers.push_back(w);
+      }
+    }
+    crowd::FaultSpec spec;
+    spec.drop_rate = rng.UniformDouble(0.0, 0.5);
+    spec.delay_rate = rng.UniformDouble(0.0, 0.4);
+    spec.duplicate_rate = rng.UniformDouble(0.0, 0.3);
+    spec.corrupt_rate = rng.UniformDouble(0.0, 0.3);
+    spec.delay_min_ms = rng.UniformDouble(1.0, 80.0);
+    spec.delay_max_ms = spec.delay_min_ms + rng.UniformDouble(0.0, 300.0);
+    // Corrupt values straddle the plausibility window on purpose.
+    spec.corrupt_min_kmh = rng.UniformDouble(0.0, 100.0);
+    spec.corrupt_max_kmh = spec.corrupt_min_kmh + rng.UniformDouble(0.0, 400.0);
+    const crowd::FaultPlan faults(spec, rng.UniformUint64(1u << 30));
+
+    crowd::DispatchOptions options;
+    options.deadline_ms = rng.UniformDouble(10.0, 60.0);
+    options.max_attempts = 1 + static_cast<int>(rng.UniformUint64(4));
+    options.backoff_base_ms = rng.UniformDouble(1.0, 20.0);
+    options.backoff_cap_ms = rng.UniformDouble(20.0, 100.0);
+    options.backoff_jitter = rng.UniformDouble(0.0, 0.9);
+    options.reassign_stragglers = rng.Bernoulli(0.5);
+    const crowd::CostModel costs =
+        crowd::CostModel::Constant(num_roads, quota);
+    const auto plan = crowd::AssignTasks(selected, costs, workers);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+    util::SimClock clock;
+    crowd::DispatchController controller(options, &clock);
+    const auto round = controller.Run(
+        *plan, workers, costs, faults,
+        [&](const crowd::Worker& w, graph::RoadId road) {
+          crowd::SpeedAnswer answer;
+          answer.worker = w.id;
+          answer.road = road;
+          answer.reported_kmh = 40.0 + road;
+          return answer;
+        });
+    ASSERT_TRUE(round.ok()) << round.status().ToString();
+    EXPECT_LE(round->span_ms, options.MaxRoundSpanMs() + 1e-6);
+    EXPECT_EQ(round->round.total_paid, round->stats.answered);
+    EXPECT_EQ(round->stats.answered + round->stats.exhausted,
+              round->stats.tasks);
+    std::vector<graph::RoadId> covered;
+    for (const crowd::ProbeResult& p : round->round.probes) {
+      covered.push_back(p.road);
+    }
+    for (graph::RoadId r : round->degraded_roads) covered.push_back(r);
+    std::sort(covered.begin(), covered.end());
+    EXPECT_EQ(covered, selected);
+    for (graph::RoadId r : round->underfilled_roads) {
+      EXPECT_FALSE(std::binary_search(round->degraded_roads.begin(),
+                                      round->degraded_roads.end(), r));
     }
   }
 }

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
 #include "graph/generators.h"
 #include "traffic/time_slots.h"
@@ -235,6 +237,188 @@ TEST_F(QueryEngineTest, EveryOutcomeCountedExactlyOnce) {
                 stats.queries_failed,
             3);
   EXPECT_EQ(stats.serve_latency.count, 1);
+}
+
+// --- Fault-tolerant dispatch path (DESIGN.md §5c) ---------------------
+
+TEST_F(QueryEngineTest, DispatchPathFaultFreeServesWithinLatencyBudget) {
+  BudgetLedger ledger(1000, 12);
+  util::SimClock clock;
+  QueryEngine::Options options;
+  options.fault_tolerant_dispatch = true;
+  options.clock = &clock;
+  QueryEngine engine(*system_, *registry_, ledger, costs_, *crowd_sim_,
+                     options);
+  const QueryRequest request = MakeRequest();
+  const auto response = engine.Serve(request, truth_);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->degraded_roads.empty());
+  EXPECT_FALSE(response->probed_roads.empty());
+  EXPECT_GT(response->paid, 0);
+  EXPECT_EQ(ledger.total_spent(), response->paid);
+  EXPECT_GT(response->dispatch_span_ms, 0.0);
+  EXPECT_LE(response->dispatch_span_ms, options.dispatch.MaxRoundSpanMs());
+  // Confidence annotations ride along: one variance per queried road.
+  ASSERT_EQ(response->queried_variances.size(), request.queried.size());
+  for (double v : response->queried_variances) EXPECT_GE(v, 0.0);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.queries_served, 1);
+  EXPECT_EQ(stats.roads_degraded, 0);
+  EXPECT_EQ(stats.crowd_retries, 0);
+  EXPECT_EQ(stats.crowd_deadline_misses, 0);
+}
+
+// Satellite regression: with every worker on one probed road faulted out,
+// the query still succeeds inside its budget; the road falls down the
+// degradation ladder to its RTF periodic mean, lands in degraded_roads
+// (and nowhere else), and `paid` excludes the unanswered tasks.
+TEST_F(QueryEngineTest, SingleRoadWorkerOutageDegradesJustThatRoad) {
+  BudgetLedger ledger(-1, 12);
+  util::SimClock clock;
+  QueryEngine::Options base;
+  base.fault_tolerant_dispatch = true;
+  base.clock = &clock;
+  QueryEngine healthy(*system_, *registry_, ledger, costs_, *crowd_sim_,
+                      base);
+  const QueryRequest request = MakeRequest();
+  const auto first = healthy.Serve(request, truth_);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(first->degraded_roads.empty());
+  ASSERT_FALSE(first->probed_roads.empty());
+  // Target a probed road, preferring one the client actually queried.
+  graph::RoadId target = first->probed_roads.front();
+  for (graph::RoadId r : first->probed_roads) {
+    if (std::find(request.queried.begin(), request.queried.end(), r) !=
+        request.queried.end()) {
+      target = r;
+      break;
+    }
+  }
+  // Knock out every worker on the target road — including the spares the
+  // controller would otherwise reassign to.
+  QueryEngine::Options faulted = base;
+  crowd::FaultSpec drop_all;
+  drop_all.drop_rate = 1.0;
+  for (const crowd::Worker* w : registry_->WorkersOn(target)) {
+    faulted.fault_plan.SetWorkerSpec(w->id, drop_all);
+  }
+  QueryEngine engine(*system_, *registry_, ledger, costs_, *crowd_sim_,
+                     faulted);
+  const auto second = engine.Serve(request, truth_);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_EQ(second->degraded_roads.size(), 1u);
+  EXPECT_EQ(second->degraded_roads[0], target);
+  // Regression: a degraded road must not double-count as underfilled or
+  // still claim to be probed.
+  EXPECT_EQ(std::count(second->underfilled_roads.begin(),
+                       second->underfilled_roads.end(), target),
+            0);
+  EXPECT_EQ(std::count(second->probed_roads.begin(),
+                       second->probed_roads.end(), target),
+            0);
+  // Unanswered tasks are not paid.
+  EXPECT_LT(second->paid, first->paid);
+  EXPECT_EQ(ledger.total_spent(), first->paid + second->paid);
+  EXPECT_LE(second->dispatch_span_ms, base.dispatch.MaxRoundSpanMs());
+  // If the degraded road was queried, its answer is exactly the RTF
+  // periodic mean mu_i^t with a widened (positive) variance.
+  const auto it =
+      std::find(request.queried.begin(), request.queried.end(), target);
+  if (it != request.queried.end()) {
+    const size_t idx =
+        static_cast<size_t>(it - request.queried.begin());
+    const std::vector<double> mu =
+        system_->PeriodicMeans(request.slot, {target});
+    EXPECT_DOUBLE_EQ(second->queried_speeds[idx], mu[0]);
+    EXPECT_GT(second->queried_variances[idx], 0.0);
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.roads_degraded, 1);
+  EXPECT_EQ(stats.degraded_deadline, 1);
+  EXPECT_GT(stats.crowd_deadline_misses, 0);
+  EXPECT_NE(stats.Report().find("degraded: 1 roads"), std::string::npos);
+}
+
+TEST_F(QueryEngineTest, TotalCrowdOutageFallsBackToPeriodicMeans) {
+  BudgetLedger ledger(1000, 12);
+  util::SimClock clock;
+  QueryEngine::Options options;
+  options.fault_tolerant_dispatch = true;
+  options.clock = &clock;
+  crowd::FaultSpec blackout;
+  blackout.drop_rate = 1.0;
+  options.fault_plan = crowd::FaultPlan(blackout, /*seed=*/17);
+  QueryEngine engine(*system_, *registry_, ledger, costs_, *crowd_sim_,
+                     options);
+  const QueryRequest request = MakeRequest();
+  const auto response = engine.Serve(request, truth_);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  // Every probe failed: nothing was answered, nobody was paid...
+  EXPECT_TRUE(response->probed_roads.empty());
+  EXPECT_FALSE(response->degraded_roads.empty());
+  EXPECT_EQ(response->paid, 0);
+  EXPECT_EQ(ledger.total_spent(), 0);
+  // ...yet the query completed within its latency budget and every
+  // queried road reports the RTF periodic mean.
+  EXPECT_LE(response->dispatch_span_ms, options.dispatch.MaxRoundSpanMs());
+  const std::vector<double> mu =
+      system_->PeriodicMeans(request.slot, request.queried);
+  ASSERT_EQ(response->queried_speeds.size(), mu.size());
+  for (size_t i = 0; i < mu.size(); ++i) {
+    EXPECT_DOUBLE_EQ(response->queried_speeds[i], mu[i]);
+    EXPECT_GT(response->queried_variances[i], 0.0);
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.queries_served, 1);
+  EXPECT_EQ(static_cast<size_t>(stats.roads_degraded),
+            response->degraded_roads.size());
+  EXPECT_EQ(stats.degraded_deadline + stats.degraded_outlier +
+                stats.degraded_unstaffed,
+            stats.roads_degraded);
+}
+
+// Satellite regression: QueryResponse::underfilled_roads had no test
+// coverage anywhere. A sparse crowd against a quota of 3 must surface the
+// shortfall, on both the legacy and the fault-tolerant dispatch paths —
+// and never double-count an underfilled road as degraded.
+TEST_F(QueryEngineTest, UnderfilledRoadsSurfaceOnBothServePaths) {
+  WorkerRegistryOptions sparse_options;
+  sparse_options.num_workers = 60;
+  WorkerRegistry sparse(graph_, sparse_options, 11);
+  const crowd::CostModel quota3 = crowd::CostModel::Constant(100, 3);
+  BudgetLedger ledger(-1, 30);
+  QueryEngine legacy(*system_, sparse, ledger, quota3, *crowd_sim_);
+  const auto legacy_response = legacy.Serve(MakeRequest(), truth_);
+  ASSERT_TRUE(legacy_response.ok()) << legacy_response.status().ToString();
+  ASSERT_FALSE(legacy_response->underfilled_roads.empty());
+  for (graph::RoadId r : legacy_response->underfilled_roads) {
+    EXPECT_EQ(std::count(legacy_response->probed_roads.begin(),
+                         legacy_response->probed_roads.end(), r),
+              1)
+        << "underfilled road " << r << " must still be probed";
+  }
+  // Underfilled probes pay fewer units than quota * probes.
+  EXPECT_LT(legacy_response->paid,
+            3 * static_cast<int>(legacy_response->probed_roads.size()));
+
+  util::SimClock clock;
+  QueryEngine::Options options;
+  options.fault_tolerant_dispatch = true;
+  options.clock = &clock;
+  QueryEngine dispatch(*system_, sparse, ledger, quota3, *crowd_sim_,
+                       options);
+  const auto response = dispatch.Serve(MakeRequest(), truth_);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_FALSE(response->underfilled_roads.empty());
+  for (graph::RoadId r : response->underfilled_roads) {
+    EXPECT_EQ(std::count(response->probed_roads.begin(),
+                         response->probed_roads.end(), r),
+              1);
+    EXPECT_EQ(std::count(response->degraded_roads.begin(),
+                         response->degraded_roads.end(), r),
+              0)
+        << "road " << r << " double-counted as underfilled and degraded";
+  }
 }
 
 TEST_F(QueryEngineTest, EstimatesTrackTruthReasonably) {
