@@ -12,10 +12,17 @@
 // paper's Fig. 4 shape). Throughput scaling with threads is bounded by the
 // machine's core count — on a single-core container the win is that
 // concurrency is *safe*, not faster.
+//
+// Observability: the driver also dumps machine-readable artifacts next to
+// the binary — EngineStats::ReportJson() for the 8-client serving pass and
+// the fault storm (so BENCH_*.json trajectories can track serve-path
+// counters), plus a fully sampled fault-storm pass that exports the Chrome
+// trace and the Prometheus exposition for CI upload.
 #include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -38,12 +45,28 @@ constexpr int kSlotStride = 8;       // every 40 minutes of the day
 constexpr int kQueriesPerClientPerWave = 2;
 constexpr int kQuerySize = 20;
 
+/// Writes a bench artifact next to the binary; a failure is loud but not
+/// fatal (a read-only working directory should not kill the bench).
+void DumpArtifact(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    std::printf("WARNING: could not write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(content.data(), 1, content.size(), file);
+  std::fclose(file);
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
+}
+
 struct LoadResult {
   int attempts = 0;
   double wall_seconds = 0.0;
   util::metrics::LatencySnapshot client_latency;
   server::EngineStats stats;
   std::string ledger_report;
+  /// EngineStats::ReportJson() — the serve-path counters as one JSON
+  /// object, dumped for BENCH_*.json trajectories.
+  std::string stats_json;
   int64_t total_spent = 0;
 };
 
@@ -99,6 +122,7 @@ LoadResult ReplayDay(core::CrowdRtse& system, const SemiSyntheticWorld& world,
   result.client_latency = client_latency.Snapshot();
   result.stats = engine.stats();
   result.ledger_report = ledger.Report();
+  result.stats_json = result.stats.ReportJson();
   result.total_spent = ledger.total_spent();
 
   // The tentpole invariants, enforced on every run of the driver.
@@ -120,6 +144,13 @@ struct FaultedResult {
   /// order, for the bitwise replay check.
   std::vector<double> speeds_trace;
   std::vector<graph::RoadId> degraded_trace;
+  /// Rendered observability artifacts (stats JSON always; the trace and
+  /// Prometheus dumps only when the pass ran with sampling on).
+  std::string stats_json;
+  std::string prometheus;
+  std::string chrome_trace;
+  std::string slow_query_report;
+  int64_t traces_collected = 0;
 };
 
 /// Fault-storm replay: the same day under an injected 30% drop + 20% delay
@@ -127,9 +158,12 @@ struct FaultedResult {
 /// deadline waits and retries cost zero wall time). The invariants the
 /// degradation ladder promises are CHECKed on every query: nothing fails,
 /// and every round resolves inside DispatchOptions::MaxRoundSpanMs().
+/// `trace_sample_rate` > 0 turns on per-query tracing with a ring sized to
+/// hold the whole day, so the export covers every sampled query.
 FaultedResult ReplayFaultedDay(core::CrowdRtse& system,
                                const SemiSyntheticWorld& world,
-                               int num_clients) {
+                               int num_clients,
+                               double trace_sample_rate = 0.0) {
   server::WorkerRegistryOptions registry_options;
   registry_options.num_workers = world.network.num_roads() * 3;
   server::WorkerRegistry registry(world.network, registry_options, 5);
@@ -146,6 +180,9 @@ FaultedResult ReplayFaultedDay(core::CrowdRtse& system,
   storm.drop_rate = 0.3;
   storm.delay_rate = 0.2;
   engine_options.fault_plan = crowd::FaultPlan(storm, /*seed=*/2026);
+  engine_options.trace_sample_rate = trace_sample_rate;
+  engine_options.trace_ring_size = (traffic::kSlotsPerDay / kSlotStride) *
+                                   num_clients * kQueriesPerClientPerWave;
   server::QueryEngine engine(system, registry, ledger, costs, crowd_sim,
                              engine_options);
 
@@ -192,6 +229,13 @@ FaultedResult ReplayFaultedDay(core::CrowdRtse& system,
                     kQueriesPerClientPerWave;
   result.stats = engine.stats();
   result.total_spent = ledger.total_spent();
+  result.stats_json = result.stats.ReportJson();
+  result.traces_collected = engine.traces().collected();
+  if (trace_sample_rate > 0.0) {
+    result.prometheus = engine.metrics().RenderPrometheus();
+    result.chrome_trace = engine.traces().ChromeTraceJson();
+    result.slow_query_report = engine.traces().SlowQueryReport();
+  }
   CROWDRTSE_CHECK(result.stats.queries_failed == 0);
   CROWDRTSE_CHECK(result.stats.queries_served == result.attempts);
   return result;
@@ -234,6 +278,8 @@ void Run() {
       std::printf("\nper-phase latency at 8 clients:\n%s\n%s\n",
                   result.stats.Report().c_str(),
                   result.ledger_report.c_str());
+      DumpArtifact("bench_concurrent_serving_stats.json",
+                   result.stats_json + "\n");
     }
   }
   table.Print();
@@ -249,8 +295,22 @@ void Run() {
          std::to_string(faulted.stats.roads_degraded),
          std::to_string(faulted.stats.crowd_retries),
          std::to_string(faulted.total_spent)});
+    if (clients == 4) {
+      DumpArtifact("bench_fault_storm_stats.json", faulted.stats_json + "\n");
+    }
   }
   fault_table.Print();
+
+  // A fully sampled pass (every query traced) exports the Chrome trace and
+  // the Prometheus exposition — the CI smoke artifacts. The ring is sized
+  // to the day, so the export must cover every query.
+  std::printf("\ntracing the 1-client fault storm at sample rate 1.0...\n");
+  const FaultedResult traced = ReplayFaultedDay(*system, world, 1, 1.0);
+  CROWDRTSE_CHECK(traced.traces_collected == traced.attempts);
+  DumpArtifact("bench_fault_storm_trace.json", traced.chrome_trace);
+  DumpArtifact("bench_fault_storm_metrics.prom", traced.prometheus);
+  std::printf("slowest traced queries:\n%s",
+              traced.slow_query_report.c_str());
 
   // Same seed, fresh engine: the faulted day must replay bit-identically.
   std::printf("replaying the 1-client fault storm for determinism...\n");
@@ -262,6 +322,10 @@ void Run() {
   }
   CROWDRTSE_CHECK(a.degraded_trace == b.degraded_trace);
   CROWDRTSE_CHECK(a.total_spent == b.total_spent);
+  // Tracing must be an observer, not a participant: the fully sampled pass
+  // above served the same day and must have produced the same answers.
+  CROWDRTSE_CHECK(traced.speeds_trace == a.speeds_trace);
+  CROWDRTSE_CHECK(traced.degraded_trace == a.degraded_trace);
   std::printf("replay OK: %zu answers bit-identical, %zu degraded roads, "
               "max span %.2f ms\n",
               a.speeds_trace.size(), a.degraded_trace.size(),

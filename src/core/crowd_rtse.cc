@@ -1,6 +1,7 @@
 #include "core/crowd_rtse.h"
 
 #include "gsp/uncertainty.h"
+#include "util/trace.h"
 
 #include <string>
 #include <utility>
@@ -110,8 +111,11 @@ util::Result<ocs::OcsSolution> CrowdRtse::SelectRoads(
     int slot, const std::vector<graph::RoadId>& queried_roads,
     const std::vector<graph::RoadId>& worker_roads,
     const crowd::CostModel& costs, int budget, SelectorKind selector) {
-  util::Result<rtf::CorrelationCache::TablePtr> table =
-      CorrelationsFor(slot);
+  util::Result<rtf::CorrelationCache::TablePtr> table = [&] {
+    util::trace::Span span("ocs.correlations");
+    span.Annotate("slot", static_cast<int64_t>(slot));
+    return CorrelationsFor(slot);
+  }();
   if (!table.ok()) return table.status();
   // `*table` is held for the whole solve: OcsProblem keeps a raw reference,
   // and the shared_ptr outlives it even if the cache evicts the slot.
@@ -119,6 +123,9 @@ util::Result<ocs::OcsSolution> CrowdRtse::SelectRoads(
       **table, queried_roads, SigmaWeights(slot, queried_roads),
       worker_roads, costs, budget, config_.theta);
   if (!problem.ok()) return problem.status();
+  util::trace::Span span("ocs.select");
+  span.Annotate("candidates",
+                static_cast<int64_t>(problem->candidate_roads().size()));
   switch (selector) {
     case SelectorKind::kHybridGreedy:
       return ocs::HybridGreedy(*problem);

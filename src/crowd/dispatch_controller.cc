@@ -5,8 +5,10 @@
 #include <map>
 #include <queue>
 #include <string>
+#include <utility>
 
 #include "crowd/aggregation.h"
+#include "util/trace.h"
 
 namespace crowdrtse::crowd {
 
@@ -139,6 +141,41 @@ util::Result<DispatchRound> DispatchController::Run(
   const int64_t t0 = clock_->NowMicros();
   const int64_t deadline_us = MsToUs(options_.deadline_ms);
 
+  // Tracing: attempts live on the round's simulated event timeline, not on
+  // the call stack, so they are recorded as complete spans when they close
+  // (accepted / deadline / outlier), all children of one pre-allocated
+  // "crowd.dispatch" span that is written at the end of the round.
+  util::trace::Trace* const tr = util::trace::ActiveTrace();
+  const int64_t trace_parent = util::trace::ActiveSpanId();
+  const int64_t dispatch_span_id = tr != nullptr ? tr->NextSpanId() : 0;
+  struct OpenAttempt {
+    int64_t start_us = 0;
+    WorkerId worker = -1;
+    graph::RoadId road = graph::kInvalidRoad;
+    FaultKind fault = FaultKind::kNone;
+    bool reassigned = false;
+  };
+  std::map<std::pair<int, int>, OpenAttempt> open_attempts;
+  const auto close_attempt = [&](int task_index, int attempt, int64_t end_us,
+                                 const char* outcome) {
+    if (tr == nullptr) return;
+    const auto it = open_attempts.find({task_index, attempt});
+    if (it == open_attempts.end()) return;  // already closed (stale event)
+    const OpenAttempt& a = it->second;
+    std::vector<util::trace::Annotation> notes;
+    notes.push_back({"road", std::to_string(a.road)});
+    notes.push_back({"worker", std::to_string(a.worker)});
+    notes.push_back({"attempt", std::to_string(attempt)});
+    notes.push_back({"outcome", outcome});
+    if (a.fault != FaultKind::kNone) {
+      notes.push_back({"fault", FaultKindName(a.fault)});
+    }
+    if (a.reassigned) notes.push_back({"reassigned", "true"});
+    util::trace::AddCompleteSpan(tr, "crowd.attempt", dispatch_span_id,
+                                 a.start_us, end_us, std::move(notes));
+    open_attempts.erase(it);
+  };
+
   const auto dispatch = [&](int task_index, const Worker& worker,
                             int attempt, int64_t at_us, bool reassigned) {
     Task& task = tasks[static_cast<size_t>(task_index)];
@@ -158,6 +195,10 @@ util::Result<DispatchRound> DispatchController::Run(
         faults.Decide(worker.id, task.road, attempt);
     log.fault = fault.kind;
     out.attempts.push_back(log);
+    if (tr != nullptr) {
+      open_attempts[{task_index, attempt}] =
+          OpenAttempt{at_us, worker.id, task.road, fault.kind, reassigned};
+    }
 
     const uint64_t w = static_cast<uint64_t>(static_cast<int64_t>(worker.id));
     const uint64_t r = static_cast<uint64_t>(static_cast<int64_t>(task.road));
@@ -277,6 +318,7 @@ util::Result<DispatchRound> DispatchController::Run(
       if (task.resolved || ev.attempt != task.active_attempt) continue;
       ++out.stats.deadline_misses;
       ++task.deadline_failures;
+      close_attempt(ev.task, ev.attempt, ev.at_us, "deadline");
       fail_attempt(ev.task, ev.at_us);
       continue;
     }
@@ -290,6 +332,7 @@ util::Result<DispatchRound> DispatchController::Run(
       ++out.stats.outlier_reports;
       if (ev.attempt == task.active_attempt) {
         ++task.outlier_failures;
+        close_attempt(ev.task, ev.attempt, ev.at_us, "outlier");
         fail_attempt(ev.task, ev.at_us);
       }
       continue;
@@ -300,6 +343,12 @@ util::Result<DispatchRound> DispatchController::Run(
     accepted_answer.reported_kmh = ev.value_kmh;
     accepted[task.road].push_back(accepted_answer);
     ++out.stats.answered;
+    close_attempt(ev.task, ev.attempt, ev.at_us, "accepted");
+    if (ev.attempt != task.active_attempt) {
+      // A late report from an earlier attempt answered the task; the
+      // in-flight attempt is moot.
+      close_attempt(ev.task, task.active_attempt, ev.at_us, "preempted");
+    }
     resolve(task, /*with_answer=*/true, ev.at_us);
   }
 
@@ -317,6 +366,16 @@ util::Result<DispatchRound> DispatchController::Run(
 
   out.span_ms = static_cast<double>(last_resolution_us - t0) / 1e3;
 
+  // Attempts still open when the round ended (their task resolved by some
+  // other path) close at the last resolution.
+  if (tr != nullptr) {
+    while (!open_attempts.empty()) {
+      const auto [task_index, attempt] = open_attempts.begin()->first;
+      close_attempt(task_index, attempt, last_resolution_us, "unresolved");
+    }
+  }
+
+  util::trace::Span aggregate_span("crowd.aggregate");
   // Per-road verdicts. A selected road is exactly one of: probed (>= 1
   // accepted answer, possibly underfilled) or degraded (zero answers).
   std::map<graph::RoadId, std::pair<int, int>> failures;  // deadline, outlier
@@ -369,6 +428,41 @@ util::Result<DispatchRound> DispatchController::Run(
     }
     const int quota = std::max(1, costs.Cost(road));
     if (num_accepted < quota) out.underfilled_roads.push_back(road);
+  }
+  aggregate_span.Annotate("probes",
+                          static_cast<int64_t>(out.round.probes.size()));
+  aggregate_span.Annotate("degraded",
+                          static_cast<int64_t>(out.degraded_roads.size()));
+  aggregate_span.End();
+
+  // The parent dispatch span covers dispatch to last resolution and carries
+  // the per-road degrade verdicts — the same reason codes the response
+  // returns, so traces and responses can be checked against each other.
+  if (tr != nullptr) {
+    std::vector<util::trace::Annotation> notes;
+    notes.push_back({"tasks", std::to_string(out.stats.tasks)});
+    notes.push_back({"answered", std::to_string(out.stats.answered)});
+    notes.push_back({"retries", std::to_string(out.stats.retries)});
+    notes.push_back(
+        {"deadline_misses", std::to_string(out.stats.deadline_misses)});
+    if (!out.degraded_roads.empty()) {
+      std::string verdicts;
+      for (size_t i = 0; i < out.degraded_roads.size(); ++i) {
+        if (i > 0) verdicts += ",";
+        verdicts += std::to_string(out.degraded_roads[i]);
+        verdicts += ":";
+        verdicts += DegradeReasonName(out.degraded_reasons[i]);
+      }
+      notes.push_back({"degraded", std::move(verdicts)});
+    }
+    util::trace::SpanRecord record;
+    record.id = dispatch_span_id;
+    record.parent = trace_parent;
+    record.name = "crowd.dispatch";
+    record.start_us = t0;
+    record.end_us = last_resolution_us;
+    record.annotations = std::move(notes);
+    tr->Record(std::move(record));
   }
   return out;
 }

@@ -4,6 +4,8 @@
 #include <queue>
 #include <set>
 
+#include "util/trace.h"
+
 namespace crowdrtse::ocs {
 
 namespace {
@@ -101,17 +103,30 @@ OcsSolution RunLazyGreedy(const OcsProblem& problem, ScoreFn score) {
   return solution;
 }
 
+/// Stamps a finished selector run onto its span (no-op untraced).
+OcsSolution Annotated(util::trace::Span& span, OcsSolution solution) {
+  if (span.active()) {
+    span.Annotate("selected", static_cast<int64_t>(solution.roads.size()));
+    span.Annotate("objective", solution.objective);
+    span.Annotate("cost", static_cast<int64_t>(solution.total_cost));
+  }
+  return solution;
+}
+
 }  // namespace
 
 OcsSolution RatioGreedy(const OcsProblem& problem) {
-  return RunGreedy(problem, [](double gain, int cost) {
-    return gain / static_cast<double>(cost);
-  });
+  util::trace::Span span("ocs.ratio_greedy");
+  return Annotated(span, RunGreedy(problem, [](double gain, int cost) {
+                     return gain / static_cast<double>(cost);
+                   }));
 }
 
 OcsSolution ObjectiveGreedy(const OcsProblem& problem) {
-  return RunGreedy(problem,
-                   [](double gain, int /*cost*/) { return gain; });
+  util::trace::Span span("ocs.objective_greedy");
+  return Annotated(span,
+                   RunGreedy(problem,
+                             [](double gain, int /*cost*/) { return gain; }));
 }
 
 OcsSolution HybridGreedy(const OcsProblem& problem) {
@@ -121,14 +136,17 @@ OcsSolution HybridGreedy(const OcsProblem& problem) {
 }
 
 OcsSolution LazyRatioGreedy(const OcsProblem& problem) {
-  return RunLazyGreedy(problem, [](double gain, int cost) {
-    return gain / static_cast<double>(cost);
-  });
+  util::trace::Span span("ocs.lazy_ratio_greedy");
+  return Annotated(span, RunLazyGreedy(problem, [](double gain, int cost) {
+                     return gain / static_cast<double>(cost);
+                   }));
 }
 
 OcsSolution LazyObjectiveGreedy(const OcsProblem& problem) {
-  return RunLazyGreedy(problem,
-                       [](double gain, int /*cost*/) { return gain; });
+  util::trace::Span span("ocs.lazy_objective_greedy");
+  return Annotated(
+      span, RunLazyGreedy(problem,
+                          [](double gain, int /*cost*/) { return gain; }));
 }
 
 OcsSolution LazyHybridGreedy(const OcsProblem& problem) {

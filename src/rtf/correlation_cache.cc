@@ -7,6 +7,7 @@
 
 #include "util/logging.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace crowdrtse::rtf {
 
@@ -45,6 +46,10 @@ util::Result<CorrelationCache::TablePtr> CorrelationCache::GetOrCompute(
   if (slot < 0) {
     return util::Status::OutOfRange("negative slot: " + std::to_string(slot));
   }
+  // One span for the whole lookup, however many singleflight/eviction
+  // retries it takes; the outcome annotation names the path that won.
+  util::trace::Span span("gamma.lookup");
+  span.Annotate("slot", static_cast<int64_t>(slot));
   for (;;) {
     std::shared_ptr<Entry> entry = EntryFor(slot);
     std::unique_lock<std::mutex> lock(entry->mutex);
@@ -53,21 +58,27 @@ util::Result<CorrelationCache::TablePtr> CorrelationCache::GetOrCompute(
       TablePtr table = entry->table;
       lock.unlock();
       Touch(slot);
+      span.Annotate("outcome", "hit");
       return table;
     }
     if (entry->computing) {
       // Singleflight: somebody is already computing this slot — wait for
       // their result instead of duplicating ~one Dijkstra per road.
       coalesced_.Increment();
+      span.Annotate("coalesced", "true");
       entry->computed.wait(lock, [&] { return !entry->computing; });
       if (entry->table) {
         hits_.Increment();
         TablePtr table = entry->table;
         lock.unlock();
         Touch(slot);
+        span.Annotate("outcome", "coalesced_hit");
         return table;
       }
-      if (!entry->error.ok()) return entry->error;
+      if (!entry->error.ok()) {
+        span.Annotate("outcome", "coalesced_error");
+        return entry->error;
+      }
       // No table and no error: the computer's result was discarded (an
       // Invalidate raced the compute) or the table was evicted before we
       // woke. Retry the whole lookup — never hand an OK Status to Result.
@@ -127,13 +138,19 @@ util::Result<CorrelationCache::TablePtr> CorrelationCache::GetOrCompute(
       // Invalidate ran while we computed (or warm-loaded): the result was
       // built from pre-invalidation state. Discard it — no caching, no
       // persisting — and retry against the fresh parameters.
+      span.Annotate("stale_retry", "true");
       continue;
     }
-    if (!table) return error;
+    if (!table) {
+      span.Annotate("outcome", "compute_error");
+      return error;
+    }
     if (warm_loaded) {
       warm_loads_.Increment();
+      span.Annotate("outcome", "warm_load");
     } else {
       Persist(slot, *table);
+      span.Annotate("outcome", "computed");
     }
     Publish(slot, table);
     return table;

@@ -40,6 +40,56 @@ std::string EngineStats::Report() const {
   return out;
 }
 
+std::string EngineStats::ReportJson() const {
+  std::string out = "{";
+  out += "\"crowdrtse_queries_served_total\":" +
+         std::to_string(queries_served);
+  out += ",\"crowdrtse_queries_rejected_total\":" +
+         std::to_string(queries_rejected);
+  out += ",\"crowdrtse_queries_failed_total\":" +
+         std::to_string(queries_failed);
+  out += ",\"crowdrtse_paid_units_total\":" + std::to_string(total_paid);
+  out += ",\"crowdrtse_roads_degraded_total\":" +
+         std::to_string(roads_degraded);
+  out += ",\"crowdrtse_degraded_deadline_total\":" +
+         std::to_string(degraded_deadline);
+  out += ",\"crowdrtse_degraded_outlier_total\":" +
+         std::to_string(degraded_outlier);
+  out += ",\"crowdrtse_degraded_unstaffed_total\":" +
+         std::to_string(degraded_unstaffed);
+  out += ",\"crowdrtse_dispatch_retries_total\":" +
+         std::to_string(crowd_retries);
+  out += ",\"crowdrtse_dispatch_reassignments_total\":" +
+         std::to_string(crowd_reassignments);
+  out += ",\"crowdrtse_dispatch_deadline_misses_total\":" +
+         std::to_string(crowd_deadline_misses);
+  out += ",\"crowdrtse_reports_late_total\":" + std::to_string(reports_late);
+  out += ",\"crowdrtse_reports_duplicate_total\":" +
+         std::to_string(reports_duplicate);
+  out += ",\"crowdrtse_reports_outlier_total\":" +
+         std::to_string(reports_outlier);
+  out += ",\"crowdrtse_ocs_latency_ms\":" + ocs_latency.ToJson();
+  out += ",\"crowdrtse_crowd_latency_ms\":" + crowd_latency.ToJson();
+  out += ",\"crowdrtse_gsp_latency_ms\":" + gsp_latency.ToJson();
+  out += ",\"crowdrtse_serve_latency_ms\":" + serve_latency.ToJson();
+  out += ",\"crowdrtse_gamma_cache_hits\":" +
+         std::to_string(gamma_cache.hits);
+  out += ",\"crowdrtse_gamma_cache_misses\":" +
+         std::to_string(gamma_cache.misses);
+  out += ",\"crowdrtse_gamma_cache_coalesced\":" +
+         std::to_string(gamma_cache.coalesced);
+  out += ",\"crowdrtse_gamma_cache_evictions\":" +
+         std::to_string(gamma_cache.evictions);
+  out += ",\"crowdrtse_gamma_cache_resident_tables\":" +
+         std::to_string(gamma_cache.resident_tables);
+  out += ",\"crowdrtse_gamma_cache_resident_bytes\":" +
+         std::to_string(gamma_cache.resident_bytes);
+  out += ",\"crowdrtse_gamma_compute_latency_ms\":" +
+         gamma_cache.compute_latency.ToJson();
+  out += "}";
+  return out;
+}
+
 QueryEngine::QueryEngine(core::CrowdRtse& system, WorkerRegistry& registry,
                          BudgetLedger& ledger,
                          const crowd::CostModel& costs,
@@ -57,11 +107,91 @@ QueryEngine::QueryEngine(core::CrowdRtse& system, WorkerRegistry& registry,
       crowd_sim_(crowd_sim),
       options_(options),
       propagators_(system.model(), system.config().gsp,
-                   PoolSizeOrDefault(options.propagator_pool_size)) {}
+                   PoolSizeOrDefault(options.propagator_pool_size)),
+      traces_(util::trace::TraceCollector::Options{
+          options.trace_ring_size, options.trace_slow_log_size}) {
+  RegisterInstruments();
+}
+
+void QueryEngine::RegisterInstruments() {
+  queries_served_ = &metrics_.GetCounter(
+      "crowdrtse_queries_served_total", "queries answered successfully");
+  queries_rejected_ = &metrics_.GetCounter(
+      "crowdrtse_queries_rejected_total",
+      "queries refused up front (bad request or campaign budget dry)");
+  queries_failed_ = &metrics_.GetCounter(
+      "crowdrtse_queries_failed_total",
+      "queries that died mid-pipeline after their budget grant");
+  paid_units_ = &metrics_.GetCounter("crowdrtse_paid_units_total",
+                                      "answer-units paid to the crowd");
+  roads_degraded_ = &metrics_.GetCounter(
+      "crowdrtse_roads_degraded_total",
+      "selected roads that fell down the degradation ladder");
+  degraded_deadline_ = &metrics_.GetCounter(
+      "crowdrtse_degraded_deadline_total",
+      "roads degraded because every attempt dropped out or timed out");
+  degraded_outlier_ = &metrics_.GetCounter(
+      "crowdrtse_degraded_outlier_total",
+      "roads degraded because all answers were rejected as implausible");
+  degraded_unstaffed_ = &metrics_.GetCounter(
+      "crowdrtse_degraded_unstaffed_total",
+      "roads degraded because no worker was there to ask");
+  crowd_retries_ = &metrics_.GetCounter(
+      "crowdrtse_dispatch_retries_total",
+      "re-dispatches after a failed crowd attempt");
+  crowd_reassignments_ = &metrics_.GetCounter(
+      "crowdrtse_dispatch_reassignments_total",
+      "retries that moved to a fresh worker");
+  crowd_deadline_misses_ = &metrics_.GetCounter(
+      "crowdrtse_dispatch_deadline_misses_total",
+      "attempts written off at their deadline");
+  reports_late_ = &metrics_.GetCounter(
+      "crowdrtse_reports_late_total", "reports that arrived past deadline");
+  reports_duplicate_ = &metrics_.GetCounter(
+      "crowdrtse_reports_duplicate_total",
+      "reports dropped because the task was already answered");
+  reports_outlier_ = &metrics_.GetCounter(
+      "crowdrtse_reports_outlier_total",
+      "reports rejected by the plausibility window or MAD filter");
+  ocs_latency_ = &metrics_.GetHistogram("crowdrtse_ocs_latency_ms",
+                                         "OCS road-selection phase latency");
+  crowd_latency_ = &metrics_.GetHistogram(
+      "crowdrtse_crowd_latency_ms", "crowdsourcing round wall latency");
+  gsp_latency_ = &metrics_.GetHistogram("crowdrtse_gsp_latency_ms",
+                                         "GSP propagation phase latency");
+  serve_latency_ = &metrics_.GetHistogram(
+      "crowdrtse_serve_latency_ms", "end-to-end Serve latency (served only)");
+
+  // Live component state surfaces as callback gauges, read at render time.
+  metrics_.RegisterCallbackGauge(
+      "crowdrtse_gamma_cache_resident_bytes",
+      "resident footprint of the Gamma_R correlation cache",
+      [this] { return system_.CorrelationCacheStats().resident_bytes; });
+  metrics_.RegisterCallbackGauge(
+      "crowdrtse_gamma_cache_resident_tables",
+      "correlation tables currently resident",
+      [this] { return system_.CorrelationCacheStats().resident_tables; });
+  metrics_.RegisterCallbackGauge(
+      "crowdrtse_ledger_reserved_outstanding",
+      "budget units earmarked by in-flight reservations",
+      [this] { return ledger_.reserved_outstanding(); });
+  metrics_.RegisterCallbackGauge(
+      "crowdrtse_ledger_remaining_units",
+      "campaign budget not yet spent or reserved",
+      [this] { return ledger_.remaining(); });
+  metrics_.RegisterCallbackGauge(
+      "crowdrtse_gsp_leases_in_flight",
+      "propagator-pool leases currently held by GSP phases", [this] {
+        return static_cast<int64_t>(propagators_.size() -
+                                    propagators_.available());
+      });
+  metrics_.RegisterCallbackGauge(
+      "crowdrtse_traces_collected", "sampled query traces collected",
+      [this] { return traces_.collected(); });
+}
 
 util::Status QueryEngine::RejectQuery(const util::Status& status) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++queries_rejected_;
+  queries_rejected_->Increment();
   return status;
 }
 
@@ -70,9 +200,8 @@ util::Status QueryEngine::FailQuery(int64_t query_id, int granted, int paid,
   // The crowd (if it ran) was really paid: that spend must not vanish from
   // the campaign accounting just because a later phase failed.
   (void)ledger_.Settle(query_id, granted, paid);
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++queries_failed_;
-  total_paid_ += paid;
+  queries_failed_->Increment();
+  paid_units_->Increment(paid);
   return status;
 }
 
@@ -102,11 +231,37 @@ util::Result<QueryResponse> QueryEngine::Serve(
 
   const int64_t query_id =
       next_query_id_.fetch_add(1, std::memory_order_relaxed);
+
+  // Sampled queries get a trace; every Span below attaches to it through
+  // the thread-local installed by ScopedTrace, so the deeper layers need no
+  // plumbing. Unsampled queries pay one thread-local read per span site.
+  std::shared_ptr<util::trace::Trace> trace;
+  if (util::trace::ShouldSample(options_.trace_sample_rate,
+                                static_cast<uint64_t>(query_id))) {
+    trace =
+        std::make_shared<util::trace::Trace>(query_id, options_.clock);
+  }
+  // Collects the finished trace on every exit path. Declared before the
+  // ScopedTrace and the spans so it runs after they have all closed.
+  struct Collect {
+    util::trace::TraceCollector& collector;
+    std::shared_ptr<util::trace::Trace> trace;
+    ~Collect() {
+      if (trace) collector.Collect(std::move(trace));
+    }
+  } collect{traces_, trace};
+  util::trace::ScopedTrace scoped(trace.get());
+  util::trace::Span serve_span("serve");
+  serve_span.Annotate("slot", static_cast<int64_t>(request.slot));
+  serve_span.Annotate("queried", static_cast<int64_t>(queried.size()));
+
   const int budget = ledger_.Reserve(query_id);
   if (budget <= 0) {
+    serve_span.Annotate("outcome", "budget_denied");
     return RejectQuery(util::Status::FailedPrecondition(
         "campaign budget exhausted: " + ledger_.Report()));
   }
+  serve_span.Annotate("budget", static_cast<int64_t>(budget));
 
   QueryResponse response;
   response.query_id = query_id;
@@ -118,14 +273,27 @@ util::Result<QueryResponse> QueryEngine::Serve(
   const std::vector<graph::RoadId> worker_roads =
       options_.require_full_staffing ? registry_.StaffableRoads(costs_)
                                      : registry_.CoveredRoads();
-  util::Result<ocs::OcsSolution> selection = system_.SelectRoads(
-      request.slot, queried, worker_roads, costs_, budget,
-      request.selector);
+  util::Result<ocs::OcsSolution> selection = [&] {
+    util::trace::Span ocs_span("ocs");
+    ocs_span.Annotate("worker_roads",
+                      static_cast<int64_t>(worker_roads.size()));
+    util::Result<ocs::OcsSolution> solved = system_.SelectRoads(
+        request.slot, queried, worker_roads, costs_, budget,
+        request.selector);
+    if (solved.ok()) {
+      ocs_span.Annotate("selected",
+                        static_cast<int64_t>(solved->roads.size()));
+      ocs_span.Annotate("objective", solved->objective);
+      ocs_span.Annotate("cost", static_cast<int64_t>(solved->total_cost));
+    }
+    return solved;
+  }();
   if (!selection.ok()) {
+    serve_span.Annotate("outcome", "failed_ocs");
     return FailQuery(query_id, budget, 0, selection.status());
   }
   response.ocs_millis = timer.ElapsedMillis();
-  ocs_latency_.Record(response.ocs_millis);
+  ocs_latency_->Record(response.ocs_millis);
 
   // Step 2 — crowdsourcing round: assign concrete workers to the selected
   // roads, then collect. Legacy path: every assigned worker reports once,
@@ -135,12 +303,21 @@ util::Result<QueryResponse> QueryEngine::Serve(
   // as errors. The simulator's RNG is stateful, so either way this phase
   // runs one query at a time.
   timer.Reset();
-  std::vector<crowd::DegradeReason> degraded_reasons;
   crowd::DispatchStats dispatch_stats;
   util::Result<crowd::CrowdRound> round = [&] {
     std::lock_guard<std::mutex> lock(crowd_mutex_);
-    util::Result<crowd::AssignmentPlan> plan = crowd::AssignTasks(
-        selection->roads, costs_, registry_.workers());
+    util::trace::Span crowd_span("crowd");
+    util::Result<crowd::AssignmentPlan> plan = [&] {
+      util::trace::Span assign_span("crowd.assign");
+      util::Result<crowd::AssignmentPlan> assigned = crowd::AssignTasks(
+          selection->roads, costs_, registry_.workers());
+      if (assigned.ok()) {
+        assign_span.Annotate(
+            "assignments",
+            static_cast<int64_t>(assigned->assignments.size()));
+      }
+      return assigned;
+    }();
     if (!plan.ok()) return util::Result<crowd::CrowdRound>(plan.status());
     if (!options_.fault_tolerant_dispatch) {
       response.underfilled_roads = plan->underfilled_roads;
@@ -160,16 +337,19 @@ util::Result<QueryResponse> QueryEngine::Serve(
     }
     response.underfilled_roads = std::move(dispatched->underfilled_roads);
     response.degraded_roads = std::move(dispatched->degraded_roads);
+    response.degraded_reasons = std::move(dispatched->degraded_reasons);
     response.dispatch_span_ms = dispatched->span_ms;
-    degraded_reasons = std::move(dispatched->degraded_reasons);
     dispatch_stats = dispatched->stats;
+    crowd_span.Annotate("degraded",
+                        static_cast<int64_t>(response.degraded_roads.size()));
     return util::Result<crowd::CrowdRound>(std::move(dispatched->round));
   }();
   if (!round.ok()) {
+    serve_span.Annotate("outcome", "failed_crowd");
     return FailQuery(query_id, budget, 0, round.status());
   }
   response.crowd_millis = timer.ElapsedMillis();
-  crowd_latency_.Record(response.crowd_millis);
+  crowd_latency_->Record(response.crowd_millis);
   response.paid = round->total_paid;
 
   // Step 3 — GSP over the roads that actually produced answers. Leases a
@@ -183,15 +363,30 @@ util::Result<QueryResponse> QueryEngine::Serve(
     probed.push_back(p.probed_kmh);
   }
   util::Result<gsp::GspResult> estimate = [&] {
-    gsp::PropagatorPool::Lease propagator = propagators_.Acquire();
-    return propagator->Propagate(request.slot, response.probed_roads,
-                                 probed);
+    util::trace::Span gsp_span("gsp");
+    gsp_span.Annotate("probed",
+                      static_cast<int64_t>(response.probed_roads.size()));
+    gsp::PropagatorPool::Lease propagator = [&] {
+      util::trace::Span acquire_span("gsp.acquire");
+      acquire_span.Annotate("available",
+                            static_cast<int64_t>(propagators_.available()));
+      return propagators_.Acquire();
+    }();
+    util::trace::Span propagate_span("gsp.propagate");
+    util::Result<gsp::GspResult> propagated = propagator->Propagate(
+        request.slot, response.probed_roads, probed);
+    if (propagated.ok()) {
+      propagate_span.Annotate("sweeps",
+                              static_cast<int64_t>(propagated->sweeps));
+    }
+    return propagated;
   }();
   if (!estimate.ok()) {
+    serve_span.Annotate("outcome", "failed_gsp");
     return FailQuery(query_id, budget, response.paid, estimate.status());
   }
   response.gsp_millis = timer.ElapsedMillis();
-  gsp_latency_.Record(response.gsp_millis);
+  gsp_latency_->Record(response.gsp_millis);
   response.gsp_sweeps = estimate->sweeps;
 
   response.queried_speeds.reserve(request.queried.size());
@@ -205,6 +400,9 @@ util::Result<QueryResponse> QueryEngine::Serve(
   // GSP value propagated from probes it never had, and every queried road
   // reports a variance — widened to the prior for degraded roads.
   if (options_.fault_tolerant_dispatch) {
+    util::trace::Span degrade_span("degrade");
+    degrade_span.Annotate(
+        "degraded", static_cast<int64_t>(response.degraded_roads.size()));
     if (!response.degraded_roads.empty()) {
       const std::vector<double> fallback = system_.PeriodicMeans(
           request.slot, response.degraded_roads);
@@ -225,6 +423,8 @@ util::Result<QueryResponse> QueryEngine::Serve(
                                     response.degraded_roads,
                                     options_.degraded_variance_inflation);
     if (!variances.ok()) {
+      degrade_span.End();
+      serve_span.Annotate("outcome", "failed_degrade");
       return FailQuery(query_id, budget, response.paid, variances.status());
     }
     response.queried_variances.reserve(request.queried.size());
@@ -234,65 +434,68 @@ util::Result<QueryResponse> QueryEngine::Serve(
     }
   }
 
-  const util::Status settled =
-      ledger_.Settle(query_id, budget, response.paid);
+  const util::Status settled = [&] {
+    util::trace::Span settle_span("settle");
+    return ledger_.Settle(query_id, budget, response.paid);
+  }();
   if (!settled.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++queries_failed_;
+    serve_span.Annotate("outcome", "failed_settle");
+    queries_failed_->Increment();
     return settled;
   }
-  serve_latency_.Record(serve_timer.ElapsedMillis());
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++queries_served_;
-  total_paid_ += response.paid;
+  serve_latency_->Record(serve_timer.ElapsedMillis());
+  queries_served_->Increment();
+  paid_units_->Increment(response.paid);
   if (options_.fault_tolerant_dispatch) {
-    roads_degraded_ += static_cast<int64_t>(response.degraded_roads.size());
-    for (crowd::DegradeReason reason : degraded_reasons) {
+    roads_degraded_->Increment(
+        static_cast<int64_t>(response.degraded_roads.size()));
+    for (crowd::DegradeReason reason : response.degraded_reasons) {
       switch (reason) {
         case crowd::DegradeReason::kDeadline:
-          ++degraded_deadline_;
+          degraded_deadline_->Increment();
           break;
         case crowd::DegradeReason::kOutlier:
-          ++degraded_outlier_;
+          degraded_outlier_->Increment();
           break;
         case crowd::DegradeReason::kUnstaffed:
-          ++degraded_unstaffed_;
+          degraded_unstaffed_->Increment();
           break;
       }
     }
-    crowd_retries_ += dispatch_stats.retries;
-    crowd_reassignments_ += dispatch_stats.reassignments;
-    crowd_deadline_misses_ += dispatch_stats.deadline_misses;
-    reports_late_ += dispatch_stats.late_reports;
-    reports_duplicate_ += dispatch_stats.duplicate_reports;
-    reports_outlier_ += dispatch_stats.outlier_reports;
+    crowd_retries_->Increment(dispatch_stats.retries);
+    crowd_reassignments_->Increment(dispatch_stats.reassignments);
+    crowd_deadline_misses_->Increment(dispatch_stats.deadline_misses);
+    reports_late_->Increment(dispatch_stats.late_reports);
+    reports_duplicate_->Increment(dispatch_stats.duplicate_reports);
+    reports_outlier_->Increment(dispatch_stats.outlier_reports);
   }
+  serve_span.Annotate("paid", static_cast<int64_t>(response.paid));
+  serve_span.Annotate("outcome", "served");
+  serve_span.End();
+  if (trace) response.trace_summary = util::trace::Summarize(*trace);
   return response;
 }
 
 EngineStats QueryEngine::stats() const {
   EngineStats snapshot;
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    snapshot.queries_served = queries_served_;
-    snapshot.queries_rejected = queries_rejected_;
-    snapshot.queries_failed = queries_failed_;
-    snapshot.total_paid = total_paid_;
-    snapshot.roads_degraded = roads_degraded_;
-    snapshot.degraded_deadline = degraded_deadline_;
-    snapshot.degraded_outlier = degraded_outlier_;
-    snapshot.degraded_unstaffed = degraded_unstaffed_;
-    snapshot.crowd_retries = crowd_retries_;
-    snapshot.crowd_reassignments = crowd_reassignments_;
-    snapshot.crowd_deadline_misses = crowd_deadline_misses_;
-    snapshot.reports_late = reports_late_;
-    snapshot.reports_duplicate = reports_duplicate_;
-    snapshot.reports_outlier = reports_outlier_;
-  }
-  snapshot.ocs_latency = ocs_latency_.Snapshot();
-  snapshot.crowd_latency = crowd_latency_.Snapshot();
-  snapshot.gsp_latency = gsp_latency_.Snapshot();
-  snapshot.serve_latency = serve_latency_.Snapshot();
+  snapshot.queries_served = queries_served_->value();
+  snapshot.queries_rejected = queries_rejected_->value();
+  snapshot.queries_failed = queries_failed_->value();
+  snapshot.total_paid = paid_units_->value();
+  snapshot.roads_degraded = roads_degraded_->value();
+  snapshot.degraded_deadline = degraded_deadline_->value();
+  snapshot.degraded_outlier = degraded_outlier_->value();
+  snapshot.degraded_unstaffed = degraded_unstaffed_->value();
+  snapshot.crowd_retries = crowd_retries_->value();
+  snapshot.crowd_reassignments = crowd_reassignments_->value();
+  snapshot.crowd_deadline_misses = crowd_deadline_misses_->value();
+  snapshot.reports_late = reports_late_->value();
+  snapshot.reports_duplicate = reports_duplicate_->value();
+  snapshot.reports_outlier = reports_outlier_->value();
+  snapshot.ocs_latency = ocs_latency_->Snapshot();
+  snapshot.crowd_latency = crowd_latency_->Snapshot();
+  snapshot.gsp_latency = gsp_latency_->Snapshot();
+  snapshot.serve_latency = serve_latency_->Snapshot();
   snapshot.gamma_cache = system_.CorrelationCacheStats();
   snapshot.total_ocs_millis = snapshot.ocs_latency.sum_ms;
   snapshot.total_crowd_millis = snapshot.crowd_latency.sum_ms;

@@ -17,6 +17,7 @@
 #include "util/clock.h"
 #include "util/metrics.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace crowdrtse::server {
 
@@ -41,6 +42,10 @@ struct QueryResponse {
   /// failed (deadline/outlier/unstaffed). They fell down the degradation
   /// ladder to their RTF periodic mean mu_i^t, with widened uncertainty.
   std::vector<graph::RoadId> degraded_roads;
+  /// Why each road in `degraded_roads` degraded, aligned with it — the
+  /// same per-road verdicts the dispatch trace records, so responses and
+  /// traces always agree (previously only aggregate counters survived).
+  std::vector<crowd::DegradeReason> degraded_reasons;
   /// Fault-tolerant dispatch only: per-queried-road variance, aligned with
   /// `queried_speeds`. Probed roads report 0, propagated roads the GSP
   /// local conditional variance, degraded roads their prior marginal
@@ -56,6 +61,9 @@ struct QueryResponse {
   /// DispatchOptions::MaxRoundSpanMs() whatever the fault plan injects.
   double dispatch_span_ms = 0.0;
   int gsp_sweeps = 0;
+  /// Compact span summary of this query's trace; empty when the query was
+  /// not sampled (Options::trace_sample_rate).
+  util::trace::TraceSummary trace_summary;
 };
 
 /// Point-in-time snapshot of the rolling service statistics. Every query
@@ -97,6 +105,10 @@ struct EngineStats {
   rtf::CorrelationCache::StatsSnapshot gamma_cache;
 
   std::string Report() const;
+  /// The same snapshot as one JSON object (keys follow the registry's
+  /// metric names; histograms render via LatencySnapshot::ToJson) — what
+  /// the benches dump next to their BENCH_*.json trajectories.
+  std::string ReportJson() const;
 };
 
 /// The online half of CrowdRTSE as a service (paper Fig. 1): receives
@@ -148,6 +160,15 @@ class QueryEngine {
     /// How much a degraded road's reported variance widens over its prior
     /// marginal sigma_i^2 (>= 1).
     double degraded_variance_inflation = 4.0;
+    /// Fraction of queries traced — a deterministic hash of the query id,
+    /// so the same id samples identically everywhere. 0 (default) disables
+    /// tracing: Serve takes one thread-local read per would-be span and
+    /// allocates nothing. 1 traces every query.
+    double trace_sample_rate = 0.0;
+    /// Finished traces kept for Chrome export (the ring) and in the
+    /// slow-query log (top-N by serve latency).
+    int trace_ring_size = 256;
+    int trace_slow_log_size = 16;
   };
 
   /// All dependencies are borrowed and must outlive the engine.
@@ -165,10 +186,22 @@ class QueryEngine {
   util::Result<QueryResponse> Serve(const QueryRequest& request,
                                     const traffic::DayMatrix& world);
 
-  /// Consistent snapshot of the rolling statistics.
+  /// Consistent snapshot of the rolling statistics (a thin view over the
+  /// metrics registry).
   EngineStats stats() const;
 
+  /// The engine's named instruments — counters, gauges (gamma-cache bytes,
+  /// outstanding reservations, GSP leases in flight), and the per-phase
+  /// latency histograms. Render with RenderPrometheus() / RenderJson().
+  const util::metrics::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Finished traces of sampled queries: the export ring
+  /// (ChromeTraceJson()) and the slow-query log (SlowQueryReport()).
+  const util::trace::TraceCollector& traces() const { return traces_; }
+
  private:
+  /// Creates the registry instruments and caches pointers for the hot path.
+  void RegisterInstruments();
   /// Closes the books on a query that died mid-pipeline: settles whatever
   /// the crowd was actually paid (so real spend never leaks from the
   /// campaign accounting) and counts the failure. Returns `status`.
@@ -188,28 +221,32 @@ class QueryEngine {
   /// Serializes the stateful crowd simulator (see class comment).
   std::mutex crowd_mutex_;
 
-  /// Outcome counters and totals; the scalar totals share one mutex, the
-  /// histograms are internally lock-free.
-  mutable std::mutex stats_mutex_;
-  int64_t queries_served_ = 0;
-  int64_t queries_rejected_ = 0;
-  int64_t queries_failed_ = 0;
-  int64_t total_paid_ = 0;
+  /// All rolling statistics live as named instruments in the registry
+  /// (wait-free counters/histograms; callback gauges read live component
+  /// state at render time). The pointers below are the hot-path handles —
+  /// they stay valid for the registry's lifetime, so Serve never re-looks
+  /// anything up by name.
+  util::metrics::MetricsRegistry metrics_;
+  util::trace::TraceCollector traces_;
+  util::metrics::Counter* queries_served_ = nullptr;
+  util::metrics::Counter* queries_rejected_ = nullptr;
+  util::metrics::Counter* queries_failed_ = nullptr;
+  util::metrics::Counter* paid_units_ = nullptr;
   /// Degradation / dispatch accounting (fault-tolerant path only).
-  int64_t roads_degraded_ = 0;
-  int64_t degraded_deadline_ = 0;
-  int64_t degraded_outlier_ = 0;
-  int64_t degraded_unstaffed_ = 0;
-  int64_t crowd_retries_ = 0;
-  int64_t crowd_reassignments_ = 0;
-  int64_t crowd_deadline_misses_ = 0;
-  int64_t reports_late_ = 0;
-  int64_t reports_duplicate_ = 0;
-  int64_t reports_outlier_ = 0;
-  util::metrics::LatencyHistogram ocs_latency_;
-  util::metrics::LatencyHistogram crowd_latency_;
-  util::metrics::LatencyHistogram gsp_latency_;
-  util::metrics::LatencyHistogram serve_latency_;
+  util::metrics::Counter* roads_degraded_ = nullptr;
+  util::metrics::Counter* degraded_deadline_ = nullptr;
+  util::metrics::Counter* degraded_outlier_ = nullptr;
+  util::metrics::Counter* degraded_unstaffed_ = nullptr;
+  util::metrics::Counter* crowd_retries_ = nullptr;
+  util::metrics::Counter* crowd_reassignments_ = nullptr;
+  util::metrics::Counter* crowd_deadline_misses_ = nullptr;
+  util::metrics::Counter* reports_late_ = nullptr;
+  util::metrics::Counter* reports_duplicate_ = nullptr;
+  util::metrics::Counter* reports_outlier_ = nullptr;
+  util::metrics::LatencyHistogram* ocs_latency_ = nullptr;
+  util::metrics::LatencyHistogram* crowd_latency_ = nullptr;
+  util::metrics::LatencyHistogram* gsp_latency_ = nullptr;
+  util::metrics::LatencyHistogram* serve_latency_ = nullptr;
 };
 
 }  // namespace crowdrtse::server

@@ -1,12 +1,30 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "util/string_util.h"
+#include "util/trace.h"
 
 namespace crowdrtse::util {
 
 namespace {
 
 std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+std::atomic<LogFormat> g_log_format{LogFormat::kText};
+std::atomic<std::FILE*> g_log_stream{nullptr};  // null = stderr
+
+// Single-writer mutex (satellite bugfix): a record is rendered outside the
+// lock and written with one fwrite under it, so concurrent serving threads
+// can never interleave partial lines — which the old bare fprintf allowed
+// on platforms where stdio locking is per-call, not per-line.
+std::mutex& WriterMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,16 +42,59 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t ThreadId() {
+  return static_cast<uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_log_level.store(level); }
 LogLevel GetLogLevel() { return g_log_level.load(); }
 
+void SetLogFormat(LogFormat format) { g_log_format.store(format); }
+LogFormat GetLogFormat() { return g_log_format.load(); }
+
+void SetLogStream(std::FILE* stream) { g_log_stream.store(stream); }
+
+std::string FormatLogRecord(LogFormat format, LogLevel level,
+                            const char* file, int line,
+                            const std::string& message) {
+  if (format == LogFormat::kText) {
+    return std::string("[") + LevelName(level) + "] " + file + ":" +
+           std::to_string(line) + " " + message + "\n";
+  }
+  // Structured record. query_id joins the line to the per-query trace the
+  // calling thread is serving (0 outside any traced query).
+  std::string out = "{\"ts_us\":" + std::to_string(WallMicros()) +
+                    ",\"severity\":\"" + LevelName(level) +
+                    "\",\"thread\":" + std::to_string(ThreadId()) +
+                    ",\"query_id\":" +
+                    std::to_string(trace::ActiveQueryId()) + ",\"file\":\"" +
+                    JsonEscape(file) + "\",\"line\":" +
+                    std::to_string(line) + ",\"msg\":\"" +
+                    JsonEscape(message) + "\"}\n";
+  return out;
+}
+
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& message) {
   if (level < g_log_level.load() && level != LogLevel::kFatal) return;
-  std::fprintf(stderr, "[%s] %s:%d %s\n", LevelName(level), file, line,
-               message.c_str());
+  const std::string record =
+      FormatLogRecord(g_log_format.load(), level, file, line, message);
+  {
+    std::lock_guard<std::mutex> lock(WriterMutex());
+    std::FILE* stream = g_log_stream.load();
+    if (stream == nullptr) stream = stderr;
+    std::fwrite(record.data(), 1, record.size(), stream);
+    std::fflush(stream);
+  }
   if (level == LogLevel::kFatal) std::abort();
 }
 

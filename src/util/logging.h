@@ -14,7 +14,31 @@ enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Writes one line to stderr as "[LEVEL] file:line message".
+/// Output shape of every record.
+///   kText — "[LEVEL] file:line message" (the historical format).
+///   kJson — one structured JSON object per line: {"ts_us":…,
+///           "severity":"INFO","thread":…,"query_id":…,"file":"…",
+///           "line":…,"msg":"…"}. query_id comes from the active
+///           util::trace on the calling thread (0 outside a traced query),
+///           so service logs join against traces without any plumbing.
+enum class LogFormat { kText, kJson };
+void SetLogFormat(LogFormat format);
+LogFormat GetLogFormat();
+
+/// Redirects log output (nullptr restores stderr). The stream is borrowed;
+/// the caller keeps it open for as long as logging may run. Tests point
+/// this at a tmpfile to assert that concurrent writers never interleave.
+void SetLogStream(std::FILE* stream);
+
+/// Renders one record in the given format without emitting it (what
+/// LogMessage writes; exposed for tests).
+std::string FormatLogRecord(LogFormat format, LogLevel level,
+                            const char* file, int line,
+                            const std::string& message);
+
+/// Writes one record to the log stream. Thread-safe: the record is
+/// rendered to a single string and written under one process-wide writer
+/// mutex, so concurrent messages can never interleave mid-line.
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& message);
 

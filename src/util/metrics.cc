@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace crowdrtse::util::metrics {
@@ -31,11 +33,33 @@ const BucketTable& Table() {
 
 }  // namespace
 
+namespace {
+
+// Short general-precision formatting for bucket bounds and JSON values
+// ("0.0041" not "0.004100").
+std::string FormatCompact(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+}  // namespace
+
 std::string LatencySnapshot::ToString() const {
   return "n=" + std::to_string(count) + " mean=" + FormatDouble(mean_ms, 3) +
          "ms p50=" + FormatDouble(p50_ms, 3) + "ms p95=" +
          FormatDouble(p95_ms, 3) + "ms p99=" + FormatDouble(p99_ms, 3) +
          "ms max=" + FormatDouble(max_ms, 3) + "ms";
+}
+
+std::string LatencySnapshot::ToJson() const {
+  return "{\"count\":" + std::to_string(count) +
+         ",\"sum_ms\":" + FormatCompact(sum_ms) +
+         ",\"mean_ms\":" + FormatCompact(mean_ms) +
+         ",\"p50_ms\":" + FormatCompact(p50_ms) +
+         ",\"p95_ms\":" + FormatCompact(p95_ms) +
+         ",\"p99_ms\":" + FormatCompact(p99_ms) +
+         ",\"max_ms\":" + FormatCompact(max_ms) + "}";
 }
 
 double LatencyHistogram::BucketUpperBound(int i) {
@@ -44,7 +68,14 @@ double LatencyHistogram::BucketUpperBound(int i) {
 }
 
 void LatencyHistogram::Record(double millis) {
-  const double sample = std::max(0.0, millis);
+  // Sanitize before anything touches the accumulators: NaN (and negatives)
+  // clamp to zero, +infinity to the largest representable sample — so a
+  // single bad input can never poison sum/max with NaN or overflow the
+  // integer-microsecond accumulation.
+  double sample = millis;
+  if (std::isnan(sample) || sample < 0.0) sample = 0.0;
+  constexpr double kMaxSampleMs = 9.0e15;  // ~285 years, still exact in us
+  if (sample > kMaxSampleMs) sample = kMaxSampleMs;
   const auto& bounds = Table().bounds;
   // Buckets are few; branchless binary search via upper_bound.
   const auto it = std::upper_bound(bounds.begin(), bounds.end(), sample);
@@ -101,6 +132,146 @@ LatencySnapshot LatencyHistogram::Snapshot() const {
   snap.p95_ms = percentile(0.95);
   snap.p99_ms = percentile(0.99);
   return snap;
+}
+
+std::array<int64_t, LatencyHistogram::kNumBuckets>
+LatencyHistogram::BucketCounts() const {
+  std::array<int64_t, kNumBuckets> counts;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = instruments_.find(name);
+  if (it == instruments_.end()) {
+    Instrument instrument;
+    instrument.help = help;
+    instrument.value = std::make_unique<Counter>();
+    return *std::get<std::unique_ptr<Counter>>(
+        instruments_.emplace(name, std::move(instrument))
+            .first->second.value);
+  }
+  CROWDRTSE_CHECK(
+      std::holds_alternative<std::unique_ptr<Counter>>(it->second.value));
+  return *std::get<std::unique_ptr<Counter>>(it->second.value);
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = instruments_.find(name);
+  if (it == instruments_.end()) {
+    Instrument instrument;
+    instrument.help = help;
+    instrument.value = std::make_unique<Gauge>();
+    return *std::get<std::unique_ptr<Gauge>>(
+        instruments_.emplace(name, std::move(instrument))
+            .first->second.value);
+  }
+  CROWDRTSE_CHECK(
+      std::holds_alternative<std::unique_ptr<Gauge>>(it->second.value));
+  return *std::get<std::unique_ptr<Gauge>>(it->second.value);
+}
+
+LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                                const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = instruments_.find(name);
+  if (it == instruments_.end()) {
+    Instrument instrument;
+    instrument.help = help;
+    instrument.value = std::make_unique<LatencyHistogram>();
+    return *std::get<std::unique_ptr<LatencyHistogram>>(
+        instruments_.emplace(name, std::move(instrument))
+            .first->second.value);
+  }
+  CROWDRTSE_CHECK(std::holds_alternative<std::unique_ptr<LatencyHistogram>>(
+      it->second.value));
+  return *std::get<std::unique_ptr<LatencyHistogram>>(it->second.value);
+}
+
+void MetricsRegistry::RegisterCallbackGauge(const std::string& name,
+                                            const std::string& help,
+                                            Callback callback) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Instrument& instrument = instruments_[name];
+  instrument.help = help;
+  instrument.value = std::move(callback);
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, instrument] : instruments_) {
+    if (!instrument.help.empty()) {
+      out += "# HELP " + name + " " + instrument.help + "\n";
+    }
+    if (const auto* counter =
+            std::get_if<std::unique_ptr<Counter>>(&instrument.value)) {
+      out += "# TYPE " + name + " counter\n";
+      out += name + " " + std::to_string((*counter)->value()) + "\n";
+    } else if (const auto* gauge =
+                   std::get_if<std::unique_ptr<Gauge>>(&instrument.value)) {
+      out += "# TYPE " + name + " gauge\n";
+      out += name + " " + std::to_string((*gauge)->value()) + "\n";
+    } else if (const auto* callback =
+                   std::get_if<Callback>(&instrument.value)) {
+      out += "# TYPE " + name + " gauge\n";
+      out += name + " " + std::to_string((*callback)()) + "\n";
+    } else {
+      const auto& histogram =
+          *std::get<std::unique_ptr<LatencyHistogram>>(instrument.value);
+      out += "# TYPE " + name + " histogram\n";
+      const auto counts = histogram.BucketCounts();
+      const LatencySnapshot snap = histogram.Snapshot();
+      int64_t cumulative = 0;
+      for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+        cumulative += counts[static_cast<size_t>(i)];
+        // The last bucket is the overflow bucket: +Inf, not its bound.
+        const std::string le =
+            i == LatencyHistogram::kNumBuckets - 1
+                ? "+Inf"
+                : FormatCompact(LatencyHistogram::BucketUpperBound(i));
+        out += name + "_bucket{le=\"" + le + "\"} " +
+               std::to_string(cumulative) + "\n";
+      }
+      out += name + "_sum " + FormatCompact(snap.sum_ms) + "\n";
+      out += name + "_count " + std::to_string(snap.count) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, instrument] : instruments_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":";
+    if (const auto* counter =
+            std::get_if<std::unique_ptr<Counter>>(&instrument.value)) {
+      out += std::to_string((*counter)->value());
+    } else if (const auto* gauge =
+                   std::get_if<std::unique_ptr<Gauge>>(&instrument.value)) {
+      out += std::to_string((*gauge)->value());
+    } else if (const auto* callback =
+                   std::get_if<Callback>(&instrument.value)) {
+      out += std::to_string((*callback)());
+    } else {
+      out += std::get<std::unique_ptr<LatencyHistogram>>(instrument.value)
+                 ->Snapshot()
+                 .ToJson();
+    }
+  }
+  out += "}";
+  return out;
 }
 
 }  // namespace crowdrtse::util::metrics

@@ -4,7 +4,12 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <variant>
 
 namespace crowdrtse::util::metrics {
 
@@ -28,6 +33,25 @@ class Counter {
   std::atomic<int64_t> value_{0};
 };
 
+/// A value that can go up and down (pool leases in flight, resident cache
+/// bytes). Wait-free like Counter.
+class Gauge {
+ public:
+  Gauge() = default;
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 /// Point-in-time summary of a LatencyHistogram. Percentiles are estimated
 /// by linear interpolation inside the owning bucket, so they are exact to
 /// within one bucket width (buckets grow geometrically, ~26% relative
@@ -43,6 +67,9 @@ struct LatencySnapshot {
 
   /// Renders "n=12 mean=1.23ms p50=1.10ms p95=2.50ms p99=3.00ms max=3.10ms".
   std::string ToString() const;
+  /// JSON object {"count":…,"sum_ms":…,…} — the registry's histogram
+  /// rendering, shared with EngineStats::ReportJson().
+  std::string ToJson() const;
 };
 
 /// Fixed-bucket latency histogram with wait-free recording. Bucket upper
@@ -61,7 +88,8 @@ class LatencyHistogram {
   LatencyHistogram(const LatencyHistogram&) = delete;
   LatencyHistogram& operator=(const LatencyHistogram&) = delete;
 
-  /// Records one sample, in milliseconds. Negative samples clamp to zero.
+  /// Records one sample, in milliseconds. Negative and NaN samples clamp
+  /// to zero; +infinity lands in the overflow bucket.
   void Record(double millis);
 
   LatencySnapshot Snapshot() const;
@@ -71,6 +99,10 @@ class LatencyHistogram {
   /// Upper bound (ms) of bucket `i`; the last bucket is unbounded.
   static double BucketUpperBound(int i);
 
+  /// Per-bucket counts (approximate under concurrent writers) — what the
+  /// Prometheus exposition renders as the cumulative `le` series.
+  std::array<int64_t, kNumBuckets> BucketCounts() const;
+
  private:
   std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
   std::atomic<int64_t> count_{0};
@@ -78,6 +110,56 @@ class LatencyHistogram {
   // stays a portable fetch_add / CAS on int64.
   std::atomic<int64_t> sum_micros_{0};
   std::atomic<int64_t> max_micros_{0};
+};
+
+/// Central named registry of counters, gauges, and latency histograms —
+/// the machine-readable face of the serving pipeline. Instruments are
+/// created on first lookup and live as long as the registry; the returned
+/// references stay valid and are safe to hit from any thread (lookups take
+/// a mutex; keep the reference rather than re-looking-up on hot paths).
+///
+/// Exposition: RenderPrometheus() emits Prometheus text format (counters/
+/// gauges as-is, histograms as cumulative `le` bucket series with _sum and
+/// _count, in milliseconds); RenderJson() emits one flat JSON object. Both
+/// walk the instruments in name order, so output is stable.
+class MetricsRegistry {
+ public:
+  /// A gauge whose value is read on demand at render time — how the
+  /// registry surfaces state owned elsewhere (gamma-cache resident bytes,
+  /// ledger outstanding reservations, pool leases in flight).
+  using Callback = std::function<int64_t()>;
+
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Instrument lookups: create-on-first-use, by unique name. Registering
+  /// the same name as a different instrument kind is a programming error
+  /// (CROWDRTSE_CHECK).
+  Counter& GetCounter(const std::string& name, const std::string& help = "");
+  Gauge& GetGauge(const std::string& name, const std::string& help = "");
+  LatencyHistogram& GetHistogram(const std::string& name,
+                                 const std::string& help = "");
+  /// Replaces any previous callback registered under `name`.
+  void RegisterCallbackGauge(const std::string& name,
+                             const std::string& help, Callback callback);
+
+  /// Prometheus text exposition format.
+  std::string RenderPrometheus() const;
+  /// One flat JSON object: {"name": value, ..., "hist": {...}}.
+  std::string RenderJson() const;
+
+ private:
+  struct Instrument {
+    std::string help;
+    std::variant<std::unique_ptr<Counter>, std::unique_ptr<Gauge>,
+                 std::unique_ptr<LatencyHistogram>, Callback>
+        value;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Instrument> instruments_;
 };
 
 }  // namespace crowdrtse::util::metrics

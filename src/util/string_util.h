@@ -28,6 +28,11 @@ std::string FormatDouble(double value, int precision = 4);
 /// Returns true if `text` starts with `prefix`.
 bool StartsWith(const std::string& text, const std::string& prefix);
 
+/// Escapes `text` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). Shared by the structured logger, the
+/// metrics JSON renderer, and the Chrome trace exporter.
+std::string JsonEscape(const std::string& text);
+
 }  // namespace crowdrtse::util
 
 #endif  // CROWDRTSE_UTIL_STRING_UTIL_H_

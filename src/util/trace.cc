@@ -1,0 +1,310 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace crowdrtse::util::trace {
+
+namespace {
+
+thread_local Trace* t_active_trace = nullptr;
+thread_local int64_t t_active_span = 0;
+
+// SplitMix64 — the same pure-hash construction the fault plan uses, so a
+// sampling decision is a function of the key alone.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15u;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9u;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebu;
+  return x ^ (x >> 31);
+}
+
+std::string FormatAnnotations(const std::vector<Annotation>& annotations) {
+  if (annotations.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < annotations.size(); ++i) {
+    if (i > 0) out += " ";
+    out += annotations[i].key + "=" + annotations[i].value;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+Trace::Trace(int64_t query_id, Clock* clock)
+    : query_id_(query_id),
+      clock_(clock != nullptr ? clock : &WallClock::Get()),
+      start_us_(clock_->NowMicros()),
+      max_end_us_(start_us_) {}
+
+void Trace::Record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_end_us_ = std::max(max_end_us_, record.end_us);
+  spans_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Trace::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+double Trace::DurationMs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<double>(max_end_us_ - start_us_) / 1e3;
+}
+
+Trace* ActiveTrace() { return t_active_trace; }
+
+int64_t ActiveQueryId() {
+  return t_active_trace != nullptr ? t_active_trace->query_id() : 0;
+}
+
+int64_t ActiveSpanId() { return t_active_span; }
+
+ScopedTrace::ScopedTrace(Trace* trace)
+    : previous_trace_(t_active_trace), previous_span_(t_active_span) {
+  t_active_trace = trace;
+  t_active_span = 0;
+}
+
+ScopedTrace::~ScopedTrace() {
+  t_active_trace = previous_trace_;
+  t_active_span = previous_span_;
+}
+
+Span::Span(const char* name) {
+  if (t_active_trace == nullptr) return;
+  trace_ = t_active_trace;
+  record_.id = trace_->NextSpanId();
+  record_.parent = t_active_span;
+  record_.name = name;
+  record_.start_us = trace_->NowMicros();
+  t_active_span = record_.id;
+}
+
+void Span::Annotate(const std::string& key, const std::string& value) {
+  if (trace_ == nullptr) return;
+  record_.annotations.push_back({key, value});
+}
+
+void Span::Annotate(const std::string& key, const char* value) {
+  Annotate(key, std::string(value));
+}
+
+void Span::Annotate(const std::string& key, int64_t value) {
+  Annotate(key, std::to_string(value));
+}
+
+void Span::Annotate(const std::string& key, double value) {
+  Annotate(key, FormatDouble(value, 3));
+}
+
+void Span::End() {
+  if (trace_ == nullptr) return;
+  record_.end_us = trace_->NowMicros();
+  // Restore the parent as the thread's innermost open span. Spans close in
+  // reverse construction order (they are scoped locals), so this is a pop.
+  t_active_span = record_.parent;
+  trace_->Record(std::move(record_));
+  trace_ = nullptr;
+}
+
+int64_t AddCompleteSpan(Trace* trace, const std::string& name,
+                        int64_t parent, int64_t start_us, int64_t end_us,
+                        std::vector<Annotation> annotations) {
+  if (trace == nullptr) return 0;
+  SpanRecord record;
+  record.id = trace->NextSpanId();
+  record.parent = parent;
+  record.name = name;
+  record.start_us = start_us;
+  record.end_us = end_us;
+  record.annotations = std::move(annotations);
+  const int64_t id = record.id;
+  trace->Record(std::move(record));
+  return id;
+}
+
+bool ShouldSample(double rate, uint64_t key) {
+  if (rate >= 1.0) return true;
+  if (rate <= 0.0) return false;
+  // Top 53 bits as a uniform draw in [0, 1).
+  const double unit =
+      static_cast<double>(Mix64(key) >> 11) * 0x1.0p-53;
+  return unit < rate;
+}
+
+std::string TraceSummary::ToString() const {
+  std::string out = "query " + std::to_string(query_id) + " " +
+                    FormatDouble(total_ms, 3) + "ms\n";
+  for (const Line& line : lines) {
+    out.append(static_cast<size_t>(2 * (line.depth + 1)), ' ');
+    out += line.name;
+    if (line.count > 1) out += " x" + std::to_string(line.count);
+    out += " " + FormatDouble(line.total_ms, 3) + "ms";
+    if (!line.annotations.empty()) out += " " + line.annotations;
+    out += "\n";
+  }
+  return out;
+}
+
+TraceSummary Summarize(const Trace& trace) {
+  TraceSummary summary;
+  summary.query_id = trace.query_id();
+  summary.total_ms = trace.DurationMs();
+
+  const std::vector<SpanRecord> spans = trace.spans();
+  std::map<int64_t, std::vector<const SpanRecord*>> children;
+  for (const SpanRecord& span : spans) {
+    children[span.parent].push_back(&span);
+  }
+  for (auto& [parent, bucket] : children) {
+    std::sort(bucket.begin(), bucket.end(),
+              [](const SpanRecord* a, const SpanRecord* b) {
+                return a->start_us != b->start_us
+                           ? a->start_us < b->start_us
+                           : a->id < b->id;
+              });
+  }
+
+  // Pre-order walk, merging same-named siblings into one counted line
+  // (a dispatch round's dozens of "attempt" spans collapse to one).
+  const auto walk = [&](auto&& self, int64_t parent, int depth) -> void {
+    const auto it = children.find(parent);
+    if (it == children.end()) return;
+    std::vector<const SpanRecord*> merged_into;
+    std::map<std::string, size_t> line_of;
+    for (const SpanRecord* span : it->second) {
+      const auto line_it = line_of.find(span->name);
+      if (line_it == line_of.end()) {
+        TraceSummary::Line line;
+        line.name = span->name;
+        line.depth = depth;
+        line.count = 1;
+        line.total_ms =
+            static_cast<double>(span->end_us - span->start_us) / 1e3;
+        line.annotations = FormatAnnotations(span->annotations);
+        line_of[span->name] = summary.lines.size();
+        summary.lines.push_back(std::move(line));
+        merged_into.push_back(span);
+      } else {
+        TraceSummary::Line& line = summary.lines[line_it->second];
+        ++line.count;
+        line.total_ms +=
+            static_cast<double>(span->end_us - span->start_us) / 1e3;
+      }
+    }
+    // Recurse only under the first span of each merged group: the summary
+    // is a shape sketch, not the full tree.
+    for (const SpanRecord* span : merged_into) {
+      self(self, span->id, depth + 1);
+    }
+  };
+  walk(walk, 0, 0);
+  return summary;
+}
+
+std::string ChromeTraceJson(
+    const std::vector<std::shared_ptr<const Trace>>& traces) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const std::shared_ptr<const Trace>& trace : traces) {
+    if (!trace) continue;
+    const int64_t tid = trace->query_id();
+    // A metadata event names the row after the query.
+    if (!first) out += ",";
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"query " +
+           std::to_string(tid) + "\"}}";
+    for (const SpanRecord& span : trace->spans()) {
+      out += ",{\"name\":\"" + JsonEscape(span.name) +
+             "\",\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+             ",\"ts\":" + std::to_string(span.start_us) +
+             ",\"dur\":" + std::to_string(span.end_us - span.start_us) +
+             ",\"args\":{\"span_id\":" + std::to_string(span.id) +
+             ",\"parent\":" + std::to_string(span.parent) +
+             ",\"query_id\":" + std::to_string(tid);
+      for (const Annotation& annotation : span.annotations) {
+        out += ",\"" + JsonEscape(annotation.key) + "\":\"" +
+               JsonEscape(annotation.value) + "\"";
+      }
+      out += "}}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+util::Status WriteChromeTraceFile(
+    const std::string& path,
+    const std::vector<std::shared_ptr<const Trace>>& traces) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return util::Status::IoError("cannot open trace file: " + path);
+  }
+  const std::string json = ChromeTraceJson(traces);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const int close_error = std::fclose(file);
+  if (written != json.size() || close_error != 0) {
+    return util::Status::IoError("short write to trace file: " + path);
+  }
+  return util::Status::Ok();
+}
+
+TraceCollector::TraceCollector(Options options) : options_(options) {
+  if (options_.ring_size < 1) options_.ring_size = 1;
+  if (options_.slow_log_size < 0) options_.slow_log_size = 0;
+}
+
+void TraceCollector::Collect(std::shared_ptr<const Trace> trace) {
+  if (!trace) return;
+  collected_.fetch_add(1, std::memory_order_relaxed);
+  const double duration_ms = trace->DurationMs();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.push_back(trace);
+  while (static_cast<int>(ring_.size()) > options_.ring_size) {
+    ring_.pop_front();
+  }
+  if (options_.slow_log_size > 0) {
+    slowest_.push_back({duration_ms, std::move(trace)});
+    std::sort(slowest_.begin(), slowest_.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    if (static_cast<int>(slowest_.size()) > options_.slow_log_size) {
+      slowest_.resize(static_cast<size_t>(options_.slow_log_size));
+    }
+  }
+}
+
+std::vector<std::shared_ptr<const Trace>> TraceCollector::Recent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::vector<std::shared_ptr<const Trace>> TraceCollector::Slowest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<const Trace>> out;
+  out.reserve(slowest_.size());
+  for (const auto& [duration, trace] : slowest_) out.push_back(trace);
+  return out;
+}
+
+std::string TraceCollector::ChromeTraceJson() const {
+  return trace::ChromeTraceJson(Recent());
+}
+
+std::string TraceCollector::SlowQueryReport() const {
+  const std::vector<std::shared_ptr<const Trace>> slow = Slowest();
+  std::string out = "slow-query log (" + std::to_string(slow.size()) +
+                    " traces, slowest first):\n";
+  for (const std::shared_ptr<const Trace>& trace : slow) {
+    out += Summarize(*trace).ToString();
+  }
+  return out;
+}
+
+}  // namespace crowdrtse::util::trace

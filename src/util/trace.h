@@ -1,0 +1,223 @@
+#ifndef CROWDRTSE_UTIL_TRACE_H_
+#define CROWDRTSE_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace crowdrtse::util::trace {
+
+/// One key/value annotation on a span. Values are stored as strings; the
+/// Span::Annotate overloads format numbers on the way in.
+struct Annotation {
+  std::string key;
+  std::string value;
+};
+
+/// A finished span as recorded on its Trace. Times come from the Trace's
+/// util::Clock (microseconds, the clock's arbitrary epoch), so spans taken
+/// on a SimClock line up exactly with the dispatch controller's simulated
+/// timeline.
+struct SpanRecord {
+  int64_t id = 0;
+  int64_t parent = 0;  // 0 = root
+  std::string name;
+  int64_t start_us = 0;
+  int64_t end_us = 0;
+  std::vector<Annotation> annotations;
+};
+
+/// Per-query trace: a thread-safe sink of finished spans, carrying the
+/// query id they all belong to. Spans from any thread may record into one
+/// Trace concurrently (the serving thread plus, e.g., a gamma-cache compute
+/// that happens to run on it).
+class Trace {
+ public:
+  /// `clock` may be null (wall clock). Must outlive the trace.
+  explicit Trace(int64_t query_id, Clock* clock = nullptr);
+
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  int64_t query_id() const { return query_id_; }
+  int64_t NowMicros() const { return clock_->NowMicros(); }
+  /// Construction time on the trace's clock.
+  int64_t start_us() const { return start_us_; }
+
+  /// Allocates the next span id (1-based, atomically).
+  int64_t NextSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Appends a finished span. Thread-safe.
+  void Record(SpanRecord record);
+
+  /// Snapshot of every span recorded so far, in completion order.
+  std::vector<SpanRecord> spans() const;
+
+  /// Wall span of the trace so far: latest recorded end minus start_us().
+  double DurationMs() const;
+
+ private:
+  const int64_t query_id_;
+  Clock* clock_;
+  const int64_t start_us_;
+  std::atomic<int64_t> next_span_id_{1};
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  int64_t max_end_us_;
+};
+
+/// The trace the current thread is recording into (set by ScopedTrace);
+/// nullptr outside any traced request.
+Trace* ActiveTrace();
+/// Query id of the active trace, 0 when none — what structured logging
+/// stamps onto every record emitted while serving a traced query.
+int64_t ActiveQueryId();
+/// Span id of the innermost open Span on this thread, 0 when none.
+int64_t ActiveSpanId();
+
+/// Installs `trace` (may be null = no-op) as the calling thread's active
+/// trace for the current scope; restores the previous one on destruction.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(Trace* trace);
+  ~ScopedTrace();
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  Trace* previous_trace_;
+  int64_t previous_span_;
+};
+
+/// RAII span. Construction attaches to the thread's active trace (a cheap
+/// no-op — one thread-local read — when tracing is off or unsampled);
+/// destruction records the finished span. Spans nest lexically: the newest
+/// open span on the thread is the parent of the next one.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when attached to a trace (annotations will be kept).
+  bool active() const { return trace_ != nullptr; }
+
+  void Annotate(const std::string& key, const std::string& value);
+  void Annotate(const std::string& key, const char* value);
+  void Annotate(const std::string& key, int64_t value);
+  void Annotate(const std::string& key, double value);
+
+  /// Closes the span early (idempotent; the destructor is then a no-op).
+  void End();
+
+ private:
+  Trace* trace_ = nullptr;
+  SpanRecord record_;
+};
+
+/// Records an already-timed span onto `trace` — how the dispatch controller
+/// logs per-attempt spans whose start/end live on its own event timeline.
+/// Returns the span id (0 if `trace` is null).
+int64_t AddCompleteSpan(Trace* trace, const std::string& name,
+                        int64_t parent, int64_t start_us, int64_t end_us,
+                        std::vector<Annotation> annotations);
+
+/// Deterministic sampling decision: true for a `rate` fraction of keys
+/// (rate >= 1 always samples, <= 0 never). Pure hash of the key, so the
+/// same query id samples identically on every replica.
+bool ShouldSample(double rate, uint64_t key);
+
+/// Compact per-query span summary, attached to QueryResponse so a client
+/// (or the slow-query log) can see where the time went without loading the
+/// full Chrome trace. Sibling spans with the same name are merged into one
+/// line with a count.
+struct TraceSummary {
+  struct Line {
+    std::string name;
+    int depth = 0;
+    int64_t count = 0;
+    double total_ms = 0.0;
+    /// Annotations of the first merged span (enough to identify it).
+    std::string annotations;
+  };
+
+  int64_t query_id = 0;
+  double total_ms = 0.0;
+  std::vector<Line> lines;  // pre-order
+
+  bool empty() const { return lines.empty(); }
+  /// Indented "name xN total=1.23ms {k=v ...}" lines.
+  std::string ToString() const;
+};
+
+TraceSummary Summarize(const Trace& trace);
+
+/// Renders `traces` as Chrome trace_event JSON (chrome://tracing and
+/// Perfetto load it): one complete ("ph":"X") event per span, ts/dur in
+/// microseconds, tid = query id, span/parent ids in args.
+std::string ChromeTraceJson(
+    const std::vector<std::shared_ptr<const Trace>>& traces);
+
+util::Status WriteChromeTraceFile(
+    const std::string& path,
+    const std::vector<std::shared_ptr<const Trace>>& traces);
+
+/// Thread-safe store of finished traces: a ring buffer of the most recent
+/// ones (the export window) plus the top-N slowest since construction (the
+/// slow-query log), both dumpable on demand.
+class TraceCollector {
+ public:
+  struct Options {
+    /// Finished traces kept for export; older ones fall off the ring.
+    int ring_size = 256;
+    /// Slowest traces kept forever (by DurationMs at collection time).
+    int slow_log_size = 16;
+  };
+
+  TraceCollector() : TraceCollector(Options()) {}
+  explicit TraceCollector(Options options);
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  void Collect(std::shared_ptr<const Trace> trace);
+
+  /// Traces still in the ring, oldest first.
+  std::vector<std::shared_ptr<const Trace>> Recent() const;
+  /// Slow-query log, slowest first.
+  std::vector<std::shared_ptr<const Trace>> Slowest() const;
+  /// Total traces ever collected (ring overflow does not decrement).
+  int64_t collected() const {
+    return collected_.load(std::memory_order_relaxed);
+  }
+
+  /// Chrome trace_event JSON over the ring contents.
+  std::string ChromeTraceJson() const;
+  /// Human-readable dump of the slow-query log (one summary per trace).
+  std::string SlowQueryReport() const;
+
+ private:
+  Options options_;
+  std::atomic<int64_t> collected_{0};
+  mutable std::mutex mutex_;
+  std::deque<std::shared_ptr<const Trace>> ring_;
+  /// Sorted slowest-first, trimmed to slow_log_size.
+  std::vector<std::pair<double, std::shared_ptr<const Trace>>> slowest_;
+};
+
+}  // namespace crowdrtse::util::trace
+
+#endif  // CROWDRTSE_UTIL_TRACE_H_

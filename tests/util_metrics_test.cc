@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -116,6 +118,205 @@ TEST(LatencyHistogramTest, BucketBoundsAreMonotonic) {
     EXPECT_GT(LatencyHistogram::BucketUpperBound(i),
               LatencyHistogram::BucketUpperBound(i - 1));
   }
+}
+
+TEST(LatencyHistogramTest, SampleBelowFirstBoundLandsInFirstBucket) {
+  LatencyHistogram histogram;
+  histogram.Record(0.0);
+  histogram.Record(LatencyHistogram::BucketUpperBound(0) / 2.0);
+  const auto counts = histogram.BucketCounts();
+  EXPECT_EQ(counts[0], 2);
+  for (int i = 1; i < LatencyHistogram::kNumBuckets; ++i) {
+    EXPECT_EQ(counts[static_cast<size_t>(i)], 0);
+  }
+}
+
+TEST(LatencyHistogramTest, OverflowSamplesLandInLastBucket) {
+  LatencyHistogram histogram;
+  const double beyond =
+      LatencyHistogram::BucketUpperBound(LatencyHistogram::kNumBuckets - 1) *
+      10.0;
+  histogram.Record(beyond);
+  histogram.Record(std::numeric_limits<double>::infinity());
+  const auto counts = histogram.BucketCounts();
+  EXPECT_EQ(counts[LatencyHistogram::kNumBuckets - 1], 2);
+  // Infinity clamps to the max representable sample; sum and max stay
+  // finite so one bad input cannot poison the aggregates.
+  const LatencySnapshot snap = histogram.Snapshot();
+  EXPECT_TRUE(std::isfinite(snap.sum_ms));
+  EXPECT_TRUE(std::isfinite(snap.max_ms));
+}
+
+TEST(LatencyHistogramTest, NanAndNegativeClampToZero) {
+  LatencyHistogram histogram;
+  histogram.Record(std::numeric_limits<double>::quiet_NaN());
+  histogram.Record(-std::numeric_limits<double>::infinity());
+  histogram.Record(-1.0);
+  const LatencySnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 3);
+  EXPECT_EQ(snap.sum_ms, 0.0);
+  EXPECT_EQ(snap.max_ms, 0.0);
+  EXPECT_FALSE(std::isnan(snap.mean_ms));
+  const auto counts = histogram.BucketCounts();
+  EXPECT_EQ(counts[0], 3);
+}
+
+TEST(LatencyHistogramTest, PercentileAtBucketBoundary) {
+  LatencyHistogram histogram;
+  // Every sample sits exactly on one bucket's upper bound. Bucketing is
+  // strictly-greater, so the samples own the *next* bucket and every
+  // percentile must land inside [bound, next bound] — and never above the
+  // recorded max (which itself rounds to integer microseconds).
+  const double bound = LatencyHistogram::BucketUpperBound(10);
+  for (int i = 0; i < 100; ++i) histogram.Record(bound);
+  const auto counts = histogram.BucketCounts();
+  EXPECT_EQ(counts[11], 100);  // the bucket whose range is (bound10, bound11]
+  const LatencySnapshot snap = histogram.Snapshot();
+  EXPECT_NEAR(snap.max_ms, bound, 1e-3);  // microsecond rounding
+  EXPECT_GE(snap.p50_ms, bound);
+  EXPECT_LE(snap.p50_ms, LatencyHistogram::BucketUpperBound(11));
+  EXPECT_LE(snap.p50_ms, snap.max_ms + 1e-12);
+  EXPECT_LE(snap.p99_ms, snap.max_ms + 1e-12);
+  EXPECT_LE(snap.p50_ms, snap.p95_ms);
+  EXPECT_LE(snap.p95_ms, snap.p99_ms);
+}
+
+TEST(LatencyHistogramTest, SingleSamplePercentilesNeverExceedMax) {
+  LatencyHistogram histogram;
+  histogram.Record(3.0);
+  const LatencySnapshot snap = histogram.Snapshot();
+  EXPECT_LE(snap.p50_ms, snap.max_ms + 1e-12);
+  EXPECT_LE(snap.p95_ms, snap.max_ms + 1e-12);
+  EXPECT_LE(snap.p99_ms, snap.max_ms + 1e-12);
+}
+
+TEST(LatencySnapshotTest, ToJsonCarriesEveryField) {
+  LatencyHistogram histogram;
+  histogram.Record(2.0);
+  const std::string json = histogram.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"sum_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p50_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"max_ms\":"), std::string::npos);
+}
+
+TEST(GaugeTest, SetAndAddRoundTrip) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0);
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+}
+
+TEST(MetricsRegistryTest, InstrumentsAreCreateOnFirstUseAndStable) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("requests_total", "requests");
+  counter.Increment(5);
+  // Second lookup returns the same instrument.
+  EXPECT_EQ(&registry.GetCounter("requests_total"), &counter);
+  EXPECT_EQ(registry.GetCounter("requests_total").value(), 5);
+  Gauge& gauge = registry.GetGauge("in_flight");
+  gauge.Set(2);
+  EXPECT_EQ(&registry.GetGauge("in_flight"), &gauge);
+  LatencyHistogram& histogram = registry.GetHistogram("latency_ms");
+  EXPECT_EQ(&registry.GetHistogram("latency_ms"), &histogram);
+}
+
+TEST(MetricsRegistryDeathTest, KindMismatchIsAProgrammingError) {
+  MetricsRegistry registry;
+  registry.GetCounter("shared_name");
+  EXPECT_DEATH(registry.GetGauge("shared_name"), "check failed");
+  EXPECT_DEATH(registry.GetHistogram("shared_name"), "check failed");
+}
+
+TEST(MetricsRegistryTest, RenderPrometheusShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("b_total", "a counter").Increment(3);
+  registry.GetGauge("a_gauge", "a gauge").Set(-2);
+  registry.GetHistogram("c_latency_ms").Record(1.0);
+  int64_t live = 17;
+  registry.RegisterCallbackGauge("d_live", "reads on demand",
+                                 [&live] { return live; });
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP b_total a counter\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE b_total counter\nb_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE a_gauge gauge\na_gauge -2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE c_latency_ms histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("c_latency_ms_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("c_latency_ms_count 1\n"), std::string::npos);
+  EXPECT_NE(text.find("d_live 17\n"), std::string::npos);
+  // Name order: a_gauge < b_total < c_latency_ms < d_live.
+  EXPECT_LT(text.find("a_gauge"), text.find("b_total"));
+  EXPECT_LT(text.find("b_total"), text.find("c_latency_ms"));
+  // Callback gauges read live state at render time.
+  live = 99;
+  EXPECT_NE(registry.RenderPrometheus().find("d_live 99\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusHistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  LatencyHistogram& histogram = registry.GetHistogram("h_ms");
+  histogram.Record(0.01);
+  histogram.Record(1.0);
+  histogram.Record(100.0);
+  const std::string text = registry.RenderPrometheus();
+  // Walk the bucket lines in order; cumulative counts never decrease and
+  // the +Inf bucket equals the total count.
+  int64_t previous = 0;
+  size_t pos = 0;
+  int buckets_seen = 0;
+  while ((pos = text.find("h_ms_bucket{le=\"", pos)) != std::string::npos) {
+    const size_t value_at = text.find("} ", pos) + 2;
+    const int64_t cumulative = std::stoll(text.substr(value_at));
+    EXPECT_GE(cumulative, previous);
+    previous = cumulative;
+    ++buckets_seen;
+    pos = value_at;
+  }
+  EXPECT_EQ(buckets_seen, LatencyHistogram::kNumBuckets);
+  EXPECT_EQ(previous, 3);
+}
+
+TEST(MetricsRegistryTest, RenderJsonIsOneFlatObject) {
+  MetricsRegistry registry;
+  registry.GetCounter("served_total").Increment(7);
+  registry.GetGauge("leases").Set(3);
+  registry.GetHistogram("lat_ms").Record(2.0);
+  registry.RegisterCallbackGauge("bytes", "", [] { return int64_t{4096}; });
+  const std::string json = registry.RenderJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"served_total\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"leases\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":4096"), std::string::npos);
+  EXPECT_NE(json.find("\"lat_ms\":{\"count\":1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentLookupsAndIncrementsAreSafe) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.GetCounter("contended_total").Increment();
+        registry.GetHistogram("contended_ms").Record(0.5);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("contended_total").value(),
+            kThreads * kPerThread);
+  EXPECT_EQ(registry.GetHistogram("contended_ms").count(),
+            kThreads * kPerThread);
 }
 
 }  // namespace

@@ -1,0 +1,298 @@
+#include "util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace crowdrtse::util::trace {
+namespace {
+
+/// Finds the single span named `name`; fails the test if absent.
+const SpanRecord* FindSpan(const std::vector<SpanRecord>& spans,
+                           const std::string& name) {
+  for (const SpanRecord& span : spans) {
+    if (span.name == name) return &span;
+  }
+  ADD_FAILURE() << "span not found: " << name;
+  return nullptr;
+}
+
+TEST(SpanTest, NoopWithoutActiveTrace) {
+  EXPECT_EQ(ActiveTrace(), nullptr);
+  EXPECT_EQ(ActiveQueryId(), 0);
+  Span span("orphan");
+  EXPECT_FALSE(span.active());
+  span.Annotate("ignored", int64_t{1});  // must not crash
+}
+
+TEST(SpanTest, NestsLexicallyAndRestoresParent) {
+  SimClock clock;
+  Trace trace(/*query_id=*/7, &clock);
+  {
+    ScopedTrace scoped(&trace);
+    EXPECT_EQ(ActiveTrace(), &trace);
+    EXPECT_EQ(ActiveQueryId(), 7);
+    Span outer("outer");
+    clock.AdvanceMillis(1.0);
+    {
+      Span inner("inner");
+      clock.AdvanceMillis(2.0);
+      Span innermost("innermost");
+      clock.AdvanceMillis(1.0);
+    }
+    Span sibling("sibling");  // inner closed: parent must be outer again
+  }
+  EXPECT_EQ(ActiveTrace(), nullptr);
+
+  const std::vector<SpanRecord> spans = trace.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  const SpanRecord* outer = FindSpan(spans, "outer");
+  const SpanRecord* inner = FindSpan(spans, "inner");
+  const SpanRecord* innermost = FindSpan(spans, "innermost");
+  const SpanRecord* sibling = FindSpan(spans, "sibling");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(innermost, nullptr);
+  ASSERT_NE(sibling, nullptr);
+  EXPECT_EQ(outer->parent, 0);
+  EXPECT_EQ(inner->parent, outer->id);
+  EXPECT_EQ(innermost->parent, inner->id);
+  EXPECT_EQ(sibling->parent, outer->id);
+  // SimClock timing: inner spans 3ms, innermost 1ms.
+  EXPECT_EQ(inner->end_us - inner->start_us, 3000);
+  EXPECT_EQ(innermost->end_us - innermost->start_us, 1000);
+  // Children sit inside their parent's window.
+  EXPECT_GE(inner->start_us, outer->start_us);
+  EXPECT_LE(inner->end_us, outer->end_us);
+}
+
+TEST(SpanTest, EndIsIdempotentAndAnnotationsFormat) {
+  SimClock clock;
+  Trace trace(1, &clock);
+  ScopedTrace scoped(&trace);
+  {
+    Span span("annotated");
+    span.Annotate("text", "hello");
+    span.Annotate("count", int64_t{42});
+    span.Annotate("ratio", 0.25);
+    span.End();
+    span.End();  // second End must not record a duplicate
+  }
+  const std::vector<SpanRecord> spans = trace.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  std::map<std::string, std::string> notes;
+  for (const Annotation& a : spans[0].annotations) notes[a.key] = a.value;
+  EXPECT_EQ(notes["text"], "hello");
+  EXPECT_EQ(notes["count"], "42");
+  EXPECT_EQ(notes["ratio"].substr(0, 4), "0.25");
+}
+
+TEST(TraceTest, AddCompleteSpanRecordsGivenWindow) {
+  SimClock clock;
+  Trace trace(3, &clock);
+  const int64_t parent = trace.NextSpanId();
+  const int64_t id = AddCompleteSpan(&trace, "event", parent,
+                                     /*start_us=*/100, /*end_us=*/250,
+                                     {{"outcome", "accepted"}});
+  EXPECT_GT(id, parent);
+  const std::vector<SpanRecord> spans = trace.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].id, id);
+  EXPECT_EQ(spans[0].parent, parent);
+  EXPECT_EQ(spans[0].start_us, 100);
+  EXPECT_EQ(spans[0].end_us, 250);
+  // Null trace: no-op, id 0.
+  EXPECT_EQ(AddCompleteSpan(nullptr, "event", 0, 0, 1, {}), 0);
+}
+
+TEST(TraceTest, ConcurrentRecordingKeepsEverySpan) {
+  SimClock clock;
+  Trace trace(5, &clock);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace] {
+      // Each thread installs the shared trace and records its own spans —
+      // the serving thread plus a gamma-cache compute in real life.
+      ScopedTrace scoped(&trace);
+      for (int i = 0; i < kPerThread; ++i) {
+        Span span("worker");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(trace.spans().size(),
+            static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST(ShouldSampleTest, ExtremesAndDeterminism) {
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_FALSE(ShouldSample(0.0, key));
+    EXPECT_FALSE(ShouldSample(-1.0, key));
+    EXPECT_TRUE(ShouldSample(1.0, key));
+    EXPECT_TRUE(ShouldSample(2.0, key));
+    // Pure function of (rate, key): the same key decides identically.
+    EXPECT_EQ(ShouldSample(0.5, key), ShouldSample(0.5, key));
+  }
+}
+
+TEST(ShouldSampleTest, RateApproximatesFraction) {
+  int sampled = 0;
+  constexpr int kKeys = 10000;
+  for (uint64_t key = 1; key <= kKeys; ++key) {
+    if (ShouldSample(0.25, key)) ++sampled;
+  }
+  EXPECT_GT(sampled, kKeys / 4 - kKeys / 20);
+  EXPECT_LT(sampled, kKeys / 4 + kKeys / 20);
+}
+
+TEST(SummarizeTest, MergesSameNamedSiblings) {
+  SimClock clock;
+  Trace trace(9, &clock);
+  {
+    ScopedTrace scoped(&trace);
+    Span root("serve");
+    for (int i = 0; i < 3; ++i) {
+      Span child("retry");
+      clock.AdvanceMillis(2.0);
+    }
+    Span other("settle");
+    clock.AdvanceMillis(1.0);
+  }
+  const TraceSummary summary = Summarize(trace);
+  EXPECT_EQ(summary.query_id, 9);
+  ASSERT_FALSE(summary.empty());
+  EXPECT_EQ(summary.lines[0].name, "serve");
+  EXPECT_EQ(summary.lines[0].depth, 0);
+  bool found_merged = false;
+  for (const TraceSummary::Line& line : summary.lines) {
+    if (line.name == "retry") {
+      found_merged = true;
+      EXPECT_EQ(line.count, 3);
+      EXPECT_NEAR(line.total_ms, 6.0, 1e-6);
+      EXPECT_EQ(line.depth, 1);
+    }
+  }
+  EXPECT_TRUE(found_merged);
+  const std::string text = summary.ToString();
+  EXPECT_NE(text.find("retry x3"), std::string::npos);
+}
+
+TEST(ChromeTraceJsonTest, EmitsCompleteEventsWithIdsAndEscapes) {
+  SimClock clock;
+  auto trace = std::make_shared<Trace>(11, &clock);
+  {
+    ScopedTrace scoped(trace.get());
+    Span span("outer");
+    span.Annotate("note", "quo\"te");
+    clock.AdvanceMillis(1.0);
+    Span child("child");
+    clock.AdvanceMillis(1.0);
+  }
+  const std::string json = ChromeTraceJson({trace});
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // thread_name
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"query_id\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"child\""), std::string::npos);
+  // The quote in the annotation value must arrive escaped.
+  EXPECT_NE(json.find("quo\\\"te"), std::string::npos);
+  EXPECT_EQ(json.find("quo\"te\""), std::string::npos);
+  // Null traces are skipped, empty input still renders a valid shell.
+  EXPECT_NE(ChromeTraceJson({nullptr}).find("[]"), std::string::npos);
+}
+
+TEST(ChromeTraceJsonTest, WriteChromeTraceFileRoundTrips) {
+  SimClock clock;
+  auto trace = std::make_shared<Trace>(2, &clock);
+  {
+    ScopedTrace scoped(trace.get());
+    Span span("serve");
+    clock.AdvanceMillis(1.0);
+  }
+  const std::string path =
+      ::testing::TempDir() + "/crowdrtse_trace_roundtrip.json";
+  ASSERT_TRUE(WriteChromeTraceFile(path, {trace}).ok());
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string content(1 << 16, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), file));
+  std::fclose(file);
+  EXPECT_EQ(content, ChromeTraceJson({trace}));
+  std::remove(path.c_str());
+  // Unwritable path surfaces as a status, not a crash.
+  EXPECT_FALSE(
+      WriteChromeTraceFile("/nonexistent-dir/trace.json", {trace}).ok());
+}
+
+std::shared_ptr<const Trace> MakeTimedTrace(int64_t query_id,
+                                            double duration_ms) {
+  SimClock clock;
+  auto trace = std::make_shared<Trace>(query_id, &clock);
+  ScopedTrace scoped(trace.get());
+  Span span("serve");
+  clock.AdvanceMillis(duration_ms);
+  span.End();
+  return trace;
+}
+
+TEST(TraceCollectorTest, RingEvictsOldestSlowLogKeepsSlowest) {
+  TraceCollector::Options options;
+  options.ring_size = 2;
+  options.slow_log_size = 2;
+  TraceCollector collector(options);
+  collector.Collect(MakeTimedTrace(1, 50.0));
+  collector.Collect(MakeTimedTrace(2, 10.0));
+  collector.Collect(MakeTimedTrace(3, 30.0));
+
+  EXPECT_EQ(collector.collected(), 3);
+  const auto recent = collector.Recent();
+  ASSERT_EQ(recent.size(), 2u);  // query 1 fell off the ring
+  EXPECT_EQ(recent[0]->query_id(), 2);
+  EXPECT_EQ(recent[1]->query_id(), 3);
+
+  const auto slowest = collector.Slowest();
+  ASSERT_EQ(slowest.size(), 2u);  // query 2 was never slow enough
+  EXPECT_EQ(slowest[0]->query_id(), 1);
+  EXPECT_EQ(slowest[1]->query_id(), 3);
+
+  const std::string report = collector.SlowQueryReport();
+  EXPECT_NE(report.find("query 1"), std::string::npos);
+  EXPECT_NE(report.find("serve"), std::string::npos);
+  EXPECT_EQ(report.find("query 2"), std::string::npos);
+}
+
+TEST(TraceCollectorTest, ConcurrentCollectIsSafe) {
+  TraceCollector::Options options;
+  options.ring_size = 16;
+  options.slow_log_size = 4;
+  TraceCollector collector(options);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&collector, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        collector.Collect(
+            MakeTimedTrace(t * kPerThread + i, 1.0 + t));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(collector.collected(), kThreads * kPerThread);
+  EXPECT_EQ(collector.Recent().size(), 16u);
+  EXPECT_EQ(collector.Slowest().size(), 4u);
+}
+
+}  // namespace
+}  // namespace crowdrtse::util::trace

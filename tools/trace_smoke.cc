@@ -1,0 +1,501 @@
+// Tracing smoke checker (CI): serves a small faulted query batch at
+// trace_sample_rate = 1.0, exports the Chrome trace and the Prometheus
+// exposition, and validates both structurally —
+//   * the trace is well-formed JSON with a traceEvents array;
+//   * every served query id appears as a tid, every span's parent resolves
+//     inside its own trace, child windows nest inside their parents, and
+//     each query has exactly one root span named "serve" plus the expected
+//     phase spans (ocs, crowd.dispatch with crowd.attempt children under
+//     the fault storm, gsp.propagate);
+//   * the Prometheus text parses line by line, histogram bucket series are
+//     cumulative, and the counters match EngineStats.
+// Exits nonzero on the first class of failure, printing every violation,
+// so CI gets a complete diagnosis in one run. The two artifacts are left
+// next to the binary for upload.
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "semi_synthetic.h"
+#include "crowd/fault_plan.h"
+#include "server/budget_ledger.h"
+#include "server/query_engine.h"
+#include "server/worker_registry.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace crowdrtse::tools {
+namespace {
+
+int g_failures = 0;
+
+void Check(bool ok, const std::string& what) {
+  if (ok) return;
+  std::printf("FAIL: %s\n", what.c_str());
+  ++g_failures;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser — just enough DOM to walk the Chrome trace export.
+// Rejects malformed input (that is the point of the smoke test); tolerates
+// duplicate keys by keeping all pairs.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  /// Parses the whole input as one value; false on any syntax error or
+  /// trailing garbage.
+  bool Parse(JsonValue* out) {
+    pos_ = 0;
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(
+                      static_cast<unsigned char>(text_[pos_ + static_cast<size_t>(i)]))) {
+                return false;
+              }
+            }
+            pos_ += 4;
+            out->push_back('?');  // codepoint value is irrelevant here
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kObject;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        SkipSpace();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        SkipSpace();
+        if (pos_ >= text_.size() || text_[pos_++] != ':') return false;
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->object.emplace_back(std::move(key), std::move(value));
+        SkipSpace();
+        if (pos_ >= text_.size()) return false;
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kArray;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->array.push_back(std::move(value));
+        SkipSpace();
+        if (pos_ >= text_.size()) return false;
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return Literal("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return Literal("false");
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return Literal("null");
+    }
+    // Number.
+    char* end = nullptr;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) return false;
+    pos_ = static_cast<size_t>(end - text_.c_str());
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Chrome trace validation.
+
+struct SpanEvent {
+  std::string name;
+  int64_t span_id = 0;
+  int64_t parent = 0;
+  double ts = 0.0;
+  double dur = 0.0;
+};
+
+void ValidateChromeTrace(const std::string& json,
+                         const std::vector<int64_t>& query_ids) {
+  JsonValue root;
+  Check(JsonParser(json).Parse(&root), "chrome trace is not well-formed JSON");
+  if (g_failures > 0) return;
+  Check(root.kind == JsonValue::Kind::kObject, "trace root is not an object");
+  const JsonValue* events = root.Find("traceEvents");
+  Check(events != nullptr && events->kind == JsonValue::Kind::kArray,
+        "trace has no traceEvents array");
+  if (g_failures > 0) return;
+
+  // Group complete ("X") span events by tid == query id.
+  std::map<int64_t, std::vector<SpanEvent>> by_query;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* ph = event.Find("ph");
+    const JsonValue* tid = event.Find("tid");
+    Check(ph != nullptr && tid != nullptr, "event lacks ph/tid");
+    if (ph == nullptr || tid == nullptr) continue;
+    if (ph->string != "X") continue;  // skip thread_name metadata
+    const JsonValue* args = event.Find("args");
+    const JsonValue* name = event.Find("name");
+    const JsonValue* ts = event.Find("ts");
+    const JsonValue* dur = event.Find("dur");
+    Check(name != nullptr && ts != nullptr && dur != nullptr &&
+              args != nullptr && args->kind == JsonValue::Kind::kObject,
+          "span event lacks name/ts/dur/args");
+    if (name == nullptr || ts == nullptr || dur == nullptr ||
+        args == nullptr) {
+      continue;
+    }
+    const JsonValue* span_id = args->Find("span_id");
+    const JsonValue* parent = args->Find("parent");
+    const JsonValue* query_id = args->Find("query_id");
+    Check(span_id != nullptr && parent != nullptr && query_id != nullptr,
+          "span args lack span_id/parent/query_id");
+    if (span_id == nullptr || parent == nullptr || query_id == nullptr) {
+      continue;
+    }
+    Check(static_cast<int64_t>(query_id->number) ==
+              static_cast<int64_t>(tid->number),
+          "span query_id does not match its tid");
+    SpanEvent span;
+    span.name = name->string;
+    span.span_id = static_cast<int64_t>(span_id->number);
+    span.parent = static_cast<int64_t>(parent->number);
+    span.ts = ts->number;
+    span.dur = dur->number;
+    by_query[static_cast<int64_t>(tid->number)].push_back(std::move(span));
+  }
+
+  for (int64_t id : query_ids) {
+    Check(by_query.count(id) == 1,
+          "query " + std::to_string(id) + " missing from trace");
+  }
+
+  int64_t attempts_total = 0;
+  for (const auto& [qid, spans] : by_query) {
+    const std::string q = "query " + std::to_string(qid) + ": ";
+    std::map<int64_t, const SpanEvent*> by_id;
+    std::set<std::string> names;
+    int roots = 0;
+    for (const SpanEvent& span : spans) {
+      Check(by_id.emplace(span.span_id, &span).second,
+            q + "duplicate span id " + std::to_string(span.span_id));
+      names.insert(span.name);
+      if (span.parent == 0) {
+        ++roots;
+        Check(span.name == "serve", q + "root span is '" + span.name +
+                                        "', expected 'serve'");
+      }
+      if (span.name == "crowd.attempt") ++attempts_total;
+    }
+    Check(roots == 1,
+          q + std::to_string(roots) + " root spans, expected exactly 1");
+    for (const SpanEvent& span : spans) {
+      if (span.parent == 0) continue;
+      const auto it = by_id.find(span.parent);
+      Check(it != by_id.end(), q + "span '" + span.name +
+                                   "' has unresolved parent " +
+                                   std::to_string(span.parent));
+      if (it == by_id.end()) continue;
+      const SpanEvent& parent = *it->second;
+      Check(parent.ts <= span.ts &&
+                span.ts + span.dur <= parent.ts + parent.dur,
+            q + "span '" + span.name + "' escapes its parent '" +
+                parent.name + "' window");
+    }
+    for (const char* expected :
+         {"serve", "ocs", "ocs.select", "crowd", "crowd.dispatch",
+          "crowd.aggregate", "gsp", "gsp.propagate", "settle"}) {
+      Check(names.count(expected) == 1,
+            q + "missing expected span '" + std::string(expected) + "'");
+    }
+  }
+  // The fault storm must have produced per-attempt child spans somewhere.
+  Check(attempts_total > 0, "no crowd.attempt spans under the fault storm");
+  std::printf("trace: %zu queries, %lld attempt spans, nesting OK\n",
+              by_query.size(), static_cast<long long>(attempts_total));
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition validation.
+
+void ValidatePrometheus(const std::string& text,
+                        const server::EngineStats& stats,
+                        int64_t traces_collected) {
+  std::map<std::string, double> samples;
+  std::map<std::string, std::vector<double>> bucket_series;
+  size_t line_start = 0;
+  int line_number = 0;
+  while (line_start < text.size()) {
+    size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = text.size();
+    const std::string line = text.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+    ++line_number;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      Check(line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0,
+            "prometheus line " + std::to_string(line_number) +
+                " is an unknown comment form");
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    Check(space != std::string::npos && space + 1 < line.size(),
+          "prometheus line " + std::to_string(line_number) +
+              " has no sample value");
+    if (space == std::string::npos) continue;
+    const std::string key = line.substr(0, space);
+    char* end = nullptr;
+    const std::string value_text = line.substr(space + 1);
+    const double value = std::strtod(value_text.c_str(), &end);
+    Check(end == value_text.c_str() + value_text.size(),
+          "prometheus value does not parse on line " +
+              std::to_string(line_number) + ": " + line);
+    samples[key] = value;
+    const size_t brace = key.find("_bucket{le=\"");
+    if (brace != std::string::npos) {
+      bucket_series[key.substr(0, brace)].push_back(value);
+    }
+  }
+
+  for (const auto& [name, series] : bucket_series) {
+    for (size_t i = 1; i < series.size(); ++i) {
+      Check(series[i] >= series[i - 1],
+            name + " bucket series is not cumulative");
+    }
+    const auto count = samples.find(name + "_count");
+    Check(count != samples.end() && !series.empty() &&
+              series.back() == count->second,
+          name + " +Inf bucket disagrees with _count");
+  }
+
+  const auto expect = [&](const std::string& name, int64_t want) {
+    const auto it = samples.find(name);
+    Check(it != samples.end(), "prometheus is missing " + name);
+    if (it == samples.end()) return;
+    Check(static_cast<int64_t>(it->second) == want,
+          name + " = " + std::to_string(static_cast<int64_t>(it->second)) +
+              ", stats say " + std::to_string(want));
+  };
+  expect("crowdrtse_queries_served_total", stats.queries_served);
+  expect("crowdrtse_queries_rejected_total", stats.queries_rejected);
+  expect("crowdrtse_queries_failed_total", stats.queries_failed);
+  expect("crowdrtse_paid_units_total", stats.total_paid);
+  expect("crowdrtse_roads_degraded_total", stats.roads_degraded);
+  expect("crowdrtse_dispatch_retries_total", stats.crowd_retries);
+  expect("crowdrtse_serve_latency_ms_count", stats.queries_served);
+  expect("crowdrtse_traces_collected", traces_collected);
+  std::printf("prometheus: %zu samples, %zu histogram series, counters OK\n",
+              samples.size(), bucket_series.size());
+}
+
+// ---------------------------------------------------------------------------
+
+void WriteArtifact(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  Check(file != nullptr, "cannot write artifact " + path);
+  if (file == nullptr) return;
+  std::fwrite(content.data(), 1, content.size(), file);
+  std::fclose(file);
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
+}
+
+int Run(const std::string& trace_path, const std::string& prom_path) {
+  // A small faulted world: every query traced, every fault path exercised.
+  bench::WorldOptions world_options;
+  world_options.num_roads = 120;
+  world_options.num_days = 6;
+  const bench::SemiSyntheticWorld world = bench::BuildWorld(world_options);
+  core::CrowdRtseConfig config;
+  auto system =
+      core::CrowdRtse::BuildOffline(world.network, world.history, config);
+  CROWDRTSE_CHECK(system.ok());
+
+  server::WorkerRegistryOptions registry_options;
+  registry_options.num_workers = world.network.num_roads() * 3;
+  server::WorkerRegistry registry(world.network, registry_options, 5);
+  const crowd::CostModel costs =
+      crowd::CostModel::Constant(world.network.num_roads(), 2);
+  server::BudgetLedger ledger(100'000, /*per_query_cap=*/30);
+  crowd::CrowdSimulator crowd_sim({}, util::Rng(9));
+  util::SimClock clock;
+  server::QueryEngine::Options engine_options;
+  engine_options.fault_tolerant_dispatch = true;
+  engine_options.clock = &clock;
+  crowd::FaultSpec storm;
+  storm.drop_rate = 0.3;
+  storm.delay_rate = 0.2;
+  engine_options.fault_plan = crowd::FaultPlan(storm, /*seed=*/7);
+  engine_options.trace_sample_rate = 1.0;
+  engine_options.trace_ring_size = 64;
+  server::QueryEngine engine(*system, registry, ledger, costs, crowd_sim,
+                             engine_options);
+
+  std::vector<int64_t> query_ids;
+  for (int slot = 0; slot < traffic::kSlotsPerDay; slot += 48) {
+    for (int q = 0; q < 2; ++q) {
+      server::QueryRequest request;
+      request.slot = slot;
+      request.queried =
+          bench::MakeQuery(world, 15, 200 + static_cast<uint64_t>(q));
+      const auto response = engine.Serve(request, world.truth);
+      CROWDRTSE_CHECK(response.ok());
+      query_ids.push_back(response->query_id);
+      Check(!response->trace_summary.empty(),
+            "sampled query has an empty trace summary");
+      Check(response->degraded_reasons.size() ==
+                response->degraded_roads.size(),
+            "degraded_reasons misaligned with degraded_roads");
+    }
+    registry.AdvanceSlot();
+  }
+
+  const server::EngineStats stats = engine.stats();
+  Check(stats.queries_served == static_cast<int64_t>(query_ids.size()),
+        "not every query was served");
+  Check(engine.traces().collected() ==
+            static_cast<int64_t>(query_ids.size()),
+        "collector missed sampled queries");
+
+  const std::string chrome = engine.traces().ChromeTraceJson();
+  const std::string prometheus = engine.metrics().RenderPrometheus();
+  WriteArtifact(trace_path, chrome);
+  WriteArtifact(prom_path, prometheus);
+
+  ValidateChromeTrace(chrome, query_ids);
+  ValidatePrometheus(prometheus, stats, engine.traces().collected());
+
+  if (g_failures > 0) {
+    std::printf("trace smoke FAILED: %d violations\n", g_failures);
+    return 1;
+  }
+  std::printf("trace smoke OK: %zu queries traced and validated\n",
+              query_ids.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace crowdrtse::tools
+
+int main(int argc, char** argv) {
+  const std::string trace_path =
+      argc > 1 ? argv[1] : "trace_smoke_trace.json";
+  const std::string prom_path =
+      argc > 2 ? argv[2] : "trace_smoke_metrics.prom";
+  return crowdrtse::tools::Run(trace_path, prom_path);
+}
