@@ -70,6 +70,8 @@ const char* DegradeReasonName(DegradeReason reason) {
       return "deadline";
     case DegradeReason::kOutlier:
       return "outlier";
+    case DegradeReason::kLoadShed:
+      return "load_shed";
   }
   return "?";
 }

@@ -80,11 +80,16 @@ struct DispatchStats {
   int outlier_reports = 0;     // dropped: outside the plausibility window
 };
 
-/// Why a road ended the round with zero usable answers.
+/// Why a road ended the round with zero usable answers. The first three
+/// reasons come out of the dispatch state machine; kLoadShed is assigned one
+/// level up, by the serving layer, when admission control answers a query
+/// from the periodic-mean fallback without running a crowd round at all
+/// (degrade-before-drop — the same ladder rung, entered from the front).
 enum class DegradeReason {
   kUnstaffed,  // no worker was on the road to begin with
   kDeadline,   // every attempt dropped out or missed its deadline
   kOutlier,    // answers arrived but all were rejected as implausible
+  kLoadShed,   // admission control shed the query to the periodic fallback
 };
 
 const char* DegradeReasonName(DegradeReason reason);

@@ -1,0 +1,54 @@
+#ifndef CROWDRTSE_NET_EPOLL_LOOP_H_
+#define CROWDRTSE_NET_EPOLL_LOOP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace crowdrtse::net {
+
+/// One readiness event out of EpollLoop::Wait.
+struct ReadyEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  /// Error/hangup: the owner should tear the connection down.
+  bool closed = false;
+};
+
+/// Thin level-triggered epoll wrapper with a wakeup eventfd, the reactor
+/// under the serving front-end. Single-consumer: exactly one thread calls
+/// Wait(); Add/Modify/Remove and Wakeup may be called from any thread
+/// (epoll_ctl is thread-safe against epoll_wait).
+class EpollLoop {
+ public:
+  EpollLoop() = default;
+
+  /// Creates the epoll instance and the wakeup eventfd.
+  util::Status Init();
+
+  util::Status Add(int fd, bool want_read, bool want_write);
+  util::Status Modify(int fd, bool want_read, bool want_write);
+  util::Status Remove(int fd);
+
+  /// Blocks up to `timeout_millis` (-1 = forever) and appends readiness
+  /// events to `out` (cleared first). The wakeup fd is consumed
+  /// internally and never reported.
+  util::Status Wait(int timeout_millis, std::vector<ReadyEvent>* out);
+
+  /// Makes a concurrent Wait() return promptly (shutdown, new writable
+  /// data queued by a worker thread).
+  void Wakeup();
+
+  bool initialized() const { return epoll_fd_.valid(); }
+
+ private:
+  Fd epoll_fd_;
+  Fd wakeup_fd_;
+};
+
+}  // namespace crowdrtse::net
+
+#endif  // CROWDRTSE_NET_EPOLL_LOOP_H_

@@ -1,0 +1,61 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace crowdrtse::net {
+
+namespace {
+
+uint32_t LoadU32(const char* p) {
+  // Explicit little-endian decode: the wire format must not depend on
+  // host byte order.
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+void StoreU32(uint32_t value, std::string* out) {
+  out->push_back(static_cast<char>(value & 0xFF));
+  out->push_back(static_cast<char>((value >> 8) & 0xFF));
+  out->push_back(static_cast<char>((value >> 16) & 0xFF));
+  out->push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+}  // namespace
+
+std::string EncodeFrame(const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  StoreU32(kFrameMagic, &out);
+  StoreU32(static_cast<uint32_t>(payload.size()), &out);
+  out += payload;
+  return out;
+}
+
+util::Status FrameDecoder::Feed(const char* data, size_t size) {
+  if (buffer_.size() + size >
+      kFrameHeaderBytes + static_cast<size_t>(kMaxFramePayloadBytes) * 2) {
+    return util::Status::InvalidArgument("frame buffer overflow");
+  }
+  buffer_.append(data, size);
+  return util::Status::Ok();
+}
+
+util::Result<bool> FrameDecoder::Next(std::string* out) {
+  if (buffer_.size() < kFrameHeaderBytes) return false;
+  if (LoadU32(buffer_.data()) != kFrameMagic) {
+    return util::Status::InvalidArgument("bad frame magic");
+  }
+  const uint32_t length = LoadU32(buffer_.data() + 4);
+  if (length > kMaxFramePayloadBytes) {
+    return util::Status::InvalidArgument("frame payload too large: " +
+                                         std::to_string(length));
+  }
+  if (buffer_.size() < kFrameHeaderBytes + length) return false;
+  *out = buffer_.substr(kFrameHeaderBytes, length);
+  buffer_.erase(0, kFrameHeaderBytes + length);
+  return true;
+}
+
+}  // namespace crowdrtse::net

@@ -1,0 +1,43 @@
+#ifndef CROWDRTSE_NET_FRAME_H_
+#define CROWDRTSE_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace crowdrtse::net {
+
+/// Length-prefixed binary framing for the non-HTTP endpoint: each frame is
+///
+///   [u32 magic 0x43525143 "CRQC"][u32 payload length, little endian]
+///   [payload bytes]
+///
+/// The payload is the same JSON a POST /query body carries — the frame
+/// layer buys cheap parsing (no header scan) and an unambiguous message
+/// boundary for high-rate load drivers, not a different schema.
+constexpr uint32_t kFrameMagic = 0x43525143;  // "CQRC" little-endian bytes
+constexpr size_t kFrameHeaderBytes = 8;
+constexpr uint32_t kMaxFramePayloadBytes = 8 * 1024 * 1024;
+
+/// Serialises one frame around `payload`.
+std::string EncodeFrame(const std::string& payload);
+
+/// Incremental decoder: feed bytes, pop complete payloads. A bad magic or
+/// oversize length poisons the stream (the connection must be dropped).
+class FrameDecoder {
+ public:
+  util::Status Feed(const char* data, size_t size);
+
+  /// Moves one complete payload into `out` if available; false when more
+  /// bytes are needed.
+  util::Result<bool> Next(std::string* out);
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace crowdrtse::net
+
+#endif  // CROWDRTSE_NET_FRAME_H_

@@ -1,0 +1,235 @@
+#include "net/http.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+
+namespace crowdrtse::net {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t')) ++begin;
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t')) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+}  // namespace
+
+util::Status HttpRequestParser::Feed(const char* data, size_t size) {
+  if (buffer_.size() + size > kMaxHeaderBytes + kMaxBodyBytes) {
+    return util::Status::InvalidArgument("request too large");
+  }
+  buffer_.append(data, size);
+  return util::Status::Ok();
+}
+
+util::Result<bool> HttpRequestParser::Next(HttpRequest* out) {
+  const size_t header_end = buffer_.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    if (buffer_.size() > kMaxHeaderBytes) {
+      return util::Status::InvalidArgument("header section too large");
+    }
+    return false;
+  }
+  if (header_end > kMaxHeaderBytes) {
+    return util::Status::InvalidArgument("header section too large");
+  }
+
+  // Parse the request line.
+  const size_t line_end = buffer_.find("\r\n");
+  const std::string request_line = buffer_.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    return util::Status::InvalidArgument("malformed request line: " +
+                                         request_line);
+  }
+  const std::string version = request_line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return util::Status::InvalidArgument("unsupported HTTP version: " +
+                                         version);
+  }
+
+  HttpRequest request;
+  request.method = request_line.substr(0, sp1);
+  std::string raw_target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t question = raw_target.find('?');
+  if (question != std::string::npos) {
+    request.query = raw_target.substr(question + 1);
+    raw_target.resize(question);
+  }
+  request.target = UrlDecode(raw_target);
+
+  // Parse headers.
+  size_t cursor = line_end + 2;
+  while (cursor < header_end) {
+    const size_t eol = buffer_.find("\r\n", cursor);
+    const std::string line = buffer_.substr(cursor, eol - cursor);
+    cursor = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return util::Status::InvalidArgument("malformed header: " + line);
+    }
+    request.headers[Lower(line.substr(0, colon))] =
+        Trim(line.substr(colon + 1));
+  }
+
+  // Body: Content-Length only (no chunked encoding — our clients are the
+  // smoke tool, the bench driver, and curl, all of which send lengths).
+  size_t content_length = 0;
+  const auto it = request.headers.find("content-length");
+  if (it != request.headers.end()) {
+    const std::string& text = it->second;
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos) {
+      return util::Status::InvalidArgument("bad Content-Length: " + text);
+    }
+    content_length = std::stoull(text);
+    if (content_length > kMaxBodyBytes) {
+      return util::Status::InvalidArgument("body too large: " + text);
+    }
+  } else if (request.headers.count("transfer-encoding") > 0) {
+    return util::Status::InvalidArgument(
+        "chunked transfer encoding is not supported");
+  }
+
+  const size_t body_start = header_end + 4;
+  if (buffer_.size() - body_start < content_length) return false;
+  request.body = buffer_.substr(body_start, content_length);
+  buffer_.erase(0, body_start + content_length);
+  *out = std::move(request);
+  return true;
+}
+
+const char* HttpReason(int status_code) {
+  switch (status_code) {
+    case 200:
+      return "OK";
+    case 202:
+      return "Accepted";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 429:
+      return "Too Many Requests";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string RenderHttpResponse(int status_code, const std::string& body,
+                               const std::string& content_type) {
+  std::string out = "HTTP/1.1 " + std::to_string(status_code) + " " +
+                    HttpReason(status_code) + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: keep-alive\r\n\r\n";
+  out += body;
+  return out;
+}
+
+util::Status ReadHttpResponse(int fd, int* status_code, std::string* body) {
+  std::string buffer;
+  char chunk[4096];
+  size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::IoError("recv failed reading response headers");
+    }
+    if (n == 0) {
+      return util::Status::IoError("connection closed mid-response");
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    header_end = buffer.find("\r\n\r\n");
+    if (buffer.size() > HttpRequestParser::kMaxHeaderBytes &&
+        header_end == std::string::npos) {
+      return util::Status::InvalidArgument("response headers too large");
+    }
+  }
+  // Status line: "HTTP/1.1 200 OK".
+  const size_t sp = buffer.find(' ');
+  if (sp == std::string::npos || sp + 4 > buffer.size()) {
+    return util::Status::InvalidArgument("malformed status line");
+  }
+  *status_code = 0;
+  for (size_t i = sp + 1; i < buffer.size() && buffer[i] != ' '; ++i) {
+    if (buffer[i] < '0' || buffer[i] > '9') {
+      return util::Status::InvalidArgument("malformed status code");
+    }
+    *status_code = *status_code * 10 + (buffer[i] - '0');
+  }
+  // Content-Length (case-insensitive scan of the header block).
+  const std::string headers = Lower(buffer.substr(0, header_end));
+  const size_t cl = headers.find("content-length:");
+  if (cl == std::string::npos) {
+    return util::Status::InvalidArgument("response missing Content-Length");
+  }
+  size_t length = 0;
+  size_t i = cl + 15;
+  while (i < headers.size() && (headers[i] == ' ' || headers[i] == '\t')) {
+    ++i;
+  }
+  while (i < headers.size() && headers[i] >= '0' && headers[i] <= '9') {
+    length = length * 10 + static_cast<size_t>(headers[i] - '0');
+    ++i;
+  }
+  body->assign(buffer, header_end + 4,
+               std::min(length, buffer.size() - header_end - 4));
+  while (body->size() < length) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::IoError("recv failed reading response body");
+    }
+    if (n == 0) {
+      return util::Status::IoError("connection closed mid-body");
+    }
+    body->append(chunk, static_cast<size_t>(
+                            std::min<size_t>(static_cast<size_t>(n),
+                                             length - body->size())));
+  }
+  return util::Status::Ok();
+}
+
+std::string UrlDecode(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '%' && i + 2 < text.size() &&
+        std::isxdigit(static_cast<unsigned char>(text[i + 1])) &&
+        std::isxdigit(static_cast<unsigned char>(text[i + 2]))) {
+      const std::string hex = text.substr(i + 1, 2);
+      out.push_back(
+          static_cast<char>(std::stoi(hex, nullptr, 16)));
+      i += 2;
+    } else {
+      out.push_back(text[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace crowdrtse::net

@@ -1,0 +1,63 @@
+#ifndef CROWDRTSE_NET_HTTP_H_
+#define CROWDRTSE_NET_HTTP_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "util/status.h"
+
+namespace crowdrtse::net {
+
+/// One parsed HTTP/1.1 request. Header names are lower-cased on parse
+/// (field names are case-insensitive per RFC 9112); values keep their
+/// bytes with surrounding whitespace trimmed.
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string target;  // "/query", "/metrics", "/trace/42?k=v" -> path only
+  std::string query;   // raw query string after '?', "" when absent
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+/// Incremental HTTP/1.1 request parser for one connection: feed bytes as
+/// they arrive, pop complete requests. Pipelining works — leftover bytes
+/// after one request seed the next. Malformed input fails the whole
+/// connection (the caller closes it; no resync attempts).
+class HttpRequestParser {
+ public:
+  /// Hard caps so a hostile peer cannot balloon memory.
+  static constexpr size_t kMaxHeaderBytes = 16 * 1024;
+  static constexpr size_t kMaxBodyBytes = 8 * 1024 * 1024;
+
+  /// Appends newly received bytes.
+  util::Status Feed(const char* data, size_t size);
+
+  /// Moves one complete request into `out` if available. Returns false
+  /// when more bytes are needed (not an error).
+  util::Result<bool> Next(HttpRequest* out);
+
+ private:
+  std::string buffer_;
+};
+
+/// Renders an HTTP/1.1 response with Content-Length and Connection:
+/// keep-alive. `content_type` e.g. "application/json" or "text/plain".
+std::string RenderHttpResponse(int status_code, const std::string& body,
+                               const std::string& content_type);
+
+/// Standard reason phrase for the handful of codes the server emits.
+const char* HttpReason(int status_code);
+
+/// Blocking client-side read of one HTTP/1.1 response from `fd` (the
+/// smoke-tool / load-driver / test side; connections are lockstep
+/// request-response). Parses the status line and Content-Length, then
+/// reads exactly the body.
+util::Status ReadHttpResponse(int fd, int* status_code, std::string* body);
+
+/// Percent-decodes a URL path/query component (+ is not space here).
+std::string UrlDecode(const std::string& text);
+
+}  // namespace crowdrtse::net
+
+#endif  // CROWDRTSE_NET_HTTP_H_

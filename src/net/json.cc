@@ -1,0 +1,385 @@
+#include "net/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace crowdrtse::net::json {
+
+Value Value::Bool(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::Number(double d) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+Value Value::Int(int64_t i) { return Number(static_cast<double>(i)); }
+
+Value Value::Str(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::Array() {
+  Value v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+Value Value::Object() {
+  Value v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+util::Result<int64_t> Value::AsInt() const {
+  if (kind_ != Kind::kNumber) {
+    return util::Status::InvalidArgument("not a number");
+  }
+  if (std::nearbyint(number_) != number_ || std::abs(number_) > 9.0e15) {
+    return util::Status::InvalidArgument("not an exact integer: " +
+                                         std::to_string(number_));
+  }
+  return static_cast<int64_t>(number_);
+}
+
+Value& Value::Set(const std::string& key, Value value) {
+  kind_ = Kind::kObject;
+  object_[key] = std::move(value);
+  return *this;
+}
+
+const Value* Value::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::string Value::Dump() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return bool_ ? "true" : "false";
+    case Kind::kNumber: {
+      if (std::isnan(number_) || std::isinf(number_)) return "0";
+      // Integers render without a fraction so ids survive round-trips
+      // textually; everything else gets enough digits to round-trip.
+      if (std::nearbyint(number_) == number_ &&
+          std::abs(number_) <= 9.0e15) {
+        return std::to_string(static_cast<int64_t>(number_));
+      }
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", number_);
+      return buffer;
+    }
+    case Kind::kString:
+      return "\"" + util::JsonEscape(string_) + "\"";
+    case Kind::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += array_[i].Dump();
+      }
+      return out + "]";
+    }
+    case Kind::kObject: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"" + util::JsonEscape(key) + "\":" + value.Dump();
+      }
+      return out + "}";
+    }
+  }
+  return "null";
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  util::Result<Value> Run() {
+    SkipWhitespace();
+    Value root;
+    CROWDRTSE_RETURN_IF_ERROR(ParseValue(0, &root));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return root;
+  }
+
+ private:
+  util::Status Error(const std::string& message) const {
+    return util::Status::InvalidArgument(
+        message + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  util::Status ParseValue(int depth, Value* out) {
+    if (depth > max_depth_) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth, out);
+      case '[':
+        return ParseArray(depth, out);
+      case '"': {
+        std::string s;
+        CROWDRTSE_RETURN_IF_ERROR(ParseString(&s));
+        *out = Value::Str(std::move(s));
+        return util::Status::Ok();
+      }
+      case 't':
+        return ParseLiteral("true", Value::Bool(true), out);
+      case 'f':
+        return ParseLiteral("false", Value::Bool(false), out);
+      case 'n':
+        return ParseLiteral("null", Value::Null(), out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  util::Status ParseLiteral(const char* literal, Value value, Value* out) {
+    for (const char* p = literal; *p != '\0'; ++p) {
+      if (!Consume(*p)) return Error(std::string("expected '") + literal +
+                                     "'");
+    }
+    *out = std::move(value);
+    return util::Status::Ok();
+  }
+
+  util::Status ParseNumber(Value* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (!ConsumeDigits()) return Error("invalid number");
+    if (Consume('.')) {
+      if (!ConsumeDigits()) return Error("invalid number fraction");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!ConsumeDigits()) return Error("invalid number exponent");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    // Leading zeros are invalid JSON ("013"), but leading "0." is fine.
+    if (token.size() > 1) {
+      const size_t first = token[0] == '-' ? 1 : 0;
+      if (token[first] == '0' && first + 1 < token.size() &&
+          token[first + 1] != '.' && token[first + 1] != 'e' &&
+          token[first + 1] != 'E') {
+        return Error("leading zero in number");
+      }
+    }
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Error("invalid number");
+    *out = Value::Number(value);
+    return util::Status::Ok();
+  }
+
+  bool ConsumeDigits() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  util::Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out->clear();
+    for (;;) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return util::Status::Ok();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("dangling escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          unsigned code = 0;
+          CROWDRTSE_RETURN_IF_ERROR(ParseHex4(&code));
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // Surrogate pair: require the low half and combine.
+            if (!Consume('\\') || !Consume('u')) {
+              return Error("unpaired high surrogate");
+            }
+            unsigned low = 0;
+            CROWDRTSE_RETURN_IF_ERROR(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            const unsigned combined =
+                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            AppendUtf8(combined, out);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          } else {
+            AppendUtf8(code, out);
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape");
+      }
+    }
+  }
+
+  util::Status ParseHex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    *out = value;
+    return util::Status::Ok();
+  }
+
+  static void AppendUtf8(unsigned code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  util::Status ParseObject(int depth, Value* out) {
+    Consume('{');
+    *out = Value::Object();
+    SkipWhitespace();
+    if (Consume('}')) return util::Status::Ok();
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      CROWDRTSE_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      SkipWhitespace();
+      Value value;
+      CROWDRTSE_RETURN_IF_ERROR(ParseValue(depth + 1, &value));
+      out->Set(key, std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return util::Status::Ok();
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  util::Status ParseArray(int depth, Value* out) {
+    Consume('[');
+    *out = Value::Array();
+    SkipWhitespace();
+    if (Consume(']')) return util::Status::Ok();
+    for (;;) {
+      SkipWhitespace();
+      Value value;
+      CROWDRTSE_RETURN_IF_ERROR(ParseValue(depth + 1, &value));
+      out->MutableArray().push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return util::Status::Ok();
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  const int max_depth_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Result<Value> Parse(const std::string& text, int max_depth) {
+  return Parser(text, max_depth).Run();
+}
+
+}  // namespace crowdrtse::net::json

@@ -1,0 +1,75 @@
+#ifndef CROWDRTSE_NET_JSON_H_
+#define CROWDRTSE_NET_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace crowdrtse::net::json {
+
+/// A parsed JSON value (RFC 8259). Small recursive variant used by the
+/// wire protocol: query requests in, and round-trip validation of every
+/// JSON the process emits (metrics, logs, traces) in tests. Numbers are
+/// kept as doubles; AsInt() checks integrality where the protocol needs
+/// exact ints (slots, road ids).
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;  // null
+  static Value Null() { return Value(); }
+  static Value Bool(bool b);
+  static Value Number(double d);
+  static Value Int(int64_t i);
+  static Value Str(std::string s);
+  static Value Array();
+  static Value Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  /// The number as an exact integer; fails when not integral or out of
+  /// int64 range.
+  util::Result<int64_t> AsInt() const;
+  const std::string& AsString() const { return string_; }
+  const std::vector<Value>& AsArray() const { return array_; }
+  const std::map<std::string, Value>& AsObject() const { return object_; }
+
+  /// Mutators for building values to Dump().
+  std::vector<Value>& MutableArray() { return array_; }
+  Value& Set(const std::string& key, Value value);
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const;
+
+  /// Serialises per RFC 8259 (strings escaped, non-finite numbers clamp
+  /// to 0 — JSON has no tokens for them). Stable member order (std::map).
+  std::string Dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::map<std::string, Value> object_;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error. Depth is
+/// capped (default 64) so hostile input cannot blow the stack.
+util::Result<Value> Parse(const std::string& text, int max_depth = 64);
+
+}  // namespace crowdrtse::net::json
+
+#endif  // CROWDRTSE_NET_JSON_H_

@@ -1,0 +1,155 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace crowdrtse::net {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void Fd::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return util::Status::IoError(Errno("fcntl(F_GETFL)"));
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return util::Status::IoError(Errno("fcntl(F_SETFL, O_NONBLOCK)"));
+  }
+  return util::Status::Ok();
+}
+
+util::Status SetNoDelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return util::Status::IoError(Errno("setsockopt(TCP_NODELAY)"));
+  }
+  return util::Status::Ok();
+}
+
+util::Status TcpListener::Listen(uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return util::Status::IoError(Errno("socket"));
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return util::Status::IoError(Errno("setsockopt(SO_REUSEADDR)"));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return util::Status::IoError(
+        Errno("bind(127.0.0.1:" + std::to_string(port) + ")"));
+  }
+  if (::listen(fd.get(), backlog) < 0) {
+    return util::Status::IoError(Errno("listen"));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    return util::Status::IoError(Errno("getsockname"));
+  }
+  CROWDRTSE_RETURN_IF_ERROR(SetNonBlocking(fd.get()));
+  bound_port_ = ntohs(bound.sin_port);
+  fd_ = std::move(fd);
+  return util::Status::Ok();
+}
+
+util::Result<Fd> TcpListener::Accept() {
+  for (;;) {
+    const int client =
+        ::accept4(fd_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (client >= 0) {
+      Fd out(client);
+      // Best-effort: a connection we cannot tune still serves.
+      (void)SetNoDelay(client);
+      return out;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Fd();  // drained
+    // ECONNABORTED: the peer gave up while queued; nothing to accept.
+    if (errno == ECONNABORTED) return Fd();
+    return util::Status::IoError(Errno("accept"));
+  }
+}
+
+util::Result<Fd> ConnectLocal(uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return util::Status::IoError(Errno("socket"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    return util::Status::IoError(
+        Errno("connect(127.0.0.1:" + std::to_string(port) + ")"));
+  }
+  (void)SetNoDelay(fd.get());
+  return fd;
+}
+
+util::Status WriteAll(int fd, const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    // MSG_NOSIGNAL: a peer that hung up yields EPIPE instead of killing
+    // the process with SIGPIPE.
+    const ssize_t n = ::send(fd, data.data() + written,
+                             data.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::IoError(Errno("send"));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return util::Status::Ok();
+}
+
+util::Status ReadExact(int fd, size_t n, std::string* out) {
+  size_t got = 0;
+  char buffer[4096];
+  while (got < n) {
+    const size_t want = std::min(n - got, sizeof(buffer));
+    const ssize_t r = ::read(fd, buffer, want);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::IoError(Errno("read"));
+    }
+    if (r == 0) {
+      return util::Status::IoError(
+          "connection closed after " + std::to_string(got) + " of " +
+          std::to_string(n) + " bytes");
+    }
+    out->append(buffer, static_cast<size_t>(r));
+    got += static_cast<size_t>(r);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace crowdrtse::net

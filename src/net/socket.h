@@ -1,0 +1,99 @@
+#ifndef CROWDRTSE_NET_SOCKET_H_
+#define CROWDRTSE_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace crowdrtse::net {
+
+/// RAII file descriptor: closes on destruction, move-only. The building
+/// block every higher net layer (listener, epoll loop, front-end
+/// connections) hands around instead of raw ints.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Close(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Releases ownership without closing; returns the raw fd.
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Puts `fd` into non-blocking mode (O_NONBLOCK).
+util::Status SetNonBlocking(int fd);
+
+/// Disables Nagle's algorithm (TCP_NODELAY) — query/response traffic is
+/// small and latency-bound, so coalescing 40 ms of it is pure harm.
+util::Status SetNoDelay(int fd);
+
+/// A listening TCP socket bound to 127.0.0.1:`port` (port 0 lets the
+/// kernel pick; bound_port() reports the result — how tests and the smoke
+/// tool avoid port collisions). SO_REUSEADDR is set so restarts do not
+/// trip over TIME_WAIT.
+class TcpListener {
+ public:
+  TcpListener() = default;
+
+  /// Binds and listens. `backlog` is the kernel accept queue depth.
+  util::Status Listen(uint16_t port, int backlog = 128);
+
+  /// Accepts one pending connection, non-blocking semantics follow the
+  /// listener fd. Returns an invalid Fd (not an error) when no connection
+  /// is pending (EAGAIN) — the epoll loop treats that as "drained".
+  util::Result<Fd> Accept();
+
+  /// Stops listening (closes the socket). bound_port() keeps reporting
+  /// the last bound port.
+  void Close() { fd_.Close(); }
+
+  int fd() const { return fd_.get(); }
+  bool listening() const { return fd_.valid(); }
+  uint16_t bound_port() const { return bound_port_; }
+
+ private:
+  Fd fd_;
+  uint16_t bound_port_ = 0;
+};
+
+/// Blocking client connect to 127.0.0.1:`port` — the load driver / smoke
+/// tool side of the protocol. The returned fd is blocking with
+/// TCP_NODELAY set.
+util::Result<Fd> ConnectLocal(uint16_t port);
+
+/// Writes all of `data` to a blocking fd, retrying short writes and EINTR.
+util::Status WriteAll(int fd, const std::string& data);
+
+/// Reads exactly `n` bytes from a blocking fd into `out` (appended).
+/// Fails with IoError on EOF before `n` bytes arrive.
+util::Status ReadExact(int fd, size_t n, std::string* out);
+
+}  // namespace crowdrtse::net
+
+#endif  // CROWDRTSE_NET_SOCKET_H_

@@ -1,0 +1,46 @@
+#include "net/token_bucket.h"
+
+#include <algorithm>
+
+namespace crowdrtse::net {
+
+namespace {
+constexpr double kMicroPerToken = 1e6;
+}  // namespace
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst,
+                         util::Clock* clock)
+    : rate_per_sec_(rate_per_sec),
+      burst_micro_(std::max(burst, 1.0) * kMicroPerToken),
+      clock_(clock),
+      micro_tokens_(burst_micro_),
+      last_refill_micros_(clock->NowMicros()) {}
+
+void TokenBucket::RefillLocked(int64_t now_micros) {
+  if (now_micros <= last_refill_micros_) return;
+  const double elapsed_micros =
+      static_cast<double>(now_micros - last_refill_micros_);
+  micro_tokens_ = std::min(burst_micro_,
+                           micro_tokens_ + elapsed_micros * rate_per_sec_);
+  last_refill_micros_ = now_micros;
+}
+
+bool TokenBucket::TryAcquire() {
+  if (rate_per_sec_ <= 0) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  RefillLocked(clock_->NowMicros());
+  if (micro_tokens_ >= kMicroPerToken) {
+    micro_tokens_ -= kMicroPerToken;
+    return true;
+  }
+  return false;
+}
+
+double TokenBucket::available() {
+  if (rate_per_sec_ <= 0) return burst_micro_ / kMicroPerToken;
+  std::lock_guard<std::mutex> lock(mutex_);
+  RefillLocked(clock_->NowMicros());
+  return micro_tokens_ / kMicroPerToken;
+}
+
+}  // namespace crowdrtse::net

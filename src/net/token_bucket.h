@@ -1,0 +1,46 @@
+#ifndef CROWDRTSE_NET_TOKEN_BUCKET_H_
+#define CROWDRTSE_NET_TOKEN_BUCKET_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "util/clock.h"
+
+namespace crowdrtse::net {
+
+/// Classic token bucket: `rate_per_sec` tokens accrue continuously up to
+/// `burst` capacity; TryAcquire spends one if available. Runs on the
+/// injected util::Clock so tests drive refill deterministically with
+/// SimClock (DESIGN.md §5c pattern). Thread-safe; a bucket guards one
+/// client's admission, so the single mutex is uncontended in practice.
+///
+/// Accounting is in microtokens (one token = 1e6): refill adds
+/// elapsed_micros * rate, which stays an exact integer-valued double for
+/// integral rates — so "exactly at the refill boundary" admits and one
+/// microsecond earlier denies, with no elapsed_sec rounding drift.
+class TokenBucket {
+ public:
+  /// Starts full. rate_per_sec <= 0 disables limiting (always admits).
+  TokenBucket(double rate_per_sec, double burst, util::Clock* clock);
+
+  /// Spends one token if the bucket (after refill) has one. Never blocks.
+  bool TryAcquire();
+
+  /// Tokens currently available (after refill); for tests and /stats.
+  double available();
+
+ private:
+  void RefillLocked(int64_t now_micros);
+
+  const double rate_per_sec_;
+  const double burst_micro_;
+  util::Clock* const clock_;
+
+  std::mutex mutex_;
+  double micro_tokens_;
+  int64_t last_refill_micros_;
+};
+
+}  // namespace crowdrtse::net
+
+#endif  // CROWDRTSE_NET_TOKEN_BUCKET_H_

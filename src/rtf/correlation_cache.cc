@@ -32,6 +32,13 @@ CorrelationCache::CorrelationCache(CorrelationCacheOptions options)
   shards_ = std::make_unique<Shard[]>(static_cast<size_t>(options_.num_shards));
 }
 
+CorrelationCache::~CorrelationCache() { Drain(); }
+
+void CorrelationCache::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drained_.wait(lock, [this] { return computes_in_flight_ == 0; });
+}
+
 std::shared_ptr<CorrelationCache::Entry> CorrelationCache::EntryFor(
     int slot) {
   Shard& shard = shards_[static_cast<size_t>(slot % options_.num_shards)];
@@ -89,6 +96,22 @@ util::Result<CorrelationCache::TablePtr> CorrelationCache::GetOrCompute(
     entry->error = util::Status::Ok();  // don't leak a prior round's error
     const uint64_t generation = entry->generation;
     lock.unlock();
+
+    // Register with the drain gate for the whole slow path: Drain() (and
+    // the destructor) must not tear down the fan-out pool while this
+    // compute might still ParallelFor on it. The guard's decrement is the
+    // last cache-member access on every exit from this iteration.
+    {
+      std::lock_guard<std::mutex> drain_lock(drain_mutex_);
+      ++computes_in_flight_;
+    }
+    struct DrainGuard {
+      CorrelationCache* cache;
+      ~DrainGuard() {
+        std::lock_guard<std::mutex> drain_lock(cache->drain_mutex_);
+        if (--cache->computes_in_flight_ == 0) cache->drained_.notify_all();
+      }
+    } drain_guard{this};
 
     // The slow path runs outside every lock: other slots proceed untouched
     // and same-slot arrivals park on the condition variable above.

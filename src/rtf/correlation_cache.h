@@ -103,9 +103,18 @@ class CorrelationCache {
   };
 
   explicit CorrelationCache(CorrelationCacheOptions options = {});
+  /// Calls Drain(): destruction while another thread is mid-compute would
+  /// otherwise tear the Dijkstra fan-out pool down under that thread.
+  ~CorrelationCache();
 
   CorrelationCache(const CorrelationCache&) = delete;
   CorrelationCache& operator=(const CorrelationCache&) = delete;
+
+  /// Blocks until no GetOrCompute slow path (warm load or compute) is in
+  /// flight. Callers must still stop issuing new lookups themselves —
+  /// Drain does not reject them, it only waits out the current ones; the
+  /// serving layer's QueryEngine::Drain provides the admission stop.
+  void Drain();
 
   /// Returns the cached table for `slot`, warm-loading or computing it via
   /// `compute` on a miss. Errors are returned to every coalesced waiter but
@@ -176,6 +185,11 @@ class CorrelationCache {
   // computes serially instead of blocking on the first.
   std::mutex fanout_mutex_;
   std::unique_ptr<util::ThreadPool> fanout_;
+
+  // Drain bookkeeping: slow paths in flight (see Drain()).
+  std::mutex drain_mutex_;
+  std::condition_variable drained_;
+  int64_t computes_in_flight_ = 0;
 
   util::metrics::Counter hits_;
   util::metrics::Counter misses_;

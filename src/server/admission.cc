@@ -1,0 +1,121 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace crowdrtse::server {
+
+const char* ShedLevelName(ShedLevel level) {
+  switch (level) {
+    case ShedLevel::kNone:
+      return "none";
+    case ShedLevel::kBudgetCap:
+      return "budget_cap";
+    case ShedLevel::kPeriodicFallback:
+      return "periodic_fallback";
+    case ShedLevel::kReject:
+      return "reject";
+  }
+  return "unknown";
+}
+
+AdmissionOptions AdmissionOptions::Normalized() const {
+  AdmissionOptions out = *this;
+  if (out.capacity < 1) out.capacity = 1;
+  if (out.shed_low_watermark <= 0) {
+    out.shed_low_watermark = std::max(1, out.capacity / 2);
+  }
+  if (out.hard_capacity <= 0) out.hard_capacity = 2 * out.capacity;
+  // Keep the rungs ordered: low <= capacity <= hard.
+  out.shed_low_watermark = std::min(out.shed_low_watermark, out.capacity);
+  out.hard_capacity = std::max(out.hard_capacity, out.capacity);
+  return out;
+}
+
+AdmissionQueue::AdmissionQueue(AdmissionOptions options)
+    : options_(options.Normalized()) {}
+
+ShedLevel AdmissionQueue::Admit(Task task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int depth = static_cast<int>(queue_.size());
+  ShedLevel level;
+  if (closed_ || depth >= options_.hard_capacity) {
+    level = ShedLevel::kReject;
+  } else if (depth >= options_.capacity) {
+    level = ShedLevel::kPeriodicFallback;
+  } else if (depth >= options_.shed_low_watermark) {
+    level = ShedLevel::kBudgetCap;
+  } else {
+    level = ShedLevel::kNone;
+  }
+  switch (level) {
+    case ShedLevel::kNone:
+      ++stats_.admitted_full;
+      break;
+    case ShedLevel::kBudgetCap:
+      ++stats_.admitted_budget_capped;
+      break;
+    case ShedLevel::kPeriodicFallback:
+      ++stats_.admitted_fallback;
+      break;
+    case ShedLevel::kReject:
+      ++stats_.rejected;
+      return level;  // not enqueued
+  }
+  queue_.push_back(Queued{std::move(task), level});
+  stats_.peak_depth =
+      std::max<int64_t>(stats_.peak_depth, static_cast<int64_t>(queue_.size()));
+  ready_.notify_one();
+  return level;
+}
+
+bool AdmissionQueue::WaitAndRun() {
+  Queued item;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return false;  // closed and drained
+    item = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  item.task(item.level);
+  return true;
+}
+
+void AdmissionQueue::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  ready_.notify_all();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+int AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(queue_.size());
+}
+
+AdmissionStats AdmissionQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void AdmissionQueue::ClearStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = AdmissionStats();
+}
+
+AdmissionOptions AdmissionQueue::options() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return options_;
+}
+
+void AdmissionQueue::UpdateOptions(const AdmissionOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_ = options.Normalized();
+}
+
+}  // namespace crowdrtse::server

@@ -1,0 +1,111 @@
+#ifndef CROWDRTSE_SERVER_ADMISSION_H_
+#define CROWDRTSE_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+namespace crowdrtse::server {
+
+/// How much service a query admitted under load still gets. The ladder
+/// degrades before it drops (DESIGN.md §6): a shed query is still
+/// answered — from a cheaper rung — and only a hard-full queue rejects,
+/// always with an explicit response, never silently.
+enum class ShedLevel {
+  kNone = 0,            // full service: OCS -> crowd -> GSP, full budget
+  kBudgetCap = 1,       // full pipeline, capped budget (fewer probed roads)
+  kPeriodicFallback = 2,  // answered from RTF periodic means, no crowd
+  kReject = 3,          // hard-full: explicit rejection response
+};
+
+const char* ShedLevelName(ShedLevel level);
+
+/// Admission knobs. Watermarks are queue depths measured at enqueue time:
+///   depth <  shed_low_watermark   -> kNone
+///   depth >= shed_low_watermark   -> kBudgetCap
+///   depth >= capacity             -> kPeriodicFallback
+///   depth >= hard_capacity        -> kReject
+/// Defaults derive from capacity when left 0: shed_low = capacity / 2,
+/// hard_capacity = 2 * capacity.
+struct AdmissionOptions {
+  int capacity = 64;
+  int shed_low_watermark = 0;
+  int hard_capacity = 0;
+  /// Budget cap applied to queries admitted at kBudgetCap (passed through
+  /// to QueryRequest::budget_cap; <= 0 leaves the budget unchanged).
+  int level1_budget_cap = 8;
+
+  /// Fills the derived defaults and sanity-orders the watermarks.
+  AdmissionOptions Normalized() const;
+};
+
+/// Point-in-time admission counters (monotonic; resettable via the admin
+/// channel's stats-clear).
+struct AdmissionStats {
+  int64_t admitted_full = 0;
+  int64_t admitted_budget_capped = 0;
+  int64_t admitted_fallback = 0;
+  int64_t rejected = 0;
+  int64_t peak_depth = 0;
+};
+
+/// Bounded MPMC work queue with watermark-based load shedding — the
+/// admission side of the serving front-end, kept free of sockets so the
+/// ladder is unit-testable. Producers call Admit (which stamps the shed
+/// level the ladder chose at enqueue time); worker threads loop on
+/// WaitAndRun until Close.
+class AdmissionQueue {
+ public:
+  /// A unit of admitted work. Receives the shed level the ladder assigned.
+  using Task = std::function<void(ShedLevel)>;
+
+  explicit AdmissionQueue(AdmissionOptions options);
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Applies the ladder to the current depth. kReject means `task` was NOT
+  /// enqueued (the caller must still answer the client); any other return
+  /// means it was, stamped with that level.
+  ShedLevel Admit(Task task);
+
+  /// Blocks for the next task and runs it. Returns false when the queue is
+  /// closed and empty (worker should exit). Tasks run outside the queue
+  /// lock, so workers never serialize each other's serving work.
+  bool WaitAndRun();
+
+  /// Stops admission (everything rejects) and wakes all waiting workers.
+  /// Already-queued tasks still run — Close drains, it does not drop.
+  void Close();
+
+  bool closed() const;
+  int depth() const;
+  AdmissionStats stats() const;
+  void ClearStats();
+
+  AdmissionOptions options() const;
+  /// Admin channel: swaps the watermarks at runtime (normalized first).
+  void UpdateOptions(const AdmissionOptions& options);
+
+ private:
+  struct Queued {
+    Task task;
+    ShedLevel level;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  AdmissionOptions options_;
+  std::deque<Queued> queue_;
+  bool closed_ = false;
+  AdmissionStats stats_;
+};
+
+}  // namespace crowdrtse::server
+
+#endif  // CROWDRTSE_SERVER_ADMISSION_H_

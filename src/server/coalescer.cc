@@ -1,0 +1,67 @@
+#include "server/coalescer.h"
+
+#include <algorithm>
+
+namespace crowdrtse::server {
+
+std::string QueryCoalescer::KeyFor(const QueryRequest& request,
+                                   ShedLevel level) {
+  std::string key = std::to_string(request.slot) + "|" +
+                    std::to_string(static_cast<int>(request.selector)) +
+                    "|" + std::to_string(request.budget_cap) + "|" +
+                    std::to_string(static_cast<int>(level)) + "|";
+  for (const graph::RoadId road : request.queried) {
+    key += std::to_string(road);
+    key += ',';
+  }
+  return key;
+}
+
+bool QueryCoalescer::CanonicalizeRoads(QueryRequest* request) {
+  auto& roads = request->queried;
+  const bool sorted = std::is_sorted(roads.begin(), roads.end());
+  if (!sorted) std::sort(roads.begin(), roads.end());
+  const auto last = std::unique(roads.begin(), roads.end());
+  const bool deduped = last != roads.end();
+  roads.erase(last, roads.end());
+  return !sorted || deduped;
+}
+
+std::pair<QueryCoalescer::BatchPtr, bool> QueryCoalescer::Join(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = inflight_.find(key);
+  if (it != inflight_.end()) {
+    joins_.fetch_add(1, std::memory_order_relaxed);
+    return {it->second, false};
+  }
+  BatchPtr batch = std::make_shared<Batch>();
+  inflight_[key] = batch;
+  leads_.fetch_add(1, std::memory_order_relaxed);
+  return {batch, true};
+}
+
+void QueryCoalescer::Complete(const std::string& key, const BatchPtr& batch,
+                              util::Status status, QueryResponse response) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.erase(key);
+  }
+  std::lock_guard<std::mutex> lock(batch->mutex);
+  batch->status = std::move(status);
+  batch->response = std::move(response);
+  batch->done = true;
+  batch->done_cv.notify_all();
+}
+
+util::Status QueryCoalescer::Wait(const BatchPtr& batch,
+                                  QueryResponse* response) {
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->done_cv.wait(lock, [&] { return batch->done; });
+  if (!batch->status.ok()) return batch->status;
+  ++batch->joiners;
+  *response = batch->response;
+  return util::Status::Ok();
+}
+
+}  // namespace crowdrtse::server

@@ -1,0 +1,83 @@
+#ifndef CROWDRTSE_SERVER_COALESCER_H_
+#define CROWDRTSE_SERVER_COALESCER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "server/admission.h"
+#include "server/query_engine.h"
+#include "util/status.h"
+
+namespace crowdrtse::server {
+
+/// Singleflight over QueryEngine::Serve: concurrent queries with the same
+/// canonical signature (sorted deduped R^q, slot, selector, budget cap,
+/// shed level) share ONE OCS/dispatch/GSP pass; the leader serves, every
+/// joiner receives a copy of the leader's exact QueryResponse. That makes
+/// coalesced results bit-identical to uncoalesced serving by construction
+/// — the joiner's answer IS the leader's answer (they even share the
+/// query_id, which response JSON exposes as `coalesced:true` for joiners).
+///
+/// Only exact-signature matches coalesce. Merging merely-overlapping R^q
+/// sets into one superset query would change OCS's input and therefore the
+/// answers — a correctness break dressed as an optimisation — so it is
+/// deliberately not done.
+///
+/// The same mechanism as the Gamma_R cache's per-slot singleflight
+/// (DESIGN.md §5b), lifted to whole queries.
+class QueryCoalescer {
+ public:
+  /// Shared result slot one leader fills and any number of joiners read.
+  struct Batch {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    bool done = false;
+    util::Status status;      // non-OK when the leader's serve failed
+    QueryResponse response;   // valid when status.ok()
+    int64_t joiners = 0;      // queries answered from this batch (not
+                              // counting the leader)
+  };
+  using BatchPtr = std::shared_ptr<Batch>;
+
+  /// Canonical signature. `request.queried` must already be sorted and
+  /// deduped (CanonicalizeRoads) so permutations of the same road set
+  /// coalesce.
+  static std::string KeyFor(const QueryRequest& request, ShedLevel level);
+
+  /// Sorts and dedupes `request.queried` in place; returns true when
+  /// anything changed (the response must then be expanded back to the
+  /// caller's original ordering — the front-end keeps the original list).
+  static bool CanonicalizeRoads(QueryRequest* request);
+
+  /// Joins the in-flight batch for `key`, or opens a new one. Returns
+  /// {batch, is_leader}. The leader MUST call Complete exactly once;
+  /// joiners call Wait.
+  std::pair<BatchPtr, bool> Join(const std::string& key);
+
+  /// Publishes the leader's outcome, wakes joiners, and retires the key
+  /// (later arrivals open a fresh batch — results are never cached beyond
+  /// the in-flight window, so answers always reflect a live serve).
+  void Complete(const std::string& key, const BatchPtr& batch,
+                util::Status status, QueryResponse response);
+
+  /// Blocks until the batch completes; returns its joiner-visible outcome.
+  static util::Status Wait(const BatchPtr& batch, QueryResponse* response);
+
+  int64_t leads() const { return leads_.load(std::memory_order_relaxed); }
+  int64_t joins() const { return joins_.load(std::memory_order_relaxed); }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, BatchPtr> inflight_;
+  std::atomic<int64_t> leads_{0};
+  std::atomic<int64_t> joins_{0};
+};
+
+}  // namespace crowdrtse::server
+
+#endif  // CROWDRTSE_SERVER_COALESCER_H_

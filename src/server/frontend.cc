@@ -1,0 +1,751 @@
+#include "server/frontend.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "net/json.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace crowdrtse::server {
+
+namespace {
+
+int HttpStatusFor(const util::Status& status) {
+  switch (status.code()) {
+    case util::StatusCode::kInvalidArgument:
+    case util::StatusCode::kOutOfRange:
+      return 400;
+    case util::StatusCode::kNotFound:
+      return 404;
+    case util::StatusCode::kFailedPrecondition:
+      return 503;
+    default:
+      return 500;
+  }
+}
+
+std::string ErrorJson(int64_t client_id, const std::string& status_word,
+                      const util::Status& status) {
+  net::json::Value v = net::json::Value::Object();
+  v.Set("id", net::json::Value::Int(client_id));
+  v.Set("status", net::json::Value::Str(status_word));
+  v.Set("code", net::json::Value::Str(util::StatusCodeName(status.code())));
+  v.Set("message", net::json::Value::Str(status.message()));
+  return v.Dump();
+}
+
+/// Admin knob values are conceptually ints with one double exception
+/// (rate_qps); render "64" not "64.000000".
+std::string FormatKnob(double value) {
+  if (value == static_cast<double>(static_cast<int64_t>(value))) {
+    return std::to_string(static_cast<int64_t>(value));
+  }
+  return util::FormatDouble(value, 6);
+}
+
+core::SelectorKind ParseSelector(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name.empty() || name == "lazy_hybrid") {
+    return core::SelectorKind::kLazyHybridGreedy;
+  }
+  if (name == "hybrid") return core::SelectorKind::kHybridGreedy;
+  if (name == "ratio") return core::SelectorKind::kRatioGreedy;
+  if (name == "objective") return core::SelectorKind::kObjectiveGreedy;
+  *ok = false;
+  return core::SelectorKind::kLazyHybridGreedy;
+}
+
+/// Renders the canonical engine response back in the client's original
+/// road order (the canonical request was sorted + deduped for coalescing).
+std::string ResponseJson(const QueryResponse& response,
+                         const std::vector<graph::RoadId>& canonical_roads,
+                         const std::vector<graph::RoadId>& original_roads,
+                         int64_t client_id, ShedLevel level,
+                         bool coalesced) {
+  std::map<graph::RoadId, size_t> index;
+  for (size_t i = 0; i < canonical_roads.size(); ++i) {
+    index[canonical_roads[i]] = i;
+  }
+  net::json::Value v = net::json::Value::Object();
+  v.Set("id", net::json::Value::Int(client_id));
+  v.Set("status", net::json::Value::Str("ok"));
+  v.Set("query_id", net::json::Value::Int(response.query_id));
+  v.Set("shed", net::json::Value::Str(ShedLevelName(level)));
+  v.Set("coalesced", net::json::Value::Bool(coalesced));
+
+  net::json::Value speeds = net::json::Value::Array();
+  net::json::Value variances = net::json::Value::Array();
+  const bool have_variances =
+      response.queried_variances.size() == canonical_roads.size();
+  for (const graph::RoadId road : original_roads) {
+    const size_t i = index[road];
+    speeds.MutableArray().push_back(
+        net::json::Value::Number(response.queried_speeds[i]));
+    if (have_variances) {
+      variances.MutableArray().push_back(
+          net::json::Value::Number(response.queried_variances[i]));
+    }
+  }
+  v.Set("speeds", std::move(speeds));
+  if (have_variances) v.Set("variances", std::move(variances));
+
+  net::json::Value probed = net::json::Value::Array();
+  for (const graph::RoadId road : response.probed_roads) {
+    probed.MutableArray().push_back(net::json::Value::Int(road));
+  }
+  v.Set("probed", std::move(probed));
+  net::json::Value degraded = net::json::Value::Array();
+  net::json::Value reasons = net::json::Value::Array();
+  for (size_t i = 0; i < response.degraded_roads.size(); ++i) {
+    degraded.MutableArray().push_back(
+        net::json::Value::Int(response.degraded_roads[i]));
+    if (i < response.degraded_reasons.size()) {
+      reasons.MutableArray().push_back(net::json::Value::Str(
+          crowd::DegradeReasonName(response.degraded_reasons[i])));
+    }
+  }
+  v.Set("degraded", std::move(degraded));
+  v.Set("degraded_reasons", std::move(reasons));
+  v.Set("granted_budget", net::json::Value::Int(response.granted_budget));
+  v.Set("paid", net::json::Value::Int(response.paid));
+  return v.Dump();
+}
+
+}  // namespace
+
+std::string FrontendStats::Report() const {
+  std::string out = "Frontend: " + std::to_string(connections_accepted) +
+                    " conns (" + std::to_string(connections_closed) +
+                    " closed), " + std::to_string(http_requests) +
+                    " http + " + std::to_string(frame_requests) +
+                    " frame requests, " + std::to_string(queries_received) +
+                    " queries\n";
+  out += "  admission: " + std::to_string(admission.admitted_full) +
+         " full, " + std::to_string(admission.admitted_budget_capped) +
+         " budget-capped, " + std::to_string(admission.admitted_fallback) +
+         " fallback, " + std::to_string(admission.rejected) +
+         " rejected (peak depth " + std::to_string(admission.peak_depth) +
+         ")\n";
+  out += "  rate-limited " + std::to_string(rate_limited) + ", bad " +
+         std::to_string(bad_requests) + ", coalesce " +
+         std::to_string(coalesce_leads) + " leads / " +
+         std::to_string(coalesce_joins) + " joins\n";
+  return out;
+}
+
+Frontend::Frontend(QueryEngine& engine, const traffic::DayMatrix& world,
+                   FrontendOptions options)
+    : engine_(engine),
+      world_(world),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : &util::WallClock::Get()),
+      queue_(options.admission) {
+  if (options_.num_workers <= 0) options_.num_workers = 2;
+  if (options_.rate_limit_burst <= 0) {
+    options_.rate_limit_burst = std::max(1.0, 2.0 * options_.rate_limit_qps);
+  }
+}
+
+Frontend::~Frontend() { Shutdown(); }
+
+util::Status Frontend::Start() {
+  CROWDRTSE_RETURN_IF_ERROR(loop_.Init());
+  CROWDRTSE_RETURN_IF_ERROR(listener_.Listen(options_.port));
+  CROWDRTSE_RETURN_IF_ERROR(loop_.Add(listener_.fd(), true, false));
+  running_.store(true, std::memory_order_release);
+  reactor_ = std::thread([this] { ReactorLoop(); });
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return util::Status::Ok();
+}
+
+void Frontend::BeginDrain() {
+  draining_.store(true, std::memory_order_release);
+}
+
+void Frontend::Shutdown() {
+  if (stop_.exchange(true)) return;
+  // §6 drain protocol: stop admitting, finish what is queued, only then
+  // stop the threads — every in-flight query gets its response.
+  BeginDrain();
+  queue_.Close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  // The reactor keeps flushing worker responses until here.
+  loop_.Wakeup();
+  if (reactor_.joinable()) reactor_.join();
+  // With the reactor gone nobody accepts: close the listener so new
+  // connection attempts are refused rather than parked in the backlog.
+  listener_.Close();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.clear();
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+FrontendStats Frontend::stats() const {
+  FrontendStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out = stats_;
+  }
+  out.admission = queue_.stats();
+  out.coalesce_leads = coalescer_.leads();
+  out.coalesce_joins = coalescer_.joins();
+  return out;
+}
+
+void Frontend::WorkerLoop() {
+  while (queue_.WaitAndRun()) {
+  }
+}
+
+void Frontend::ReactorLoop() {
+  std::vector<net::ReadyEvent> events;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const util::Status status = loop_.Wait(100, &events);
+    if (!status.ok()) {
+      CROWDRTSE_LOG(Warning, "frontend reactor: " + status.ToString());
+      break;
+    }
+    for (const net::ReadyEvent& event : events) {
+      if (event.fd == listener_.fd()) {
+        AcceptAll();
+        continue;
+      }
+      ConnPtr conn;
+      {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        const auto it = connections_.find(event.fd);
+        if (it == connections_.end()) continue;
+        conn = it->second;
+      }
+      if (event.closed || conn->dead.load(std::memory_order_acquire)) {
+        CloseConnection(event.fd);
+        continue;
+      }
+      if (event.writable) {
+        std::lock_guard<std::mutex> lock(conn->write_mutex);
+        if (!TryFlushLocked(conn)) {
+          CloseConnection(event.fd);
+          continue;
+        }
+      }
+      if (event.readable) HandleReadable(conn);
+    }
+  }
+}
+
+void Frontend::AcceptAll() {
+  for (;;) {
+    util::Result<net::Fd> accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      CROWDRTSE_LOG(Warning, "accept: " + accepted.status().ToString());
+      return;
+    }
+    if (!accepted->valid()) return;  // drained
+    const int fd = accepted->get();
+    if (const util::Status nb = net::SetNonBlocking(fd); !nb.ok()) {
+      CROWDRTSE_LOG(Warning, "accept: " + nb.ToString());
+      continue;  // Fd closes on scope exit
+    }
+    ConnPtr conn = std::make_shared<Connection>();
+    conn->fd = std::move(*accepted);
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_[fd] = conn;
+    }
+    if (const util::Status added = loop_.Add(fd, true, false); !added.ok()) {
+      CROWDRTSE_LOG(Warning, "epoll add: " + added.ToString());
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.erase(fd);
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.connections_accepted;
+  }
+}
+
+void Frontend::HandleReadable(const ConnPtr& conn) {
+  char buffer[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd.get(), buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConnection(conn->fd.get());
+      return;
+    }
+    if (n == 0) {  // peer closed
+      CloseConnection(conn->fd.get());
+      return;
+    }
+    const char* data = buffer;
+    size_t size = static_cast<size_t>(n);
+    if (conn->protocol == Connection::Protocol::kUnknown) {
+      conn->preamble.append(data, size);
+      if (conn->preamble.size() < 4) continue;
+      // First four bytes decide the protocol: the binary frame magic is
+      // "CQRC", which no HTTP request line starts with.
+      conn->protocol =
+          conn->preamble.compare(0, 4, "CQRC") == 0
+              ? Connection::Protocol::kFrame
+              : Connection::Protocol::kHttp;
+      data = conn->preamble.data();
+      size = conn->preamble.size();
+    }
+    util::Status fed = conn->protocol == Connection::Protocol::kFrame
+                           ? conn->frames.Feed(data, size)
+                           : conn->http.Feed(data, size);
+    conn->preamble.clear();
+    if (!fed.ok() || !DispatchBuffered(conn)) {
+      CloseConnection(conn->fd.get());
+      return;
+    }
+  }
+}
+
+bool Frontend::DispatchBuffered(const ConnPtr& conn) {
+  if (conn->protocol == Connection::Protocol::kFrame) {
+    for (;;) {
+      std::string payload;
+      util::Result<bool> got = conn->frames.Next(&payload);
+      if (!got.ok()) return false;  // poisoned stream
+      if (!*got) return true;
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.frame_requests;
+      }
+      HandleQueryJson(conn, payload, /*framed=*/true);
+    }
+  }
+  for (;;) {
+    net::HttpRequest request;
+    util::Result<bool> got = conn->http.Next(&request);
+    if (!got.ok()) {
+      SendResponse(conn, false, 400,
+                   ErrorJson(0, "error",
+                             util::Status::InvalidArgument(
+                                 got.status().message())));
+      return false;
+    }
+    if (!*got) return true;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.http_requests;
+    }
+    if (!HandleHttpRequest(conn, request)) return false;
+  }
+}
+
+bool Frontend::HandleHttpRequest(const ConnPtr& conn,
+                                 const net::HttpRequest& request) {
+  if (request.method == "GET") {
+    if (request.target == "/healthz") {
+      SendRaw(conn, net::RenderHttpResponse(200, "ok\n", "text/plain"));
+      return true;
+    }
+    if (request.target == "/metrics") {
+      SendRaw(conn,
+              net::RenderHttpResponse(
+                  200, engine_.metrics().RenderPrometheus(),
+                  "text/plain; version=0.0.4"));
+      return true;
+    }
+    if (request.target == "/metrics.json") {
+      SendResponse(conn, false, 200, engine_.metrics().RenderJson());
+      return true;
+    }
+    if (request.target == "/stats") {
+      SendRaw(conn, net::RenderHttpResponse(
+                        200, engine_.stats().Report() + stats().Report(),
+                        "text/plain"));
+      return true;
+    }
+    if (request.target.rfind("/trace/", 0) == 0) {
+      const std::string id_text = request.target.substr(7);
+      int64_t query_id = 0;
+      bool numeric = !id_text.empty();
+      for (const char c : id_text) {
+        if (c < '0' || c > '9') {
+          numeric = false;
+          break;
+        }
+        query_id = query_id * 10 + (c - '0');
+      }
+      if (!numeric) {
+        SendResponse(conn, false, 400,
+                     ErrorJson(0, "error",
+                               util::Status::InvalidArgument(
+                                   "bad trace id: " + id_text)));
+        return true;
+      }
+      for (const auto& trace : engine_.traces().Recent()) {
+        if (trace->query_id() == query_id) {
+          SendResponse(conn, false, 200,
+                       util::trace::ChromeTraceJson({trace}));
+          return true;
+        }
+      }
+      SendResponse(conn, false, 404,
+                   ErrorJson(0, "error",
+                             util::Status::NotFound(
+                                 "no trace for query " + id_text +
+                                 " (unsampled or fell off the ring)")));
+      return true;
+    }
+    SendResponse(conn, false, 404,
+                 ErrorJson(0, "error",
+                           util::Status::NotFound("no route: " +
+                                                  request.target)));
+    return true;
+  }
+  if (request.method == "POST") {
+    if (request.target == "/query") {
+      HandleQueryJson(conn, request.body, /*framed=*/false);
+      return true;
+    }
+    if (request.target == "/admin") {
+      SendRaw(conn, net::RenderHttpResponse(
+                        200, HandleAdminCommand(request.body),
+                        "text/plain"));
+      return true;
+    }
+    SendResponse(conn, false, 404,
+                 ErrorJson(0, "error",
+                           util::Status::NotFound("no route: " +
+                                                  request.target)));
+    return true;
+  }
+  SendResponse(conn, false, 405,
+               ErrorJson(0, "error",
+                         util::Status::InvalidArgument(
+                             "unsupported method: " + request.method)));
+  return true;
+}
+
+std::string Frontend::HandleAdminCommand(const std::string& command) {
+  // Tokenize on whitespace (trailing newline from `curl -d` included).
+  std::vector<std::string> tokens;
+  std::string token;
+  for (const char c : command) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      if (!token.empty()) tokens.push_back(std::move(token));
+      token.clear();
+    } else {
+      token.push_back(c);
+    }
+  }
+  if (!token.empty()) tokens.push_back(std::move(token));
+  if (tokens.empty()) return "error: empty command\n";
+
+  const std::string& verb = tokens[0];
+  if (verb == "drain") {
+    BeginDrain();
+    return "ok: draining\n";
+  }
+  if (verb == "stats-clear") {
+    queue_.ClearStats();
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_ = FrontendStats();
+    return "ok: stats cleared\n";
+  }
+  const auto knob_value = [this](const std::string& knob,
+                                 double* out) -> bool {
+    const AdmissionOptions admission = queue_.options();
+    if (knob == "capacity") {
+      *out = admission.capacity;
+    } else if (knob == "shed_low") {
+      *out = admission.shed_low_watermark;
+    } else if (knob == "hard_capacity") {
+      *out = admission.hard_capacity;
+    } else if (knob == "level1_budget_cap") {
+      *out = admission.level1_budget_cap;
+    } else if (knob == "rate_qps") {
+      *out = options_.rate_limit_qps;
+    } else if (knob == "rate_burst") {
+      *out = options_.rate_limit_burst;
+    } else {
+      return false;
+    }
+    return true;
+  };
+  if (verb == "get" && tokens.size() == 2) {
+    double value = 0;
+    if (!knob_value(tokens[1], &value)) {
+      return "error: unknown knob " + tokens[1] + "\n";
+    }
+    return tokens[1] + " = " + FormatKnob(value) + "\n";
+  }
+  if (verb == "set" && tokens.size() == 3) {
+    char* end = nullptr;
+    const double value = std::strtod(tokens[2].c_str(), &end);
+    if (end != tokens[2].c_str() + tokens[2].size()) {
+      return "error: bad value " + tokens[2] + "\n";
+    }
+    const std::string& knob = tokens[1];
+    AdmissionOptions admission = queue_.options();
+    if (knob == "capacity") {
+      admission.capacity = static_cast<int>(value);
+      // Re-derive the dependent watermarks from the new capacity.
+      admission.shed_low_watermark = 0;
+      admission.hard_capacity = 0;
+      queue_.UpdateOptions(admission);
+    } else if (knob == "shed_low") {
+      admission.shed_low_watermark = static_cast<int>(value);
+      queue_.UpdateOptions(admission);
+    } else if (knob == "hard_capacity") {
+      admission.hard_capacity = static_cast<int>(value);
+      queue_.UpdateOptions(admission);
+    } else if (knob == "level1_budget_cap") {
+      admission.level1_budget_cap = static_cast<int>(value);
+      queue_.UpdateOptions(admission);
+    } else if (knob == "rate_qps") {
+      // Reactor-thread-only state: admin commands and bucket creation both
+      // run here, so no lock is needed. Applies to new connections.
+      options_.rate_limit_qps = value;
+    } else if (knob == "rate_burst") {
+      options_.rate_limit_burst = value;
+    } else {
+      return "error: unknown knob " + knob + "\n";
+    }
+    double now = 0;
+    knob_value(knob, &now);
+    return "ok: " + knob + " = " + FormatKnob(now) + "\n";
+  }
+  return "error: usage: get <knob> | set <knob> <value> | drain | "
+         "stats-clear\n";
+}
+
+void Frontend::HandleQueryJson(const ConnPtr& conn, const std::string& body,
+                               bool framed) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.queries_received;
+  }
+  int64_t client_id = 0;
+  const auto bad_request = [&](const std::string& message) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.bad_requests;
+    }
+    SendResponse(conn, framed, 400,
+                 ErrorJson(client_id, "error",
+                           util::Status::InvalidArgument(message)));
+  };
+
+  util::Result<net::json::Value> parsed = net::json::Parse(body);
+  if (!parsed.ok()) {
+    bad_request(parsed.status().message());
+    return;
+  }
+  if (const net::json::Value* id = parsed->Find("id");
+      id != nullptr && id->is_number()) {
+    if (util::Result<int64_t> as_int = id->AsInt(); as_int.ok()) {
+      client_id = *as_int;
+    }
+  }
+  const net::json::Value* slot = parsed->Find("slot");
+  const net::json::Value* roads = parsed->Find("roads");
+  if (slot == nullptr || !slot->is_number() || roads == nullptr ||
+      !roads->is_array()) {
+    bad_request("query needs {\"slot\": int, \"roads\": [int, ...]}");
+    return;
+  }
+  QueryRequest request;
+  if (util::Result<int64_t> s = slot->AsInt(); s.ok()) {
+    request.slot = static_cast<int>(*s);
+  } else {
+    bad_request("slot: " + s.status().message());
+    return;
+  }
+  request.queried.reserve(roads->AsArray().size());
+  for (const net::json::Value& road : roads->AsArray()) {
+    util::Result<int64_t> r =
+        road.is_number() ? road.AsInt()
+                         : util::Result<int64_t>(
+                               util::Status::InvalidArgument("not a number"));
+    if (!r.ok()) {
+      bad_request("roads: " + r.status().message());
+      return;
+    }
+    request.queried.push_back(static_cast<graph::RoadId>(*r));
+  }
+  if (const net::json::Value* selector = parsed->Find("selector");
+      selector != nullptr && selector->is_string()) {
+    bool ok = false;
+    request.selector = ParseSelector(selector->AsString(), &ok);
+    if (!ok) {
+      bad_request("unknown selector: " + selector->AsString());
+      return;
+    }
+  }
+  if (const net::json::Value* cap = parsed->Find("budget_cap");
+      cap != nullptr && cap->is_number()) {
+    if (util::Result<int64_t> c = cap->AsInt(); c.ok() && *c > 0) {
+      request.budget_cap = static_cast<int>(*c);
+    }
+  }
+
+  // Rate limit before admission: a client over its budget gets an explicit
+  // 429 and costs the queue nothing.
+  if (options_.rate_limit_qps > 0) {
+    if (!conn->bucket) {
+      conn->bucket = std::make_unique<net::TokenBucket>(
+          options_.rate_limit_qps, options_.rate_limit_burst, clock_);
+    }
+    if (!conn->bucket->TryAcquire()) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.rate_limited;
+      }
+      SendResponse(
+          conn, framed, 429,
+          ErrorJson(client_id, "rate_limited",
+                    util::Status::FailedPrecondition(
+                        "per-connection rate limit exceeded; retry later")));
+      return;
+    }
+  }
+  if (draining()) {
+    SendResponse(conn, framed, 503,
+                 ErrorJson(client_id, "rejected",
+                           util::Status::FailedPrecondition(
+                               "front-end draining: no new queries")));
+    return;
+  }
+
+  std::vector<graph::RoadId> original_roads = request.queried;
+  QueryCoalescer::CanonicalizeRoads(&request);
+  const ShedLevel admitted = queue_.Admit(
+      [this, conn, request = std::move(request),
+       original_roads = std::move(original_roads), client_id,
+       framed](ShedLevel level) mutable {
+        ServeAdmitted(conn, std::move(request), std::move(original_roads),
+                      client_id, framed, level);
+      });
+  if (admitted == ShedLevel::kReject) {
+    // The ladder's last rung is still an explicit answer, never a silent
+    // drop — the client learns it must back off.
+    SendResponse(conn, framed, 503,
+                 ErrorJson(client_id, "rejected",
+                           util::Status::FailedPrecondition(
+                               "admission queue hard-full; backing off")));
+  }
+}
+
+void Frontend::ServeAdmitted(const ConnPtr& conn, QueryRequest request,
+                             std::vector<graph::RoadId> original_roads,
+                             int64_t client_id, bool framed,
+                             ShedLevel level) {
+  if (level == ShedLevel::kBudgetCap) {
+    const int cap = queue_.options().level1_budget_cap;
+    if (cap > 0 && (request.budget_cap <= 0 || request.budget_cap > cap)) {
+      request.budget_cap = cap;
+    }
+  }
+
+  util::Status status;
+  QueryResponse response;
+  bool coalesced = false;
+  if (level == ShedLevel::kPeriodicFallback) {
+    util::Result<QueryResponse> served =
+        engine_.ServePeriodicFallback(request, world_);
+    status = served.ok() ? util::Status::Ok() : served.status();
+    if (served.ok()) response = std::move(*served);
+  } else if (options_.enable_coalescing) {
+    const std::string key = QueryCoalescer::KeyFor(request, level);
+    auto [batch, is_leader] = coalescer_.Join(key);
+    if (is_leader) {
+      util::Result<QueryResponse> served = engine_.Serve(request, world_);
+      status = served.ok() ? util::Status::Ok() : served.status();
+      if (served.ok()) response = *served;
+      coalescer_.Complete(key, batch, status, QueryResponse(response));
+    } else {
+      coalesced = true;
+      status = QueryCoalescer::Wait(batch, &response);
+    }
+  } else {
+    util::Result<QueryResponse> served = engine_.Serve(request, world_);
+    status = served.ok() ? util::Status::Ok() : served.status();
+    if (served.ok()) response = std::move(*served);
+  }
+
+  if (!status.ok()) {
+    SendResponse(conn, framed, HttpStatusFor(status),
+                 ErrorJson(client_id, "error", status));
+    return;
+  }
+  SendResponse(conn, framed, 200,
+               ResponseJson(response, request.queried, original_roads,
+                            client_id, level, coalesced));
+}
+
+void Frontend::SendResponse(const ConnPtr& conn, bool framed,
+                            int http_status, const std::string& json_body) {
+  if (framed) {
+    SendRaw(conn, net::EncodeFrame(json_body));
+  } else {
+    SendRaw(conn, net::RenderHttpResponse(http_status, json_body,
+                                          "application/json"));
+  }
+}
+
+void Frontend::SendRaw(const ConnPtr& conn, const std::string& bytes) {
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (conn->dead.load(std::memory_order_acquire)) return;
+  conn->outbox += bytes;
+  TryFlushLocked(conn);
+}
+
+bool Frontend::TryFlushLocked(const ConnPtr& conn) {
+  while (!conn->outbox.empty()) {
+    const ssize_t n = ::send(conn->fd.get(), conn->outbox.data(),
+                             conn->outbox.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      // Peer is gone; stop writing. The reactor reaps the fd on its next
+      // EPOLLERR/EPOLLHUP event.
+      conn->dead.store(true, std::memory_order_release);
+      conn->outbox.clear();
+      return false;
+    }
+    conn->outbox.erase(0, static_cast<size_t>(n));
+  }
+  const bool need_write = !conn->outbox.empty();
+  if (need_write != conn->want_write) {
+    conn->want_write = need_write;
+    const util::Status modified =
+        loop_.Modify(conn->fd.get(), true, need_write);
+    if (modified.ok() && need_write) loop_.Wakeup();
+  }
+  return true;
+}
+
+void Frontend::CloseConnection(int fd) {
+  ConnPtr conn;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    const auto it = connections_.find(fd);
+    if (it == connections_.end()) return;
+    conn = it->second;
+    connections_.erase(it);
+  }
+  conn->dead.store(true, std::memory_order_release);
+  (void)loop_.Remove(fd);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.connections_closed;
+}
+
+}  // namespace crowdrtse::server

@@ -1,0 +1,189 @@
+#ifndef CROWDRTSE_SERVER_FRONTEND_H_
+#define CROWDRTSE_SERVER_FRONTEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/epoll_loop.h"
+#include "net/frame.h"
+#include "net/http.h"
+#include "net/socket.h"
+#include "net/token_bucket.h"
+#include "server/admission.h"
+#include "server/coalescer.h"
+#include "server/query_engine.h"
+#include "traffic/history_store.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace crowdrtse::server {
+
+/// Front-end behaviour knobs.
+struct FrontendOptions {
+  /// Listening port on 127.0.0.1; 0 lets the kernel pick (port() reports).
+  uint16_t port = 0;
+  /// Serving worker threads popping the admission queue. <= 0 means 2.
+  int num_workers = 2;
+  /// Admission ladder watermarks (see AdmissionOptions).
+  AdmissionOptions admission;
+  /// Per-connection token-bucket rate limit, queries/second. <= 0 disables.
+  /// Over-limit queries get an explicit 429/rate_limited response.
+  double rate_limit_qps = 0.0;
+  /// Bucket burst capacity; <= 0 derives max(1, 2 * rate_limit_qps).
+  double rate_limit_burst = 0.0;
+  /// Identical concurrent queries share one serve (QueryCoalescer).
+  bool enable_coalescing = true;
+  /// Time source for the rate-limit buckets. nullptr = wall clock; tests
+  /// inject util::SimClock for deterministic refill. Must outlive the
+  /// front-end.
+  util::Clock* clock = nullptr;
+};
+
+/// Front-end rolling counters (resettable via the admin stats-clear).
+struct FrontendStats {
+  int64_t connections_accepted = 0;
+  int64_t connections_closed = 0;
+  int64_t http_requests = 0;
+  int64_t frame_requests = 0;
+  int64_t queries_received = 0;
+  int64_t rate_limited = 0;
+  int64_t bad_requests = 0;
+  int64_t coalesce_leads = 0;
+  int64_t coalesce_joins = 0;
+  AdmissionStats admission;
+
+  std::string Report() const;
+};
+
+/// Network serving front-end over QueryEngine (DESIGN.md §6): one epoll
+/// reactor thread owns every socket; serving worker threads pop the
+/// admission queue. Two wire protocols share one port — HTTP/1.1 (JSON
+/// bodies, plus the observability GETs) and length-prefixed binary frames
+/// (net/frame.h, same JSON payloads) — distinguished by the first four
+/// bytes of the connection.
+///
+/// Endpoints:
+///   POST /query        {"slot":s,"roads":[...],"selector":"...","id":n}
+///   GET  /healthz      liveness probe
+///   GET  /metrics      Prometheus text exposition (engine registry)
+///   GET  /metrics.json the same registry as one JSON object
+///   GET  /stats        human-readable engine + front-end report
+///   GET  /trace/<id>   Chrome trace JSON for a sampled query id
+///   POST /admin        text commands: get/set <knob>, drain, stats-clear
+///
+/// Load shedding: every query is rate-limited (per-connection token
+/// bucket), then admitted through the watermark ladder — full service,
+/// budget-capped, periodic fallback, or an explicit rejection when the
+/// queue is hard-full. Every accepted request receives a response; there
+/// are no silent drops at any load.
+///
+/// Shutdown ordering (the §6 drain protocol): Shutdown() stops admission,
+/// lets queued queries finish, joins the workers, then stops the reactor —
+/// so by the time it returns no thread of this front-end touches the
+/// engine, and destroying the engine afterwards is race-free (its own
+/// destructor drains whatever other callers remain).
+class Frontend {
+ public:
+  /// `engine` and `world` are borrowed and must outlive the front-end.
+  /// `world` is the day the server answers against (today's matrix).
+  Frontend(QueryEngine& engine, const traffic::DayMatrix& world,
+           FrontendOptions options);
+  ~Frontend();
+
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+
+  /// Binds, listens, and starts the reactor + worker threads.
+  util::Status Start();
+
+  /// Graceful stop; see the class comment for ordering. Idempotent.
+  void Shutdown();
+
+  /// Stops admitting new queries (explicit 503 "draining" responses);
+  /// observability GETs keep serving. The admin "drain" command.
+  void BeginDrain();
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  uint16_t port() const { return listener_.bound_port(); }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  FrontendStats stats() const;
+
+ private:
+  struct Connection {
+    net::Fd fd;
+    enum class Protocol { kUnknown, kHttp, kFrame } protocol =
+        Protocol::kUnknown;
+    net::HttpRequestParser http;
+    net::FrameDecoder frames;
+    /// Bytes buffered before the protocol is known (< 4 bytes seen).
+    std::string preamble;
+    std::unique_ptr<net::TokenBucket> bucket;
+    /// Outgoing bytes; workers append under the mutex, flushes drain it.
+    std::mutex write_mutex;
+    std::string outbox;
+    bool want_write = false;  // registered for EPOLLOUT
+    std::atomic<bool> dead{false};
+  };
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  void ReactorLoop();
+  void WorkerLoop();
+
+  void AcceptAll();
+  void HandleReadable(const ConnPtr& conn);
+  /// Routes buffered bytes once the protocol is known; false = close.
+  bool DispatchBuffered(const ConnPtr& conn);
+  bool HandleHttpRequest(const ConnPtr& conn, const net::HttpRequest& req);
+  void HandleQueryJson(const ConnPtr& conn, const std::string& body,
+                       bool framed);
+  std::string HandleAdminCommand(const std::string& command);
+
+  /// Runs on a worker thread: applies the shed level, serves (coalesced),
+  /// and responds.
+  void ServeAdmitted(const ConnPtr& conn, QueryRequest request,
+                     std::vector<graph::RoadId> original_roads,
+                     int64_t client_id, bool framed, ShedLevel level);
+
+  /// Appends to the connection outbox, flushes opportunistically, and
+  /// arms EPOLLOUT for any remainder. Safe from any thread.
+  void SendRaw(const ConnPtr& conn, const std::string& bytes);
+  void SendResponse(const ConnPtr& conn, bool framed, int http_status,
+                    const std::string& json_body);
+  /// Flushes what the socket accepts now; returns false on a dead peer.
+  bool TryFlushLocked(const ConnPtr& conn);
+  void CloseConnection(int fd);
+
+  QueryEngine& engine_;
+  const traffic::DayMatrix& world_;
+  FrontendOptions options_;
+  util::Clock* clock_;  // never null after construction
+
+  net::TcpListener listener_;
+  net::EpollLoop loop_;
+  AdmissionQueue queue_;
+  QueryCoalescer coalescer_;
+
+  std::thread reactor_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};
+
+  mutable std::mutex connections_mutex_;
+  std::map<int, ConnPtr> connections_;
+
+  mutable std::mutex stats_mutex_;
+  FrontendStats stats_;
+};
+
+}  // namespace crowdrtse::server
+
+#endif  // CROWDRTSE_SERVER_FRONTEND_H_

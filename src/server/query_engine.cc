@@ -35,7 +35,9 @@ std::string EngineStats::Report() const {
   out += "  degraded: " + std::to_string(roads_degraded) +
          " roads (deadline " + std::to_string(degraded_deadline) +
          ", outlier " + std::to_string(degraded_outlier) + ", unstaffed " +
-         std::to_string(degraded_unstaffed) + ")\n";
+         std::to_string(degraded_unstaffed) + ", load shed " +
+         std::to_string(degraded_load_shed) + "; " +
+         std::to_string(queries_shed) + " whole queries shed)\n";
   out += "  gamma:  " + gamma_cache.ToString();
   return out;
 }
@@ -57,6 +59,9 @@ std::string EngineStats::ReportJson() const {
          std::to_string(degraded_outlier);
   out += ",\"crowdrtse_degraded_unstaffed_total\":" +
          std::to_string(degraded_unstaffed);
+  out += ",\"crowdrtse_degraded_load_shed_total\":" +
+         std::to_string(degraded_load_shed);
+  out += ",\"crowdrtse_queries_shed_total\":" + std::to_string(queries_shed);
   out += ",\"crowdrtse_dispatch_retries_total\":" +
          std::to_string(crowd_retries);
   out += ",\"crowdrtse_dispatch_reassignments_total\":" +
@@ -136,6 +141,12 @@ void QueryEngine::RegisterInstruments() {
   degraded_unstaffed_ = &metrics_.GetCounter(
       "crowdrtse_degraded_unstaffed_total",
       "roads degraded because no worker was there to ask");
+  degraded_load_shed_ = &metrics_.GetCounter(
+      "crowdrtse_degraded_load_shed_total",
+      "roads answered from the periodic fallback by admission shedding");
+  queries_shed_ = &metrics_.GetCounter(
+      "crowdrtse_queries_shed_total",
+      "queries answered entirely from the periodic fallback");
   crowd_retries_ = &metrics_.GetCounter(
       "crowdrtse_dispatch_retries_total",
       "re-dispatches after a failed crowd attempt");
@@ -190,6 +201,50 @@ void QueryEngine::RegisterInstruments() {
       [this] { return traces_.collected(); });
 }
 
+QueryEngine::~QueryEngine() { Drain(); }
+
+bool QueryEngine::EnterServe() {
+  std::lock_guard<std::mutex> lock(drain_mutex_);
+  if (draining_.load(std::memory_order_acquire)) return false;
+  ++serves_in_flight_;
+  return true;
+}
+
+void QueryEngine::ExitServe() {
+  std::lock_guard<std::mutex> lock(drain_mutex_);
+  if (--serves_in_flight_ == 0) drain_cv_.notify_all();
+}
+
+void QueryEngine::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  draining_.store(true, std::memory_order_release);
+  drain_cv_.wait(lock, [this] { return serves_in_flight_ == 0; });
+}
+
+util::Status QueryEngine::ValidateRequest(
+    const QueryRequest& request, const traffic::DayMatrix& world) const {
+  if (request.queried.empty()) {
+    return util::Status::InvalidArgument("query has no roads");
+  }
+  // One bound governs the slot: the world being served. (Previously this
+  // also folded in the static kSlotsPerDay check with a message that hid
+  // the actual limit — confusing for worlds with fewer slots.)
+  if (request.slot < 0 || request.slot >= world.num_slots()) {
+    return util::Status::InvalidArgument(
+        "slot out of range: " + std::to_string(request.slot) +
+        " not in [0, " + std::to_string(world.num_slots()) + ")");
+  }
+  const int num_roads = system_.graph().num_roads();
+  for (graph::RoadId r : request.queried) {
+    if (r < 0 || r >= num_roads) {
+      return util::Status::InvalidArgument(
+          "queried road out of range: " + std::to_string(r) + " not in [0, " +
+          std::to_string(num_roads) + ")");
+    }
+  }
+  return util::Status::Ok();
+}
+
 util::Status QueryEngine::RejectQuery(const util::Status& status) {
   queries_rejected_->Increment();
   return status;
@@ -208,23 +263,18 @@ util::Status QueryEngine::FailQuery(int64_t query_id, int granted, int paid,
 util::Result<QueryResponse> QueryEngine::Serve(
     const QueryRequest& request, const traffic::DayMatrix& world) {
   util::Timer serve_timer;
+  if (!EnterServe()) {
+    return RejectQuery(util::Status::FailedPrecondition(
+        "engine draining: no new queries admitted"));
+  }
+  struct GateExit {
+    QueryEngine* engine;
+    ~GateExit() { engine->ExitServe(); }
+  } gate_exit{this};
   // Validate the request up front — before any budget is granted and any
   // worker paid, so a malformed query cannot leak campaign spend.
-  if (request.queried.empty()) {
-    return RejectQuery(util::Status::InvalidArgument("query has no roads"));
-  }
-  if (!traffic::IsValidSlot(request.slot) ||
-      request.slot >= world.num_slots()) {
-    return RejectQuery(util::Status::InvalidArgument(
-        "slot out of range: " + std::to_string(request.slot)));
-  }
-  const int num_roads = system_.graph().num_roads();
-  for (graph::RoadId r : request.queried) {
-    if (r < 0 || r >= num_roads) {
-      return RejectQuery(util::Status::InvalidArgument(
-          "queried road out of range: " + std::to_string(r)));
-    }
-  }
+  const util::Status valid = ValidateRequest(request, world);
+  if (!valid.ok()) return RejectQuery(valid);
   std::vector<graph::RoadId> queried = request.queried;
   std::sort(queried.begin(), queried.end());
   queried.erase(std::unique(queried.begin(), queried.end()), queried.end());
@@ -261,7 +311,12 @@ util::Result<QueryResponse> QueryEngine::Serve(
     return RejectQuery(util::Status::FailedPrecondition(
         "campaign budget exhausted: " + ledger_.Report()));
   }
-  serve_span.Annotate("budget", static_cast<int64_t>(budget));
+  // Admission control's first shed rung: a capped query probes fewer roads.
+  // The ledger reservation stays at the full grant; the unspent remainder
+  // flows back when the query settles.
+  const int spend_budget =
+      request.budget_cap > 0 ? std::min(budget, request.budget_cap) : budget;
+  serve_span.Annotate("budget", static_cast<int64_t>(spend_budget));
 
   QueryResponse response;
   response.query_id = query_id;
@@ -278,7 +333,7 @@ util::Result<QueryResponse> QueryEngine::Serve(
     ocs_span.Annotate("worker_roads",
                       static_cast<int64_t>(worker_roads.size()));
     util::Result<ocs::OcsSolution> solved = system_.SelectRoads(
-        request.slot, queried, worker_roads, costs_, budget,
+        request.slot, queried, worker_roads, costs_, spend_budget,
         request.selector);
     if (solved.ok()) {
       ocs_span.Annotate("selected",
@@ -460,6 +515,11 @@ util::Result<QueryResponse> QueryEngine::Serve(
         case crowd::DegradeReason::kUnstaffed:
           degraded_unstaffed_->Increment();
           break;
+        case crowd::DegradeReason::kLoadShed:
+          // Dispatch never produces this reason; shed accounting happens in
+          // ServePeriodicFallback.
+          degraded_load_shed_->Increment();
+          break;
       }
     }
     crowd_retries_->Increment(dispatch_stats.retries);
@@ -476,6 +536,63 @@ util::Result<QueryResponse> QueryEngine::Serve(
   return response;
 }
 
+util::Result<QueryResponse> QueryEngine::ServePeriodicFallback(
+    const QueryRequest& request, const traffic::DayMatrix& world) {
+  util::Timer serve_timer;
+  if (!EnterServe()) {
+    return RejectQuery(util::Status::FailedPrecondition(
+        "engine draining: no new queries admitted"));
+  }
+  struct GateExit {
+    QueryEngine* engine;
+    ~GateExit() { engine->ExitServe(); }
+  } gate_exit{this};
+  const util::Status valid = ValidateRequest(request, world);
+  if (!valid.ok()) return RejectQuery(valid);
+
+  const int64_t query_id =
+      next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  QueryResponse response;
+  response.query_id = query_id;
+
+  // The bottom rung of the degradation ladder, entered from the front: the
+  // whole query answers from the RTF periodic mean mu_i^t with variances
+  // widened over the prior marginal — no budget, no crowd, no GSP. The
+  // degraded set is the (deduplicated, sorted) query itself.
+  response.degraded_roads = request.queried;
+  std::sort(response.degraded_roads.begin(), response.degraded_roads.end());
+  response.degraded_roads.erase(std::unique(response.degraded_roads.begin(),
+                                            response.degraded_roads.end()),
+                                response.degraded_roads.end());
+  response.degraded_reasons.assign(response.degraded_roads.size(),
+                                   crowd::DegradeReason::kLoadShed);
+
+  const std::vector<double> fallback =
+      system_.PeriodicMeans(request.slot, request.queried);
+  response.queried_speeds = fallback;
+  util::Result<std::vector<double>> variances = gsp::DegradedAwareVariances(
+      system_.model(), request.slot, /*probed_roads=*/{},
+      response.degraded_roads, options_.degraded_variance_inflation);
+  if (!variances.ok()) {
+    queries_failed_->Increment();
+    return variances.status();
+  }
+  response.queried_variances.reserve(request.queried.size());
+  for (graph::RoadId r : request.queried) {
+    response.queried_variances.push_back(
+        (*variances)[static_cast<size_t>(r)]);
+  }
+
+  serve_latency_->Record(serve_timer.ElapsedMillis());
+  queries_served_->Increment();
+  queries_shed_->Increment();
+  roads_degraded_->Increment(
+      static_cast<int64_t>(response.degraded_roads.size()));
+  degraded_load_shed_->Increment(
+      static_cast<int64_t>(response.degraded_roads.size()));
+  return response;
+}
+
 EngineStats QueryEngine::stats() const {
   EngineStats snapshot;
   snapshot.queries_served = queries_served_->value();
@@ -486,6 +603,8 @@ EngineStats QueryEngine::stats() const {
   snapshot.degraded_deadline = degraded_deadline_->value();
   snapshot.degraded_outlier = degraded_outlier_->value();
   snapshot.degraded_unstaffed = degraded_unstaffed_->value();
+  snapshot.degraded_load_shed = degraded_load_shed_->value();
+  snapshot.queries_shed = queries_shed_->value();
   snapshot.crowd_retries = crowd_retries_->value();
   snapshot.crowd_reassignments = crowd_reassignments_->value();
   snapshot.crowd_deadline_misses = crowd_deadline_misses_->value();

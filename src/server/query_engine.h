@@ -2,6 +2,7 @@
 #define CROWDRTSE_SERVER_QUERY_ENGINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -26,6 +27,11 @@ struct QueryRequest {
   int slot = 0;                           // 5-minute slot of day
   std::vector<graph::RoadId> queried;     // R^q
   core::SelectorKind selector = core::SelectorKind::kLazyHybridGreedy;
+  /// When > 0, caps this query's budget below the ledger's per-query cap —
+  /// admission control's first shed rung (fewer probed roads under load).
+  /// The ledger still reserves its normal grant; the unspent remainder
+  /// flows back at settle time.
+  int budget_cap = 0;
 };
 
 /// What the engine returns: the estimate for every queried road plus full
@@ -93,6 +99,11 @@ struct EngineStats {
   int64_t degraded_deadline = 0;   // all attempts dropped out / timed out
   int64_t degraded_outlier = 0;    // answers arrived, all implausible
   int64_t degraded_unstaffed = 0;  // no worker on the road to ask
+  int64_t degraded_load_shed = 0;  // answered from the periodic fallback
+  /// Queries answered entirely from the periodic-mean fallback
+  /// (ServePeriodicFallback) — admission control shed them before any
+  /// budget was granted or worker asked. Counted inside queries_served.
+  int64_t queries_shed = 0;
   /// Dispatch fault/retry counters summed over all served queries.
   int64_t crowd_retries = 0;
   int64_t crowd_reassignments = 0;
@@ -179,12 +190,37 @@ class QueryEngine {
               BudgetLedger& ledger, const crowd::CostModel& costs,
               crowd::CrowdSimulator& crowd_sim, Options options);
 
+  ~QueryEngine();
+
   /// Serves one query against `world` (today's real speeds). Rejects with
   /// InvalidArgument on a malformed request (no roads, out-of-range slot
   /// or road ids) and FailedPrecondition when the campaign budget is
-  /// exhausted — both before any budget is granted or worker paid.
+  /// exhausted or the engine is draining — both before any budget is
+  /// granted or worker paid.
   util::Result<QueryResponse> Serve(const QueryRequest& request,
                                     const traffic::DayMatrix& world);
+
+  /// Answers `request` entirely from the RTF periodic means mu_i^t with
+  /// prior-widened variances — the bottom rung of the degradation ladder,
+  /// which admission control uses to shed load without dropping queries.
+  /// No budget is granted, no worker is asked, no OCS/dispatch/GSP pass
+  /// runs; every queried road comes back in degraded_roads with reason
+  /// kLoadShed. Validation matches Serve. Counted as served (and shed).
+  util::Result<QueryResponse> ServePeriodicFallback(
+      const QueryRequest& request, const traffic::DayMatrix& world);
+
+  /// Stops admitting new queries (they reject with FailedPrecondition
+  /// "draining") and blocks until every in-flight Serve has returned, so
+  /// the engine — and everything it borrows: the Gamma_R cache's compute
+  /// threads, propagator leases, the crowd simulator — is quiescent.
+  /// Idempotent; the destructor calls it, making teardown while serving
+  /// threads wind down safe instead of a race against the thread pools.
+  void Drain();
+
+  /// True once Drain() has been called.
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
 
   /// Consistent snapshot of the rolling statistics (a thin view over the
   /// metrics registry).
@@ -202,6 +238,14 @@ class QueryEngine {
  private:
   /// Creates the registry instruments and caches pointers for the hot path.
   void RegisterInstruments();
+  /// Admission side of Drain(): registers an in-flight query, or refuses
+  /// when draining. Every successful Enter is paired with one Exit.
+  bool EnterServe();
+  void ExitServe();
+  /// Validates request shape against `world` (roads in range, slot within
+  /// the world's slot count). Shared by Serve and ServePeriodicFallback.
+  util::Status ValidateRequest(const QueryRequest& request,
+                               const traffic::DayMatrix& world) const;
   /// Closes the books on a query that died mid-pipeline: settles whatever
   /// the crowd was actually paid (so real spend never leaks from the
   /// campaign accounting) and counts the failure. Returns `status`.
@@ -221,6 +265,12 @@ class QueryEngine {
   /// Serializes the stateful crowd simulator (see class comment).
   std::mutex crowd_mutex_;
 
+  /// Drain gate: queries in flight, and whether new ones are refused.
+  std::atomic<bool> draining_{false};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  int64_t serves_in_flight_ = 0;
+
   /// All rolling statistics live as named instruments in the registry
   /// (wait-free counters/histograms; callback gauges read live component
   /// state at render time). The pointers below are the hot-path handles —
@@ -237,6 +287,8 @@ class QueryEngine {
   util::metrics::Counter* degraded_deadline_ = nullptr;
   util::metrics::Counter* degraded_outlier_ = nullptr;
   util::metrics::Counter* degraded_unstaffed_ = nullptr;
+  util::metrics::Counter* degraded_load_shed_ = nullptr;
+  util::metrics::Counter* queries_shed_ = nullptr;
   util::metrics::Counter* crowd_retries_ = nullptr;
   util::metrics::Counter* crowd_reassignments_ = nullptr;
   util::metrics::Counter* crowd_deadline_misses_ = nullptr;

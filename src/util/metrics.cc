@@ -36,11 +36,37 @@ const BucketTable& Table() {
 namespace {
 
 // Short general-precision formatting for bucket bounds and JSON values
-// ("0.0041" not "0.004100").
+// ("0.0041" not "0.004100"). Non-finite inputs would render as "inf"/"nan",
+// which RFC 8259 has no tokens for — clamp them so the exposition stays
+// parseable no matter what an accumulator degenerated to.
 std::string FormatCompact(double value) {
+  if (std::isnan(value)) return "0";
+  if (std::isinf(value)) return value > 0 ? "1e308" : "-1e308";
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.6g", value);
   return buffer;
+}
+
+// Prometheus text exposition requires backslash and newline escaping in
+// HELP text (label values additionally escape '"', but we emit none from
+// help strings). Without this, a help string containing '\n' splits the
+// exposition mid-line and scrapes fail to parse.
+std::string PrometheusHelpEscape(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -209,7 +235,8 @@ std::string MetricsRegistry::RenderPrometheus() const {
   std::string out;
   for (const auto& [name, instrument] : instruments_) {
     if (!instrument.help.empty()) {
-      out += "# HELP " + name + " " + instrument.help + "\n";
+      out += "# HELP " + name + " " + PrometheusHelpEscape(instrument.help) +
+             "\n";
     }
     if (const auto* counter =
             std::get_if<std::unique_ptr<Counter>>(&instrument.value)) {

@@ -1,0 +1,85 @@
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace crowdrtse::net {
+namespace {
+
+TEST(FrameTest, EncodeDecodeRoundTrip) {
+  const std::string payload = "{\"slot\":3,\"roads\":[1,2]}";
+  const std::string wire = EncodeFrame(payload);
+  EXPECT_EQ(wire.size(), kFrameHeaderBytes + payload.size());
+  EXPECT_EQ(wire.substr(0, 4), "CQRC");
+
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(wire.data(), wire.size()).ok());
+  std::string out;
+  const auto got = decoder.Next(&out);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(*got);
+  EXPECT_EQ(out, payload);
+  EXPECT_FALSE(*decoder.Next(&out));
+}
+
+TEST(FrameTest, ByteAtATimeAndBackToBack) {
+  const std::string wire =
+      EncodeFrame("first") + EncodeFrame("") + EncodeFrame("third");
+  FrameDecoder decoder;
+  std::string out;
+  int frames = 0;
+  for (const char c : wire) {
+    ASSERT_TRUE(decoder.Feed(&c, 1).ok());
+    for (;;) {
+      const auto got = decoder.Next(&out);
+      ASSERT_TRUE(got.ok());
+      if (!*got) break;
+      ++frames;
+      if (frames == 1) {
+        EXPECT_EQ(out, "first");
+      } else if (frames == 2) {
+        EXPECT_EQ(out, "");
+      } else if (frames == 3) {
+        EXPECT_EQ(out, "third");
+      }
+    }
+  }
+  EXPECT_EQ(frames, 3);
+}
+
+TEST(FrameTest, BinaryPayloadSurvives) {
+  std::string payload;
+  for (int i = 0; i < 256; ++i) payload.push_back(static_cast<char>(i));
+  FrameDecoder decoder;
+  const std::string wire = EncodeFrame(payload);
+  ASSERT_TRUE(decoder.Feed(wire.data(), wire.size()).ok());
+  std::string out;
+  ASSERT_TRUE(*decoder.Next(&out));
+  EXPECT_EQ(out, payload);
+}
+
+TEST(FrameTest, BadMagicPoisonsStream) {
+  FrameDecoder decoder;
+  const std::string wire = "HTTP/1.1 oops this is not a frame";
+  ASSERT_TRUE(decoder.Feed(wire.data(), wire.size()).ok());
+  std::string out;
+  EXPECT_FALSE(decoder.Next(&out).ok());
+}
+
+TEST(FrameTest, OversizeLengthRejected) {
+  std::string wire = EncodeFrame("x");
+  // Patch the length field to something absurd.
+  const uint32_t huge = kMaxFramePayloadBytes + 1;
+  wire[4] = static_cast<char>(huge & 0xFF);
+  wire[5] = static_cast<char>((huge >> 8) & 0xFF);
+  wire[6] = static_cast<char>((huge >> 16) & 0xFF);
+  wire[7] = static_cast<char>((huge >> 24) & 0xFF);
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(wire.data(), wire.size()).ok());
+  std::string out;
+  EXPECT_FALSE(decoder.Next(&out).ok());
+}
+
+}  // namespace
+}  // namespace crowdrtse::net

@@ -1,0 +1,140 @@
+#include "net/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace crowdrtse::net {
+namespace {
+
+util::Status FeedAll(HttpRequestParser* parser, const std::string& bytes) {
+  return parser->Feed(bytes.data(), bytes.size());
+}
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpRequestParser parser;
+  ASSERT_TRUE(
+      FeedAll(&parser, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").ok());
+  HttpRequest request;
+  const auto got = parser.Next(&request);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(*got);
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/metrics");
+  EXPECT_EQ(request.headers.at("host"), "x");
+  EXPECT_TRUE(request.body.empty());
+  // No second request pending.
+  EXPECT_FALSE(*parser.Next(&request));
+}
+
+TEST(HttpParserTest, ParsesPostBodyByContentLength) {
+  HttpRequestParser parser;
+  const std::string body = "{\"slot\":3}";
+  ASSERT_TRUE(FeedAll(&parser,
+                      "POST /query HTTP/1.1\r\nContent-Type: "
+                      "application/json\r\nContent-Length: " +
+                          std::to_string(body.size()) + "\r\n\r\n" + body)
+                  .ok());
+  HttpRequest request;
+  const auto got = parser.Next(&request);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(*got);
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.body, body);
+}
+
+TEST(HttpParserTest, IncrementalBytesAndPipelining) {
+  HttpRequestParser parser;
+  const std::string wire =
+      "POST /query HTTP/1.1\r\nContent-Length: 2\r\n\r\nab"
+      "GET /healthz HTTP/1.1\r\n\r\n";
+  HttpRequest request;
+  int complete = 0;
+  for (const char c : wire) {
+    ASSERT_TRUE(parser.Feed(&c, 1).ok());
+    for (;;) {
+      const auto got = parser.Next(&request);
+      ASSERT_TRUE(got.ok());
+      if (!*got) break;
+      ++complete;
+      if (complete == 1) {
+        EXPECT_EQ(request.body, "ab");
+      } else {
+        EXPECT_EQ(request.target, "/healthz");
+      }
+    }
+  }
+  EXPECT_EQ(complete, 2);
+}
+
+TEST(HttpParserTest, SplitsQueryStringAndDecodesTarget) {
+  HttpRequestParser parser;
+  ASSERT_TRUE(
+      FeedAll(&parser, "GET /trace%2F7?limit=5&x=a%20b HTTP/1.1\r\n\r\n")
+          .ok());
+  HttpRequest request;
+  ASSERT_TRUE(*parser.Next(&request));
+  EXPECT_EQ(request.target, "/trace/7");
+  EXPECT_EQ(request.query, "limit=5&x=a%20b");
+}
+
+TEST(HttpParserTest, RejectsMalformedInput) {
+  {
+    HttpRequestParser parser;
+    ASSERT_TRUE(FeedAll(&parser, "NONSENSE\r\n\r\n").ok());
+    HttpRequest request;
+    EXPECT_FALSE(parser.Next(&request).ok());
+  }
+  {
+    HttpRequestParser parser;
+    ASSERT_TRUE(FeedAll(&parser, "GET / HTTP/2\r\n\r\n").ok());
+    HttpRequest request;
+    EXPECT_FALSE(parser.Next(&request).ok());
+  }
+  {
+    HttpRequestParser parser;
+    ASSERT_TRUE(FeedAll(&parser,
+                        "GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n")
+                    .ok());
+    HttpRequest request;
+    EXPECT_FALSE(parser.Next(&request).ok());
+  }
+  {
+    HttpRequestParser parser;
+    ASSERT_TRUE(
+        FeedAll(&parser,
+                "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+            .ok());
+    HttpRequest request;
+    EXPECT_FALSE(parser.Next(&request).ok());
+  }
+}
+
+TEST(HttpParserTest, OversizeHeadersRejected) {
+  HttpRequestParser parser;
+  std::string huge = "GET / HTTP/1.1\r\nX-Pad: ";
+  huge.append(HttpRequestParser::kMaxHeaderBytes, 'x');
+  ASSERT_TRUE(FeedAll(&parser, huge).ok());
+  HttpRequest request;
+  EXPECT_FALSE(parser.Next(&request).ok());
+}
+
+TEST(HttpRenderTest, ResponseHasLengthAndParsesStatusLine) {
+  const std::string rendered =
+      RenderHttpResponse(429, "{\"status\":\"rate_limited\"}",
+                         "application/json");
+  EXPECT_EQ(rendered.find("HTTP/1.1 429 Too Many Requests\r\n"), 0u);
+  EXPECT_NE(rendered.find("Content-Length: 25\r\n"), std::string::npos);
+  EXPECT_NE(rendered.find("\r\n\r\n{\"status\":\"rate_limited\"}"),
+            std::string::npos);
+}
+
+TEST(HttpRenderTest, UrlDecode) {
+  EXPECT_EQ(UrlDecode("/a%20b%2Fc"), "/a b/c");
+  EXPECT_EQ(UrlDecode("plain"), "plain");
+  EXPECT_EQ(UrlDecode("bad%2"), "bad%2");  // truncated escape passes through
+  EXPECT_EQ(UrlDecode("%zz"), "%zz");      // non-hex passes through
+}
+
+}  // namespace
+}  // namespace crowdrtse::net

@@ -1,0 +1,197 @@
+#include "net/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
+
+namespace crowdrtse::net::json {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parser basics.
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_TRUE(Parse("true")->AsBool());
+  EXPECT_FALSE(Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(Parse("3.25")->AsDouble(), 3.25);
+  EXPECT_DOUBLE_EQ(Parse("-17")->AsDouble(), -17.0);
+  EXPECT_DOUBLE_EQ(Parse("1e3")->AsDouble(), 1000.0);
+  EXPECT_DOUBLE_EQ(Parse("0.5")->AsDouble(), 0.5);
+  EXPECT_EQ(Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  const auto doc =
+      Parse(R"({"slot": 100, "roads": [3, 17, 42], "opts": {"x": true}})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(*doc->Find("slot")->AsInt(), 100);
+  const auto& roads = doc->Find("roads")->AsArray();
+  ASSERT_EQ(roads.size(), 3u);
+  EXPECT_EQ(*roads[1].AsInt(), 17);
+  EXPECT_TRUE(doc->Find("opts")->Find("x")->AsBool());
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Parse("nul").ok());
+  EXPECT_FALSE(Parse("1 2").ok());          // trailing tokens
+  EXPECT_FALSE(Parse("013").ok());          // leading zero
+  EXPECT_FALSE(Parse("1.").ok());           // bare fraction
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("\"bad \\q escape\"").ok());
+  EXPECT_FALSE(Parse("\"raw \x01 control\"").ok());
+  EXPECT_FALSE(Parse("NaN").ok());          // RFC 8259 has no NaN token
+  EXPECT_FALSE(Parse("Infinity").ok());
+}
+
+TEST(JsonParseTest, DepthLimitStopsHostileNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  for (int i = 0; i < 200; ++i) deep += "]";
+  EXPECT_FALSE(Parse(deep).ok());
+  EXPECT_TRUE(Parse(deep, 400).ok());
+}
+
+TEST(JsonParseTest, AsIntRejectsNonIntegral) {
+  EXPECT_FALSE(Parse("1.5")->AsInt().ok());
+  EXPECT_TRUE(Parse("1.0")->AsInt().ok());
+  EXPECT_EQ(*Parse("-42")->AsInt(), -42);
+}
+
+// ---------------------------------------------------------------------------
+// String escaping round-trips: what the emitters produce, the parser must
+// read back byte-identically (the RFC 8259 satellite).
+
+std::string RoundTripString(const std::string& raw) {
+  const std::string doc = "\"" + util::JsonEscape(raw) + "\"";
+  const auto parsed = Parse(doc);
+  EXPECT_TRUE(parsed.ok()) << doc << ": " << parsed.status().ToString();
+  return parsed.ok() ? parsed->AsString() : std::string();
+}
+
+TEST(JsonEscapeRoundTripTest, QuotesBackslashesAndControlChars) {
+  EXPECT_EQ(RoundTripString("plain"), "plain");
+  EXPECT_EQ(RoundTripString("say \"hi\""), "say \"hi\"");
+  EXPECT_EQ(RoundTripString("C:\\path\\to\\file"), "C:\\path\\to\\file");
+  EXPECT_EQ(RoundTripString("line1\nline2\r\ttabbed"),
+            "line1\nline2\r\ttabbed");
+  std::string all_controls;
+  for (int c = 1; c < 0x20; ++c) all_controls.push_back(static_cast<char>(c));
+  EXPECT_EQ(RoundTripString(all_controls), all_controls);
+  // Embedded NUL survives too (escaped as \u0000).
+  std::string with_nul("a\0b", 3);
+  EXPECT_EQ(RoundTripString(with_nul), with_nul);
+}
+
+TEST(JsonEscapeRoundTripTest, ValueDumpParsesBack) {
+  Value v = Value::Object();
+  v.Set("message", Value::Str("a \"quoted\"\nmulti-line\\thing"));
+  v.Set("count", Value::Int(42));
+  v.Set("ratio", Value::Number(0.125));
+  Value arr = Value::Array();
+  arr.MutableArray().push_back(Value::Str("x\ty"));
+  arr.MutableArray().push_back(Value::Null());
+  arr.MutableArray().push_back(Value::Bool(true));
+  v.Set("items", std::move(arr));
+
+  const auto parsed = Parse(v.Dump());
+  ASSERT_TRUE(parsed.ok()) << v.Dump();
+  EXPECT_EQ(parsed->Find("message")->AsString(),
+            "a \"quoted\"\nmulti-line\\thing");
+  EXPECT_EQ(*parsed->Find("count")->AsInt(), 42);
+  EXPECT_DOUBLE_EQ(parsed->Find("ratio")->AsDouble(), 0.125);
+  EXPECT_EQ(parsed->Find("items")->AsArray().size(), 3u);
+  // Dump of a re-parse is a fixed point (canonical form).
+  EXPECT_EQ(parsed->Dump(), v.Dump());
+}
+
+TEST(JsonEscapeRoundTripTest, NonFiniteNumbersDumpAsValidJson) {
+  Value v = Value::Object();
+  v.Set("nan", Value::Number(std::nan("")));
+  v.Set("inf", Value::Number(std::numeric_limits<double>::infinity()));
+  const auto parsed = Parse(v.Dump());
+  ASSERT_TRUE(parsed.ok()) << v.Dump();
+}
+
+TEST(JsonEscapeRoundTripTest, UnicodeEscapesAndSurrogatePairs) {
+  EXPECT_EQ(Parse("\"\\u0041\"")->AsString(), "A");
+  EXPECT_EQ(Parse("\"\\u00e9\"")->AsString(), "\xC3\xA9");        // é
+  EXPECT_EQ(Parse("\"\\u20ac\"")->AsString(), "\xE2\x82\xAC");    // €
+  // U+1F600 as a surrogate pair.
+  EXPECT_EQ(Parse("\"\\ud83d\\ude00\"")->AsString(),
+            "\xF0\x9F\x98\x80");
+  EXPECT_FALSE(Parse("\"\\ud83d\"").ok());         // unpaired high
+  EXPECT_FALSE(Parse("\"\\ude00\"").ok());         // unpaired low
+  EXPECT_FALSE(Parse("\"\\ud83d\\u0041\"").ok());  // bad low half
+}
+
+// ---------------------------------------------------------------------------
+// The process's real emitters round-trip through the parser.
+
+TEST(EmitterRoundTripTest, StructuredLogRecordsAreValidJson) {
+  const std::string hostile =
+      "path \"C:\\logs\"\nsecond line\twith\ttabs and \x01 control";
+  const std::string record = util::FormatLogRecord(
+      util::LogFormat::kJson, util::LogLevel::kWarning,
+      "dir/some file \"x\".cc", 42, hostile);
+  const auto parsed = Parse(record);
+  ASSERT_TRUE(parsed.ok()) << record << ": " << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("msg")->AsString(), hostile);
+  EXPECT_EQ(parsed->Find("severity")->AsString(), "WARN");
+  EXPECT_EQ(*parsed->Find("line")->AsInt(), 42);
+}
+
+TEST(EmitterRoundTripTest, MetricsRegistryJsonIsValid) {
+  util::metrics::MetricsRegistry registry;
+  registry.GetCounter("requests_total", "how many").Increment(7);
+  registry.GetGauge("queue \"depth\"\nnow", "hostile name").Set(-3);
+  auto& histogram = registry.GetHistogram("latency_ms", "latencies");
+  histogram.Record(1.5);
+  histogram.Record(std::numeric_limits<double>::infinity());
+  histogram.Record(std::nan(""));
+  registry.RegisterCallbackGauge("live_value", "from a callback",
+                                 [] { return int64_t{11}; });
+
+  const std::string rendered = registry.RenderJson();
+  const auto parsed = Parse(rendered);
+  ASSERT_TRUE(parsed.ok()) << rendered << ": " << parsed.status().ToString();
+  EXPECT_EQ(*parsed->Find("requests_total")->AsInt(), 7);
+  EXPECT_EQ(*parsed->Find("queue \"depth\"\nnow")->AsInt(), -3);
+  EXPECT_EQ(*parsed->Find("live_value")->AsInt(), 11);
+  EXPECT_EQ(*parsed->Find("latency_ms")->Find("count")->AsInt(), 3);
+}
+
+TEST(EmitterRoundTripTest, PrometheusHelpTextIsEscaped) {
+  util::metrics::MetricsRegistry registry;
+  registry.GetCounter("evil_total", "first line\nsecond \\ line")
+      .Increment();
+  const std::string rendered = registry.RenderPrometheus();
+  // The newline must arrive as the two characters '\' 'n', never a real
+  // line break (which would split the exposition mid-record).
+  EXPECT_NE(rendered.find("# HELP evil_total first line\\nsecond \\\\ line"),
+            std::string::npos)
+      << rendered;
+  for (size_t pos = rendered.find('\n'); pos != std::string::npos;
+       pos = rendered.find('\n', pos + 1)) {
+    if (pos + 1 < rendered.size()) {
+      // Every line starts a fresh record: a comment, a sample, or the end.
+      const char next = rendered[pos + 1];
+      EXPECT_TRUE(next == '#' || next == 'e') << rendered;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crowdrtse::net::json

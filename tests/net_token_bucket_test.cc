@@ -1,0 +1,68 @@
+#include "net/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+#include "util/clock.h"
+
+namespace crowdrtse::net {
+namespace {
+
+TEST(TokenBucketTest, BurstThenDeny) {
+  util::SimClock clock;
+  TokenBucket bucket(10.0, 3.0, &clock);  // 10 qps, burst 3
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_FALSE(bucket.TryAcquire());  // burst spent, no time has passed
+}
+
+TEST(TokenBucketTest, DeterministicRefillBoundary) {
+  util::SimClock clock;
+  TokenBucket bucket(10.0, 1.0, &clock);  // one token per 100 ms
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_FALSE(bucket.TryAcquire());
+
+  // One microsecond short of the refill boundary: still denied.
+  clock.AdvanceMicros(99'999);
+  EXPECT_FALSE(bucket.TryAcquire());
+  // Crossing it: exactly one token.
+  clock.AdvanceMicros(1);
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_FALSE(bucket.TryAcquire());
+}
+
+TEST(TokenBucketTest, RefillCapsAtBurst) {
+  util::SimClock clock;
+  TokenBucket bucket(100.0, 2.0, &clock);
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_TRUE(bucket.TryAcquire());
+  // An hour of idling still refills only to the burst cap.
+  clock.AdvanceMicros(3'600'000'000LL);
+  EXPECT_DOUBLE_EQ(bucket.available(), 2.0);
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_FALSE(bucket.TryAcquire());
+}
+
+TEST(TokenBucketTest, SteadyRateAdmitsExactCount) {
+  util::SimClock clock;
+  TokenBucket bucket(50.0, 1.0, &clock);
+  int admitted = 0;
+  // 200 acquire attempts in 5 ms steps at 50 qps. The last attempt sees
+  // 199 * 5 ms = 995 ms of refill = 49 whole tokens, plus the initial
+  // burst token: exactly 50 admissions, deterministically.
+  for (int step = 0; step < 200; ++step) {
+    if (bucket.TryAcquire()) ++admitted;
+    clock.AdvanceMicros(5'000);
+  }
+  EXPECT_EQ(admitted, 50);
+}
+
+TEST(TokenBucketTest, NonPositiveRateDisablesLimiting) {
+  util::SimClock clock;
+  TokenBucket bucket(0.0, 1.0, &clock);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(bucket.TryAcquire());
+}
+
+}  // namespace
+}  // namespace crowdrtse::net

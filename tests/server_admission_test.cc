@@ -1,0 +1,130 @@
+#include "server/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace crowdrtse::server {
+namespace {
+
+AdmissionOptions SmallLadder() {
+  AdmissionOptions options;
+  options.capacity = 4;
+  options.shed_low_watermark = 2;
+  options.hard_capacity = 8;
+  options.level1_budget_cap = 5;
+  return options;
+}
+
+// Tasks are not run (no worker), so queue depth equals admitted count —
+// each watermark boundary is observable exactly.
+TEST(AdmissionQueueTest, LadderBoundariesAreExact) {
+  AdmissionQueue queue(SmallLadder());
+  const auto admit = [&] { return queue.Admit([](ShedLevel) {}); };
+
+  EXPECT_EQ(admit(), ShedLevel::kNone);            // depth 0
+  EXPECT_EQ(admit(), ShedLevel::kNone);            // depth 1
+  EXPECT_EQ(admit(), ShedLevel::kBudgetCap);       // depth 2 == shed_low
+  EXPECT_EQ(admit(), ShedLevel::kBudgetCap);       // depth 3
+  EXPECT_EQ(admit(), ShedLevel::kPeriodicFallback);  // depth 4 == capacity
+  EXPECT_EQ(admit(), ShedLevel::kPeriodicFallback);  // 5
+  EXPECT_EQ(admit(), ShedLevel::kPeriodicFallback);  // 6
+  EXPECT_EQ(admit(), ShedLevel::kPeriodicFallback);  // 7
+  EXPECT_EQ(admit(), ShedLevel::kReject);          // depth 8 == hard cap
+  EXPECT_EQ(queue.depth(), 8);                     // rejects never enqueue
+
+  const AdmissionStats stats = queue.stats();
+  EXPECT_EQ(stats.admitted_full, 2);
+  EXPECT_EQ(stats.admitted_budget_capped, 2);
+  EXPECT_EQ(stats.admitted_fallback, 4);
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.peak_depth, 8);
+}
+
+TEST(AdmissionQueueTest, TasksReceiveTheLevelStampedAtEnqueue) {
+  AdmissionQueue queue(SmallLadder());
+  std::vector<ShedLevel> seen;
+  for (int i = 0; i < 5; ++i) {
+    queue.Admit([&seen](ShedLevel level) { seen.push_back(level); });
+  }
+  // Drain single-threaded: FIFO order, stamped levels preserved even
+  // though the queue has emptied by the time the last tasks run.
+  while (queue.depth() > 0) queue.WaitAndRun();
+  ASSERT_EQ(seen.size(), 5u);
+  EXPECT_EQ(seen[0], ShedLevel::kNone);
+  EXPECT_EQ(seen[1], ShedLevel::kNone);
+  EXPECT_EQ(seen[2], ShedLevel::kBudgetCap);
+  EXPECT_EQ(seen[3], ShedLevel::kBudgetCap);
+  EXPECT_EQ(seen[4], ShedLevel::kPeriodicFallback);
+}
+
+TEST(AdmissionQueueTest, CloseDrainsQueuedTasksButRejectsNew) {
+  AdmissionQueue queue(SmallLadder());
+  std::atomic<int> ran{0};
+  queue.Admit([&](ShedLevel) { ran.fetch_add(1); });
+  queue.Admit([&](ShedLevel) { ran.fetch_add(1); });
+  queue.Close();
+  EXPECT_EQ(queue.Admit([&](ShedLevel) { ran.fetch_add(1); }),
+            ShedLevel::kReject);
+
+  // Workers drain what was queued before Close, then exit.
+  std::thread worker([&] {
+    while (queue.WaitAndRun()) {
+    }
+  });
+  worker.join();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(AdmissionQueueTest, WorkersBlockUntilWorkArrives) {
+  AdmissionQueue queue(SmallLadder());
+  std::atomic<int> ran{0};
+  std::thread worker([&] {
+    while (queue.WaitAndRun()) {
+    }
+  });
+  for (int i = 0; i < 20; ++i) {
+    while (queue.Admit([&](ShedLevel) { ran.fetch_add(1); }) ==
+           ShedLevel::kReject) {
+      std::this_thread::yield();  // worker is draining; retry
+    }
+  }
+  queue.Close();
+  worker.join();
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(AdmissionQueueTest, NormalizationDerivesWatermarks) {
+  AdmissionOptions options;
+  options.capacity = 10;
+  const AdmissionOptions normalized = options.Normalized();
+  EXPECT_EQ(normalized.shed_low_watermark, 5);
+  EXPECT_EQ(normalized.hard_capacity, 20);
+
+  // Degenerate settings are repaired, not obeyed.
+  options.capacity = 0;
+  options.shed_low_watermark = 99;
+  options.hard_capacity = -5;
+  const AdmissionOptions repaired = options.Normalized();
+  EXPECT_EQ(repaired.capacity, 1);
+  EXPECT_LE(repaired.shed_low_watermark, repaired.capacity);
+  EXPECT_GE(repaired.hard_capacity, repaired.capacity);
+}
+
+TEST(AdmissionQueueTest, UpdateOptionsTakesEffectImmediately) {
+  AdmissionQueue queue(SmallLadder());
+  queue.Admit([](ShedLevel) {});
+  queue.Admit([](ShedLevel) {});  // depth 2
+  AdmissionOptions wider = SmallLadder();
+  wider.shed_low_watermark = 4;
+  queue.UpdateOptions(wider);
+  EXPECT_EQ(queue.Admit([](ShedLevel) {}), ShedLevel::kNone);  // depth 2 < 4
+  EXPECT_EQ(queue.options().shed_low_watermark, 4);
+  queue.ClearStats();
+  EXPECT_EQ(queue.stats().admitted_full, 0);
+}
+
+}  // namespace
+}  // namespace crowdrtse::server

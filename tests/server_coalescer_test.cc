@@ -1,0 +1,144 @@
+#include "server/coalescer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace crowdrtse::server {
+namespace {
+
+QueryRequest MakeRequest(std::vector<graph::RoadId> roads, int slot = 7) {
+  QueryRequest request;
+  request.slot = slot;
+  request.queried = std::move(roads);
+  return request;
+}
+
+TEST(QueryCoalescerKeyTest, PermutationsOfOneRoadSetShareAKey) {
+  QueryRequest a = MakeRequest({5, 1, 9});
+  QueryRequest b = MakeRequest({9, 5, 1, 5});  // permuted, with a duplicate
+  QueryCoalescer::CanonicalizeRoads(&a);
+  QueryCoalescer::CanonicalizeRoads(&b);
+  EXPECT_EQ(a.queried, b.queried);
+  EXPECT_EQ(QueryCoalescer::KeyFor(a, ShedLevel::kNone),
+            QueryCoalescer::KeyFor(b, ShedLevel::kNone));
+}
+
+TEST(QueryCoalescerKeyTest, DifferentSignaturesNeverCoalesce) {
+  QueryRequest base = MakeRequest({1, 2, 3});
+  const std::string key = QueryCoalescer::KeyFor(base, ShedLevel::kNone);
+
+  QueryRequest other_slot = base;
+  other_slot.slot = 8;
+  EXPECT_NE(QueryCoalescer::KeyFor(other_slot, ShedLevel::kNone), key);
+
+  QueryRequest other_roads = MakeRequest({1, 2, 4});
+  EXPECT_NE(QueryCoalescer::KeyFor(other_roads, ShedLevel::kNone), key);
+
+  QueryRequest other_budget = base;
+  other_budget.budget_cap = 3;
+  EXPECT_NE(QueryCoalescer::KeyFor(other_budget, ShedLevel::kNone), key);
+
+  QueryRequest other_selector = base;
+  other_selector.selector = core::SelectorKind::kRatioGreedy;
+  EXPECT_NE(QueryCoalescer::KeyFor(other_selector, ShedLevel::kNone), key);
+
+  // A different shed level runs a different pipeline — never shared.
+  EXPECT_NE(QueryCoalescer::KeyFor(base, ShedLevel::kBudgetCap), key);
+
+  // Road-list ambiguity: {1, 23} vs {12, 3} must not collide.
+  QueryRequest ab = MakeRequest({1, 23});
+  QueryRequest cd = MakeRequest({12, 3});
+  QueryCoalescer::CanonicalizeRoads(&cd);
+  EXPECT_NE(QueryCoalescer::KeyFor(ab, ShedLevel::kNone),
+            QueryCoalescer::KeyFor(cd, ShedLevel::kNone));
+}
+
+TEST(QueryCoalescerTest, JoinersReceiveTheLeadersExactResponse) {
+  QueryCoalescer coalescer;
+  const std::string key = "k";
+  auto [leader_batch, is_leader] = coalescer.Join(key);
+  ASSERT_TRUE(is_leader);
+
+  constexpr int kJoiners = 4;
+  std::vector<QueryResponse> joined(kJoiners);
+  std::vector<util::Status> statuses(kJoiners);
+  std::vector<std::thread> threads;
+  std::atomic<int> ready{0};
+  for (int i = 0; i < kJoiners; ++i) {
+    threads.emplace_back([&, i] {
+      auto [batch, lead] = coalescer.Join(key);
+      EXPECT_FALSE(lead);
+      ready.fetch_add(1);
+      statuses[static_cast<size_t>(i)] =
+          QueryCoalescer::Wait(batch, &joined[static_cast<size_t>(i)]);
+    });
+  }
+  while (ready.load() < kJoiners) std::this_thread::yield();
+
+  QueryResponse response;
+  response.query_id = 42;
+  response.queried_speeds = {31.25, 47.5};
+  response.probed_roads = {3, 9};
+  response.granted_budget = 12;
+  response.paid = 7;
+  coalescer.Complete(key, leader_batch, util::Status::Ok(),
+                     QueryResponse(response));
+  for (auto& thread : threads) thread.join();
+
+  for (int i = 0; i < kJoiners; ++i) {
+    ASSERT_TRUE(statuses[static_cast<size_t>(i)].ok());
+    const QueryResponse& got = joined[static_cast<size_t>(i)];
+    // Bit-identical fan-out: the joiner's answer IS the leader's answer.
+    EXPECT_EQ(got.query_id, 42);
+    EXPECT_EQ(got.queried_speeds, response.queried_speeds);
+    EXPECT_EQ(got.probed_roads, response.probed_roads);
+    EXPECT_EQ(got.granted_budget, 12);
+    EXPECT_EQ(got.paid, 7);
+  }
+  EXPECT_EQ(coalescer.leads(), 1);
+  EXPECT_EQ(coalescer.joins(), kJoiners);
+}
+
+TEST(QueryCoalescerTest, ErrorsPropagateToEveryJoiner) {
+  QueryCoalescer coalescer;
+  auto [batch, is_leader] = coalescer.Join("k");
+  ASSERT_TRUE(is_leader);
+  std::atomic<bool> joined{false};
+  std::thread joiner([&] {
+    auto [joined_batch, lead] = coalescer.Join("k");
+    EXPECT_FALSE(lead);
+    joined.store(true);
+    QueryResponse response;
+    const util::Status status =
+        QueryCoalescer::Wait(joined_batch, &response);
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+  });
+  // Completing before the join would retire the key and strand the joiner
+  // leading a batch nobody completes.
+  while (!joined.load()) std::this_thread::yield();
+  coalescer.Complete(
+      "k", batch,
+      util::Status::FailedPrecondition("campaign budget exhausted"),
+      QueryResponse());
+  joiner.join();
+}
+
+TEST(QueryCoalescerTest, CompletedKeysRetireImmediately) {
+  QueryCoalescer coalescer;
+  auto [first, first_leads] = coalescer.Join("k");
+  ASSERT_TRUE(first_leads);
+  coalescer.Complete("k", first, util::Status::Ok(), QueryResponse());
+  // The next arrival opens a fresh batch — results are never served from a
+  // completed one (no stale caching).
+  auto [second, second_leads] = coalescer.Join("k");
+  EXPECT_TRUE(second_leads);
+  EXPECT_NE(first.get(), second.get());
+  coalescer.Complete("k", second, util::Status::Ok(), QueryResponse());
+}
+
+}  // namespace
+}  // namespace crowdrtse::server

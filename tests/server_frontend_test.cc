@@ -1,0 +1,500 @@
+#include "server/frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.h"
+#include "net/frame.h"
+#include "net/http.h"
+#include "net/json.h"
+#include "net/socket.h"
+#include "traffic/traffic_simulator.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace crowdrtse::server {
+namespace {
+
+/// End-to-end fixture: a real engine behind a real socket. The crowd is
+/// configured noiseless (bias 1, zero reading noise, no outliers) so a
+/// given request always produces the same speeds — what the coalescing
+/// bit-identity assertions rely on.
+class FrontendTest : public ::testing::Test {
+ protected:
+  FrontendTest() {
+    util::Rng rng(3);
+    graph::RoadNetworkOptions net;
+    net.num_roads = 100;
+    graph_ = *graph::RoadNetwork(net, rng);
+    traffic::TrafficModelOptions traffic_options;
+    traffic_options.num_days = 8;
+    sim_ = std::make_unique<traffic::TrafficSimulator>(graph_,
+                                                       traffic_options, 5);
+    history_ = sim_->GenerateHistory();
+    truth_ = sim_->GenerateEvaluationDay();
+    system_ = std::make_unique<core::CrowdRtse>(
+        *core::CrowdRtse::BuildOffline(graph_, history_, {}));
+    // Noiseless workers: calibrated devices (bias 1) with zero reading
+    // noise, so every answer equals ground truth and repeated serves of
+    // one request are bit-identical.
+    WorkerRegistryOptions registry_options;
+    registry_options.num_workers = 600;
+    registry_options.min_bias = 1.0;
+    registry_options.max_bias = 1.0;
+    registry_options.min_noise_kmh = 0.0;
+    registry_options.max_noise_kmh = 0.0;
+    registry_ = std::make_unique<WorkerRegistry>(graph_, registry_options,
+                                                 7);
+    costs_ = crowd::CostModel::Constant(100, 2);
+    crowd::CrowdSimOptions crowd_options;
+    crowd_options.min_bias = 1.0;
+    crowd_options.max_bias = 1.0;
+    crowd_options.min_noise_kmh = 0.0;
+    crowd_options.max_noise_kmh = 0.0;
+    crowd_sim_ = std::make_unique<crowd::CrowdSimulator>(crowd_options,
+                                                         util::Rng(9));
+    ledger_ = std::make_unique<BudgetLedger>(-1, 12);
+    engine_ = std::make_unique<QueryEngine>(*system_, *registry_, *ledger_,
+                                            costs_, *crowd_sim_);
+  }
+
+  void StartFrontend(FrontendOptions options = {}) {
+    frontend_ = std::make_unique<Frontend>(*engine_, truth_, options);
+    ASSERT_TRUE(frontend_->Start().ok());
+    ASSERT_NE(frontend_->port(), 0);
+  }
+
+  static std::string QueryJson(int id, int slot = 100,
+                               const std::string& roads = "[3,17,42,77]") {
+    return "{\"id\":" + std::to_string(id) +
+           ",\"slot\":" + std::to_string(slot) + ",\"roads\":" + roads + "}";
+  }
+
+  /// Lockstep HTTP POST on an existing connection.
+  static util::Status Post(int fd, const std::string& target,
+                           const std::string& body, int* status,
+                           std::string* response_body) {
+    const std::string wire =
+        "POST " + target + " HTTP/1.1\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+    CROWDRTSE_RETURN_IF_ERROR(net::WriteAll(fd, wire));
+    return net::ReadHttpResponse(fd, status, response_body);
+  }
+
+  static util::Status Get(int fd, const std::string& target, int* status,
+                          std::string* response_body) {
+    CROWDRTSE_RETURN_IF_ERROR(
+        net::WriteAll(fd, "GET " + target + " HTTP/1.1\r\n\r\n"));
+    return net::ReadHttpResponse(fd, status, response_body);
+  }
+
+  graph::Graph graph_;
+  std::unique_ptr<traffic::TrafficSimulator> sim_;
+  traffic::HistoryStore history_;
+  traffic::DayMatrix truth_;
+  std::unique_ptr<core::CrowdRtse> system_;
+  std::unique_ptr<WorkerRegistry> registry_;
+  crowd::CostModel costs_;
+  std::unique_ptr<crowd::CrowdSimulator> crowd_sim_;
+  std::unique_ptr<BudgetLedger> ledger_;
+  std::unique_ptr<QueryEngine> engine_;
+  std::unique_ptr<Frontend> frontend_;
+};
+
+TEST_F(FrontendTest, ServesQueryOverHttp) {
+  StartFrontend();
+  auto client = net::ConnectLocal(frontend_->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(
+      Post(client->get(), "/query", QueryJson(5), &status, &body).ok());
+  EXPECT_EQ(status, 200);
+  const auto doc = net::json::Parse(body);
+  ASSERT_TRUE(doc.ok()) << body;
+  EXPECT_EQ(doc->Find("status")->AsString(), "ok");
+  EXPECT_EQ(*doc->Find("id")->AsInt(), 5);
+  EXPECT_EQ(doc->Find("shed")->AsString(), "none");
+  ASSERT_EQ(doc->Find("speeds")->AsArray().size(), 4u);
+  for (const auto& speed : doc->Find("speeds")->AsArray()) {
+    EXPECT_GT(speed.AsDouble(), 0.0);
+    EXPECT_LT(speed.AsDouble(), 200.0);
+  }
+  EXPECT_EQ(*doc->Find("granted_budget")->AsInt(), 12);
+  EXPECT_EQ(engine_->stats().queries_served, 1);
+}
+
+TEST_F(FrontendTest, SpeedsFollowTheClientsRoadOrder) {
+  StartFrontend();
+  auto client = net::ConnectLocal(frontend_->port());
+  ASSERT_TRUE(client.ok());
+  int status = 0;
+  std::string forward, reversed;
+  ASSERT_TRUE(Post(client->get(), "/query",
+                   QueryJson(1, 100, "[3,17,42,77]"), &status, &forward)
+                  .ok());
+  ASSERT_EQ(status, 200);
+  ASSERT_TRUE(Post(client->get(), "/query",
+                   QueryJson(2, 100, "[77,42,17,3]"), &status, &reversed)
+                  .ok());
+  ASSERT_EQ(status, 200);
+  const auto a = net::json::Parse(forward);
+  const auto b = net::json::Parse(reversed);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const auto& sa = a->Find("speeds")->AsArray();
+  const auto& sb = b->Find("speeds")->AsArray();
+  ASSERT_EQ(sa.size(), 4u);
+  ASSERT_EQ(sb.size(), 4u);
+  // Same canonical query (noiseless crowd): identical answers, but each
+  // response is aligned with the order the client asked in.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(sa[i].AsDouble(), sb[3 - i].AsDouble());
+  }
+}
+
+TEST_F(FrontendTest, ObservabilityEndpoints) {
+  StartFrontend();
+  auto client = net::ConnectLocal(frontend_->port());
+  ASSERT_TRUE(client.ok());
+  int status = 0;
+  std::string body;
+
+  ASSERT_TRUE(Get(client->get(), "/healthz", &status, &body).ok());
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "ok\n");
+
+  // Serve one query so the counters are non-trivial.
+  ASSERT_TRUE(
+      Post(client->get(), "/query", QueryJson(1), &status, &body).ok());
+  ASSERT_EQ(status, 200);
+
+  ASSERT_TRUE(Get(client->get(), "/metrics", &status, &body).ok());
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("crowdrtse_queries_served_total 1"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("# TYPE crowdrtse_serve_latency_ms histogram"),
+            std::string::npos);
+
+  ASSERT_TRUE(Get(client->get(), "/metrics.json", &status, &body).ok());
+  EXPECT_EQ(status, 200);
+  const auto metrics = net::json::Parse(body);
+  ASSERT_TRUE(metrics.ok()) << body;
+  EXPECT_EQ(*metrics->Find("crowdrtse_queries_served_total")->AsInt(), 1);
+
+  ASSERT_TRUE(Get(client->get(), "/stats", &status, &body).ok());
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("Frontend:"), std::string::npos);
+
+  ASSERT_TRUE(Get(client->get(), "/nope", &status, &body).ok());
+  EXPECT_EQ(status, 404);
+  ASSERT_TRUE(Get(client->get(), "/trace/abc", &status, &body).ok());
+  EXPECT_EQ(status, 400);
+  ASSERT_TRUE(Get(client->get(), "/trace/999999", &status, &body).ok());
+  EXPECT_EQ(status, 404);
+}
+
+TEST_F(FrontendTest, TraceEndpointReturnsSampledQuery) {
+  // Re-build the engine with tracing on for every query.
+  QueryEngine::Options engine_options;
+  engine_options.trace_sample_rate = 1.0;
+  engine_ = std::make_unique<QueryEngine>(*system_, *registry_, *ledger_,
+                                          costs_, *crowd_sim_,
+                                          engine_options);
+  StartFrontend();
+  auto client = net::ConnectLocal(frontend_->port());
+  ASSERT_TRUE(client.ok());
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(
+      Post(client->get(), "/query", QueryJson(1), &status, &body).ok());
+  ASSERT_EQ(status, 200);
+  const auto doc = net::json::Parse(body);
+  ASSERT_TRUE(doc.ok());
+  const int64_t query_id = *doc->Find("query_id")->AsInt();
+
+  ASSERT_TRUE(Get(client->get(), "/trace/" + std::to_string(query_id),
+                  &status, &body)
+                  .ok());
+  EXPECT_EQ(status, 200);
+  const auto trace = net::json::Parse(body);
+  ASSERT_TRUE(trace.ok()) << body;
+  EXPECT_FALSE(trace->Find("traceEvents")->AsArray().empty());
+}
+
+TEST_F(FrontendTest, FrameProtocolRoundTrip) {
+  StartFrontend();
+  auto client = net::ConnectLocal(frontend_->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(
+      net::WriteAll(client->get(), net::EncodeFrame(QueryJson(9))).ok());
+
+  std::string header;
+  ASSERT_TRUE(
+      net::ReadExact(client->get(), net::kFrameHeaderBytes, &header).ok());
+  ASSERT_EQ(header.substr(0, 4), "CQRC");
+  const auto* bytes = reinterpret_cast<const unsigned char*>(header.data());
+  const size_t length = static_cast<size_t>(bytes[4]) |
+                        (static_cast<size_t>(bytes[5]) << 8) |
+                        (static_cast<size_t>(bytes[6]) << 16) |
+                        (static_cast<size_t>(bytes[7]) << 24);
+  std::string payload;
+  ASSERT_TRUE(net::ReadExact(client->get(), length, &payload).ok());
+  const auto doc = net::json::Parse(payload);
+  ASSERT_TRUE(doc.ok()) << payload;
+  EXPECT_EQ(doc->Find("status")->AsString(), "ok");
+  EXPECT_EQ(*doc->Find("id")->AsInt(), 9);
+  EXPECT_EQ(doc->Find("speeds")->AsArray().size(), 4u);
+}
+
+TEST_F(FrontendTest, BadRequestsGetExplicitErrors) {
+  StartFrontend();
+  auto client = net::ConnectLocal(frontend_->port());
+  ASSERT_TRUE(client.ok());
+  int status = 0;
+  std::string body;
+
+  ASSERT_TRUE(
+      Post(client->get(), "/query", "this is not json", &status, &body)
+          .ok());
+  EXPECT_EQ(status, 400);
+  auto doc = net::json::Parse(body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("status")->AsString(), "error");
+
+  ASSERT_TRUE(Post(client->get(), "/query", "{\"slot\":100}", &status,
+                   &body)
+                  .ok());
+  EXPECT_EQ(status, 400);
+
+  // Out-of-range slot: rejected by the engine's validation, with the
+  // world's actual bound in the message.
+  ASSERT_TRUE(Post(client->get(), "/query", QueryJson(1, 100000), &status,
+                   &body)
+                  .ok());
+  EXPECT_EQ(status, 400);
+  doc = net::json::Parse(body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_NE(doc->Find("message")->AsString().find("not in [0, "),
+            std::string::npos);
+}
+
+TEST_F(FrontendTest, RateLimitBoundariesAreDeterministic) {
+  util::SimClock clock;
+  FrontendOptions options;
+  options.rate_limit_qps = 10.0;  // one token per 100 ms
+  options.rate_limit_burst = 2.0;
+  options.clock = &clock;
+  StartFrontend(options);
+  auto client = net::ConnectLocal(frontend_->port());
+  ASSERT_TRUE(client.ok());
+  int status = 0;
+  std::string body;
+
+  // The burst admits exactly two; the third is an explicit 429.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(
+        Post(client->get(), "/query", QueryJson(i), &status, &body).ok());
+    EXPECT_EQ(status, 200) << body;
+  }
+  ASSERT_TRUE(
+      Post(client->get(), "/query", QueryJson(3), &status, &body).ok());
+  EXPECT_EQ(status, 429);
+  const auto doc = net::json::Parse(body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("status")->AsString(), "rate_limited");
+
+  // One microsecond short of a refill: still denied.
+  clock.AdvanceMicros(99'999);
+  ASSERT_TRUE(
+      Post(client->get(), "/query", QueryJson(4), &status, &body).ok());
+  EXPECT_EQ(status, 429);
+  // Crossing the boundary: exactly one more admission.
+  clock.AdvanceMicros(1);
+  ASSERT_TRUE(
+      Post(client->get(), "/query", QueryJson(5), &status, &body).ok());
+  EXPECT_EQ(status, 200) << body;
+  ASSERT_TRUE(
+      Post(client->get(), "/query", QueryJson(6), &status, &body).ok());
+  EXPECT_EQ(status, 429);
+  EXPECT_EQ(frontend_->stats().rate_limited, 3);
+}
+
+TEST_F(FrontendTest, OverloadShedsButNeverSilentlyDrops) {
+  FrontendOptions options;
+  options.num_workers = 1;
+  options.admission.capacity = 2;
+  options.admission.shed_low_watermark = 1;
+  options.admission.hard_capacity = 4;
+  StartFrontend(options);
+
+  // A swarm of clients, each firing one query: every single one must get
+  // exactly one response — ok (possibly shed to a cheaper rung) or an
+  // explicit rejection. Nothing may vanish.
+  constexpr int kClients = 16;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0}, shed{0}, rejected{0}, transport_errors{0};
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      auto client = net::ConnectLocal(frontend_->port());
+      if (!client.ok()) {
+        transport_errors.fetch_add(1);
+        return;
+      }
+      int status = 0;
+      std::string body;
+      if (!Post(client->get(), "/query", QueryJson(i), &status, &body)
+               .ok()) {
+        transport_errors.fetch_add(1);
+        return;
+      }
+      const auto doc = net::json::Parse(body);
+      if (!doc.ok()) {
+        transport_errors.fetch_add(1);
+        return;
+      }
+      const std::string& word = doc->Find("status")->AsString();
+      if (word == "ok") {
+        ok.fetch_add(1);
+        if (doc->Find("shed")->AsString() != "none") shed.fetch_add(1);
+      } else if (word == "rejected") {
+        rejected.fetch_add(1);
+      } else {
+        transport_errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(transport_errors.load(), 0);
+  EXPECT_EQ(ok.load() + rejected.load(), kClients);
+  EXPECT_GT(ok.load(), 0);
+  // Engine-side accounting agrees: nothing was dropped silently.
+  const FrontendStats stats = frontend_->stats();
+  EXPECT_EQ(stats.admission.admitted_full +
+                stats.admission.admitted_budget_capped +
+                stats.admission.admitted_fallback,
+            ok.load());
+  EXPECT_EQ(stats.admission.rejected, rejected.load());
+}
+
+TEST_F(FrontendTest, CoalescedResultsBitIdenticalToReplay) {
+  FrontendOptions options;
+  options.num_workers = 2;
+  StartFrontend(options);
+
+  // Fire the same query from several connections at once, then replay it
+  // once on a quiet server. The crowd is noiseless, so every serving of
+  // this request must produce the same numbers — whether it was coalesced
+  // onto another in-flight serve or ran alone.
+  constexpr int kClients = 6;
+  std::vector<std::string> bodies(kClients);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      auto client = net::ConnectLocal(frontend_->port());
+      if (!client.ok()) return;
+      int status = 0;
+      (void)Post(client->get(), "/query", QueryJson(7, 100), &status,
+                 &bodies[static_cast<size_t>(i)]);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  auto replay_client = net::ConnectLocal(frontend_->port());
+  ASSERT_TRUE(replay_client.ok());
+  int status = 0;
+  std::string replay_body;
+  ASSERT_TRUE(Post(replay_client->get(), "/query", QueryJson(7, 100),
+                   &status, &replay_body)
+                  .ok());
+  ASSERT_EQ(status, 200);
+  const auto replay = net::json::Parse(replay_body);
+  ASSERT_TRUE(replay.ok());
+
+  for (int i = 0; i < kClients; ++i) {
+    const auto doc = net::json::Parse(bodies[static_cast<size_t>(i)]);
+    ASSERT_TRUE(doc.ok()) << bodies[static_cast<size_t>(i)];
+    ASSERT_EQ(doc->Find("status")->AsString(), "ok");
+    // Bit-identical payloads: speeds, probed set, budget accounting.
+    EXPECT_EQ(doc->Find("speeds")->Dump(), replay->Find("speeds")->Dump());
+    EXPECT_EQ(doc->Find("probed")->Dump(), replay->Find("probed")->Dump());
+    EXPECT_EQ(doc->Find("granted_budget")->Dump(),
+              replay->Find("granted_budget")->Dump());
+    EXPECT_EQ(doc->Find("paid")->Dump(), replay->Find("paid")->Dump());
+  }
+  // Queries answered from a shared batch are accounted: every join saved
+  // one full OCS/dispatch/GSP pass.
+  const FrontendStats stats = frontend_->stats();
+  EXPECT_EQ(static_cast<int64_t>(kClients) + 1 - stats.coalesce_joins,
+            engine_->stats().queries_served);
+}
+
+TEST_F(FrontendTest, AdminCommands) {
+  StartFrontend();
+  auto client = net::ConnectLocal(frontend_->port());
+  ASSERT_TRUE(client.ok());
+  int status = 0;
+  std::string body;
+
+  ASSERT_TRUE(
+      Post(client->get(), "/admin", "get capacity", &status, &body).ok());
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "capacity = 64\n");
+
+  ASSERT_TRUE(
+      Post(client->get(), "/admin", "set shed_low 3\n", &status, &body)
+          .ok());
+  EXPECT_EQ(body, "ok: shed_low = 3\n");
+  ASSERT_TRUE(
+      Post(client->get(), "/admin", "get shed_low", &status, &body).ok());
+  EXPECT_EQ(body, "shed_low = 3\n");
+
+  ASSERT_TRUE(
+      Post(client->get(), "/admin", "bogus", &status, &body).ok());
+  EXPECT_NE(body.find("error"), std::string::npos);
+
+  ASSERT_TRUE(
+      Post(client->get(), "/query", QueryJson(1), &status, &body).ok());
+  ASSERT_EQ(status, 200);
+  ASSERT_TRUE(
+      Post(client->get(), "/admin", "stats-clear", &status, &body).ok());
+  EXPECT_EQ(frontend_->stats().queries_received, 0);
+
+  // Drain: new queries get an explicit 503, observability stays up.
+  ASSERT_TRUE(Post(client->get(), "/admin", "drain", &status, &body).ok());
+  EXPECT_EQ(body, "ok: draining\n");
+  ASSERT_TRUE(
+      Post(client->get(), "/query", QueryJson(2), &status, &body).ok());
+  EXPECT_EQ(status, 503);
+  const auto doc = net::json::Parse(body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("status")->AsString(), "rejected");
+  ASSERT_TRUE(Get(client->get(), "/healthz", &status, &body).ok());
+  EXPECT_EQ(status, 200);
+}
+
+TEST_F(FrontendTest, ShutdownIsIdempotentAndStopsServing) {
+  StartFrontend();
+  const uint16_t port = frontend_->port();
+  frontend_->Shutdown();
+  frontend_->Shutdown();  // idempotent
+  EXPECT_FALSE(frontend_->running());
+  // The listener is gone (kernel may refuse or reset; either way no
+  // response ever arrives for a new query).
+  auto client = net::ConnectLocal(port);
+  if (client.ok()) {
+    int status = 0;
+    std::string body;
+    EXPECT_FALSE(
+        Post(client->get(), "/query", QueryJson(1), &status, &body).ok());
+  }
+}
+
+}  // namespace
+}  // namespace crowdrtse::server

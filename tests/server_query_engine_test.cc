@@ -480,7 +480,9 @@ TEST_F(QueryEngineTest, SampledQueryProducesFullSpanTree) {
         "gsp.acquire", "gsp.propagate", "settle"}) {
     const util::trace::SpanRecord* span = FindSpan(spans, name);
     EXPECT_NE(span, nullptr) << "missing span " << name;
-    if (span != nullptr) EXPECT_NE(span->parent, 0) << name;
+    if (span != nullptr) {
+      EXPECT_NE(span->parent, 0) << name;
+    }
   }
   // Every parent id resolves within the trace.
   std::set<int64_t> ids;
@@ -611,6 +613,101 @@ TEST_F(QueryEngineTest, MetricsExpositionMatchesStats) {
   // stats() remains a thin view over the registry: both agree.
   EXPECT_EQ(stats.serve_latency.count, 3);
   EXPECT_EQ(stats.total_paid, ledger.total_spent());
+}
+
+// --- Serve-path correctness fixes (DESIGN.md §6 satellites) ------------
+
+// Satellite bugfix: slot bounds now come from world.num_slots() and the
+// rejection names the actual bound, instead of a hard-coded constant that
+// could drift from the served world.
+TEST_F(QueryEngineTest, SlotRejectionReportsTheWorldsActualBound) {
+  BudgetLedger ledger(1000, 12);
+  QueryEngine engine(*system_, *registry_, ledger, costs_, *crowd_sim_);
+  const auto response = engine.Serve(MakeRequest(100000), truth_);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(response.status().message().find(
+                "not in [0, " + std::to_string(truth_.num_slots()) + ")"),
+            std::string::npos)
+      << response.status().ToString();
+}
+
+// Admission control's first shed rung: a request-level budget cap below
+// the ledger's grant limits the spend (fewer probed roads), while the
+// unspent remainder of the normal grant flows back at settle time.
+TEST_F(QueryEngineTest, BudgetCapLimitsSpendBelowTheGrant) {
+  BudgetLedger ledger(-1, 12);
+  QueryEngine engine(*system_, *registry_, ledger, costs_, *crowd_sim_);
+  const auto full = engine.Serve(MakeRequest(), truth_);
+  ASSERT_TRUE(full.ok());
+  ASSERT_GT(full->paid, 4);  // otherwise the cap below would be idle
+
+  QueryRequest capped = MakeRequest();
+  capped.budget_cap = 4;
+  const auto response = engine.Serve(capped, truth_);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_LE(response->paid, 4);
+  EXPECT_GT(response->paid, 0);
+  EXPECT_LT(response->probed_roads.size(), full->probed_roads.size());
+  // The ledger granted normally and took back the unspent remainder.
+  EXPECT_EQ(response->granted_budget, 12);
+  EXPECT_EQ(ledger.total_spent(), full->paid + response->paid);
+  EXPECT_EQ(ledger.reserved_outstanding(), 0);
+}
+
+// The ladder's periodic-mean rung: no budget, no workers, answers are
+// exactly the RTF periodic means with load-shed provenance.
+TEST_F(QueryEngineTest, PeriodicFallbackServesMeansWithoutSpending) {
+  BudgetLedger ledger(1000, 12);
+  QueryEngine engine(*system_, *registry_, ledger, costs_, *crowd_sim_);
+  const QueryRequest request = MakeRequest();
+  const auto response = engine.ServePeriodicFallback(request, truth_);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+
+  const std::vector<double> mu =
+      system_->PeriodicMeans(request.slot, request.queried);
+  ASSERT_EQ(response->queried_speeds.size(), mu.size());
+  for (size_t i = 0; i < mu.size(); ++i) {
+    EXPECT_DOUBLE_EQ(response->queried_speeds[i], mu[i]);
+    EXPECT_GT(response->queried_variances[i], 0.0);
+  }
+  // Provenance: every queried road degraded with reason kLoadShed.
+  EXPECT_TRUE(response->probed_roads.empty());
+  ASSERT_EQ(response->degraded_roads.size(), request.queried.size());
+  ASSERT_EQ(response->degraded_reasons.size(), request.queried.size());
+  for (crowd::DegradeReason reason : response->degraded_reasons) {
+    EXPECT_EQ(reason, crowd::DegradeReason::kLoadShed);
+  }
+  // No money moved, and the books say so.
+  EXPECT_EQ(response->granted_budget, 0);
+  EXPECT_EQ(response->paid, 0);
+  EXPECT_EQ(ledger.total_spent(), 0);
+  EXPECT_TRUE(ledger.entries().empty());
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.queries_served, 1);
+  EXPECT_EQ(stats.queries_shed, 1);
+  EXPECT_EQ(stats.degraded_load_shed,
+            static_cast<int64_t>(request.queried.size()));
+  // Validation matches Serve: bad requests are rejected, not answered.
+  EXPECT_FALSE(engine.ServePeriodicFallback(MakeRequest(-1), truth_).ok());
+}
+
+TEST_F(QueryEngineTest, DrainRefusesNewQueriesExplicitly) {
+  BudgetLedger ledger(1000, 12);
+  QueryEngine engine(*system_, *registry_, ledger, costs_, *crowd_sim_);
+  ASSERT_TRUE(engine.Serve(MakeRequest(), truth_).ok());
+  engine.Drain();
+  for (int i = 0; i < 2; ++i) {  // idempotent
+    const auto refused = engine.Serve(MakeRequest(), truth_);
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(),
+              util::StatusCode::kFailedPrecondition);
+    EXPECT_NE(refused.status().message().find("draining"),
+              std::string::npos);
+  }
+  EXPECT_FALSE(engine.ServePeriodicFallback(MakeRequest(), truth_).ok());
+  EXPECT_EQ(engine.stats().queries_served, 1);
 }
 
 TEST_F(QueryEngineTest, EstimatesTrackTruthReasonably) {
