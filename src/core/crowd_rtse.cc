@@ -19,6 +19,9 @@ CrowdRtse::CrowdRtse(const graph::Graph& graph,
   if (cache_options.expected_num_roads <= 0) {
     cache_options.expected_num_roads = graph.num_roads();
   }
+  // Persisted tables must match the configured closure shape, not whatever
+  // the caller left in the cache options.
+  cache_options.expected_hop_radius = config_.correlation_hop_radius;
   if (config_.refine_with_ccd) {
     // A persisted table cannot prove it was computed from the refined
     // parameters, so warm-starting would silently skip refinement.
@@ -33,6 +36,15 @@ util::Result<CrowdRtse> CrowdRtse::BuildOffline(
     const CrowdRtseConfig& config) {
   if (!(config.theta > 0.0 && config.theta <= 1.0)) {
     return util::Status::InvalidArgument("theta must be in (0, 1]");
+  }
+  if (config.correlation_hop_radius < 0) {
+    return util::Status::InvalidArgument(
+        "correlation_hop_radius must be >= 0");
+  }
+  if (config.correlation_hop_radius > 0 &&
+      config.path_mode != rtf::PathWeightMode::kNegLog) {
+    return util::Status::InvalidArgument(
+        "correlation_hop_radius > 0 supports the kNegLog path mode only");
   }
   util::Result<rtf::RtfModel> model =
       rtf::EstimateByMoments(graph, history, config.moments);
@@ -77,13 +89,15 @@ util::Result<rtf::CorrelationCache::TablePtr> CrowdRtse::CorrelationsFor(
             return *model_;
           }();
           if (!snapshot.ok()) return snapshot.status();
-          return rtf::CorrelationTable::Compute(*snapshot, s,
-                                                config_.path_mode, fanout);
+          return rtf::CorrelationTable::Compute(
+              *snapshot, s, config_.path_mode, fanout,
+              config_.correlation_hop_radius);
         }
         // Without refinement the model is immutable after BuildOffline, so
         // reading it lock-free here is safe.
         return rtf::CorrelationTable::Compute(*model_, s, config_.path_mode,
-                                              fanout);
+                                              fanout,
+                                              config_.correlation_hop_radius);
       });
 }
 
@@ -119,9 +133,29 @@ util::Result<ocs::OcsSolution> CrowdRtse::SelectRoads(
   if (!table.ok()) return table.status();
   // `*table` is held for the whole solve: OcsProblem keeps a raw reference,
   // and the shared_ptr outlives it even if the cache evicts the slot.
+  const std::vector<graph::RoadId>* candidates = &worker_roads;
+  std::vector<graph::RoadId> pruned;
+  bool queried_in_range = true;
+  for (graph::RoadId q : queried_roads) {
+    if (q < 0 || q >= (*table)->num_roads()) queried_in_range = false;
+  }
+  // With an invalid queried set, skip pruning and let OcsProblem::Create
+  // produce its usual rejection.
+  if (config_.prune_zero_gain_candidates && queried_in_range) {
+    pruned.reserve(worker_roads.size());
+    for (graph::RoadId c : worker_roads) {
+      // Out-of-range ids pass through so OcsProblem::Create still rejects
+      // them with its usual error instead of a silent drop.
+      if (c < 0 || c >= (*table)->num_roads() ||
+          (*table)->RoadSetCorr(c, queried_roads) > 0.0) {
+        pruned.push_back(c);
+      }
+    }
+    candidates = &pruned;
+  }
   util::Result<ocs::OcsProblem> problem = ocs::OcsProblem::Create(
       **table, queried_roads, SigmaWeights(slot, queried_roads),
-      worker_roads, costs, budget, config_.theta);
+      *candidates, costs, budget, config_.theta);
   if (!problem.ok()) return problem.status();
   util::trace::Span span("ocs.select");
   span.Annotate("candidates",

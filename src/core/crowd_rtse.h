@@ -32,6 +32,22 @@ struct CrowdRtseConfig {
   /// Path-correlation reduction for Gamma_R (Eq. 8-10).
   rtf::PathWeightMode path_mode = rtf::PathWeightMode::kNegLog;
 
+  /// 0 (the default) keeps the paper-exact dense Gamma_R closure. C > 0
+  /// switches to the sparse C-hop-bounded closure: corr(i, j) is the max
+  /// path product over paths of at most C edges and exactly 0 beyond —
+  /// O(n * ball) memory instead of O(n^2), the only feasible form at
+  /// metropolitan road counts, and the locality contract that lets a
+  /// partition halo reproduce shard-local correlations exactly.
+  int correlation_hop_radius = 0;
+
+  /// Drop OCS candidates whose Gamma_R correlation to every queried road
+  /// is zero before the greedy solve. Off by default: the paper's greedy
+  /// spends leftover budget on zero-gain candidates, and the seed selectors
+  /// preserve that behaviour. With the sparse hop-bounded closure this
+  /// pruning keeps candidate pools small (the C-hop ball of the query) and
+  /// makes shard-local selection identical to global selection.
+  bool prune_zero_gain_candidates = false;
+
   /// Gamma_R cache behaviour: memory budget (bytes; 0 = unlimited, the
   /// pre-cache behaviour), warm-start persistence directory, lock sharding
   /// and Dijkstra fan-out width. Persistence is ignored when

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 
 namespace crowdrtse::crowd {
 
@@ -43,6 +45,19 @@ util::Result<CostModel> CostModel::FromVolatility(
     model.costs_[i] = min_cost + static_cast<int>(std::lround(
                                      frac * (max_cost - min_cost)));
   }
+  return model;
+}
+
+util::Result<CostModel> CostModel::FromCosts(std::vector<int> costs) {
+  for (size_t i = 0; i < costs.size(); ++i) {
+    if (costs[i] < 1) {
+      return util::Status::InvalidArgument(
+          "cost of road " + std::to_string(static_cast<long long>(i)) +
+          " must be >= 1");
+    }
+  }
+  CostModel model;
+  model.costs_ = std::move(costs);
   return model;
 }
 

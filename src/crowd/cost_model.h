@@ -31,6 +31,10 @@ class CostModel {
   static util::Result<CostModel> FromVolatility(
       const std::vector<double>& sigmas, int min_cost, int max_cost);
 
+  /// Wraps an explicit per-road cost vector (e.g. a shard-local projection
+  /// of a global model). Every cost must be >= 1.
+  static util::Result<CostModel> FromCosts(std::vector<int> costs);
+
   int num_roads() const { return static_cast<int>(costs_.size()); }
   int Cost(graph::RoadId road) const {
     return costs_[static_cast<size_t>(road)];

@@ -165,6 +165,101 @@ util::Result<Graph> RoadNetwork(
   }
 }
 
+util::Result<Graph> MetroNetwork(
+    const MetroNetworkOptions& options,
+    std::vector<std::pair<double, double>>* positions) {
+  if (options.num_roads < 4) {
+    return util::Status::InvalidArgument(
+        "metro network needs at least 4 roads");
+  }
+  if (!(options.aspect_ratio > 0.0)) {
+    return util::Status::InvalidArgument("aspect ratio must be positive");
+  }
+  if (options.arterial_spacing < 0 || options.num_ring_roads < 0) {
+    return util::Status::InvalidArgument(
+        "arterial spacing and ring count must be >= 0");
+  }
+
+  // rows*cols lands at (or just above) the target with cols/rows near the
+  // aspect ratio. Everything below is a pure function of the options —
+  // deterministic by construction, no RNG.
+  const double target = static_cast<double>(options.num_roads);
+  int rows = std::max(
+      2, static_cast<int>(std::llround(
+             std::sqrt(target / options.aspect_ratio))));
+  const int cols = std::max(2, (options.num_roads + rows - 1) / rows);
+  const auto id = [&](int r, int c) {
+    return static_cast<RoadId>(r * cols + c);
+  };
+
+  GraphBuilder builder(rows * cols);
+  // Street grid: 4-connected lattice.
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+
+  // Overlay chords (arterials + ring roads) deduplicate through one set;
+  // every chord spans >= 2 cells in some direction, so none can collide
+  // with a grid edge. The set stays tiny (O(n / spacing)).
+  std::set<std::pair<RoadId, RoadId>> chords;
+  const auto add_chord = [&](RoadId a, RoadId b) {
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    if (chords.emplace(a, b).second) builder.AddEdge(a, b);
+  };
+
+  const int spacing = options.arterial_spacing;
+  if (spacing >= 2) {
+    for (int r = 0; r < rows; r += spacing) {
+      for (int c = 0; c + spacing < cols; c += spacing) {
+        add_chord(id(r, c), id(r, c + spacing));
+      }
+    }
+    for (int c = 0; c < cols; c += spacing) {
+      for (int r = 0; r + spacing < rows; r += spacing) {
+        add_chord(id(r, c), id(r + spacing, c));
+      }
+    }
+  }
+
+  // Concentric ring roads: chords with stride 2 along the border of evenly
+  // inset rectangles (orbitals around the centre).
+  for (int k = 1; k <= options.num_ring_roads; ++k) {
+    const int inset_r = k * rows / (2 * (options.num_ring_roads + 1));
+    const int inset_c = k * cols / (2 * (options.num_ring_roads + 1));
+    const int r0 = inset_r;
+    const int r1 = rows - 1 - inset_r;
+    const int c0 = inset_c;
+    const int c1 = cols - 1 - inset_c;
+    if (r1 - r0 < 2 || c1 - c0 < 2) continue;
+    for (int c = c0; c + 2 <= c1; c += 2) {
+      add_chord(id(r0, c), id(r0, c + 2));
+      add_chord(id(r1, c), id(r1, c + 2));
+    }
+    for (int r = r0; r + 2 <= r1; r += 2) {
+      add_chord(id(r, c0), id(r + 2, c0));
+      add_chord(id(r, c1), id(r + 2, c1));
+    }
+  }
+
+  if (positions != nullptr) {
+    positions->clear();
+    positions->reserve(static_cast<size_t>(rows) *
+                       static_cast<size_t>(cols));
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        positions->emplace_back(
+            static_cast<double>(c) / static_cast<double>(cols - 1),
+            static_cast<double>(r) / static_cast<double>(rows - 1));
+      }
+    }
+  }
+  return builder.Build();
+}
+
 util::Result<Subgraph> InducedSubgraph(const Graph& graph,
                                        const std::vector<RoadId>& roads) {
   std::vector<RoadId> old_to_new(static_cast<size_t>(graph.num_roads()),

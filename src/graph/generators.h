@@ -47,6 +47,33 @@ util::Result<Graph> RoadNetwork(
     const RoadNetworkOptions& options, util::Rng& rng,
     std::vector<std::pair<double, double>>* positions = nullptr);
 
+/// Configuration for the metropolitan-scale synthetic network. Unlike
+/// RoadNetwork (O(n^2) nearest-neighbour scan, fine at 607 roads, hopeless
+/// at 600k), MetroNetwork is O(n): a rows x cols street grid laid out on
+/// the unit square, overlaid with limited-access arterials (chords that
+/// skip `arterial_spacing` blocks along every arterial row/column) and
+/// concentric ring roads (chords along the square rings at evenly spaced
+/// radii). Average degree stays urban-sparse (~4-5).
+struct MetroNetworkOptions {
+  /// Target road count; the actual count is the nearest rows*cols grid
+  /// (reported by the returned graph's num_roads()).
+  int num_roads = 60000;
+  /// Width/height ratio of the grid (1.0 = square city).
+  double aspect_ratio = 1.0;
+  /// Every `arterial_spacing`-th row/column is an arterial whose cells gain
+  /// chords skipping `arterial_spacing` blocks. 0 disables arterials.
+  int arterial_spacing = 16;
+  /// Number of concentric ring roads (orbital chords). 0 disables rings.
+  int num_ring_roads = 3;
+};
+
+/// Deterministic (no RNG) metro network; `positions` receives each road's
+/// (x, y) in the unit square when non-null — the partitioner's geographic
+/// bisection input.
+util::Result<Graph> MetroNetwork(
+    const MetroNetworkOptions& options,
+    std::vector<std::pair<double, double>>* positions = nullptr);
+
 /// Induced subgraph over `roads` (paper Fig. 5 trains RTF on sub-networks
 /// of 150..600 roads). Returns the graph plus the mapping new-id -> old-id.
 struct Subgraph {

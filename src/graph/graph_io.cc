@@ -1,22 +1,29 @@
 #include "graph/graph_io.h"
 
 #include <fstream>
+#include <ostream>
 #include <sstream>
+#include <string>
 
 namespace crowdrtse::graph {
 
 std::string ToEdgeList(const Graph& graph) {
   std::ostringstream out;
+  WriteEdgeList(out, graph);
+  return out.str();
+}
+
+util::Status WriteEdgeList(std::ostream& out, const Graph& graph) {
   out << graph.num_roads() << ' ' << graph.num_edges() << '\n';
   for (EdgeId e = 0; e < graph.num_edges(); ++e) {
     const auto [a, b] = graph.EdgeEndpoints(e);
     out << a << ' ' << b << '\n';
+    if (!out) return util::Status::IoError("edge-list write failed");
   }
-  return out.str();
+  return util::Status::Ok();
 }
 
-util::Result<Graph> FromEdgeList(const std::string& text) {
-  std::istringstream in(text);
+util::Result<Graph> ReadEdgeList(std::istream& in) {
   int num_roads = 0;
   int num_edges = 0;
   if (!(in >> num_roads >> num_edges)) {
@@ -38,10 +45,17 @@ util::Result<Graph> FromEdgeList(const std::string& text) {
   return builder.Build();
 }
 
+util::Result<Graph> FromEdgeList(const std::string& text) {
+  std::istringstream in(text);
+  return ReadEdgeList(in);
+}
+
 util::Status WriteEdgeListFile(const std::string& path, const Graph& graph) {
   std::ofstream file(path, std::ios::trunc);
   if (!file) return util::Status::IoError("cannot open " + path);
-  file << ToEdgeList(graph);
+  const util::Status written = WriteEdgeList(file, graph);
+  if (!written.ok()) return written;
+  file.flush();
   if (!file) return util::Status::IoError("write failed for " + path);
   return util::Status::Ok();
 }
@@ -49,9 +63,27 @@ util::Status WriteEdgeListFile(const std::string& path, const Graph& graph) {
 util::Result<Graph> ReadEdgeListFile(const std::string& path) {
   std::ifstream file(path);
   if (!file) return util::Status::IoError("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return FromEdgeList(buffer.str());
+  // Streams straight out of the ifstream: no rdbuf slurp, so peak memory
+  // is the builder's edge vector, not edge vector + full file text.
+  return ReadEdgeList(file);
+}
+
+uint64_t EdgeListChecksum(const Graph& graph) {
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&hash](uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xffull;
+      hash *= 1099511628211ull;  // FNV-1a prime
+    }
+  };
+  mix(static_cast<uint64_t>(graph.num_roads()));
+  mix(static_cast<uint64_t>(graph.num_edges()));
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const auto [a, b] = graph.EdgeEndpoints(e);
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(a)));
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(b)));
+  }
+  return hash;
 }
 
 }  // namespace crowdrtse::graph

@@ -1,6 +1,8 @@
 #ifndef CROWDRTSE_GRAPH_GRAPH_IO_H_
 #define CROWDRTSE_GRAPH_GRAPH_IO_H_
 
+#include <cstdint>
+#include <iosfwd>
 #include <string>
 
 #include "graph/graph.h"
@@ -13,12 +15,27 @@ namespace crowdrtse::graph {
 ///   then one "a b" pair per edge, in edge-id order.
 std::string ToEdgeList(const Graph& graph);
 
+/// Streams the edge-list format to `out` without materialising the whole
+/// text (a 600k-road metro network is tens of MB of text).
+util::Status WriteEdgeList(std::ostream& out, const Graph& graph);
+
 /// Parses the edge-list format produced by ToEdgeList.
 util::Result<Graph> FromEdgeList(const std::string& text);
 
-/// File round-trip helpers.
+/// Streaming parser: reads the edge list directly from `in`. File loads go
+/// through here, so a metro-scale graph is never duplicated as one giant
+/// in-memory string on the way in.
+util::Result<Graph> ReadEdgeList(std::istream& in);
+
+/// File round-trip helpers (both stream; neither buffers the full text).
 util::Status WriteEdgeListFile(const std::string& path, const Graph& graph);
 util::Result<Graph> ReadEdgeListFile(const std::string& path);
+
+/// FNV-1a digest over (num_roads, num_edges, every edge's endpoints in
+/// edge-id order). Artifacts derived from a graph — partition tables in
+/// particular — store this so loading them against a different (or
+/// re-generated) network fails loudly instead of mis-indexing roads.
+uint64_t EdgeListChecksum(const Graph& graph);
 
 }  // namespace crowdrtse::graph
 

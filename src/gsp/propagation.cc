@@ -158,6 +158,9 @@ util::Result<GspResult> SpeedPropagator::PropagateFrom(
   if (options_.epsilon <= 0.0) {
     return util::Status::InvalidArgument("epsilon must be positive");
   }
+  if (options_.hop_limit < 0) {
+    return util::Status::InvalidArgument("hop_limit must be >= 0");
+  }
 
   if (!initial_speeds.empty() &&
       initial_speeds.size() != static_cast<size_t>(n)) {
@@ -189,7 +192,12 @@ util::Result<GspResult> SpeedPropagator::PropagateFrom(
       graph::MultiSourceBfs(model_.graph(), sampled_roads);
   result.hops = bfs.hops;
   std::vector<std::vector<graph::RoadId>> order;
-  for (size_t l = 1; l < bfs.levels.size(); ++l) {
+  const size_t max_level =
+      options_.hop_limit > 0
+          ? std::min(bfs.levels.size(),
+                     static_cast<size_t>(options_.hop_limit) + 1)
+          : bfs.levels.size();
+  for (size_t l = 1; l < max_level; ++l) {
     std::vector<graph::RoadId> level;
     for (graph::RoadId r : bfs.levels[l]) {
       if (!is_sampled[static_cast<size_t>(r)]) level.push_back(r);

@@ -22,6 +22,15 @@ struct GspOptions {
   /// same BFS level and colour class update concurrently (the paper's
   /// parallelisation condition - same partition group, not adjacent).
   int num_threads = 1;
+  /// 0 = relax every reachable road (the paper's full Alg. 5). H > 0 keeps
+  /// the relaxation local: only roads within H BFS hops of the sampled set
+  /// update; everything deeper stays frozen at its initial value (mu or the
+  /// warm start). This bounds the per-query work on metropolitan graphs and
+  /// is the locality contract the sharded serve path relies on: with a hop
+  /// limit H every value read during propagation lives within H+1 hops of a
+  /// probe, so a partition halo that deep reproduces the unsharded fixpoint
+  /// bit for bit.
+  int hop_limit = 0;
 };
 
 /// Outcome of one propagation run.

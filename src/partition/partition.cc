@@ -1,0 +1,140 @@
+#include "partition/partition.h"
+
+#include <algorithm>
+#include <string>
+
+namespace crowdrtse::partition {
+
+graph::RoadId ShardLayout::LocalId(graph::RoadId r) const {
+  const auto it = std::lower_bound(members.begin(), members.end(), r);
+  if (it == members.end() || *it != r) return graph::kInvalidRoad;
+  return static_cast<graph::RoadId>(it - members.begin());
+}
+
+namespace {
+
+util::Status CheckSortedInRange(const std::vector<graph::RoadId>& roads,
+                                int num_roads, const std::string& what,
+                                int shard) {
+  for (size_t i = 0; i < roads.size(); ++i) {
+    const graph::RoadId r = roads[i];
+    if (r < 0 || r >= num_roads) {
+      return util::Status::InvalidArgument(
+          "shard " + std::to_string(shard) + " " + what + " road " +
+          std::to_string(r) + " out of range [0, " +
+          std::to_string(num_roads) + ")");
+    }
+    if (i > 0 && roads[i - 1] >= r) {
+      return util::Status::InvalidArgument(
+          "shard " + std::to_string(shard) + " " + what +
+          " list must be strictly increasing");
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Status Partition::BuildDerivedTables() {
+  if (num_roads < 0 || num_shards <= 0) {
+    return util::Status::InvalidArgument(
+        "partition needs num_roads >= 0 and num_shards >= 1");
+  }
+  if (halo_radius < 0) {
+    return util::Status::InvalidArgument("halo radius must be >= 0");
+  }
+  if (static_cast<int>(shards.size()) != num_shards) {
+    return util::Status::InvalidArgument(
+        "shard list size " + std::to_string(shards.size()) +
+        " does not match num_shards " + std::to_string(num_shards));
+  }
+  if (static_cast<int>(owner.size()) != num_roads) {
+    return util::Status::InvalidArgument(
+        "owner table size " + std::to_string(owner.size()) +
+        " does not match num_roads " + std::to_string(num_roads));
+  }
+
+  std::vector<uint8_t> seen(static_cast<size_t>(num_roads), 0);
+  for (int s = 0; s < num_shards; ++s) {
+    ShardLayout& shard = shards[static_cast<size_t>(s)];
+    util::Status ok = CheckSortedInRange(shard.owned, num_roads, "owned", s);
+    if (!ok.ok()) return ok;
+    ok = CheckSortedInRange(shard.halo, num_roads, "halo", s);
+    if (!ok.ok()) return ok;
+    for (graph::RoadId r : shard.owned) {
+      if (seen[static_cast<size_t>(r)]) {
+        return util::Status::InvalidArgument(
+            "road " + std::to_string(r) + " owned by more than one shard");
+      }
+      seen[static_cast<size_t>(r)] = 1;
+      if (owner[static_cast<size_t>(r)] != s) {
+        return util::Status::InvalidArgument(
+            "owner table disagrees with shard " + std::to_string(s) +
+            " for road " + std::to_string(r));
+      }
+    }
+
+    // members = sorted merge of owned and halo; both inputs are sorted and
+    // must be disjoint.
+    shard.members.clear();
+    shard.owned_local.clear();
+    shard.members.reserve(shard.owned.size() + shard.halo.size());
+    shard.owned_local.reserve(shard.owned.size() + shard.halo.size());
+    size_t oi = 0;
+    size_t hi = 0;
+    while (oi < shard.owned.size() || hi < shard.halo.size()) {
+      const bool take_owned =
+          hi >= shard.halo.size() ||
+          (oi < shard.owned.size() && shard.owned[oi] < shard.halo[hi]);
+      if (!take_owned && oi < shard.owned.size() &&
+          shard.owned[oi] == shard.halo[hi]) {
+        return util::Status::InvalidArgument(
+            "road " + std::to_string(shard.owned[oi]) +
+            " appears in both owned and halo of shard " + std::to_string(s));
+      }
+      if (take_owned) {
+        shard.members.push_back(shard.owned[oi++]);
+        shard.owned_local.push_back(1);
+      } else {
+        shard.members.push_back(shard.halo[hi++]);
+        shard.owned_local.push_back(0);
+      }
+    }
+  }
+
+  for (int r = 0; r < num_roads; ++r) {
+    if (!seen[static_cast<size_t>(r)]) {
+      return util::Status::InvalidArgument(
+          "road " + std::to_string(r) + " is owned by no shard");
+    }
+  }
+  return util::Status::Ok();
+}
+
+double Partition::BalanceRatio() const {
+  size_t min_size = 0;
+  size_t max_size = 0;
+  bool first = true;
+  for (const ShardLayout& shard : shards) {
+    if (first) {
+      min_size = max_size = shard.owned.size();
+      first = false;
+      continue;
+    }
+    min_size = std::min(min_size, shard.owned.size());
+    max_size = std::max(max_size, shard.owned.size());
+  }
+  if (min_size == 0) return 0.0;
+  return static_cast<double>(max_size) / static_cast<double>(min_size);
+}
+
+int64_t EdgeCut(const graph::Graph& graph, const Partition& partition) {
+  int64_t cut = 0;
+  for (graph::EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const auto [a, b] = graph.EdgeEndpoints(e);
+    if (partition.OwnerOf(a) != partition.OwnerOf(b)) ++cut;
+  }
+  return cut;
+}
+
+}  // namespace crowdrtse::partition

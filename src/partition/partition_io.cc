@@ -1,0 +1,111 @@
+#include "partition/partition_io.h"
+
+#include <string>
+#include <vector>
+
+#include "graph/graph_io.h"
+#include "util/serialize.h"
+
+namespace crowdrtse::partition {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x50415254;  // "PART"
+constexpr uint32_t kFormatVersion = 1;
+
+}  // namespace
+
+util::Status SavePartition(const std::string& path,
+                           const Partition& partition) {
+  util::BinaryWriter writer;
+  writer.WriteUint32(kMagic);
+  writer.WriteUint32(kFormatVersion);
+  writer.WriteInt32(partition.num_roads);
+  writer.WriteInt32(partition.num_shards);
+  writer.WriteInt32(partition.halo_radius);
+  writer.WriteUint64(partition.seed);
+  writer.WriteUint64(partition.graph_checksum);
+  writer.WriteInt32Vector(partition.owner);
+  for (const ShardLayout& shard : partition.shards) {
+    writer.WriteInt32Vector(shard.owned);
+    writer.WriteInt32Vector(shard.halo);
+  }
+  return writer.Flush(path);
+}
+
+util::Result<Partition> LoadPartition(const std::string& path,
+                                      const graph::Graph& graph) {
+  util::Result<util::BinaryReader> reader = util::BinaryReader::FromFile(path);
+  if (!reader.ok()) return reader.status();
+
+  const util::Result<uint32_t> magic = reader->ReadUint32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kMagic) {
+    return util::Status::InvalidArgument(
+        path + " is not a partition table (bad magic)");
+  }
+  const util::Result<uint32_t> version = reader->ReadUint32();
+  if (!version.ok()) return version.status();
+  if (*version != kFormatVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported partition format version " + std::to_string(*version));
+  }
+
+  Partition partition;
+  const util::Result<int32_t> num_roads = reader->ReadInt32();
+  if (!num_roads.ok()) return num_roads.status();
+  const util::Result<int32_t> num_shards = reader->ReadInt32();
+  if (!num_shards.ok()) return num_shards.status();
+  const util::Result<int32_t> halo_radius = reader->ReadInt32();
+  if (!halo_radius.ok()) return halo_radius.status();
+  const util::Result<uint64_t> seed = reader->ReadUint64();
+  if (!seed.ok()) return seed.status();
+  const util::Result<uint64_t> checksum = reader->ReadUint64();
+  if (!checksum.ok()) return checksum.status();
+  partition.num_roads = *num_roads;
+  partition.num_shards = *num_shards;
+  partition.halo_radius = *halo_radius;
+  partition.seed = *seed;
+  partition.graph_checksum = *checksum;
+
+  if (partition.num_roads != graph.num_roads()) {
+    return util::Status::InvalidArgument(
+        "partition table covers " + std::to_string(partition.num_roads) +
+        " roads but the graph has " + std::to_string(graph.num_roads()) +
+        " — refusing to apply a table from a different map");
+  }
+  const uint64_t graph_checksum = graph::EdgeListChecksum(graph);
+  if (partition.graph_checksum != graph_checksum) {
+    return util::Status::InvalidArgument(
+        "partition table checksum " + std::to_string(partition.graph_checksum) +
+        " does not match the graph's edge-list checksum " +
+        std::to_string(graph_checksum) +
+        " — the table was computed for a different edge set");
+  }
+  if (partition.num_shards <= 0) {
+    return util::Status::InvalidArgument("partition table has no shards");
+  }
+
+  util::Result<std::vector<int32_t>> owner = reader->ReadInt32Vector();
+  if (!owner.ok()) return owner.status();
+  partition.owner = std::move(*owner);
+  partition.shards.resize(static_cast<size_t>(partition.num_shards));
+  for (ShardLayout& shard : partition.shards) {
+    util::Result<std::vector<int32_t>> owned = reader->ReadInt32Vector();
+    if (!owned.ok()) return owned.status();
+    shard.owned = std::move(*owned);
+    util::Result<std::vector<int32_t>> halo = reader->ReadInt32Vector();
+    if (!halo.ok()) return halo.status();
+    shard.halo = std::move(*halo);
+  }
+  if (!reader->AtEnd()) {
+    return util::Status::InvalidArgument(
+        path + " has trailing bytes after the partition table");
+  }
+
+  const util::Status derived = partition.BuildDerivedTables();
+  if (!derived.ok()) return derived;
+  return partition;
+}
+
+}  // namespace crowdrtse::partition

@@ -1,0 +1,28 @@
+#ifndef CROWDRTSE_PARTITION_PARTITION_IO_H_
+#define CROWDRTSE_PARTITION_PARTITION_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "partition/partition.h"
+#include "util/status.h"
+
+namespace crowdrtse::partition {
+
+/// Persists a partition table: magic, version, header (num_roads,
+/// num_shards, halo_radius, seed, graph checksum), owner table, then each
+/// shard's owned and halo lists. Little-endian via util::BinaryWriter.
+util::Status SavePartition(const std::string& path,
+                           const Partition& partition);
+
+/// Loads a partition table and binds it to `graph`: the stored road count
+/// must equal graph.num_roads() and the stored checksum must equal
+/// graph::EdgeListChecksum(graph), so a table computed for one map can
+/// never be applied to another. Rebuilds and validates derived tables
+/// before returning.
+util::Result<Partition> LoadPartition(const std::string& path,
+                                      const graph::Graph& graph);
+
+}  // namespace crowdrtse::partition
+
+#endif  // CROWDRTSE_PARTITION_PARTITION_IO_H_

@@ -1,0 +1,228 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+
+#include "graph/bfs.h"
+#include "graph/graph_io.h"
+
+namespace crowdrtse::partition {
+
+namespace {
+
+/// SplitMix64 finaliser: the deterministic tie-break hash. Gridded maps
+/// have whole rows sharing a coordinate; ordering ties by a seed-keyed
+/// hash instead of raw id keeps the cut from degenerating into id order
+/// while staying a pure function of (seed, road).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+struct BisectContext {
+  const std::vector<std::pair<double, double>>* positions;
+  uint64_t seed;
+  std::vector<int32_t>* owner;
+  int next_shard = 0;
+};
+
+/// Splits roads[begin, end) into k shards by recursive median bisection
+/// along the wider geographic axis. Left half first, so shard ids sweep
+/// the map in a deterministic spatial order.
+void Bisect(BisectContext& ctx, std::vector<graph::RoadId>& roads,
+            size_t begin, size_t end, int k) {
+  if (k == 1) {
+    const int shard = ctx.next_shard++;
+    for (size_t i = begin; i < end; ++i) {
+      (*ctx.owner)[static_cast<size_t>(roads[i])] = shard;
+    }
+    return;
+  }
+
+  double min_x = 0.0, max_x = 0.0, min_y = 0.0, max_y = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const auto& [x, y] = (*ctx.positions)[static_cast<size_t>(roads[i])];
+    if (i == begin) {
+      min_x = max_x = x;
+      min_y = max_y = y;
+      continue;
+    }
+    min_x = std::min(min_x, x);
+    max_x = std::max(max_x, x);
+    min_y = std::min(min_y, y);
+    max_y = std::max(max_y, y);
+  }
+  const double span_x = max_x - min_x;
+  const double span_y = max_y - min_y;
+  int axis;  // 0 = x, 1 = y
+  if (span_x > span_y) {
+    axis = 0;
+  } else if (span_y > span_x) {
+    axis = 1;
+  } else {
+    axis = static_cast<int>(
+        Mix64(ctx.seed ^ (static_cast<uint64_t>(begin) << 21) ^ end) & 1);
+  }
+
+  const auto key = [&](graph::RoadId r) {
+    const auto& [x, y] = (*ctx.positions)[static_cast<size_t>(r)];
+    return axis == 0 ? x : y;
+  };
+  const auto less = [&](graph::RoadId a, graph::RoadId b) {
+    const double ka = key(a);
+    const double kb = key(b);
+    if (ka != kb) return ka < kb;
+    const uint64_t ha = Mix64(ctx.seed ^ static_cast<uint64_t>(a));
+    const uint64_t hb = Mix64(ctx.seed ^ static_cast<uint64_t>(b));
+    if (ha != hb) return ha < hb;
+    return a < b;
+  };
+
+  const int k1 = k / 2;
+  const int k2 = k - k1;
+  const size_t count = end - begin;
+  const size_t n1 = static_cast<size_t>(std::llround(
+      static_cast<double>(count) * static_cast<double>(k1) /
+      static_cast<double>(k)));
+  std::nth_element(roads.begin() + static_cast<ptrdiff_t>(begin),
+                   roads.begin() + static_cast<ptrdiff_t>(begin + n1),
+                   roads.begin() + static_cast<ptrdiff_t>(end), less);
+  Bisect(ctx, roads, begin, begin + n1, k1);
+  Bisect(ctx, roads, begin + n1, end, k2);
+}
+
+/// One greedy KL-style sweep: move boundary roads to the neighbouring
+/// shard holding most of their adjacency when the cut strictly drops and
+/// the balance envelope allows. Returns the number of moves.
+int RefineSweep(const graph::Graph& graph, std::vector<int32_t>& owner,
+                std::vector<size_t>& shard_size, size_t min_allowed,
+                size_t max_allowed, int num_shards) {
+  int moves = 0;
+  std::vector<int> neighbor_count(static_cast<size_t>(num_shards), 0);
+  std::vector<int32_t> touched;
+  for (graph::RoadId r = 0; r < graph.num_roads(); ++r) {
+    const int32_t a = owner[static_cast<size_t>(r)];
+    touched.clear();
+    for (const graph::Adjacency& adj : graph.Neighbors(r)) {
+      const int32_t s = owner[static_cast<size_t>(adj.neighbor)];
+      if (neighbor_count[static_cast<size_t>(s)] == 0) touched.push_back(s);
+      ++neighbor_count[static_cast<size_t>(s)];
+    }
+    int32_t best = a;
+    int best_count = neighbor_count[static_cast<size_t>(a)];
+    for (const int32_t s : touched) {
+      const int count = neighbor_count[static_cast<size_t>(s)];
+      if (s != a && (count > best_count ||
+                     (count == best_count && best != a && s < best))) {
+        best = s;
+        best_count = count;
+      }
+    }
+    const int internal = neighbor_count[static_cast<size_t>(a)];
+    if (best != a && best_count > internal &&
+        shard_size[static_cast<size_t>(a)] > min_allowed &&
+        shard_size[static_cast<size_t>(best)] < max_allowed) {
+      owner[static_cast<size_t>(r)] = best;
+      --shard_size[static_cast<size_t>(a)];
+      ++shard_size[static_cast<size_t>(best)];
+      ++moves;
+    }
+    for (const int32_t s : touched) {
+      neighbor_count[static_cast<size_t>(s)] = 0;
+    }
+  }
+  return moves;
+}
+
+}  // namespace
+
+util::Result<Partition> PartitionByGeography(
+    const graph::Graph& graph,
+    const std::vector<std::pair<double, double>>& positions,
+    const PartitionerOptions& options) {
+  const int n = graph.num_roads();
+  if (n <= 0) {
+    return util::Status::InvalidArgument("cannot partition an empty graph");
+  }
+  if (positions.size() != static_cast<size_t>(n)) {
+    return util::Status::InvalidArgument(
+        "positions size " + std::to_string(positions.size()) +
+        " does not match the graph's " + std::to_string(n) + " roads");
+  }
+  if (options.num_shards < 1 || options.num_shards > n) {
+    return util::Status::InvalidArgument(
+        "num_shards must be in [1, num_roads]");
+  }
+  if (options.halo_radius < 0) {
+    return util::Status::InvalidArgument("halo radius must be >= 0");
+  }
+  if (!(options.balance_slack >= 0.0 && options.balance_slack < 1.0)) {
+    return util::Status::InvalidArgument("balance slack must be in [0, 1)");
+  }
+  if (options.refine_passes < 0) {
+    return util::Status::InvalidArgument("refine passes must be >= 0");
+  }
+
+  Partition partition;
+  partition.num_roads = n;
+  partition.num_shards = options.num_shards;
+  partition.halo_radius = options.halo_radius;
+  partition.seed = options.seed;
+  partition.graph_checksum = graph::EdgeListChecksum(graph);
+  partition.owner.assign(static_cast<size_t>(n), 0);
+
+  // Phase 1: recursive geographic bisection.
+  std::vector<graph::RoadId> roads(static_cast<size_t>(n));
+  std::iota(roads.begin(), roads.end(), 0);
+  BisectContext ctx{&positions, options.seed, &partition.owner, 0};
+  Bisect(ctx, roads, 0, static_cast<size_t>(n), options.num_shards);
+
+  // Phase 2: edge-cut refinement inside the balance envelope.
+  if (options.num_shards > 1 && options.refine_passes > 0) {
+    std::vector<size_t> shard_size(
+        static_cast<size_t>(options.num_shards), 0);
+    for (int32_t s : partition.owner) {
+      ++shard_size[static_cast<size_t>(s)];
+    }
+    const double target =
+        static_cast<double>(n) / static_cast<double>(options.num_shards);
+    const size_t min_allowed = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::floor(target * (1.0 - options.balance_slack))));
+    const size_t max_allowed = std::max(
+        min_allowed, static_cast<size_t>(
+                         std::ceil(target * (1.0 + options.balance_slack))));
+    for (int pass = 0; pass < options.refine_passes; ++pass) {
+      if (RefineSweep(graph, partition.owner, shard_size, min_allowed,
+                      max_allowed, options.num_shards) == 0) {
+        break;
+      }
+    }
+  }
+
+  // Phase 3: owned lists (ascending by construction) and halo rings.
+  partition.shards.assign(static_cast<size_t>(options.num_shards), {});
+  for (graph::RoadId r = 0; r < n; ++r) {
+    partition.shards[static_cast<size_t>(partition.owner[static_cast<size_t>(r)])]
+        .owned.push_back(r);
+  }
+  for (ShardLayout& shard : partition.shards) {
+    if (partition.halo_radius == 0) continue;
+    std::vector<graph::RoadId> ball = graph::RoadsWithinHops(
+        graph, shard.owned, partition.halo_radius);
+    std::sort(ball.begin(), ball.end());
+    shard.halo.clear();
+    std::set_difference(ball.begin(), ball.end(), shard.owned.begin(),
+                        shard.owned.end(), std::back_inserter(shard.halo));
+  }
+
+  const util::Status derived = partition.BuildDerivedTables();
+  if (!derived.ok()) return derived;
+  return partition;
+}
+
+}  // namespace crowdrtse::partition

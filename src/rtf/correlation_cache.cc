@@ -301,6 +301,15 @@ CorrelationCache::TablePtr CorrelationCache::TryLoadPersisted(int slot) {
                       std::to_string(options_.expected_num_roads) + ")");
     return nullptr;
   }
+  if (loaded->hop_radius() != options_.expected_hop_radius) {
+    persist_failures_.Increment();
+    CROWDRTSE_LOG(Warning,
+                  "discarding persisted Gamma_R " + path + ": hop radius " +
+                      std::to_string(loaded->hop_radius()) +
+                      " does not match the configured radius (" +
+                      std::to_string(options_.expected_hop_radius) + ")");
+    return nullptr;
+  }
   return std::make_shared<CorrelationTable>(std::move(*loaded));
 }
 

@@ -47,6 +47,13 @@ struct CorrelationCacheOptions {
   /// When > 0, warm-loaded files whose road count differs are rejected
   /// (they were computed against a different network) and recomputed.
   int expected_num_roads = 0;
+
+  /// Expected CorrelationTable::hop_radius() of warm-loaded files: 0 for
+  /// dense tables, C for the sparse C-hop-bounded closure. Files computed
+  /// under a different radius are rejected and recomputed — a dense table
+  /// masquerading as a sparse one (or a wider/narrower radius) would
+  /// silently change OCS candidate pruning.
+  int expected_hop_radius = 0;
 };
 
 /// Concurrent, memory-budgeted, persistent cache of per-slot Gamma_R

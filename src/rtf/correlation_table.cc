@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <string>
 #include <utility>
 
@@ -11,9 +12,51 @@
 
 namespace crowdrtse::rtf {
 
+namespace {
+
+/// Sparse row of the C-hop-bounded closure from `src`: best_k(v) = max over
+/// paths of at most k edges of the product of edge rhos, by Bellman-Ford
+/// layering over the C-hop ball. Every candidate product multiplies its
+/// rhos in path order from the source and competes through max, so the
+/// result is independent of neighbour iteration order — an induced subgraph
+/// containing the whole ball reproduces these doubles bit for bit (the
+/// partition halo invariant). std::map keeps the emitted row sorted by
+/// destination id for the CSR layout.
+std::map<graph::RoadId, double> BoundedHopRow(
+    const graph::Graph& graph, const std::vector<double>& edge_rho,
+    graph::RoadId src, int hop_radius) {
+  std::map<graph::RoadId, double> best;
+  best[src] = 1.0;
+  for (int k = 0; k < hop_radius; ++k) {
+    std::map<graph::RoadId, double> next = best;
+    bool changed = false;
+    for (const auto& [u, val] : best) {
+      if (val <= 0.0) continue;
+      for (const graph::Adjacency& adj : graph.Neighbors(u)) {
+        const double rho = edge_rho[static_cast<size_t>(adj.edge)];
+        if (rho <= 0.0) continue;
+        const double cand = val * rho;
+        auto [it, inserted] = next.try_emplace(adj.neighbor, cand);
+        if (inserted) {
+          changed = true;
+        } else if (cand > it->second) {
+          it->second = cand;
+          changed = true;
+        }
+      }
+    }
+    best = std::move(next);
+    if (!changed) break;
+  }
+  best[src] = 1.0;
+  return best;
+}
+
+}  // namespace
+
 util::Result<CorrelationTable> CorrelationTable::Compute(
     const RtfModel& model, int slot, PathWeightMode mode,
-    util::ThreadPool* fanout) {
+    util::ThreadPool* fanout, int hop_radius) {
   if (slot < 0 || slot >= model.num_slots()) {
     return util::Status::OutOfRange("slot out of range");
   }
@@ -21,12 +64,13 @@ util::Result<CorrelationTable> CorrelationTable::Compute(
   for (graph::EdgeId e = 0; e < model.num_edges(); ++e) {
     edge_rho[static_cast<size_t>(e)] = model.Rho(slot, e);
   }
-  return FromEdgeCorrelations(model.graph(), edge_rho, mode, fanout);
+  return FromEdgeCorrelations(model.graph(), edge_rho, mode, fanout,
+                              hop_radius);
 }
 
 util::Result<CorrelationTable> CorrelationTable::FromEdgeCorrelations(
     const graph::Graph& graph, const std::vector<double>& edge_rho,
-    PathWeightMode mode, util::ThreadPool* fanout) {
+    PathWeightMode mode, util::ThreadPool* fanout, int hop_radius) {
   if (edge_rho.size() != static_cast<size_t>(graph.num_edges())) {
     return util::Status::InvalidArgument(
         "edge correlation count does not match the graph");
@@ -37,8 +81,54 @@ util::Result<CorrelationTable> CorrelationTable::FromEdgeCorrelations(
           "edge correlations must lie in [0, 1]");
     }
   }
+  if (hop_radius < 0) {
+    return util::Status::InvalidArgument("hop radius must be >= 0");
+  }
+  if (hop_radius > 0 && mode != PathWeightMode::kNegLog) {
+    // The bounded closure multiplies path products directly (the exact
+    // Eq. 8 semantics); the reciprocal-weight heuristic exists only for
+    // dense ablation runs.
+    return util::Status::InvalidArgument(
+        "hop-bounded correlation tables support the kNegLog path mode only");
+  }
 
   const int n = graph.num_roads();
+
+  if (hop_radius > 0) {
+    CorrelationTable table;
+    table.num_roads_ = n;
+    table.hop_radius_ = hop_radius;
+    std::vector<std::map<graph::RoadId, double>> rows(
+        static_cast<size_t>(n));
+    const auto compute_rows = [&](size_t begin, size_t end) {
+      for (size_t src = begin; src < end; ++src) {
+        rows[src] = BoundedHopRow(graph, edge_rho,
+                                  static_cast<graph::RoadId>(src),
+                                  hop_radius);
+      }
+    };
+    if (fanout != nullptr && fanout->num_threads() > 1 && n > 1) {
+      fanout->ParallelFor(static_cast<size_t>(n), compute_rows);
+    } else {
+      compute_rows(0, static_cast<size_t>(n));
+    }
+    size_t nnz = 0;
+    for (const auto& row : rows) nnz += row.size();
+    table.row_offsets_.reserve(static_cast<size_t>(n) + 1);
+    table.cols_.reserve(nnz);
+    table.vals_.reserve(nnz);
+    table.row_offsets_.push_back(0);
+    for (const auto& row : rows) {
+      for (const auto& [dst, corr] : row) {
+        if (corr <= 0.0) continue;
+        table.cols_.push_back(dst);
+        table.vals_.push_back(corr);
+      }
+      table.row_offsets_.push_back(
+          static_cast<int64_t>(table.cols_.size()));
+    }
+    return table;
+  }
   CorrelationTable table;
   table.num_roads_ = n;
   table.data_.assign(static_cast<size_t>(n) * static_cast<size_t>(n), 0.0);
@@ -112,6 +202,13 @@ util::Result<double> CorrelationTable::CheckedCorr(graph::RoadId i,
 double CorrelationTable::RoadSetCorr(
     graph::RoadId road, const std::vector<graph::RoadId>& set) const {
   double best = 0.0;
+  if (hop_radius_ > 0) {
+    for (graph::RoadId s : set) {
+      assert(InRange(s));
+      best = std::max(best, SparseCorr(road, s));
+    }
+    return best;
+  }
   const double* row = Row(road);
   for (graph::RoadId s : set) {
     assert(InRange(s));
@@ -120,19 +217,43 @@ double CorrelationTable::RoadSetCorr(
   return best;
 }
 
+double CorrelationTable::SparseCorr(graph::RoadId i, graph::RoadId j) const {
+  const auto begin = cols_.begin() + row_offsets_[static_cast<size_t>(i)];
+  const auto end = cols_.begin() + row_offsets_[static_cast<size_t>(i) + 1];
+  const auto it = std::lower_bound(begin, end, j);
+  if (it == end || *it != j) return 0.0;
+  return vals_[static_cast<size_t>(it - cols_.begin())];
+}
+
 namespace {
 constexpr uint32_t kTableMagic = 0x47414D31;  // "GAM1"
-// Layout revision after the magic. v1 (the seed) had no version field; v2
+// Layout revisions after the magic. v1 (the seed) had no version field; v2
 // inserted this field, so v1 files fail the version check and recompute
-// rather than being misparsed.
-constexpr uint32_t kFormatVersion = 2;
+// rather than being misparsed. v3 is the sparse hop-bounded layout; dense
+// tables keep writing v2 so existing persisted caches stay warm.
+constexpr uint32_t kDenseFormatVersion = 2;
+constexpr uint32_t kSparseFormatVersion = 3;
 }  // namespace
 
 void CorrelationTable::AppendTo(util::BinaryWriter& writer) const {
   writer.WriteUint32(kTableMagic);
-  writer.WriteUint32(kFormatVersion);
+  if (hop_radius_ == 0) {
+    writer.WriteUint32(kDenseFormatVersion);
+    writer.WriteInt32(num_roads_);
+    writer.WriteDoubleVector(data_);
+    return;
+  }
+  writer.WriteUint32(kSparseFormatVersion);
   writer.WriteInt32(num_roads_);
-  writer.WriteDoubleVector(data_);
+  writer.WriteInt32(hop_radius_);
+  std::vector<int32_t> offsets;
+  offsets.reserve(row_offsets_.size());
+  for (int64_t offset : row_offsets_) {
+    offsets.push_back(static_cast<int32_t>(offset));
+  }
+  writer.WriteInt32Vector(offsets);
+  writer.WriteInt32Vector(cols_);
+  writer.WriteDoubleVector(vals_);
 }
 
 util::Result<CorrelationTable> CorrelationTable::ParseFrom(
@@ -144,27 +265,76 @@ util::Result<CorrelationTable> CorrelationTable::ParseFrom(
   }
   util::Result<uint32_t> version = reader.ReadUint32();
   if (!version.ok()) return version.status();
-  if (*version != kFormatVersion) {
+  if (*version != kDenseFormatVersion &&
+      *version != kSparseFormatVersion) {
     return util::Status::InvalidArgument(
         "unsupported correlation table format version " +
         std::to_string(*version) + " (expected " +
-        std::to_string(kFormatVersion) + ")");
+        std::to_string(kDenseFormatVersion) + " dense or " +
+        std::to_string(kSparseFormatVersion) + " sparse)");
   }
   util::Result<int32_t> num_roads = reader.ReadInt32();
   if (!num_roads.ok()) return num_roads.status();
   if (*num_roads < 0) {
     return util::Status::InvalidArgument("negative road count");
   }
-  util::Result<std::vector<double>> values = reader.ReadDoubleVector();
-  if (!values.ok()) return values.status();
-  const size_t expected = static_cast<size_t>(*num_roads) *
-                          static_cast<size_t>(*num_roads);
-  if (values->size() != expected) {
-    return util::Status::InvalidArgument("table payload size mismatch");
-  }
   CorrelationTable table;
   table.num_roads_ = *num_roads;
-  table.data_ = std::move(*values);
+  if (*version == kDenseFormatVersion) {
+    util::Result<std::vector<double>> values = reader.ReadDoubleVector();
+    if (!values.ok()) return values.status();
+    const size_t expected = static_cast<size_t>(*num_roads) *
+                            static_cast<size_t>(*num_roads);
+    if (values->size() != expected) {
+      return util::Status::InvalidArgument("table payload size mismatch");
+    }
+    table.data_ = std::move(*values);
+    return table;
+  }
+  util::Result<int32_t> hop_radius = reader.ReadInt32();
+  if (!hop_radius.ok()) return hop_radius.status();
+  if (*hop_radius <= 0) {
+    return util::Status::InvalidArgument(
+        "sparse correlation table with non-positive hop radius");
+  }
+  util::Result<std::vector<int32_t>> offsets = reader.ReadInt32Vector();
+  if (!offsets.ok()) return offsets.status();
+  util::Result<std::vector<int32_t>> cols = reader.ReadInt32Vector();
+  if (!cols.ok()) return cols.status();
+  util::Result<std::vector<double>> vals = reader.ReadDoubleVector();
+  if (!vals.ok()) return vals.status();
+  if (offsets->size() != static_cast<size_t>(*num_roads) + 1) {
+    return util::Status::InvalidArgument("sparse offset count mismatch");
+  }
+  if ((*offsets)[0] != 0 ||
+      static_cast<size_t>(offsets->back()) != cols->size() ||
+      cols->size() != vals->size()) {
+    return util::Status::InvalidArgument("sparse payload size mismatch");
+  }
+  for (size_t r = 0; r + 1 < offsets->size(); ++r) {
+    const int32_t begin = (*offsets)[r];
+    const int32_t end = (*offsets)[r + 1];
+    if (begin > end) {
+      return util::Status::InvalidArgument(
+          "sparse offsets must be non-decreasing");
+    }
+    for (int32_t k = begin; k < end; ++k) {
+      const int32_t col = (*cols)[static_cast<size_t>(k)];
+      if (col < 0 || col >= *num_roads) {
+        return util::Status::InvalidArgument(
+            "sparse column out of range");
+      }
+      if (k > begin && (*cols)[static_cast<size_t>(k - 1)] >= col) {
+        return util::Status::InvalidArgument(
+            "sparse row columns must be strictly increasing");
+      }
+    }
+  }
+  table.hop_radius_ = *hop_radius;
+  table.row_offsets_.reserve(offsets->size());
+  for (int32_t offset : *offsets) table.row_offsets_.push_back(offset);
+  table.cols_ = std::move(*cols);
+  table.vals_ = std::move(*vals);
   return table;
 }
 

@@ -32,44 +32,65 @@ enum class PathWeightMode {
   kReciprocal,
 };
 
-/// Gamma_R: the dense road-road correlation closure for one time slot,
+/// Gamma_R: the road-road correlation closure for one time slot,
 /// corr^t(r_i, r_j) = max over joining paths of the product of edge rhos
-/// (Eq. 8), computed offline by one Dijkstra per source road and then read
-/// in O(1) by OCS. 607 roads => ~2.9 MB per slot.
+/// (Eq. 8). Two storage modes share this type:
+///
+///  - Dense (hop_radius() == 0, the paper-exact default): one Dijkstra per
+///    source road, n^2 doubles, O(1) reads. 607 roads => ~2.9 MB per slot —
+///    but 28.8 GB per slot at 60k roads, which is why metro-scale serving
+///    uses the sparse mode.
+///  - Sparse (hop_radius() == C > 0): corr(i, j) is the max product over
+///    joining paths of at most C edges, and exactly 0 beyond C hops. Rows
+///    are CSR slices sorted by destination id, read by binary search. This
+///    is the locality contract partitioned serving relies on: a shard halo
+///    that covers every member's C-hop ball reproduces the global table's
+///    entries bit for bit.
 ///
 /// The unchecked accessors (Corr/Row/RoadSetCorr) assume road ids already
 /// validated against num_roads() — OcsProblem::Create and QueryEngine::Serve
 /// both reject out-of-range ids at the trust boundary — and assert in debug
-/// builds. Untrusted callers should use CheckedCorr.
+/// builds. Untrusted callers should use CheckedCorr. Row() is dense-only.
 class CorrelationTable {
  public:
   CorrelationTable() = default;
 
-  /// Computes the full table for `slot` from the trained model. When
-  /// `fanout` is non-null the per-source Dijkstra loop runs data-parallel
-  /// on that pool (the pool's one-ParallelFor-at-a-time contract applies).
+  /// Computes the table for `slot` from the trained model. When `fanout` is
+  /// non-null the per-source loop runs data-parallel on that pool (the
+  /// pool's one-ParallelFor-at-a-time contract applies). `hop_radius` == 0
+  /// computes the dense closure; > 0 computes the sparse C-hop-bounded
+  /// closure described above.
   static util::Result<CorrelationTable> Compute(
       const RtfModel& model, int slot,
       PathWeightMode mode = PathWeightMode::kNegLog,
-      util::ThreadPool* fanout = nullptr);
+      util::ThreadPool* fanout = nullptr, int hop_radius = 0);
 
   /// Builds a table directly from per-edge correlations (used by tests and
   /// by scenarios that bypass RTF training).
   static util::Result<CorrelationTable> FromEdgeCorrelations(
       const graph::Graph& graph, const std::vector<double>& edge_rho,
       PathWeightMode mode = PathWeightMode::kNegLog,
-      util::ThreadPool* fanout = nullptr);
+      util::ThreadPool* fanout = nullptr, int hop_radius = 0);
 
   int num_roads() const { return num_roads_; }
 
-  /// Heap footprint of the dense closure, the unit of the correlation
-  /// cache's memory budget (entry bookkeeping is negligible next to n^2
-  /// doubles and deliberately excluded to keep budgets predictable).
-  std::size_t MemoryBytes() const { return data_.size() * sizeof(double); }
+  /// 0 for the dense closure, C for the sparse C-hop-bounded closure.
+  int hop_radius() const { return hop_radius_; }
 
-  /// corr(i, j); 1 on the diagonal, 0 when the roads are disconnected.
+  /// Heap footprint of the closure, the unit of the correlation cache's
+  /// memory budget (entry bookkeeping is negligible next to the payload and
+  /// deliberately excluded to keep budgets predictable).
+  std::size_t MemoryBytes() const {
+    return data_.size() * sizeof(double) + vals_.size() * sizeof(double) +
+           cols_.size() * sizeof(graph::RoadId) +
+           row_offsets_.size() * sizeof(int64_t);
+  }
+
+  /// corr(i, j); 1 on the diagonal, 0 when the roads are disconnected (or,
+  /// in sparse mode, farther apart than the hop radius).
   double Corr(graph::RoadId i, graph::RoadId j) const {
     assert(InRange(i) && InRange(j));
+    if (hop_radius_ > 0) return SparseCorr(i, j);
     return data_[static_cast<size_t>(i) * static_cast<size_t>(num_roads_) +
                  static_cast<size_t>(j)];
   }
@@ -82,9 +103,10 @@ class CorrelationTable {
   double RoadSetCorr(graph::RoadId road,
                      const std::vector<graph::RoadId>& set) const;
 
-  /// Contiguous row of correlations from road `i` to every road.
+  /// Contiguous row of correlations from road `i` to every road. Dense
+  /// tables only — sparse rows have no n-wide contiguous form.
   const double* Row(graph::RoadId i) const {
-    assert(InRange(i));
+    assert(InRange(i) && hop_radius_ == 0);
     return data_.data() +
            static_cast<size_t>(i) * static_cast<size_t>(num_roads_);
   }
@@ -103,6 +125,9 @@ class CorrelationTable {
  private:
   bool InRange(graph::RoadId r) const { return r >= 0 && r < num_roads_; }
 
+  /// Binary search in row i's CSR slice (sorted by destination id).
+  double SparseCorr(graph::RoadId i, graph::RoadId j) const;
+
   /// Single source of truth for the byte layout: Serialize and SaveToFile
   /// both append through here, Deserialize and LoadFromFile both parse
   /// through ParseFrom, so the two paths cannot drift.
@@ -110,7 +135,13 @@ class CorrelationTable {
   static util::Result<CorrelationTable> ParseFrom(util::BinaryReader& reader);
 
   int num_roads_ = 0;
+  int hop_radius_ = 0;
+  // Dense storage (hop_radius_ == 0): row-major n x n.
   std::vector<double> data_;
+  // Sparse storage (hop_radius_ > 0): CSR rows sorted by destination id.
+  std::vector<int64_t> row_offsets_;  // num_roads_ + 1
+  std::vector<graph::RoadId> cols_;
+  std::vector<double> vals_;
 };
 
 }  // namespace crowdrtse::rtf

@@ -53,6 +53,10 @@ class BudgetLedger {
   /// without appending a ledger entry.
   util::Status Release(int64_t query_id, int reserved);
 
+  /// The configured per-query grant ceiling (e.g. so a sharded engine can
+  /// give its per-shard ledgers the same cap as the global one).
+  int per_query_cap() const { return per_query_cap_; }
+
   int64_t total_spent() const;
   int64_t remaining() const;
   /// Units currently earmarked by in-flight reservations.

@@ -139,7 +139,7 @@ std::string FrontendStats::Report() const {
   return out;
 }
 
-Frontend::Frontend(QueryEngine& engine, const traffic::DayMatrix& world,
+Frontend::Frontend(Engine& engine, const traffic::DayMatrix& world,
                    FrontendOptions options)
     : engine_(engine),
       world_(world),

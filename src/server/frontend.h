@@ -17,7 +17,7 @@
 #include "net/token_bucket.h"
 #include "server/admission.h"
 #include "server/coalescer.h"
-#include "server/query_engine.h"
+#include "server/engine.h"
 #include "traffic/history_store.h"
 #include "util/clock.h"
 #include "util/status.h"
@@ -92,7 +92,7 @@ class Frontend {
  public:
   /// `engine` and `world` are borrowed and must outlive the front-end.
   /// `world` is the day the server answers against (today's matrix).
-  Frontend(QueryEngine& engine, const traffic::DayMatrix& world,
+  Frontend(Engine& engine, const traffic::DayMatrix& world,
            FrontendOptions options);
   ~Frontend();
 
@@ -161,7 +161,7 @@ class Frontend {
   bool TryFlushLocked(const ConnPtr& conn);
   void CloseConnection(int fd);
 
-  QueryEngine& engine_;
+  Engine& engine_;
   const traffic::DayMatrix& world_;
   FrontendOptions options_;
   util::Clock* clock_;  // never null after construction

@@ -16,85 +16,6 @@ int PoolSizeOrDefault(int requested) { return requested > 0 ? requested : 4; }
 
 }  // namespace
 
-std::string EngineStats::Report() const {
-  std::string out =
-      "EngineStats: served " + std::to_string(queries_served) +
-      ", rejected " + std::to_string(queries_rejected) + ", failed " +
-      std::to_string(queries_failed) + ", paid " +
-      std::to_string(total_paid) + " units\n";
-  out += "  ocs:    " + ocs_latency.ToString() + "\n";
-  out += "  crowd:  " + crowd_latency.ToString() + "\n";
-  out += "  gsp:    " + gsp_latency.ToString() + "\n";
-  out += "  serve:  " + serve_latency.ToString() + "\n";
-  out += "  dispatch: retries " + std::to_string(crowd_retries) +
-         ", reassigned " + std::to_string(crowd_reassignments) +
-         ", deadline misses " + std::to_string(crowd_deadline_misses) +
-         ", late " + std::to_string(reports_late) + ", duplicate " +
-         std::to_string(reports_duplicate) + ", outlier " +
-         std::to_string(reports_outlier) + "\n";
-  out += "  degraded: " + std::to_string(roads_degraded) +
-         " roads (deadline " + std::to_string(degraded_deadline) +
-         ", outlier " + std::to_string(degraded_outlier) + ", unstaffed " +
-         std::to_string(degraded_unstaffed) + ", load shed " +
-         std::to_string(degraded_load_shed) + "; " +
-         std::to_string(queries_shed) + " whole queries shed)\n";
-  out += "  gamma:  " + gamma_cache.ToString();
-  return out;
-}
-
-std::string EngineStats::ReportJson() const {
-  std::string out = "{";
-  out += "\"crowdrtse_queries_served_total\":" +
-         std::to_string(queries_served);
-  out += ",\"crowdrtse_queries_rejected_total\":" +
-         std::to_string(queries_rejected);
-  out += ",\"crowdrtse_queries_failed_total\":" +
-         std::to_string(queries_failed);
-  out += ",\"crowdrtse_paid_units_total\":" + std::to_string(total_paid);
-  out += ",\"crowdrtse_roads_degraded_total\":" +
-         std::to_string(roads_degraded);
-  out += ",\"crowdrtse_degraded_deadline_total\":" +
-         std::to_string(degraded_deadline);
-  out += ",\"crowdrtse_degraded_outlier_total\":" +
-         std::to_string(degraded_outlier);
-  out += ",\"crowdrtse_degraded_unstaffed_total\":" +
-         std::to_string(degraded_unstaffed);
-  out += ",\"crowdrtse_degraded_load_shed_total\":" +
-         std::to_string(degraded_load_shed);
-  out += ",\"crowdrtse_queries_shed_total\":" + std::to_string(queries_shed);
-  out += ",\"crowdrtse_dispatch_retries_total\":" +
-         std::to_string(crowd_retries);
-  out += ",\"crowdrtse_dispatch_reassignments_total\":" +
-         std::to_string(crowd_reassignments);
-  out += ",\"crowdrtse_dispatch_deadline_misses_total\":" +
-         std::to_string(crowd_deadline_misses);
-  out += ",\"crowdrtse_reports_late_total\":" + std::to_string(reports_late);
-  out += ",\"crowdrtse_reports_duplicate_total\":" +
-         std::to_string(reports_duplicate);
-  out += ",\"crowdrtse_reports_outlier_total\":" +
-         std::to_string(reports_outlier);
-  out += ",\"crowdrtse_ocs_latency_ms\":" + ocs_latency.ToJson();
-  out += ",\"crowdrtse_crowd_latency_ms\":" + crowd_latency.ToJson();
-  out += ",\"crowdrtse_gsp_latency_ms\":" + gsp_latency.ToJson();
-  out += ",\"crowdrtse_serve_latency_ms\":" + serve_latency.ToJson();
-  out += ",\"crowdrtse_gamma_cache_hits\":" +
-         std::to_string(gamma_cache.hits);
-  out += ",\"crowdrtse_gamma_cache_misses\":" +
-         std::to_string(gamma_cache.misses);
-  out += ",\"crowdrtse_gamma_cache_coalesced\":" +
-         std::to_string(gamma_cache.coalesced);
-  out += ",\"crowdrtse_gamma_cache_evictions\":" +
-         std::to_string(gamma_cache.evictions);
-  out += ",\"crowdrtse_gamma_cache_resident_tables\":" +
-         std::to_string(gamma_cache.resident_tables);
-  out += ",\"crowdrtse_gamma_cache_resident_bytes\":" +
-         std::to_string(gamma_cache.resident_bytes);
-  out += ",\"crowdrtse_gamma_compute_latency_ms\":" +
-         gamma_cache.compute_latency.ToJson();
-  out += "}";
-  return out;
-}
-
 QueryEngine::QueryEngine(core::CrowdRtse& system, WorkerRegistry& registry,
                          BudgetLedger& ledger,
                          const crowd::CostModel& costs,

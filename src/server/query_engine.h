@@ -13,6 +13,7 @@
 #include "crowd/fault_plan.h"
 #include "gsp/propagator_pool.h"
 #include "server/budget_ledger.h"
+#include "server/engine.h"
 #include "server/worker_registry.h"
 #include "traffic/history_store.h"
 #include "util/clock.h"
@@ -22,105 +23,9 @@
 
 namespace crowdrtse::server {
 
-/// One realtime traffic-speed query as submitted by a client.
-struct QueryRequest {
-  int slot = 0;                           // 5-minute slot of day
-  std::vector<graph::RoadId> queried;     // R^q
-  core::SelectorKind selector = core::SelectorKind::kLazyHybridGreedy;
-  /// When > 0, caps this query's budget below the ledger's per-query cap —
-  /// admission control's first shed rung (fewer probed roads under load).
-  /// The ledger still reserves its normal grant; the unspent remainder
-  /// flows back at settle time.
-  int budget_cap = 0;
-};
+// QueryRequest / QueryResponse / EngineStats moved to server/engine.h so
+// every Engine implementation (QueryEngine, ShardedEngine) shares them.
 
-/// What the engine returns: the estimate for every queried road plus full
-/// provenance (which roads were probed, what was paid, phase latencies).
-struct QueryResponse {
-  int64_t query_id = 0;
-  std::vector<double> queried_speeds;     // aligned with request.queried
-  std::vector<graph::RoadId> probed_roads;
-  /// OCS-selected roads that produced fewer answers than their quota but
-  /// at least one (their probe is noisier, still usable). Disjoint from
-  /// degraded_roads.
-  std::vector<graph::RoadId> underfilled_roads;
-  /// Fault-tolerant dispatch only: OCS-selected roads whose probes all
-  /// failed (deadline/outlier/unstaffed). They fell down the degradation
-  /// ladder to their RTF periodic mean mu_i^t, with widened uncertainty.
-  std::vector<graph::RoadId> degraded_roads;
-  /// Why each road in `degraded_roads` degraded, aligned with it — the
-  /// same per-road verdicts the dispatch trace records, so responses and
-  /// traces always agree (previously only aggregate counters survived).
-  std::vector<crowd::DegradeReason> degraded_reasons;
-  /// Fault-tolerant dispatch only: per-queried-road variance, aligned with
-  /// `queried_speeds`. Probed roads report 0, propagated roads the GSP
-  /// local conditional variance, degraded roads their prior marginal
-  /// widened by Options::degraded_variance_inflation.
-  std::vector<double> queried_variances;
-  int granted_budget = 0;
-  int paid = 0;
-  double ocs_millis = 0.0;
-  double crowd_millis = 0.0;
-  double gsp_millis = 0.0;
-  /// Fault-tolerant dispatch only: the crowd round's dispatch-to-resolution
-  /// span on the engine clock (ms); bounded by
-  /// DispatchOptions::MaxRoundSpanMs() whatever the fault plan injects.
-  double dispatch_span_ms = 0.0;
-  int gsp_sweeps = 0;
-  /// Compact span summary of this query's trace; empty when the query was
-  /// not sampled (Options::trace_sample_rate).
-  util::trace::TraceSummary trace_summary;
-};
-
-/// Point-in-time snapshot of the rolling service statistics. Every query
-/// lands in exactly one of the three outcome counters:
-///   served    — answered successfully;
-///   rejected  — refused up front (invalid request or campaign budget dry)
-///               before any money moved;
-///   failed    — died mid-pipeline after its budget grant (its actual crowd
-///               spend, possibly zero, is still settled with the ledger).
-struct EngineStats {
-  int64_t queries_served = 0;
-  int64_t queries_rejected = 0;
-  int64_t queries_failed = 0;
-  int64_t total_paid = 0;
-  double total_ocs_millis = 0.0;
-  double total_crowd_millis = 0.0;
-  double total_gsp_millis = 0.0;
-  /// Per-phase latency distributions over all queries that ran the phase.
-  util::metrics::LatencySnapshot ocs_latency;
-  util::metrics::LatencySnapshot crowd_latency;
-  util::metrics::LatencySnapshot gsp_latency;
-  /// End-to-end Serve latency of successfully served queries.
-  util::metrics::LatencySnapshot serve_latency;
-  /// Degradation-ladder accounting (fault-tolerant dispatch only). Every
-  /// degraded road lands in exactly one per-reason counter.
-  int64_t roads_degraded = 0;
-  int64_t degraded_deadline = 0;   // all attempts dropped out / timed out
-  int64_t degraded_outlier = 0;    // answers arrived, all implausible
-  int64_t degraded_unstaffed = 0;  // no worker on the road to ask
-  int64_t degraded_load_shed = 0;  // answered from the periodic fallback
-  /// Queries answered entirely from the periodic-mean fallback
-  /// (ServePeriodicFallback) — admission control shed them before any
-  /// budget was granted or worker asked. Counted inside queries_served.
-  int64_t queries_shed = 0;
-  /// Dispatch fault/retry counters summed over all served queries.
-  int64_t crowd_retries = 0;
-  int64_t crowd_reassignments = 0;
-  int64_t crowd_deadline_misses = 0;
-  int64_t reports_late = 0;
-  int64_t reports_duplicate = 0;
-  int64_t reports_outlier = 0;
-  /// Gamma_R correlation-cache state: hit/miss/coalesce/eviction counters,
-  /// resident footprint, and the cold-slot compute-latency distribution.
-  rtf::CorrelationCache::StatsSnapshot gamma_cache;
-
-  std::string Report() const;
-  /// The same snapshot as one JSON object (keys follow the registry's
-  /// metric names; histograms render via LatencySnapshot::ToJson) — what
-  /// the benches dump next to their BENCH_*.json trajectories.
-  std::string ReportJson() const;
-};
 
 /// The online half of CrowdRTSE as a service (paper Fig. 1): receives
 /// queries, consults the worker registry for the current R^w, lets the
@@ -140,7 +45,7 @@ struct EngineStats {
 /// from a snapshot, so cold slots need no pre-warming. One caveat remains
 /// the caller's responsibility: WorkerRegistry::AdvanceSlot must not run
 /// while queries are in flight (quiesce between slots).
-class QueryEngine {
+class QueryEngine : public Engine {
  public:
   /// Engine behaviour knobs.
   struct Options {
@@ -190,7 +95,7 @@ class QueryEngine {
               BudgetLedger& ledger, const crowd::CostModel& costs,
               crowd::CrowdSimulator& crowd_sim, Options options);
 
-  ~QueryEngine();
+  ~QueryEngine() override;
 
   /// Serves one query against `world` (today's real speeds). Rejects with
   /// InvalidArgument on a malformed request (no roads, out-of-range slot
@@ -198,7 +103,7 @@ class QueryEngine {
   /// exhausted or the engine is draining — both before any budget is
   /// granted or worker paid.
   util::Result<QueryResponse> Serve(const QueryRequest& request,
-                                    const traffic::DayMatrix& world);
+                                    const traffic::DayMatrix& world) override;
 
   /// Answers `request` entirely from the RTF periodic means mu_i^t with
   /// prior-widened variances — the bottom rung of the degradation ladder,
@@ -207,7 +112,7 @@ class QueryEngine {
   /// runs; every queried road comes back in degraded_roads with reason
   /// kLoadShed. Validation matches Serve. Counted as served (and shed).
   util::Result<QueryResponse> ServePeriodicFallback(
-      const QueryRequest& request, const traffic::DayMatrix& world);
+      const QueryRequest& request, const traffic::DayMatrix& world) override;
 
   /// Stops admitting new queries (they reject with FailedPrecondition
   /// "draining") and blocks until every in-flight Serve has returned, so
@@ -215,25 +120,29 @@ class QueryEngine {
   /// threads, propagator leases, the crowd simulator — is quiescent.
   /// Idempotent; the destructor calls it, making teardown while serving
   /// threads wind down safe instead of a race against the thread pools.
-  void Drain();
+  void Drain() override;
 
   /// True once Drain() has been called.
-  bool draining() const {
+  bool draining() const override {
     return draining_.load(std::memory_order_acquire);
   }
 
   /// Consistent snapshot of the rolling statistics (a thin view over the
   /// metrics registry).
-  EngineStats stats() const;
+  EngineStats stats() const override;
 
   /// The engine's named instruments — counters, gauges (gamma-cache bytes,
   /// outstanding reservations, GSP leases in flight), and the per-phase
   /// latency histograms. Render with RenderPrometheus() / RenderJson().
-  const util::metrics::MetricsRegistry& metrics() const { return metrics_; }
+  const util::metrics::MetricsRegistry& metrics() const override {
+    return metrics_;
+  }
 
   /// Finished traces of sampled queries: the export ring
   /// (ChromeTraceJson()) and the slow-query log (SlowQueryReport()).
-  const util::trace::TraceCollector& traces() const { return traces_; }
+  const util::trace::TraceCollector& traces() const override {
+    return traces_;
+  }
 
  private:
   /// Creates the registry instruments and caches pointers for the hot path.

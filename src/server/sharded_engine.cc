@@ -1,0 +1,795 @@
+#include "server/sharded_engine.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "graph/graph_io.h"
+#include "util/timer.h"
+
+namespace crowdrtse::server {
+
+namespace {
+
+int FanoutThreadsOrDefault(int requested, int num_shards) {
+  if (requested > 0) return requested;
+  return std::min(num_shards, 8);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Fanout pool
+
+ShardedEngine::Fanout::Fanout(int num_threads) {
+  threads_.reserve(static_cast<size_t>(std::max(1, num_threads)));
+  for (int i = 0; i < std::max(1, num_threads); ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ShardedEngine::Fanout::~Fanout() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ShardedEngine::Fanout::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ShardedEngine::Fanout::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+
+ShardedEngine::ShardedEngine(partition::Partition partition,
+                             BudgetLedger& ledger,
+                             const traffic::DayMatrix& world,
+                             const ShardedEngineOptions& options)
+    : partition_(std::move(partition)),
+      ledger_(ledger),
+      world_(&world),
+      options_(options) {
+  queries_served_ = &metrics_.GetCounter(
+      "crowdrtse_queries_served_total", "queries answered successfully");
+  queries_rejected_ = &metrics_.GetCounter(
+      "crowdrtse_queries_rejected_total",
+      "queries refused up front (bad request or campaign budget dry)");
+  queries_failed_ = &metrics_.GetCounter(
+      "crowdrtse_queries_failed_total",
+      "queries that died mid-pipeline after their budget grant");
+  paid_units_ = &metrics_.GetCounter("crowdrtse_paid_units_total",
+                                     "answer-units paid to the crowd");
+  queries_shed_ = &metrics_.GetCounter(
+      "crowdrtse_queries_shed_total",
+      "queries answered entirely from the periodic fallback");
+  roads_degraded_ = &metrics_.GetCounter(
+      "crowdrtse_roads_degraded_total",
+      "selected roads that fell down the degradation ladder");
+  degraded_deadline_ = &metrics_.GetCounter(
+      "crowdrtse_degraded_deadline_total",
+      "roads degraded because every attempt dropped out or timed out");
+  degraded_outlier_ = &metrics_.GetCounter(
+      "crowdrtse_degraded_outlier_total",
+      "roads degraded because all answers were rejected as implausible");
+  degraded_unstaffed_ = &metrics_.GetCounter(
+      "crowdrtse_degraded_unstaffed_total",
+      "roads degraded because no worker was there to ask");
+  degraded_load_shed_ = &metrics_.GetCounter(
+      "crowdrtse_degraded_load_shed_total",
+      "roads answered from the periodic fallback by admission shedding");
+  queries_cross_shard_ = &metrics_.GetCounter(
+      "crowdrtse_queries_cross_shard_total",
+      "queries whose roads spanned more than one owner shard");
+  ocs_latency_ = &metrics_.GetHistogram("crowdrtse_ocs_latency_ms",
+                                        "OCS road-selection phase latency");
+  crowd_latency_ = &metrics_.GetHistogram(
+      "crowdrtse_crowd_latency_ms", "crowdsourcing round wall latency");
+  gsp_latency_ = &metrics_.GetHistogram("crowdrtse_gsp_latency_ms",
+                                        "GSP propagation phase latency");
+  serve_latency_ = &metrics_.GetHistogram(
+      "crowdrtse_serve_latency_ms", "end-to-end Serve latency (served only)");
+  metrics_.RegisterCallbackGauge(
+      "crowdrtse_ledger_reserved_outstanding",
+      "budget units earmarked by in-flight reservations",
+      [this] { return ledger_.reserved_outstanding(); });
+  metrics_.RegisterCallbackGauge(
+      "crowdrtse_ledger_remaining_units",
+      "campaign budget not yet spent or reserved",
+      [this] { return ledger_.remaining(); });
+}
+
+std::vector<crowd::Worker> ShardedEngine::ProjectWorkers(
+    const partition::ShardLayout& layout,
+    const std::vector<crowd::Worker>& workers) {
+  std::vector<crowd::Worker> local;
+  for (const crowd::Worker& w : workers) {
+    if (w.road < 0) continue;
+    const graph::RoadId local_road = layout.LocalId(w.road);
+    if (local_road == graph::kInvalidRoad) continue;
+    crowd::Worker projected = w;
+    projected.road = local_road;
+    local.push_back(projected);
+  }
+  return local;
+}
+
+util::Status ShardedEngine::BuildShard(
+    Shard& shard, const graph::Graph& graph,
+    const traffic::HistoryStore& history,
+    const core::CrowdRtseConfig& config, const crowd::CostModel& costs,
+    const std::vector<crowd::Worker>& workers,
+    const traffic::DayMatrix& world, int per_query_cap, int shard_index,
+    const ShardedEngineOptions& options) {
+  const partition::ShardLayout& layout = shard.layout;
+  const int num_members = layout.num_members();
+
+  util::Result<graph::Subgraph> sub =
+      graph::InducedSubgraph(graph, layout.members);
+  if (!sub.ok()) return sub.status();
+  shard.sub = std::move(*sub);
+
+  // Projections: per-road data restricted to members, local id = position
+  // in the sorted member list (the monotone mapping every exactness
+  // argument leans on).
+  shard.history = traffic::HistoryStore(num_members, history.num_days(),
+                                        history.num_slots());
+  for (int day = 0; day < history.num_days(); ++day) {
+    for (int slot = 0; slot < history.num_slots(); ++slot) {
+      for (int local = 0; local < num_members; ++local) {
+        shard.history.At(day, slot, local) =
+            history.At(day, slot, layout.members[static_cast<size_t>(local)]);
+      }
+    }
+  }
+  shard.world = traffic::DayMatrix(world.num_slots(), num_members);
+  for (int slot = 0; slot < world.num_slots(); ++slot) {
+    for (int local = 0; local < num_members; ++local) {
+      shard.world.At(slot, local) =
+          world.At(slot, layout.members[static_cast<size_t>(local)]);
+    }
+  }
+  std::vector<int> local_costs(static_cast<size_t>(num_members));
+  for (int local = 0; local < num_members; ++local) {
+    local_costs[static_cast<size_t>(local)] =
+        costs.Cost(layout.members[static_cast<size_t>(local)]);
+  }
+  util::Result<crowd::CostModel> cost_model =
+      crowd::CostModel::FromCosts(std::move(local_costs));
+  if (!cost_model.ok()) return cost_model.status();
+  shard.costs = std::move(*cost_model);
+
+  // Per-shard model: moment estimation is a pure per-road/per-edge
+  // function of the member series, so training on the projection equals
+  // the global parameters restricted to the shard.
+  core::CrowdRtseConfig shard_config = config;
+  if (!shard_config.correlation_cache.persist_dir.empty()) {
+    shard_config.correlation_cache.persist_dir +=
+        "/shard" + std::to_string(shard_index);
+  }
+  util::Result<core::CrowdRtse> system = core::CrowdRtse::BuildOffline(
+      shard.sub.graph, shard.history, shard_config);
+  if (!system.ok()) return system.status();
+  shard.system = std::make_unique<core::CrowdRtse>(std::move(*system));
+
+  shard.registry = std::make_unique<WorkerRegistry>(
+      shard.sub.graph, ProjectWorkers(layout, workers),
+      WorkerRegistryOptions{}, options.crowd_seed + 0x9e37 +
+                                  static_cast<uint64_t>(shard_index));
+  // Private unlimited-campaign ledger: the global campaign is enforced
+  // once, by the router's reservation; the shard cap mirrors the global
+  // per-query cap so min(cap, sub budget_cap) reproduces the unsharded
+  // spend budget.
+  shard.ledger = std::make_unique<BudgetLedger>(-1, per_query_cap);
+  shard.crowd_sim = std::make_unique<crowd::CrowdSimulator>(
+      options.crowd,
+      util::Rng(options.crowd_seed + static_cast<uint64_t>(shard_index)));
+  shard.engine = std::make_unique<QueryEngine>(
+      *shard.system, *shard.registry, *shard.ledger, shard.costs,
+      *shard.crowd_sim, options.engine);
+  return util::Status::Ok();
+}
+
+util::Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
+    const graph::Graph& graph, const partition::Partition& partition,
+    const traffic::HistoryStore& history,
+    const core::CrowdRtseConfig& config, const crowd::CostModel& costs,
+    const std::vector<crowd::Worker>& workers, BudgetLedger& ledger,
+    const traffic::DayMatrix& world, const ShardedEngineOptions& options) {
+  if (partition.num_roads != graph.num_roads()) {
+    return util::Status::InvalidArgument(
+        "partition covers " + std::to_string(partition.num_roads) +
+        " roads but the graph has " + std::to_string(graph.num_roads()));
+  }
+  if (partition.graph_checksum != graph::EdgeListChecksum(graph)) {
+    return util::Status::InvalidArgument(
+        "partition checksum does not match the graph's edge list — the "
+        "partition was computed for a different map");
+  }
+  if (history.num_roads() != graph.num_roads()) {
+    return util::Status::InvalidArgument(
+        "history road count does not match the graph");
+  }
+  if (world.num_roads() != graph.num_roads()) {
+    return util::Status::InvalidArgument(
+        "world road count does not match the graph");
+  }
+  if (world.num_slots() != history.num_slots()) {
+    return util::Status::InvalidArgument(
+        "world slot count does not match the history");
+  }
+  if (costs.num_roads() != graph.num_roads()) {
+    return util::Status::InvalidArgument(
+        "cost model road count does not match the graph");
+  }
+  const int hop_c = config.correlation_hop_radius;
+  const int hop_h = config.gsp.hop_limit;
+  if (partition.num_shards > 1 && hop_c > 0 && hop_h > 0) {
+    const int required = std::max(2 * hop_c, hop_c + hop_h + 1);
+    if (partition.halo_radius < required) {
+      return util::Status::InvalidArgument(
+          "halo_radius " + std::to_string(partition.halo_radius) +
+          " breaks the locality contract: need >= max(2C, C+H+1) = " +
+          std::to_string(required) + " for correlation radius C=" +
+          std::to_string(hop_c) + " and GSP hop limit H=" +
+          std::to_string(hop_h));
+    }
+  }
+
+  std::unique_ptr<ShardedEngine> engine(
+      new ShardedEngine(partition, ledger, world, options));
+  engine->shards_.reserve(static_cast<size_t>(partition.num_shards));
+  for (int s = 0; s < partition.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->layout = engine->partition_.shards[static_cast<size_t>(s)];
+    const util::Status built = BuildShard(
+        *shard, graph, history, config, costs, workers, world,
+        ledger.per_query_cap(), s, options);
+    if (!built.ok()) return built;
+    engine->shards_.push_back(std::move(shard));
+  }
+  engine->fanout_ = std::make_unique<Fanout>(
+      FanoutThreadsOrDefault(options.fanout_threads, partition.num_shards));
+
+  // Per-shard observability: one labeled series per shard on top of the
+  // router aggregates. Callback gauges read the sub-engine at render time.
+  for (int s = 0; s < engine->num_shards(); ++s) {
+    QueryEngine* sub = engine->shards_[static_cast<size_t>(s)]->engine.get();
+    const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
+    engine->metrics_.RegisterCallbackGauge(
+        "crowdrtse_shard_queries_served" + label,
+        "queries served by this shard's engine",
+        [sub] { return sub->stats().queries_served; });
+    engine->metrics_.RegisterCallbackGauge(
+        "crowdrtse_shard_queries_failed" + label,
+        "queries failed by this shard's engine",
+        [sub] { return sub->stats().queries_failed; });
+    engine->metrics_.RegisterCallbackGauge(
+        "crowdrtse_shard_roads_degraded" + label,
+        "roads degraded inside this shard",
+        [sub] { return sub->stats().roads_degraded; });
+    engine->metrics_.RegisterCallbackGauge(
+        "crowdrtse_shard_gamma_resident_bytes" + label,
+        "resident Gamma_R cache footprint of this shard",
+        [sub] { return sub->stats().gamma_cache.resident_bytes; });
+    const int64_t owned = static_cast<int64_t>(
+        engine->shards_[static_cast<size_t>(s)]->layout.owned.size());
+    const int64_t members = static_cast<int64_t>(
+        engine->shards_[static_cast<size_t>(s)]->layout.members.size());
+    engine->metrics_.RegisterCallbackGauge(
+        "crowdrtse_shard_owned_roads" + label,
+        "roads this shard answers for", [owned] { return owned; });
+    engine->metrics_.RegisterCallbackGauge(
+        "crowdrtse_shard_member_roads" + label,
+        "owned + halo roads in this shard's subgraph",
+        [members] { return members; });
+  }
+  return engine;
+}
+
+ShardedEngine::~ShardedEngine() { Drain(); }
+
+// ---------------------------------------------------------------------------
+// Serving
+
+bool ShardedEngine::EnterServe() {
+  std::lock_guard<std::mutex> lock(drain_mutex_);
+  if (draining_.load(std::memory_order_acquire)) return false;
+  ++serves_in_flight_;
+  return true;
+}
+
+void ShardedEngine::ExitServe() {
+  std::lock_guard<std::mutex> lock(drain_mutex_);
+  if (--serves_in_flight_ == 0) drain_cv_.notify_all();
+}
+
+void ShardedEngine::Drain() {
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    draining_.store(true, std::memory_order_release);
+    drain_cv_.wait(lock, [this] { return serves_in_flight_ == 0; });
+  }
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->engine) shard->engine->Drain();
+  }
+}
+
+util::Status ShardedEngine::ValidateRequest(
+    const QueryRequest& request) const {
+  if (request.queried.empty()) {
+    return util::Status::InvalidArgument("query has no roads");
+  }
+  if (request.slot < 0 || request.slot >= world_->num_slots()) {
+    return util::Status::InvalidArgument(
+        "slot out of range: " + std::to_string(request.slot) +
+        " not in [0, " + std::to_string(world_->num_slots()) + ")");
+  }
+  for (graph::RoadId r : request.queried) {
+    if (r < 0 || r >= partition_.num_roads) {
+      return util::Status::InvalidArgument(
+          "queried road out of range: " + std::to_string(r) +
+          " not in [0, " + std::to_string(partition_.num_roads) + ")");
+    }
+  }
+  return util::Status::Ok();
+}
+
+void ShardedEngine::GlobalizeResponse(const Shard& shard,
+                                      QueryResponse& response) const {
+  const auto to_global = [&shard](std::vector<graph::RoadId>& roads) {
+    for (graph::RoadId& r : roads) {
+      r = shard.layout.members[static_cast<size_t>(r)];
+    }
+  };
+  // Sorted local lists stay sorted: the local order IS the ascending
+  // global order of the members.
+  to_global(response.probed_roads);
+  to_global(response.underfilled_roads);
+  to_global(response.degraded_roads);
+}
+
+void ShardedEngine::RecordServed(const QueryResponse& response,
+                                 double serve_millis) {
+  queries_served_->Increment();
+  paid_units_->Increment(response.paid);
+  ocs_latency_->Record(response.ocs_millis);
+  crowd_latency_->Record(response.crowd_millis);
+  gsp_latency_->Record(response.gsp_millis);
+  serve_latency_->Record(serve_millis);
+  roads_degraded_->Increment(
+      static_cast<int64_t>(response.degraded_roads.size()));
+  for (crowd::DegradeReason reason : response.degraded_reasons) {
+    switch (reason) {
+      case crowd::DegradeReason::kDeadline:
+        degraded_deadline_->Increment();
+        break;
+      case crowd::DegradeReason::kOutlier:
+        degraded_outlier_->Increment();
+        break;
+      case crowd::DegradeReason::kUnstaffed:
+        degraded_unstaffed_->Increment();
+        break;
+      case crowd::DegradeReason::kLoadShed:
+        degraded_load_shed_->Increment();
+        break;
+    }
+  }
+}
+
+util::Result<QueryResponse> ShardedEngine::Serve(
+    const QueryRequest& request, const traffic::DayMatrix& world) {
+  util::Timer serve_timer;
+  if (!EnterServe()) {
+    queries_rejected_->Increment();
+    return util::Status::FailedPrecondition(
+        "engine draining: no new queries admitted");
+  }
+  struct GateExit {
+    ShardedEngine* engine;
+    ~GateExit() { engine->ExitServe(); }
+  } gate_exit{this};
+
+  if (&world != world_) {
+    queries_rejected_->Increment();
+    return util::Status::InvalidArgument(
+        "sharded engine can only serve the world its shards were "
+        "projected from");
+  }
+  const util::Status valid = ValidateRequest(request);
+  if (!valid.ok()) {
+    queries_rejected_->Increment();
+    return valid;
+  }
+
+  const int64_t query_id =
+      next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  const int granted = ledger_.Reserve(query_id);
+  if (granted <= 0) {
+    queries_rejected_->Increment();
+    return util::Status::FailedPrecondition(
+        "campaign budget exhausted: " + ledger_.Report());
+  }
+  const int spend_budget =
+      request.budget_cap > 0 ? std::min(granted, request.budget_cap)
+                             : granted;
+
+  // Group queried roads by owner shard, remembering each road's position
+  // in the original request so merged speeds stay aligned.
+  std::vector<std::vector<size_t>> group_indices(shards_.size());
+  std::vector<int> owners;  // shards with at least one queried road
+  for (size_t i = 0; i < request.queried.size(); ++i) {
+    const int s = partition_.OwnerOf(request.queried[i]);
+    if (group_indices[static_cast<size_t>(s)].empty()) owners.push_back(s);
+    group_indices[static_cast<size_t>(s)].push_back(i);
+  }
+  std::sort(owners.begin(), owners.end());
+
+  // --- Single-owner fast path: the whole query runs inline on the owner
+  // shard with the full spend budget — the common, exactness-bearing case.
+  if (owners.size() == 1) {
+    Shard& shard = *shards_[static_cast<size_t>(owners[0])];
+    QueryRequest sub;
+    sub.slot = request.slot;
+    sub.selector = request.selector;
+    sub.budget_cap = spend_budget;
+    sub.queried.reserve(request.queried.size());
+    for (graph::RoadId r : request.queried) {
+      sub.queried.push_back(shard.layout.LocalId(r));
+    }
+    util::Result<QueryResponse> served = shard.engine->Serve(sub, shard.world);
+    if (!served.ok()) {
+      (void)ledger_.Settle(query_id, granted, 0);
+      queries_failed_->Increment();
+      return served.status();
+    }
+    QueryResponse response = std::move(*served);
+    GlobalizeResponse(shard, response);
+    response.query_id = query_id;
+    response.granted_budget = granted;
+    const util::Status settled =
+        ledger_.Settle(query_id, granted, response.paid);
+    if (!settled.ok()) {
+      queries_failed_->Increment();
+      return settled;
+    }
+    RecordServed(response, serve_timer.ElapsedMillis());
+    return response;
+  }
+
+  // --- Multi-owner: split per owner, fan out, merge.
+  queries_cross_shard_->Increment();
+
+  // Largest-remainder proportional budget split over group sizes; the
+  // caps sum exactly to spend_budget. A group whose cap rounds to zero
+  // answers from its shard's periodic fallback (spend 0).
+  const size_t total_roads = request.queried.size();
+  std::vector<int> caps(owners.size(), 0);
+  {
+    int assigned = 0;
+    for (size_t g = 0; g < owners.size(); ++g) {
+      const size_t size =
+          group_indices[static_cast<size_t>(owners[g])].size();
+      caps[g] = static_cast<int>(
+          (static_cast<int64_t>(spend_budget) *
+           static_cast<int64_t>(size)) /
+          static_cast<int64_t>(total_roads));
+      assigned += caps[g];
+    }
+    for (size_t g = 0; assigned < spend_budget; g = (g + 1) % owners.size()) {
+      ++caps[g];
+      ++assigned;
+    }
+  }
+
+  struct GroupRun {
+    int shard = 0;
+    int cap = 0;
+    const std::vector<size_t>* indices = nullptr;
+    QueryRequest sub;
+    util::Status status = util::Status::Ok();
+    QueryResponse response;
+    bool ok = false;
+  };
+  std::vector<GroupRun> runs(owners.size());
+  for (size_t g = 0; g < owners.size(); ++g) {
+    GroupRun& run = runs[g];
+    run.shard = owners[g];
+    run.cap = caps[g];
+    run.indices = &group_indices[static_cast<size_t>(owners[g])];
+    run.sub.slot = request.slot;
+    run.sub.selector = request.selector;
+    run.sub.budget_cap = run.cap;
+    run.sub.queried.reserve(run.indices->size());
+    const Shard& shard = *shards_[static_cast<size_t>(run.shard)];
+    for (size_t idx : *run.indices) {
+      run.sub.queried.push_back(shard.layout.LocalId(request.queried[idx]));
+    }
+  }
+
+  const auto run_group = [this](GroupRun& run) {
+    Shard& shard = *shards_[static_cast<size_t>(run.shard)];
+    util::Result<QueryResponse> result =
+        run.cap > 0 ? shard.engine->Serve(run.sub, shard.world)
+                    : shard.engine->ServePeriodicFallback(run.sub,
+                                                          shard.world);
+    if (result.ok()) {
+      run.response = std::move(*result);
+      GlobalizeResponse(shard, run.response);
+      run.ok = true;
+    } else {
+      run.status = result.status();
+    }
+  };
+
+  // The calling thread takes the last group; the pool runs the rest.
+  std::mutex pending_mutex;
+  std::condition_variable pending_cv;
+  size_t pending = runs.size() - 1;
+  for (size_t g = 0; g + 1 < runs.size(); ++g) {
+    fanout_->Submit([&run_group, &runs, g, &pending_mutex, &pending_cv,
+                     &pending] {
+      run_group(runs[g]);
+      std::lock_guard<std::mutex> lock(pending_mutex);
+      if (--pending == 0) pending_cv.notify_one();
+    });
+  }
+  run_group(runs.back());
+  {
+    std::unique_lock<std::mutex> lock(pending_mutex);
+    pending_cv.wait(lock, [&pending] { return pending == 0; });
+  }
+
+  int total_paid = 0;
+  for (const GroupRun& run : runs) {
+    if (run.ok) total_paid += run.response.paid;
+  }
+  for (const GroupRun& run : runs) {
+    if (!run.ok) {
+      // The groups that did run were really paid; the failed group settled
+      // its own spend against its shard ledger before reporting.
+      (void)ledger_.Settle(query_id, granted, total_paid);
+      paid_units_->Increment(total_paid);
+      queries_failed_->Increment();
+      return run.status;
+    }
+  }
+
+  QueryResponse response;
+  response.query_id = query_id;
+  response.granted_budget = granted;
+  response.paid = total_paid;
+  response.queried_speeds.assign(request.queried.size(), 0.0);
+  const bool merge_variances = options_.engine.fault_tolerant_dispatch;
+  if (merge_variances) {
+    response.queried_variances.assign(request.queried.size(), 0.0);
+  }
+  std::vector<std::pair<graph::RoadId, crowd::DegradeReason>> degraded;
+  for (const GroupRun& run : runs) {
+    for (size_t j = 0; j < run.indices->size(); ++j) {
+      const size_t idx = (*run.indices)[j];
+      response.queried_speeds[idx] = run.response.queried_speeds[j];
+      if (merge_variances && j < run.response.queried_variances.size()) {
+        response.queried_variances[idx] = run.response.queried_variances[j];
+      }
+    }
+    response.probed_roads.insert(response.probed_roads.end(),
+                                 run.response.probed_roads.begin(),
+                                 run.response.probed_roads.end());
+    response.underfilled_roads.insert(response.underfilled_roads.end(),
+                                      run.response.underfilled_roads.begin(),
+                                      run.response.underfilled_roads.end());
+    for (size_t d = 0; d < run.response.degraded_roads.size(); ++d) {
+      degraded.emplace_back(run.response.degraded_roads[d],
+                            d < run.response.degraded_reasons.size()
+                                ? run.response.degraded_reasons[d]
+                                : crowd::DegradeReason::kLoadShed);
+    }
+    response.ocs_millis += run.response.ocs_millis;
+    response.crowd_millis += run.response.crowd_millis;
+    response.gsp_millis += run.response.gsp_millis;
+    response.dispatch_span_ms =
+        std::max(response.dispatch_span_ms, run.response.dispatch_span_ms);
+    response.gsp_sweeps =
+        std::max(response.gsp_sweeps, run.response.gsp_sweeps);
+  }
+  // Halo roads near a cut can be probed by two shards; the merged
+  // provenance reports each road once.
+  std::sort(response.probed_roads.begin(), response.probed_roads.end());
+  response.probed_roads.erase(std::unique(response.probed_roads.begin(),
+                                          response.probed_roads.end()),
+                              response.probed_roads.end());
+  std::sort(response.underfilled_roads.begin(),
+            response.underfilled_roads.end());
+  response.underfilled_roads.erase(
+      std::unique(response.underfilled_roads.begin(),
+                  response.underfilled_roads.end()),
+      response.underfilled_roads.end());
+  std::sort(degraded.begin(), degraded.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  degraded.erase(std::unique(degraded.begin(), degraded.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.first == b.first;
+                             }),
+                 degraded.end());
+  response.degraded_roads.reserve(degraded.size());
+  response.degraded_reasons.reserve(degraded.size());
+  for (const auto& [road, reason] : degraded) {
+    response.degraded_roads.push_back(road);
+    response.degraded_reasons.push_back(reason);
+  }
+
+  const util::Status settled =
+      ledger_.Settle(query_id, granted, response.paid);
+  if (!settled.ok()) {
+    queries_failed_->Increment();
+    return settled;
+  }
+  RecordServed(response, serve_timer.ElapsedMillis());
+  return response;
+}
+
+util::Result<QueryResponse> ShardedEngine::ServePeriodicFallback(
+    const QueryRequest& request, const traffic::DayMatrix& world) {
+  util::Timer serve_timer;
+  if (!EnterServe()) {
+    queries_rejected_->Increment();
+    return util::Status::FailedPrecondition(
+        "engine draining: no new queries admitted");
+  }
+  struct GateExit {
+    ShardedEngine* engine;
+    ~GateExit() { engine->ExitServe(); }
+  } gate_exit{this};
+
+  if (&world != world_) {
+    queries_rejected_->Increment();
+    return util::Status::InvalidArgument(
+        "sharded engine can only serve the world its shards were "
+        "projected from");
+  }
+  const util::Status valid = ValidateRequest(request);
+  if (!valid.ok()) {
+    queries_rejected_->Increment();
+    return valid;
+  }
+
+  const int64_t query_id =
+      next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::vector<size_t>> group_indices(shards_.size());
+  std::vector<int> owners;
+  for (size_t i = 0; i < request.queried.size(); ++i) {
+    const int s = partition_.OwnerOf(request.queried[i]);
+    if (group_indices[static_cast<size_t>(s)].empty()) owners.push_back(s);
+    group_indices[static_cast<size_t>(s)].push_back(i);
+  }
+  std::sort(owners.begin(), owners.end());
+
+  QueryResponse response;
+  response.query_id = query_id;
+  response.queried_speeds.assign(request.queried.size(), 0.0);
+  response.queried_variances.assign(request.queried.size(), 0.0);
+  std::vector<graph::RoadId> degraded;
+  for (const int s : owners) {
+    Shard& shard = *shards_[static_cast<size_t>(s)];
+    const std::vector<size_t>& indices =
+        group_indices[static_cast<size_t>(s)];
+    QueryRequest sub;
+    sub.slot = request.slot;
+    sub.selector = request.selector;
+    sub.queried.reserve(indices.size());
+    for (size_t idx : indices) {
+      sub.queried.push_back(shard.layout.LocalId(request.queried[idx]));
+    }
+    util::Result<QueryResponse> served =
+        shard.engine->ServePeriodicFallback(sub, shard.world);
+    if (!served.ok()) {
+      queries_failed_->Increment();
+      return served.status();
+    }
+    GlobalizeResponse(shard, *served);
+    for (size_t j = 0; j < indices.size(); ++j) {
+      response.queried_speeds[indices[j]] = served->queried_speeds[j];
+      if (j < served->queried_variances.size()) {
+        response.queried_variances[indices[j]] =
+            served->queried_variances[j];
+      }
+    }
+    degraded.insert(degraded.end(), served->degraded_roads.begin(),
+                    served->degraded_roads.end());
+  }
+  std::sort(degraded.begin(), degraded.end());
+  degraded.erase(std::unique(degraded.begin(), degraded.end()),
+                 degraded.end());
+  response.degraded_roads = std::move(degraded);
+  response.degraded_reasons.assign(response.degraded_roads.size(),
+                                   crowd::DegradeReason::kLoadShed);
+
+  serve_latency_->Record(serve_timer.ElapsedMillis());
+  queries_served_->Increment();
+  queries_shed_->Increment();
+  roads_degraded_->Increment(
+      static_cast<int64_t>(response.degraded_roads.size()));
+  degraded_load_shed_->Increment(
+      static_cast<int64_t>(response.degraded_roads.size()));
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+EngineStats ShardedEngine::stats() const {
+  EngineStats snapshot;
+  snapshot.queries_served = queries_served_->value();
+  snapshot.queries_rejected = queries_rejected_->value();
+  snapshot.queries_failed = queries_failed_->value();
+  snapshot.total_paid = paid_units_->value();
+  snapshot.queries_shed = queries_shed_->value();
+  snapshot.roads_degraded = roads_degraded_->value();
+  snapshot.degraded_deadline = degraded_deadline_->value();
+  snapshot.degraded_outlier = degraded_outlier_->value();
+  snapshot.degraded_unstaffed = degraded_unstaffed_->value();
+  snapshot.degraded_load_shed = degraded_load_shed_->value();
+  snapshot.ocs_latency = ocs_latency_->Snapshot();
+  snapshot.crowd_latency = crowd_latency_->Snapshot();
+  snapshot.gsp_latency = gsp_latency_->Snapshot();
+  snapshot.serve_latency = serve_latency_->Snapshot();
+  snapshot.total_ocs_millis = snapshot.ocs_latency.sum_ms;
+  snapshot.total_crowd_millis = snapshot.crowd_latency.sum_ms;
+  snapshot.total_gsp_millis = snapshot.gsp_latency.sum_ms;
+  snapshot.shards.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const EngineStats sub = shards_[s]->engine->stats();
+    snapshot.crowd_retries += sub.crowd_retries;
+    snapshot.crowd_reassignments += sub.crowd_reassignments;
+    snapshot.crowd_deadline_misses += sub.crowd_deadline_misses;
+    snapshot.reports_late += sub.reports_late;
+    snapshot.reports_duplicate += sub.reports_duplicate;
+    snapshot.reports_outlier += sub.reports_outlier;
+    snapshot.gamma_cache.hits += sub.gamma_cache.hits;
+    snapshot.gamma_cache.misses += sub.gamma_cache.misses;
+    snapshot.gamma_cache.coalesced += sub.gamma_cache.coalesced;
+    snapshot.gamma_cache.evictions += sub.gamma_cache.evictions;
+    snapshot.gamma_cache.warm_loads += sub.gamma_cache.warm_loads;
+    snapshot.gamma_cache.persist_failures += sub.gamma_cache.persist_failures;
+    snapshot.gamma_cache.resident_tables += sub.gamma_cache.resident_tables;
+    snapshot.gamma_cache.resident_bytes += sub.gamma_cache.resident_bytes;
+    ShardStats entry;
+    entry.shard = static_cast<int>(s);
+    entry.queries_served = sub.queries_served;
+    entry.queries_rejected = sub.queries_rejected;
+    entry.queries_failed = sub.queries_failed;
+    entry.roads_degraded = sub.roads_degraded;
+    entry.gamma_cache_bytes = sub.gamma_cache.resident_bytes;
+    snapshot.shards.push_back(entry);
+  }
+  return snapshot;
+}
+
+void ShardedEngine::SyncWorkers(const std::vector<crowd::Worker>& workers) {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    shard->registry->ReplaceWorkers(ProjectWorkers(shard->layout, workers));
+  }
+}
+
+}  // namespace crowdrtse::server

@@ -1,6 +1,8 @@
 #include "server/worker_registry.h"
 
+#include <algorithm>
 #include <map>
+#include <utility>
 
 namespace crowdrtse::server {
 
@@ -11,6 +13,24 @@ WorkerRegistry::WorkerRegistry(const graph::Graph& graph,
   workers_.reserve(static_cast<size_t>(options.num_workers));
   for (int i = 0; i < options.num_workers; ++i) {
     workers_.push_back(SpawnWorker(next_id_++));
+  }
+}
+
+WorkerRegistry::WorkerRegistry(const graph::Graph& graph,
+                               std::vector<crowd::Worker> workers,
+                               const WorkerRegistryOptions& options,
+                               uint64_t seed)
+    : graph_(graph), options_(options), rng_(seed),
+      workers_(std::move(workers)) {
+  for (const crowd::Worker& w : workers_) {
+    next_id_ = std::max(next_id_, w.id + 1);
+  }
+}
+
+void WorkerRegistry::ReplaceWorkers(std::vector<crowd::Worker> workers) {
+  workers_ = std::move(workers);
+  for (const crowd::Worker& w : workers_) {
+    next_id_ = std::max(next_id_, w.id + 1);
   }
 }
 

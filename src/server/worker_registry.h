@@ -39,6 +39,20 @@ class WorkerRegistry {
   WorkerRegistry(const graph::Graph& graph,
                  const WorkerRegistryOptions& options, uint64_t seed);
 
+  /// Wraps an explicit worker snapshot — e.g. a shard-local projection of
+  /// a global registry with road ids remapped to the shard's subgraph.
+  /// The snapshot's order is preserved (task assignment scans workers in
+  /// vector order, so a projection that keeps the global order reproduces
+  /// the global assignment on the shard). AdvanceSlot works as usual over
+  /// `graph`.
+  WorkerRegistry(const graph::Graph& graph,
+                 std::vector<crowd::Worker> workers,
+                 const WorkerRegistryOptions& options, uint64_t seed);
+
+  /// Replaces the whole population (e.g. re-projection after the global
+  /// registry advanced a slot). Must not race with in-flight queries.
+  void ReplaceWorkers(std::vector<crowd::Worker> workers);
+
   /// Advances one time slot: workers travel to adjacent roads and a small
   /// fraction of the population churns.
   void AdvanceSlot();

@@ -233,27 +233,45 @@ void MetricsRegistry::RegisterCallbackGauge(const std::string& name,
 std::string MetricsRegistry::RenderPrometheus() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
-  for (const auto& [name, instrument] : instruments_) {
-    if (!instrument.help.empty()) {
-      out += "# HELP " + name + " " + PrometheusHelpEscape(instrument.help) +
-             "\n";
+  // Labeled instruments ('name{shard="3"}') share one metric family: HELP
+  // and TYPE must name the bare family exactly once, while each series
+  // line keeps its label block. Map order clusters a family's series, and
+  // the emitted-set below keeps the header unique even if another name
+  // sorts between a family's series.
+  std::map<std::string, bool> family_header_emitted;
+  const auto base_name = [](const std::string& name) {
+    const size_t brace = name.find('{');
+    return brace == std::string::npos ? name : name.substr(0, brace);
+  };
+  const auto emit_header = [&](const std::string& name,
+                               const std::string& help,
+                               const char* type) {
+    const std::string base = base_name(name);
+    bool& emitted = family_header_emitted[base];
+    if (emitted) return;
+    emitted = true;
+    if (!help.empty()) {
+      out += "# HELP " + base + " " + PrometheusHelpEscape(help) + "\n";
     }
+    out += "# TYPE " + base + " " + type + "\n";
+  };
+  for (const auto& [name, instrument] : instruments_) {
     if (const auto* counter =
             std::get_if<std::unique_ptr<Counter>>(&instrument.value)) {
-      out += "# TYPE " + name + " counter\n";
+      emit_header(name, instrument.help, "counter");
       out += name + " " + std::to_string((*counter)->value()) + "\n";
     } else if (const auto* gauge =
                    std::get_if<std::unique_ptr<Gauge>>(&instrument.value)) {
-      out += "# TYPE " + name + " gauge\n";
+      emit_header(name, instrument.help, "gauge");
       out += name + " " + std::to_string((*gauge)->value()) + "\n";
     } else if (const auto* callback =
                    std::get_if<Callback>(&instrument.value)) {
-      out += "# TYPE " + name + " gauge\n";
+      emit_header(name, instrument.help, "gauge");
       out += name + " " + std::to_string((*callback)()) + "\n";
     } else {
       const auto& histogram =
           *std::get<std::unique_ptr<LatencyHistogram>>(instrument.value);
-      out += "# TYPE " + name + " histogram\n";
+      emit_header(name, instrument.help, "histogram");
       const auto counts = histogram.BucketCounts();
       const LatencySnapshot snap = histogram.Snapshot();
       int64_t cumulative = 0;

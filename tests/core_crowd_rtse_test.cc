@@ -315,5 +315,42 @@ TEST_F(CrowdRtseTest, GspEstimatorAdapterEchoesProbes) {
   EXPECT_EQ(estimator.name(), "GSP");
 }
 
+
+TEST_F(CrowdRtseTest, ZeroGainPruningPreservesSelection) {
+  CrowdRtseConfig base = Config();
+  base.correlation_hop_radius = 2;
+  CrowdRtseConfig pruned = base;
+  pruned.prune_zero_gain_candidates = true;
+  auto plain = CrowdRtse::BuildOffline(graph_, history_, base);
+  auto fast = CrowdRtse::BuildOffline(graph_, history_, pruned);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(fast.ok());
+  const std::vector<graph::RoadId> queried = {3, 17, 42};
+  // Budget 6 = three roads at cost 2: every greedy pick carries strictly
+  // positive gain. (A larger budget lets greedy pad the selection with
+  // zero-gain filler, where pruned and unpruned runs may legitimately
+  // pick different — equally worthless — roads.)
+  const auto a =
+      plain->SelectRoads(10, queried, all_roads_, costs_, 6);
+  const auto b = fast->SelectRoads(10, queried, all_roads_, costs_, 6);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Pruning only removes candidates whose Gamma_R row over the queried set
+  // is identically zero — they can never beat a positive-gain pick, so the
+  // selected set is unchanged.
+  EXPECT_EQ(a->roads, b->roads);
+}
+
+TEST_F(CrowdRtseTest, PruningStillRejectsInvalidQueriedRoads) {
+  CrowdRtseConfig config = Config();
+  config.correlation_hop_radius = 2;
+  config.prune_zero_gain_candidates = true;
+  auto system = CrowdRtse::BuildOffline(graph_, history_, config);
+  ASSERT_TRUE(system.ok());
+  EXPECT_FALSE(
+      system->SelectRoads(10, {graph_.num_roads()}, all_roads_, costs_, 8)
+          .ok());
+}
+
 }  // namespace
 }  // namespace crowdrtse::core

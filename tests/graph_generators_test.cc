@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/connected_components.h"
+#include "graph/graph_io.h"
 #include "util/rng.h"
 
 namespace crowdrtse::graph {
@@ -123,6 +124,48 @@ TEST(InducedSubgraphTest, RejectsDuplicatesAndOutOfRange) {
   const Graph g = *PathNetwork(4);
   EXPECT_FALSE(InducedSubgraph(g, {0, 0}).ok());
   EXPECT_FALSE(InducedSubgraph(g, {0, 9}).ok());
+}
+
+
+TEST(MetroNetworkTest, BuildsConnectedUrbanSparseGrid) {
+  MetroNetworkOptions options;
+  options.num_roads = 5000;
+  std::vector<std::pair<double, double>> positions;
+  const auto g = MetroNetwork(options, &positions);
+  ASSERT_TRUE(g.ok());
+  // Actual count is the nearest rows*cols grid around the target.
+  EXPECT_GE(g->num_roads(), 4000);
+  EXPECT_LE(g->num_roads(), 6000);
+  ASSERT_EQ(positions.size(), static_cast<size_t>(g->num_roads()));
+  for (const auto& [x, y] : positions) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+    EXPECT_GE(y, 0.0);
+    EXPECT_LE(y, 1.0);
+  }
+  EXPECT_EQ(FindConnectedComponents(*g).Count(), 1);
+  const double avg_degree =
+      2.0 * g->num_edges() / static_cast<double>(g->num_roads());
+  EXPECT_GT(avg_degree, 3.0);
+  EXPECT_LT(avg_degree, 6.0);
+}
+
+TEST(MetroNetworkTest, DeterministicAndScalesDown) {
+  MetroNetworkOptions options;
+  options.num_roads = 1200;
+  const auto a = MetroNetwork(options);
+  const auto b = MetroNetwork(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(EdgeListChecksum(*a), EdgeListChecksum(*b));
+
+  MetroNetworkOptions plain = options;
+  plain.arterial_spacing = 0;
+  plain.num_ring_roads = 0;
+  const auto grid = MetroNetwork(plain);
+  ASSERT_TRUE(grid.ok());
+  // Arterials and rings only ever add edges.
+  EXPECT_GT(a->num_edges(), grid->num_edges());
 }
 
 }  // namespace

@@ -65,5 +65,49 @@ TEST(GraphIoTest, MissingFileFails) {
   EXPECT_FALSE(ReadEdgeListFile("/no/such/graph.edges").ok());
 }
 
+
+TEST(GraphIoTest, StreamWriterMatchesStringFormat) {
+  util::Rng rng(5);
+  RoadNetworkOptions options;
+  options.num_roads = 60;
+  const Graph g = *RoadNetwork(options, rng);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteEdgeList(out, g).ok());
+  EXPECT_EQ(out.str(), ToEdgeList(g));
+  std::istringstream in(out.str());
+  const auto loaded = ReadEdgeList(in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(EdgeListChecksum(*loaded), EdgeListChecksum(g));
+}
+
+TEST(GraphIoTest, FileRoundTripStreamsAndPreservesChecksum) {
+  MetroNetworkOptions metro;
+  metro.num_roads = 2000;
+  const auto g = MetroNetwork(metro);
+  ASSERT_TRUE(g.ok());
+  const std::string path = ::testing::TempDir() + "/metro_edges.txt";
+  ASSERT_TRUE(WriteEdgeListFile(path, *g).ok());
+  const auto loaded = ReadEdgeListFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_roads(), g->num_roads());
+  EXPECT_EQ(loaded->num_edges(), g->num_edges());
+  EXPECT_EQ(EdgeListChecksum(*loaded), EdgeListChecksum(*g));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, ChecksumIsStableAndEdgeSensitive) {
+  const Graph a = *PathNetwork(5);
+  const Graph b = *PathNetwork(5);
+  EXPECT_EQ(EdgeListChecksum(a), EdgeListChecksum(b));
+  const Graph ring = *RingNetwork(5);  // one extra edge over the path
+  EXPECT_NE(EdgeListChecksum(a), EdgeListChecksum(ring));
+  GraphBuilder builder(5);  // same counts as the path, different wiring
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(2, 4);
+  EXPECT_NE(EdgeListChecksum(*builder.Build()), EdgeListChecksum(a));
+}
+
 }  // namespace
 }  // namespace crowdrtse::graph

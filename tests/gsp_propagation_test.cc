@@ -209,5 +209,44 @@ TEST(GspTest, EstimationQualityBeatsPeriodicBaseline) {
   EXPECT_LT(gsp_err / count, per_err / count);
 }
 
+
+TEST(GspTest, LargeHopLimitMatchesUnlimitedBitwise) {
+  const graph::Graph g = *graph::PathNetwork(6);
+  const rtf::RtfModel model = UniformModel(g, 50.0, 5.0, 0.9);
+  GspOptions unlimited;
+  unlimited.epsilon = 1e-8;
+  GspOptions capped = unlimited;
+  capped.hop_limit = 100;  // deeper than the graph: no road is frozen
+  const SpeedPropagator a(model, unlimited);
+  const SpeedPropagator b(model, capped);
+  const auto ra = a.Propagate(0, {0}, {20.0});
+  const auto rb = b.Propagate(0, {0}, {20.0});
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  ASSERT_EQ(ra->speeds.size(), rb->speeds.size());
+  for (size_t i = 0; i < ra->speeds.size(); ++i) {
+    EXPECT_EQ(ra->speeds[i], rb->speeds[i]) << "road " << i;
+  }
+  EXPECT_EQ(ra->sweeps, rb->sweeps);
+}
+
+TEST(GspTest, HopLimitFreezesRoadsBeyondTheHorizon) {
+  const graph::Graph g = *graph::PathNetwork(8);
+  const rtf::RtfModel model = UniformModel(g, 50.0, 5.0, 0.9);
+  GspOptions options;
+  options.epsilon = 1e-8;
+  options.hop_limit = 2;
+  const SpeedPropagator propagator(model, options);
+  const auto result = propagator.Propagate(0, {0}, {20.0});
+  ASSERT_TRUE(result.ok());
+  // Roads within H=2 hops relax toward the probe; everything deeper stays
+  // frozen at its periodic mean, exactly.
+  EXPECT_LT(result->speeds[1], 50.0);
+  EXPECT_LT(result->speeds[2], 50.0);
+  for (graph::RoadId r = 3; r < 8; ++r) {
+    EXPECT_DOUBLE_EQ(result->speeds[r], 50.0) << "road " << r;
+  }
+}
+
 }  // namespace
 }  // namespace crowdrtse::gsp

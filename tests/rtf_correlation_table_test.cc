@@ -217,10 +217,11 @@ TEST(CorrelationTableTest, DeserializeRejectsMismatchedFormatVersion) {
   ASSERT_TRUE(table.ok());
   std::string data = table->Serialize();
   ASSERT_TRUE(CorrelationTable::Deserialize(data).ok());
-  // The version field sits right after the 4-byte magic; bump it.
+  // The version field sits right after the 4-byte magic; move it past
+  // every supported layout (v2 dense, v3 sparse).
   uint32_t version = 0;
   std::memcpy(&version, data.data() + 4, sizeof(version));
-  ++version;
+  version += 100;
   std::memcpy(data.data() + 4, &version, sizeof(version));
   const auto rejected = CorrelationTable::Deserialize(data);
   ASSERT_FALSE(rejected.ok());
@@ -248,6 +249,59 @@ TEST(CorrelationTableTest, SerializeAndSaveToFileShareOneByteLayout) {
   }
   EXPECT_EQ(file_bytes, table->Serialize());
   std::remove(path.c_str());
+}
+
+
+TEST(CorrelationTableTest, SparseMatchesDenseWithinRadiusZeroBeyond) {
+  // On a path there is exactly one path per pair, so the dense closure and
+  // the C-bounded closure agree within C hops; beyond, sparse is exactly 0.
+  const graph::Graph g = *graph::PathNetwork(6);
+  const std::vector<double> rhos = {0.9, 0.8, 0.7, 0.6, 0.5};
+  const auto dense = CorrelationTable::FromEdgeCorrelations(g, rhos);
+  const auto sparse = CorrelationTable::FromEdgeCorrelations(
+      g, rhos, PathWeightMode::kNegLog, nullptr, 2);
+  ASSERT_TRUE(dense.ok());
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_EQ(sparse->hop_radius(), 2);
+  for (graph::RoadId i = 0; i < 6; ++i) {
+    for (graph::RoadId j = 0; j < 6; ++j) {
+      if (std::abs(i - j) <= 2) {
+        EXPECT_NEAR(sparse->Corr(i, j), dense->Corr(i, j), 1e-9)
+            << i << "," << j;
+      } else {
+        EXPECT_EQ(sparse->Corr(i, j), 0.0) << i << "," << j;
+        EXPECT_GT(dense->Corr(i, j), 0.0);
+      }
+    }
+  }
+}
+
+TEST(CorrelationTableTest, SparseSerializeRoundTripsBitwise) {
+  const graph::Graph g = *graph::PathNetwork(5);
+  const auto table = CorrelationTable::FromEdgeCorrelations(
+      g, {0.9, 0.8, 0.7, 0.6}, PathWeightMode::kNegLog, nullptr, 2);
+  ASSERT_TRUE(table.ok());
+  const auto loaded = CorrelationTable::Deserialize(table->Serialize());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded->hop_radius(), 2);
+  EXPECT_EQ(loaded->num_roads(), 5);
+  for (graph::RoadId i = 0; i < 5; ++i) {
+    for (graph::RoadId j = 0; j < 5; ++j) {
+      EXPECT_EQ(loaded->Corr(i, j), table->Corr(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(CorrelationTableTest, SparseModeRequiresNegLogWeights) {
+  const graph::Graph g = *graph::PathNetwork(3);
+  const auto rejected = CorrelationTable::FromEdgeCorrelations(
+      g, {0.8, 0.5}, PathWeightMode::kReciprocal, nullptr, 2);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_FALSE(
+      CorrelationTable::FromEdgeCorrelations(g, {0.8, 0.5},
+                                             PathWeightMode::kNegLog,
+                                             nullptr, -1)
+          .ok());
 }
 
 }  // namespace

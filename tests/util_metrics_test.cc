@@ -319,5 +319,38 @@ TEST(MetricsRegistryTest, ConcurrentLookupsAndIncrementsAreSafe) {
             kThreads * kPerThread);
 }
 
+
+TEST(MetricsRegistryTest, LabeledSeriesShareOneFamilyHeader) {
+  MetricsRegistry registry;
+  registry.RegisterCallbackGauge("shard_queries{shard=\"0\"}",
+                                 "per-shard served", [] { return 4; });
+  registry.RegisterCallbackGauge("shard_queries{shard=\"1\"}",
+                                 "per-shard served", [] { return 6; });
+  registry.GetCounter("shard_queries_other_total", "unrelated").Increment();
+  const std::string prom = registry.RenderPrometheus();
+  // Every labeled series renders with its label block...
+  EXPECT_NE(prom.find("shard_queries{shard=\"0\"} 4"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("shard_queries{shard=\"1\"} 6"), std::string::npos);
+  // ...but HELP/TYPE appear once per family, keyed by the bare base name.
+  size_t type_count = 0;
+  const std::string header = "# TYPE shard_queries gauge";
+  for (size_t pos = prom.find(header); pos != std::string::npos;
+       pos = prom.find(header, pos + 1)) {
+    ++type_count;
+  }
+  EXPECT_EQ(type_count, 1u);
+  size_t help_count = 0;
+  const std::string help = "# HELP shard_queries per-shard served";
+  for (size_t pos = prom.find(help); pos != std::string::npos;
+       pos = prom.find(help, pos + 1)) {
+    ++help_count;
+  }
+  EXPECT_EQ(help_count, 1u);
+  // The lexically-adjacent unlabeled family keeps its own header.
+  EXPECT_NE(prom.find("# TYPE shard_queries_other_total counter"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace crowdrtse::util::metrics
