@@ -101,6 +101,67 @@ util::Result<rtf::CorrelationCache::TablePtr> CrowdRtse::CorrelationsFor(
       });
 }
 
+util::Result<int> CrowdRtse::RefineSlot(int slot) {
+  if (slot < 0 || slot >= model_->num_slots()) {
+    return util::Status::OutOfRange("slot out of range: " +
+                                    std::to_string(slot));
+  }
+  const int num_edges = model_->num_edges();
+  // Refine under the CCD mutex (the trainer mutates the shared model) and
+  // snapshot the post-refinement edge correlations under the same lock, so
+  // the patch below works from a consistent view even if another slot's
+  // lazy refinement runs concurrently.
+  std::vector<graph::EdgeId> changed_edges;
+  std::vector<double> edge_rho(static_cast<size_t>(num_edges));
+  {
+    std::lock_guard<std::mutex> lock(ccd_state_->mutex);
+    std::vector<double> old_rho(static_cast<size_t>(num_edges));
+    for (graph::EdgeId e = 0; e < num_edges; ++e) {
+      old_rho[static_cast<size_t>(e)] = model_->Rho(slot, e);
+    }
+    const rtf::CcdTrainer trainer(*graph_, *history_, config_.ccd);
+    util::Result<rtf::CcdReport> report = trainer.TrainSlot(*model_, slot);
+    if (!report.ok()) return report.status();
+    model_->ClampParameters(slot);
+    ccd_state_->refined_slots.insert(slot);
+    for (graph::EdgeId e = 0; e < num_edges; ++e) {
+      const double rho = model_->Rho(slot, e);
+      edge_rho[static_cast<size_t>(e)] = rho;
+      if (rho != old_rho[static_cast<size_t>(e)]) {
+        changed_edges.push_back(e);
+      }
+    }
+  }
+  if (changed_edges.empty()) {
+    // Gamma_R depends on the edge correlations only; mu/sigma shifts need
+    // no table maintenance.
+    return 0;
+  }
+  if (config_.correlation_hop_radius > 0 &&
+      config_.incremental_gamma_refresh) {
+    const std::vector<graph::RoadId> affected =
+        rtf::AffectedCorrelationRows(*graph_, changed_edges,
+                                     config_.correlation_hop_radius);
+    const rtf::CorrelationCache::PatchOutcome outcome =
+        correlation_cache_->PatchInPlace(
+            slot,
+            [this, &edge_rho, &affected](const rtf::CorrelationTable& current,
+                                         util::ThreadPool* fanout)
+                -> util::Result<rtf::CorrelationTable> {
+              return current.RefreshedRows(*graph_, edge_rho, affected,
+                                           fanout);
+            });
+    if (outcome == rtf::CorrelationCache::PatchOutcome::kPatched) {
+      return static_cast<int>(affected.size());
+    }
+    // Nothing resident (or a race superseded the patch): the entry is
+    // invalidated and the next lookup recomputes from the refined model.
+    return -1;
+  }
+  correlation_cache_->Invalidate(slot);
+  return -1;
+}
+
 std::vector<double> CrowdRtse::SigmaWeights(
     int slot, const std::vector<graph::RoadId>& queried_roads) const {
   std::vector<double> weights;

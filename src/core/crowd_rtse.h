@@ -59,6 +59,15 @@ struct CrowdRtseConfig {
   /// re-pay one Dijkstra per road per warm slot.
   bool warm_start_correlations = true;
 
+  /// When RefineSlot changes a slot's edge correlations and the closure is
+  /// sparse (correlation_hop_radius > 0), patch the cached Gamma_R in
+  /// place: recompute only the rows within C-1 hops of a changed edge
+  /// (provably the only rows that can move) instead of invalidating and
+  /// re-running one bounded closure per road. Exact — the patched table
+  /// equals a full rebuild bit for bit. Dense closures always take the
+  /// full-invalidate path regardless (one edge can shift any dense entry).
+  bool incremental_gamma_refresh = true;
+
   /// Online stage defaults.
   double theta = 0.92;  // redundancy threshold (paper's tuned value)
   gsp::GspOptions gsp;
@@ -119,6 +128,17 @@ class CrowdRtse {
 
   /// The Gamma_R cache itself (e.g. for WarmStart or Invalidate).
   rtf::CorrelationCache& correlation_cache() { return *correlation_cache_; }
+
+  /// Runs the CCD trainer on `slot` (whether or not refine_with_ccd is
+  /// set; the slot is marked refined so lazy refinement will not repeat
+  /// it) and brings the cached Gamma_R closure up to date with the new
+  /// parameters. With a sparse closure and incremental_gamma_refresh the
+  /// resident table is patched in place — only the rows that can have
+  /// moved are recomputed; otherwise the slot is invalidated and the next
+  /// lookup recomputes in full. Returns the number of Gamma_R rows
+  /// recomputed by the incremental path, or -1 when the full-invalidate
+  /// path was taken (0 = no edge correlation changed, nothing to do).
+  util::Result<int> RefineSlot(int slot);
 
   /// Online step 1 — OCS: choose which worker-covered roads to probe for
   /// the given query, budget and (config) theta.

@@ -1,34 +1,58 @@
 #include "graph/bfs.h"
 
-#include <deque>
+#include <utility>
 
 namespace crowdrtse::graph {
 
-HopLevels MultiSourceBfs(const Graph& graph,
-                         const std::vector<RoadId>& sources) {
-  HopLevels out;
+void MultiSourceBfsInto(const Graph& graph,
+                        const std::vector<RoadId>& sources,
+                        FlatHopLevels& out) {
   out.hops.assign(static_cast<size_t>(graph.num_roads()), -1);
-  std::deque<RoadId> queue;
+  out.order.clear();
+  out.level_offsets.clear();
   for (RoadId s : sources) {
     if (!graph.IsValidRoad(s)) continue;
     if (out.hops[static_cast<size_t>(s)] == 0) continue;  // duplicate source
     out.hops[static_cast<size_t>(s)] = 0;
-    queue.push_back(s);
+    out.order.push_back(s);
   }
-  if (!queue.empty()) out.levels.emplace_back(queue.begin(), queue.end());
-  while (!queue.empty()) {
-    const RoadId r = queue.front();
-    queue.pop_front();
+  if (out.order.empty()) return;
+  out.level_offsets.push_back(0);
+  out.level_offsets.push_back(static_cast<int32_t>(out.order.size()));
+  // FIFO processing discovers each level contiguously: every hop-(h+1) road
+  // is appended while hop-h roads drain, in the same relative order the
+  // per-level vectors of HopLevels receive them.
+  size_t head = 0;
+  int deepest = 0;
+  while (head < out.order.size()) {
+    const RoadId r = out.order[head++];
     const int next_hop = out.hops[static_cast<size_t>(r)] + 1;
     for (const Adjacency& adj : graph.Neighbors(r)) {
       if (out.hops[static_cast<size_t>(adj.neighbor)] != -1) continue;
       out.hops[static_cast<size_t>(adj.neighbor)] = next_hop;
-      if (static_cast<size_t>(next_hop) >= out.levels.size()) {
-        out.levels.emplace_back();
+      if (next_hop > deepest) {
+        deepest = next_hop;
+        out.level_offsets.push_back(out.level_offsets.back());
       }
-      out.levels[static_cast<size_t>(next_hop)].push_back(adj.neighbor);
-      queue.push_back(adj.neighbor);
+      out.order.push_back(adj.neighbor);
+      out.level_offsets.back() = static_cast<int32_t>(out.order.size());
     }
+  }
+}
+
+HopLevels MultiSourceBfs(const Graph& graph,
+                         const std::vector<RoadId>& sources) {
+  FlatHopLevels flat;
+  MultiSourceBfsInto(graph, sources, flat);
+  HopLevels out;
+  out.hops = std::move(flat.hops);
+  out.levels.reserve(static_cast<size_t>(flat.num_levels()));
+  for (int l = 0; l < flat.num_levels(); ++l) {
+    const auto begin =
+        flat.order.begin() + flat.level_offsets[static_cast<size_t>(l)];
+    const auto end =
+        flat.order.begin() + flat.level_offsets[static_cast<size_t>(l) + 1];
+    out.levels.emplace_back(begin, end);
   }
   return out;
 }

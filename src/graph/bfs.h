@@ -23,6 +23,33 @@ struct HopLevels {
 HopLevels MultiSourceBfs(const Graph& graph,
                          const std::vector<RoadId>& sources);
 
+/// Flat (allocation-reusing) form of HopLevels: one contiguous visit
+/// sequence plus level offsets, instead of one vector per level. The GSP
+/// arena keeps an instance alive per thread so a query's BFS levelling
+/// costs zero mallocs after warm-up. Road order within each level is
+/// identical to HopLevels::levels — GSP's sequential sweep order (and so
+/// its bit-exact result) does not depend on which form schedules it.
+struct FlatHopLevels {
+  /// hops[r] = minimum hop count from any source; -1 if unreachable.
+  std::vector<int> hops;
+  /// Roads in BFS discovery order, level-contiguous.
+  std::vector<RoadId> order;
+  /// Level l spans order[level_offsets[l], level_offsets[l+1]).
+  std::vector<int32_t> level_offsets;
+
+  int num_levels() const {
+    return static_cast<int>(level_offsets.empty()
+                                ? 0
+                                : level_offsets.size() - 1);
+  }
+};
+
+/// Multi-source BFS writing into `out`'s existing buffers (cleared, not
+/// reallocated, when capacities suffice). Duplicate sources are tolerated.
+void MultiSourceBfsInto(const Graph& graph,
+                        const std::vector<RoadId>& sources,
+                        FlatHopLevels& out);
+
 /// Roads within `max_hops` of any of `sources` (the sources themselves are
 /// 0 hops away and included). Used for the paper's Table III k-hop coverage
 /// metric.

@@ -3,6 +3,8 @@
 
 #include <functional>
 #include <limits>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
@@ -29,6 +31,27 @@ ShortestPaths Dijkstra(const Graph& graph, RoadId source,
 /// empty when the target is unreachable.
 std::vector<RoadId> ReconstructPath(const ShortestPaths& tree, RoadId source,
                                     RoadId target);
+
+/// Reusable buffers for DijkstraInto: the Γ_R closure runs one Dijkstra
+/// per source road, and per-source malloc of the distance/parent/heap
+/// arrays used to dominate small-graph runs. Keep one workspace per worker
+/// thread and the fan-out allocates nothing after warm-up.
+struct DijkstraWorkspace {
+  std::vector<double> distance;
+  std::vector<RoadId> parent;
+  std::vector<std::pair<double, RoadId>> heap;
+};
+
+/// Dijkstra with per-edge weights in a flat array (indexed by EdgeId)
+/// instead of a std::function: no per-relaxation indirect call, weights
+/// precomputed once for all sources. Weights that are negative or
+/// kUnreachable mark the edge impassable, exactly like the callback form.
+/// Produces bit-identical distances and parents to Dijkstra() given equal
+/// weights (same comparator, same heap algorithm, same visit sequence).
+/// Results land in ws.distance / ws.parent.
+void DijkstraInto(const Graph& graph, RoadId source,
+                  std::span<const double> edge_weight,
+                  DijkstraWorkspace& ws);
 
 }  // namespace crowdrtse::graph
 

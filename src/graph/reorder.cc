@@ -1,0 +1,110 @@
+#include "graph/reorder.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+namespace crowdrtse::graph {
+
+namespace {
+
+/// BFS from `start` appending visits to `out`; neighbours enqueue sorted
+/// by (degree, id) when `by_degree` is set, by id otherwise (the CSR
+/// adjacency is already id-sorted).
+void BfsComponent(const Graph& graph, RoadId start, bool by_degree,
+                  std::vector<char>& visited, std::vector<RoadId>& out,
+                  std::vector<RoadId>& scratch) {
+  size_t head = out.size();
+  visited[static_cast<size_t>(start)] = 1;
+  out.push_back(start);
+  while (head < out.size()) {
+    const RoadId r = out[head++];
+    scratch.clear();
+    for (const Adjacency& adj : graph.Neighbors(r)) {
+      if (visited[static_cast<size_t>(adj.neighbor)]) continue;
+      visited[static_cast<size_t>(adj.neighbor)] = 1;
+      scratch.push_back(adj.neighbor);
+    }
+    if (by_degree) {
+      std::sort(scratch.begin(), scratch.end(), [&](RoadId a, RoadId b) {
+        const int da = graph.Degree(a);
+        const int db = graph.Degree(b);
+        return da != db ? da < db : a < b;
+      });
+    }
+    out.insert(out.end(), scratch.begin(), scratch.end());
+  }
+}
+
+std::vector<RoadId> OrderedVisit(const Graph& graph, bool rcm) {
+  const int n = graph.num_roads();
+  std::vector<RoadId> order;
+  order.reserve(static_cast<size_t>(n));
+  std::vector<char> visited(static_cast<size_t>(n), 0);
+  std::vector<RoadId> scratch;
+
+  if (rcm) {
+    // Component seeds: minimum degree first (the classic CM peripheral
+    // heuristic), ties by id, found by one sorted sweep over all roads.
+    std::vector<RoadId> seeds(static_cast<size_t>(n));
+    std::iota(seeds.begin(), seeds.end(), 0);
+    std::sort(seeds.begin(), seeds.end(), [&](RoadId a, RoadId b) {
+      const int da = graph.Degree(a);
+      const int db = graph.Degree(b);
+      return da != db ? da < db : a < b;
+    });
+    for (RoadId seed : seeds) {
+      if (!visited[static_cast<size_t>(seed)]) {
+        BfsComponent(graph, seed, /*by_degree=*/true, visited, order,
+                     scratch);
+      }
+    }
+    std::reverse(order.begin(), order.end());
+  } else {
+    for (RoadId seed = 0; seed < n; ++seed) {
+      if (!visited[static_cast<size_t>(seed)]) {
+        BfsComponent(graph, seed, /*by_degree=*/false, visited, order,
+                     scratch);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<RoadId> ReverseCuthillMcKee(const Graph& graph) {
+  return OrderedVisit(graph, /*rcm=*/true);
+}
+
+std::vector<RoadId> BfsOrdering(const Graph& graph) {
+  return OrderedVisit(graph, /*rcm=*/false);
+}
+
+bool IsPermutation(const Graph& graph, const std::vector<RoadId>& order) {
+  const int n = graph.num_roads();
+  if (order.size() != static_cast<size_t>(n)) return false;
+  std::vector<char> seen(static_cast<size_t>(n), 0);
+  for (RoadId r : order) {
+    if (r < 0 || r >= n || seen[static_cast<size_t>(r)]) return false;
+    seen[static_cast<size_t>(r)] = 1;
+  }
+  return true;
+}
+
+int64_t OrderingBandwidth(const Graph& graph,
+                          const std::vector<RoadId>& order) {
+  std::vector<int32_t> rank(order.size());
+  for (size_t k = 0; k < order.size(); ++k) {
+    rank[static_cast<size_t>(order[k])] = static_cast<int32_t>(k);
+  }
+  int64_t sum = 0;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const auto [a, b] = graph.EdgeEndpoints(e);
+    sum += std::abs(static_cast<int64_t>(rank[static_cast<size_t>(a)]) -
+                    static_cast<int64_t>(rank[static_cast<size_t>(b)]));
+  }
+  return sum;
+}
+
+}  // namespace crowdrtse::graph

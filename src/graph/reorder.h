@@ -1,0 +1,38 @@
+#ifndef CROWDRTSE_GRAPH_REORDER_H_
+#define CROWDRTSE_GRAPH_REORDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace crowdrtse::graph {
+
+/// Reverse Cuthill-McKee ordering of the roads: a bandwidth-reducing
+/// permutation that places graph-adjacent roads at nearby positions. The
+/// hot kernels (GSP colour-group sweeps, Dijkstra fan-out scans) iterate
+/// roads in this order so that consecutive updates touch overlapping cache
+/// lines of the speed/parameter arrays instead of striding across them.
+///
+/// Returned as the visit sequence: order[k] = the road visited k-th.
+/// Deterministic: each connected component starts from its minimum-degree
+/// road (ties by id) and neighbours enqueue in (degree, id) order; the
+/// whole sequence is then reversed (the "reverse" in RCM).
+std::vector<RoadId> ReverseCuthillMcKee(const Graph& graph);
+
+/// Plain multi-component BFS ordering from road 0 (components in id
+/// order): cheaper than RCM and nearly as local on grid-like road
+/// networks. order[k] = the road visited k-th.
+std::vector<RoadId> BfsOrdering(const Graph& graph);
+
+/// True when `order` is a permutation of [0, graph.num_roads()).
+bool IsPermutation(const Graph& graph, const std::vector<RoadId>& order);
+
+/// Adjacency bandwidth sum under a visit order: sum over edges of
+/// |rank[a] - rank[b]| where rank inverts `order`. The locality score the
+/// RCM tests gate on (lower = adjacent roads closer together in memory).
+int64_t OrderingBandwidth(const Graph& graph,
+                          const std::vector<RoadId>& order);
+
+}  // namespace crowdrtse::graph
+
+#endif  // CROWDRTSE_GRAPH_REORDER_H_

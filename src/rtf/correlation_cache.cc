@@ -19,6 +19,10 @@ std::string CorrelationCache::StatsSnapshot::ToString() const {
       " evictions=" + std::to_string(evictions) +
       " resident=" + std::to_string(resident_tables) + " tables/" +
       std::to_string(resident_bytes) + " bytes";
+  if (patches > 0 || patch_fallbacks > 0) {
+    out += " patches=" + std::to_string(patches) + "/" +
+           std::to_string(patch_fallbacks) + " fallbacks";
+  }
   if (persist_failures > 0) {
     out += " persist_failures=" + std::to_string(persist_failures);
   }
@@ -223,6 +227,129 @@ void CorrelationCache::Publish(int slot, const TablePtr& table) {
   }
 }
 
+CorrelationCache::PatchOutcome CorrelationCache::PatchInPlace(
+    int slot, const PatchFn& patch) {
+  if (slot < 0) return PatchOutcome::kInvalidated;
+  util::trace::Span span("gamma.patch");
+  span.Annotate("slot", static_cast<int64_t>(slot));
+  std::shared_ptr<Entry> entry = EntryFor(slot);
+  TablePtr current;
+  uint64_t my_generation = 0;
+  {
+    std::unique_lock<std::mutex> lock(entry->mutex);
+    // Bump first: the patch reflects a parameter change, so any compute in
+    // flight (started against the old parameters) must discard its result
+    // exactly as with Invalidate.
+    ++entry->generation;
+    my_generation = entry->generation;
+    if (!entry->table || entry->computing) {
+      lock.unlock();
+      // Nothing resident to derive from (or someone mid-compute whose
+      // result the bump already condemned): plain invalidation.
+      patch_fallbacks_.Increment();
+      span.Annotate("outcome", "fallback_invalidate");
+      Invalidate(slot);
+      return PatchOutcome::kInvalidated;
+    }
+    current = std::move(entry->table);
+    entry->table.reset();
+    entry->computing = true;  // concurrent lookups park on the CV
+    entry->error = util::Status::Ok();
+  }
+  // De-account the old table while the patch runs; the successful install
+  // below re-publishes with the new size, so LRU byte accounting never
+  // drifts when the patched table's footprint differs.
+  {
+    std::lock_guard<std::mutex> lock(lru_mutex_);
+    auto it = lru_index_.find(slot);
+    if (it != lru_index_.end()) {
+      resident_bytes_ -= it->second.bytes;
+      lru_.erase(it->second.position);
+      lru_index_.erase(it);
+    }
+  }
+
+  // The patch runs outside all cache locks, under the drain gate (it may
+  // fan out on the shared pool).
+  {
+    std::lock_guard<std::mutex> drain_lock(drain_mutex_);
+    ++computes_in_flight_;
+  }
+  struct DrainGuard {
+    CorrelationCache* cache;
+    ~DrainGuard() {
+      std::lock_guard<std::mutex> drain_lock(cache->drain_mutex_);
+      if (--cache->computes_in_flight_ == 0) cache->drained_.notify_all();
+    }
+  } drain_guard{this};
+
+  util::Timer timer;
+  util::Result<CorrelationTable> patched = [&] {
+    util::ThreadPool* pool = nullptr;
+    std::unique_lock<std::mutex> fan_lock(fanout_mutex_, std::try_to_lock);
+    if (fan_lock.owns_lock()) {
+      if (!fanout_) {
+        int threads = options_.fanout_threads;
+        if (threads <= 0) {
+          threads = static_cast<int>(std::thread::hardware_concurrency());
+        }
+        if (threads > 1) {
+          fanout_ = std::make_unique<util::ThreadPool>(threads);
+        }
+      }
+      pool = fanout_.get();
+    }
+    return patch(*current, pool);
+  }();
+  compute_latency_.Record(timer.ElapsedMillis());
+  current.reset();
+
+  TablePtr table;
+  util::Status error;
+  if (patched.ok()) {
+    table = std::make_shared<CorrelationTable>(std::move(*patched));
+  } else {
+    error = patched.status();
+  }
+
+  bool stale = false;
+  {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    entry->computing = false;
+    stale = entry->generation != my_generation;
+    if (!stale) {
+      entry->table = table;  // stays null on failure; next lookup recomputes
+      entry->error = error;
+    }
+    entry->computed.notify_all();
+  }
+  if (stale) {
+    // A concurrent Invalidate (or another patch) superseded this one; its
+    // reset already cleared the persisted file. Discard our result.
+    patch_fallbacks_.Increment();
+    span.Annotate("outcome", "stale_discard");
+    return PatchOutcome::kInvalidated;
+  }
+  if (!table) {
+    // Leave the entry empty: waiters got `error`, the next lookup
+    // recomputes from scratch. Drop the stale persisted file so a restart
+    // cannot resurrect the pre-patch table.
+    patch_fallbacks_.Increment();
+    span.Annotate("outcome", "patch_error");
+    const std::string path = PersistPath(slot);
+    if (!path.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    }
+    return PatchOutcome::kError;
+  }
+  patches_.Increment();
+  Persist(slot, *table);
+  Publish(slot, table);
+  span.Annotate("outcome", "patched");
+  return PatchOutcome::kPatched;
+}
+
 void CorrelationCache::Invalidate(int slot) {
   if (slot < 0) return;
   std::shared_ptr<Entry> entry = EntryFor(slot);
@@ -334,6 +461,8 @@ CorrelationCache::StatsSnapshot CorrelationCache::stats() const {
   snapshot.evictions = evictions_.value();
   snapshot.warm_loads = warm_loads_.value();
   snapshot.persist_failures = persist_failures_.value();
+  snapshot.patches = patches_.value();
+  snapshot.patch_fallbacks = patch_fallbacks_.value();
   {
     std::lock_guard<std::mutex> lock(lru_mutex_);
     snapshot.resident_tables = static_cast<int64_t>(lru_.size());

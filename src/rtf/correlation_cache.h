@@ -101,6 +101,8 @@ class CorrelationCache {
     int64_t evictions = 0;
     int64_t warm_loads = 0;       // misses satisfied from persist_dir
     int64_t persist_failures = 0; // unreadable/mismatched/unwritable files
+    int64_t patches = 0;           // PatchInPlace calls that patched
+    int64_t patch_fallbacks = 0;   // PatchInPlace calls that invalidated
     int64_t resident_tables = 0;
     int64_t resident_bytes = 0;
     util::metrics::LatencySnapshot compute_latency;
@@ -134,6 +136,31 @@ class CorrelationCache {
   /// result is discarded (not cached, not persisted) and recomputed from
   /// the post-invalidation state — stale tables never resurface.
   void Invalidate(int slot);
+
+  /// What a PatchInPlace attempt did.
+  enum class PatchOutcome {
+    kPatched,      // resident table transformed and reinstalled
+    kInvalidated,  // nothing usable to patch (absent table, in-flight
+                   // compute, or a concurrent Invalidate won): the entry is
+                   // invalidated and the next lookup recomputes in full
+    kError,        // the patch function failed; entry left invalidated
+  };
+
+  /// Transforms the resident table for `slot` into its successor, e.g. an
+  /// incremental Gamma_R refresh after CCD changed a few parameters.
+  using PatchFn = std::function<util::Result<CorrelationTable>(
+      const CorrelationTable& current, util::ThreadPool* fanout)>;
+
+  /// Invalidate-with-a-shortcut: semantically equivalent to Invalidate
+  /// followed by the next GetOrCompute, but the new table is derived from
+  /// the resident one by `patch` (rows-only recompute) instead of from
+  /// scratch. The generation is bumped exactly as Invalidate does — any
+  /// compute in flight for the slot discards its (stale) result — and
+  /// concurrent lookups park on the singleflight gate until the patched
+  /// table is installed, so the pre-patch table is never served once this
+  /// call has begun. Falls back to plain Invalidate when there is nothing
+  /// resident to patch.
+  PatchOutcome PatchInPlace(int slot, const PatchFn& patch);
 
   /// Eagerly loads persisted tables for slots [0, num_slots) until the
   /// memory budget is reached. Returns the number of tables loaded.
@@ -204,6 +231,8 @@ class CorrelationCache {
   util::metrics::Counter evictions_;
   util::metrics::Counter warm_loads_;
   util::metrics::Counter persist_failures_;
+  util::metrics::Counter patches_;
+  util::metrics::Counter patch_fallbacks_;
   util::metrics::LatencyHistogram compute_latency_;
 };
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "graph/bfs.h"
 #include "graph/dijkstra.h"
 #include "util/serialize.h"
 #include "util/thread_pool.h"
@@ -133,26 +134,31 @@ util::Result<CorrelationTable> CorrelationTable::FromEdgeCorrelations(
   table.num_roads_ = n;
   table.data_.assign(static_cast<size_t>(n) * static_cast<size_t>(n), 0.0);
 
-  const auto weight = [&](graph::EdgeId e) -> double {
-    const double rho = edge_rho[static_cast<size_t>(e)];
-    if (rho <= 0.0) return graph::kUnreachable;  // zero correlation blocks
-    switch (mode) {
-      case PathWeightMode::kNegLog:
-        return -std::log(rho);
-      case PathWeightMode::kReciprocal:
-        return 1.0 / rho;
+  // Per-edge weights computed once for all n sources; the old callback
+  // form re-derived -log(rho) at every relaxation of every Dijkstra.
+  std::vector<double> weights(edge_rho.size());
+  for (size_t e = 0; e < edge_rho.size(); ++e) {
+    const double rho = edge_rho[e];
+    if (rho <= 0.0) {
+      weights[e] = graph::kUnreachable;  // zero correlation blocks
+    } else if (mode == PathWeightMode::kNegLog) {
+      weights[e] = -std::log(rho);
+    } else {
+      weights[e] = 1.0 / rho;
     }
-    return graph::kUnreachable;
-  };
+  }
 
   // One Dijkstra per source; rows are disjoint, so sources fan out across
-  // the pool with no synchronisation beyond the ParallelFor barrier.
-  const auto compute_row = [&](graph::RoadId src) {
-    const graph::ShortestPaths tree = graph::Dijkstra(graph, src, weight);
+  // the pool with no synchronisation beyond the ParallelFor barrier. The
+  // workspace amortises the heap/distance allocations across one chunk's
+  // sources.
+  const auto compute_row = [&](graph::RoadId src,
+                               graph::DijkstraWorkspace& ws) {
+    graph::DijkstraInto(graph, src, weights, ws);
     double* row = table.data_.data() +
                   static_cast<size_t>(src) * static_cast<size_t>(n);
     for (graph::RoadId dst = 0; dst < n; ++dst) {
-      const double dist = tree.distance[static_cast<size_t>(dst)];
+      const double dist = ws.distance[static_cast<size_t>(dst)];
       if (dist == graph::kUnreachable) {
         row[dst] = 0.0;
         continue;
@@ -163,8 +169,7 @@ util::Result<CorrelationTable> CorrelationTable::FromEdgeCorrelations(
         // Reconstruct the product along the chosen min-reciprocal path.
         double product = 1.0;
         for (graph::RoadId r = dst; r != src;) {
-          const graph::RoadId parent =
-              tree.parent[static_cast<size_t>(r)];
+          const graph::RoadId parent = ws.parent[static_cast<size_t>(r)];
           const graph::EdgeId e = graph.FindEdge(r, parent);
           product *= edge_rho[static_cast<size_t>(e)];
           r = parent;
@@ -178,14 +183,119 @@ util::Result<CorrelationTable> CorrelationTable::FromEdgeCorrelations(
   if (fanout != nullptr && fanout->num_threads() > 1 && n > 1) {
     fanout->ParallelFor(static_cast<size_t>(n),
                         [&](size_t begin, size_t end) {
+                          graph::DijkstraWorkspace ws;
                           for (size_t src = begin; src < end; ++src) {
-                            compute_row(static_cast<graph::RoadId>(src));
+                            compute_row(static_cast<graph::RoadId>(src), ws);
                           }
                         });
   } else {
-    for (graph::RoadId src = 0; src < n; ++src) compute_row(src);
+    graph::DijkstraWorkspace ws;
+    for (graph::RoadId src = 0; src < n; ++src) compute_row(src, ws);
   }
   return table;
+}
+
+util::Result<CorrelationTable> CorrelationTable::RefreshedRows(
+    const graph::Graph& graph, const std::vector<double>& edge_rho,
+    const std::vector<graph::RoadId>& sources,
+    util::ThreadPool* fanout) const {
+  if (hop_radius_ <= 0) {
+    return util::Status::InvalidArgument(
+        "RefreshedRows requires a sparse hop-bounded table (dense tables "
+        "have no row locality; recompute in full)");
+  }
+  if (graph.num_roads() != num_roads_) {
+    return util::Status::InvalidArgument(
+        "graph road count does not match the table");
+  }
+  if (edge_rho.size() != static_cast<size_t>(graph.num_edges())) {
+    return util::Status::InvalidArgument(
+        "edge correlation count does not match the graph");
+  }
+  for (double rho : edge_rho) {
+    if (!(rho >= 0.0 && rho <= 1.0)) {
+      return util::Status::InvalidArgument(
+          "edge correlations must lie in [0, 1]");
+    }
+  }
+  std::vector<char> refresh(static_cast<size_t>(num_roads_), 0);
+  std::vector<graph::RoadId> unique_sources;
+  for (graph::RoadId s : sources) {
+    if (s < 0 || s >= num_roads_) {
+      return util::Status::InvalidArgument("source road out of range: " +
+                                           std::to_string(s));
+    }
+    if (!refresh[static_cast<size_t>(s)]) {
+      refresh[static_cast<size_t>(s)] = 1;
+      unique_sources.push_back(s);
+    }
+  }
+
+  std::vector<std::map<graph::RoadId, double>> rows(unique_sources.size());
+  const auto compute_rows = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      rows[i] = BoundedHopRow(graph, edge_rho, unique_sources[i],
+                              hop_radius_);
+    }
+  };
+  if (fanout != nullptr && fanout->num_threads() > 1 &&
+      unique_sources.size() > 1) {
+    fanout->ParallelFor(unique_sources.size(), compute_rows);
+  } else {
+    compute_rows(0, unique_sources.size());
+  }
+  std::vector<int64_t> row_at(static_cast<size_t>(num_roads_), -1);
+  for (size_t i = 0; i < unique_sources.size(); ++i) {
+    row_at[static_cast<size_t>(unique_sources[i])] =
+        static_cast<int64_t>(i);
+  }
+
+  CorrelationTable out;
+  out.num_roads_ = num_roads_;
+  out.hop_radius_ = hop_radius_;
+  out.row_offsets_.reserve(row_offsets_.size());
+  out.cols_.reserve(cols_.size());
+  out.vals_.reserve(vals_.size());
+  out.row_offsets_.push_back(0);
+  for (graph::RoadId r = 0; r < num_roads_; ++r) {
+    if (refresh[static_cast<size_t>(r)]) {
+      const auto& row = rows[static_cast<size_t>(
+          row_at[static_cast<size_t>(r)])];
+      for (const auto& [dst, corr] : row) {
+        if (corr <= 0.0) continue;
+        out.cols_.push_back(dst);
+        out.vals_.push_back(corr);
+      }
+    } else {
+      // Untouched rows carry over bit for bit.
+      const int64_t begin = row_offsets_[static_cast<size_t>(r)];
+      const int64_t end = row_offsets_[static_cast<size_t>(r) + 1];
+      out.cols_.insert(out.cols_.end(),
+                       cols_.begin() + static_cast<ptrdiff_t>(begin),
+                       cols_.begin() + static_cast<ptrdiff_t>(end));
+      out.vals_.insert(out.vals_.end(),
+                       vals_.begin() + static_cast<ptrdiff_t>(begin),
+                       vals_.begin() + static_cast<ptrdiff_t>(end));
+    }
+    out.row_offsets_.push_back(static_cast<int64_t>(out.cols_.size()));
+  }
+  return out;
+}
+
+std::vector<graph::RoadId> AffectedCorrelationRows(
+    const graph::Graph& graph,
+    const std::vector<graph::EdgeId>& changed_edges, int hop_radius) {
+  std::vector<graph::RoadId> endpoints;
+  endpoints.reserve(2 * changed_edges.size());
+  for (graph::EdgeId e : changed_edges) {
+    if (e < 0 || e >= graph.num_edges()) continue;
+    const auto [a, b] = graph.EdgeEndpoints(e);
+    endpoints.push_back(a);
+    endpoints.push_back(b);
+  }
+  if (endpoints.empty()) return {};
+  return graph::RoadsWithinHops(graph, endpoints,
+                                std::max(0, hop_radius - 1));
 }
 
 util::Result<double> CorrelationTable::CheckedCorr(graph::RoadId i,

@@ -72,6 +72,19 @@ class CorrelationTable {
       PathWeightMode mode = PathWeightMode::kNegLog,
       util::ThreadPool* fanout = nullptr, int hop_radius = 0);
 
+  /// Incremental maintenance, sparse mode only: a copy of this table with
+  /// the rows of `sources` recomputed against `edge_rho` and every other
+  /// row copied bitwise. With `sources` = AffectedCorrelationRows(changed
+  /// edges) the result equals a full FromEdgeCorrelations rebuild exactly:
+  /// a row's C-hop ball either contains no changed edge (row unchanged) or
+  /// the row is in the recompute set. Dense tables have no row locality
+  /// (one edge can shift any entry), so they return InvalidArgument and
+  /// callers fall back to a full recompute.
+  util::Result<CorrelationTable> RefreshedRows(
+      const graph::Graph& graph, const std::vector<double>& edge_rho,
+      const std::vector<graph::RoadId>& sources,
+      util::ThreadPool* fanout = nullptr) const;
+
   int num_roads() const { return num_roads_; }
 
   /// 0 for the dense closure, C for the sparse C-hop-bounded closure.
@@ -143,6 +156,15 @@ class CorrelationTable {
   std::vector<graph::RoadId> cols_;
   std::vector<double> vals_;
 };
+
+/// The rows a C-hop-bounded closure must recompute when the rho of
+/// `changed_edges` changes: a path of at most C edges from source s crosses
+/// edge (u, v) only if it reaches an endpoint within C-1 hops of s, so the
+/// (C-1)-hop ball around the changed endpoints covers every row that can
+/// move. Returns deduplicated road ids; empty when no edges changed.
+std::vector<graph::RoadId> AffectedCorrelationRows(
+    const graph::Graph& graph,
+    const std::vector<graph::EdgeId>& changed_edges, int hop_radius);
 
 }  // namespace crowdrtse::rtf
 

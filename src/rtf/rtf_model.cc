@@ -1,10 +1,73 @@
 #include "rtf/rtf_model.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
 #include <string>
 
 namespace crowdrtse::rtf {
+
+namespace {
+std::atomic<uint64_t> g_inv_variance_clamps{0};
+}  // namespace
+
+uint64_t InvVarianceClampCount() {
+  return g_inv_variance_clamps.load(std::memory_order_relaxed);
+}
+
+void AddInvVarianceClamps(uint64_t n) {
+  if (n != 0) g_inv_variance_clamps.fetch_add(n, std::memory_order_relaxed);
+}
+
+/// Per-slot SoA entries. `clean` is the fast-path gate: readers take the
+/// mutex only when a rebuild is pending. A writer marking the slot dirty
+/// concurrently with a reader of the same slot is excluded by the library
+/// contract (CCD refinement serialises slot writes against reads), same as
+/// for the scalar accessors.
+struct RtfModel::SoaCache {
+  struct Entry {
+    std::mutex mutex;
+    std::atomic<bool> clean{false};
+    SlotSoa soa;
+  };
+  std::vector<Entry> entries;
+
+  explicit SoaCache(int num_slots)
+      : entries(static_cast<size_t>(num_slots)) {}
+};
+
+RtfModel::RtfModel() = default;
+RtfModel::~RtfModel() = default;
+RtfModel::RtfModel(RtfModel&& other) noexcept = default;
+RtfModel& RtfModel::operator=(RtfModel&& other) noexcept = default;
+
+RtfModel::RtfModel(const RtfModel& other)
+    : graph_(other.graph_),
+      num_slots_(other.num_slots_),
+      num_roads_(other.num_roads_),
+      num_edges_(other.num_edges_),
+      mu_(other.mu_),
+      sigma_(other.sigma_),
+      rho_(other.rho_),
+      soa_cache_(other.graph_ == nullptr
+                     ? nullptr
+                     : std::make_unique<SoaCache>(other.num_slots_)) {}
+
+RtfModel& RtfModel::operator=(const RtfModel& other) {
+  if (this == &other) return *this;
+  graph_ = other.graph_;
+  num_slots_ = other.num_slots_;
+  num_roads_ = other.num_roads_;
+  num_edges_ = other.num_edges_;
+  mu_ = other.mu_;
+  sigma_ = other.sigma_;
+  rho_ = other.rho_;
+  soa_cache_ = other.graph_ == nullptr
+                   ? nullptr
+                   : std::make_unique<SoaCache>(other.num_slots_);
+  return *this;
+}
 
 RtfModel::RtfModel(const graph::Graph& graph, int num_slots)
     : graph_(&graph),
@@ -16,7 +79,73 @@ RtfModel::RtfModel(const graph::Graph& graph, int num_slots)
       sigma_(static_cast<size_t>(num_slots) * static_cast<size_t>(num_roads_),
              1.0),
       rho_(static_cast<size_t>(num_slots) * static_cast<size_t>(num_edges_),
-           0.5) {}
+           0.5),
+      soa_cache_(std::make_unique<SoaCache>(num_slots)) {}
+
+void RtfModel::MarkSlotDirty(int slot) {
+  if (soa_cache_ == nullptr) return;
+  soa_cache_->entries[static_cast<size_t>(slot)].clean.store(
+      false, std::memory_order_release);
+}
+
+void RtfModel::MarkAllSlotsDirty() {
+  if (soa_cache_ == nullptr) return;
+  for (auto& entry : soa_cache_->entries) {
+    entry.clean.store(false, std::memory_order_release);
+  }
+}
+
+const RtfModel::SlotSoa& RtfModel::Soa(int slot) const {
+  SoaCache::Entry& entry =
+      soa_cache_->entries[static_cast<size_t>(slot)];
+  if (entry.clean.load(std::memory_order_acquire)) return entry.soa;
+  std::lock_guard<std::mutex> lock(entry.mutex);
+  if (!entry.clean.load(std::memory_order_relaxed)) {
+    BuildSoa(slot, entry.soa);
+    entry.clean.store(true, std::memory_order_release);
+  }
+  return entry.soa;
+}
+
+void RtfModel::BuildSoa(int slot, SlotSoa& out) const {
+  const size_t n = static_cast<size_t>(num_roads_);
+  out.inv_var.resize(n);
+  out.mu_inv_var.resize(n);
+  uint64_t clamps = 0;
+  const double* mu = MuSlot(slot);
+  const double* sigma = SigmaSlot(slot);
+  for (size_t r = 0; r < n; ++r) {
+    const double inv = ClampedInvVariance(sigma[r] * sigma[r], &clamps);
+    out.inv_var[r] = inv;
+    out.mu_inv_var[r] = mu[r] * inv;
+  }
+  const std::span<const graph::Adjacency> adj = graph_->Adjacencies();
+  const std::span<const size_t> offsets = graph_->RowOffsets();
+  out.pair_inv_var.resize(adj.size());
+  out.pair_mean.resize(adj.size());
+  out.inv_var_sum.resize(n);
+  out.num_base.resize(n);
+  for (graph::RoadId r = 0; r < num_roads_; ++r) {
+    const size_t ri = static_cast<size_t>(r);
+    const double mu_r = mu[ri];
+    // Left-to-right folds in adjacency order: inv_var_sum must equal the
+    // scalar sweep's denominator accumulation bit for bit.
+    double den = out.inv_var[ri];
+    double base = out.mu_inv_var[ri];
+    for (size_t k = offsets[ri]; k < offsets[ri + 1]; ++k) {
+      const double w =
+          ClampedInvVariance(PairVariance(slot, adj[k].edge), &clamps);
+      const double m = mu_r - mu[static_cast<size_t>(adj[k].neighbor)];
+      out.pair_inv_var[k] = w;
+      out.pair_mean[k] = m;
+      den += w;
+      base += m * w;
+    }
+    out.inv_var_sum[ri] = den;
+    out.num_base[ri] = base;
+  }
+  AddInvVarianceClamps(clamps);
+}
 
 double RtfModel::PairVariance(int slot, graph::EdgeId edge) const {
   const auto [i, j] = graph_->EdgeEndpoints(edge);
@@ -30,6 +159,7 @@ double RtfModel::PairVariance(int slot, graph::EdgeId edge) const {
 void RtfModel::ClampParameters() {
   for (double& s : sigma_) s = std::max(s, kMinSigma);
   for (double& r : rho_) r = std::clamp(r, kMinRho, kMaxRho);
+  MarkAllSlotsDirty();
 }
 
 void RtfModel::ClampParameters(int slot) {
@@ -41,6 +171,7 @@ void RtfModel::ClampParameters(int slot) {
     const size_t i = EdgeIndex(slot, e);
     rho_[i] = std::clamp(rho_[i], kMinRho, kMaxRho);
   }
+  MarkSlotDirty(slot);
 }
 
 util::Status RtfModel::Validate() const {

@@ -1,6 +1,8 @@
 #ifndef CROWDRTSE_RTF_RTF_MODEL_H_
 #define CROWDRTSE_RTF_RTF_MODEL_H_
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.h"
@@ -8,6 +10,34 @@
 #include "util/status.h"
 
 namespace crowdrtse::rtf {
+
+/// Ceiling for 1/sigma^2 and 1/sigma_ij^2 in the GSP weights (paper
+/// Eq. 18). A degenerate parameter (sigma = 0, or a NaN smuggled past
+/// validation) would otherwise turn one weight into inf/NaN and poison
+/// every speed it propagates into. For legally clamped parameters
+/// (sigma >= RtfModel::kMinSigma = 1e-3) the true inverse is <= 1e6, so
+/// the ceiling never fires and bit-identity with the unguarded formula
+/// holds.
+constexpr double kMaxInvVariance = 1e12;
+
+/// 1/variance with non-finite and oversized results clamped to
+/// kMaxInvVariance. NaN input also lands on the ceiling (the comparison
+/// fails). Bumps *clamp_count on clamp; callers batch the local count
+/// into InvVarianceClampCount() so hot loops pay no atomic per element.
+inline double ClampedInvVariance(double variance, uint64_t* clamp_count) {
+  const double inv = 1.0 / variance;
+  if (inv <= kMaxInvVariance) return inv;
+  ++*clamp_count;
+  return kMaxInvVariance;
+}
+
+/// Process-wide count of inverse-variance clamps. Exposed as a metrics
+/// gauge by the serving layer; a non-zero value means degenerate RTF
+/// parameters reached the GSP hot path.
+uint64_t InvVarianceClampCount();
+
+/// Folds a batch of locally-counted clamps into InvVarianceClampCount().
+void AddInvVarianceClamps(uint64_t n);
 
 /// Realtime Traffic-speed Field: the Gaussian Markov Random Field of paper
 /// §IV. For every road i and time slot t it stores the periodic expectation
@@ -23,7 +53,38 @@ namespace crowdrtse::rtf {
 /// contiguous.
 class RtfModel {
  public:
-  RtfModel() = default;
+  /// One slot's parameters in structure-of-arrays form, precomputed for the
+  /// GSP update (paper Eq. 18). Node arrays are road-indexed; pair arrays
+  /// are indexed by CSR adjacency position (Graph::Adjacencies()), so the
+  /// half-edge at position k of road r's row carries the parameters of
+  /// r -> Adjacencies()[k].neighbor. Inverses are pre-divided and clamped
+  /// (ClampedInvVariance), so the sweep kernel runs multiply-add only.
+  struct SlotSoa {
+    std::vector<double> inv_var;      // per road: 1 / sigma_i^2
+    std::vector<double> mu_inv_var;   // per road: mu_i / sigma_i^2
+    std::vector<double> pair_inv_var; // per half-edge: 1 / sigma_ij^2
+    std::vector<double> pair_mean;    // per half-edge: mu_i - mu_j
+    /// Per road: the Eq. (18) denominator 1/sigma_i^2 + sum_j 1/sigma_ij^2,
+    /// folded left-to-right in adjacency order — the value (bit for bit)
+    /// the scalar sweep would accumulate. The denominator depends on the
+    /// slot parameters only, never on the speeds, so precomputing it drops
+    /// one add per neighbour per sweep from every kernel.
+    std::vector<double> inv_var_sum;
+    /// Per road: mu_i/sigma_i^2 + sum_j mu_ij/sigma_ij^2, the speed-
+    /// independent part of the Eq. (18) numerator (same fold order). The
+    /// vectorised kernels accumulate only sum_j v_j/sigma_ij^2 on top of
+    /// this base — a documented <= 1e-12 reassociation of the scalar
+    /// numerator (the scalar kernel keeps the per-neighbour form and stays
+    /// bit-identical to the reference).
+    std::vector<double> num_base;
+  };
+
+  RtfModel();
+  ~RtfModel();
+  RtfModel(const RtfModel& other);
+  RtfModel& operator=(const RtfModel& other);
+  RtfModel(RtfModel&& other) noexcept;
+  RtfModel& operator=(RtfModel&& other) noexcept;
 
   /// Allocates parameters for `num_slots` slots over `graph`'s roads/edges,
   /// initialised to mu=0, sigma=1, rho=0.5. The graph must outlive the
@@ -48,13 +109,23 @@ class RtfModel {
 
   void SetMu(int slot, graph::RoadId road, double value) {
     mu_[NodeIndex(slot, road)] = value;
+    MarkSlotDirty(slot);
   }
   void SetSigma(int slot, graph::RoadId road, double value) {
     sigma_[NodeIndex(slot, road)] = value;
+    MarkSlotDirty(slot);
   }
   void SetRho(int slot, graph::EdgeId edge, double value) {
     rho_[EdgeIndex(slot, edge)] = value;
+    MarkSlotDirty(slot);
   }
+
+  /// The slot's parameters in SoA form, built lazily and cached until a
+  /// Set*/Clamp* touches the slot. Safe for concurrent readers of the same
+  /// slot (per-slot mutex on rebuild); the library-wide contract that a
+  /// slot is never written while being read (CCD refinement holds a lock)
+  /// covers the writer side, as with the scalar accessors.
+  const SlotSoa& Soa(int slot) const;
 
   /// mu_ij^t for the ordered pair (i, j): Mu(i) - Mu(j).
   double PairMean(int slot, graph::RoadId i, graph::RoadId j) const {
@@ -96,6 +167,8 @@ class RtfModel {
   util::Status Validate() const;
 
  private:
+  struct SoaCache;  // per-slot entries; defined in rtf_model.cc
+
   size_t NodeIndex(int slot, graph::RoadId road) const {
     return static_cast<size_t>(slot) * static_cast<size_t>(num_roads_) +
            static_cast<size_t>(road);
@@ -104,6 +177,10 @@ class RtfModel {
     return static_cast<size_t>(slot) * static_cast<size_t>(num_edges_) +
            static_cast<size_t>(edge);
   }
+
+  void MarkSlotDirty(int slot);
+  void MarkAllSlotsDirty();
+  void BuildSoa(int slot, SlotSoa& out) const;
 
   friend class RtfSerializer;
 
@@ -114,6 +191,10 @@ class RtfModel {
   std::vector<double> mu_;
   std::vector<double> sigma_;
   std::vector<double> rho_;
+  // All entries start dirty, so direct writes to the vectors above by the
+  // serializer (a friend) are picked up on the first Soa() call. Copies get
+  // a fresh all-dirty cache.
+  std::unique_ptr<SoaCache> soa_cache_;
 };
 
 }  // namespace crowdrtse::rtf

@@ -120,6 +120,11 @@ void QueryEngine::RegisterInstruments() {
   metrics_.RegisterCallbackGauge(
       "crowdrtse_traces_collected", "sampled query traces collected",
       [this] { return traces_.collected(); });
+  metrics_.RegisterCallbackGauge(
+      "crowdrtse_gsp_inv_variance_clamps_total",
+      "GSP weights clamped to the inverse-variance ceiling (non-zero means "
+      "degenerate RTF parameters reached the hot path; process-wide)",
+      [] { return static_cast<int64_t>(rtf::InvVarianceClampCount()); });
 }
 
 QueryEngine::~QueryEngine() { Drain(); }

@@ -792,4 +792,19 @@ void ShardedEngine::SyncWorkers(const std::vector<crowd::Worker>& workers) {
   }
 }
 
+util::Result<std::vector<int>> ShardedEngine::RefineSlot(int slot) {
+  std::vector<int> rows_per_shard;
+  rows_per_shard.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    util::Result<int> rows = shards_[s]->system->RefineSlot(slot);
+    if (!rows.ok()) {
+      return util::Status(rows.status().code(),
+                          "shard " + std::to_string(s) + ": " +
+                              std::string(rows.status().message()));
+    }
+    rows_per_shard.push_back(*rows);
+  }
+  return rows_per_shard;
+}
+
 }  // namespace crowdrtse::server

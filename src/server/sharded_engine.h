@@ -130,6 +130,19 @@ class ShardedEngine : public Engine {
   const partition::Partition& partition() const { return partition_; }
   /// Direct access to one shard's engine (tests, trace drill-down).
   QueryEngine& shard_engine(int shard) { return *shards_[shard]->engine; }
+  /// Direct access to one shard's CrowdRtse vertical (tests: e.g. comparing
+  /// a shard's incrementally patched Gamma_R against a full rebuild).
+  core::CrowdRtse& shard_system(int shard) { return *shards_[shard]->system; }
+
+  /// Runs core::CrowdRtse::RefineSlot on every shard: each shard's RTF
+  /// parameters for `slot` are CCD-refined against its projected history
+  /// and its cached Gamma_R closure is brought up to date (patched in
+  /// place when the closure is sparse and incremental_gamma_refresh is on,
+  /// invalidated otherwise). Returns one per-shard row count in shard
+  /// order, with the same meaning as the single-engine call. Mutates the
+  /// shard models, so it must not race with in-flight queries — quiesce
+  /// first, like SyncWorkers.
+  util::Result<std::vector<int>> RefineSlot(int slot);
 
   /// Re-projects a fresh global worker snapshot into every shard's local
   /// registry (e.g. after the global WorkerRegistry advanced a slot). Must

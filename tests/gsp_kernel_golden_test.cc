@@ -1,0 +1,209 @@
+#include "gsp/propagation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "graph/generators.h"
+#include "rtf/rtf_model.h"
+#include "util/rng.h"
+
+namespace crowdrtse::gsp {
+namespace {
+
+/// Golden equivalence contract of the sweep kernels (see GspKernel):
+///  - kScalar is bit-identical to kReference (same operations, same order,
+///    inverses precomputed instead of re-derived);
+///  - kUnrolled / kAvx2 reassociate only the numerator's neighbour fold,
+///    within a documented 1e-12 relative tolerance, and degrade to the
+///    exact scalar arithmetic on rows of degree < 4.
+
+/// Irregular planar-ish network with parameters varied per road/edge, so a
+/// kernel that misindexes the SoA or packed arrays cannot luck into the
+/// right answer (every road's parameters differ).
+rtf::RtfModel VariedModel(const graph::Graph& g) {
+  rtf::RtfModel model(g, 1);
+  for (graph::RoadId r = 0; r < g.num_roads(); ++r) {
+    model.SetMu(0, r, 30.0 + 40.0 * ((r * 29) % 97) / 97.0);
+    model.SetSigma(0, r, 2.0 + 3.0 * ((r * 13) % 11) / 11.0);
+  }
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    model.SetRho(0, e, 0.2 + 0.7 * ((e * 17) % 23) / 23.0);
+  }
+  return model;
+}
+
+graph::Graph TestNetwork(int num_roads) {
+  util::Rng rng(11);
+  graph::RoadNetworkOptions net;
+  net.num_roads = num_roads;
+  return *graph::RoadNetwork(net, rng);
+}
+
+/// Runs a fixed number of sweeps (epsilon too small to ever converge), so
+/// every kernel performs exactly the same relaxations and the final fields
+/// are comparable sweep for sweep.
+GspResult RunKernel(const rtf::RtfModel& model, GspKernel kernel,
+              int num_threads = 1) {
+  GspOptions options;
+  options.kernel = kernel;
+  options.epsilon = 1e-300;
+  options.max_sweeps = 12;
+  options.num_threads = num_threads;
+  const SpeedPropagator propagator(model, options);
+  std::vector<graph::RoadId> sampled;
+  std::vector<double> speeds;
+  for (graph::RoadId r = 0; r < model.num_roads(); r += 37) {
+    sampled.push_back(r);
+    speeds.push_back(model.Mu(0, r) - 7.5);
+  }
+  const auto result = propagator.Propagate(0, sampled, speeds);
+  EXPECT_TRUE(result.ok()) << result.status().message();
+  return *result;
+}
+
+void ExpectBitIdentical(const GspResult& got, const GspResult& want) {
+  ASSERT_EQ(got.speeds.size(), want.speeds.size());
+  for (size_t i = 0; i < want.speeds.size(); ++i) {
+    EXPECT_EQ(got.speeds[i], want.speeds[i]) << "road " << i;
+  }
+}
+
+void ExpectWithinRelative(const GspResult& got, const GspResult& want,
+                          double tolerance) {
+  ASSERT_EQ(got.speeds.size(), want.speeds.size());
+  for (size_t i = 0; i < want.speeds.size(); ++i) {
+    const double scale = std::max(1.0, std::fabs(want.speeds[i]));
+    EXPECT_NEAR(got.speeds[i], want.speeds[i], tolerance * scale)
+        << "road " << i;
+  }
+}
+
+TEST(GspKernelGoldenTest, ScalarBitIdenticalToReference) {
+  const graph::Graph g = TestNetwork(431);
+  const rtf::RtfModel model = VariedModel(g);
+  ExpectBitIdentical(RunKernel(model, GspKernel::kScalar),
+                     RunKernel(model, GspKernel::kReference));
+}
+
+TEST(GspKernelGoldenTest, UnrolledWithinToleranceOfScalar) {
+  const graph::Graph g = TestNetwork(431);
+  const rtf::RtfModel model = VariedModel(g);
+  ExpectWithinRelative(RunKernel(model, GspKernel::kUnrolled),
+                       RunKernel(model, GspKernel::kScalar), 1e-12);
+}
+
+TEST(GspKernelGoldenTest, Avx2WithinToleranceOfScalar) {
+  if (!SpeedPropagator::Avx2Supported()) {
+    GTEST_SKIP() << "host has no AVX2";
+  }
+  const graph::Graph g = TestNetwork(431);
+  const rtf::RtfModel model = VariedModel(g);
+  ExpectWithinRelative(RunKernel(model, GspKernel::kAvx2),
+                       RunKernel(model, GspKernel::kScalar), 1e-12);
+}
+
+TEST(GspKernelGoldenTest, LowDegreeRowsStayBitIdentical) {
+  // Path graph: every degree is <= 2 < 4, so the vector kernels must take
+  // the exact scalar path on every row and match bit for bit.
+  const graph::Graph g = *graph::PathNetwork(64);
+  const rtf::RtfModel model = VariedModel(g);
+  const GspResult reference = RunKernel(model, GspKernel::kReference);
+  ExpectBitIdentical(RunKernel(model, GspKernel::kScalar), reference);
+  ExpectBitIdentical(RunKernel(model, GspKernel::kUnrolled), reference);
+  if (SpeedPropagator::Avx2Supported()) {
+    ExpectBitIdentical(RunKernel(model, GspKernel::kAvx2), reference);
+  }
+}
+
+TEST(GspKernelGoldenTest, AutoResolvesToAVectorKernel) {
+  const GspKernel resolved = SpeedPropagator::ResolveKernel(GspKernel::kAuto);
+  if (SpeedPropagator::Avx2Supported()) {
+    EXPECT_EQ(resolved, GspKernel::kAvx2);
+  } else {
+    EXPECT_EQ(resolved, GspKernel::kUnrolled);
+  }
+  // An explicit AVX2 request on a non-AVX2 host degrades to kUnrolled.
+  EXPECT_EQ(SpeedPropagator::ResolveKernel(GspKernel::kAvx2), resolved);
+  EXPECT_EQ(SpeedPropagator::ResolveKernel(GspKernel::kScalar),
+            GspKernel::kScalar);
+  EXPECT_EQ(SpeedPropagator::ResolveKernel(GspKernel::kReference),
+            GspKernel::kReference);
+}
+
+TEST(GspKernelGoldenTest, DegenerateSigmaIsClampedNotPropagated) {
+  // Regression for the NaN-poisoning bug: an unguarded 1/sigma^2 turns a
+  // degenerate parameter into inf/NaN and poisons every speed downstream
+  // of it. Every kernel must clamp instead, keep the whole field finite,
+  // and agree with the reference exactly (the clamp is part of the shared
+  // arithmetic, not a per-kernel patch).
+  const graph::Graph g = TestNetwork(431);
+  for (const double bad :
+       {0.0, std::numeric_limits<double>::quiet_NaN()}) {
+    rtf::RtfModel model = VariedModel(g);
+    model.SetSigma(0, 17, bad);
+    const uint64_t clamps_before = rtf::InvVarianceClampCount();
+    const GspResult reference = RunKernel(model, GspKernel::kReference);
+    EXPECT_GT(rtf::InvVarianceClampCount(), clamps_before);
+    for (const double speed : reference.speeds) {
+      ASSERT_TRUE(std::isfinite(speed)) << "bad sigma " << bad;
+    }
+    ExpectBitIdentical(RunKernel(model, GspKernel::kScalar), reference);
+    for (const double speed : RunKernel(model, GspKernel::kUnrolled).speeds) {
+      ASSERT_TRUE(std::isfinite(speed));
+    }
+    if (SpeedPropagator::Avx2Supported()) {
+      for (const double speed : RunKernel(model, GspKernel::kAvx2).speeds) {
+        ASSERT_TRUE(std::isfinite(speed));
+      }
+    }
+  }
+}
+
+TEST(GspKernelGoldenTest, ColoringBuiltOncePerPropagator) {
+  // Regression for the per-query recolouring bug: the colouring depends
+  // only on the (immutable) graph, so however many parallel queries run,
+  // it is computed exactly once per propagator.
+  const graph::Graph g = TestNetwork(431);
+  const rtf::RtfModel model = VariedModel(g);
+  GspOptions options;
+  options.num_threads = 4;
+  options.epsilon = 1e-8;
+  const SpeedPropagator propagator(model, options);
+  EXPECT_EQ(propagator.coloring_builds(), 0u);
+  for (int q = 0; q < 3; ++q) {
+    const graph::RoadId probe = static_cast<graph::RoadId>(10 + 50 * q);
+    const auto result = propagator.Propagate(0, {probe}, {25.0});
+    ASSERT_TRUE(result.ok());
+    EXPECT_DOUBLE_EQ(result->speeds[static_cast<size_t>(probe)], 25.0);
+  }
+  EXPECT_EQ(propagator.coloring_builds(), 1u);
+}
+
+TEST(GspKernelGoldenTest, ParallelAgreesWithSequentialFixpoint) {
+  // Parallel sweeps relax the same levels in a different intra-level order,
+  // so intermediate fields differ; run to convergence and both must land on
+  // the (unique, strictly convex) fixpoint within the sweep tolerance.
+  const graph::Graph g = TestNetwork(431);
+  const rtf::RtfModel model = VariedModel(g);
+  GspOptions options;
+  options.epsilon = 1e-10;
+  options.max_sweeps = 2000;
+  const SpeedPropagator sequential(model, options);
+  options.num_threads = 4;
+  const SpeedPropagator parallel(model, options);
+  const auto want = sequential.Propagate(0, {3, 99, 217}, {20.0, 60.0, 40.0});
+  const auto got = parallel.Propagate(0, {3, 99, 217}, {20.0, 60.0, 40.0});
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(want->converged);
+  EXPECT_TRUE(got->converged);
+  for (size_t i = 0; i < want->speeds.size(); ++i) {
+    EXPECT_NEAR(got->speeds[i], want->speeds[i], 1e-8) << "road " << i;
+  }
+}
+
+}  // namespace
+}  // namespace crowdrtse::gsp

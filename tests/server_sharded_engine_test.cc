@@ -10,6 +10,7 @@
 
 #include "graph/generators.h"
 #include "partition/partitioner.h"
+#include "rtf/correlation_table.h"
 #include "server/query_engine.h"
 #include "traffic/traffic_simulator.h"
 #include "util/rng.h"
@@ -384,6 +385,35 @@ TEST_F(ShardedEngineTest, CreateEnforcesTheHaloInvariant) {
   EXPECT_NE(engine.status().message().find("halo_radius"),
             std::string::npos)
       << engine.status().message();
+}
+
+TEST_F(ShardedEngineTest, RefineSlotPatchesEveryShardIncrementally) {
+  // Incremental Gamma_R maintenance through the sharded front-end: after a
+  // fan-out RefineSlot, every shard's resident table must equal a full
+  // recompute from that shard's (refined) model bit for bit.
+  BudgetLedger ledger(100000, 12);
+  auto sharded = MakeSharded(3, ledger);
+  const int slot = 30;
+  for (int s = 0; s < sharded->num_shards(); ++s) {
+    // Warm the slot so the incremental patch has a resident table.
+    ASSERT_TRUE(sharded->shard_system(s).CorrelationsFor(slot).ok());
+  }
+  const auto rows = sharded->RefineSlot(slot);
+  ASSERT_TRUE(rows.ok()) << rows.status().message();
+  ASSERT_EQ(static_cast<int>(rows->size()), sharded->num_shards());
+  for (int s = 0; s < sharded->num_shards(); ++s) {
+    // With a warm sparse closure the incremental path never falls back:
+    // either it patched rows or CCD changed no edge correlation.
+    EXPECT_GE((*rows)[static_cast<size_t>(s)], 0) << "shard " << s;
+    core::CrowdRtse& system = sharded->shard_system(s);
+    const auto resident = system.CorrelationsFor(slot);
+    ASSERT_TRUE(resident.ok());
+    const auto full = rtf::CorrelationTable::Compute(
+        system.model(), slot, system.config().path_mode, nullptr,
+        system.config().correlation_hop_radius);
+    ASSERT_TRUE(full.ok()) << full.status().message();
+    EXPECT_EQ((*resident)->Serialize(), full->Serialize()) << "shard " << s;
+  }
 }
 
 TEST_F(ShardedEngineTest, CreateRejectsPartitionFromAnotherGraph) {
