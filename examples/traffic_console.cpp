@@ -7,6 +7,7 @@
 //   traffic_console train-model      <net.edges> <in.hist> <out.rtf>
 //   traffic_console export-day       <in.hist> <day> <out.csv>
 //   traffic_console serve-demo       <net.edges> <in.hist> <queries> <budget>
+//   traffic_console --scenario       <pack.scn> [single|sharded|both] [seed]
 //
 // With no arguments it runs the full pipeline in a temp directory as a
 // self-demo.
@@ -23,6 +24,8 @@
 #include "graph/graph_io.h"
 #include "rtf/moment_estimator.h"
 #include "rtf/rtf_serialization.h"
+#include "scenario/pack.h"
+#include "scenario/runner.h"
 #include "server/budget_ledger.h"
 #include "server/query_engine.h"
 #include "server/worker_registry.h"
@@ -191,6 +194,37 @@ int TuneThetaCommand(const std::string& net_path,
   return 0;
 }
 
+// Replays a declarative .scn stress pack (scenarios/ in the repo) against
+// the serving stack and prints the per-phase envelope verdicts. The same
+// packs run in CI via tools/scenario_runner; this is the operator's view.
+int RunScenarioPack(const std::string& pack_path, const std::string& engine,
+                    uint64_t seed) {
+  const auto pack = scenario::LoadPackFile(pack_path);
+  if (!pack.ok()) return Fail(pack.status());
+  std::vector<scenario::RunnerOptions::EngineKind> kinds;
+  if (engine == "single" || engine == "both") {
+    kinds.push_back(scenario::RunnerOptions::EngineKind::kSingle);
+  }
+  if (engine == "sharded" || engine == "both") {
+    kinds.push_back(scenario::RunnerOptions::EngineKind::kSharded);
+  }
+  if (kinds.empty()) {
+    return Fail(util::Status::InvalidArgument(
+        "engine must be single, sharded, or both; got '" + engine + "'"));
+  }
+  bool all_passed = true;
+  for (const auto kind : kinds) {
+    scenario::RunnerOptions options;
+    options.engine = kind;
+    options.seed = seed;
+    const auto report = scenario::RunScenario(*pack, options);
+    if (!report.ok()) return Fail(report.status());
+    std::printf("%s", report->Summary().c_str());
+    all_passed = all_passed && report->AllPassed();
+  }
+  return all_passed ? 0 : 1;
+}
+
 int SelfDemo() {
   const std::string dir = "/tmp/crowdrtse_console";
   (void)std::system(("mkdir -p " + dir).c_str());
@@ -235,6 +269,13 @@ int main(int argc, char** argv) {
     return ServeDemo(args[1], args[2], arg_int(3), arg_int(4),
                      static_cast<uint64_t>(arg_int(5)));
   }
+  if ((command == "--scenario" || command == "scenario") &&
+      args.size() >= 2 && args.size() <= 4) {
+    const std::string engine = args.size() >= 3 ? args[2] : "single";
+    const uint64_t seed =
+        args.size() == 4 ? static_cast<uint64_t>(arg_int(3)) : 0;
+    return RunScenarioPack(args[1], engine, seed);
+  }
   std::fprintf(stderr,
                "usage:\n"
                "  traffic_console                               (self demo)\n"
@@ -244,6 +285,9 @@ int main(int argc, char** argv) {
                "  traffic_console export-day HIST DAY OUT\n"
                "  traffic_console tune-theta NET HIST BUDGET\n"
                "  traffic_console serve-demo NET HIST QUERIES BUDGET SEED\n"
-               "    (SEED must match the simulate-history seed)\n");
+               "    (SEED must match the simulate-history seed)\n"
+               "  traffic_console --scenario PACK [single|sharded|both] "
+               "[seed]\n"
+               "    (replays a scenarios/*.scn stress pack)\n");
   return 2;
 }

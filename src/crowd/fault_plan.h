@@ -69,6 +69,16 @@ class FaultPlan {
   void set_seed(uint64_t seed) { seed_ = seed; }
   uint64_t seed() const { return seed_; }
 
+  /// Scope accessors, so a sharded engine can remap a global plan's road
+  /// specs into each shard's local id space (see ShardedEngine::SetFaultPlan).
+  const FaultSpec& default_spec() const { return default_spec_; }
+  const std::unordered_map<graph::RoadId, FaultSpec>& road_specs() const {
+    return road_specs_;
+  }
+  const std::unordered_map<WorkerId, FaultSpec>& worker_specs() const {
+    return worker_specs_;
+  }
+
   bool FaultFree() const {
     return default_spec_.FaultFree() && road_specs_.empty() &&
            worker_specs_.empty();

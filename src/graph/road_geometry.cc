@@ -29,6 +29,17 @@ RoadGeometry RoadGeometry::Constant(int num_roads, double km) {
   return geometry;
 }
 
+util::Result<RoadGeometry> RoadGeometry::FromLengths(std::vector<double> km) {
+  for (double length : km) {
+    if (length <= 0.0) {
+      return util::Status::InvalidArgument("road lengths must be positive");
+    }
+  }
+  RoadGeometry geometry;
+  geometry.length_km_ = std::move(km);
+  return geometry;
+}
+
 double RoadGeometry::TravelMinutes(RoadId road, double speed_kmh) const {
   if (speed_kmh <= 0.0) return std::numeric_limits<double>::infinity();
   return LengthKm(road) / speed_kmh * 60.0;

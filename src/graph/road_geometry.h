@@ -27,6 +27,10 @@ class RoadGeometry {
   /// Every road `km` long.
   static RoadGeometry Constant(int num_roads, double km);
 
+  /// Wraps an explicit per-road length vector (e.g. lengths compiled from
+  /// a scenario sketch's tags). Every length must be positive.
+  static util::Result<RoadGeometry> FromLengths(std::vector<double> km);
+
   int num_roads() const { return static_cast<int>(length_km_.size()); }
   double LengthKm(RoadId road) const {
     return length_km_[static_cast<size_t>(road)];

@@ -1,0 +1,322 @@
+#include "scenario/ascii_map.h"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace crowdrtse::scenario {
+
+namespace {
+
+bool IsRoadChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Class defaults: the (base, dips, noise, length) each SpeedClass stands
+/// for. Highways are fast with shallow dips; arterials carry the deep rush
+/// dips; locals are slower and noisier; slow streets barely move.
+RoadProfile ClassDefaults(SpeedClass c) {
+  RoadProfile p;
+  p.speed_class = c;
+  switch (c) {
+    case SpeedClass::kHighway:
+      p.base_kmh = 95.0;
+      p.morning_dip = 0.25;
+      p.evening_dip = 0.30;
+      p.noise_kmh = 2.0;
+      p.length_km = 1.5;
+      break;
+    case SpeedClass::kArterial:
+      p.base_kmh = 65.0;
+      p.morning_dip = 0.40;
+      p.evening_dip = 0.45;
+      p.noise_kmh = 3.0;
+      p.length_km = 0.8;
+      break;
+    case SpeedClass::kLocal:
+      p.base_kmh = 45.0;
+      p.morning_dip = 0.30;
+      p.evening_dip = 0.35;
+      p.noise_kmh = 4.0;
+      p.length_km = 0.4;
+      break;
+    case SpeedClass::kSlow:
+      p.base_kmh = 28.0;
+      p.morning_dip = 0.20;
+      p.evening_dip = 0.25;
+      p.noise_kmh = 2.5;
+      p.length_km = 0.3;
+      break;
+  }
+  return p;
+}
+
+util::Status ApplyTags(const std::map<std::string, std::string>& tags,
+                       RoadProfile& profile) {
+  // The class tag resets the whole profile before the explicit keys land,
+  // whatever order the tag line wrote them in.
+  auto it = tags.find("class");
+  if (it != tags.end()) {
+    auto parsed = ParseSpeedClass(it->second);
+    if (!parsed.ok()) return parsed.status();
+    profile = ClassDefaults(*parsed);
+  }
+  for (const auto& [key, value] : tags) {
+    if (key == "class") continue;
+    const auto number = util::ParseDouble(value);
+    if (!number.ok()) {
+      return util::Status::InvalidArgument("tag " + key + "=" + value +
+                                           ": not a number");
+    }
+    if (key == "base") {
+      profile.base_kmh = *number;
+    } else if (key == "dip") {
+      profile.morning_dip = *number;
+      profile.evening_dip = *number;
+    } else if (key == "morning_dip") {
+      profile.morning_dip = *number;
+    } else if (key == "evening_dip") {
+      profile.evening_dip = *number;
+    } else if (key == "noise") {
+      profile.noise_kmh = *number;
+    } else if (key == "len") {
+      profile.length_km = *number;
+    } else {
+      return util::Status::InvalidArgument("unknown map tag key: " + key);
+    }
+  }
+  if (profile.base_kmh <= 0.0) {
+    return util::Status::InvalidArgument("road base speed must be positive");
+  }
+  if (profile.morning_dip < 0.0 || profile.morning_dip >= 1.0 ||
+      profile.evening_dip < 0.0 || profile.evening_dip >= 1.0) {
+    return util::Status::InvalidArgument("rush dips must lie in [0, 1)");
+  }
+  if (profile.noise_kmh < 0.0 || profile.length_km <= 0.0) {
+    return util::Status::InvalidArgument(
+        "noise must be >= 0 and length positive");
+  }
+  return util::Status::Ok();
+}
+
+std::string CellName(size_t row, size_t col) {
+  return "row " + std::to_string(row + 1) + " col " + std::to_string(col + 1);
+}
+
+}  // namespace
+
+const char* SpeedClassName(SpeedClass c) {
+  switch (c) {
+    case SpeedClass::kHighway:
+      return "highway";
+    case SpeedClass::kArterial:
+      return "arterial";
+    case SpeedClass::kLocal:
+      return "local";
+    case SpeedClass::kSlow:
+      return "slow";
+  }
+  return "unknown";
+}
+
+util::Result<SpeedClass> ParseSpeedClass(const std::string& name) {
+  if (name == "highway") return SpeedClass::kHighway;
+  if (name == "arterial") return SpeedClass::kArterial;
+  if (name == "local") return SpeedClass::kLocal;
+  if (name == "slow") return SpeedClass::kSlow;
+  return util::Status::InvalidArgument("unknown speed class: " + name);
+}
+
+graph::RoadId MapFixture::RoadByName(const std::string& name) const {
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<graph::RoadId>(i);
+  }
+  return graph::kInvalidRoad;
+}
+
+util::Result<MapFixture> CompileAsciiMap(const std::string& sketch,
+                                         const std::vector<TagLine>& tags) {
+  // Grid pass: split into rows, validate the character set. Trailing
+  // blank rows are presentation, not geography — a sketch must compile to
+  // the same unit-square geometry with or without a final newline.
+  std::vector<std::string> grid = util::Split(sketch, '\n');
+  while (!grid.empty() &&
+         grid.back().find_first_not_of(" \t\r") == std::string::npos) {
+    grid.pop_back();
+  }
+  size_t width = 0;
+  for (size_t r = 0; r < grid.size(); ++r) {
+    for (size_t c = 0; c < grid[r].size(); ++c) {
+      const char ch = grid[r][c];
+      if (ch != ' ' && ch != '-' && ch != '|' && !IsRoadChar(ch)) {
+        return util::Status::InvalidArgument(
+            std::string("unexpected sketch character '") + ch + "' at " +
+            CellName(r, c));
+      }
+    }
+    width = std::max(width, grid[r].size());
+  }
+
+  // Road pass: letters become roads in row-major discovery order, so ids
+  // (and therefore edge ids below) are pinned by the drawing alone.
+  MapFixture fixture;
+  std::vector<std::vector<graph::RoadId>> road_at(
+      grid.size(), std::vector<graph::RoadId>(width, graph::kInvalidRoad));
+  struct Cell {
+    size_t row, col;
+  };
+  std::vector<Cell> cells;
+  for (size_t r = 0; r < grid.size(); ++r) {
+    for (size_t c = 0; c < grid[r].size(); ++c) {
+      if (!IsRoadChar(grid[r][c])) continue;
+      const std::string name(1, grid[r][c]);
+      if (fixture.RoadByName(name) != graph::kInvalidRoad) {
+        return util::Status::InvalidArgument("duplicate road letter '" +
+                                             name + "' at " + CellName(r, c));
+      }
+      road_at[r][c] = static_cast<graph::RoadId>(fixture.names.size());
+      fixture.names.push_back(name);
+      cells.push_back({r, c});
+    }
+  }
+  if (fixture.names.empty()) {
+    return util::Status::InvalidArgument("sketch contains no roads");
+  }
+
+  // Edge pass: from every road scan east through `-` and south through
+  // `|`; every connector consumed by a completed run is marked, and any
+  // connector left unmarked afterwards is a dangling edge.
+  std::vector<std::vector<uint8_t>> consumed(
+      grid.size(), std::vector<uint8_t>(width, 0));
+  graph::GraphBuilder builder(static_cast<int>(fixture.names.size()));
+  std::vector<std::pair<graph::RoadId, graph::RoadId>> edge_list;
+  const auto at = [&](size_t r, size_t c) -> char {
+    if (r >= grid.size() || c >= grid[r].size()) return '\0';
+    return grid[r][c];
+  };
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const auto [row, col] = cells[i];
+    const graph::RoadId from = road_at[row][col];
+    // East.
+    {
+      size_t c = col + 1;
+      while (at(row, c) == '-') ++c;
+      if (c > col + 1 && !IsRoadChar(at(row, c))) {
+        return util::Status::InvalidArgument(
+            "dangling horizontal edge from '" + fixture.names[from] +
+            "' at " + CellName(row, col));
+      }
+      if (IsRoadChar(at(row, c))) {
+        for (size_t k = col + 1; k < c; ++k) consumed[row][k] = 1;
+        edge_list.emplace_back(from, road_at[row][c]);
+        builder.AddEdge(from, road_at[row][c]);
+      }
+    }
+    // South.
+    {
+      size_t r = row + 1;
+      while (at(r, col) == '|') ++r;
+      if (r > row + 1 && !IsRoadChar(at(r, col))) {
+        return util::Status::InvalidArgument(
+            "dangling vertical edge from '" + fixture.names[from] + "' at " +
+            CellName(row, col));
+      }
+      if (r > row + 1 && IsRoadChar(at(r, col))) {
+        for (size_t k = row + 1; k < r; ++k) consumed[k][col] = 1;
+        edge_list.emplace_back(from, road_at[r][col]);
+        builder.AddEdge(from, road_at[r][col]);
+      }
+    }
+  }
+  for (size_t r = 0; r < grid.size(); ++r) {
+    for (size_t c = 0; c < grid[r].size(); ++c) {
+      if ((grid[r][c] == '-' || grid[r][c] == '|') && !consumed[r][c]) {
+        return util::Status::InvalidArgument(
+            std::string("dangling edge character '") + grid[r][c] + "' at " +
+            CellName(r, c) + " connects fewer than two roads");
+      }
+    }
+  }
+
+  auto graph = builder.Build();
+  if (!graph.ok()) return graph.status();
+  fixture.graph = std::move(*graph);
+
+  // Geometry: cell centers normalised onto the unit square; a single row
+  // or column still spreads so the partitioner's bisection has an axis.
+  const double inv_w = 1.0 / static_cast<double>(std::max<size_t>(width, 1));
+  const double inv_h =
+      1.0 / static_cast<double>(std::max<size_t>(grid.size(), 1));
+  for (const Cell& cell : cells) {
+    fixture.positions.emplace_back(
+        (static_cast<double>(cell.col) + 0.5) * inv_w,
+        (static_cast<double>(cell.row) + 0.5) * inv_h);
+  }
+
+  // Tag pass: edge tags paint both endpoints, road tags override.
+  fixture.profiles.assign(fixture.names.size(),
+                          ClassDefaults(SpeedClass::kArterial));
+  for (const TagLine& line : tags) {
+    const std::vector<std::string> parts = util::Split(line.selector, '-');
+    if (parts.size() == 2) {
+      const graph::RoadId a = fixture.RoadByName(util::Trim(parts[0]));
+      const graph::RoadId b = fixture.RoadByName(util::Trim(parts[1]));
+      if (a == graph::kInvalidRoad || b == graph::kInvalidRoad ||
+          !fixture.graph.AreAdjacent(a, b)) {
+        return util::Status::InvalidArgument("tag selector '" +
+                                             line.selector +
+                                             "' names no edge of the sketch");
+      }
+      for (graph::RoadId road : {a, b}) {
+        if (auto s = ApplyTags(line.tags,
+                               fixture.profiles[static_cast<size_t>(road)]);
+            !s.ok()) {
+          return s;
+        }
+      }
+    } else if (parts.size() == 1) {
+      const graph::RoadId road = fixture.RoadByName(util::Trim(parts[0]));
+      if (road == graph::kInvalidRoad) {
+        return util::Status::InvalidArgument("tag selector '" +
+                                             line.selector +
+                                             "' names no road of the sketch");
+      }
+      if (auto s = ApplyTags(line.tags,
+                             fixture.profiles[static_cast<size_t>(road)]);
+          !s.ok()) {
+        return s;
+      }
+    } else {
+      return util::Status::InvalidArgument("malformed tag selector: " +
+                                           line.selector);
+    }
+  }
+
+  // Road tags must win over edge tags whatever the section order, so edge
+  // selectors are applied in a first pass above only when no road selector
+  // names the same road later. Simpler and equivalent: re-apply every road
+  // selector after the edge selectors.
+  for (const TagLine& line : tags) {
+    if (line.selector.find('-') != std::string::npos) continue;
+    const graph::RoadId road = fixture.RoadByName(util::Trim(line.selector));
+    if (auto s = ApplyTags(line.tags,
+                           fixture.profiles[static_cast<size_t>(road)]);
+        !s.ok()) {
+      return s;
+    }
+  }
+
+  std::vector<double> lengths;
+  lengths.reserve(fixture.profiles.size());
+  for (const RoadProfile& p : fixture.profiles) lengths.push_back(p.length_km);
+  auto geometry = graph::RoadGeometry::FromLengths(std::move(lengths));
+  if (!geometry.ok()) return geometry.status();
+  fixture.lengths = std::move(*geometry);
+
+  return fixture;
+}
+
+}  // namespace crowdrtse::scenario

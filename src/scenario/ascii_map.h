@@ -1,0 +1,88 @@
+#ifndef CROWDRTSE_SCENARIO_ASCII_MAP_H_
+#define CROWDRTSE_SCENARIO_ASCII_MAP_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/road_geometry.h"
+#include "util/status.h"
+
+namespace crowdrtse::scenario {
+
+/// Speed class of a road in a scenario map. Classes are shorthand for the
+/// (base speed, rush dip, day-to-day noise) triple a road's ground-truth
+/// profile is built from; any component can be overridden per road via
+/// tags (DESIGN.md §9).
+enum class SpeedClass {
+  kHighway,   // 95 km/h base, shallow rush dip
+  kArterial,  // 65 km/h base, deep rush dip
+  kLocal,     // 45 km/h base, medium dip
+  kSlow,      // 28 km/h base, shallow dip
+};
+
+const char* SpeedClassName(SpeedClass c);
+util::Result<SpeedClass> ParseSpeedClass(const std::string& name);
+
+/// Ground-truth profile of one road in a compiled map: what the scenario
+/// world builder turns into the historical record and the live day.
+struct RoadProfile {
+  SpeedClass speed_class = SpeedClass::kArterial;
+  double base_kmh = 65.0;     // free-flow speed
+  double morning_dip = 0.40;  // fractional rush-hour dip
+  double evening_dip = 0.40;
+  double noise_kmh = 3.0;     // day-to-day sigma (periodicity intensity)
+  double length_km = 0.5;     // physical length (geometry only)
+};
+
+/// One tag line attached to a map: `selector` is either a single road
+/// letter ("B") or an edge name ("A-B"); `tags` are its key=value pairs.
+/// Road tags override edge tags, which override class defaults.
+struct TagLine {
+  std::string selector;
+  std::map<std::string, std::string> tags;
+};
+
+/// What an ascii sketch compiles into: the road network (roads are the
+/// sketch's letters — vertices of the paper's graph model G = (R, E)),
+/// deterministic unit-square geometry, physical lengths, and a per-road
+/// ground-truth profile.
+struct MapFixture {
+  graph::Graph graph;
+  /// Road (x, y) in the unit square, derived from the sketch grid: the
+  /// partitioner's geographic-bisection input.
+  std::vector<std::pair<double, double>> positions;
+  graph::RoadGeometry lengths;
+  std::vector<RoadProfile> profiles;
+  /// Road names in id order (single characters for sketch maps, synthetic
+  /// "r<i>" names for generator maps).
+  std::vector<std::string> names;
+
+  /// Road id of `name`, or graph::kInvalidRoad when unknown.
+  graph::RoadId RoadByName(const std::string& name) const;
+};
+
+/// Compiles a gurka-style ascii sketch into a MapFixture.
+///
+/// Grammar (DESIGN.md §9): alphanumeric characters are roads; a horizontal
+/// run of `-` (or direct horizontal adjacency) joins two roads, a vertical
+/// run of `|` joins two roads across rows. Every `-`/`|` must lie on a
+/// completed run between two roads — a run hitting a border, a blank, or a
+/// perpendicular connector is a dangling edge and rejects. A road letter
+/// may appear only once. Edges are numbered in discovery order: letters
+/// scanned row-major, east run before south run — so fixtures can pin
+/// exact edge lists.
+///
+/// `tags` attaches length/speed-class/profile attributes: an edge selector
+/// "A-B" (either endpoint order) applies to both endpoint roads, a road
+/// selector "A" to that road alone, with road tags taking precedence.
+/// Keys: class=<highway|arterial|local|slow>, base=<kmh>, dip=<frac>,
+/// morning_dip=<frac>, evening_dip=<frac>, noise=<kmh>, len=<km>.
+util::Result<MapFixture> CompileAsciiMap(const std::string& sketch,
+                                         const std::vector<TagLine>& tags = {});
+
+}  // namespace crowdrtse::scenario
+
+#endif  // CROWDRTSE_SCENARIO_ASCII_MAP_H_

@@ -1,0 +1,96 @@
+#include "scenario/envelope.h"
+
+#include "util/string_util.h"
+
+namespace crowdrtse::scenario {
+
+namespace {
+
+void CheckMax(std::vector<std::string>& failures, const char* name,
+              double bound, double actual) {
+  if (bound >= 0.0 && actual > bound) {
+    failures.push_back(std::string(name) + ": " +
+                       util::FormatDouble(actual, 4) + " > " +
+                       util::FormatDouble(bound, 4));
+  }
+}
+
+void CheckMin(std::vector<std::string>& failures, const char* name,
+              double bound, double actual) {
+  if (bound >= 0.0 && actual < bound) {
+    failures.push_back(std::string(name) + ": " +
+                       util::FormatDouble(actual, 4) + " < " +
+                       util::FormatDouble(bound, 4));
+  }
+}
+
+void CheckMaxCount(std::vector<std::string>& failures, const char* name,
+                   int64_t bound, int64_t actual) {
+  if (bound >= 0 && actual > bound) {
+    failures.push_back(std::string(name) + ": " + std::to_string(actual) +
+                       " > " + std::to_string(bound));
+  }
+}
+
+void CheckMinCount(std::vector<std::string>& failures, const char* name,
+                   int64_t bound, int64_t actual) {
+  if (bound >= 0 && actual < bound) {
+    failures.push_back(std::string(name) + ": " + std::to_string(actual) +
+                       " < " + std::to_string(bound));
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> EvaluateEnvelope(const EnvelopeSpec& spec,
+                                          const PhaseMetrics& metrics) {
+  std::vector<std::string> failures;
+
+  if (spec.zero_silent_drops) {
+    const int64_t accounted = metrics.served + metrics.rejected +
+                              metrics.failed;
+    if (accounted != metrics.attempts) {
+      failures.push_back("zero_silent_drops: offered " +
+                         std::to_string(metrics.attempts) +
+                         " queries but served+rejected+failed = " +
+                         std::to_string(accounted));
+    }
+  }
+  if (spec.reservations_settled && metrics.reserved_outstanding != 0) {
+    failures.push_back("reservations_settled: " +
+                       std::to_string(metrics.reserved_outstanding) +
+                       " budget units still reserved");
+  }
+  if (spec.span_bounded && metrics.max_round_span_ms > 0.0 &&
+      metrics.max_span_ms > metrics.max_round_span_ms + 1e-6) {
+    failures.push_back("span_bounded: " +
+                       util::FormatDouble(metrics.max_span_ms, 3) +
+                       "ms > MaxRoundSpanMs " +
+                       util::FormatDouble(metrics.max_round_span_ms, 3) +
+                       "ms");
+  }
+
+  CheckMax(failures, "max_mape", spec.max_mape, metrics.Mape());
+  CheckMinCount(failures, "min_served", spec.min_served, metrics.served);
+  CheckMaxCount(failures, "max_failed", spec.max_failed, metrics.failed);
+  CheckMaxCount(failures, "max_rejected", spec.max_rejected,
+                metrics.rejected);
+  CheckMinCount(failures, "min_rejected", spec.min_rejected,
+                metrics.rejected);
+  CheckMaxCount(failures, "max_shed", spec.max_shed, metrics.shed);
+  CheckMinCount(failures, "min_shed", spec.min_shed, metrics.shed);
+  CheckMax(failures, "max_degraded_fraction", spec.max_degraded_fraction,
+           metrics.DegradedFraction());
+  CheckMin(failures, "min_degraded_fraction", spec.min_degraded_fraction,
+           metrics.DegradedFraction());
+  CheckMax(failures, "max_underfilled_fraction",
+           spec.max_underfilled_fraction, metrics.UnderfilledFraction());
+  CheckMinCount(failures, "min_outlier_reports", spec.min_outlier_reports,
+                metrics.outlier_reports);
+  CheckMaxCount(failures, "max_paid", spec.max_paid, metrics.paid);
+  CheckMinCount(failures, "min_paid", spec.min_paid, metrics.paid);
+
+  return failures;
+}
+
+}  // namespace crowdrtse::scenario

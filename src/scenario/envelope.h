@@ -1,0 +1,73 @@
+#ifndef CROWDRTSE_SCENARIO_ENVELOPE_H_
+#define CROWDRTSE_SCENARIO_ENVELOPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/pack.h"
+
+namespace crowdrtse::scenario {
+
+/// Everything one phase (or the whole run) measured — the facts an
+/// EnvelopeSpec's bounds are checked against. The runner fills one of
+/// these per phase from engine-stat deltas and per-response accumulation.
+struct PhaseMetrics {
+  /// Queries the runner offered to the engine in this phase. The sum of
+  /// the three outcome counters must equal it (zero_silent_drops).
+  int64_t attempts = 0;
+  int64_t served = 0;
+  int64_t rejected = 0;
+  int64_t failed = 0;
+  /// Queries answered from the periodic fallback (subset of served).
+  int64_t shed = 0;
+  int64_t paid = 0;
+  int64_t outlier_reports = 0;
+
+  /// Road-level accumulation over the phase's successful responses.
+  int64_t roads_queried = 0;
+  int64_t roads_probed = 0;
+  int64_t roads_underfilled = 0;
+  int64_t roads_degraded = 0;
+
+  /// Accuracy against ground truth: sum of absolute percentage errors and
+  /// the number of cases (roads with positive truth) behind it.
+  double ape_sum = 0.0;
+  int64_t ape_cases = 0;
+
+  /// Largest dispatch_span_ms observed (SimClock-driven, deterministic).
+  double max_span_ms = 0.0;
+  /// The DispatchOptions bound spans are checked against; <= 0 means the
+  /// pack ran the legacy non-fault-tolerant path (spans are all zero).
+  double max_round_span_ms = 0.0;
+
+  /// Ledger reservations still open when the phase closed (sequential
+  /// serving means this should always be zero at a boundary).
+  int64_t reserved_outstanding = 0;
+
+  double Mape() const {
+    return ape_cases > 0 ? ape_sum / static_cast<double>(ape_cases) : 0.0;
+  }
+  double DegradedFraction() const {
+    return roads_queried > 0
+               ? static_cast<double>(roads_degraded) /
+                     static_cast<double>(roads_queried)
+               : 0.0;
+  }
+  double UnderfilledFraction() const {
+    return roads_queried > 0
+               ? static_cast<double>(roads_underfilled) /
+                     static_cast<double>(roads_queried)
+               : 0.0;
+  }
+};
+
+/// Checks `metrics` against `spec`. Returns one human-readable violation
+/// per failed bound ("max_mape: 0.3124 > 0.2500"); empty means the
+/// envelope passed.
+std::vector<std::string> EvaluateEnvelope(const EnvelopeSpec& spec,
+                                          const PhaseMetrics& metrics);
+
+}  // namespace crowdrtse::scenario
+
+#endif  // CROWDRTSE_SCENARIO_ENVELOPE_H_

@@ -1,0 +1,188 @@
+#ifndef CROWDRTSE_SCENARIO_PACK_H_
+#define CROWDRTSE_SCENARIO_PACK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crowd/fault_plan.h"
+#include "scenario/ascii_map.h"
+#include "scenario/world.h"
+#include "util/status.h"
+
+namespace crowdrtse::scenario {
+
+/// A set of roads named by a timeline event or a storm: the whole map, an
+/// explicit list (road names for sketch maps, numeric ids for generator
+/// maps), or the district within `hops` hops of a center road.
+struct RoadsSpec {
+  enum class Kind { kAll, kList, kDistrict };
+  Kind kind = Kind::kAll;
+  std::vector<std::string> names;  // kList
+  std::string center;              // kDistrict
+  int hops = 2;                    // kDistrict
+};
+
+/// Alternative to an ascii sketch: a generated map. `grid` is rows x cols
+/// (positions synthesised on the unit square); `metro` is the O(n)
+/// street-grid + arterials generator (graph::MetroNetwork).
+struct GeneratorSpec {
+  std::string kind;  // empty = no generator, use the sketch
+  int rows = 8;
+  int cols = 8;
+  int roads = 1024;  // metro target road count
+};
+
+/// One timeline event. Events fire at slot `at` on the scenario day, in
+/// file order within a slot (DESIGN.md §9 lists the per-kind keys).
+struct Event {
+  enum class Kind {
+    kPhase,     // snapshot boundary: close the running phase, open `name`
+    kStorm,     // a burst of queries at this slot
+    kIncident,  // ground-truth speed drop with spillover
+    kDrift,     // workers move to adjacent roads with probability p
+    kWorkers,   // population churn: leave fraction and/or add count
+    kFaults,    // swap the engine's crowd::FaultPlan
+    kLiars,     // a coordinated lying cohort on one road
+  };
+  Kind kind = Kind::kPhase;
+  int at = 0;
+
+  std::string name;  // kPhase
+
+  // kStorm: `queries` fixed count, or `rate` > 0 for a Poisson-distributed
+  // count; each query asks `size` distinct roads drawn from `roads` and
+  // carries budget_cap `budget` (0 = ledger default).
+  int queries = 0;
+  double rate = -1.0;
+  int size = 3;
+  int budget = 0;
+  RoadsSpec roads;
+
+  // kIncident (also reuses `road`): fractional `drop` for `duration`
+  // slots, spilling `spillover` hops.
+  std::string road;
+  double drop = 0.5;
+  int duration = 6;
+  int spillover = 1;
+
+  // kDrift.
+  double probability = 0.5;
+
+  // kWorkers: each worker on `roads` leaves with probability `leave`;
+  // `add` fresh workers spawn spread over `roads`.
+  double leave = 0.0;
+  int add = 0;
+
+  // kFaults: the new default FaultSpec (scoped to `roads` when not kAll);
+  // `clear` resets the plan to fault-free.
+  crowd::FaultSpec fault;
+  bool clear = false;
+
+  // kLiars: `cohort` workers on `road` start reporting exactly
+  // `value` km/h (coordinated, so the MAD filter sees agreeing liars).
+  int cohort = 0;
+  double value = 100.0;
+};
+
+/// One envelope block: declarative bounds a phase (or the whole run, when
+/// `phase` is empty) must satisfy. Numeric bounds < 0 are disabled; the
+/// three structural booleans default on and can be switched off.
+struct EnvelopeSpec {
+  std::string phase;  // "" = run totals
+
+  /// attempts == served + rejected + failed (+ shed answers are counted
+  /// inside served): nothing the storm offered vanished silently.
+  bool zero_silent_drops = true;
+  /// Every ledger reservation was settled or released (run totals only).
+  bool reservations_settled = true;
+  /// Every crowd round resolved within DispatchOptions::MaxRoundSpanMs()
+  /// (fault-tolerant packs only).
+  bool span_bounded = true;
+
+  double max_mape = -1.0;
+  int min_served = -1;
+  int max_failed = -1;
+  int max_rejected = -1;
+  int min_rejected = -1;
+  int max_shed = -1;
+  int min_shed = -1;
+  double max_degraded_fraction = -1.0;  // degraded roads / queried roads
+  double min_degraded_fraction = -1.0;
+  double max_underfilled_fraction = -1.0;
+  int64_t min_outlier_reports = -1;
+  int64_t max_paid = -1;
+  int64_t min_paid = -1;
+};
+
+/// A parsed scenario pack: map + world + engine knobs + timeline +
+/// envelopes. See DESIGN.md §9 for the file format.
+struct Pack {
+  std::string name;
+  std::string description;
+  uint64_t seed = 1;
+
+  // Map: exactly one of `sketch` (with optional `tags`) or `generator`.
+  std::string sketch;
+  std::vector<TagLine> tags;
+  GeneratorSpec generator;
+
+  WorldOptions world;
+
+  // Worker population.
+  int workers_per_road = 3;
+  bool noiseless = true;
+  double min_bias = 0.97, max_bias = 1.03;
+  double min_noise_kmh = 0.5, max_noise_kmh = 2.0;
+
+  // Engine / campaign knobs.
+  int64_t campaign_budget = -1;  // < 0 = unlimited
+  int per_query_cap = 10;
+  int cost_per_road = 2;
+  bool fault_tolerant = false;
+  int hop_radius = 2;     // C (0 = dense closure)
+  int gsp_hop_limit = 2;  // H (0 = unlimited)
+  bool prune_zero_gain = true;
+  double theta = 0.92;
+  double mad_sigmas = 4.0;
+  int max_attempts = 3;
+  double deadline_ms = 50.0;
+  /// When the campaign ledger is dry, answer from the periodic fallback
+  /// (counted served + shed) instead of rejecting — the admission ladder's
+  /// bottom rung, driven from the runner.
+  bool shed_when_dry = false;
+
+  // Sharded replays.
+  int shards = 4;
+  int halo = 0;  // 0 = auto: max(2C, C + H + 1)
+
+  std::vector<Event> timeline;
+  std::vector<EnvelopeSpec> envelopes;
+
+  /// Timeline horizon: the largest event slot.
+  int LastEventSlot() const;
+  /// The envelope block for `phase` ("" = run totals), or nullptr.
+  const EnvelopeSpec* EnvelopeFor(const std::string& phase) const;
+};
+
+/// Parses the `.scn` text format. Rejects unknown sections, keys, event
+/// kinds, out-of-range slots, and packs without a map or with both map
+/// forms.
+util::Result<Pack> ParsePack(const std::string& text);
+
+/// Reads and parses a pack file.
+util::Result<Pack> LoadPackFile(const std::string& path);
+
+/// Compiles the pack's map — the ascii sketch (with tags) or the generator
+/// — into a fixture. Generator roads get synthetic names "0", "1", ... and
+/// default arterial profiles.
+util::Result<MapFixture> BuildFixture(const Pack& pack);
+
+/// Resolves a RoadsSpec against a fixture. Returns sorted unique ids;
+/// rejects names that match no road.
+util::Result<std::vector<graph::RoadId>> ResolveRoads(const RoadsSpec& spec,
+                                                      const MapFixture& fixture);
+
+}  // namespace crowdrtse::scenario
+
+#endif  // CROWDRTSE_SCENARIO_PACK_H_

@@ -1,0 +1,100 @@
+#ifndef CROWDRTSE_SCENARIO_RUNNER_H_
+#define CROWDRTSE_SCENARIO_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crowd/worker.h"
+#include "partition/partition.h"
+#include "scenario/envelope.h"
+#include "scenario/pack.h"
+#include "server/engine.h"
+#include "util/status.h"
+
+namespace crowdrtse::scenario {
+
+/// How to replay a pack.
+struct RunnerOptions {
+  enum class EngineKind { kSingle, kSharded };
+  EngineKind engine = EngineKind::kSingle;
+  /// Shard count for kSharded; 0 takes the pack's [sharding] value.
+  int shards = 0;
+  /// Replay seed; 0 takes the pack's [scenario] seed. Every stochastic
+  /// choice of the run — world generation, worker population, storm
+  /// composition, churn, fault decisions — derives from it, so one
+  /// (pack, seed, engine) triple always produces byte-identical reports.
+  uint64_t seed = 0;
+  /// Keep every request/response pair in the report (equality tests).
+  bool keep_responses = false;
+};
+
+const char* EngineKindName(RunnerOptions::EngineKind kind);
+
+/// One replayed query, kept only under RunnerOptions::keep_responses.
+struct QueryRecord {
+  server::QueryRequest request;
+  bool ok = false;
+  bool shed = false;  // answered via the periodic fallback (budget dry)
+  server::QueryResponse response;  // valid when ok
+};
+
+/// One phase's outcome: measured facts plus the envelope verdict.
+struct PhaseReport {
+  std::string name;
+  PhaseMetrics metrics;
+  /// True when the pack declared an envelope for this phase.
+  bool checked = false;
+  std::vector<std::string> failures;
+  bool Passed() const { return failures.empty(); }
+};
+
+/// The whole replay: per-phase reports, run totals, and a digest of every
+/// response's bit pattern (speeds, probe sets, payments, SimClock spans —
+/// never wall-clock latencies), so two runs can be compared for exact
+/// replay equality with one integer.
+struct RunReport {
+  std::string pack_name;
+  std::string engine;
+  uint64_t seed = 0;
+  std::vector<PhaseReport> phases;
+  PhaseReport total;  // name "", checked against the pack's [envelope]
+  uint64_t answers_digest = 0;
+  std::vector<QueryRecord> records;  // only under keep_responses
+
+  bool AllPassed() const;
+  /// Deterministic JSON: identical bytes for identical replays (excludes
+  /// every wall-clock measurement). The scenario-smoke CI job diffs this.
+  std::string ToJson() const;
+  /// Human-readable multi-line summary.
+  std::string Summary() const;
+};
+
+/// The halo radius a sharded replay of `pack` uses: the pack's explicit
+/// [sharding] halo, or the locality bound max(2C, C+H+1) when 0.
+int PackHaloRadius(const Pack& pack);
+
+/// Deterministic geographic partition of the pack's fixture.
+util::Result<partition::Partition> BuildPackPartition(
+    const Pack& pack, const MapFixture& fixture, int num_shards,
+    uint64_t seed);
+
+/// The canonical worker population: workers_per_road workers on every
+/// road, ids dense in road order, bias/noise per the pack's [workers]
+/// block. The runner owns this vector and pushes copies into whichever
+/// engine serves, so both engine kinds see byte-identical crowds.
+std::vector<crowd::Worker> BuildWorkerPopulation(const Pack& pack,
+                                                 const MapFixture& fixture,
+                                                 uint64_t seed);
+
+/// Replays `pack` end to end against a freshly built engine and returns
+/// the report. Free function rather than a class on purpose: the engine
+/// stack borrows raw references up and down (CrowdRtse keeps pointers to
+/// the graph and history), so everything lives on this call's stack and
+/// nothing can dangle.
+util::Result<RunReport> RunScenario(const Pack& pack,
+                                    const RunnerOptions& options);
+
+}  // namespace crowdrtse::scenario
+
+#endif  // CROWDRTSE_SCENARIO_RUNNER_H_

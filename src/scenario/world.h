@@ -1,0 +1,63 @@
+#ifndef CROWDRTSE_SCENARIO_WORLD_H_
+#define CROWDRTSE_SCENARIO_WORLD_H_
+
+#include <cstdint>
+
+#include "scenario/ascii_map.h"
+#include "traffic/history_store.h"
+#include "util/status.h"
+
+namespace crowdrtse::scenario {
+
+/// Knobs of the scenario ground truth. Unlike traffic::TrafficSimulator —
+/// whose per-road profiles are random draws — a scenario world is built
+/// from the map fixture's tag-controlled profiles, so a pack author knows
+/// exactly which road is a highway and which a congested arterial.
+struct WorldOptions {
+  int history_days = 6;
+  /// Scenario days are shorter than the paper's 288-slot day so packs stay
+  /// fast; rush hours scale onto the shorter day proportionally.
+  int slots_per_day = 48;
+  /// AR(1) persistence of the latent fluctuation across consecutive slots.
+  double temporal_persistence = 0.9;
+  /// Fraction of each road's fluctuation mixed from its neighbours (one
+  /// smoothing pass): adjacent roads co-move, which is what gives the RTF
+  /// non-trivial correlations to exploit.
+  double spatial_mix = 0.5;
+  double min_speed = 2.0;
+};
+
+util::Status ValidateWorldOptions(const WorldOptions& options);
+
+/// The compiled ground truth: the offline historical record H and today's
+/// live day (the DayMatrix the engine serves against, and the accuracy
+/// reference of every envelope). Both are pure functions of
+/// (fixture, options, seed).
+struct ScenarioWorld {
+  traffic::HistoryStore history;
+  traffic::DayMatrix truth;
+};
+
+/// Deterministic periodic component of road `road` at `slot` — the profile
+/// base dipped through the morning/evening rush windows.
+double PeriodicSpeed(const RoadProfile& profile, int slot, int slots_per_day);
+
+/// Builds history_days of history plus one evaluation day from the
+/// fixture's profiles. Day d is generated from a per-day forked RNG, so
+/// the construction is bit-reproducible for a given seed.
+util::Result<ScenarioWorld> BuildScenarioWorld(const MapFixture& fixture,
+                                               const WorldOptions& options,
+                                               uint64_t seed);
+
+/// Applies an incident to the live day in place: road speeds in
+/// [from_slot, from_slot + duration) drop by `severity` (fractional), and
+/// congestion spills `spillover_hops` hops outward with the severity
+/// halving per hop. Speeds never fall below `min_speed`.
+util::Status ApplyIncident(const graph::Graph& graph, graph::RoadId road,
+                           int from_slot, int duration, double severity,
+                           int spillover_hops, double min_speed,
+                           traffic::DayMatrix& truth);
+
+}  // namespace crowdrtse::scenario
+
+#endif  // CROWDRTSE_SCENARIO_WORLD_H_

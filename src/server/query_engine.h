@@ -144,6 +144,13 @@ class QueryEngine : public Engine {
     return traces_;
   }
 
+  /// Swaps the fault-injection plan mid-run (scenario fault waves /
+  /// liar-cohort events). Takes effect on the next Serve; must not race
+  /// with in-flight queries — quiesce first, like AdvanceSlot.
+  void SetFaultPlan(const crowd::FaultPlan& plan) {
+    options_.fault_plan = plan;
+  }
+
  private:
   /// Creates the registry instruments and caches pointers for the hot path.
   void RegisterInstruments();

@@ -792,6 +792,32 @@ void ShardedEngine::SyncWorkers(const std::vector<crowd::Worker>& workers) {
   }
 }
 
+void ShardedEngine::SyncWorld() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const partition::ShardLayout& layout = shard->layout;
+    for (int slot = 0; slot < world_->num_slots(); ++slot) {
+      for (int local = 0; local < layout.num_members(); ++local) {
+        shard->world.At(slot, local) =
+            world_->At(slot, layout.members[static_cast<size_t>(local)]);
+      }
+    }
+  }
+}
+
+void ShardedEngine::SetFaultPlan(const crowd::FaultPlan& plan) {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    crowd::FaultPlan local(plan.default_spec(), plan.seed());
+    for (const auto& [road, spec] : plan.road_specs()) {
+      const graph::RoadId local_id = shard->layout.LocalId(road);
+      if (local_id != graph::kInvalidRoad) local.SetRoadSpec(local_id, spec);
+    }
+    for (const auto& [worker, spec] : plan.worker_specs()) {
+      local.SetWorkerSpec(worker, spec);
+    }
+    shard->engine->SetFaultPlan(local);
+  }
+}
+
 util::Result<std::vector<int>> ShardedEngine::RefineSlot(int slot) {
   std::vector<int> rows_per_shard;
   rows_per_shard.reserve(shards_.size());

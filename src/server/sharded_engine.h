@@ -149,6 +149,24 @@ class ShardedEngine : public Engine {
   /// not race with in-flight queries — quiesce first, like AdvanceSlot.
   void SyncWorkers(const std::vector<crowd::Worker>& workers);
 
+  /// Re-projects the borrowed global world into every shard's private
+  /// world copy. Call after mutating the global DayMatrix in place (e.g. a
+  /// scenario incident drops ground-truth speeds mid-run) — Serve checks
+  /// only the DayMatrix identity, so stale shard projections would
+  /// otherwise keep answering from pre-incident speeds. Must not race with
+  /// in-flight queries.
+  void SyncWorld();
+
+  /// Distributes a global fault plan to every shard's engine, remapping
+  /// per-road specs into shard-local ids (roads outside a shard's members
+  /// are dropped for that shard; worker specs and the default spec forward
+  /// unchanged). Note that fault *decisions* hash shard-local road ids, so
+  /// a faulted scenario is deterministic per engine kind but not
+  /// bit-identical across sharded and unsharded runs — except rate-1
+  /// fixed-value corruption (coordinated liars), whose outcome does not
+  /// depend on the hash draw. Must not race with in-flight queries.
+  void SetFaultPlan(const crowd::FaultPlan& plan);
+
  private:
   /// One shard's vertical. Construction order matters: the engine borrows
   /// everything above it, and CrowdRtse keeps pointers to the subgraph and

@@ -1,0 +1,96 @@
+// Pins the exact point where the MAD outlier filter stops protecting the
+// aggregate from a coordinated-liar cohort. With n = 9 answers and liars
+// reporting one agreed value, the median deviation — and with it the
+// robust sigma — survives up to 4 liars and collapses to zero at 5:
+// FilterReports(n=9, k<=4) drops every lie, FilterReports(n=9, k=5)
+// keeps everything and the lie becomes the median. The liar_cohort.scn
+// scenario pack books the same inversion end to end.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "crowd/aggregation.h"
+#include "crowd/worker.h"
+
+namespace crowdrtse::crowd {
+namespace {
+
+constexpr double kLie = 100.0;
+constexpr double kMadSigmas = 4.0;
+
+// k liars at kLie, 9-k honest answers spread around 42 km/h.
+std::vector<SpeedAnswer> CohortAnswers(int num_liars) {
+  std::vector<SpeedAnswer> answers;
+  const double honest[] = {40.0, 41.0, 42.0, 43.0, 44.0,
+                           40.5, 41.5, 42.5, 43.5};
+  WorkerId id = 0;
+  for (int i = 0; i < 9 - num_liars; ++i) {
+    answers.push_back({id++, 0, honest[i]});
+  }
+  for (int i = 0; i < num_liars; ++i) {
+    answers.push_back({id++, 0, kLie});
+  }
+  return answers;
+}
+
+int CountLiesKept(const std::vector<SpeedAnswer>& kept) {
+  int lies = 0;
+  for (const SpeedAnswer& a : kept) lies += a.reported_kmh == kLie ? 1 : 0;
+  return lies;
+}
+
+TEST(LiarCohortTest, MinorityCohortsAreFullyFiltered) {
+  for (int k = 1; k <= 4; ++k) {
+    const auto kept = FilterReports(CohortAnswers(k), kMadSigmas);
+    EXPECT_EQ(CountLiesKept(kept), 0) << "cohort " << k;
+    EXPECT_EQ(static_cast<int>(kept.size()), 9 - k) << "cohort " << k;
+  }
+}
+
+TEST(LiarCohortTest, FiveOfNineCapturesTheMedianAndDisarmsTheFilter) {
+  // At k = 5 the agreed lie is the median, the median absolute deviation
+  // is zero, and the filter (by design) declines to judge: everything is
+  // kept, so the aggregate is dragged to the coordinated story.
+  const auto kept = FilterReports(CohortAnswers(5), kMadSigmas);
+  EXPECT_EQ(kept.size(), 9u);
+  EXPECT_EQ(CountLiesKept(kept), 5);
+}
+
+TEST(LiarCohortTest, ThresholdIsExactlyMajorityOfTheRound) {
+  // The protection boundary sits between 4 and 5 for n = 9 — one more
+  // agreeing liar flips the outcome from "all lies dropped" to "all lies
+  // kept". This is the number the scenario packs reason about.
+  EXPECT_EQ(CountLiesKept(FilterReports(CohortAnswers(4), kMadSigmas)), 0);
+  EXPECT_EQ(CountLiesKept(FilterReports(CohortAnswers(5), kMadSigmas)), 5);
+}
+
+TEST(LiarCohortTest, FilterNeedsFourAnswersToEngage) {
+  // Three answers — even with a flagrant outlier — pass through: the
+  // robust statistic is meaningless on tiny rounds.
+  std::vector<SpeedAnswer> answers = {{0, 0, 40.0}, {1, 0, 41.0},
+                                      {2, 0, kLie}};
+  EXPECT_EQ(FilterReports(answers, kMadSigmas).size(), 3u);
+}
+
+TEST(LiarCohortTest, DuplicateWorkerReportsAreDroppedBeforeFiltering) {
+  // One worker repeating the lie five times is still one voice: dedup
+  // runs first, so the cohort size that matters is distinct workers.
+  std::vector<SpeedAnswer> answers = {
+      {0, 0, 40.0}, {1, 0, 41.0}, {2, 0, 42.0}, {3, 0, 43.0},
+      {4, 0, kLie}, {4, 0, kLie}, {4, 0, kLie}, {4, 0, kLie},
+      {4, 0, kLie},
+  };
+  const auto kept = FilterReports(answers, kMadSigmas);
+  EXPECT_EQ(CountLiesKept(kept), 0);
+  EXPECT_EQ(kept.size(), 4u);
+}
+
+TEST(LiarCohortTest, NonPositiveSigmasDisablesTheFilter) {
+  const auto kept = FilterReports(CohortAnswers(2), 0.0);
+  EXPECT_EQ(kept.size(), 9u);
+  EXPECT_EQ(CountLiesKept(kept), 2);
+}
+
+}  // namespace
+}  // namespace crowdrtse::crowd

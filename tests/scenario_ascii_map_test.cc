@@ -1,0 +1,153 @@
+// Golden tests for the ascii-map compiler: exact road/edge lists and
+// geometry for pinned sketches (the compiler contract is "fixtures can
+// pin edge ids"), a graph_io checksum round-trip, tag precedence, and
+// rejection of malformed sketches.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_io.h"
+#include "scenario/ascii_map.h"
+
+namespace crowdrtse::scenario {
+namespace {
+
+// The nine-road lattice most packs use.
+constexpr char kLattice[] =
+    "A-B-C\n"
+    "|   |\n"
+    "D-E-F\n"
+    "|   |\n"
+    "G-H-I\n";
+
+TEST(AsciiMapTest, GoldenLatticeRoadsAndEdges) {
+  auto fixture = CompileAsciiMap(kLattice);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+
+  // Roads are discovered row-major, so names are ids in alphabetical
+  // order for this sketch.
+  const std::vector<std::string> want_names = {"A", "B", "C", "D", "E",
+                                               "F", "G", "H", "I"};
+  EXPECT_EQ(fixture->names, want_names);
+  ASSERT_EQ(fixture->graph.num_roads(), 9);
+
+  // Edges are numbered in discovery order: per road (row-major), the east
+  // run before the south run.
+  const std::vector<std::pair<graph::RoadId, graph::RoadId>> want_edges = {
+      {0, 1},  // A-B (east)
+      {0, 3},  // A-D (south)
+      {1, 2},  // B-C
+      {2, 5},  // C-F
+      {3, 4},  // D-E
+      {3, 6},  // D-G
+      {4, 5},  // E-F
+      {5, 8},  // F-I
+      {6, 7},  // G-H
+      {7, 8},  // H-I
+  };
+  ASSERT_EQ(fixture->graph.num_edges(),
+            static_cast<int>(want_edges.size()));
+  for (graph::EdgeId e = 0; e < fixture->graph.num_edges(); ++e) {
+    EXPECT_EQ(fixture->graph.EdgeEndpoints(e), want_edges[static_cast<size_t>(e)])
+        << "edge " << e;
+  }
+}
+
+TEST(AsciiMapTest, GoldenLatticeGeometry) {
+  auto fixture = CompileAsciiMap(kLattice);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+
+  // Positions are sketch-grid cell centers on the unit square. The sketch
+  // is 5 columns x 5 rows; A sits at (0, 0), E at (2, 2), I at (4, 4).
+  ASSERT_EQ(fixture->positions.size(), 9u);
+  EXPECT_DOUBLE_EQ(fixture->positions[0].first, 0.5 / 5.0);   // A.x
+  EXPECT_DOUBLE_EQ(fixture->positions[0].second, 0.5 / 5.0);  // A.y
+  EXPECT_DOUBLE_EQ(fixture->positions[4].first, 2.5 / 5.0);   // E.x
+  EXPECT_DOUBLE_EQ(fixture->positions[4].second, 2.5 / 5.0);  // E.y
+  EXPECT_DOUBLE_EQ(fixture->positions[8].first, 4.5 / 5.0);   // I.x
+  EXPECT_DOUBLE_EQ(fixture->positions[8].second, 4.5 / 5.0);  // I.y
+
+  // Untagged roads carry the arterial default profile and length.
+  ASSERT_EQ(fixture->profiles.size(), 9u);
+  for (const RoadProfile& profile : fixture->profiles) {
+    EXPECT_EQ(profile.speed_class, SpeedClass::kArterial);
+    EXPECT_DOUBLE_EQ(profile.base_kmh, 65.0);
+  }
+  ASSERT_EQ(fixture->lengths.num_roads(), 9);
+}
+
+TEST(AsciiMapTest, ChecksumRoundTripsThroughEdgeListFormat) {
+  auto fixture = CompileAsciiMap(kLattice);
+  ASSERT_TRUE(fixture.ok());
+
+  const std::string text = graph::ToEdgeList(fixture->graph);
+  auto reloaded = graph::FromEdgeList(text);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(graph::EdgeListChecksum(fixture->graph),
+            graph::EdgeListChecksum(*reloaded));
+
+  // And the checksum is sensitive: a different sketch digests differently.
+  auto path = CompileAsciiMap("A-B-C-D");
+  ASSERT_TRUE(path.ok());
+  EXPECT_NE(graph::EdgeListChecksum(fixture->graph),
+            graph::EdgeListChecksum(path->graph));
+}
+
+TEST(AsciiMapTest, TagPrecedenceRoadOverEdgeOverClassDefault) {
+  std::vector<TagLine> tags;
+  tags.push_back({"A-B", {{"class", "highway"}, {"len", "3.0"}}});
+  tags.push_back({"B", {{"base", "50"}, {"noise", "1.0"}}});
+  auto fixture = CompileAsciiMap("A-B-C", tags);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+
+  // A takes the edge tag wholesale: highway class, overridden length.
+  EXPECT_EQ(fixture->profiles[0].speed_class, SpeedClass::kHighway);
+  EXPECT_DOUBLE_EQ(fixture->profiles[0].base_kmh, 95.0);
+  EXPECT_DOUBLE_EQ(fixture->profiles[0].length_km, 3.0);
+  // B layers its road tags on top of the edge tag: still highway class,
+  // but base and noise come from the road line.
+  EXPECT_EQ(fixture->profiles[1].speed_class, SpeedClass::kHighway);
+  EXPECT_DOUBLE_EQ(fixture->profiles[1].base_kmh, 50.0);
+  EXPECT_DOUBLE_EQ(fixture->profiles[1].noise_kmh, 1.0);
+  // C is untouched.
+  EXPECT_EQ(fixture->profiles[2].speed_class, SpeedClass::kArterial);
+
+  EXPECT_EQ(fixture->RoadByName("B"), 1);
+  EXPECT_EQ(fixture->RoadByName("Z"), graph::kInvalidRoad);
+}
+
+TEST(AsciiMapTest, RejectsDanglingHorizontalEdge) {
+  EXPECT_FALSE(CompileAsciiMap("A-B-").ok());
+  EXPECT_FALSE(CompileAsciiMap("-A-B").ok());
+  EXPECT_FALSE(CompileAsciiMap("A- B").ok());
+}
+
+TEST(AsciiMapTest, RejectsDanglingVerticalEdge) {
+  // Pipe with no road beneath it.
+  EXPECT_FALSE(CompileAsciiMap("A-B\n|\n").ok());
+  // Pipe column misaligned with the road above.
+  EXPECT_FALSE(CompileAsciiMap("A-B\n |\n C").ok());
+}
+
+TEST(AsciiMapTest, RejectsDuplicateRoadLetter) {
+  EXPECT_FALSE(CompileAsciiMap("A-B-A").ok());
+}
+
+TEST(AsciiMapTest, RejectsUnknownTagSelectorAndKey) {
+  EXPECT_FALSE(CompileAsciiMap("A-B", {{"Z", {{"base", "50"}}}}).ok());
+  EXPECT_FALSE(CompileAsciiMap("A-B", {{"A-C", {{"base", "50"}}}}).ok());
+  EXPECT_FALSE(CompileAsciiMap("A-B", {{"A", {{"speed", "50"}}}}).ok());
+  EXPECT_FALSE(
+      CompileAsciiMap("A-B", {{"A", {{"class", "bicycle"}}}}).ok());
+}
+
+TEST(AsciiMapTest, RejectsEmptySketch) {
+  EXPECT_FALSE(CompileAsciiMap("").ok());
+  EXPECT_FALSE(CompileAsciiMap("   \n  \n").ok());
+}
+
+}  // namespace
+}  // namespace crowdrtse::scenario

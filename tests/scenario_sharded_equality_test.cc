@@ -1,0 +1,115 @@
+// Sharded-vs-unsharded equality on a committed pack: replaying the same
+// scenario against QueryEngine and ShardedEngine (pack shards, K=4 for
+// rush_hour) must produce bit-identical answers for every single-owner
+// query — the queries the sharding contract promises are untouched by
+// the router — and identical envelope verdicts overall.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scenario/pack.h"
+#include "scenario/runner.h"
+
+namespace crowdrtse::scenario {
+namespace {
+
+#ifndef CROWDRTSE_SCENARIO_DIR
+#error "build must define CROWDRTSE_SCENARIO_DIR"
+#endif
+
+util::Result<Pack> LoadCommittedPack(const std::string& name) {
+  return LoadPackFile(std::string(CROWDRTSE_SCENARIO_DIR) + "/" + name);
+}
+
+TEST(ShardedEqualityTest, RushHourSingleOwnerQueriesAreBitIdentical) {
+  auto pack = LoadCommittedPack("rush_hour.scn");
+  ASSERT_TRUE(pack.ok()) << pack.status().ToString();
+  ASSERT_EQ(pack->shards, 4) << "the contract pack pins K=4";
+  ASSERT_FALSE(pack->fault_tolerant)
+      << "equality requires the hash-free serve path";
+  ASSERT_TRUE(pack->noiseless);
+
+  RunnerOptions options;
+  options.keep_responses = true;
+  options.engine = RunnerOptions::EngineKind::kSingle;
+  auto single = RunScenario(*pack, options);
+  options.engine = RunnerOptions::EngineKind::kSharded;
+  auto sharded = RunScenario(*pack, options);
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  // The runner serves the identical request stream to both engines.
+  ASSERT_EQ(single->records.size(), sharded->records.size());
+
+  // Rebuild the exact partition the sharded replay used so we can tell
+  // single-owner queries from cross-shard ones.
+  auto fixture = BuildFixture(*pack);
+  ASSERT_TRUE(fixture.ok());
+  auto partition =
+      BuildPackPartition(*pack, *fixture, pack->shards, pack->seed);
+  ASSERT_TRUE(partition.ok()) << partition.status().ToString();
+
+  int single_owner_queries = 0;
+  for (size_t i = 0; i < single->records.size(); ++i) {
+    const QueryRecord& a = single->records[i];
+    const QueryRecord& b = sharded->records[i];
+    ASSERT_EQ(a.request.queried, b.request.queried) << "query " << i;
+    ASSERT_EQ(a.request.slot, b.request.slot) << "query " << i;
+    EXPECT_EQ(a.ok, b.ok) << "query " << i;
+    if (!a.ok || !b.ok) continue;
+
+    const int owner = partition->OwnerOf(a.request.queried[0]);
+    bool single_owner = true;
+    for (graph::RoadId road : a.request.queried) {
+      if (partition->OwnerOf(road) != owner) single_owner = false;
+    }
+    if (!single_owner) continue;
+    ++single_owner_queries;
+
+    ASSERT_EQ(a.response.queried_speeds.size(),
+              b.response.queried_speeds.size());
+    for (size_t k = 0; k < a.response.queried_speeds.size(); ++k) {
+      // Bitwise: == on doubles, no tolerance.
+      EXPECT_EQ(a.response.queried_speeds[k], b.response.queried_speeds[k])
+          << "query " << i << " road " << a.request.queried[k];
+    }
+    EXPECT_EQ(a.response.probed_roads, b.response.probed_roads)
+        << "query " << i;
+    EXPECT_EQ(a.response.paid, b.response.paid) << "query " << i;
+  }
+  // The pack must actually exercise the contract: district storms keep a
+  // healthy share of queries inside one shard.
+  EXPECT_GT(single_owner_queries, 0);
+}
+
+TEST(ShardedEqualityTest, EnvelopeVerdictsMatchAcrossEngines) {
+  for (const char* name :
+       {"rush_hour.scn", "budget_wave.scn", "worker_starvation.scn"}) {
+    auto pack = LoadCommittedPack(name);
+    ASSERT_TRUE(pack.ok()) << name << ": " << pack.status().ToString();
+    RunnerOptions options;
+    options.engine = RunnerOptions::EngineKind::kSingle;
+    auto single = RunScenario(*pack, options);
+    options.engine = RunnerOptions::EngineKind::kSharded;
+    auto sharded = RunScenario(*pack, options);
+    ASSERT_TRUE(single.ok()) << name;
+    ASSERT_TRUE(sharded.ok()) << name;
+    EXPECT_TRUE(single->AllPassed()) << name << "\n" << single->ToJson();
+    EXPECT_TRUE(sharded->AllPassed()) << name << "\n" << sharded->ToJson();
+    ASSERT_EQ(single->phases.size(), sharded->phases.size()) << name;
+    for (size_t i = 0; i < single->phases.size(); ++i) {
+      EXPECT_EQ(single->phases[i].name, sharded->phases[i].name);
+      EXPECT_EQ(single->phases[i].checked, sharded->phases[i].checked);
+      EXPECT_EQ(single->phases[i].Passed(), sharded->phases[i].Passed())
+          << name << " phase " << single->phases[i].name;
+      EXPECT_EQ(single->phases[i].metrics.attempts,
+                sharded->phases[i].metrics.attempts)
+          << name << " phase " << single->phases[i].name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crowdrtse::scenario

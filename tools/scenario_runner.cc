@@ -1,0 +1,142 @@
+// Standalone scenario replay: loads a .scn pack, replays it against the
+// single and/or sharded engine, prints the summary, optionally dumps the
+// deterministic metrics JSON, and exits non-zero when any envelope fails.
+// --check-replay replays each selected engine twice and demands
+// byte-identical JSON — the CI scenario-smoke gate.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "scenario/pack.h"
+#include "scenario/runner.h"
+#include "util/string_util.h"
+
+namespace {
+
+using crowdrtse::scenario::LoadPackFile;
+using crowdrtse::scenario::Pack;
+using crowdrtse::scenario::RunnerOptions;
+using crowdrtse::scenario::RunReport;
+using crowdrtse::scenario::RunScenario;
+
+int Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " --pack <file.scn> [options]\n"
+      << "  --pack <file>          scenario pack to replay (required)\n"
+      << "  --seed <n>             replay seed (default: the pack's seed)\n"
+      << "  --engine <kind>        single | sharded | both (default single)\n"
+      << "  --shards <k>           shard count (default: the pack's)\n"
+      << "  --json_out <file>      write the deterministic metrics JSON\n"
+      << "  --check-replay         replay twice, fail on any byte diff\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string pack_path;
+  std::string engine = "single";
+  std::string json_out;
+  uint64_t seed = 0;
+  int shards = 0;
+  bool check_replay = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--pack" && has_value) {
+      pack_path = argv[++i];
+    } else if (arg == "--seed" && has_value) {
+      auto parsed = crowdrtse::util::ParseInt(argv[++i]);
+      if (!parsed.ok() || *parsed < 0) {
+        std::cerr << "bad --seed\n";
+        return 2;
+      }
+      seed = static_cast<uint64_t>(*parsed);
+    } else if (arg == "--engine" && has_value) {
+      engine = argv[++i];
+    } else if (arg == "--shards" && has_value) {
+      auto parsed = crowdrtse::util::ParseInt(argv[++i]);
+      if (!parsed.ok() || *parsed < 1) {
+        std::cerr << "bad --shards\n";
+        return 2;
+      }
+      shards = *parsed;
+    } else if (arg == "--json_out" && has_value) {
+      json_out = argv[++i];
+    } else if (arg == "--check-replay") {
+      check_replay = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (pack_path.empty()) return Usage(argv[0]);
+  if (engine != "single" && engine != "sharded" && engine != "both") {
+    return Usage(argv[0]);
+  }
+
+  auto pack = LoadPackFile(pack_path);
+  if (!pack.ok()) {
+    std::cerr << "failed to load " << pack_path << ": "
+              << pack.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::vector<RunnerOptions::EngineKind> kinds;
+  if (engine == "single" || engine == "both") {
+    kinds.push_back(RunnerOptions::EngineKind::kSingle);
+  }
+  if (engine == "sharded" || engine == "both") {
+    kinds.push_back(RunnerOptions::EngineKind::kSharded);
+  }
+
+  bool all_passed = true;
+  std::string json_payload;
+  for (const auto kind : kinds) {
+    RunnerOptions options;
+    options.engine = kind;
+    options.seed = seed;
+    options.shards = shards;
+    auto report = RunScenario(*pack, options);
+    if (!report.ok()) {
+      std::cerr << "replay failed: " << report.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << report->Summary();
+    if (!report->AllPassed()) all_passed = false;
+
+    const std::string json = report->ToJson();
+    if (check_replay) {
+      auto again = RunScenario(*pack, options);
+      if (!again.ok()) {
+        std::cerr << "second replay failed: " << again.status().ToString()
+                  << "\n";
+        return 1;
+      }
+      if (again->ToJson() != json) {
+        std::cerr << "REPLAY MISMATCH (" << report->engine
+                  << "): two runs of the same (pack, seed) differ\n"
+                  << "first:  " << json << "\n"
+                  << "second: " << again->ToJson() << "\n";
+        return 1;
+      }
+      std::cout << "replay check OK (" << report->engine << "): digest "
+                << "stable across runs\n";
+    }
+    if (!json_payload.empty()) json_payload += "\n";
+    json_payload += json;
+  }
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    if (!out) {
+      std::cerr << "cannot write " << json_out << "\n";
+      return 1;
+    }
+    out << json_payload << "\n";
+  }
+
+  return all_passed ? 0 : 1;
+}
