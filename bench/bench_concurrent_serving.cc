@@ -46,6 +46,7 @@
 #include "net/http.h"
 #include "net/json.h"
 #include "net/socket.h"
+#include "obs/flight_recorder.h"
 #include "server/budget_ledger.h"
 #include "server/frontend.h"
 #include "server/query_engine.h"
@@ -705,6 +706,60 @@ void Run() {
               "max span %.2f ms\n",
               a.speeds_trace.size(), a.degraded_trace.size(),
               a.max_span_ms);
+
+  // The flight recorder's overhead contract (DESIGN.md §10): recording
+  // must be an observer — answers bit-identical with the recorder on and
+  // off — and must stay within 2% of the recorder-off wall time.
+  // Interleaved on/off reps, min-of-3 each, so machine noise (frequency
+  // drift, a background task) hits both sides alike.
+  std::printf("\n=== Flight recorder — on vs off, interleaved min-of-3"
+              " ===\n");
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  const bool recorder_was_enabled = recorder.enabled();
+  double best_on_seconds = 0.0;
+  double best_off_seconds = 0.0;
+  FaultedResult recorder_on;
+  FaultedResult recorder_off;
+  for (int rep = 0; rep < 3; ++rep) {
+    recorder.SetEnabled(true);
+    auto start = std::chrono::steady_clock::now();
+    FaultedResult on = ReplayFaultedDay(*system, world, 1);
+    const double on_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    recorder.SetEnabled(false);
+    start = std::chrono::steady_clock::now();
+    FaultedResult off = ReplayFaultedDay(*system, world, 1);
+    const double off_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (rep == 0 || on_seconds < best_on_seconds) {
+      best_on_seconds = on_seconds;
+    }
+    if (rep == 0 || off_seconds < best_off_seconds) {
+      best_off_seconds = off_seconds;
+    }
+    recorder_on = std::move(on);
+    recorder_off = std::move(off);
+  }
+  recorder.SetEnabled(recorder_was_enabled);
+  CROWDRTSE_CHECK(recorder_on.speeds_trace == recorder_off.speeds_trace);
+  CROWDRTSE_CHECK(recorder_on.speeds_trace == a.speeds_trace);  // bitwise
+  CROWDRTSE_CHECK(recorder_on.degraded_trace == recorder_off.degraded_trace);
+  CROWDRTSE_CHECK(recorder_on.total_spent == recorder_off.total_spent);
+  const double overhead =
+      best_off_seconds > 0.0
+          ? (best_on_seconds - best_off_seconds) / best_off_seconds
+          : 0.0;
+  std::printf("recorder on %.3fs  off %.3fs  overhead %+.2f%%  "
+              "(%lld events recorded)\n",
+              best_on_seconds, best_off_seconds, overhead * 100.0,
+              static_cast<long long>(recorder.recorded()));
+  // 2% relative plus 10 ms absolute slack so sub-second runs on noisy CI
+  // machines cannot fail on scheduler jitter alone.
+  CROWDRTSE_CHECK(best_on_seconds <= best_off_seconds * 1.02 + 0.010);
 
   RunSocketServing();
 }

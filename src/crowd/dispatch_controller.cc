@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "crowd/aggregation.h"
+#include "obs/flight_recorder.h"
 #include "util/trace.h"
 
 namespace crowdrtse::crowd {
@@ -158,12 +159,31 @@ util::Result<DispatchRound> DispatchController::Run(
     bool reassigned = false;
   };
   std::map<std::pair<int, int>, OpenAttempt> open_attempts;
+  // Flight-record outcome codes: 0 accepted, 1 deadline, 2 outlier,
+  // 3 preempted (distinct first letters; see the close_attempt callers).
+  const auto outcome_code = [](const char* outcome) -> int64_t {
+    switch (outcome[0]) {
+      case 'a':
+        return 0;
+      case 'd':
+        return 1;
+      case 'o':
+        return 2;
+      default:
+        return 3;
+    }
+  };
   const auto close_attempt = [&](int task_index, int attempt, int64_t end_us,
                                  const char* outcome) {
-    if (tr == nullptr) return;
     const auto it = open_attempts.find({task_index, attempt});
     if (it == open_attempts.end()) return;  // already closed (stale event)
     const OpenAttempt& a = it->second;
+    obs::RecordEvent(obs::EventKind::kDispatchAttempt, a.road, attempt,
+                     outcome_code(outcome));
+    if (tr == nullptr) {
+      open_attempts.erase(it);
+      return;
+    }
     std::vector<util::trace::Annotation> notes;
     notes.push_back({"road", std::to_string(a.road)});
     notes.push_back({"worker", std::to_string(a.worker)});
@@ -197,10 +217,10 @@ util::Result<DispatchRound> DispatchController::Run(
         faults.Decide(worker.id, task.road, attempt);
     log.fault = fault.kind;
     out.attempts.push_back(log);
-    if (tr != nullptr) {
-      open_attempts[{task_index, attempt}] =
-          OpenAttempt{at_us, worker.id, task.road, fault.kind, reassigned};
-    }
+    // Tracked even when untraced: close_attempt needs the open-attempt
+    // entry to flight-record each attempt outcome exactly once.
+    open_attempts[{task_index, attempt}] =
+        OpenAttempt{at_us, worker.id, task.road, fault.kind, reassigned};
 
     const uint64_t w = static_cast<uint64_t>(static_cast<int64_t>(worker.id));
     const uint64_t r = static_cast<uint64_t>(static_cast<int64_t>(task.road));

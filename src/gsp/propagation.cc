@@ -12,6 +12,7 @@
 #endif
 
 #include "graph/bfs.h"
+#include "obs/flight_recorder.h"
 
 namespace crowdrtse::gsp {
 
@@ -584,6 +585,7 @@ util::Result<GspResult> SpeedPropagator::PropagateFrom(
     // samples cover everything.
     result.converged = true;
     result.sweeps = 0;
+    obs::RecordEvent(obs::EventKind::kGspSweep, slot, 0, 1);
     return result;
   }
 
@@ -624,6 +626,11 @@ util::Result<GspResult> SpeedPropagator::PropagateFrom(
         RunSweepsSequential(ctx, fn, ws.order, options_.epsilon,
                             options_.max_sweeps, result.converged);
   }
+  // ONE flight record per propagation (sweep count in the payload), never
+  // per sweep: Propagate runs per query per shard while a sweep runs tens
+  // of times inside it — per-iteration records would monopolize the ring.
+  obs::RecordEvent(obs::EventKind::kGspSweep, slot, result.sweeps,
+                   result.converged ? 1 : 0);
   return result;
 }
 

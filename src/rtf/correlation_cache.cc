@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.h"
+#include "obs/stage_profiler.h"
 #include "util/logging.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -66,6 +68,7 @@ util::Result<CorrelationCache::TablePtr> CorrelationCache::GetOrCompute(
     std::unique_lock<std::mutex> lock(entry->mutex);
     if (entry->table) {
       hits_.Increment();
+      obs::RecordEvent(obs::EventKind::kGammaHit, slot);
       TablePtr table = entry->table;
       lock.unlock();
       Touch(slot);
@@ -80,6 +83,7 @@ util::Result<CorrelationCache::TablePtr> CorrelationCache::GetOrCompute(
       entry->computed.wait(lock, [&] { return !entry->computing; });
       if (entry->table) {
         hits_.Increment();
+        obs::RecordEvent(obs::EventKind::kGammaHit, slot);
         TablePtr table = entry->table;
         lock.unlock();
         Touch(slot);
@@ -120,10 +124,12 @@ util::Result<CorrelationCache::TablePtr> CorrelationCache::GetOrCompute(
     // The slow path runs outside every lock: other slots proceed untouched
     // and same-slot arrivals park on the condition variable above.
     misses_.Increment();
+    obs::RecordEvent(obs::EventKind::kGammaMiss, slot);
     TablePtr table = TryLoadPersisted(slot);
     const bool warm_loaded = table != nullptr;
     util::Status error;
     if (!table) {
+      obs::StageTimer gamma_stage(obs::Stage::kGammaCompute);
       util::Timer timer;
       util::Result<CorrelationTable> computed = [&] {
         util::ThreadPool* pool = nullptr;
@@ -247,6 +253,7 @@ CorrelationCache::PatchOutcome CorrelationCache::PatchInPlace(
       // Nothing resident to derive from (or someone mid-compute whose
       // result the bump already condemned): plain invalidation.
       patch_fallbacks_.Increment();
+      obs::RecordEvent(obs::EventKind::kGammaPatch, slot, 1);
       span.Annotate("outcome", "fallback_invalidate");
       Invalidate(slot);
       return PatchOutcome::kInvalidated;
@@ -327,6 +334,7 @@ CorrelationCache::PatchOutcome CorrelationCache::PatchInPlace(
     // A concurrent Invalidate (or another patch) superseded this one; its
     // reset already cleared the persisted file. Discard our result.
     patch_fallbacks_.Increment();
+    obs::RecordEvent(obs::EventKind::kGammaPatch, slot, 2);
     span.Annotate("outcome", "stale_discard");
     return PatchOutcome::kInvalidated;
   }
@@ -335,6 +343,7 @@ CorrelationCache::PatchOutcome CorrelationCache::PatchInPlace(
     // recomputes from scratch. Drop the stale persisted file so a restart
     // cannot resurrect the pre-patch table.
     patch_fallbacks_.Increment();
+    obs::RecordEvent(obs::EventKind::kGammaPatch, slot, 3);
     span.Annotate("outcome", "patch_error");
     const std::string path = PersistPath(slot);
     if (!path.empty()) {
@@ -344,6 +353,7 @@ CorrelationCache::PatchOutcome CorrelationCache::PatchInPlace(
     return PatchOutcome::kError;
   }
   patches_.Increment();
+  obs::RecordEvent(obs::EventKind::kGammaPatch, slot, 0);
   Persist(slot, *table);
   Publish(slot, table);
   span.Annotate("outcome", "patched");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <optional>
@@ -13,6 +14,8 @@
 #include "crowd/crowd_simulator.h"
 #include "crowd/fault_plan.h"
 #include "eval/metrics.h"
+#include "obs/flight_recorder.h"
+#include "util/logging.h"
 #include "partition/partitioner.h"
 #include "scenario/world.h"
 #include "server/budget_ledger.h"
@@ -516,6 +519,12 @@ std::vector<crowd::Worker> BuildWorkerPopulation(const Pack& pack,
 
 util::Result<RunReport> RunScenario(const Pack& pack,
                                     const RunnerOptions& options) {
+  // A fresh recorder window per replay: the envelope-failure dump below
+  // must cover exactly this run's events, nothing from a prior replay in
+  // the same process. Clear() requires quiescence — see RunnerOptions.
+  if (!options.flight_dump_path.empty()) {
+    obs::FlightRecorder::Global().Clear();
+  }
   const uint64_t seed = options.seed != 0 ? options.seed : pack.seed;
   const bool sharded = options.engine == RunnerOptions::EngineKind::kSharded;
 
@@ -679,6 +688,28 @@ util::Result<RunReport> RunScenario(const Pack& pack,
   report.answers_digest = state.digest;
 
   engine->Drain();
+  if (!options.flight_dump_path.empty() && !report.AllPassed()) {
+    // The engine is drained: every event of the failing replay is in the
+    // rings and no writer races the snapshot. The dump is a debugging
+    // artifact beside the report, never part of it (sequence numbers are
+    // not replay-stable).
+    const std::string dump = obs::FlightRecorder::Global().DumpJson();
+    std::FILE* file = std::fopen(options.flight_dump_path.c_str(), "wb");
+    if (file == nullptr) {
+      CROWDRTSE_LOG(Warning, "cannot open flight dump path: " +
+                                 options.flight_dump_path);
+    } else {
+      const size_t written =
+          std::fwrite(dump.data(), 1, dump.size(), file);
+      if (std::fclose(file) != 0 || written != dump.size()) {
+        CROWDRTSE_LOG(Warning, "short write to flight dump: " +
+                                   options.flight_dump_path);
+      } else {
+        CROWDRTSE_LOG(Info, "envelope failure: flight recorder dumped to " +
+                                options.flight_dump_path);
+      }
+    }
+  }
   return report;
 }
 

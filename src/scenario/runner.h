@@ -27,6 +27,14 @@ struct RunnerOptions {
   uint64_t seed = 0;
   /// Keep every request/response pair in the report (equality tests).
   bool keep_responses = false;
+  /// When non-empty and the replay misses any envelope, the global flight
+  /// recorder (obs/flight_recorder.h) is dumped to this path — the
+  /// sequence-ordered event log of the exact failing run. The recorder is
+  /// cleared at run start so the dump covers only this replay; callers
+  /// must not run scenarios concurrently when set (Clear() requires
+  /// quiescence). The dump never enters the deterministic report JSON:
+  /// sequence numbers and thread registration order are not replay-stable.
+  std::string flight_dump_path;
 };
 
 const char* EngineKindName(RunnerOptions::EngineKind kind);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/flight_recorder.h"
+
 namespace crowdrtse::server {
 
 const char* ShedLevelName(ShedLevel level) {
@@ -47,6 +49,14 @@ ShedLevel AdmissionQueue::Admit(Task task) {
     level = ShedLevel::kBudgetCap;
   } else {
     level = ShedLevel::kNone;
+  }
+  obs::RecordEvent(obs::EventKind::kAdmissionVerdict,
+                   static_cast<int64_t>(level), depth);
+  if (level != last_level_) {
+    obs::RecordEvent(obs::EventKind::kShedTransition,
+                     static_cast<int64_t>(last_level_),
+                     static_cast<int64_t>(level), depth);
+    last_level_ = level;
   }
   switch (level) {
     case ShedLevel::kNone:

@@ -104,6 +104,9 @@ class AdmissionQueue {
   std::deque<Queued> queue_;
   bool closed_ = false;
   AdmissionStats stats_;
+  /// Last verdict level, for flight-recorder shed.transition events
+  /// (guarded by mutex_).
+  ShedLevel last_level_ = ShedLevel::kNone;
 };
 
 }  // namespace crowdrtse::server

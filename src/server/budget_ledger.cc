@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
+
 namespace crowdrtse::server {
 
 BudgetLedger::BudgetLedger(int64_t campaign_budget, int per_query_cap)
@@ -24,6 +26,7 @@ int BudgetLedger::NextQueryBudget() const {
 int BudgetLedger::Reserve(int64_t query_id) {
   std::lock_guard<std::mutex> lock(mutex_);
   const int granted = NextQueryBudgetLocked();
+  obs::RecordEvent(obs::EventKind::kBudgetReserve, query_id, granted);
   if (granted <= 0) return 0;
   active_reservations_[query_id] = granted;
   reserved_outstanding_ += granted;
@@ -72,6 +75,7 @@ util::Status BudgetLedger::Settle(int64_t query_id, int reserved,
   CloseReservationLocked(query_id);
   total_spent_ += spent;
   entries_.push_back({query_id, reserved, spent});
+  obs::RecordEvent(obs::EventKind::kBudgetSettle, query_id, reserved, spent);
   return util::Status::Ok();
 }
 

@@ -28,11 +28,12 @@ bool QueryCoalescer::CanonicalizeRoads(QueryRequest* request) {
 }
 
 std::pair<QueryCoalescer::BatchPtr, bool> QueryCoalescer::Join(
-    const std::string& key) {
+    const std::string& key, int64_t client_id) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = inflight_.find(key);
   if (it != inflight_.end()) {
     joins_.fetch_add(1, std::memory_order_relaxed);
+    it->second->joiner_ids.push_back(client_id);
     return {it->second, false};
   }
   BatchPtr batch = std::make_shared<Batch>();
@@ -41,17 +42,25 @@ std::pair<QueryCoalescer::BatchPtr, bool> QueryCoalescer::Join(
   return {batch, true};
 }
 
-void QueryCoalescer::Complete(const std::string& key, const BatchPtr& batch,
-                              util::Status status, QueryResponse response) {
+std::vector<int64_t> QueryCoalescer::Complete(const std::string& key,
+                                              const BatchPtr& batch,
+                                              util::Status status,
+                                              QueryResponse response) {
+  std::vector<int64_t> followers;
   {
+    // Retiring the key and snapshotting the joiner list under one lock
+    // makes the returned fan-out set complete: no joiner can attach to
+    // this batch once the key is gone.
     std::lock_guard<std::mutex> lock(mutex_);
     inflight_.erase(key);
+    followers = batch->joiner_ids;
   }
   std::lock_guard<std::mutex> lock(batch->mutex);
   batch->status = std::move(status);
   batch->response = std::move(response);
   batch->done = true;
   batch->done_cv.notify_all();
+  return followers;
 }
 
 util::Status QueryCoalescer::Wait(const BatchPtr& batch,

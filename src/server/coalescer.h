@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "server/admission.h"
 #include "server/query_engine.h"
@@ -41,6 +42,12 @@ class QueryCoalescer {
     QueryResponse response;   // valid when status.ok()
     int64_t joiners = 0;      // queries answered from this batch (not
                               // counting the leader)
+    /// Client ids of every joiner, in arrival order. Guarded by the
+    /// COALESCER's map mutex (Join appends while holding it; Complete
+    /// copies it out after retiring the key under the same mutex, at
+    /// which point no further joiner can reach this batch), NOT by the
+    /// batch mutex above.
+    std::vector<int64_t> joiner_ids;
   };
   using BatchPtr = std::shared_ptr<Batch>;
 
@@ -56,14 +63,21 @@ class QueryCoalescer {
 
   /// Joins the in-flight batch for `key`, or opens a new one. Returns
   /// {batch, is_leader}. The leader MUST call Complete exactly once;
-  /// joiners call Wait.
-  std::pair<BatchPtr, bool> Join(const std::string& key);
+  /// joiners call Wait. `client_id` identifies the joining caller so the
+  /// leader's Complete can report the full fan-out set (slow-query and
+  /// flight-recorder attribution); leaders are identified by the query
+  /// they go on to serve, so their id is not recorded here.
+  std::pair<BatchPtr, bool> Join(const std::string& key,
+                                 int64_t client_id = 0);
 
   /// Publishes the leader's outcome, wakes joiners, and retires the key
   /// (later arrivals open a fresh batch — results are never cached beyond
   /// the in-flight window, so answers always reflect a live serve).
-  void Complete(const std::string& key, const BatchPtr& batch,
-                util::Status status, QueryResponse response);
+  /// Returns the client ids of every joiner that attached to the batch —
+  /// the complete fan-out set the leader's one serve answered for.
+  std::vector<int64_t> Complete(const std::string& key,
+                                const BatchPtr& batch, util::Status status,
+                                QueryResponse response);
 
   /// Blocks until the batch completes; returns its joiner-visible outcome.
   static util::Status Wait(const BatchPtr& batch, QueryResponse* response);

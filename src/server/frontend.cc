@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "net/json.h"
+#include "obs/flight_recorder.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -136,6 +137,9 @@ std::string FrontendStats::Report() const {
          std::to_string(bad_requests) + ", coalesce " +
          std::to_string(coalesce_leads) + " leads / " +
          std::to_string(coalesce_joins) + " joins\n";
+  for (const std::string& fanout : coalesce_fanouts) {
+    out += "  coalesce fan-out: " + fanout + "\n";
+  }
   return out;
 }
 
@@ -198,6 +202,8 @@ FrontendStats Frontend::stats() const {
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     out = stats_;
+    out.coalesce_fanouts.assign(coalesce_fanout_log_.begin(),
+                                coalesce_fanout_log_.end());
   }
   out.admission = queue_.stats();
   out.coalesce_leads = coalescer_.leads();
@@ -370,6 +376,12 @@ bool Frontend::HandleHttpRequest(const ConnPtr& conn,
       SendRaw(conn, net::RenderHttpResponse(
                         200, engine_.stats().Report() + stats().Report(),
                         "text/plain"));
+      return true;
+    }
+    if (request.target == "/debug/flight") {
+      SendRaw(conn, net::RenderHttpResponse(
+                        200, obs::FlightRecorder::Global().DumpJson(),
+                        "application/json"));
       return true;
     }
     if (request.target.rfind("/trace/", 0) == 0) {
@@ -665,12 +677,16 @@ void Frontend::ServeAdmitted(const ConnPtr& conn, QueryRequest request,
     if (served.ok()) response = std::move(*served);
   } else if (options_.enable_coalescing) {
     const std::string key = QueryCoalescer::KeyFor(request, level);
-    auto [batch, is_leader] = coalescer_.Join(key);
+    auto [batch, is_leader] = coalescer_.Join(key, client_id);
     if (is_leader) {
       util::Result<QueryResponse> served = engine_.Serve(request, world_);
       status = served.ok() ? util::Status::Ok() : served.status();
       if (served.ok()) response = *served;
-      coalescer_.Complete(key, batch, status, QueryResponse(response));
+      const std::vector<int64_t> followers =
+          coalescer_.Complete(key, batch, status, QueryResponse(response));
+      if (!followers.empty()) {
+        RecordCoalesceFanout(response.query_id, client_id, followers);
+      }
     } else {
       coalesced = true;
       status = QueryCoalescer::Wait(batch, &response);
@@ -689,6 +705,26 @@ void Frontend::ServeAdmitted(const ConnPtr& conn, QueryRequest request,
   SendResponse(conn, framed, 200,
                ResponseJson(response, request.queried, original_roads,
                             client_id, level, coalesced));
+}
+
+void Frontend::RecordCoalesceFanout(
+    int64_t query_id, int64_t leader_client,
+    const std::vector<int64_t>& followers) {
+  obs::RecordEvent(obs::EventKind::kCoalesceFanout, query_id,
+                   static_cast<int64_t>(followers.size()), leader_client);
+  std::string line = "query " + std::to_string(query_id) +
+                     ": leader client " + std::to_string(leader_client) +
+                     " + " + std::to_string(followers.size()) +
+                     " followers [";
+  for (size_t i = 0; i < followers.size(); ++i) {
+    if (i > 0) line += ", ";
+    line += std::to_string(followers[i]);
+  }
+  line += "]";
+  CROWDRTSE_LOG(Info, "coalesce fan-out: " + line);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  coalesce_fanout_log_.push_back(std::move(line));
+  while (coalesce_fanout_log_.size() > 16) coalesce_fanout_log_.pop_front();
 }
 
 void Frontend::SendResponse(const ConnPtr& conn, bool framed,

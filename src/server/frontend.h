@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -57,6 +58,12 @@ struct FrontendStats {
   int64_t coalesce_leads = 0;
   int64_t coalesce_joins = 0;
   AdmissionStats admission;
+  /// Recent coalesced fan-outs, newest last: one line per batch naming the
+  /// served query id, the leader's client id, and EVERY follower client id
+  /// — the complete set of callers the one serve answered for. The
+  /// engine-side slow-query log only sees the leader's query; this is
+  /// where the fan-out attribution lives.
+  std::vector<std::string> coalesce_fanouts;
 
   std::string Report() const;
 };
@@ -75,6 +82,8 @@ struct FrontendStats {
 ///   GET  /metrics.json the same registry as one JSON object
 ///   GET  /stats        human-readable engine + front-end report
 ///   GET  /trace/<id>   Chrome trace JSON for a sampled query id
+///   GET  /debug/flight flight-recorder dump (obs/flight_recorder.h),
+///                      newest-last event JSON in global sequence order
 ///   POST /admin        text commands: get/set <knob>, drain, stats-clear
 ///
 /// Load shedding: every query is rate-limited (per-connection token
@@ -152,6 +161,12 @@ class Frontend {
                      std::vector<graph::RoadId> original_roads,
                      int64_t client_id, bool framed, ShedLevel level);
 
+  /// Records one completed coalesced batch's full fan-out set (leader +
+  /// every follower client id): flight-recorder event, structured log
+  /// line, and the /stats fan-out ring.
+  void RecordCoalesceFanout(int64_t query_id, int64_t leader_client,
+                            const std::vector<int64_t>& followers);
+
   /// Appends to the connection outbox, flushes opportunistically, and
   /// arms EPOLLOUT for any remainder. Safe from any thread.
   void SendRaw(const ConnPtr& conn, const std::string& bytes);
@@ -182,6 +197,9 @@ class Frontend {
 
   mutable std::mutex stats_mutex_;
   FrontendStats stats_;
+  /// Ring of recent coalesced fan-out descriptions (guarded by
+  /// stats_mutex_; see FrontendStats::coalesce_fanouts).
+  std::deque<std::string> coalesce_fanout_log_;
 };
 
 }  // namespace crowdrtse::server

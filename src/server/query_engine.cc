@@ -1,6 +1,7 @@
 #include "server/query_engine.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "crowd/task_assignment.h"
@@ -35,7 +36,9 @@ QueryEngine::QueryEngine(core::CrowdRtse& system, WorkerRegistry& registry,
       propagators_(system.model(), system.config().gsp,
                    PoolSizeOrDefault(options.propagator_pool_size)),
       traces_(util::trace::TraceCollector::Options{
-          options.trace_ring_size, options.trace_slow_log_size}) {
+          options.trace_ring_size, options.trace_slow_log_size}),
+      profiler_(&metrics_,
+                obs::StageProfiler::Options{options.profile_sample_rate}) {
   RegisterInstruments();
 }
 
@@ -211,8 +214,14 @@ util::Result<QueryResponse> QueryEngine::Serve(
   // Sampled queries get a trace; every Span below attaches to it through
   // the thread-local installed by ScopedTrace, so the deeper layers need no
   // plumbing. Unsampled queries pay one thread-local read per span site.
+  // When a sharded router already installed an ambient trace on this
+  // thread, adopt it: the router owns sampling, collection, and the
+  // summary for cross-shard queries, and the spans below stitch into its
+  // span tree instead of starting a disconnected per-shard one.
+  const bool adopted_trace = util::trace::ActiveTrace() != nullptr;
   std::shared_ptr<util::trace::Trace> trace;
-  if (util::trace::ShouldSample(options_.trace_sample_rate,
+  if (!adopted_trace &&
+      util::trace::ShouldSample(options_.trace_sample_rate,
                                 static_cast<uint64_t>(query_id))) {
     trace =
         std::make_shared<util::trace::Trace>(query_id, options_.clock);
@@ -226,7 +235,15 @@ util::Result<QueryResponse> QueryEngine::Serve(
       if (trace) collector.Collect(std::move(trace));
     }
   } collect{traces_, trace};
-  util::trace::ScopedTrace scoped(trace.get());
+  // Only install a scope for a trace we created — installing a null one
+  // would clear the router's ambient trace for the whole sub-serve.
+  std::optional<util::trace::ScopedTrace> scoped;
+  if (trace) scoped.emplace(trace.get());
+  // Stage profiling mirrors the trace adoption: an ambient scope (the
+  // router's) wins, otherwise this engine's own profiler samples by local
+  // query id (no-op scope when unsampled or the rate is 0).
+  std::optional<obs::ScopedProfile> profile;
+  if (obs::ActiveProfiler() == nullptr) profile.emplace(&profiler_, query_id);
   util::trace::Span serve_span("serve");
   serve_span.Annotate("slot", static_cast<int64_t>(request.slot));
   serve_span.Annotate("queried", static_cast<int64_t>(queried.size()));
@@ -258,6 +275,7 @@ util::Result<QueryResponse> QueryEngine::Serve(
     util::trace::Span ocs_span("ocs");
     ocs_span.Annotate("worker_roads",
                       static_cast<int64_t>(worker_roads.size()));
+    obs::StageTimer stage(obs::Stage::kOcsSelect);
     util::Result<ocs::OcsSolution> solved = system_.SelectRoads(
         request.slot, queried, worker_roads, costs_, spend_budget,
         request.selector);
@@ -288,6 +306,7 @@ util::Result<QueryResponse> QueryEngine::Serve(
   util::Result<crowd::CrowdRound> round = [&] {
     std::lock_guard<std::mutex> lock(crowd_mutex_);
     util::trace::Span crowd_span("crowd");
+    obs::StageTimer stage(obs::Stage::kCrowdDispatch);
     util::Result<crowd::AssignmentPlan> plan = [&] {
       util::trace::Span assign_span("crowd.assign");
       util::Result<crowd::AssignmentPlan> assigned = crowd::AssignTasks(
@@ -354,6 +373,7 @@ util::Result<QueryResponse> QueryEngine::Serve(
       return propagators_.Acquire();
     }();
     util::trace::Span propagate_span("gsp.propagate");
+    obs::StageTimer stage(obs::Stage::kGspSweep);
     util::Result<gsp::GspResult> propagated = propagator->Propagate(
         request.slot, response.probed_roads, probed);
     if (propagated.ok()) {

@@ -12,6 +12,7 @@
 #include "crowd/dispatch_controller.h"
 #include "crowd/fault_plan.h"
 #include "gsp/propagator_pool.h"
+#include "obs/stage_profiler.h"
 #include "server/budget_ledger.h"
 #include "server/engine.h"
 #include "server/worker_registry.h"
@@ -85,6 +86,11 @@ class QueryEngine : public Engine {
     /// slow-query log (top-N by serve latency).
     int trace_ring_size = 256;
     int trace_slow_log_size = 16;
+    /// Fraction of queries whose per-stage wall/CPU time feeds the
+    /// crowdrtse_stage_{wall,cpu}_ms{stage="..."} histograms (exemplar =
+    /// query id). Deterministic per query id, like trace_sample_rate;
+    /// 0 (default) disables the profiler entirely.
+    double profile_sample_rate = 0.0;
   };
 
   /// All dependencies are borrowed and must outlive the engine.
@@ -194,6 +200,9 @@ class QueryEngine : public Engine {
   /// anything up by name.
   util::metrics::MetricsRegistry metrics_;
   util::trace::TraceCollector traces_;
+  /// Sampling per-stage wall/CPU attribution into metrics_ (ambient scope:
+  /// when a sharded router already installed its own, Serve adopts it).
+  obs::StageProfiler profiler_;
   util::metrics::Counter* queries_served_ = nullptr;
   util::metrics::Counter* queries_rejected_ = nullptr;
   util::metrics::Counter* queries_failed_ = nullptr;

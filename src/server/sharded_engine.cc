@@ -1,10 +1,12 @@
 #include "server/sharded_engine.h"
 
 #include <algorithm>
+#include <optional>
 #include <string>
 #include <utility>
 
 #include "graph/graph_io.h"
+#include "obs/flight_recorder.h"
 #include "util/timer.h"
 
 namespace crowdrtse::server {
@@ -69,7 +71,11 @@ ShardedEngine::ShardedEngine(partition::Partition partition,
     : partition_(std::move(partition)),
       ledger_(ledger),
       world_(&world),
-      options_(options) {
+      options_(options),
+      traces_(util::trace::TraceCollector::Options{
+          options.engine.trace_ring_size, options.engine.trace_slow_log_size}),
+      profiler_(&metrics_, obs::StageProfiler::Options{
+                               options.engine.profile_sample_rate}) {
   queries_served_ = &metrics_.GetCounter(
       "crowdrtse_queries_served_total", "queries answered successfully");
   queries_rejected_ = &metrics_.GetCounter(
@@ -117,6 +123,9 @@ ShardedEngine::ShardedEngine(partition::Partition partition,
       "crowdrtse_ledger_remaining_units",
       "campaign budget not yet spent or reserved",
       [this] { return ledger_.remaining(); });
+  metrics_.RegisterCallbackGauge(
+      "crowdrtse_traces_collected", "sampled stitched traces collected",
+      [this] { return traces_.collected(); });
 }
 
 std::vector<crowd::Worker> ShardedEngine::ProjectWorkers(
@@ -204,9 +213,16 @@ util::Status ShardedEngine::BuildShard(
   shard.crowd_sim = std::make_unique<crowd::CrowdSimulator>(
       options.crowd,
       util::Rng(options.crowd_seed + static_cast<uint64_t>(shard_index)));
+  // The router owns trace sampling and stage profiling for sharded
+  // serving: sub-engines adopt the ambient scopes it installs around each
+  // sub-serve. Their own samplers are zeroed so a cross-shard query cannot
+  // also collect K disconnected per-shard traces under local query ids.
+  QueryEngine::Options sub_options = options.engine;
+  sub_options.trace_sample_rate = 0.0;
+  sub_options.profile_sample_rate = 0.0;
   shard.engine = std::make_unique<QueryEngine>(
       *shard.system, *shard.registry, *shard.ledger, shard.costs,
-      *shard.crowd_sim, options.engine);
+      *shard.crowd_sim, sub_options);
   return util::Status::Ok();
 }
 
@@ -424,9 +440,41 @@ util::Result<QueryResponse> ShardedEngine::Serve(
 
   const int64_t query_id =
       next_query_id_.fetch_add(1, std::memory_order_relaxed);
+
+  // Router-owned sampling: one trace per sampled query, stitched across
+  // every shard it touches. The ambient ScopedTrace makes the sub-engines
+  // adopt this trace (their own sampling is zeroed at build), and
+  // root_span below is what the fan-out threads parent their per-shard
+  // spans under.
+  std::shared_ptr<util::trace::Trace> trace;
+  if (util::trace::ShouldSample(options_.engine.trace_sample_rate,
+                                static_cast<uint64_t>(query_id))) {
+    trace = std::make_shared<util::trace::Trace>(query_id,
+                                                 options_.engine.clock);
+  }
+  struct Collect {
+    util::trace::TraceCollector& collector;
+    std::shared_ptr<util::trace::Trace> trace;
+    ~Collect() {
+      if (trace) collector.Collect(std::move(trace));
+    }
+  } collect{traces_, trace};
+  std::optional<util::trace::ScopedTrace> scoped;
+  if (trace) scoped.emplace(trace.get());
+  util::trace::Span serve_span("serve");
+  serve_span.Annotate("engine", "sharded");
+  serve_span.Annotate("slot", static_cast<int64_t>(request.slot));
+  serve_span.Annotate("queried",
+                      static_cast<int64_t>(request.queried.size()));
+  const int64_t root_span = util::trace::ActiveSpanId();
+  // Stage profiling aggregates under the router's query id across every
+  // shard (no-op scope when unsampled).
+  obs::ScopedProfile profile(&profiler_, query_id);
+
   const int granted = ledger_.Reserve(query_id);
   if (granted <= 0) {
     queries_rejected_->Increment();
+    serve_span.Annotate("outcome", "budget_denied");
     return util::Status::FailedPrecondition(
         "campaign budget exhausted: " + ledger_.Report());
   }
@@ -457,10 +505,16 @@ util::Result<QueryResponse> ShardedEngine::Serve(
     for (graph::RoadId r : request.queried) {
       sub.queried.push_back(shard.layout.LocalId(r));
     }
-    util::Result<QueryResponse> served = shard.engine->Serve(sub, shard.world);
+    util::Result<QueryResponse> served = [&] {
+      util::trace::Span shard_span("shard");
+      shard_span.Annotate("shard", static_cast<int64_t>(owners[0]));
+      obs::ScopedShard shard_scope(owners[0]);
+      return shard.engine->Serve(sub, shard.world);
+    }();
     if (!served.ok()) {
       (void)ledger_.Settle(query_id, granted, 0);
       queries_failed_->Increment();
+      serve_span.Annotate("outcome", "failed_shard");
       return served.status();
     }
     QueryResponse response = std::move(*served);
@@ -471,14 +525,21 @@ util::Result<QueryResponse> ShardedEngine::Serve(
         ledger_.Settle(query_id, granted, response.paid);
     if (!settled.ok()) {
       queries_failed_->Increment();
+      serve_span.Annotate("outcome", "failed_settle");
       return settled;
     }
     RecordServed(response, serve_timer.ElapsedMillis());
+    serve_span.Annotate("paid", static_cast<int64_t>(response.paid));
+    serve_span.Annotate("outcome", "served");
+    serve_span.End();
+    if (trace) response.trace_summary = util::trace::Summarize(*trace);
     return response;
   }
 
   // --- Multi-owner: split per owner, fan out, merge.
   queries_cross_shard_->Increment();
+  obs::RecordEvent(obs::EventKind::kShardSplit, query_id,
+                   static_cast<int64_t>(owners.size()), spend_budget);
 
   // Largest-remainder proportional budget split over group sizes; the
   // caps sum exactly to spend_budget. A group whose cap rounds to zero
@@ -527,7 +588,23 @@ util::Result<QueryResponse> ShardedEngine::Serve(
     }
   }
 
-  const auto run_group = [this](GroupRun& run) {
+  const auto run_group = [this, &trace, root_span, query_id](GroupRun& run) {
+    // A fan-out pool thread carries no ambient trace/profile scope:
+    // install the router's, parenting this thread's spans under the root
+    // "serve" span so the per-shard subtree stitches into one tree. The
+    // calling thread (which runs the last group) already carries both.
+    std::optional<util::trace::ScopedTrace> adopt;
+    if (trace && util::trace::ActiveTrace() != trace.get()) {
+      adopt.emplace(trace.get(), root_span);
+    }
+    std::optional<obs::ScopedProfile> profile_scope;
+    if (obs::ActiveProfiler() == nullptr) {
+      profile_scope.emplace(&profiler_, query_id);
+    }
+    util::trace::Span shard_span("shard");
+    shard_span.Annotate("shard", static_cast<int64_t>(run.shard));
+    shard_span.Annotate("cap", static_cast<int64_t>(run.cap));
+    obs::ScopedShard shard_scope(run.shard);
     Shard& shard = *shards_[static_cast<size_t>(run.shard)];
     util::Result<QueryResponse> result =
         run.cap > 0 ? shard.engine->Serve(run.sub, shard.world)
@@ -540,6 +617,7 @@ util::Result<QueryResponse> ShardedEngine::Serve(
     } else {
       run.status = result.status();
     }
+    shard_span.Annotate("outcome", run.ok ? "served" : "failed");
   };
 
   // The calling thread takes the last group; the pool runs the rest.
@@ -571,10 +649,14 @@ util::Result<QueryResponse> ShardedEngine::Serve(
       (void)ledger_.Settle(query_id, granted, total_paid);
       paid_units_->Increment(total_paid);
       queries_failed_->Increment();
+      serve_span.Annotate("outcome", "failed_shard");
       return run.status;
     }
   }
 
+  util::trace::Span merge_span("merge");
+  merge_span.Annotate("owners", static_cast<int64_t>(owners.size()));
+  obs::StageTimer merge_timer(obs::Stage::kMerge);
   QueryResponse response;
   response.query_id = query_id;
   response.granted_budget = granted;
@@ -638,14 +720,23 @@ util::Result<QueryResponse> ShardedEngine::Serve(
     response.degraded_roads.push_back(road);
     response.degraded_reasons.push_back(reason);
   }
+  merge_timer.Stop();
+  merge_span.End();
+  obs::RecordEvent(obs::EventKind::kShardMerge, query_id, total_paid,
+                   static_cast<int64_t>(owners.size()));
 
   const util::Status settled =
       ledger_.Settle(query_id, granted, response.paid);
   if (!settled.ok()) {
     queries_failed_->Increment();
+    serve_span.Annotate("outcome", "failed_settle");
     return settled;
   }
   RecordServed(response, serve_timer.ElapsedMillis());
+  serve_span.Annotate("paid", static_cast<int64_t>(response.paid));
+  serve_span.Annotate("outcome", "served");
+  serve_span.End();
+  if (trace) response.trace_summary = util::trace::Summarize(*trace);
   return response;
 }
 

@@ -13,6 +13,7 @@
 
 #include "core/crowd_rtse.h"
 #include "crowd/cost_model.h"
+#include "obs/stage_profiler.h"
 #include "crowd/crowd_simulator.h"
 #include "crowd/worker.h"
 #include "graph/generators.h"
@@ -32,8 +33,11 @@ namespace crowdrtse::server {
 /// Knobs of the sharded engine.
 struct ShardedEngineOptions {
   /// Behaviour of every per-shard QueryEngine (fault-tolerant dispatch,
-  /// propagator pool size, tracing, ...). trace_sample_rate applies inside
-  /// the sub-engines; the router itself does not sample.
+  /// propagator pool size, ...). trace_sample_rate and profile_sample_rate
+  /// govern the ROUTER's sampling: the router creates one trace/profile
+  /// scope per sampled query and the sub-engines adopt it (their own
+  /// samplers are zeroed at build), so a cross-shard query yields a single
+  /// stitched span tree instead of K disconnected per-shard traces.
   QueryEngine::Options engine;
   /// Per-shard crowd simulator behaviour. For sharded-vs-unsharded
   /// bit-identity tests use noiseless worker pools (bias 1, noise 0,
@@ -120,8 +124,11 @@ class ShardedEngine : public Engine {
     return metrics_;
   }
 
-  /// The router does not sample traces itself; sub-engines do (their
-  /// collectors are reachable via shard_engine().traces()).
+  /// Stitched traces of sampled queries: the router samples by its own
+  /// query id, installs the trace as the ambient scope around every
+  /// sub-serve (fan-out threads included), and collects the finished tree
+  /// here — one trace per query with a "shard" child span per owner, so
+  /// Frontend's /trace/<id> works identically on both engine kinds.
   const util::trace::TraceCollector& traces() const override {
     return traces_;
   }
@@ -247,6 +254,10 @@ class ShardedEngine : public Engine {
 
   util::metrics::MetricsRegistry metrics_;
   util::trace::TraceCollector traces_;
+  /// Router-owned stage profiler: the merge stage records here directly,
+  /// and sub-engine stages flow in through the ambient scope the router
+  /// installs around sub-serves.
+  obs::StageProfiler profiler_;
   util::metrics::Counter* queries_served_ = nullptr;
   util::metrics::Counter* queries_rejected_ = nullptr;
   util::metrics::Counter* queries_failed_ = nullptr;

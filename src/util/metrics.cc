@@ -93,7 +93,8 @@ double LatencyHistogram::BucketUpperBound(int i) {
       std::clamp(i, 0, kNumBuckets - 1))];
 }
 
-void LatencyHistogram::Record(double millis) {
+void LatencyHistogram::RecordWithExemplar(double millis,
+                                          int64_t exemplar_id) {
   // Sanitize before anything touches the accumulators: NaN (and negatives)
   // clamp to zero, +infinity to the largest representable sample — so a
   // single bad input can never poison sum/max with NaN or overflow the
@@ -110,6 +111,10 @@ void LatencyHistogram::Record(double millis) {
   buckets_[index].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   const int64_t micros = static_cast<int64_t>(std::llround(sample * 1e3));
+  if (exemplar_id != 0) {
+    exemplar_id_[index].store(exemplar_id, std::memory_order_relaxed);
+    exemplar_micros_[index].store(micros, std::memory_order_relaxed);
+  }
   sum_micros_.fetch_add(micros, std::memory_order_relaxed);
   int64_t seen = max_micros_.load(std::memory_order_relaxed);
   while (micros > seen &&
@@ -158,6 +163,18 @@ LatencySnapshot LatencyHistogram::Snapshot() const {
   snap.p95_ms = percentile(0.95);
   snap.p99_ms = percentile(0.99);
   return snap;
+}
+
+LatencyHistogram::Exemplar LatencyHistogram::BucketExemplar(int i) const {
+  const size_t index =
+      static_cast<size_t>(std::clamp(i, 0, kNumBuckets - 1));
+  Exemplar exemplar;
+  exemplar.id = exemplar_id_[index].load(std::memory_order_relaxed);
+  exemplar.value_ms =
+      static_cast<double>(
+          exemplar_micros_[index].load(std::memory_order_relaxed)) *
+      1e-3;
+  return exemplar;
 }
 
 std::array<int64_t, LatencyHistogram::kNumBuckets>
@@ -272,6 +289,17 @@ std::string MetricsRegistry::RenderPrometheus() const {
       const auto& histogram =
           *std::get<std::unique_ptr<LatencyHistogram>>(instrument.value);
       emit_header(name, instrument.help, "histogram");
+      // A labeled histogram name ('x{stage="a"}') must put the suffix on
+      // the base ('x_bucket{stage="a",le="..."}'), never inside the label
+      // block — split the name first.
+      const std::string base = base_name(name);
+      const size_t brace = name.find('{');
+      const std::string labels =
+          brace == std::string::npos
+              ? ""
+              : name.substr(brace + 1, name.size() - brace - 2);
+      const std::string label_block =
+          labels.empty() ? "" : "{" + labels + "}";
       const auto counts = histogram.BucketCounts();
       const LatencySnapshot snap = histogram.Snapshot();
       int64_t cumulative = 0;
@@ -282,11 +310,21 @@ std::string MetricsRegistry::RenderPrometheus() const {
             i == LatencyHistogram::kNumBuckets - 1
                 ? "+Inf"
                 : FormatCompact(LatencyHistogram::BucketUpperBound(i));
-        out += name + "_bucket{le=\"" + le + "\"} " +
-               std::to_string(cumulative) + "\n";
+        out += base + "_bucket{" + (labels.empty() ? "" : labels + ",") +
+               "le=\"" + le + "\"} " + std::to_string(cumulative);
+        // OpenMetrics-style exemplar suffix: ' # {trace_id="N"} <value>'.
+        const LatencyHistogram::Exemplar exemplar =
+            histogram.BucketExemplar(i);
+        if (exemplar.id != 0) {
+          out += " # {trace_id=\"" + std::to_string(exemplar.id) + "\"} " +
+                 FormatCompact(exemplar.value_ms);
+        }
+        out += "\n";
       }
-      out += name + "_sum " + FormatCompact(snap.sum_ms) + "\n";
-      out += name + "_count " + std::to_string(snap.count) + "\n";
+      out += base + "_sum" + label_block + " " + FormatCompact(snap.sum_ms) +
+             "\n";
+      out += base + "_count" + label_block + " " +
+             std::to_string(snap.count) + "\n";
     }
   }
   return out;

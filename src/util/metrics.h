@@ -88,9 +88,28 @@ class LatencyHistogram {
   LatencyHistogram(const LatencyHistogram&) = delete;
   LatencyHistogram& operator=(const LatencyHistogram&) = delete;
 
+  /// One stored exemplar per bucket: the id of a query/trace whose sample
+  /// landed there, and that sample's value. id 0 means none recorded.
+  struct Exemplar {
+    int64_t id = 0;
+    double value_ms = 0.0;
+  };
+
   /// Records one sample, in milliseconds. Negative and NaN samples clamp
   /// to zero; +infinity lands in the overflow bucket.
-  void Record(double millis);
+  void Record(double millis) { RecordWithExemplar(millis, 0); }
+
+  /// Records one sample and (when `exemplar_id` is nonzero) attaches it as
+  /// the sample's bucket exemplar — last writer wins, so each bucket links
+  /// to a recent representative query. How the stage profiler makes a p99
+  /// bucket point at a trace id worth opening in /trace/<id>.
+  void RecordWithExemplar(double millis, int64_t exemplar_id);
+
+  /// The current exemplar of bucket `i` ({0, 0} when none). Under
+  /// concurrent writers the id and value may come from two different
+  /// samples of the bucket; both are real samples, which is all an
+  /// exemplar promises.
+  Exemplar BucketExemplar(int i) const;
 
   LatencySnapshot Snapshot() const;
 
@@ -110,6 +129,10 @@ class LatencyHistogram {
   // stays a portable fetch_add / CAS on int64.
   std::atomic<int64_t> sum_micros_{0};
   std::atomic<int64_t> max_micros_{0};
+  // Per-bucket exemplar (id + sample micros), each an independent relaxed
+  // atomic — racy pairing is acceptable by the Exemplar contract above.
+  std::array<std::atomic<int64_t>, kNumBuckets> exemplar_id_{};
+  std::array<std::atomic<int64_t>, kNumBuckets> exemplar_micros_{};
 };
 
 /// Central named registry of counters, gauges, and latency histograms —
@@ -121,7 +144,11 @@ class LatencyHistogram {
 /// Exposition: RenderPrometheus() emits Prometheus text format (counters/
 /// gauges as-is, histograms as cumulative `le` bucket series with _sum and
 /// _count, in milliseconds); RenderJson() emits one flat JSON object. Both
-/// walk the instruments in name order, so output is stable.
+/// walk the instruments in name order, so output is stable. A labeled
+/// histogram name ('x{stage="a"}') renders as proper series — the label
+/// set merges into each bucket line's label block (x_bucket{stage="a",
+/// le="..."}) — and bucket lines carry OpenMetrics-style exemplar
+/// suffixes (' # {trace_id="N"} <value>') when one was recorded.
 class MetricsRegistry {
  public:
   /// A gauge whose value is read on demand at render time — how the

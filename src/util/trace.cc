@@ -71,6 +71,12 @@ ScopedTrace::ScopedTrace(Trace* trace)
   t_active_span = 0;
 }
 
+ScopedTrace::ScopedTrace(Trace* trace, int64_t parent_span)
+    : previous_trace_(t_active_trace), previous_span_(t_active_span) {
+  t_active_trace = trace;
+  t_active_span = trace != nullptr ? parent_span : 0;
+}
+
 ScopedTrace::~ScopedTrace() {
   t_active_trace = previous_trace_;
   t_active_span = previous_span_;

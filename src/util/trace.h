@@ -90,6 +90,11 @@ int64_t ActiveSpanId();
 class ScopedTrace {
  public:
   explicit ScopedTrace(Trace* trace);
+  /// Installs `trace` with `parent_span` as the thread's innermost open
+  /// span, so the next Span constructed on this thread parents under it —
+  /// how a sharded router's fan-out threads stitch their per-shard spans
+  /// under the router's root "serve" span on another thread.
+  ScopedTrace(Trace* trace, int64_t parent_span);
   ~ScopedTrace();
 
   ScopedTrace(const ScopedTrace&) = delete;

@@ -4,11 +4,15 @@
 // validation of packs it cannot replay faithfully.
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "net/json.h"
 #include "scenario/pack.h"
 #include "scenario/runner.h"
 
@@ -105,6 +109,58 @@ TEST(ScenarioRunnerTest, ImpossibleEnvelopeFailsTheRun) {
   EXPECT_NE(report->total.failures[0].find("min_served"), std::string::npos);
   // The failure shows up in the serialized report too.
   EXPECT_NE(report->ToJson().find("\"passed\":false"), std::string::npos);
+}
+
+TEST(ScenarioRunnerTest, EnvelopeFailureDumpsTheFlightRecorder) {
+  std::string text = kBasePack;
+  text.replace(text.find("min_served = 8"), 14, "min_served = 99");
+  const Pack pack = MustParse(text);
+  const std::string dump_path =
+      ::testing::TempDir() + "/runner_envelope_failure.flight.json";
+  std::remove(dump_path.c_str());
+  RunnerOptions options;
+  options.flight_dump_path = dump_path;
+  auto report = RunScenario(pack, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->AllPassed());
+
+  std::ifstream in(dump_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "no flight dump at " << dump_path;
+  std::ostringstream content;
+  content << in.rdbuf();
+  const auto doc = net::json::Parse(content.str());
+  ASSERT_TRUE(doc.ok()) << "flight dump is not JSON";
+  // The recorder was cleared at run start, so the dump covers exactly this
+  // replay: budget activity of the failing run must be present, and the
+  // events must arrive already ordered by the global sequence.
+  const auto& events = doc->Find("events")->AsArray();
+  ASSERT_FALSE(events.empty());
+  bool saw_budget = false;
+  int64_t previous_seq = 0;
+  for (const auto& event : events) {
+    const int64_t seq = *event.Find("seq")->AsInt();
+    EXPECT_GT(seq, previous_seq) << "dump not replayable in order";
+    previous_seq = seq;
+    if (event.Find("kind")->AsString() == "budget.reserve") saw_budget = true;
+  }
+  EXPECT_TRUE(saw_budget);
+  // The dump never leaks into the deterministic report JSON.
+  EXPECT_EQ(report->ToJson().find("flight"), std::string::npos);
+  std::remove(dump_path.c_str());
+}
+
+TEST(ScenarioRunnerTest, PassingRunWritesNoFlightDump) {
+  const Pack pack = MustParse(kBasePack);
+  const std::string dump_path =
+      ::testing::TempDir() + "/runner_envelope_pass.flight.json";
+  std::remove(dump_path.c_str());
+  RunnerOptions options;
+  options.flight_dump_path = dump_path;
+  auto report = RunScenario(pack, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->AllPassed());
+  std::ifstream in(dump_path);
+  EXPECT_FALSE(in.good()) << "passing run must not dump";
 }
 
 // An incident must move the *served answers*, not just internal state:

@@ -3,12 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "graph/generators.h"
+#include "obs/flight_recorder.h"
 #include "partition/partitioner.h"
 #include "rtf/correlation_table.h"
 #include "server/query_engine.h"
@@ -427,6 +429,96 @@ TEST_F(ShardedEngineTest, CreateRejectsPartitionFromAnotherGraph) {
                             workers_, ledger, truth_, options);
   ASSERT_FALSE(engine.ok());
   EXPECT_NE(engine.status().message().find("checksum"), std::string::npos);
+}
+
+TEST_F(ShardedEngineTest, CrossShardQueryYieldsOneStitchedTrace) {
+  BudgetLedger ledger(-1, 24);
+  ShardedEngineOptions options;
+  options.crowd = crowd_options_;
+  options.engine.trace_sample_rate = 1.0;
+  options.engine.profile_sample_rate = 1.0;
+  const partition::Partition partition = MakePartition(4);
+  const auto engine =
+      ShardedEngine::Create(graph_, partition, history_, config_, costs_,
+                            workers_, ledger, truth_, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().message();
+
+  // Three owned roads from every shard: the query MUST split 4 ways.
+  QueryRequest request;
+  request.slot = 12;
+  std::map<int, int> taken;
+  std::set<int> owners;
+  for (graph::RoadId r = 0; r < graph_.num_roads(); ++r) {
+    const int owner = partition.OwnerOf(r);
+    if (taken[owner]++ < 3) {
+      request.queried.push_back(r);
+      owners.insert(owner);
+    }
+  }
+  ASSERT_EQ(owners.size(), 4u);
+
+  const auto response = (*engine)->Serve(request, truth_);
+  ASSERT_TRUE(response.ok()) << response.status().message();
+
+  // The router samples; sub-engines adopt — so exactly ONE trace exists
+  // for this query, holding every shard's spans, not K disconnected ones.
+  std::shared_ptr<const util::trace::Trace> trace;
+  for (const auto& t : (*engine)->traces().Recent()) {
+    if (t->query_id() != response->query_id) continue;
+    EXPECT_EQ(trace, nullptr) << "query produced more than one trace";
+    trace = t;
+  }
+  ASSERT_NE(trace, nullptr);
+
+  const std::vector<util::trace::SpanRecord> spans = trace->spans();
+  std::map<int64_t, const util::trace::SpanRecord*> by_id;
+  for (const auto& span : spans) by_id[span.id] = &span;
+  // Spans land in completion order (fan-out children often finish before
+  // the root closes), so resolve the root first, then validate edges.
+  int roots = 0;
+  int64_t root_id = 0;
+  for (const auto& span : spans) {
+    if (span.parent != 0) continue;
+    ++roots;
+    root_id = span.id;
+    EXPECT_EQ(span.name, "serve");
+  }
+  EXPECT_EQ(roots, 1);
+  std::set<std::string> shard_tags;
+  bool have_merge = false;
+  for (const auto& span : spans) {
+    if (span.parent != 0) {
+      EXPECT_EQ(by_id.count(span.parent), 1u)
+          << "orphan span '" << span.name << "'";
+    }
+    if (span.name == "shard") {
+      EXPECT_EQ(span.parent, root_id) << "shard span not under the root";
+      for (const auto& annotation : span.annotations) {
+        if (annotation.key == "shard") shard_tags.insert(annotation.value);
+      }
+    }
+    if (span.name == "merge") have_merge = true;
+  }
+  EXPECT_EQ(shard_tags.size(), 4u) << "shard children must cover every owner";
+  EXPECT_TRUE(have_merge);
+
+  // The rollup fans back through the merge into the response.
+  EXPECT_EQ(response->trace_summary.query_id, response->query_id);
+  EXPECT_FALSE(response->trace_summary.lines.empty());
+
+  // The flight recorder saw the split and the merge of exactly this query.
+  bool saw_split = false;
+  bool saw_merge = false;
+  for (const auto& event : obs::FlightRecorder::Global().Snapshot()) {
+    if (event.a != response->query_id) continue;
+    if (event.kind == obs::EventKind::kShardSplit) {
+      saw_split = true;
+      EXPECT_EQ(event.b, 4);  // owner shards
+    }
+    if (event.kind == obs::EventKind::kShardMerge) saw_merge = true;
+  }
+  EXPECT_TRUE(saw_split);
+  EXPECT_TRUE(saw_merge);
 }
 
 }  // namespace

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -350,6 +352,72 @@ TEST(MetricsRegistryTest, LabeledSeriesShareOneFamilyHeader) {
   // The lexically-adjacent unlabeled family keeps its own header.
   EXPECT_NE(prom.find("# TYPE shard_queries_other_total counter"),
             std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ExemplarRendersOnTheSampleBucket) {
+  MetricsRegistry registry;
+  LatencyHistogram& hist = registry.GetHistogram("serve_ms", "serve time");
+  hist.RecordWithExemplar(2.5, 4242);
+  hist.Record(2.5);  // exemplar-less sample on the same bucket keeps 4242
+  const std::string prom = registry.RenderPrometheus();
+  const size_t at = prom.find("trace_id=\"4242\"");
+  ASSERT_NE(at, std::string::npos) << prom;
+  // The exemplar rides a bucket line of this histogram, OpenMetrics style:
+  // `serve_ms_bucket{le="..."} N # {trace_id="4242"} <value>`.
+  const size_t line_start = prom.rfind('\n', at) + 1;
+  EXPECT_EQ(prom.compare(line_start, 15, "serve_ms_bucket"), 0) << prom;
+  EXPECT_NE(prom.find(" # {trace_id=\"4242\"} ", line_start),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ExemplarZeroIdMeansNone) {
+  MetricsRegistry registry;
+  registry.GetHistogram("quiet_ms").RecordWithExemplar(1.0, 0);
+  EXPECT_EQ(registry.RenderPrometheus().find("trace_id"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentShardLabeledGaugeRegistration) {
+  // The sharded engine registers per-shard labeled gauges while serving
+  // threads render /metrics: registration, lookup, mutation and render must
+  // be free of data races (CI re-runs this suite under TSan).
+  MetricsRegistry registry;
+  constexpr int kShards = 8;
+  constexpr int kRounds = 200;
+  std::atomic<bool> stop{false};
+  std::thread renderer([&] {
+    while (!stop.load()) {
+      // May render empty before the first registration lands; the point is
+      // that rendering concurrently with registration is race-free.
+      (void)registry.RenderPrometheus();
+    }
+  });
+  std::vector<std::thread> shards;
+  for (int s = 0; s < kShards; ++s) {
+    shards.emplace_back([&registry, s] {
+      const std::string name =
+          "shard_inflight{shard=\"" + std::to_string(s) + "\"}";
+      for (int i = 0; i < kRounds; ++i) {
+        registry.GetGauge(name, "in-flight per shard").Add(1);
+        registry
+            .GetHistogram("shard_serve_ms{shard=\"" + std::to_string(s) +
+                          "\"}")
+            .RecordWithExemplar(0.5 * s + 0.1, 100 + s);
+      }
+    });
+  }
+  for (std::thread& t : shards) t.join();
+  stop.store(true);
+  renderer.join();
+  const std::string prom = registry.RenderPrometheus();
+  for (int s = 0; s < kShards; ++s) {
+    EXPECT_NE(prom.find("shard_inflight{shard=\"" + std::to_string(s) +
+                        "\"} " + std::to_string(kRounds)),
+              std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("shard_serve_ms_count{shard=\"" + std::to_string(s) +
+                        "\"} " + std::to_string(kRounds)),
+              std::string::npos);
+  }
 }
 
 }  // namespace

@@ -294,5 +294,57 @@ TEST(TraceCollectorTest, ConcurrentCollectIsSafe) {
   EXPECT_EQ(collector.Slowest().size(), 4u);
 }
 
+TEST(ScopedTraceTest, ExplicitParentStitchesFanoutThreads) {
+  // The sharded router's fan-out: worker threads adopt the router's trace
+  // with the root span as explicit parent, so their spans stitch under it
+  // instead of forming disconnected roots.
+  Trace trace(77);
+  int64_t root_id = 0;
+  {
+    ScopedTrace scoped(&trace);
+    Span root("serve");
+    root_id = ActiveSpanId();
+    ASSERT_NE(root_id, 0);
+
+    std::vector<std::thread> shards;
+    for (int s = 0; s < 3; ++s) {
+      shards.emplace_back([&trace, root_id, s] {
+        ScopedTrace adopt(&trace, root_id);
+        Span shard("shard");
+        shard.Annotate("shard", static_cast<int64_t>(s));
+      });
+    }
+    for (std::thread& t : shards) t.join();
+  }
+  const std::vector<SpanRecord> spans = trace.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  int shard_children = 0;
+  for (const SpanRecord& span : spans) {
+    if (span.name != "shard") continue;
+    ++shard_children;
+    EXPECT_EQ(span.parent, root_id) << "fan-out span not stitched";
+  }
+  EXPECT_EQ(shard_children, 3);
+  EXPECT_EQ(FindSpan(spans, "serve")->parent, 0);
+}
+
+TEST(ScopedTraceTest, ExplicitParentRestoresPreviousScope) {
+  Trace outer_trace(1);
+  Trace inner_trace(2);
+  ScopedTrace outer(&outer_trace);
+  Span outer_span("outer");
+  const int64_t outer_id = ActiveSpanId();
+  {
+    ScopedTrace inner(&inner_trace, 0);
+    EXPECT_EQ(ActiveTrace(), &inner_trace);
+    EXPECT_EQ(ActiveSpanId(), 0);
+    Span root("root");
+  }
+  EXPECT_EQ(ActiveTrace(), &outer_trace);
+  EXPECT_EQ(ActiveSpanId(), outer_id);
+  ASSERT_EQ(inner_trace.spans().size(), 1u);
+  EXPECT_EQ(inner_trace.spans()[0].parent, 0);
+}
+
 }  // namespace
 }  // namespace crowdrtse::util::trace

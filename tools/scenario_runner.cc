@@ -29,6 +29,8 @@ int Usage(const char* argv0) {
       << "  --engine <kind>        single | sharded | both (default single)\n"
       << "  --shards <k>           shard count (default: the pack's)\n"
       << "  --json_out <file>      write the deterministic metrics JSON\n"
+      << "  --flight_dump <stem>   on envelope failure, dump the flight\n"
+      << "                         recorder to <stem>.<engine>.flight.json\n"
       << "  --check-replay         replay twice, fail on any byte diff\n";
   return 2;
 }
@@ -39,6 +41,7 @@ int main(int argc, char** argv) {
   std::string pack_path;
   std::string engine = "single";
   std::string json_out;
+  std::string flight_dump;
   uint64_t seed = 0;
   int shards = 0;
   bool check_replay = false;
@@ -66,6 +69,8 @@ int main(int argc, char** argv) {
       shards = *parsed;
     } else if (arg == "--json_out" && has_value) {
       json_out = argv[++i];
+    } else if (arg == "--flight_dump" && has_value) {
+      flight_dump = argv[++i];
     } else if (arg == "--check-replay") {
       check_replay = true;
     } else {
@@ -99,6 +104,12 @@ int main(int argc, char** argv) {
     options.engine = kind;
     options.seed = seed;
     options.shards = shards;
+    if (!flight_dump.empty()) {
+      // Per-engine file so a --engine both run keeps both dumps.
+      options.flight_dump_path =
+          flight_dump + "." +
+          crowdrtse::scenario::EngineKindName(kind) + ".flight.json";
+    }
     auto report = RunScenario(*pack, options);
     if (!report.ok()) {
       std::cerr << "replay failed: " << report.status().ToString() << "\n";

@@ -7,8 +7,14 @@
 //     each query has exactly one root span named "serve" plus the expected
 //     phase spans (ocs, crowd.dispatch with crowd.attempt children under
 //     the fault storm, gsp.propagate);
-//   * the Prometheus text parses line by line, histogram bucket series are
-//     cumulative, and the counters match EngineStats.
+//   * the Prometheus text parses line by line (exemplar suffixes
+//     tolerated), histogram bucket series are cumulative, and the counters
+//     match EngineStats;
+//   * a cross-shard query against a K=4 sharded engine over the 607-road
+//     world produces ONE stitched trace at /trace/<id>: every parent span
+//     resolves (no orphans), a single root "serve", per-shard "shard"
+//     children covering every owner shard, and a "merge" span — plus a
+//     /debug/flight dump that parses and contains the shard.split event.
 // Exits nonzero on the first class of failure, printing every violation,
 // so CI gets a complete diagnosis in one run. The two artifacts are left
 // next to the binary for upload.
@@ -23,10 +29,20 @@
 
 #include "semi_synthetic.h"
 #include "crowd/fault_plan.h"
+#include "graph/generators.h"
+#include "net/http.h"
+#include "net/json.h"
+#include "net/socket.h"
+#include "obs/flight_recorder.h"
+#include "partition/partitioner.h"
 #include "server/budget_ledger.h"
+#include "server/frontend.h"
 #include "server/query_engine.h"
+#include "server/sharded_engine.h"
 #include "server/worker_registry.h"
+#include "traffic/traffic_simulator.h"
 #include "util/clock.h"
+#include "util/rng.h"
 #include "util/logging.h"
 
 namespace crowdrtse::tools {
@@ -354,14 +370,20 @@ void ValidatePrometheus(const std::string& text,
                 " is an unknown comment form");
       continue;
     }
-    const size_t space = line.rfind(' ');
-    Check(space != std::string::npos && space + 1 < line.size(),
+    // OpenMetrics exemplar suffix (' # {trace_id="N"} <value>') rides on
+    // bucket lines of exemplar-bearing histograms; the sample proper is
+    // everything before it.
+    const size_t exemplar = line.find(" # ");
+    const std::string sample =
+        exemplar == std::string::npos ? line : line.substr(0, exemplar);
+    const size_t space = sample.rfind(' ');
+    Check(space != std::string::npos && space + 1 < sample.size(),
           "prometheus line " + std::to_string(line_number) +
               " has no sample value");
     if (space == std::string::npos) continue;
-    const std::string key = line.substr(0, space);
+    const std::string key = sample.substr(0, space);
     char* end = nullptr;
-    const std::string value_text = line.substr(space + 1);
+    const std::string value_text = sample.substr(space + 1);
     const double value = std::strtod(value_text.c_str(), &end);
     Check(end == value_text.c_str() + value_text.size(),
           "prometheus value does not parse on line " +
@@ -402,6 +424,234 @@ void ValidatePrometheus(const std::string& text,
   expect("crowdrtse_traces_collected", traces_collected);
   std::printf("prometheus: %zu samples, %zu histogram series, counters OK\n",
               samples.size(), bucket_series.size());
+}
+
+// ---------------------------------------------------------------------------
+// Stitched sharded trace validation: one cross-shard query must yield a
+// single span tree at /trace/<id> — every parent resolves, no orphans, one
+// root "serve", shard children covering every owner shard, and a merge.
+
+util::Status HttpGet(int fd, const std::string& target, int* status,
+                     std::string* body) {
+  CROWDRTSE_RETURN_IF_ERROR(
+      net::WriteAll(fd, "GET " + target + " HTTP/1.1\r\n\r\n"));
+  return net::ReadHttpResponse(fd, status, body);
+}
+
+util::Status HttpPost(int fd, const std::string& target,
+                      const std::string& body, int* status,
+                      std::string* response_body) {
+  const std::string wire = "POST " + target +
+                           " HTTP/1.1\r\nContent-Length: " +
+                           std::to_string(body.size()) + "\r\n\r\n" + body;
+  CROWDRTSE_RETURN_IF_ERROR(net::WriteAll(fd, wire));
+  return net::ReadHttpResponse(fd, status, response_body);
+}
+
+void ValidateStitchedTrace(const std::string& json, int64_t query_id,
+                           const std::set<int>& want_shards) {
+  JsonValue root;
+  Check(JsonParser(json).Parse(&root),
+        "stitched trace is not well-formed JSON");
+  if (g_failures > 0) return;
+  const JsonValue* events = root.Find("traceEvents");
+  Check(events != nullptr && events->kind == JsonValue::Kind::kArray,
+        "stitched trace has no traceEvents array");
+  if (g_failures > 0) return;
+
+  std::map<int64_t, const JsonValue*> by_id;
+  std::vector<const JsonValue*> spans;
+  int roots = 0;
+  std::set<int> shard_spans;
+  bool have_merge = false;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* ph = event.Find("ph");
+    if (ph == nullptr || ph->string != "X") continue;
+    const JsonValue* tid = event.Find("tid");
+    const JsonValue* args = event.Find("args");
+    const JsonValue* name = event.Find("name");
+    if (tid == nullptr || args == nullptr || name == nullptr) {
+      Check(false, "stitched span lacks tid/args/name");
+      continue;
+    }
+    Check(static_cast<int64_t>(tid->number) == query_id,
+          "stitched trace carries a span of foreign query " +
+              std::to_string(static_cast<int64_t>(tid->number)));
+    const JsonValue* span_id = args->Find("span_id");
+    const JsonValue* parent = args->Find("parent");
+    if (span_id == nullptr || parent == nullptr) {
+      Check(false, "stitched span lacks span_id/parent");
+      continue;
+    }
+    by_id[static_cast<int64_t>(span_id->number)] = &event;
+    spans.push_back(&event);
+    if (static_cast<int64_t>(parent->number) == 0) {
+      ++roots;
+      Check(name->string == "serve",
+            "stitched root span is '" + name->string + "', want 'serve'");
+    }
+    if (name->string == "shard") {
+      const JsonValue* shard = args->Find("shard");
+      Check(shard != nullptr, "shard span lacks a shard annotation");
+      if (shard != nullptr) {
+        shard_spans.insert(std::atoi(shard->string.c_str()));
+      }
+    }
+    if (name->string == "merge") have_merge = true;
+  }
+  Check(roots == 1, "stitched trace has " + std::to_string(roots) +
+                        " roots, want exactly 1");
+  int orphans = 0;
+  for (const JsonValue* span : spans) {
+    const int64_t parent = static_cast<int64_t>(
+        span->Find("args")->Find("parent")->number);
+    if (parent == 0) continue;
+    if (by_id.find(parent) == by_id.end()) {
+      ++orphans;
+      Check(false, "orphan span '" + span->Find("name")->string +
+                       "': parent " + std::to_string(parent) +
+                       " not in this trace");
+    }
+  }
+  for (const int shard : want_shards) {
+    Check(shard_spans.count(shard) == 1,
+          "no shard span for owner shard " + std::to_string(shard));
+  }
+  Check(have_merge, "cross-shard trace lacks a merge span");
+  std::printf(
+      "stitched trace: %zu spans, %zu shard children, %d orphans\n",
+      spans.size(), shard_spans.size(), orphans);
+}
+
+int RunShardedStitching() {
+  // The paper's 607-road world, K=4 geographic shards, every query traced
+  // and profiled.
+  util::Rng rng(3);
+  graph::RoadNetworkOptions net_options;
+  net_options.num_roads = 607;
+  std::vector<std::pair<double, double>> positions;
+  auto graph = graph::RoadNetwork(net_options, rng, &positions);
+  CROWDRTSE_CHECK(graph.ok());
+  traffic::TrafficModelOptions traffic_options;
+  traffic_options.num_days = 8;
+  traffic::TrafficSimulator sim(*graph, traffic_options, 5);
+  const traffic::HistoryStore history = sim.GenerateHistory();
+  const traffic::DayMatrix truth = sim.GenerateEvaluationDay();
+
+  core::CrowdRtseConfig config;
+  config.correlation_hop_radius = 2;
+  config.gsp.hop_limit = 2;
+  config.gsp.num_threads = 1;
+  config.refine_with_ccd = false;
+
+  partition::PartitionerOptions part_options;
+  part_options.num_shards = 4;
+  part_options.halo_radius = 5;
+  part_options.seed = 17;
+  auto partition = partition::PartitionByGeography(*graph, positions,
+                                                   part_options);
+  CROWDRTSE_CHECK(partition.ok());
+
+  const crowd::CostModel costs =
+      crowd::CostModel::Constant(graph->num_roads(), 2);
+  std::vector<crowd::Worker> workers;
+  crowd::WorkerId next_id = 0;
+  for (graph::RoadId r = 0; r < graph->num_roads(); ++r) {
+    for (int k = 0; k < 4; ++k) {
+      crowd::Worker w;
+      w.id = next_id++;
+      w.road = r;
+      w.bias = 1.0;
+      w.noise_kmh = 0.0;
+      workers.push_back(w);
+    }
+  }
+
+  server::BudgetLedger ledger(-1, /*per_query_cap=*/24);
+  server::ShardedEngineOptions options;
+  options.crowd.min_bias = options.crowd.max_bias = 1.0;
+  options.crowd.min_noise_kmh = options.crowd.max_noise_kmh = 0.0;
+  options.crowd.outlier_rate = 0.0;
+  options.engine.trace_sample_rate = 1.0;
+  options.engine.profile_sample_rate = 1.0;
+  auto engine = server::ShardedEngine::Create(*graph, *partition, history,
+                                              config, costs, workers,
+                                              ledger, truth, options);
+  CROWDRTSE_CHECK(engine.ok());
+
+  // A query spanning every shard: the first three roads each shard owns.
+  std::map<int, int> taken;
+  std::vector<graph::RoadId> roads;
+  std::set<int> owners;
+  for (graph::RoadId r = 0; r < graph->num_roads(); ++r) {
+    const int owner = partition->OwnerOf(r);
+    if (taken[owner] < 3) {
+      ++taken[owner];
+      roads.push_back(r);
+      owners.insert(owner);
+    }
+  }
+  Check(owners.size() == 4, "partition did not spread over 4 shards");
+
+  server::FrontendOptions frontend_options;
+  server::Frontend frontend(**engine, truth, frontend_options);
+  CROWDRTSE_CHECK(frontend.Start().ok());
+  auto http = net::ConnectLocal(frontend.port());
+  CROWDRTSE_CHECK(http.ok());
+
+  std::string body = "{\"id\":1,\"slot\":12,\"roads\":[";
+  for (size_t i = 0; i < roads.size(); ++i) {
+    if (i > 0) body += ",";
+    body += std::to_string(roads[i]);
+  }
+  body += "]}";
+  int status = 0;
+  std::string response;
+  Check(HttpPost(http->get(), "/query", body, &status, &response).ok() &&
+            status == 200,
+        "cross-shard /query failed: " + response);
+  int64_t query_id = 0;
+  if (auto parsed = net::json::Parse(response); parsed.ok()) {
+    const auto* id = parsed->Find("query_id");
+    Check(id != nullptr, "query response lacks query_id");
+    if (id != nullptr) query_id = *id->AsInt();
+  } else {
+    Check(false, "query response is not JSON: " + response);
+  }
+
+  std::string trace_json;
+  Check(HttpGet(http->get(), "/trace/" + std::to_string(query_id), &status,
+                &trace_json)
+                .ok() &&
+            status == 200,
+        "/trace/" + std::to_string(query_id) + " -> " +
+            std::to_string(status));
+  if (status == 200) ValidateStitchedTrace(trace_json, query_id, owners);
+
+  // The profiler fed the stage histograms with exemplars; the exposition
+  // must still parse line by line.
+  const std::string prometheus = (*engine)->metrics().RenderPrometheus();
+  Check(prometheus.find("crowdrtse_stage_wall_ms") != std::string::npos,
+        "sharded metrics lack the stage profiler histograms");
+  Check(prometheus.find("trace_id=\"" + std::to_string(query_id) + "\"") !=
+            std::string::npos,
+        "stage histograms carry no exemplar for the profiled query");
+
+  std::string flight;
+  Check(HttpGet(http->get(), "/debug/flight", &status, &flight).ok() &&
+            status == 200,
+        "/debug/flight failed");
+  JsonValue flight_root;
+  Check(JsonParser(flight).Parse(&flight_root),
+        "/debug/flight is not well-formed JSON");
+  Check(flight.find("\"shard.split\"") != std::string::npos,
+        "flight dump lacks the shard.split event of the cross-shard query");
+
+  frontend.Shutdown();
+  (*engine)->Drain();
+  std::printf("sharded stitching OK: query %lld across %zu shards\n",
+              static_cast<long long>(query_id), owners.size());
+  return g_failures;
 }
 
 // ---------------------------------------------------------------------------
@@ -479,6 +729,8 @@ int Run(const std::string& trace_path, const std::string& prom_path) {
 
   ValidateChromeTrace(chrome, query_ids);
   ValidatePrometheus(prometheus, stats, engine.traces().collected());
+
+  RunShardedStitching();
 
   if (g_failures > 0) {
     std::printf("trace smoke FAILED: %d violations\n", g_failures);
